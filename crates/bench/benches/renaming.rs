@@ -1,0 +1,50 @@
+//! T10 (wall clock) — real-thread throughput of the renaming stack on
+//! `ThreadedShm`: one complete renaming round (k contenders, full
+//! contention) per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exsel_core::{
+    AdaptiveRename, EfficientRename, MoirAnderson, Rename, RenameConfig, SnapshotRename,
+};
+use exsel_shm::{Ctx, Pid, RegAlloc, ThreadedShm};
+
+fn round<R: Rename>(build: &impl Fn(&mut RegAlloc) -> R, k: usize) {
+    let mut alloc = RegAlloc::new();
+    let algo = build(&mut alloc);
+    let mem = ThreadedShm::new(alloc.total(), k);
+    std::thread::scope(|s| {
+        for p in 0..k {
+            let (algo, mem) = (&algo, &mem);
+            s.spawn(move || {
+                let out = algo
+                    .rename(Ctx::new(mem, Pid(p)), (p as u64 + 1) * 7919)
+                    .unwrap();
+                assert!(out.is_named());
+            });
+        }
+    });
+}
+
+fn bench_renaming(c: &mut Criterion) {
+    let cfg = RenameConfig::default();
+    let mut group = c.benchmark_group("renaming_round");
+    group.sample_size(20);
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("moir_anderson", k), &k, |b, &k| {
+            b.iter(|| round(&|a: &mut RegAlloc| MoirAnderson::new(a, k), k));
+        });
+        group.bench_with_input(BenchmarkId::new("efficient", k), &k, |b, &k| {
+            b.iter(|| round(&|a: &mut RegAlloc| EfficientRename::new(a, k, &cfg), k));
+        });
+        group.bench_with_input(BenchmarkId::new("snapshot", k), &k, |b, &k| {
+            b.iter(|| round(&|a: &mut RegAlloc| SnapshotRename::new(a, k), k));
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", k), &k, |b, &k| {
+            b.iter(|| round(&|a: &mut RegAlloc| AdaptiveRename::new(a, k, &cfg), k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_renaming);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! T10 (wall clock) — repository deposit latency: selfish (non-blocking)
+//! vs altruistic (wait-free) on real threads under contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exsel_shm::{Ctx, Pid, RegAlloc, ThreadedShm};
+use exsel_unbounded::{AltruisticDeposit, SelfishDeposit};
+
+fn bench_repository(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repository_deposit");
+    group.sample_size(20);
+
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("selfish_burst", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut alloc = RegAlloc::new();
+                let repo = SelfishDeposit::new(&mut alloc, n, 64 * n);
+                let mem = ThreadedShm::new(alloc.total(), n);
+                std::thread::scope(|s| {
+                    for p in 0..n {
+                        let (repo, mem) = (&repo, &mem);
+                        s.spawn(move || {
+                            let ctx = Ctx::new(mem, Pid(p));
+                            let mut st = repo.depositor_state();
+                            for i in 0..8u64 {
+                                repo.deposit(ctx, &mut st, i).unwrap();
+                            }
+                        });
+                    }
+                });
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("altruistic_burst", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut alloc = RegAlloc::new();
+                let repo = AltruisticDeposit::new(&mut alloc, n, 128 * n);
+                let mem = ThreadedShm::new(alloc.total(), n);
+                std::thread::scope(|s| {
+                    for p in 0..n {
+                        let (repo, mem) = (&repo, &mem);
+                        s.spawn(move || {
+                            let ctx = Ctx::new(mem, Pid(p));
+                            let mut st = repo.depositor_state();
+                            for i in 0..8u64 {
+                                repo.deposit(ctx, &mut st, i).unwrap();
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repository);
+criterion_main!(benches);

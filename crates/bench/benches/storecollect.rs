@@ -1,0 +1,54 @@
+//! T10 (wall clock) — Store&Collect operation latency on real threads:
+//! steady-state store (post-registration) and collect at contention `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exsel_core::RenameConfig;
+use exsel_shm::{Ctx, Pid, RegAlloc, ThreadedShm};
+use exsel_storecollect::{StoreCollect, StoreHandle};
+
+struct Fixture {
+    sc: StoreCollect,
+    mem: ThreadedShm,
+}
+
+fn fixture(k: usize) -> Fixture {
+    let cfg = RenameConfig::default();
+    let mut alloc = RegAlloc::new();
+    let sc = StoreCollect::adaptive(&mut alloc, 16, &cfg);
+    let mem = ThreadedShm::new(alloc.total(), k.max(1));
+    // Register background processes up front (pid 0 is the one the bench
+    // drives and registers itself): the steady state is what we measure.
+    for p in 1..k {
+        let ctx = Ctx::new(&mem, Pid(p));
+        let mut h = StoreHandle::new();
+        sc.store(ctx, &mut h, p as u64 + 1, 0).unwrap();
+    }
+    Fixture { sc, mem }
+}
+
+fn bench_storecollect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storecollect");
+    for k in [1usize, 4, 8] {
+        let fx = fixture(k);
+        let ctx = Ctx::new(&fx.mem, Pid(0));
+        let mut h = StoreHandle::new();
+        fx.sc.store(ctx, &mut h, 1, 0).unwrap(); // register pid 0
+        group.bench_with_input(BenchmarkId::new("store_steady", k), &k, |b, _| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v += 1;
+                fx.sc.store(ctx, &mut h, 1, v).unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("collect", k), &k, |b, _| {
+            b.iter(|| {
+                let view = fx.sc.collect(ctx).unwrap();
+                assert_eq!(view.len(), k.max(1));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storecollect);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Experiment harness for the EXPERIMENTS.md tables (T1–T9) and shared
+//! utilities for the Criterion benches (T10).
+//!
+//! Each `expt_*` binary in `src/bin/` regenerates one table: it sweeps the
+//! parameters DESIGN.md §5 lists, runs the algorithms on the deterministic
+//! simulator (exact step counts) or on real threads (throughput), and
+//! prints both an aligned text table and JSON lines (`--json`).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! for t in majority basic polylog compare almost_adaptive adaptive \
+//!          lowerbound storecollect repository; do
+//!     cargo run --release -p exsel-bench --bin expt_$t
+//! done
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_sim, run_threaded, RenamingRun};
+pub use table::Table;

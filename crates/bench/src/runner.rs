@@ -1,0 +1,167 @@
+//! Shared execution helpers: run a renaming algorithm under the
+//! deterministic simulator or on real threads, collecting names and step
+//! counts.
+
+use std::collections::BTreeSet;
+
+use exsel_core::Rename;
+use exsel_shm::{Ctx, Pid, ThreadedShm};
+use exsel_sim::{policy::RandomPolicy, SimBuilder};
+
+/// The outcome of one renaming execution.
+#[derive(Clone, Debug)]
+pub struct RenamingRun {
+    /// Acquired names per contender (None = instance reported `Failed` or
+    /// the process crashed).
+    pub names: Vec<Option<u64>>,
+    /// Local steps per contender.
+    pub steps: Vec<u64>,
+}
+
+impl RenamingRun {
+    /// Maximum local steps over contenders — the worst-case step
+    /// complexity of the execution.
+    #[must_use]
+    pub fn max_steps(&self) -> u64 {
+        self.steps.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean local steps.
+    #[must_use]
+    pub fn mean_steps(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.steps.iter().sum::<u64>() as f64 / self.steps.len() as f64
+    }
+
+    /// Largest name handed out.
+    #[must_use]
+    pub fn max_name(&self) -> u64 {
+        self.names.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// How many contenders were named.
+    #[must_use]
+    pub fn named(&self) -> usize {
+        self.names.iter().flatten().count()
+    }
+
+    /// Exclusiveness check: no two contenders share a name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violation — a bug in the algorithm under test.
+    pub fn assert_exclusive(&self) {
+        let names: Vec<u64> = self.names.iter().flatten().copied().collect();
+        let set: BTreeSet<u64> = names.iter().copied().collect();
+        assert_eq!(set.len(), names.len(), "duplicate names: {names:?}");
+    }
+}
+
+/// Runs `originals.len()` contenders through `algo` on the deterministic
+/// simulator under a seeded random schedule; step counts are exactly
+/// reproducible.
+pub fn run_sim<R>(algo: &R, num_registers: usize, originals: &[u64], seed: u64) -> RenamingRun
+where
+    R: Rename + ?Sized,
+{
+    let outcome = SimBuilder::new(num_registers, Box::new(RandomPolicy::new(seed)))
+        .stack_size(256 * 1024)
+        .run(originals.len(), |ctx| {
+            algo.rename(ctx, originals[ctx.pid().0]).map(|o| o.name())
+        });
+    let run = RenamingRun {
+        names: outcome
+            .results
+            .into_iter()
+            .map(|r| r.ok().flatten())
+            .collect(),
+        steps: outcome.steps,
+    };
+    run.assert_exclusive();
+    run
+}
+
+/// Runs contenders on real OS threads over [`ThreadedShm`]. Step counts
+/// are schedule-dependent but indicative; use for larger instances than
+/// the simulator can handle comfortably.
+pub fn run_threaded<R>(algo: &R, num_registers: usize, originals: &[u64]) -> RenamingRun
+where
+    R: Rename + ?Sized,
+{
+    let mem = ThreadedShm::new(num_registers, originals.len());
+    let names: Vec<Option<u64>> = std::thread::scope(|s| {
+        originals
+            .iter()
+            .enumerate()
+            .map(|(p, &orig)| {
+                let mem = &mem;
+                s.spawn(move || algo.rename(Ctx::new(mem, Pid(p)), orig).unwrap().name())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let steps: Vec<u64> = (0..originals.len())
+        .map(|p| exsel_shm::Memory::steps(&mem, Pid(p)))
+        .collect();
+    let run = RenamingRun { names, steps };
+    run.assert_exclusive();
+    run
+}
+
+/// Evenly spread distinct original names in `[1, n_names]`.
+#[must_use]
+pub fn spread_originals(k: usize, n_names: usize) -> Vec<u64> {
+    assert!(k <= n_names, "more contenders than names");
+    (0..k)
+        .map(|i| (i * n_names / k) as u64 + 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_core::{MoirAnderson, RenameConfig};
+    use exsel_shm::RegAlloc;
+
+    #[test]
+    fn sim_run_is_reproducible() {
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, 4);
+        let originals = spread_originals(4, 64);
+        let a = run_sim(&algo, alloc.total(), &originals, 11);
+        // Fresh memory per run: rebuild.
+        let mut alloc2 = RegAlloc::new();
+        let algo2 = MoirAnderson::new(&mut alloc2, 4);
+        let b = run_sim(&algo2, alloc2.total(), &originals, 11);
+        assert_eq!(a.names, b.names);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn threaded_run_names_everyone() {
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, 6);
+        let run = run_threaded(&algo, alloc.total(), &spread_originals(6, 100));
+        assert_eq!(run.named(), 6);
+        assert!(run.max_steps() <= 4 * 6);
+        assert!(run.mean_steps() > 0.0);
+    }
+
+    #[test]
+    fn spread_originals_distinct_in_range() {
+        let o = spread_originals(8, 64);
+        let set: BTreeSet<u64> = o.iter().copied().collect();
+        assert_eq!(set.len(), 8);
+        assert!(o.iter().all(|&v| (1..=64).contains(&v)));
+    }
+
+    #[test]
+    fn cfg_smoke() {
+        // Keep the shared config constructible from this crate.
+        let _ = RenameConfig::default();
+    }
+}

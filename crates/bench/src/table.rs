@@ -1,0 +1,141 @@
+//! Aligned text tables plus JSON-lines output for experiment results.
+
+use serde_json::{Map, Value};
+
+/// An experiment result table. Collect rows, then [`Table::print`] for the
+/// human-readable form or [`Table::print_json`] for machine-readable JSON
+/// lines (one object per row, keyed by header).
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table titled `title` with the given column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the text form to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Prints one JSON object per row to stdout.
+    pub fn print_json(&self) {
+        for row in &self.rows {
+            let mut obj = Map::new();
+            obj.insert("table".into(), Value::String(self.title.clone()));
+            for (h, c) in self.headers.iter().zip(row) {
+                // Numbers stay numbers where they parse.
+                let v = c
+                    .parse::<i64>()
+                    .map(Value::from)
+                    .or_else(|_| c.parse::<f64>().map(Value::from))
+                    .unwrap_or_else(|_| Value::String(c.clone()));
+                obj.insert(h.clone(), v);
+            }
+            println!("{}", Value::Object(obj));
+        }
+    }
+
+    /// Prints text, or JSON lines when the process arguments contain
+    /// `--json`.
+    pub fn emit(&self) {
+        if std::env::args().any(|a| a == "--json") {
+            self.print_json();
+        } else {
+            self.print();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["k", "steps"]);
+        t.row(&["2".into(), "10".into()]);
+        t.row(&["16".into(), "1234".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains(" 2"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+}

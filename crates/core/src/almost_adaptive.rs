@@ -1,0 +1,191 @@
+//! `Almost-Adaptive(N)` — Theorem 3: `N`-renaming with unknown contention
+//! `k`, new names of magnitude `O(k)`, in
+//! `O(log²k (log N + log k · log log N))` local steps with
+//! `O(n·log(N/n))` registers.
+
+use exsel_shm::{Ctx, RegAlloc, Step};
+
+use crate::{Outcome, PolyLogRename, Rename, RenameConfig};
+
+/// Doubling over [`PolyLogRename`]: phase `i` runs
+/// `PolyLog-Rename(2ⁱ, N)` on its own registers and name range; a process
+/// walks phases `0, 1, …` with its *original* name until one names it. At
+/// most `k` contenders are still active when phase `⌈lg k⌉` starts, whose
+/// capacity suffices, so every contender is named by then and the total
+/// name range is `O(Σ_{i ≤ ⌈lg k⌉} 2ⁱ) = O(k)`.
+#[derive(Clone, Debug)]
+pub struct AlmostAdaptive {
+    phases: Vec<PolyLogRename>,
+    offsets: Vec<u64>,
+    n_names: usize,
+    n_processes: usize,
+}
+
+impl AlmostAdaptive {
+    /// Builds an instance for original names in `[1, n_names]` in a system
+    /// of up to `n_processes` processes (phases go up to capacity
+    /// `2^⌈lg n⌉ ≥ n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_names == 0` or `n_processes == 0`.
+    #[must_use]
+    pub fn new(
+        alloc: &mut RegAlloc,
+        n_names: usize,
+        n_processes: usize,
+        cfg: &RenameConfig,
+    ) -> Self {
+        assert!(n_names > 0, "need at least one possible original name");
+        assert!(n_processes > 0, "need at least one process");
+        let top = n_processes.next_power_of_two().ilog2() as usize;
+        let mut phases = Vec::with_capacity(top + 1);
+        let mut offsets = Vec::with_capacity(top + 1);
+        let mut offset = 0u64;
+        for i in 0..=top {
+            let phase = PolyLogRename::new(alloc, n_names, 1 << i, &cfg.child(0x30_0000 + i as u64));
+            offsets.push(offset);
+            offset += phase.name_bound();
+            phases.push(phase);
+        }
+        AlmostAdaptive {
+            phases,
+            offsets,
+            n_names,
+            n_processes,
+        }
+    }
+
+    /// The number of original names `N`.
+    #[must_use]
+    pub fn num_names(&self) -> usize {
+        self.n_names
+    }
+
+    /// The system size `n`.
+    #[must_use]
+    pub fn num_processes(&self) -> usize {
+        self.n_processes
+    }
+
+    /// The largest name that contention `k` can produce — `O(k)`: the end
+    /// of phase `⌈lg k⌉`'s name range. This is the quantity Theorem 3
+    /// bounds; experiments compare it (and observed names) against `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > num_processes()` (rounded up to the next
+    /// power of two).
+    #[must_use]
+    pub fn name_bound_for_contention(&self, k: usize) -> u64 {
+        assert!(k > 0, "contention must be positive");
+        let phase = k.next_power_of_two().ilog2() as usize;
+        assert!(phase < self.phases.len(), "contention {k} beyond system size");
+        self.offsets[phase] + self.phases[phase].name_bound()
+    }
+
+    /// Registers used across all phases (paper: `O(n·log(N/n))`).
+    #[must_use]
+    pub fn num_registers(&self) -> usize {
+        self.phases.iter().map(PolyLogRename::num_registers).sum()
+    }
+}
+
+impl Rename for AlmostAdaptive {
+    fn name_bound(&self) -> u64 {
+        self.offsets.last().copied().unwrap_or(0)
+            + self.phases.last().map_or(0, |p| p.name_bound())
+    }
+
+    fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
+        for (phase, &offset) in self.phases.iter().zip(&self.offsets) {
+            if let Outcome::Named(w) = phase.rename(ctx, original)? {
+                return Ok(Outcome::Named(offset + w));
+            }
+        }
+        Ok(Outcome::Failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::{Pid, ThreadedShm};
+    use std::collections::BTreeSet;
+
+    fn rename_all(algo: &AlmostAdaptive, num_regs: usize, originals: &[u64]) -> Vec<u64> {
+        let mem = ThreadedShm::new(num_regs, originals.len());
+        std::thread::scope(|s| {
+            originals
+                .iter()
+                .enumerate()
+                .map(|(p, &orig)| {
+                    let (algo, mem) = (algo, &mem);
+                    s.spawn(move || {
+                        algo.rename(Ctx::new(mem, Pid(p)), orig)
+                            .unwrap()
+                            .expect_named()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        })
+    }
+
+    #[test]
+    fn low_contention_uses_low_names() {
+        let mut alloc = RegAlloc::new();
+        let algo = AlmostAdaptive::new(&mut alloc, 1 << 12, 16, &RenameConfig::default());
+        let k = 3;
+        let originals: Vec<u64> = (0..k as u64).map(|i| (i + 1) * 999).collect();
+        let names = rename_all(&algo, alloc.total(), &originals);
+        let set: BTreeSet<u64> = names.iter().copied().collect();
+        assert_eq!(set.len(), k);
+        let cap = algo.name_bound_for_contention(k);
+        assert!(
+            names.iter().all(|&m| m <= cap),
+            "contention {k} produced names {names:?} beyond adaptive bound {cap}"
+        );
+        // And the adaptive bound is far below the full-system bound.
+        assert!(cap < algo.name_bound());
+    }
+
+    #[test]
+    fn full_contention_all_named() {
+        let mut alloc = RegAlloc::new();
+        let n = 8;
+        let algo = AlmostAdaptive::new(&mut alloc, 256, n, &RenameConfig::default());
+        let originals: Vec<u64> = (0..n as u64).map(|i| i * 17 + 5).collect();
+        let names = rename_all(&algo, alloc.total(), &originals);
+        assert_eq!(names.iter().collect::<BTreeSet<_>>().len(), n);
+    }
+
+    #[test]
+    fn bound_for_contention_monotone() {
+        let mut alloc = RegAlloc::new();
+        let algo = AlmostAdaptive::new(&mut alloc, 1 << 10, 32, &RenameConfig::default());
+        let mut prev = 0;
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let b = algo.name_bound_for_contention(k);
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond system size")]
+    fn contention_beyond_system_panics() {
+        let mut alloc = RegAlloc::new();
+        let algo = AlmostAdaptive::new(&mut alloc, 64, 4, &RenameConfig::default());
+        let _ = algo.name_bound_for_contention(64);
+    }
+
+    #[test]
+    fn phase_count_is_log_n() {
+        let mut alloc = RegAlloc::new();
+        let algo = AlmostAdaptive::new(&mut alloc, 128, 16, &RenameConfig::default());
+        assert_eq!(algo.phases.len(), 5); // capacities 1,2,4,8,16
+    }
+}

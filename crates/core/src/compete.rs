@@ -1,0 +1,181 @@
+//! `Compete-For-Register` — Figure 1 of the paper.
+
+use exsel_shm::{Ctx, RegAlloc, RegRange, Step, Word};
+
+/// A bank of *name slots*, each backed by two registers: the placeholder
+/// `HR` (a reservation) and the register `R` itself. A process wins slot
+/// `s` by running the procedure of Figure 1; Lemma 1 guarantees
+///
+/// * **exclusive wins** — at most one contender ever wins a given slot, and
+/// * **solo wins** — a contender running without opposition wins.
+///
+/// Under contention a slot may end up won by nobody; the renaming
+/// algorithms absorb that through expansion.
+///
+/// ```
+/// use exsel_core::SlotBank;
+/// use exsel_shm::{Ctx, Pid, RegAlloc, ThreadedShm};
+///
+/// let mut alloc = RegAlloc::new();
+/// let bank = SlotBank::new(&mut alloc, 3);
+/// let mem = ThreadedShm::new(alloc.total(), 1);
+/// let ctx = Ctx::new(&mem, Pid(0));
+/// assert!(bank.compete(ctx, 1, 42)?); // solo contender wins
+/// assert!(!bank.compete(ctx, 1, 43)?); // slot already taken
+/// # Ok::<(), exsel_shm::Crash>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SlotBank {
+    regs: RegRange,
+    slots: usize,
+}
+
+impl SlotBank {
+    /// Reserves `slots` name slots (two registers each).
+    #[must_use]
+    pub fn new(alloc: &mut RegAlloc, slots: usize) -> Self {
+        SlotBank {
+            regs: alloc.reserve(2 * slots),
+            slots,
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots
+    }
+
+    /// Whether the bank has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots == 0
+    }
+
+    /// Registers backing the bank (for register accounting).
+    #[must_use]
+    pub fn registers(&self) -> RegRange {
+        self.regs
+    }
+
+    /// Procedure `Compete-For-Register` (Figure 1) on slot `slot`, with
+    /// `token` standing for the process identity `p`. Tokens must be
+    /// unique among the contenders of a bank. Returns whether the caller
+    /// won the slot. At most 5 local steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`exsel_shm::Crash`] if the process crashes mid-procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn compete(&self, ctx: Ctx<'_>, slot: usize, token: u64) -> Step<bool> {
+        assert!(slot < self.slots, "slot {slot} out of bank of {}", self.slots);
+        let hr = self.regs.get(2 * slot);
+        let r = self.regs.get(2 * slot + 1);
+
+        // read: contention ← HR; if null then write HR ← p else exit
+        if ctx.read(hr)?.is_null() {
+            ctx.write(hr, token)?;
+        } else {
+            return Ok(false);
+        }
+        // read: contention ← R; if null then write R ← p else exit
+        if ctx.read(r)?.is_null() {
+            ctx.write(r, token)?;
+        } else {
+            return Ok(false);
+        }
+        // read: contention ← HR; if contention = p then win else exit
+        Ok(ctx.read(hr)? == Word::Int(token))
+    }
+
+    /// The token that won slot `slot`, if any — i.e. the current contents
+    /// of the slot's register `R` *provided* the win completed. Reading
+    /// costs one local step. Used by collect operations and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`exsel_shm::Crash`] if the process crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn winner(&self, ctx: Ctx<'_>, slot: usize) -> Step<Option<u64>> {
+        assert!(slot < self.slots, "slot {slot} out of bank of {}", self.slots);
+        Ok(ctx.read(self.regs.get(2 * slot + 1))?.as_int())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::{Pid, ThreadedShm};
+
+    fn bank(slots: usize, procs: usize) -> (SlotBank, ThreadedShm) {
+        let mut alloc = RegAlloc::new();
+        let b = SlotBank::new(&mut alloc, slots);
+        (b, ThreadedShm::new(alloc.total(), procs))
+    }
+
+    #[test]
+    fn solo_contender_wins() {
+        let (b, mem) = bank(2, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        assert!(b.compete(ctx, 0, 7).unwrap());
+        assert_eq!(b.winner(ctx, 0).unwrap(), Some(7));
+        assert_eq!(b.winner(ctx, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn second_contender_loses_after_win() {
+        let (b, mem) = bank(1, 2);
+        assert!(b.compete(Ctx::new(&mem, Pid(0)), 0, 1).unwrap());
+        assert!(!b.compete(Ctx::new(&mem, Pid(1)), 0, 2).unwrap());
+        assert_eq!(b.winner(Ctx::new(&mem, Pid(0)), 0).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn win_takes_at_most_five_steps() {
+        let (b, mem) = bank(1, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        b.compete(ctx, 0, 9).unwrap();
+        assert!(ctx.steps() <= 5);
+    }
+
+    #[test]
+    fn wins_are_exclusive_under_real_contention() {
+        // Hammer one slot from many threads, many rounds: never 2 winners.
+        for round in 0..50 {
+            let (b, mem) = bank(1, 8);
+            let wins: Vec<bool> = std::thread::scope(|s| {
+                (0..8)
+                    .map(|p| {
+                        let (b, mem) = (&b, &mem);
+                        s.spawn(move || b.compete(Ctx::new(mem, Pid(p)), 0, 100 + p as u64).unwrap())
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let winners = wins.iter().filter(|&&w| w).count();
+            assert!(winners <= 1, "round {round}: {winners} winners on one slot");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bank")]
+    fn out_of_range_slot_panics() {
+        let (b, mem) = bank(1, 1);
+        let _ = b.compete(Ctx::new(&mem, Pid(0)), 1, 5);
+    }
+
+    #[test]
+    fn empty_bank() {
+        let (b, _mem) = bank(0, 1);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

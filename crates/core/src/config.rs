@@ -1,0 +1,82 @@
+//! Shared construction configuration.
+
+use exsel_expander::ExpanderParams;
+
+/// Construction-time configuration shared by the renaming algorithms:
+/// which expander sizing profile to use and the seed from which all graph
+/// randomness is derived (the graphs are part of the algorithm's code, so
+/// the same config on every process yields the same algorithm).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RenameConfig {
+    /// Expander sizing profile. Defaults to
+    /// [`ExpanderParams::compact`]; use [`ExpanderParams::paper`] for the
+    /// literal Lemma 3 constants (large register footprints).
+    pub expander: ExpanderParams,
+    /// Seed for the randomized expander constructions.
+    pub seed: u64,
+}
+
+impl Default for RenameConfig {
+    fn default() -> Self {
+        RenameConfig {
+            expander: ExpanderParams::compact(),
+            seed: 0xC41EB05,
+        }
+    }
+}
+
+impl RenameConfig {
+    /// A config with the given seed and the compact profile.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        RenameConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Derives a distinct sub-seed for component `tag` (stage/epoch/phase
+    /// indices), so that nested constructions get independent graphs.
+    #[must_use]
+    pub fn subseed(&self, tag: u64) -> u64 {
+        // SplitMix64 step over (seed ⊕ tag).
+        let mut z = self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derives a child config whose seed is [`RenameConfig::subseed`] of
+    /// `tag`.
+    #[must_use]
+    pub fn child(&self, tag: u64) -> Self {
+        RenameConfig {
+            expander: self.expander.clone(),
+            seed: self.subseed(tag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subseeds_differ() {
+        let c = RenameConfig::default();
+        assert_ne!(c.subseed(0), c.subseed(1));
+        assert_ne!(c.subseed(1), c.subseed(2));
+        assert_eq!(c.subseed(3), c.subseed(3));
+    }
+
+    #[test]
+    fn child_propagates_profile() {
+        let c = RenameConfig {
+            expander: ExpanderParams::paper(),
+            seed: 1,
+        };
+        let child = c.child(5);
+        assert_eq!(child.expander, ExpanderParams::paper());
+        assert_ne!(child.seed, c.seed);
+    }
+}

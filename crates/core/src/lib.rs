@@ -1,0 +1,87 @@
+//! Wait-free renaming algorithms from *Asynchronous Exclusive Selection*
+//! (Chlebus & Kowalski, PODC 2008).
+//!
+//! Any `k ≤ n` processes holding unique *original names* in `[N]` contend
+//! to acquire unique *new names* in a much smaller range `[M]`, using only
+//! shared read/write registers, wait-free. The central technique: names
+//! are nodes of a bipartite lossless expander; a process walks its
+//! adjacency list competing for each visited node with the two-register
+//! procedure of Figure 1 ([`SlotBank::compete`]); expansion guarantees a
+//! majority of contenders meet no opposition.
+//!
+//! | Algorithm | Knows | Steps (paper) | `M` | Registers |
+//! |---|---|---|---|---|
+//! | [`Majority`] (Lemma 4) | `ℓ,N` | `O(log N)` | `O(ℓ·log(N/ℓ))`, ≥ half renamed | `O(M)` |
+//! | [`BasicRename`] (Lemma 5) | `k,N` | `O(log k·log N)` | `O(k·log(N/k))` | `O(k·log(N/k))` |
+//! | [`PolyLogRename`] (Thm 1) | `k,N` | `O(log k(log N + log k·log log N))` | `O(k)` | `O(k·log(N/k))` |
+//! | [`EfficientRename`] (Thm 2) | `k` | `O(k)` | `2k−1` | `O(k²)` |
+//! | [`AlmostAdaptive`] (Thm 3) | `N` | `O(log²k(log N + log k·log log N))` | `O(k)` | `O(n·log(N/n))` |
+//! | [`AdaptiveRename`] (Thm 4) | — | `O(k)` | `8k − lg k − 1` | `O(n²)` |
+//! | [`MoirAnderson`] (baseline \[41\]) | `k` | `O(k)` | `k(k+1)/2` | `O(k²)` |
+//! | [`SnapshotRename`] (baseline \[14\]) | — | — | `2k−1` | `O(n)` |
+//!
+//! All algorithms implement [`Rename`] and run unchanged on the real
+//! threads of `exsel_shm::ThreadedShm` or the deterministic scheduler of
+//! `exsel-sim`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use exsel_core::{AdaptiveRename, Outcome, Rename, RenameConfig};
+//! use exsel_shm::{Ctx, Pid, RegAlloc, ThreadedShm};
+//!
+//! // A fully adaptive instance for a system of up to 8 processes.
+//! let mut alloc = RegAlloc::new();
+//! let algo = AdaptiveRename::new(&mut alloc, 8, &RenameConfig::default());
+//! let mem = ThreadedShm::new(alloc.total(), 8);
+//!
+//! // Three contenders with sparse original names rename concurrently.
+//! let originals = [907_u64, 12, 444_444];
+//! let names: Vec<u64> = std::thread::scope(|s| {
+//!     originals
+//!         .iter()
+//!         .enumerate()
+//!         .map(|(p, &orig)| {
+//!             let (algo, mem) = (&algo, &mem);
+//!             s.spawn(move || {
+//!                 algo.rename(Ctx::new(mem, Pid(p)), orig)
+//!                     .unwrap()
+//!                     .expect_named()
+//!             })
+//!         })
+//!         .collect::<Vec<_>>()
+//!         .into_iter()
+//!         .map(|h| h.join().unwrap())
+//!         .collect()
+//! });
+//! // Names are exclusive and within the adaptive bound 8k − lg k − 1.
+//! assert_eq!(names.iter().collect::<std::collections::BTreeSet<_>>().len(), 3);
+//! assert!(names.iter().all(|&m| m >= 1 && m <= 8 * 3 - 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod almost_adaptive;
+mod basic;
+mod compete;
+mod config;
+mod efficient;
+mod majority;
+mod moir_anderson;
+mod outcome;
+mod polylog;
+mod snapshot_rename;
+
+pub use adaptive::AdaptiveRename;
+pub use almost_adaptive::AlmostAdaptive;
+pub use basic::BasicRename;
+pub use compete::SlotBank;
+pub use config::RenameConfig;
+pub use efficient::{EfficientRename, Pipeline};
+pub use majority::Majority;
+pub use moir_anderson::MoirAnderson;
+pub use outcome::{Outcome, Rename};
+pub use polylog::PolyLogRename;
+pub use snapshot_rename::SnapshotRename;

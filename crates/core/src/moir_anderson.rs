@@ -1,0 +1,214 @@
+//! The splitter-grid renaming of Moir & Anderson (Sci. Comp. Prog. 1995):
+//! `k`-renaming in `O(k)` steps with `M = k(k+1)/2` using `O(k²)`
+//! registers. Used both as the first stage of `Efficient-Rename`
+//! (Theorem 2) and as a prior-work baseline in the comparison experiments.
+
+use exsel_shm::{Ctx, RegAlloc, RegRange, Step, Word};
+
+use crate::{Outcome, Rename};
+
+/// One splitter's verdict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Split {
+    Stop,
+    Right,
+    Down,
+}
+
+/// A triangular `k × k` grid of wait-free splitters.
+///
+/// Each splitter (Lamport/Moir–Anderson) guarantees: of the `j` processes
+/// that enter it, at most one *stops*, at most `j−1` go right, and at most
+/// `j−1` go down. Starting at the top-left corner, a process therefore
+/// stops within `k−1` moves whenever at most `k` processes contend; its
+/// name is the index of its splitter in the diagonal enumeration. With
+/// more than `k` contenders a process may walk off the grid, yielding
+/// [`Outcome::Failed`] — which is what lets `Adaptive-Rename` use the grid
+/// safely under unknown contention.
+#[derive(Clone, Debug)]
+pub struct MoirAnderson {
+    k: usize,
+    /// Two registers (X, Y) per splitter; splitters are stored diagonal-
+    /// major: splitter (r, c) on diagonal d = r+c has index
+    /// `d(d+1)/2 + r`.
+    regs: RegRange,
+}
+
+impl MoirAnderson {
+    /// Builds a grid for up to `k` contenders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(alloc: &mut RegAlloc, k: usize) -> Self {
+        assert!(k > 0, "capacity must be positive");
+        let splitters = k * (k + 1) / 2;
+        MoirAnderson {
+            k,
+            regs: alloc.reserve(2 * splitters),
+        }
+    }
+
+    /// The contender capacity `k`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Registers used: `k(k+1)`.
+    #[must_use]
+    pub fn num_registers(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Index of splitter `(r, c)` in diagonal-major order.
+    fn splitter_index(r: usize, c: usize) -> usize {
+        let d = r + c;
+        d * (d + 1) / 2 + r
+    }
+
+    /// Runs one splitter: 4 local steps at most.
+    fn split(&self, ctx: Ctx<'_>, idx: usize, token: u64) -> Step<Split> {
+        let x = self.regs.get(2 * idx);
+        let y = self.regs.get(2 * idx + 1);
+        ctx.write(x, token)?;
+        if !ctx.read(y)?.is_null() {
+            return Ok(Split::Right);
+        }
+        ctx.write(y, 1u64)?;
+        if ctx.read(x)? == Word::Int(token) {
+            Ok(Split::Stop)
+        } else {
+            Ok(Split::Down)
+        }
+    }
+}
+
+impl Rename for MoirAnderson {
+    fn name_bound(&self) -> u64 {
+        (self.k * (self.k + 1) / 2) as u64
+    }
+
+    fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
+        let (mut r, mut c) = (0usize, 0usize);
+        loop {
+            if r + c >= self.k {
+                // Walked off the grid: more than k contenders.
+                return Ok(Outcome::Failed);
+            }
+            match self.split(ctx, Self::splitter_index(r, c), original)? {
+                Split::Stop => {
+                    return Ok(Outcome::Named(Self::splitter_index(r, c) as u64 + 1));
+                }
+                Split::Right => c += 1,
+                Split::Down => r += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::{Pid, ThreadedShm};
+    use std::collections::BTreeSet;
+
+    fn rename_all(algo: &MoirAnderson, num_regs: usize, originals: &[u64]) -> Vec<Outcome> {
+        let mem = ThreadedShm::new(num_regs, originals.len());
+        std::thread::scope(|s| {
+            originals
+                .iter()
+                .enumerate()
+                .map(|(p, &orig)| {
+                    let (algo, mem) = (algo, &mem);
+                    s.spawn(move || algo.rename(Ctx::new(mem, Pid(p)), orig).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        })
+    }
+
+    #[test]
+    fn solo_contender_stops_at_first_splitter() {
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, 4);
+        let mem = ThreadedShm::new(alloc.total(), 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        assert_eq!(algo.rename(ctx, 9).unwrap(), Outcome::Named(1));
+        assert_eq!(ctx.steps(), 4);
+    }
+
+    #[test]
+    fn full_contention_all_named_exclusively() {
+        for k in [1usize, 2, 4, 8, 16] {
+            let mut alloc = RegAlloc::new();
+            let algo = MoirAnderson::new(&mut alloc, k);
+            let originals: Vec<u64> = (0..k as u64).map(|i| i + 1000).collect();
+            let outs = rename_all(&algo, alloc.total(), &originals);
+            let names: Vec<u64> = outs
+                .iter()
+                .map(|o| o.name().expect("≤ k contenders must all stop"))
+                .collect();
+            let set: BTreeSet<u64> = names.iter().copied().collect();
+            assert_eq!(set.len(), k, "k={k}: duplicates in {names:?}");
+            assert!(names.iter().all(|&m| m >= 1 && m <= algo.name_bound()));
+        }
+    }
+
+    #[test]
+    fn steps_linear_in_k() {
+        let mut alloc = RegAlloc::new();
+        let k = 16;
+        let algo = MoirAnderson::new(&mut alloc, k);
+        let mem = ThreadedShm::new(alloc.total(), k);
+        let max_steps = std::thread::scope(|s| {
+            (0..k)
+                .map(|p| {
+                    let (algo, mem) = (&algo, &mem);
+                    s.spawn(move || {
+                        let ctx = Ctx::new(mem, Pid(p));
+                        algo.rename(ctx, p as u64 + 1).unwrap();
+                        ctx.steps()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .max()
+                .unwrap()
+        });
+        assert!(max_steps <= 4 * k as u64, "{max_steps} > 4k");
+    }
+
+    #[test]
+    fn overflow_reports_failed_not_bad_name() {
+        // 2x the capacity: some processes fail, but names stay exclusive
+        // and in range.
+        let k = 4;
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, k);
+        let originals: Vec<u64> = (0..2 * k as u64).map(|i| i + 1).collect();
+        let outs = rename_all(&algo, alloc.total(), &originals);
+        let names: Vec<u64> = outs.iter().filter_map(|o| o.name()).collect();
+        let set: BTreeSet<u64> = names.iter().copied().collect();
+        assert_eq!(set.len(), names.len(), "duplicates under overflow");
+        assert!(names.iter().all(|&m| m >= 1 && m <= algo.name_bound()));
+    }
+
+    #[test]
+    fn splitter_indexing_is_bijective() {
+        let k = 6;
+        let mut seen = BTreeSet::new();
+        for d in 0..k {
+            for r in 0..=d {
+                let c = d - r;
+                assert!(seen.insert(MoirAnderson::splitter_index(r, c)));
+            }
+        }
+        assert_eq!(seen.len(), k * (k + 1) / 2);
+        assert_eq!(*seen.iter().max().unwrap(), k * (k + 1) / 2 - 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Common renaming interface.
+
+use exsel_shm::{Ctx, Step};
+
+/// The result of one renaming attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// A new name was acquired exclusively (1-based, in `[1, name_bound]`).
+    Named(u64),
+    /// This instance could not produce a name — contention exceeded the
+    /// instance's capacity. Adaptive wrappers respond by moving to the
+    /// next, larger instance; it never indicates a safety violation.
+    Failed,
+}
+
+impl Outcome {
+    /// The acquired name, if any.
+    #[must_use]
+    pub fn name(self) -> Option<u64> {
+        match self {
+            Outcome::Named(m) => Some(m),
+            Outcome::Failed => None,
+        }
+    }
+
+    /// The acquired name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is [`Outcome::Failed`].
+    #[must_use]
+    #[track_caller]
+    pub fn expect_named(self) -> u64 {
+        match self {
+            Outcome::Named(m) => m,
+            Outcome::Failed => panic!("renaming failed: contention exceeded capacity"),
+        }
+    }
+
+    /// Whether a name was acquired.
+    #[must_use]
+    pub fn is_named(self) -> bool {
+        matches!(self, Outcome::Named(_))
+    }
+}
+
+/// A one-shot renaming algorithm.
+///
+/// Invariants every implementation guarantees:
+///
+/// * **Exclusiveness** — no two processes are ever `Named` the same value.
+/// * **Wait-freedom** — `rename` completes in a bounded number of local
+///   steps regardless of the other processes' speeds or crashes.
+/// * **Range** — every emitted name lies in `[1, name_bound()]`.
+/// * **Progress** — if at most the instance's capacity of processes
+///   contend (each with a distinct valid original name), every
+///   non-crashed contender is `Named`.
+pub trait Rename: Sync {
+    /// Upper bound `M` on the names this instance can emit.
+    fn name_bound(&self) -> u64;
+
+    /// Acquires a new name for the calling process, whose unique original
+    /// name is `original` (1-based).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`exsel_shm::Crash`] if the process crashes mid-operation.
+    fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome>;
+}
+
+impl<T: Rename + ?Sized> Rename for &T {
+    fn name_bound(&self) -> u64 {
+        (**self).name_bound()
+    }
+    fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
+        (**self).rename(ctx, original)
+    }
+}
+
+impl<T: Rename + ?Sized> Rename for Box<T> {
+    fn name_bound(&self) -> u64 {
+        (**self).name_bound()
+    }
+    fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
+        (**self).rename(ctx, original)
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Named(m) => write!(f, "named({m})"),
+            Outcome::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(Outcome::Named(4).name(), Some(4));
+        assert_eq!(Outcome::Failed.name(), None);
+        assert!(Outcome::Named(1).is_named());
+        assert!(!Outcome::Failed.is_named());
+        assert_eq!(Outcome::Named(2).expect_named(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "renaming failed")]
+    fn expect_named_panics_on_failed() {
+        let _ = Outcome::Failed.expect_named();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Outcome::Named(3).to_string(), "named(3)");
+        assert_eq!(Outcome::Failed.to_string(), "failed");
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        use crate::{MoirAnderson, RenameConfig};
+        let _ = RenameConfig::default();
+        let mut alloc = exsel_shm::RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, 2);
+        let by_ref: &dyn Rename = &algo;
+        assert_eq!(by_ref.name_bound(), algo.name_bound());
+        let boxed: Box<dyn Rename> = Box::new(MoirAnderson::new(
+            &mut exsel_shm::RegAlloc::new(),
+            2,
+        ));
+        assert_eq!(boxed.name_bound(), 3);
+        assert_eq!(boxed.name_bound(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic step-bound checks: each algorithm's worst-case local
+//! steps, measured exactly on the simulator, stay within the structural
+//! bound its analysis promises (with explicit constants, not just
+//! O-shapes).
+
+use exsel_core::{
+    BasicRename, EfficientRename, Majority, MoirAnderson, PolyLogRename, Rename, RenameConfig,
+};
+use exsel_shm::RegAlloc;
+use exsel_sim::{policy::RandomPolicy, SimBuilder};
+
+fn worst_steps<R: Rename>(algo: &R, num_regs: usize, originals: &[u64], seeds: u64) -> u64 {
+    let mut worst = 0;
+    for seed in 0..seeds {
+        let outcome = SimBuilder::new(num_regs, Box::new(RandomPolicy::new(seed)))
+            .run(originals.len(), |ctx| {
+                algo.rename(ctx, originals[ctx.pid().0]).map(|o| o.name())
+            });
+        worst = worst.max(outcome.max_steps());
+    }
+    worst
+}
+
+#[test]
+fn moir_anderson_at_most_4k_steps() {
+    for k in [1usize, 2, 4, 8, 16] {
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, k);
+        let originals: Vec<u64> = (1..=k as u64).collect();
+        let worst = worst_steps(&algo, alloc.total(), &originals, 10);
+        assert!(worst <= 4 * k as u64, "k={k}: {worst} > 4k");
+    }
+}
+
+#[test]
+fn majority_at_most_five_delta_steps() {
+    let cfg = RenameConfig::default();
+    for (n, l) in [(256usize, 4usize), (1024, 8), (4096, 16)] {
+        let mut alloc = RegAlloc::new();
+        let algo = Majority::new(&mut alloc, n, l, &cfg);
+        let originals: Vec<u64> = (0..l).map(|i| (i * n / l) as u64 + 1).collect();
+        let worst = worst_steps(&algo, alloc.total(), &originals, 8);
+        let bound = 5 * algo.graph().degree() as u64;
+        assert!(worst <= bound, "(n={n},l={l}): {worst} > 5Δ = {bound}");
+    }
+}
+
+#[test]
+fn basic_rename_within_sum_of_stage_walks() {
+    let cfg = RenameConfig::default();
+    for (n, k) in [(256usize, 4usize), (1024, 8)] {
+        let mut alloc = RegAlloc::new();
+        let algo = BasicRename::new(&mut alloc, n, k, &cfg);
+        let originals: Vec<u64> = (0..k).map(|i| (i * n / k) as u64 + 1).collect();
+        let worst = worst_steps(&algo, alloc.total(), &originals, 8);
+        // Every stage walk is ≤ 5Δ_stage; the per-stage degree is at most
+        // the capacity-1 stage's degree.
+        let mut stage_bound = 0u64;
+        for i in 0..algo.num_stages() {
+            let mut probe = RegAlloc::new();
+            let stage = Majority::new(&mut probe, n, (k >> i).max(1), &cfg.child(i as u64));
+            stage_bound += 5 * stage.graph().degree() as u64;
+        }
+        assert!(
+            worst <= stage_bound,
+            "(n={n},k={k}): {worst} > Σ 5Δ = {stage_bound}"
+        );
+    }
+}
+
+#[test]
+fn polylog_steps_flat_in_n_at_fixed_k() {
+    // Theorem 1's point: the step cost grows with log N, not N. Measure
+    // at N and 16N and require less-than-doubling.
+    let cfg = RenameConfig::default();
+    let k = 4;
+    let steps_at = |n: usize| {
+        let mut alloc = RegAlloc::new();
+        let algo = PolyLogRename::new(&mut alloc, n, k, &cfg);
+        let originals: Vec<u64> = (0..k).map(|i| (i * n / k) as u64 + 1).collect();
+        worst_steps(&algo, alloc.total(), &originals, 5)
+    };
+    let near = steps_at(1 << 10);
+    let far = steps_at(1 << 14);
+    assert!(
+        far <= near * 2,
+        "polylog steps grew superlogarithmically: {near} -> {far}"
+    );
+}
+
+#[test]
+fn efficient_rename_steps_do_not_depend_on_original_magnitude() {
+    let cfg = RenameConfig::default();
+    let k = 4;
+    let run_with = |originals: &[u64]| {
+        let mut alloc = RegAlloc::new();
+        let algo = EfficientRename::new(&mut alloc, k, &cfg);
+        worst_steps(&algo, alloc.total(), originals, 5)
+    };
+    let small = run_with(&[1, 2, 3, 4]);
+    let huge = run_with(&[u64::MAX, u64::MAX / 2, u64::MAX / 3, u64::MAX / 5]);
+    assert_eq!(
+        small, huge,
+        "k-renaming steps varied with the magnitude of original names"
+    );
+}

@@ -1,0 +1,38 @@
+//! Bipartite lossless expanders for exclusive selection.
+//!
+//! The renaming algorithms of Chlebus & Kowalski have contending processes
+//! walk the adjacency lists of a bipartite graph `G = (V, W, E)` — inputs
+//! `V` are possible original names, outputs `W` are candidate new names —
+//! competing for each visited output. Progress rests on `G` being an
+//! `(L, Δ, ε)`-**lossless expander** (every input subset `X`, `|X| ≤ L`,
+//! has more than `(1−ε)|X|Δ` neighbours), which by Lemma 2 guarantees a
+//! unique-neighbour matching of more than `(1−2ε)|X|` inputs, and hence
+//! that a majority of ≤ `L` contenders win names unopposed.
+//!
+//! Lemma 3 proves such graphs exist by the probabilistic method; this crate
+//! implements the same randomized construction ([`BipartiteGraph::random`])
+//! with the paper's constants ([`ExpanderParams::paper`]) or laptop-scale
+//! ones ([`ExpanderParams::compact`]), plus an exhaustive verifier for
+//! small instances and statistical unique-neighbour checks for large ones.
+//!
+//! ```
+//! use exsel_expander::{BipartiteGraph, ExpanderParams};
+//!
+//! let g = BipartiteGraph::random(256, 8, &ExpanderParams::compact(), 42);
+//! // Every input has `degree` distinct neighbours.
+//! assert!(g.neighbors(0).len() == g.degree());
+//! // A contender subset of size ≤ 8 has a large unique-neighbour matching.
+//! let matched = g.unique_neighbor_matching(&[3, 77, 130, 201]);
+//! assert!(matched.len() >= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod params;
+mod verify;
+
+pub use graph::BipartiteGraph;
+pub use params::ExpanderParams;
+pub use verify::{check_unique_neighbor_rate, is_lossless_expander};

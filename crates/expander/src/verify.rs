@@ -1,0 +1,135 @@
+//! Expansion verification: exhaustive for small graphs, statistical for
+//! large ones.
+
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+use crate::BipartiteGraph;
+
+/// Exhaustively checks that `g` is an `(L, Δ, ε)`-lossless expander: every
+/// input subset `X` with `1 ≤ |X| ≤ capacity` has `|Γ(X)| > (1−ε)·|X|·Δ`.
+///
+/// Exponential in `capacity`; intended for the small instances in tests
+/// (`num_inputs ≤ ~32`, `capacity ≤ ~4`). Large instances should use
+/// [`check_unique_neighbor_rate`].
+#[must_use]
+pub fn is_lossless_expander(g: &BipartiteGraph, capacity: usize, epsilon: f64) -> bool {
+    let n = g.num_inputs();
+    let mut subset: Vec<usize> = Vec::with_capacity(capacity);
+    fn recurse(
+        g: &BipartiteGraph,
+        start: usize,
+        subset: &mut Vec<usize>,
+        capacity: usize,
+        epsilon: f64,
+    ) -> bool {
+        if !subset.is_empty() {
+            let need = (1.0 - epsilon) * subset.len() as f64 * g.degree() as f64;
+            if g.neighborhood(subset).len() as f64 <= need {
+                return false;
+            }
+        }
+        if subset.len() == capacity {
+            return true;
+        }
+        for v in start..g.num_inputs() {
+            subset.push(v);
+            if !recurse(g, v + 1, subset, capacity, epsilon) {
+                return false;
+            }
+            subset.pop();
+        }
+        true
+    }
+    recurse(g, 0, &mut subset, capacity.min(n), epsilon)
+}
+
+/// Statistically estimates the unique-neighbour quality of `g`: samples
+/// `trials` random input subsets of size exactly `min(capacity,
+/// num_inputs)` and returns the worst observed ratio
+/// `|unique-neighbour matching| / |X|` (Lemma 2's quantity; the Majority
+/// analysis needs it above `1 − 2ε = 1/2`).
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the graph has no inputs.
+#[must_use]
+pub fn check_unique_neighbor_rate(
+    g: &BipartiteGraph,
+    capacity: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let size = capacity.min(g.num_inputs()).max(1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut worst = f64::INFINITY;
+    for _ in 0..trials {
+        let subset: Vec<usize> = sample(&mut rng, g.num_inputs(), size).into_vec();
+        let matched = g.unique_neighbor_matching(&subset).len();
+        worst = worst.min(matched as f64 / size as f64);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExpanderParams;
+
+    #[test]
+    fn disjoint_graph_is_perfect_expander() {
+        // Inputs with pairwise-disjoint neighbourhoods expand losslessly
+        // for any ε > 0.
+        let g = BipartiteGraph::from_fn(6, 12, 2, |v, i| 2 * v + i);
+        assert!(is_lossless_expander(&g, 3, 0.01));
+    }
+
+    #[test]
+    fn complete_overlap_fails_expansion() {
+        // All inputs share the same two outputs: Γ(X) = 2 for any X.
+        let g = BipartiteGraph::from_fn(6, 2, 2, |_, i| i);
+        assert!(!is_lossless_expander(&g, 2, 0.25));
+    }
+
+    #[test]
+    fn small_random_graph_expands() {
+        // With compact constants and tiny capacity, random graphs are
+        // overwhelmingly likely to be lossless; check a fixed good seed
+        // exhaustively.
+        let p = ExpanderParams::compact();
+        let g = BipartiteGraph::random(24, 3, &p, 0);
+        assert!(
+            is_lossless_expander(&g, 3, p.epsilon),
+            "seed 0 gave a non-expanding graph; pick another fixed seed"
+        );
+    }
+
+    #[test]
+    fn unique_neighbor_rate_beats_majority_threshold() {
+        let p = ExpanderParams::compact();
+        for (n, l) in [(256usize, 8usize), (1024, 16), (4096, 32)] {
+            let g = BipartiteGraph::random(n, l, &p, 7);
+            let worst = check_unique_neighbor_rate(&g, l, 200, 99);
+            assert!(
+                worst > 0.5,
+                "worst unique-neighbour rate {worst} ≤ 1/2 for n={n}, l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_is_one_for_solo_contender() {
+        let p = ExpanderParams::compact();
+        let g = BipartiteGraph::random(64, 1, &p, 0);
+        assert_eq!(check_unique_neighbor_rate(&g, 1, 50, 1), 1.0);
+    }
+
+    #[test]
+    fn capacity_larger_than_inputs_is_clamped() {
+        let g = BipartiteGraph::from_fn(3, 9, 3, |v, i| 3 * v + i);
+        assert!(is_lossless_expander(&g, 10, 0.25));
+        assert_eq!(check_unique_neighbor_rate(&g, 10, 5, 2), 1.0);
+    }
+}

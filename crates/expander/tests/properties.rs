@@ -1,0 +1,74 @@
+//! Property-based invariants of the expander machinery.
+
+use std::collections::HashSet;
+
+use exsel_expander::{check_unique_neighbor_rate, BipartiteGraph, ExpanderParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The randomized construction always yields distinct, in-range
+    /// neighbours of the configured degree, deterministically per seed.
+    #[test]
+    fn construction_well_formed(
+        n_exp in 3u32..12,
+        capacity in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << n_exp;
+        let p = ExpanderParams::compact();
+        let g = BipartiteGraph::random(n, capacity, &p, seed);
+        prop_assert_eq!(g.num_inputs(), n);
+        prop_assert_eq!(g.degree(), p.degree(n, capacity));
+        prop_assert!(g.num_outputs() >= g.degree());
+        for v in [0, n / 2, n - 1] {
+            let ns = g.neighbors(v);
+            let set: HashSet<_> = ns.iter().collect();
+            prop_assert_eq!(set.len(), ns.len(), "duplicate neighbour");
+            prop_assert!(ns.iter().all(|&w| (w as usize) < g.num_outputs()));
+        }
+        prop_assert_eq!(&g, &BipartiteGraph::random(n, capacity, &p, seed));
+    }
+
+    /// Unique-neighbour matchings are matchings contained in the edge set,
+    /// and monotone under subset shrinking is NOT required — but the
+    /// matching of a singleton is always perfect.
+    #[test]
+    fn matching_structure(
+        seed in any::<u64>(),
+        picks in prop::collection::btree_set(0usize..256, 1..12),
+    ) {
+        let g = BipartiteGraph::random(256, 12, &ExpanderParams::compact(), seed);
+        let subset: Vec<usize> = picks.into_iter().collect();
+        let m = g.unique_neighbor_matching(&subset);
+        let inputs: HashSet<_> = m.iter().map(|&(v, _)| v).collect();
+        let outputs: HashSet<_> = m.iter().map(|&(_, w)| w).collect();
+        prop_assert_eq!(inputs.len(), m.len(), "input matched twice");
+        prop_assert_eq!(outputs.len(), m.len(), "output matched twice");
+        for (v, w) in &m {
+            prop_assert!(subset.contains(v));
+            prop_assert!(g.neighbors(*v).contains(w), "matching edge not in graph");
+            // w must be unique to v within the subset.
+            let touchers = subset.iter().filter(|&&u| g.neighbors(u).contains(w)).count();
+            prop_assert_eq!(touchers, 1, "matched output touched by {} subset members", touchers);
+        }
+    }
+
+    /// Singletons always match (their whole neighbourhood is unique).
+    #[test]
+    fn singleton_always_matched(v in 0usize..128, seed in any::<u64>()) {
+        let g = BipartiteGraph::random(128, 4, &ExpanderParams::compact(), seed);
+        prop_assert_eq!(g.unique_neighbor_matching(&[v]).len(), 1);
+    }
+
+    /// The statistical checker never exceeds 1 and is deterministic.
+    #[test]
+    fn rate_bounded_and_deterministic(seed in any::<u64>(), trials in 1usize..50) {
+        let g = BipartiteGraph::random(512, 8, &ExpanderParams::compact(), 3);
+        let r1 = check_unique_neighbor_rate(&g, 8, trials, seed);
+        let r2 = check_unique_neighbor_rate(&g, 8, trials, seed);
+        prop_assert!((0.0..=1.0).contains(&r1));
+        prop_assert_eq!(r1, r2);
+    }
+}

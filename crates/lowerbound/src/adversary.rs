@@ -1,0 +1,270 @@
+//! The pigeonhole adversary as a scheduling policy.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use exsel_shm::{OpKind, Pid, RegId};
+use exsel_sim::policy::{Action, PendingOp, Policy, RoundRobin};
+
+/// Statistics the adversary records while it runs, shared with the
+/// harness through an `Arc<Mutex<_>>` (the policy itself is moved into
+/// the scheduler).
+#[derive(Clone, Debug, Default)]
+pub struct AdversaryStats {
+    /// Pool size at the start of each stage (index 0 = initial `N`).
+    pub pool_sizes: Vec<usize>,
+    /// Stages completed before release.
+    pub stages: usize,
+    /// Pool size at release time.
+    pub final_pool: usize,
+    /// Residue size (last-writers) at release time.
+    pub residue: usize,
+    /// Processes crashed at release (those outside pool ∪ residue).
+    pub crashed: usize,
+}
+
+enum Phase {
+    /// Granting the current stage group one operation each.
+    Staging,
+    /// Crashing everyone outside pool ∪ residue, one per decision.
+    Culling,
+    /// Fair execution of the survivors.
+    Released,
+}
+
+/// The Theorem 6 adversary. Construct with the staging limits
+/// (`max_stages = k − 2`, `min_pool = 2M`) and install as the policy of
+/// an `exsel-sim` execution whose processes run the renaming algorithm
+/// under attack.
+pub struct PigeonholeAdversary {
+    pool: BTreeSet<usize>,
+    residue: BTreeSet<usize>,
+    queue: VecDeque<usize>,
+    phase: Phase,
+    max_stages: usize,
+    min_pool: usize,
+    fair: RoundRobin,
+    stats: Arc<Mutex<AdversaryStats>>,
+}
+
+impl PigeonholeAdversary {
+    /// An adversary over processes `0..n` that stages while the pool
+    /// exceeds `min_pool` (use `2M`) and at most `max_stages` times (use
+    /// `k − 2`). Returns the policy and a handle to its statistics.
+    #[must_use]
+    pub fn new(n: usize, max_stages: usize, min_pool: usize) -> (Self, Arc<Mutex<AdversaryStats>>) {
+        let stats = Arc::new(Mutex::new(AdversaryStats::default()));
+        (
+            PigeonholeAdversary {
+                pool: (0..n).collect(),
+                residue: BTreeSet::new(),
+                queue: VecDeque::new(),
+                phase: Phase::Staging,
+                max_stages,
+                min_pool,
+                fair: RoundRobin::new(),
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+
+    /// Picks the next stage group by pigeonhole: the majority side
+    /// (readers vs writers) of the pool's pending operations, then the
+    /// largest same-register group on that side.
+    fn start_stage(&mut self, pending: &[PendingOp]) -> bool {
+        let members: Vec<&PendingOp> = pending
+            .iter()
+            .filter(|op| self.pool.contains(&op.pid.0))
+            .collect();
+        // Processes that finished are gone from pending: drop them.
+        self.pool = members.iter().map(|op| op.pid.0).collect();
+
+        {
+            let mut st = self.stats.lock().expect("stats lock");
+            if st.pool_sizes.is_empty() {
+                st.pool_sizes.push(self.pool.len());
+            }
+        }
+        if self.pool.len() <= self.min_pool
+            || self.stats.lock().expect("stats lock").stages >= self.max_stages
+        {
+            return false;
+        }
+
+        let readers: Vec<&&PendingOp> = members
+            .iter()
+            .filter(|op| op.kind == OpKind::Read)
+            .collect();
+        let writers: Vec<&&PendingOp> = members
+            .iter()
+            .filter(|op| op.kind == OpKind::Write)
+            .collect();
+        let (side, is_write) = if readers.len() >= writers.len() {
+            (readers, false)
+        } else {
+            (writers, true)
+        };
+        // Largest same-register group on the chosen side.
+        let mut by_reg: std::collections::HashMap<RegId, Vec<usize>> =
+            std::collections::HashMap::new();
+        for op in side {
+            by_reg.entry(op.reg).or_default().push(op.pid.0);
+        }
+        let group = by_reg
+            .into_values()
+            .max_by_key(|g| (g.len(), usize::MAX - g[0]))
+            .expect("pool nonempty");
+        self.pool = group.iter().copied().collect();
+        self.queue = group.iter().copied().collect();
+        if is_write {
+            // The last writer in the stage order joins the residue.
+            if let Some(&last) = group.last() {
+                self.residue.insert(last);
+            }
+        }
+        let mut st = self.stats.lock().expect("stats lock");
+        st.stages += 1;
+        st.pool_sizes.push(self.pool.len());
+        true
+    }
+
+    fn release(&mut self, pending: &[PendingOp]) -> Action {
+        // Culling: crash pending processes outside pool ∪ residue, one per
+        // decision (the scheduler re-invokes us until the lock-step
+        // condition settles).
+        if matches!(self.phase, Phase::Culling) {
+            if let Some(victim) = pending
+                .iter()
+                .map(|op| op.pid.0)
+                .find(|pid| !self.pool.contains(pid) && !self.residue.contains(pid))
+            {
+                self.stats.lock().expect("stats lock").crashed += 1;
+                return Action::Crash(Pid(victim));
+            }
+            self.phase = Phase::Released;
+        }
+        self.fair.decide(pending)
+    }
+}
+
+impl Policy for PigeonholeAdversary {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        match self.phase {
+            Phase::Staging => {
+                // Drain the current stage group (skipping finished pids).
+                while let Some(pid) = self.queue.pop_front() {
+                    if pending.iter().any(|op| op.pid.0 == pid) {
+                        return Action::Grant(Pid(pid));
+                    }
+                }
+                if self.start_stage(pending) {
+                    let pid = self.queue.pop_front().expect("fresh stage nonempty");
+                    return Action::Grant(Pid(pid));
+                }
+                // Staging over: record and move to culling.
+                {
+                    let mut st = self.stats.lock().expect("stats lock");
+                    st.final_pool = self.pool.len();
+                    st.residue = self.residue.len();
+                }
+                self.phase = Phase::Culling;
+                self.release(pending)
+            }
+            Phase::Culling | Phase::Released => self.release(pending),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(pid: usize, kind: OpKind, reg: usize) -> PendingOp {
+        PendingOp {
+            pid: Pid(pid),
+            kind,
+            reg: RegId(reg),
+            step_index: 0,
+        }
+    }
+
+    #[test]
+    fn picks_largest_reader_group() {
+        let (mut adv, stats) = PigeonholeAdversary::new(5, 10, 1);
+        // 3 readers of R0, 1 reader of R1, 1 writer: majority readers,
+        // largest group = {0,1,2} on R0.
+        let pending = vec![
+            op(0, OpKind::Read, 0),
+            op(1, OpKind::Read, 0),
+            op(2, OpKind::Read, 0),
+            op(3, OpKind::Read, 1),
+            op(4, OpKind::Write, 2),
+        ];
+        let first = adv.decide(&pending);
+        assert_eq!(first, Action::Grant(Pid(0)));
+        assert_eq!(stats.lock().unwrap().pool_sizes, vec![5, 3]);
+        // The remaining group members are granted next.
+        assert_eq!(adv.decide(&pending), Action::Grant(Pid(1)));
+        assert_eq!(adv.decide(&pending), Action::Grant(Pid(2)));
+    }
+
+    #[test]
+    fn writers_majority_adds_residue() {
+        let (mut adv, stats) = PigeonholeAdversary::new(4, 10, 1);
+        let pending = vec![
+            op(0, OpKind::Write, 7),
+            op(1, OpKind::Write, 7),
+            op(2, OpKind::Write, 7),
+            op(3, OpKind::Read, 1),
+        ];
+        let _ = adv.decide(&pending);
+        assert_eq!(adv.residue, BTreeSet::from([2]));
+        assert_eq!(stats.lock().unwrap().stages, 1);
+    }
+
+    #[test]
+    fn stops_at_min_pool_and_culls() {
+        let (mut adv, stats) = PigeonholeAdversary::new(4, 10, 4);
+        // Pool (4) ≤ min_pool (4): release immediately, crash nobody
+        // (everyone is in the pool), then grant fairly.
+        let pending = vec![
+            op(0, OpKind::Read, 0),
+            op(1, OpKind::Read, 0),
+            op(2, OpKind::Read, 0),
+            op(3, OpKind::Read, 0),
+        ];
+        let a = adv.decide(&pending);
+        assert!(matches!(a, Action::Grant(_)));
+        assert_eq!(stats.lock().unwrap().stages, 0);
+        assert_eq!(stats.lock().unwrap().final_pool, 4);
+    }
+
+    #[test]
+    fn culling_crashes_non_pool_processes() {
+        let (mut adv, stats) = PigeonholeAdversary::new(4, 0, 1);
+        // max_stages = 0: staging ends at once; pool = everyone pending,
+        // but pool recomputation keeps all 4 → nobody crashed.
+        let pending: Vec<_> = (0..4).map(|p| op(p, OpKind::Read, p)).collect();
+        let _ = adv.decide(&pending);
+        assert_eq!(stats.lock().unwrap().crashed, 0);
+
+        // Now with a shrunken pool: stage once over 2-of-3 readers of R0,
+        // then release must crash pid 2.
+        let (mut adv, stats) = PigeonholeAdversary::new(3, 1, 1);
+        let pending = vec![
+            op(0, OpKind::Read, 0),
+            op(1, OpKind::Read, 0),
+            op(2, OpKind::Read, 5),
+        ];
+        assert_eq!(adv.decide(&pending), Action::Grant(Pid(0)));
+        assert_eq!(adv.decide(&pending), Action::Grant(Pid(1)));
+        // Stage budget exhausted: culling kicks in.
+        assert_eq!(adv.decide(&pending), Action::Crash(Pid(2)));
+        assert_eq!(stats.lock().unwrap().crashed, 1);
+        // The scheduler removes crashed processes from pending before the
+        // next decision; the survivors are granted fairly.
+        let survivors = &pending[..2];
+        assert!(matches!(adv.decide(survivors), Action::Grant(_)));
+    }
+}

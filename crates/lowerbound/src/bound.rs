@@ -1,0 +1,117 @@
+//! Closed-form bounds.
+
+/// Theorem 6: the worst-case local-step lower bound
+/// `1 + min{k−2, ⌊log_{2r}(N/2M)⌋}` for wait-free `(k, N)`-renaming into
+/// `[M]` with `r` registers. Degenerate parameter combinations (tiny `k`,
+/// `N ≤ 2M`, `r = 0`) clamp the minimum at 0.
+#[must_use]
+pub fn theorem6_bound(k: u64, n_names: u64, m: u64, r: u64) -> u64 {
+    1 + k.saturating_sub(2).min(log_floor(2 * r, n_names / (2 * m).max(1)))
+}
+
+/// Theorem 7: the storing lower bound `min{k, ⌈log_{2r}(N/k)⌉}` for
+/// Store&Collect.
+#[must_use]
+pub fn theorem7_bound(k: u64, n_names: u64, r: u64) -> u64 {
+    k.min(log_ceil(2 * r, n_names / k.max(1)))
+}
+
+/// `⌊log_base(x)⌋` with `log_base(x) = 0` for `x < base` or degenerate
+/// bases.
+fn log_floor(base: u64, x: u64) -> u64 {
+    if base < 2 || x < base {
+        return 0;
+    }
+    let mut power = base;
+    let mut exp = 1;
+    while let Some(next) = power.checked_mul(base) {
+        if next > x {
+            break;
+        }
+        power = next;
+        exp += 1;
+    }
+    exp
+}
+
+/// `⌈log_base(x)⌉` (0 for `x ≤ 1` or degenerate bases).
+fn log_ceil(base: u64, x: u64) -> u64 {
+    if base < 2 || x <= 1 {
+        return 0;
+    }
+    let f = log_floor(base, x);
+    let mut power = 1u64;
+    for _ in 0..f {
+        power = power.saturating_mul(base);
+    }
+    if power >= x {
+        f
+    } else {
+        f + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_floor_basics() {
+        assert_eq!(log_floor(2, 1), 0);
+        assert_eq!(log_floor(2, 2), 1);
+        assert_eq!(log_floor(2, 7), 2);
+        assert_eq!(log_floor(2, 8), 3);
+        assert_eq!(log_floor(10, 999), 2);
+        assert_eq!(log_floor(10, 1000), 3);
+        assert_eq!(log_floor(1, 100), 0);
+        assert_eq!(log_floor(0, 100), 0);
+    }
+
+    #[test]
+    fn log_ceil_basics() {
+        assert_eq!(log_ceil(2, 1), 0);
+        assert_eq!(log_ceil(2, 2), 1);
+        assert_eq!(log_ceil(2, 5), 3);
+        assert_eq!(log_ceil(2, 8), 3);
+        assert_eq!(log_ceil(10, 1001), 4);
+    }
+
+    #[test]
+    fn theorem6_k_branch() {
+        // N astronomically large relative to (2r)^{k−2}: the k−2 branch
+        // binds (16^8 ≪ u64::MAX / 38).
+        assert_eq!(theorem6_bound(10, u64::MAX, 19, 8), 1 + 8);
+        assert_eq!(theorem6_bound(2, u64::MAX, 3, 100), 1);
+    }
+
+    #[test]
+    fn theorem6_log_branch() {
+        // 2r = 40, N/2M = 204: log_40(204) = 1.
+        assert_eq!(theorem6_bound(8, 4096, 10, 20), 2);
+        // N ≤ 2M: trivial.
+        assert_eq!(theorem6_bound(8, 16, 10, 20), 1);
+    }
+
+    #[test]
+    fn theorem6_monotone_in_n() {
+        let mut prev = 0;
+        for exp in 10..40 {
+            let b = theorem6_bound(64, 1 << exp, 10, 20);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn theorem7_branches() {
+        assert_eq!(theorem7_bound(4, u64::MAX, 8), 4);
+        // 2r = 16, N/k = 1024: log_16(1024) = 2.5 → ceil 3.
+        assert_eq!(theorem7_bound(64, 4096 * 64, 8), 3);
+    }
+
+    #[test]
+    fn no_overflow_on_extremes() {
+        let _ = theorem6_bound(u64::MAX, u64::MAX, 1, u64::MAX / 2);
+        let _ = theorem7_bound(u64::MAX, u64::MAX, u64::MAX / 2);
+    }
+}

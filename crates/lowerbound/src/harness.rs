@@ -1,0 +1,221 @@
+//! Running the adversary against a concrete renaming algorithm.
+
+use std::collections::BTreeSet;
+
+use exsel_shm::Ctx;
+use exsel_sim::SimBuilder;
+
+use crate::{theorem6_bound, PigeonholeAdversary};
+
+/// The outcome of one adversarial execution, ready for the T7 table.
+#[derive(Clone, Debug)]
+pub struct LowerBoundReport {
+    /// Contenders `N` the adversary started from (every process is a
+    /// potential contender, as in the proof's conceptual-process pool).
+    pub n_processes: usize,
+    /// Stages the adversary completed.
+    pub stages: usize,
+    /// Pool sizes per stage (index 0 = initial).
+    pub pool_sizes: Vec<usize>,
+    /// Theorem 6's closed-form step bound for these parameters.
+    pub bound: u64,
+    /// Maximum local steps over processes that decided a name.
+    pub max_steps_named: u64,
+    /// Whether all decided names were exclusive (must always hold).
+    pub exclusive: bool,
+    /// How many processes decided a name.
+    pub named: usize,
+}
+
+/// Runs `n_processes` contenders (original name = pid + 1) of a renaming
+/// procedure under the pigeonhole adversary and reports the forced
+/// complexity. `rename` is the per-process body returning the acquired
+/// name, or `None` if the instance failed it; `m` and `r` are the
+/// algorithm's name bound and register count, `k` the contention
+/// parameter for the `k − 2` staging budget, and `num_registers` the
+/// memory size.
+///
+/// # Panics
+///
+/// Panics if two processes decide the same name (exclusiveness violation
+/// — a bug in the algorithm under test).
+pub fn run_against<F>(
+    n_processes: usize,
+    num_registers: usize,
+    k: usize,
+    m: u64,
+    r: u64,
+    rename: F,
+) -> LowerBoundReport
+where
+    F: Fn(Ctx<'_>) -> exsel_shm::Step<Option<u64>> + Sync,
+{
+    let (adversary, stats) =
+        PigeonholeAdversary::new(n_processes, k.saturating_sub(2), 2 * m as usize);
+    let outcome = SimBuilder::new(num_registers, Box::new(adversary))
+        .stack_size(128 * 1024)
+        .run(n_processes, rename);
+
+    let mut names = Vec::new();
+    let mut max_steps_named = 0;
+    for (pid, result) in outcome.results.iter().enumerate() {
+        if let Ok(Some(name)) = result {
+            names.push(*name);
+            max_steps_named = max_steps_named.max(outcome.steps[pid]);
+        }
+    }
+    let set: BTreeSet<u64> = names.iter().copied().collect();
+    let exclusive = set.len() == names.len();
+    assert!(exclusive, "exclusiveness violated under adversary: {names:?}");
+
+    let st = stats.lock().expect("stats lock");
+    LowerBoundReport {
+        n_processes,
+        stages: st.stages,
+        pool_sizes: st.pool_sizes.clone(),
+        bound: theorem6_bound(k as u64, n_processes as u64, m, r),
+        max_steps_named,
+        exclusive,
+        named: names.len(),
+    }
+}
+
+/// The storing analogue (Theorem 7): runs `n_processes` first-store
+/// operations under the pigeonhole adversary staged
+/// `min{k−2, ⌈log_{2r}(N/k)⌉}`-ish times (we reuse the renaming staging
+/// with `min_pool = k`, per the proof's "continue until fewer than `k`
+/// registers have been written"), and reports forced stages and observed
+/// store steps against [`crate::theorem7_bound`].
+///
+/// # Panics
+///
+/// Panics if the store operations are not exclusive in their outputs
+/// (two stores landing on the same value register).
+pub fn run_store_against<F>(
+    n_processes: usize,
+    num_registers: usize,
+    k: usize,
+    r: u64,
+    store: F,
+) -> LowerBoundReport
+where
+    F: Fn(Ctx<'_>) -> exsel_shm::Step<Option<u64>> + Sync,
+{
+    let (adversary, stats) = PigeonholeAdversary::new(n_processes, k.saturating_sub(1), k);
+    let outcome = SimBuilder::new(num_registers, Box::new(adversary))
+        .stack_size(128 * 1024)
+        .run(n_processes, store);
+
+    let mut slots = Vec::new();
+    let mut max_steps_named = 0;
+    for (pid, result) in outcome.results.iter().enumerate() {
+        if let Ok(Some(slot)) = result {
+            slots.push(*slot);
+            max_steps_named = max_steps_named.max(outcome.steps[pid]);
+        }
+    }
+    let set: BTreeSet<u64> = slots.iter().copied().collect();
+    assert_eq!(set.len(), slots.len(), "stores shared a register: {slots:?}");
+
+    let st = stats.lock().expect("stats lock");
+    LowerBoundReport {
+        n_processes,
+        stages: st.stages,
+        pool_sizes: st.pool_sizes.clone(),
+        bound: crate::theorem7_bound(k as u64, n_processes as u64, r),
+        max_steps_named,
+        exclusive: true,
+        named: slots.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_core::{MoirAnderson, Rename, RenameConfig, SnapshotRename};
+    use exsel_shm::RegAlloc;
+
+    #[test]
+    fn adversary_vs_moir_anderson() {
+        // k = 8 grid, N = 256 potential contenders. The adversary stages,
+        // culls, and the survivors must still rename exclusively.
+        let k = 8;
+        let n = 256;
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, k);
+        let m = algo.name_bound();
+        let r = alloc.total() as u64;
+        let report = run_against(n, alloc.total(), k, m, r, |ctx| {
+            Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
+        });
+        assert!(report.exclusive);
+        assert!(
+            report.max_steps_named >= report.bound,
+            "observed {} below Theorem 6 bound {}",
+            report.max_steps_named,
+            report.bound
+        );
+        // The pool shrinks by at most 2r per stage (pigeonhole).
+        for w in report.pool_sizes.windows(2) {
+            assert!(w[1] as u64 * 2 * r >= w[0] as u64, "pool shrank too fast");
+        }
+    }
+
+    #[test]
+    fn adversary_vs_snapshot_rename() {
+        let n = 64;
+        let mut alloc = RegAlloc::new();
+        let algo = SnapshotRename::new(&mut alloc, n);
+        let m = algo.name_bound();
+        let r = alloc.total() as u64;
+        let report = run_against(n, alloc.total(), n, m, r, |ctx| {
+            Ok(algo
+                .rename_slot(ctx, ctx.pid().0, ctx.pid().0 as u64 + 1)?
+                .name())
+        });
+        assert!(report.exclusive);
+        assert!(report.named > 0);
+        assert!(report.max_steps_named >= report.bound);
+    }
+
+    #[test]
+    fn storing_adversary_vs_storecollect() {
+        use exsel_storecollect::{StoreCollect, StoreHandle};
+        let k = 4;
+        let n = 32;
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, n, &RenameConfig::default());
+        let r = alloc.total() as u64;
+        let report = run_store_against(n, alloc.total(), k, r, |ctx| {
+            let mut h = StoreHandle::new();
+            match sc.store(ctx, &mut h, ctx.pid().0 as u64 + 1, 7) {
+                // The adopted value register is the exclusiveness witness.
+                Ok(()) => Ok(h.register().map(|r| r.0 as u64)),
+                Err(_) => Ok(None),
+            }
+        });
+        assert!(report.named > 0);
+        assert!(
+            report.max_steps_named >= report.bound,
+            "Theorem 7 violated: {} < {}",
+            report.max_steps_named,
+            report.bound
+        );
+    }
+
+    #[test]
+    fn small_instance_trivial_bound() {
+        // N ≤ 2M: the bound degenerates to 1 step, and the run is benign.
+        let k = 4;
+        let mut alloc = RegAlloc::new();
+        let cfg = RenameConfig::default();
+        let algo = exsel_core::BasicRename::new(&mut alloc, 8, k, &cfg);
+        let m = algo.name_bound();
+        let r = alloc.total() as u64;
+        let report = run_against(8, alloc.total(), k, m, r, |ctx| {
+            Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
+        });
+        assert_eq!(report.bound, 1);
+        assert!(report.max_steps_named >= 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Static register-layout allocation.
+//!
+//! Every algorithm in the stack reserves its auxiliary registers up front
+//! through a [`RegAlloc`], so that (a) composite algorithms lay out disjoint
+//! banks exactly as the paper requires ("the sets of registers used ... are
+//! to be disjoint"), and (b) the total register complexity `r` of any
+//! configuration is simply [`RegAlloc::total`], measurable by experiments.
+
+use crate::RegId;
+
+/// A bump allocator for register indices.
+///
+/// ```
+/// use exsel_shm::RegAlloc;
+/// let mut alloc = RegAlloc::new();
+/// let a = alloc.reserve(3);
+/// let b = alloc.reserve(2);
+/// assert_eq!(a.get(2).0, 2);
+/// assert_eq!(b.get(0).0, 3); // banks are disjoint
+/// assert_eq!(alloc.total(), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RegAlloc {
+    next: usize,
+}
+
+impl RegAlloc {
+    /// Creates an empty allocator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `len` fresh registers and returns their range.
+    pub fn reserve(&mut self, len: usize) -> RegRange {
+        let start = self.next;
+        self.next += len;
+        RegRange { start, len }
+    }
+
+    /// Total number of registers reserved so far. A memory serving this
+    /// layout must have at least this many registers.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.next
+    }
+}
+
+/// A contiguous range of registers owned by one algorithm component.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RegRange {
+    start: usize,
+    len: usize,
+}
+
+impl RegRange {
+    /// An empty range (no registers).
+    #[must_use]
+    pub fn empty() -> Self {
+        RegRange { start: 0, len: 0 }
+    }
+
+    /// The `i`-th register of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    #[track_caller]
+    pub fn get(&self, i: usize) -> RegId {
+        assert!(
+            i < self.len,
+            "register index {i} out of bank of length {}",
+            self.len
+        );
+        RegId(self.start + i)
+    }
+
+    /// Number of registers in the range.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First register index.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Iterates over the registers in the range.
+    pub fn iter(&self) -> impl Iterator<Item = RegId> + '_ {
+        (self.start..self.start + self.len).map(RegId)
+    }
+
+    /// Splits the range into a prefix of `at` registers and the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    #[must_use]
+    pub fn split_at(&self, at: usize) -> (RegRange, RegRange) {
+        assert!(at <= self.len, "split {at} beyond bank of length {}", self.len);
+        (
+            RegRange {
+                start: self.start,
+                len: at,
+            },
+            RegRange {
+                start: self.start + at,
+                len: self.len - at,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_banks() {
+        let mut a = RegAlloc::new();
+        let r1 = a.reserve(4);
+        let r2 = a.reserve(4);
+        let ids1: Vec<_> = r1.iter().collect();
+        let ids2: Vec<_> = r2.iter().collect();
+        assert!(ids1.iter().all(|i| !ids2.contains(i)));
+        assert_eq!(a.total(), 8);
+    }
+
+    #[test]
+    fn get_and_iter_agree() {
+        let mut a = RegAlloc::new();
+        a.reserve(2);
+        let r = a.reserve(3);
+        let via_get: Vec<_> = (0..r.len()).map(|i| r.get(i)).collect();
+        let via_iter: Vec<_> = r.iter().collect();
+        assert_eq!(via_get, via_iter);
+        assert_eq!(r.start(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bank")]
+    fn get_out_of_range_panics() {
+        let mut a = RegAlloc::new();
+        let r = a.reserve(1);
+        let _ = r.get(1);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let mut a = RegAlloc::new();
+        let r = a.reserve(5);
+        let (x, y) = r.split_at(2);
+        assert_eq!(x.len(), 2);
+        assert_eq!(y.len(), 3);
+        assert_eq!(x.get(0), r.get(0));
+        assert_eq!(y.get(0), r.get(2));
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = RegRange::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_len_reserve() {
+        let mut a = RegAlloc::new();
+        let r = a.reserve(0);
+        assert!(r.is_empty());
+        assert_eq!(a.total(), 0);
+    }
+}

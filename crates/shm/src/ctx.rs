@@ -1,0 +1,103 @@
+//! Per-process memory handle.
+
+use crate::{Memory, Pid, RegId, Step, Word};
+
+/// A process's handle on shared memory: the memory plus the caller's
+/// process id. All algorithms in the stack are written against `Ctx`, so
+/// the same code runs unchanged on [`crate::ThreadedShm`] (real threads)
+/// and on the deterministic simulator in `exsel-sim`.
+///
+/// `Ctx` is `Copy`; pass it by value.
+///
+/// ```
+/// use exsel_shm::{Ctx, Pid, RegAlloc, ThreadedShm, Word};
+/// let mut alloc = RegAlloc::new();
+/// let bank = alloc.reserve(1);
+/// let mem = ThreadedShm::new(alloc.total(), 1);
+/// let ctx = Ctx::new(&mem, Pid(0));
+/// ctx.write(bank.get(0), 42u64)?;
+/// assert_eq!(ctx.read(bank.get(0))?.as_int(), Some(42));
+/// # Ok::<(), exsel_shm::Crash>(())
+/// ```
+#[derive(Copy, Clone)]
+pub struct Ctx<'m> {
+    mem: &'m dyn Memory,
+    pid: Pid,
+}
+
+impl<'m> Ctx<'m> {
+    /// Creates a handle for process `pid` on `mem`.
+    #[must_use]
+    pub fn new(mem: &'m dyn Memory, pid: Pid) -> Self {
+        Ctx { mem, pid }
+    }
+
+    /// The calling process's id.
+    #[must_use]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The underlying memory.
+    #[must_use]
+    pub fn memory(&self) -> &'m dyn Memory {
+        self.mem
+    }
+
+    /// Reads a register (one local step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Crash`] if this process has been crashed.
+    pub fn read(&self, reg: RegId) -> Step<Word> {
+        self.mem.read(self.pid, reg)
+    }
+
+    /// Writes a register (one local step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Crash`] if this process has been crashed.
+    pub fn write(&self, reg: RegId, word: impl Into<Word>) -> Step<()> {
+        self.mem.write(self.pid, reg, word.into())
+    }
+
+    /// Local steps this process has taken so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.mem.steps(self.pid)
+    }
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("pid", &self.pid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RegAlloc, ThreadedShm};
+
+    #[test]
+    fn steps_are_counted_per_process() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(2);
+        let mem = ThreadedShm::new(alloc.total(), 2);
+        let c0 = Ctx::new(&mem, Pid(0));
+        let c1 = Ctx::new(&mem, Pid(1));
+        c0.write(bank.get(0), 1u64).unwrap();
+        c0.read(bank.get(0)).unwrap();
+        c1.read(bank.get(1)).unwrap();
+        assert_eq!(c0.steps(), 2);
+        assert_eq!(c1.steps(), 1);
+    }
+
+    #[test]
+    fn debug_shows_pid() {
+        let mem = ThreadedShm::new(1, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        assert!(format!("{ctx:?}").contains("pid"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Crash faults.
+
+use std::fmt;
+
+/// The process executing the operation has crashed.
+///
+/// In the paper's model a crashed process simply takes no further steps.
+/// Operationally we surface the crash at the next shared-memory access as an
+/// error, which the algorithm propagates with `?` all the way out of its
+/// entry point — unwinding the process without it taking any further step,
+/// exactly as the model prescribes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Crash;
+
+impl fmt::Display for Crash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "process crashed")
+    }
+}
+
+impl std::error::Error for Crash {}
+
+/// Result of one or more local steps: either the value, or the process has
+/// crashed and must stop immediately.
+pub type Step<T> = Result<T, Crash>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Crash);
+        assert_eq!(e.to_string(), "process crashed");
+    }
+
+    #[test]
+    fn question_mark_propagates() {
+        fn inner() -> Step<u64> {
+            Err(Crash)
+        }
+        fn outer() -> Step<u64> {
+            let v = inner()?;
+            Ok(v + 1)
+        }
+        assert_eq!(outer(), Err(Crash));
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared-memory substrate for the *Asynchronous Exclusive Selection* stack.
+//!
+//! This crate models the system of Chlebus & Kowalski (PODC 2008): `n`
+//! asynchronous, crash-prone processes communicating only through shared
+//! multi-reader multi-writer read/write registers. It provides:
+//!
+//! * [`Word`] — the value held by one register ("one integer of arbitrary
+//!   magnitude" in the paper; extended with an `Arc`-boxed record so an
+//!   atomic-snapshot component fits in a single register, exactly as the
+//!   snapshot literature assumes).
+//! * [`Memory`] — the access trait. Every read/write is charged to the
+//!   calling process as one **local step**, the paper's complexity measure,
+//!   and may fail with [`Crash`] when the environment kills the process.
+//! * [`Ctx`] — a per-process handle bundling a memory reference with the
+//!   process id; all algorithms are written against `Ctx`.
+//! * [`RegAlloc`]/[`RegRange`] — static register-layout allocation, so that
+//!   composite algorithms can account exactly for the auxiliary-register
+//!   complexity `r` claimed by each theorem.
+//! * [`ThreadedShm`] — a real-concurrency implementation (one linearizable
+//!   register per cell) used by benches and examples running on OS threads.
+//! * [`snapshot::Snapshot`] — the wait-free atomic-snapshot object of Afek,
+//!   Attiya, Dolev, Gafni, Merritt and Shavit (JACM 1993), required by the
+//!   classic (2k−1)-renaming stage and by `Selfish-Deposit`. Both blocking
+//!   and *poll-based* (one shared-memory operation per call) drivers are
+//!   provided; the poll form is what lets `Altruistic-Deposit` interleave
+//!   two activities at event granularity as the paper prescribes.
+//!
+//! # Example
+//!
+//! ```
+//! use exsel_shm::{Ctx, Memory, Pid, RegAlloc, ThreadedShm, Word};
+//!
+//! let mut alloc = RegAlloc::new();
+//! let bank = alloc.reserve(4);
+//! let mem = ThreadedShm::new(alloc.total(), 2);
+//!
+//! let ctx = Ctx::new(&mem, Pid(0));
+//! ctx.write(bank.get(0), Word::Int(7)).unwrap();
+//! assert_eq!(ctx.read(bank.get(0)).unwrap(), Word::Int(7));
+//! assert_eq!(ctx.steps(), 2); // one write + one read = two local steps
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod ctx;
+mod error;
+mod mem;
+pub mod snapshot;
+mod threaded;
+mod word;
+
+pub use alloc::{RegAlloc, RegRange};
+pub use ctx::Ctx;
+pub use error::{Crash, Step};
+pub use mem::{Memory, OpKind, Pid, RegId};
+pub use snapshot::{Poll, Snapshot};
+pub use threaded::ThreadedShm;
+pub use word::{SnapRecord, Word};

@@ -1,0 +1,104 @@
+//! The memory-access trait and identifiers.
+
+use std::fmt;
+
+use crate::{Step, Word};
+
+/// Index of a process, `0..num_processes`.
+///
+/// This is the *system* identity used for step accounting and crash
+/// injection. It is distinct from the process's *original name* in `[N]`,
+/// which is an algorithm input (renaming algorithms may not use `Pid` for
+/// symmetry-breaking — only original names and register contents).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub usize);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Index of a shared register.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub usize);
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// The kind of a shared-memory operation, exposed to schedulers so that the
+/// lower-bound adversary can split pending processes into readers and
+/// writers before deciding whom to advance (Theorem 6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A read of a register.
+    Read,
+    /// A write to a register.
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "read"),
+            OpKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// A collection of shared read/write registers.
+///
+/// Each `read`/`write` is one **local step** of the calling process — the
+/// paper's complexity measure — and is charged to `pid` by the
+/// implementation. Operations fail with [`crate::Crash`] once the
+/// environment has crashed the process; the caller must then return
+/// immediately (use `?`).
+///
+/// Implementations must be linearizable: every operation appears to take
+/// effect atomically between its invocation and response.
+pub trait Memory: Sync {
+    /// Reads register `reg` on behalf of process `pid` (one local step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Crash`] if the process has been crashed.
+    fn read(&self, pid: Pid, reg: RegId) -> Step<Word>;
+
+    /// Writes `word` to register `reg` on behalf of `pid` (one local step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Crash`] if the process has been crashed.
+    fn write(&self, pid: Pid, reg: RegId, word: Word) -> Step<()>;
+
+    /// Number of registers.
+    fn num_registers(&self) -> usize;
+
+    /// Number of processes known to this memory.
+    fn num_processes(&self) -> usize;
+
+    /// Local steps (shared-memory accesses) taken by `pid` so far.
+    fn steps(&self, pid: Pid) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Pid(3).to_string(), "p3");
+        assert_eq!(RegId(4).to_string(), "R4");
+        assert_eq!(OpKind::Read.to_string(), "read");
+        assert_eq!(OpKind::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn ids_order() {
+        assert!(Pid(1) < Pid(2));
+        assert!(RegId(0) < RegId(10));
+    }
+}

@@ -1,0 +1,455 @@
+//! Wait-free atomic snapshot object (Afek, Attiya, Dolev, Gafni, Merritt,
+//! Shavit — "Atomic snapshots of shared memory", JACM 1993), unbounded
+//! sequence-number variant.
+//!
+//! An `n`-component snapshot object supports `update(slot, value)` and
+//! `scan() -> [values; n]` such that all operations are linearizable and
+//! wait-free. The construction stores, in each component register, a
+//! [`SnapRecord`]: the value, a per-writer sequence number, and an *embedded
+//! view* — a scan taken by the writer during its update. A scanner collects
+//! all components repeatedly; two identical consecutive collects yield a
+//! *direct* scan, and a writer observed to move twice yields a *borrowed*
+//! scan (its embedded view lies entirely within the scanner's interval).
+//!
+//! Both blocking ([`Snapshot::scan`], [`Snapshot::update`]) and poll-based
+//! ([`Snapshot::begin_scan`], [`Snapshot::begin_update`]) drivers are
+//! provided. Poll drivers perform **exactly one shared-memory operation per
+//! `step` call**, which is what lets `Altruistic-Deposit` interleave its two
+//! concurrent activities at event granularity as the paper prescribes.
+//!
+//! Each slot is single-writer: at most one process may call `update` on a
+//! given slot (the usual SWMR snapshot discipline). Scans may be invoked by
+//! anyone.
+
+use std::sync::Arc;
+
+use crate::{Ctx, RegAlloc, RegRange, SnapRecord, Step, Word};
+
+/// Outcome of driving a poll-based operation one shared-memory step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Poll<T> {
+    /// The operation completed with this result.
+    Ready(T),
+    /// More steps are needed.
+    Pending,
+}
+
+impl<T> Poll<T> {
+    /// Returns the result if ready.
+    pub fn ready(self) -> Option<T> {
+        match self {
+            Poll::Ready(v) => Some(v),
+            Poll::Pending => None,
+        }
+    }
+}
+
+/// An `n`-component wait-free atomic snapshot object laid out over `n`
+/// shared registers.
+///
+/// ```
+/// use exsel_shm::{Ctx, Pid, RegAlloc, Snapshot, ThreadedShm, Word};
+/// let mut alloc = RegAlloc::new();
+/// let snap = Snapshot::new(&mut alloc, 2);
+/// let mem = ThreadedShm::new(alloc.total(), 2);
+/// let ctx = Ctx::new(&mem, Pid(0));
+/// snap.update(ctx, 0, Word::Int(5))?;
+/// let view = snap.scan(ctx)?;
+/// assert_eq!(view[0], Word::Int(5));
+/// assert_eq!(view[1], Word::Null);
+/// # Ok::<(), exsel_shm::Crash>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    regs: RegRange,
+}
+
+impl Snapshot {
+    /// Reserves registers for an `n`-component snapshot object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(alloc: &mut RegAlloc, n: usize) -> Self {
+        assert!(n > 0, "snapshot object needs at least one component");
+        Snapshot {
+            regs: alloc.reserve(n),
+        }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn num_slots(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Registers used by this object (for register accounting).
+    #[must_use]
+    pub fn registers(&self) -> RegRange {
+        self.regs
+    }
+
+    fn read_record(&self, ctx: Ctx<'_>, slot: usize) -> Step<Arc<SnapRecord>> {
+        let w = ctx.read(self.regs.get(slot))?;
+        Ok(match w {
+            Word::Null => Arc::new(SnapRecord::initial(self.num_slots())),
+            Word::Snap(rec) => rec,
+            other => panic!("snapshot register holds non-snapshot word {other:?}"),
+        })
+    }
+
+    /// Starts a poll-based scan.
+    #[must_use]
+    pub fn begin_scan(&self) -> ScanOp {
+        ScanOp::new(self.num_slots())
+    }
+
+    /// Starts a poll-based update of `slot` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn begin_update(&self, slot: usize, value: Word) -> UpdateOp {
+        assert!(slot < self.num_slots(), "slot {slot} out of range");
+        UpdateOp {
+            slot,
+            value,
+            state: UpdateState::Scanning(self.begin_scan()),
+        }
+    }
+
+    /// Blocking wait-free scan: returns a linearizable view of all
+    /// components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Crash`] if the process crashes mid-operation.
+    pub fn scan(&self, ctx: Ctx<'_>) -> Step<Arc<[Word]>> {
+        let mut op = self.begin_scan();
+        loop {
+            if let Poll::Ready(view) = op.step(self, ctx)? {
+                return Ok(view);
+            }
+        }
+    }
+
+    /// Blocking wait-free update of `slot` to `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Crash`] if the process crashes mid-operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn update(&self, ctx: Ctx<'_>, slot: usize, value: Word) -> Step<()> {
+        let mut op = self.begin_update(slot, value);
+        loop {
+            if let Poll::Ready(()) = op.step(self, ctx)? {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// In-progress poll-based scan. Each [`ScanOp::step`] performs exactly one
+/// shared-memory read.
+#[derive(Clone, Debug)]
+pub struct ScanOp {
+    n: usize,
+    /// Sequence numbers seen in the previous complete collect.
+    prev_seq: Vec<u64>,
+    /// Whether at least one complete collect has finished.
+    have_prev: bool,
+    /// Records of the collect currently in progress.
+    cur: Vec<Option<Arc<SnapRecord>>>,
+    /// Next slot to read in the current collect.
+    idx: usize,
+    /// How many times each writer has been observed to move.
+    moved: Vec<u8>,
+}
+
+impl ScanOp {
+    fn new(n: usize) -> Self {
+        ScanOp {
+            n,
+            prev_seq: vec![0; n],
+            have_prev: false,
+            cur: vec![None; n],
+            idx: 0,
+            moved: vec![0; n],
+        }
+    }
+
+    /// Performs one shared-memory read; returns the view when the scan
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Crash`] if the process crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` is not the object this operation was started on
+    /// (detected by slot-count mismatch) or if called again after `Ready`.
+    pub fn step(&mut self, snap: &Snapshot, ctx: Ctx<'_>) -> Step<Poll<Arc<[Word]>>> {
+        assert_eq!(snap.num_slots(), self.n, "scan driven on a different object");
+        let rec = snap.read_record(ctx, self.idx)?;
+        self.cur[self.idx] = Some(rec);
+        self.idx += 1;
+        if self.idx < self.n {
+            return Ok(Poll::Pending);
+        }
+
+        // A collect just completed.
+        let cur_seq: Vec<u64> = self
+            .cur
+            .iter()
+            .map(|r| r.as_ref().expect("collect slot filled").seq)
+            .collect();
+        if self.have_prev {
+            if cur_seq == self.prev_seq {
+                // Two identical consecutive collects: direct scan.
+                let view: Vec<Word> = self
+                    .cur
+                    .iter()
+                    .map(|r| r.as_ref().expect("collect slot filled").value.clone())
+                    .collect();
+                return Ok(Poll::Ready(view.into()));
+            }
+            for (j, seq) in cur_seq.iter().enumerate() {
+                if *seq != self.prev_seq[j] {
+                    self.moved[j] = self.moved[j].saturating_add(1);
+                    if self.moved[j] >= 2 {
+                        // Writer j completed an entire update inside our
+                        // interval: borrow its embedded view.
+                        let rec = self.cur[j].as_ref().expect("collect slot filled");
+                        return Ok(Poll::Ready(rec.view.clone()));
+                    }
+                }
+            }
+        }
+        self.prev_seq = cur_seq;
+        self.have_prev = true;
+        self.idx = 0;
+        Ok(Poll::Pending)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum UpdateState {
+    Scanning(ScanOp),
+    ReadOwn { view: Arc<[Word]> },
+    Write(Arc<SnapRecord>),
+    Done,
+}
+
+/// In-progress poll-based update. Each [`UpdateOp::step`] performs exactly
+/// one shared-memory operation.
+#[derive(Clone, Debug)]
+pub struct UpdateOp {
+    slot: usize,
+    value: Word,
+    state: UpdateState,
+}
+
+impl UpdateOp {
+    /// Performs one shared-memory operation; returns `Ready` when the
+    /// update has been installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Crash`] if the process crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again after `Ready`.
+    pub fn step(&mut self, snap: &Snapshot, ctx: Ctx<'_>) -> Step<Poll<()>> {
+        match &mut self.state {
+            UpdateState::Scanning(scan) => {
+                if let Poll::Ready(view) = scan.step(snap, ctx)? {
+                    self.state = UpdateState::ReadOwn { view };
+                }
+                Ok(Poll::Pending)
+            }
+            UpdateState::ReadOwn { view } => {
+                // One read of our own register to learn our sequence number
+                // (each slot is single-writer, so no one else bumps it).
+                let own = snap.read_record(ctx, self.slot)?;
+                let rec = SnapRecord {
+                    seq: own.seq + 1,
+                    value: self.value.clone(),
+                    view: view.clone(),
+                };
+                self.state = UpdateState::Write(Arc::new(rec));
+                Ok(Poll::Pending)
+            }
+            UpdateState::Write(rec) => {
+                let rec = rec.clone();
+                ctx.write(snap.registers().get(self.slot), Word::Snap(rec))?;
+                self.state = UpdateState::Done;
+                Ok(Poll::Ready(()))
+            }
+            UpdateState::Done => panic!("update driven after completion"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pid, ThreadedShm};
+
+    fn setup(n_slots: usize, n_procs: usize) -> (Snapshot, ThreadedShm) {
+        let mut alloc = RegAlloc::new();
+        let snap = Snapshot::new(&mut alloc, n_slots);
+        let mem = ThreadedShm::new(alloc.total(), n_procs);
+        (snap, mem)
+    }
+
+    #[test]
+    fn empty_scan_is_all_null() {
+        let (snap, mem) = setup(3, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let view = snap.scan(ctx).unwrap();
+        assert_eq!(view.len(), 3);
+        assert!(view.iter().all(Word::is_null));
+    }
+
+    #[test]
+    fn update_then_scan_sees_value() {
+        let (snap, mem) = setup(2, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        snap.update(ctx, 1, Word::Int(9)).unwrap();
+        let view = snap.scan(ctx).unwrap();
+        assert_eq!(view[0], Word::Null);
+        assert_eq!(view[1], Word::Int(9));
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let (snap, mem) = setup(1, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        for i in 0..5 {
+            snap.update(ctx, 0, Word::Int(i)).unwrap();
+        }
+        let rec = ctx.read(snap.registers().get(0)).unwrap();
+        assert_eq!(rec.as_snap().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn scans_are_comparable_under_concurrency() {
+        // The defining property of an atomic snapshot: all returned views
+        // are totally ordered componentwise (each component's values are
+        // monotone per writer).
+        const PROCS: usize = 4;
+        const OPS: u64 = 60;
+        let (snap, mem) = setup(PROCS, PROCS);
+        let views: Vec<Vec<Vec<u64>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..PROCS)
+                .map(|p| {
+                    let snap = &snap;
+                    let mem = &mem;
+                    s.spawn(move || {
+                        let ctx = Ctx::new(mem, Pid(p));
+                        let mut out = Vec::new();
+                        for i in 1..=OPS {
+                            snap.update(ctx, p, Word::Int(i)).unwrap();
+                            let view = snap.scan(ctx).unwrap();
+                            out.push(
+                                view.iter()
+                                    .map(|w| w.as_int().unwrap_or(0))
+                                    .collect::<Vec<u64>>(),
+                            );
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<Vec<u64>> = views.into_iter().flatten().collect();
+        all.sort();
+        for pair in all.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(
+                a.iter().zip(b).all(|(x, y)| x <= y),
+                "views not comparable: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_includes_own_completed_update() {
+        let (snap, mem) = setup(2, 2);
+        std::thread::scope(|s| {
+            for p in 0..2 {
+                let snap = &snap;
+                let mem = &mem;
+                s.spawn(move || {
+                    let ctx = Ctx::new(mem, Pid(p));
+                    for i in 1..=40u64 {
+                        snap.update(ctx, p, Word::Int(i)).unwrap();
+                        let view = snap.scan(ctx).unwrap();
+                        let mine = view[p].as_int().unwrap();
+                        assert!(mine >= i, "scan missed own update: {mine} < {i}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poll_scan_one_op_per_step() {
+        let (snap, mem) = setup(3, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut op = snap.begin_scan();
+        let mut steps = 0;
+        loop {
+            let before = ctx.steps();
+            let poll = op.step(&snap, ctx).unwrap();
+            assert_eq!(ctx.steps(), before + 1, "exactly one shm op per step call");
+            steps += 1;
+            if poll.ready().is_some() {
+                break;
+            }
+        }
+        // Quiescent scan: exactly two collects of 3 reads each.
+        assert_eq!(steps, 6);
+    }
+
+    #[test]
+    fn poll_update_one_op_per_step() {
+        let (snap, mem) = setup(2, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut op = snap.begin_update(0, Word::Int(3));
+        loop {
+            let before = ctx.steps();
+            let poll = op.step(&snap, ctx).unwrap();
+            assert_eq!(ctx.steps(), before + 1);
+            if poll.ready().is_some() {
+                break;
+            }
+        }
+        let view = snap.scan(ctx).unwrap();
+        assert_eq!(view[0], Word::Int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 5 out of range")]
+    fn update_slot_out_of_range() {
+        let (snap, _mem) = setup(2, 1);
+        let _ = snap.begin_update(5, Word::Null);
+    }
+
+    #[test]
+    fn crash_mid_scan_propagates() {
+        let (snap, mem) = setup(2, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        mem.crash(Pid(0));
+        assert!(snap.scan(ctx).is_err());
+        assert!(snap.update(ctx, 0, Word::Int(1)).is_err());
+    }
+}

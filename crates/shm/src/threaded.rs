@@ -1,0 +1,200 @@
+//! Real-concurrency shared memory for OS threads.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::{Crash, Memory, Pid, RegId, Step, Word};
+
+/// Shared memory backed by one linearizable multi-reader multi-writer
+/// register per cell, for running algorithms on real OS threads (benches,
+/// examples). Each register is a `parking_lot::RwLock<Word>`; a lock-held
+/// read or write of a single cell is an atomic register operation.
+///
+/// Crash injection: [`ThreadedShm::crash`] marks a process crashed; its next
+/// operation returns [`Crash`] and the algorithm unwinds.
+///
+/// ```
+/// use exsel_shm::{Ctx, Memory, Pid, RegId, ThreadedShm, Word};
+/// let mem = ThreadedShm::new(8, 2);
+/// std::thread::scope(|s| {
+///     s.spawn(|| Ctx::new(&mem, Pid(0)).write(RegId(0), 1u64));
+///     s.spawn(|| Ctx::new(&mem, Pid(1)).write(RegId(1), 2u64));
+/// });
+/// assert_eq!(mem.read(Pid(0), RegId(1)).unwrap(), Word::Int(2));
+/// ```
+pub struct ThreadedShm {
+    regs: Vec<RwLock<Word>>,
+    steps: Vec<AtomicU64>,
+    crashed: Vec<AtomicBool>,
+    /// Step index at which the process's next operation crashes
+    /// (`u64::MAX` = never).
+    crash_at: Vec<AtomicU64>,
+}
+
+impl ThreadedShm {
+    /// Creates a memory with `num_registers` registers (all `Null`) serving
+    /// `num_processes` processes.
+    #[must_use]
+    pub fn new(num_registers: usize, num_processes: usize) -> Self {
+        ThreadedShm {
+            regs: (0..num_registers).map(|_| RwLock::new(Word::Null)).collect(),
+            steps: (0..num_processes).map(|_| AtomicU64::new(0)).collect(),
+            crashed: (0..num_processes).map(|_| AtomicBool::new(false)).collect(),
+            crash_at: (0..num_processes)
+                .map(|_| AtomicU64::new(u64::MAX))
+                .collect(),
+        }
+    }
+
+    /// Crashes process `pid`: every subsequent operation by it fails.
+    pub fn crash(&self, pid: Pid) {
+        self.crashed[pid.0].store(true, Ordering::SeqCst);
+    }
+
+    /// Schedules a deterministic crash: `pid`'s operation number `step`
+    /// (0-based local step index) and everything after it fail. Used to
+    /// "freeze" a process at an exact point of an algorithm (e.g. between
+    /// a repository reservation and its write — Corollary 2's
+    /// construction).
+    pub fn crash_at_step(&self, pid: Pid, step: u64) {
+        self.crash_at[pid.0].store(step, Ordering::SeqCst);
+    }
+
+    /// Whether `pid` has been crashed.
+    #[must_use]
+    pub fn is_crashed(&self, pid: Pid) -> bool {
+        self.crashed[pid.0].load(Ordering::SeqCst)
+    }
+
+    /// Maximum local steps over all processes.
+    #[must_use]
+    pub fn max_steps(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total local steps over all processes.
+    #[must_use]
+    pub fn total_steps(&self) -> u64 {
+        self.steps.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
+    fn charge(&self, pid: Pid) -> Step<()> {
+        if self.crashed[pid.0].load(Ordering::SeqCst) {
+            return Err(Crash);
+        }
+        if self.steps[pid.0].load(Ordering::Relaxed) >= self.crash_at[pid.0].load(Ordering::SeqCst)
+        {
+            self.crashed[pid.0].store(true, Ordering::SeqCst);
+            return Err(Crash);
+        }
+        self.steps[pid.0].fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl Memory for ThreadedShm {
+    fn read(&self, pid: Pid, reg: RegId) -> Step<Word> {
+        self.charge(pid)?;
+        Ok(self.regs[reg.0].read().clone())
+    }
+
+    fn write(&self, pid: Pid, reg: RegId, word: Word) -> Step<()> {
+        self.charge(pid)?;
+        *self.regs[reg.0].write() = word;
+        Ok(())
+    }
+
+    fn num_registers(&self) -> usize {
+        self.regs.len()
+    }
+
+    fn num_processes(&self) -> usize {
+        self.steps.len()
+    }
+
+    fn steps(&self, pid: Pid) -> u64 {
+        self.steps[pid.0].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mem = ThreadedShm::new(2, 1);
+        mem.write(Pid(0), RegId(1), Word::Pair(1, 2)).unwrap();
+        assert_eq!(mem.read(Pid(0), RegId(1)).unwrap(), Word::Pair(1, 2));
+        assert_eq!(mem.read(Pid(0), RegId(0)).unwrap(), Word::Null);
+    }
+
+    #[test]
+    fn crash_stops_process() {
+        let mem = ThreadedShm::new(1, 2);
+        mem.write(Pid(0), RegId(0), Word::Int(1)).unwrap();
+        mem.crash(Pid(0));
+        assert!(mem.is_crashed(Pid(0)));
+        assert_eq!(mem.read(Pid(0), RegId(0)), Err(Crash));
+        assert_eq!(mem.write(Pid(0), RegId(0), Word::Int(2)), Err(Crash));
+        // Other processes are unaffected, and the pre-crash write persists.
+        assert_eq!(mem.read(Pid(1), RegId(0)).unwrap(), Word::Int(1));
+    }
+
+    #[test]
+    fn crashed_ops_are_not_charged() {
+        let mem = ThreadedShm::new(1, 1);
+        mem.write(Pid(0), RegId(0), Word::Int(1)).unwrap();
+        mem.crash(Pid(0));
+        let _ = mem.read(Pid(0), RegId(0));
+        assert_eq!(mem.steps(Pid(0)), 1);
+    }
+
+    #[test]
+    fn step_aggregates() {
+        let mem = ThreadedShm::new(1, 3);
+        for _ in 0..3 {
+            mem.read(Pid(0), RegId(0)).unwrap();
+        }
+        mem.read(Pid(2), RegId(0)).unwrap();
+        assert_eq!(mem.max_steps(), 3);
+        assert_eq!(mem.total_steps(), 4);
+        assert_eq!(mem.num_registers(), 1);
+        assert_eq!(mem.num_processes(), 3);
+    }
+
+    #[test]
+    fn crash_at_step_is_deterministic() {
+        let mem = ThreadedShm::new(1, 1);
+        mem.crash_at_step(Pid(0), 3);
+        for _ in 0..3 {
+            mem.read(Pid(0), RegId(0)).unwrap();
+        }
+        assert_eq!(mem.read(Pid(0), RegId(0)), Err(Crash));
+        assert!(mem.is_crashed(Pid(0)));
+        assert_eq!(mem.steps(Pid(0)), 3);
+    }
+
+    #[test]
+    fn concurrent_writers_linearize() {
+        let mem = ThreadedShm::new(1, 8);
+        std::thread::scope(|s| {
+            for p in 0..8 {
+                let mem = &mem;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        mem.write(Pid(p), RegId(0), Word::Pair(p as u64, i)).unwrap();
+                        let w = mem.read(Pid(p), RegId(0)).unwrap();
+                        // Whatever we read is a complete pair some process wrote.
+                        assert!(w.as_pair().is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.total_steps(), 8 * 200);
+    }
+}

@@ -1,0 +1,207 @@
+//! Register contents.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The value stored in one shared register.
+///
+/// The paper assumes "an auxiliary shared register can store one integer of
+/// arbitrary magnitude". [`Word::Int`] and [`Word::Pair`] cover the integer
+/// payloads used by the renaming and store&collect algorithms, and
+/// [`Word::Snap`] holds an atomic-snapshot record (sequence number, value,
+/// embedded view) in a single register as the snapshot construction of Afek
+/// et al. requires. `Null` is the distinguished initial value.
+///
+/// ```
+/// use exsel_shm::Word;
+/// let w = Word::from(3u64);
+/// assert_eq!(w.as_int(), Some(3));
+/// assert!(Word::Null.is_null());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Word {
+    /// Initial "empty" register contents.
+    #[default]
+    Null,
+    /// One unsigned integer.
+    Int(u64),
+    /// Two unsigned integers (e.g. `(owner token, payload)`).
+    Pair(u64, u64),
+    /// An atomic-snapshot record.
+    Snap(Arc<SnapRecord>),
+}
+
+impl Word {
+    /// Returns `true` for the initial [`Word::Null`] value.
+    ///
+    /// ```
+    /// # use exsel_shm::Word;
+    /// assert!(Word::Null.is_null());
+    /// assert!(!Word::Int(0).is_null());
+    /// ```
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Word::Null)
+    }
+
+    /// The integer payload, if this word is an [`Word::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Word::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The pair payload, if this word is a [`Word::Pair`].
+    #[must_use]
+    pub fn as_pair(&self) -> Option<(u64, u64)> {
+        match self {
+            Word::Pair(a, b) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// The snapshot record, if this word is a [`Word::Snap`].
+    #[must_use]
+    pub fn as_snap(&self) -> Option<&Arc<SnapRecord>> {
+        match self {
+            Word::Snap(rec) => Some(rec),
+            _ => None,
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not an [`Word::Int`]. Algorithms use this only
+    /// on registers whose type discipline they control.
+    #[must_use]
+    #[track_caller]
+    pub fn expect_int(&self) -> u64 {
+        self.as_int()
+            .unwrap_or_else(|| panic!("register holds {self:?}, expected Int"))
+    }
+}
+
+impl From<u64> for Word {
+    fn from(v: u64) -> Self {
+        Word::Int(v)
+    }
+}
+
+impl From<(u64, u64)> for Word {
+    fn from((a, b): (u64, u64)) -> Self {
+        Word::Pair(a, b)
+    }
+}
+
+impl From<Option<u64>> for Word {
+    fn from(v: Option<u64>) -> Self {
+        match v {
+            Some(v) => Word::Int(v),
+            None => Word::Null,
+        }
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Word::Null => write!(f, "⊥"),
+            Word::Int(v) => write!(f, "{v}"),
+            Word::Pair(a, b) => write!(f, "({a},{b})"),
+            Word::Snap(rec) => write!(f, "snap#{}", rec.seq),
+        }
+    }
+}
+
+/// One component of the atomic-snapshot object: a sequence number, the
+/// current value of the component, and the *embedded view* — a snapshot
+/// taken by the writer during its update, which concurrent scanners may
+/// borrow (Afek et al., JACM 1993).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapRecord {
+    /// Per-writer sequence number, strictly increasing across updates.
+    pub seq: u64,
+    /// The component value installed by the update.
+    pub value: Word,
+    /// The view embedded by the writer (one entry per component).
+    pub view: Arc<[Word]>,
+}
+
+impl SnapRecord {
+    /// The record representing a never-written component of an `n`-slot
+    /// snapshot object.
+    #[must_use]
+    pub fn initial(n: usize) -> Self {
+        SnapRecord {
+            seq: 0,
+            value: Word::Null,
+            view: vec![Word::Null; n].into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Word::default(), Word::Null);
+        assert!(Word::default().is_null());
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        assert_eq!(Word::Int(5).as_int(), Some(5));
+        assert_eq!(Word::Pair(1, 2).as_pair(), Some((1, 2)));
+        assert_eq!(Word::Null.as_int(), None);
+        assert_eq!(Word::Int(5).as_pair(), None);
+        let rec = Arc::new(SnapRecord::initial(2));
+        assert_eq!(Word::Snap(rec.clone()).as_snap(), Some(&rec));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Word::from(9u64), Word::Int(9));
+        assert_eq!(Word::from((3u64, 4u64)), Word::Pair(3, 4));
+        assert_eq!(Word::from(Some(1u64)), Word::Int(1));
+        assert_eq!(Word::from(None::<u64>), Word::Null);
+    }
+
+    #[test]
+    fn expect_int_ok() {
+        assert_eq!(Word::Int(11).expect_int(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn expect_int_panics_on_null() {
+        let _ = Word::Null.expect_int();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Word::Null.to_string(), "⊥");
+        assert_eq!(Word::Int(7).to_string(), "7");
+        assert_eq!(Word::Pair(1, 2).to_string(), "(1,2)");
+        let rec = Arc::new(SnapRecord {
+            seq: 3,
+            value: Word::Int(0),
+            view: vec![].into(),
+        });
+        assert_eq!(Word::Snap(rec).to_string(), "snap#3");
+    }
+
+    #[test]
+    fn initial_record_shape() {
+        let rec = SnapRecord::initial(3);
+        assert_eq!(rec.seq, 0);
+        assert!(rec.value.is_null());
+        assert_eq!(rec.view.len(), 3);
+        assert!(rec.view.iter().all(Word::is_null));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests of the register-word type and allocator arithmetic.
+
+use exsel_shm::{RegAlloc, SnapRecord, Word};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn word_strategy() -> impl Strategy<Value = Word> {
+    prop_oneof![
+        Just(Word::Null),
+        any::<u64>().prop_map(Word::Int),
+        (any::<u64>(), any::<u64>()).prop_map(|(a, b)| Word::Pair(a, b)),
+        (any::<u64>(), any::<u64>()).prop_map(|(seq, v)| {
+            Word::Snap(Arc::new(SnapRecord {
+                seq,
+                value: Word::Int(v),
+                view: vec![Word::Null].into(),
+            }))
+        }),
+    ]
+}
+
+proptest! {
+    /// Accessors are mutually exclusive and total: exactly one of the
+    /// shape predicates matches any word.
+    #[test]
+    fn accessors_partition(w in word_strategy()) {
+        let shapes = [
+            w.is_null(),
+            w.as_int().is_some(),
+            w.as_pair().is_some(),
+            w.as_snap().is_some(),
+        ];
+        prop_assert_eq!(shapes.iter().filter(|&&s| s).count(), 1);
+    }
+
+    /// Round-trips through From are lossless.
+    #[test]
+    fn from_roundtrips(v in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(Word::from(v).as_int(), Some(v));
+        prop_assert_eq!(Word::from((a, b)).as_pair(), Some((a, b)));
+        prop_assert_eq!(Word::from(Some(v)).as_int(), Some(v));
+        prop_assert!(Word::from(None::<u64>).is_null());
+    }
+
+    /// Clone/eq are structural.
+    #[test]
+    fn clone_eq(w in word_strategy()) {
+        prop_assert_eq!(w.clone(), w);
+    }
+
+    /// Allocator: consecutive reservations tile the index space exactly.
+    #[test]
+    fn alloc_tiles_exactly(sizes in prop::collection::vec(0usize..50, 1..20)) {
+        let mut alloc = RegAlloc::new();
+        let ranges: Vec<_> = sizes.iter().map(|&s| alloc.reserve(s)).collect();
+        let total: usize = sizes.iter().sum();
+        prop_assert_eq!(alloc.total(), total);
+        let mut seen = vec![false; total];
+        for r in &ranges {
+            for id in r.iter() {
+                prop_assert!(!seen[id.0], "register allocated twice");
+                seen[id.0] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "gap in allocation");
+    }
+
+    /// split_at preserves content and boundaries.
+    #[test]
+    fn split_preserves(len in 0usize..40, at_frac in 0.0f64..=1.0) {
+        let mut alloc = RegAlloc::new();
+        alloc.reserve(3); // offset so starts are nonzero
+        let r = alloc.reserve(len);
+        let at = (len as f64 * at_frac) as usize;
+        let (a, b) = r.split_at(at);
+        let joined: Vec<_> = a.iter().chain(b.iter()).collect();
+        let original: Vec<_> = r.iter().collect();
+        prop_assert_eq!(joined, original);
+    }
+}

@@ -1,0 +1,245 @@
+//! Exhaustive schedule exploration — stateless model checking for small
+//! programs.
+//!
+//! Because lock-step executions are a pure function of the grant
+//! sequence, the complete schedule space of a (small, deterministic,
+//! crash-free) program is a tree: each node is a scheduling decision, its
+//! branches the processes pending there. [`explore`] walks that tree
+//! depth-first by replaying prefixes — every leaf is one complete
+//! execution handed to the caller's checker. This is the `loom` role in
+//! this stack (see DESIGN.md substitutions): exhaustive verification of
+//! the fine-grained primitives (`Compete-For-Register`, splitters,
+//! snapshot) at small sizes, complementing seeded-random exploration at
+//! large ones.
+//!
+//! The state space is exponential in the total operation count; intended
+//! for programs of ≤ ~15 total operations (hundreds of thousands of
+//! executions). `max_executions` truncates the walk gracefully.
+//!
+//! ```
+//! use exsel_shm::{RegAlloc, Word};
+//! use exsel_sim::explore;
+//!
+//! let mut alloc = RegAlloc::new();
+//! let bank = alloc.reserve(1);
+//! // Two writers + readback: every interleaving sees *some* write.
+//! let report = explore(alloc.total(), 2, 10_000, |ctx| {
+//!     ctx.write(bank.get(0), ctx.pid().0 as u64)?;
+//!     ctx.read(bank.get(0))
+//! }, |outcome| {
+//!     for r in &outcome.results {
+//!         assert!(r.as_ref().unwrap().as_int().is_some());
+//!     }
+//! });
+//! assert!(report.complete);
+//! assert_eq!(report.executions, 6); // interleavings of (W0 R0 | W1 R1)
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use exsel_shm::{Ctx, Pid, Step};
+
+use crate::policy::{Action, PendingOp, Policy};
+use crate::runner::{SimBuilder, SimOutcome};
+
+/// Outcome of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Complete executions checked.
+    pub executions: u64,
+    /// Whether the whole schedule tree was covered (false if
+    /// `max_executions` truncated the walk).
+    pub complete: bool,
+    /// The deepest decision point seen (total operations of the longest
+    /// execution).
+    pub max_depth: usize,
+}
+
+/// Shared between the driver and the policy instances it plants in each
+/// run: the prefix of branch choices to replay, and the branching degree
+/// observed at every decision of the last run.
+#[derive(Debug, Default)]
+struct Cursor {
+    /// Branch index to take at decision `i`.
+    prefix: Vec<usize>,
+    /// Number of pending processes observed at decision `i` in the last
+    /// run (its branching degree).
+    degrees: Vec<usize>,
+}
+
+struct ExplorerPolicy {
+    cursor: Arc<Mutex<Cursor>>,
+    depth: usize,
+}
+
+impl Policy for ExplorerPolicy {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        let mut cur = self.cursor.lock().expect("cursor lock");
+        let choice = if self.depth < cur.prefix.len() {
+            cur.prefix[self.depth]
+        } else {
+            cur.prefix.push(0);
+            0
+        };
+        if self.depth < cur.degrees.len() {
+            cur.degrees[self.depth] = pending.len();
+        } else {
+            cur.degrees.push(pending.len());
+        }
+        let pid = pending[choice.min(pending.len() - 1)].pid;
+        self.depth += 1;
+        Action::Grant(pid)
+    }
+}
+
+/// Runs `body` on `num_procs` simulated processes under **every**
+/// schedule (up to `max_executions`), invoking `check` on each complete
+/// execution. `check` signals violations by panicking (e.g. with
+/// `assert!`), which surfaces with the standard test machinery.
+///
+/// `body` must be deterministic given the schedule (no randomness keyed
+/// off anything but `ctx.pid()` and register contents).
+///
+/// # Panics
+///
+/// Propagates panics from `body` and `check`.
+pub fn explore<T, F, C>(
+    num_registers: usize,
+    num_procs: usize,
+    max_executions: u64,
+    body: F,
+    check: C,
+) -> ExploreReport
+where
+    T: Send,
+    F: Fn(Ctx<'_>) -> Step<T> + Sync,
+    C: Fn(&SimOutcome<T>),
+{
+    let cursor = Arc::new(Mutex::new(Cursor::default()));
+    let mut executions = 0;
+    let mut max_depth = 0;
+    loop {
+        if executions >= max_executions {
+            return ExploreReport {
+                executions,
+                complete: false,
+                max_depth,
+            };
+        }
+        // One run following the current prefix (0-extended past its end).
+        let policy = ExplorerPolicy {
+            cursor: Arc::clone(&cursor),
+            depth: 0,
+        };
+        let outcome = SimBuilder::new(num_registers, Box::new(policy)).run(num_procs, &body);
+        executions += 1;
+        check(&outcome);
+
+        // Advance the odometer: find the deepest decision with an untried
+        // branch, increment it, truncate everything below.
+        let mut cur = cursor.lock().expect("cursor lock");
+        max_depth = max_depth.max(cur.prefix.len());
+        let mut next = None;
+        for i in (0..cur.prefix.len()).rev() {
+            if cur.prefix[i] + 1 < cur.degrees[i] {
+                next = Some(i);
+                break;
+            }
+        }
+        match next {
+            Some(i) => {
+                cur.prefix[i] += 1;
+                cur.prefix.truncate(i + 1);
+                cur.degrees.truncate(i + 1);
+            }
+            None => {
+                return ExploreReport {
+                    executions,
+                    complete: true,
+                    max_depth,
+                };
+            }
+        }
+    }
+}
+
+/// Convenience: pids of processes, for checkers that need them.
+#[must_use]
+pub fn all_pids(n: usize) -> Vec<Pid> {
+    (0..n).map(Pid).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::{RegAlloc, Word};
+
+    #[test]
+    fn counts_interleavings_of_independent_ops() {
+        // Two processes, one op each: exactly C(2,1) = 2 schedules.
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(2);
+        let report = explore(alloc.total(), 2, 100, |ctx| {
+            ctx.write(bank.get(ctx.pid().0), 1u64)
+        }, |outcome| {
+            assert!(outcome.results.iter().all(Result::is_ok));
+        });
+        assert!(report.complete);
+        assert_eq!(report.executions, 2);
+        assert_eq!(report.max_depth, 2);
+    }
+
+    #[test]
+    fn counts_interleavings_two_ops_each() {
+        // Two processes, two ops each: C(4,2) = 6 schedules.
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let report = explore(alloc.total(), 2, 100, |ctx| {
+            ctx.write(bank.get(0), ctx.pid().0 as u64)?;
+            ctx.read(bank.get(0))
+        }, |_| {});
+        assert!(report.complete);
+        assert_eq!(report.executions, 6);
+    }
+
+    #[test]
+    fn finds_the_racy_interleaving() {
+        // Classic lost-update shape: read-modify-write without atomicity.
+        // Exploration must witness an execution where both processes read
+        // 0 (the race), proving coverage beats luck.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let saw_race = AtomicBool::new(false);
+        let report = explore(alloc.total(), 2, 1000, |ctx| {
+            let v = ctx.read(bank.get(0))?.as_int().unwrap_or(0);
+            ctx.write(bank.get(0), v + 1)?;
+            Ok(v)
+        }, |outcome| {
+            let reads: Vec<u64> = outcome.results.iter().map(|r| *r.as_ref().unwrap()).collect();
+            if reads == [0, 0] {
+                saw_race.store(true, Ordering::SeqCst);
+            }
+        });
+        assert!(report.complete);
+        assert!(saw_race.load(Ordering::SeqCst), "exploration missed the race");
+    }
+
+    #[test]
+    fn truncation_reports_incomplete() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let report = explore(alloc.total(), 3, 4, |ctx| {
+            ctx.write(bank.get(0), 1u64)?;
+            ctx.read(bank.get(0))?;
+            ctx.write(bank.get(0), Word::Null)
+        }, |_| {});
+        assert!(!report.complete);
+        assert_eq!(report.executions, 4);
+    }
+
+    #[test]
+    fn all_pids_helper() {
+        assert_eq!(all_pids(3), vec![Pid(0), Pid(1), Pid(2)]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic asynchronous execution of shared-memory algorithms.
+//!
+//! The paper's adversary controls the interleaving of processes' local steps
+//! and may crash any of them at any point. This crate realizes that
+//! adversary executably: each simulated process runs on its own OS thread,
+//! but every shared-memory operation must first be *granted* by a
+//! [`Policy`]. The scheduler runs in **lock-step**: the policy is consulted
+//! only when every live process has an operation pending, so — because the
+//! policy then sees the complete set of enabled operations — executions are
+//! fully deterministic given the policy (and any seed it embeds).
+//!
+//! Lock-step does not restrict the reachable interleavings: any sequence of
+//! operations can be produced by granting accordingly, including fully
+//! sequential ("solo") executions and starvation of arbitrary subsets,
+//! which is how wait-freedom is exercised. Crashes are [`Action::Crash`]
+//! decisions; the victim's pending operation fails with
+//! [`exsel_shm::Crash`] and the algorithm unwinds.
+//!
+//! The pending set exposes `(pid, read/write, register)` *before* the grant
+//! — exactly the information the pigeonhole adversary of Theorem 6 needs
+//! (see the `exsel-lowerbound` crate).
+//!
+//! # Example
+//!
+//! ```
+//! use exsel_shm::{RegAlloc, Word};
+//! use exsel_sim::{policy::RoundRobin, SimBuilder};
+//!
+//! let mut alloc = RegAlloc::new();
+//! let bank = alloc.reserve(1);
+//! let outcome = SimBuilder::new(alloc.total(), Box::new(RoundRobin::new()))
+//!     .run(3, |ctx| {
+//!         ctx.write(bank.get(0), ctx.pid().0 as u64)?;
+//!         ctx.read(bank.get(0))
+//!     });
+//! // Round-robin is deterministic: the interleaving is W0 W1 W2 R0 R1 R2,
+//! // so every process reads process 2's write.
+//! for r in &outcome.results {
+//!     assert_eq!(*r.as_ref().unwrap(), Word::Int(2));
+//! }
+//! assert_eq!(outcome.steps, vec![2, 2, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod policy;
+mod runner;
+mod sched;
+pub mod trace_view;
+
+pub use explore::{explore, ExploreReport};
+pub use policy::{Action, PendingOp, Policy};
+pub use runner::{SimBuilder, SimOutcome};
+pub use sched::SimMemory;

@@ -1,0 +1,352 @@
+//! Scheduling policies: the executable adversary.
+
+use exsel_shm::{OpKind, Pid, RegId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One enabled shared-memory operation, exposed to the policy before it is
+/// granted. This is the adversary's view of the configuration: *who* wants
+/// to do *what* to *which* register — but not the value involved, matching
+/// the information the pigeonhole adversary of Theorem 6 uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PendingOp {
+    /// The process wanting to take a step.
+    pub pid: Pid,
+    /// Read or write.
+    pub kind: OpKind,
+    /// The target register.
+    pub reg: RegId,
+    /// How many local steps the process has already taken.
+    pub step_index: u64,
+}
+
+/// The adversary's decision at a scheduling point.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Let this process perform its pending operation.
+    Grant(Pid),
+    /// Crash this process; its pending operation fails and it takes no
+    /// further steps.
+    Crash(Pid),
+}
+
+/// A scheduling policy — the executable form of the paper's asynchronous
+/// adversary. `decide` is called whenever every live process has an
+/// operation pending (`pending` is nonempty and sorted by pid) and must
+/// name one of them.
+pub trait Policy: Send {
+    /// Chooses the next action given all enabled operations.
+    fn decide(&mut self, pending: &[PendingOp]) -> Action;
+}
+
+/// Grants processes cyclically in pid order — the "fair" schedule.
+///
+/// ```
+/// use exsel_sim::policy::{Policy, RoundRobin};
+/// # use exsel_sim::policy::{Action, PendingOp};
+/// # use exsel_shm::{OpKind, Pid, RegId};
+/// let mut p = RoundRobin::new();
+/// let pending = [
+///     PendingOp { pid: Pid(0), kind: OpKind::Read, reg: RegId(0), step_index: 0 },
+///     PendingOp { pid: Pid(2), kind: OpKind::Read, reg: RegId(0), step_index: 0 },
+/// ];
+/// assert_eq!(p.decide(&pending), Action::Grant(Pid(0)));
+/// assert_eq!(p.decide(&pending), Action::Grant(Pid(2)));
+/// assert_eq!(p.decide(&pending), Action::Grant(Pid(0)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin policy starting at pid 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for RoundRobin {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        let chosen = pending
+            .iter()
+            .find(|op| op.pid.0 >= self.cursor)
+            .unwrap_or(&pending[0]);
+        self.cursor = chosen.pid.0 + 1;
+        Action::Grant(chosen.pid)
+    }
+}
+
+/// Grants a uniformly random pending process, reproducibly from a seed.
+/// Thousands of seeds give systematic interleaving coverage — our stand-in
+/// for `loom`-style exploration at this scale of state space.
+#[derive(Clone, Debug)]
+pub struct RandomPolicy {
+    rng: SmallRng,
+}
+
+impl RandomPolicy {
+    /// Creates a random policy from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        Action::Grant(pending[self.rng.gen_range(0..pending.len())].pid)
+    }
+}
+
+/// Runs one distinguished process to completion while everyone else is
+/// suspended, then falls back to round-robin. A wait-free operation must
+/// complete under this policy — it models "all other processes have
+/// crashed" without actually crashing them.
+#[derive(Clone, Debug)]
+pub struct Solo {
+    hero: Pid,
+    fallback: RoundRobin,
+}
+
+impl Solo {
+    /// Creates a solo policy favouring `hero`.
+    #[must_use]
+    pub fn new(hero: Pid) -> Self {
+        Solo {
+            hero,
+            fallback: RoundRobin::new(),
+        }
+    }
+}
+
+impl Policy for Solo {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        if pending.iter().any(|op| op.pid == self.hero) {
+            Action::Grant(self.hero)
+        } else {
+            self.fallback.decide(pending)
+        }
+    }
+}
+
+/// Wraps another policy and crashes processes at random decision points,
+/// up to a budget — the "crash storm" adversary. With `max_crashes = n-1`
+/// it exercises the maximum failure pattern the model allows.
+pub struct CrashStorm {
+    inner: Box<dyn Policy>,
+    rng: SmallRng,
+    crash_probability: f64,
+    remaining_crashes: usize,
+    /// Processes that must never be crashed (e.g. the one whose
+    /// wait-freedom is being verified).
+    protected: Vec<Pid>,
+}
+
+impl CrashStorm {
+    /// Wraps `inner`, crashing a random pending process with probability
+    /// `crash_probability` at each decision, at most `max_crashes` times.
+    #[must_use]
+    pub fn new(inner: Box<dyn Policy>, seed: u64, crash_probability: f64, max_crashes: usize) -> Self {
+        CrashStorm {
+            inner,
+            rng: SmallRng::seed_from_u64(seed),
+            crash_probability,
+            remaining_crashes: max_crashes,
+            protected: Vec::new(),
+        }
+    }
+
+    /// Marks processes that must never be crashed.
+    #[must_use]
+    pub fn protect(mut self, pids: impl IntoIterator<Item = Pid>) -> Self {
+        self.protected.extend(pids);
+        self
+    }
+}
+
+impl Policy for CrashStorm {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        if self.remaining_crashes > 0 && self.rng.gen_bool(self.crash_probability) {
+            let victims: Vec<Pid> = pending
+                .iter()
+                .map(|op| op.pid)
+                .filter(|pid| !self.protected.contains(pid))
+                .collect();
+            if !victims.is_empty() {
+                self.remaining_crashes -= 1;
+                return Action::Crash(victims[self.rng.gen_range(0..victims.len())]);
+            }
+        }
+        self.inner.decide(pending)
+    }
+}
+
+/// Wraps another policy and crashes one specific process exactly when it
+/// is about to take its `crash_at`-th local step (0-based). Used to place
+/// a crash at a precise point in an algorithm — e.g. freezing a depositor
+/// between its reservation and its write (Corollary 2's construction).
+pub struct CrashAtStep {
+    inner: Box<dyn Policy>,
+    victim: Pid,
+    crash_at: u64,
+    done: bool,
+}
+
+impl CrashAtStep {
+    /// Crashes `victim` when its pending operation would be local step
+    /// number `crash_at` (0-based), delegating to `inner` otherwise.
+    #[must_use]
+    pub fn new(inner: Box<dyn Policy>, victim: Pid, crash_at: u64) -> Self {
+        CrashAtStep {
+            inner,
+            victim,
+            crash_at,
+            done: false,
+        }
+    }
+}
+
+impl Policy for CrashAtStep {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        if !self.done {
+            if let Some(op) = pending.iter().find(|op| op.pid == self.victim) {
+                if op.step_index >= self.crash_at {
+                    self.done = true;
+                    return Action::Crash(self.victim);
+                }
+            }
+        }
+        // Avoid granting the victim past its crash point before the crash
+        // fires: prefer it while it is still before the point.
+        self.inner.decide(pending)
+    }
+}
+
+/// Replays a recorded schedule: grants processes in exactly the order of
+/// a trace captured with `SimBuilder::record_trace`, then falls back to
+/// round-robin once the script is exhausted. Replaying a deterministic
+/// program's own trace reproduces the execution bit-for-bit — the
+/// debugging workflow for any interleaving found by random exploration.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    script: std::collections::VecDeque<Pid>,
+    fallback: RoundRobin,
+    /// Grants that could not be honored because the scripted process was
+    /// not pending (the program under replay diverged from the recording).
+    diverged: usize,
+}
+
+impl Scripted {
+    /// A policy replaying the pids of `trace` in order.
+    #[must_use]
+    pub fn new(trace: impl IntoIterator<Item = Pid>) -> Self {
+        Scripted {
+            script: trace.into_iter().collect(),
+            fallback: RoundRobin::new(),
+            diverged: 0,
+        }
+    }
+
+    /// Builds the script from a recorded trace of operations.
+    #[must_use]
+    pub fn from_trace(trace: &[PendingOp]) -> Self {
+        Self::new(trace.iter().map(|op| op.pid))
+    }
+
+    /// How many scripted grants did not match a pending process.
+    #[must_use]
+    pub fn divergences(&self) -> usize {
+        self.diverged
+    }
+}
+
+impl Policy for Scripted {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        while let Some(pid) = self.script.pop_front() {
+            if pending.iter().any(|op| op.pid == pid) {
+                return Action::Grant(pid);
+            }
+            self.diverged += 1;
+        }
+        self.fallback.decide(pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(pid: usize, step: u64) -> PendingOp {
+        PendingOp {
+            pid: Pid(pid),
+            kind: OpKind::Read,
+            reg: RegId(0),
+            step_index: step,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobin::new();
+        let pending = [op(1, 0), op(3, 0), op(5, 0)];
+        assert_eq!(p.decide(&pending), Action::Grant(Pid(1)));
+        assert_eq!(p.decide(&pending), Action::Grant(Pid(3)));
+        assert_eq!(p.decide(&pending), Action::Grant(Pid(5)));
+        assert_eq!(p.decide(&pending), Action::Grant(Pid(1)));
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let pending: Vec<_> = (0..10).map(|i| op(i, 0)).collect();
+        let run = |seed| {
+            let mut p = RandomPolicy::new(seed);
+            (0..50).map(|_| p.decide(&pending)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn solo_prefers_hero() {
+        let mut p = Solo::new(Pid(2));
+        assert_eq!(p.decide(&[op(0, 0), op(2, 0)]), Action::Grant(Pid(2)));
+        assert_eq!(p.decide(&[op(0, 0), op(1, 0)]), Action::Grant(Pid(0)));
+    }
+
+    #[test]
+    fn crash_storm_respects_budget_and_protection() {
+        let mut p = CrashStorm::new(Box::new(RoundRobin::new()), 1, 1.0, 2).protect([Pid(0)]);
+        let pending = [op(0, 0), op(1, 0), op(2, 0), op(3, 0)];
+        let mut crashes = 0;
+        for _ in 0..10 {
+            if let Action::Crash(victim) = p.decide(&pending) {
+                assert_ne!(victim, Pid(0), "protected process crashed");
+                crashes += 1;
+            }
+        }
+        assert_eq!(crashes, 2);
+    }
+
+    #[test]
+    fn scripted_replays_and_falls_back() {
+        let mut p = Scripted::new([Pid(2), Pid(0), Pid(7)]);
+        let pending = [op(0, 0), op(2, 0)];
+        assert_eq!(p.decide(&pending), Action::Grant(Pid(2)));
+        assert_eq!(p.decide(&pending), Action::Grant(Pid(0)));
+        // Pid 7 is never pending: skipped, fallback takes over.
+        assert_eq!(p.decide(&pending), Action::Grant(Pid(0)));
+        assert_eq!(p.divergences(), 1);
+    }
+
+    #[test]
+    fn crash_at_step_fires_once_at_threshold() {
+        let mut p = CrashAtStep::new(Box::new(RoundRobin::new()), Pid(1), 3);
+        assert_eq!(p.decide(&[op(1, 2)]), Action::Grant(Pid(1)));
+        assert_eq!(p.decide(&[op(1, 3), op(2, 0)]), Action::Crash(Pid(1)));
+        assert_eq!(p.decide(&[op(2, 0)]), Action::Grant(Pid(2)));
+    }
+}

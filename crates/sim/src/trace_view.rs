@@ -1,0 +1,134 @@
+//! ASCII rendering of recorded schedules — the debugging view for
+//! interleavings found by random exploration or the adversary.
+
+use std::fmt::Write as _;
+
+use crate::policy::PendingOp;
+use exsel_shm::OpKind;
+
+/// Renders a recorded schedule as a per-process timeline: one row per
+/// process, one column per granted operation; `r<reg>`/`w<reg>` mark the
+/// operation, `.` marks "not scheduled".
+///
+/// ```
+/// use exsel_shm::{OpKind, Pid, RegId};
+/// use exsel_sim::policy::PendingOp;
+/// use exsel_sim::trace_view::render;
+///
+/// let trace = [
+///     PendingOp { pid: Pid(0), kind: OpKind::Write, reg: RegId(3), step_index: 0 },
+///     PendingOp { pid: Pid(1), kind: OpKind::Read, reg: RegId(3), step_index: 0 },
+/// ];
+/// let view = render(&trace);
+/// assert!(view.starts_with("p0 | w3"));
+/// assert!(view.contains("p1 |"));
+/// assert!(view.contains("r3"));
+/// ```
+#[must_use]
+pub fn render(trace: &[PendingOp]) -> String {
+    if trace.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let num_procs = trace.iter().map(|op| op.pid.0).max().unwrap_or(0) + 1;
+    let cells: Vec<String> = trace
+        .iter()
+        .map(|op| {
+            let k = match op.kind {
+                OpKind::Read => 'r',
+                OpKind::Write => 'w',
+            };
+            format!("{k}{}", op.reg.0)
+        })
+        .collect();
+    let width = cells.iter().map(String::len).max().unwrap_or(1).max(1);
+
+    let mut out = String::new();
+    for p in 0..num_procs {
+        let _ = write!(out, "p{p} |");
+        for (op, cell) in trace.iter().zip(&cells) {
+            if op.pid.0 == p {
+                let _ = write!(out, " {cell:^width$}");
+            } else {
+                let _ = write!(out, " {:^width$}", ".");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line summary of a schedule: totals per process and per kind.
+#[must_use]
+pub fn summarize(trace: &[PendingOp]) -> String {
+    let num_procs = trace.iter().map(|op| op.pid.0).max().map_or(0, |m| m + 1);
+    let reads = trace.iter().filter(|op| op.kind == OpKind::Read).count();
+    let writes = trace.len() - reads;
+    let mut per_proc = vec![0usize; num_procs];
+    for op in trace {
+        per_proc[op.pid.0] += 1;
+    }
+    format!(
+        "{} ops ({reads} reads, {writes} writes) across {num_procs} processes; per-process {per_proc:?}",
+        trace.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::{Pid, RegId};
+
+    fn op(pid: usize, kind: OpKind, reg: usize) -> PendingOp {
+        PendingOp {
+            pid: Pid(pid),
+            kind,
+            reg: RegId(reg),
+            step_index: 0,
+        }
+    }
+
+    #[test]
+    fn renders_rows_per_process() {
+        let trace = [
+            op(0, OpKind::Write, 0),
+            op(1, OpKind::Read, 0),
+            op(0, OpKind::Read, 1),
+        ];
+        let view = render(&trace);
+        let lines: Vec<&str> = view.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("p0 |"));
+        assert!(lines[0].contains("w0"));
+        assert!(lines[0].contains("r1"));
+        assert!(lines[1].contains("r0"));
+        // Columns align: both rows have the same length.
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(render(&[]), "(empty trace)\n");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let trace = [
+            op(0, OpKind::Write, 0),
+            op(1, OpKind::Read, 9),
+            op(1, OpKind::Read, 9),
+        ];
+        let s = summarize(&trace);
+        assert!(s.contains("3 ops"));
+        assert!(s.contains("2 reads"));
+        assert!(s.contains("1 writes"));
+        assert!(s.contains("[1, 2]"));
+    }
+
+    #[test]
+    fn wide_register_ids_align() {
+        let trace = [op(0, OpKind::Write, 12345), op(1, OpKind::Read, 3)];
+        let view = render(&trace);
+        let lines: Vec<&str> = view.lines().collect();
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+}

@@ -1,0 +1,157 @@
+//! Direct tests of the scheduler protocol: grant ordering, crash
+//! delivery, finish handling, register bounds, and the lock-step
+//! guarantee itself.
+
+use exsel_shm::{Pid, RegAlloc, RegId, Word};
+use exsel_sim::policy::{Action, PendingOp, Policy, RandomPolicy, RoundRobin};
+use exsel_sim::{trace_view, SimBuilder};
+
+#[test]
+fn lock_step_policy_sees_all_live_processes() {
+    // A policy that records the pending-set sizes it is offered: in
+    // lock-step they must always equal the number of live processes.
+    struct Recorder {
+        sizes: std::sync::Arc<std::sync::Mutex<Vec<usize>>>,
+        inner: RoundRobin,
+    }
+    impl Policy for Recorder {
+        fn decide(&mut self, pending: &[PendingOp]) -> Action {
+            self.sizes.lock().unwrap().push(pending.len());
+            self.inner.decide(pending)
+        }
+    }
+    let sizes = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut alloc = RegAlloc::new();
+    let bank = alloc.reserve(1);
+    let n = 4;
+    SimBuilder::new(
+        alloc.total(),
+        Box::new(Recorder {
+            sizes: sizes.clone(),
+            inner: RoundRobin::new(),
+        }),
+    )
+    .run(n, |ctx| {
+        for _ in 0..3 {
+            ctx.read(bank.get(0))?;
+        }
+        Ok(())
+    });
+    let sizes = sizes.lock().unwrap();
+    assert!(!sizes.is_empty());
+    // Every decision happened with all live processes pending. Since
+    // processes finish at different times, sizes are non-increasing and
+    // start at n.
+    assert_eq!(sizes[0], n);
+    for pair in sizes.windows(2) {
+        assert!(pair[1] <= pair[0], "pending set grew: {sizes:?}");
+    }
+}
+
+#[test]
+fn trace_reflects_granted_ops_exactly() {
+    let mut alloc = RegAlloc::new();
+    let bank = alloc.reserve(2);
+    let outcome = SimBuilder::new(alloc.total(), Box::new(RoundRobin::new()))
+        .record_trace(true)
+        .run(2, |ctx| {
+            ctx.write(bank.get(ctx.pid().0), 1u64)?;
+            ctx.read(bank.get(1 - ctx.pid().0))
+        });
+    let trace = outcome.trace.unwrap();
+    assert_eq!(trace.len() as u64, outcome.total_ops);
+    assert_eq!(trace.len(), 4);
+    // Round-robin order: p0 W, p1 W, p0 R, p1 R.
+    let pids: Vec<usize> = trace.iter().map(|op| op.pid.0).collect();
+    assert_eq!(pids, vec![0, 1, 0, 1]);
+    // The renderer digests it.
+    let view = trace_view::render(&trace);
+    assert_eq!(view.lines().count(), 2);
+    assert!(trace_view::summarize(&trace).contains("4 ops"));
+}
+
+#[test]
+fn crash_during_wait_unblocks_with_error() {
+    // A policy that crashes p1 at its second operation while p0 spins.
+    struct CrashSecond {
+        inner: RoundRobin,
+    }
+    impl Policy for CrashSecond {
+        fn decide(&mut self, pending: &[PendingOp]) -> Action {
+            if let Some(op) = pending.iter().find(|op| op.pid == Pid(1)) {
+                if op.step_index == 1 {
+                    return Action::Crash(Pid(1));
+                }
+            }
+            self.inner.decide(pending)
+        }
+    }
+    let mut alloc = RegAlloc::new();
+    let bank = alloc.reserve(1);
+    let outcome = SimBuilder::new(
+        alloc.total(),
+        Box::new(CrashSecond {
+            inner: RoundRobin::new(),
+        }),
+    )
+    .run(2, |ctx| {
+        for i in 0..5u64 {
+            ctx.write(bank.get(0), i)?;
+        }
+        Ok(())
+    });
+    assert!(outcome.results[0].is_ok());
+    assert!(outcome.results[1].is_err());
+    assert_eq!(outcome.steps[1], 1, "crashed exactly before its 2nd op");
+    assert_eq!(outcome.crashed, vec![Pid(1)]);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_register_is_rejected() {
+    SimBuilder::new(1, Box::new(RoundRobin::new())).run(1, |ctx| ctx.read(RegId(5)));
+}
+
+#[test]
+fn memory_trait_surface() {
+    let mut alloc = RegAlloc::new();
+    let bank = alloc.reserve(3);
+    let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(1))).run(2, |ctx| {
+        ctx.write(bank.get(0), Word::Pair(1, 2))?;
+        assert_eq!(ctx.memory().num_registers(), 3);
+        assert_eq!(ctx.memory().num_processes(), 2);
+        ctx.read(bank.get(0))
+    });
+    for r in outcome.results {
+        assert!(r.unwrap().as_pair().is_some());
+    }
+}
+
+#[test]
+fn zero_op_processes_finish_cleanly() {
+    // Processes that never touch shared memory must not wedge lock-step.
+    let outcome = SimBuilder::new(1, Box::new(RoundRobin::new())).run(3, |ctx| {
+        if ctx.pid().0 == 1 {
+            ctx.read(RegId(0))?;
+        }
+        Ok(ctx.pid().0)
+    });
+    assert_eq!(outcome.results.len(), 3);
+    assert!(outcome.results.iter().all(Result::is_ok));
+    assert_eq!(outcome.total_ops, 1);
+}
+
+#[test]
+fn steps_accounting_matches_ops() {
+    let mut alloc = RegAlloc::new();
+    let bank = alloc.reserve(1);
+    let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(3))).run(3, |ctx| {
+        for _ in 0..ctx.pid().0 + 2 {
+            ctx.read(bank.get(0))?;
+        }
+        Ok(())
+    });
+    assert_eq!(outcome.steps, vec![2, 3, 4]);
+    assert_eq!(outcome.total_ops, 9);
+    assert_eq!(outcome.max_steps(), 4);
+}

@@ -1,0 +1,64 @@
+//! Store&Collect errors.
+
+use std::fmt;
+
+use exsel_shm::Crash;
+
+/// Errors of store/collect operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StoreCollectError {
+    /// The calling process crashed mid-operation.
+    Crash(Crash),
+    /// The renaming subroutine could not produce a name because more
+    /// processes contend than the instance was sized for.
+    CapacityExceeded,
+}
+
+impl fmt::Display for StoreCollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreCollectError::Crash(c) => c.fmt(f),
+            StoreCollectError::CapacityExceeded => {
+                write!(f, "contention exceeded the instance's capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreCollectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreCollectError::Crash(c) => Some(c),
+            StoreCollectError::CapacityExceeded => None,
+        }
+    }
+}
+
+impl From<Crash> for StoreCollectError {
+    fn from(c: Crash) -> Self {
+        StoreCollectError::Crash(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert_eq!(
+            StoreCollectError::Crash(Crash).to_string(),
+            "process crashed"
+        );
+        assert!(StoreCollectError::CapacityExceeded.to_string().contains("capacity"));
+        use std::error::Error;
+        assert!(StoreCollectError::Crash(Crash).source().is_some());
+        assert!(StoreCollectError::CapacityExceeded.source().is_none());
+    }
+
+    #[test]
+    fn from_crash() {
+        let e: StoreCollectError = Crash.into();
+        assert_eq!(e, StoreCollectError::Crash(Crash));
+    }
+}

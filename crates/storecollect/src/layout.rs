@@ -1,0 +1,203 @@
+//! Value-register layouts: a fixed prefix for the known-`k` setting, and
+//! the paper's doubling intervals with control registers for the adaptive
+//! settings.
+
+use exsel_shm::{Ctx, RegAlloc, RegId, RegRange, Step};
+
+/// Where the value register of name `m` lives and how collect discovers
+/// the in-use prefix.
+#[derive(Clone, Debug)]
+pub(crate) enum ValueLayout {
+    /// One register per possible name; collect reads all of them
+    /// (`O(M) = O(k)` in setting (i)).
+    Fixed { values: RegRange },
+    /// Doubling intervals: interval `j` holds the registers of names
+    /// `[2^{j+1}−1, 2^{j+2}−2]` plus one control register. A first store
+    /// in interval `J` raises controls `0..J`; collect reads interval
+    /// values then the control, stopping at the first lowered control.
+    Intervals {
+        controls: RegRange,
+        intervals: Vec<RegRange>,
+    },
+}
+
+/// The interval index of 1-based name `m`: `⌊lg(m+1)⌋ − 1`.
+pub(crate) fn interval_of(name: u64) -> usize {
+    ((name + 1).ilog2() - 1) as usize
+}
+
+/// First 1-based name of interval `j`: `2^{j+1} − 1`.
+fn interval_start(j: usize) -> u64 {
+    (1u64 << (j + 1)) - 1
+}
+
+impl ValueLayout {
+    pub(crate) fn fixed(alloc: &mut RegAlloc, name_bound: u64) -> Self {
+        ValueLayout::Fixed {
+            values: alloc.reserve(usize::try_from(name_bound).expect("bound fits usize")),
+        }
+    }
+
+    pub(crate) fn intervals(alloc: &mut RegAlloc, name_bound: u64) -> Self {
+        let mut num_intervals = 0;
+        while interval_start(num_intervals) <= name_bound {
+            num_intervals += 1;
+        }
+        let controls = alloc.reserve(num_intervals);
+        let intervals = (0..num_intervals)
+            .map(|j| alloc.reserve(1usize << (j + 1)))
+            .collect();
+        ValueLayout::Intervals {
+            controls,
+            intervals,
+        }
+    }
+
+    /// The value register of 1-based name `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside the layout.
+    pub(crate) fn value_register(&self, name: u64) -> RegId {
+        match self {
+            ValueLayout::Fixed { values } => values.get((name - 1) as usize),
+            ValueLayout::Intervals { intervals, .. } => {
+                let j = interval_of(name);
+                intervals[j].get((name - interval_start(j)) as usize)
+            }
+        }
+    }
+
+    /// Raises the control registers a first store at `name` must set
+    /// (controls of the intervals strictly before `name`'s).
+    pub(crate) fn raise_controls(&self, ctx: Ctx<'_>, name: u64) -> Step<()> {
+        if let ValueLayout::Intervals { controls, .. } = self {
+            for j in 0..interval_of(name) {
+                ctx.write(controls.get(j), 1u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the in-use prefix, invoking `sink` with each non-null value
+    /// register's contents.
+    pub(crate) fn read_prefix(
+        &self,
+        ctx: Ctx<'_>,
+        mut sink: impl FnMut(exsel_shm::Word),
+    ) -> Step<()> {
+        match self {
+            ValueLayout::Fixed { values } => {
+                for reg in values.iter() {
+                    let w = ctx.read(reg)?;
+                    if !w.is_null() {
+                        sink(w);
+                    }
+                }
+            }
+            ValueLayout::Intervals {
+                controls,
+                intervals,
+            } => {
+                for (j, interval) in intervals.iter().enumerate() {
+                    for reg in interval.iter() {
+                        let w = ctx.read(reg)?;
+                        if !w.is_null() {
+                            sink(w);
+                        }
+                    }
+                    if ctx.read(controls.get(j))?.is_null() {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total registers (values + controls).
+    pub(crate) fn num_registers(&self) -> usize {
+        match self {
+            ValueLayout::Fixed { values } => values.len(),
+            ValueLayout::Intervals {
+                controls,
+                intervals,
+            } => controls.len() + intervals.iter().map(RegRange::len).sum::<usize>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::{Pid, ThreadedShm, Word};
+
+    #[test]
+    fn interval_math() {
+        assert_eq!(interval_of(1), 0);
+        assert_eq!(interval_of(2), 0);
+        assert_eq!(interval_of(3), 1);
+        assert_eq!(interval_of(6), 1);
+        assert_eq!(interval_of(7), 2);
+        assert_eq!(interval_of(14), 2);
+        assert_eq!(interval_of(15), 3);
+        assert_eq!(interval_start(0), 1);
+        assert_eq!(interval_start(1), 3);
+        assert_eq!(interval_start(2), 7);
+    }
+
+    #[test]
+    fn every_name_has_a_distinct_register() {
+        let mut alloc = RegAlloc::new();
+        let layout = ValueLayout::intervals(&mut alloc, 30);
+        let regs: Vec<_> = (1..=30u64).map(|m| layout.value_register(m)).collect();
+        let set: std::collections::BTreeSet<_> = regs.iter().collect();
+        assert_eq!(set.len(), regs.len());
+    }
+
+    #[test]
+    fn fixed_layout_roundtrip() {
+        let mut alloc = RegAlloc::new();
+        let layout = ValueLayout::fixed(&mut alloc, 4);
+        let mem = ThreadedShm::new(alloc.total(), 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        ctx.write(layout.value_register(3), Word::Pair(9, 10)).unwrap();
+        let mut seen = Vec::new();
+        layout.read_prefix(ctx, |w| seen.push(w)).unwrap();
+        assert_eq!(seen, vec![Word::Pair(9, 10)]);
+    }
+
+    #[test]
+    fn collect_stops_at_lowered_control() {
+        let mut alloc = RegAlloc::new();
+        let layout = ValueLayout::intervals(&mut alloc, 30);
+        let mem = ThreadedShm::new(alloc.total(), 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        // Store at name 5 (interval 1): raise controls of interval 0,
+        // write the value.
+        layout.raise_controls(ctx, 5).unwrap();
+        ctx.write(layout.value_register(5), Word::Pair(1, 55)).unwrap();
+        // Also place a value in a *later* interval without its controls:
+        // collect must not see it (models a store that has not finished
+        // raising controls — its store has not completed).
+        ctx.write(layout.value_register(20), Word::Pair(2, 99)).unwrap();
+        let mut seen = Vec::new();
+        let before = ctx.steps();
+        layout.read_prefix(ctx, |w| seen.push(w)).unwrap();
+        let cost = ctx.steps() - before;
+        assert_eq!(seen, vec![Word::Pair(1, 55)]);
+        // Reads intervals 0 (2+1) and 1 (4+1): 8 steps, far below the 30
+        // registers of the full layout.
+        assert_eq!(cost, 8);
+    }
+
+    #[test]
+    fn register_accounting() {
+        let mut alloc = RegAlloc::new();
+        let layout = ValueLayout::intervals(&mut alloc, 30);
+        assert_eq!(layout.num_registers(), alloc.total());
+        let mut alloc2 = RegAlloc::new();
+        let fixed = ValueLayout::fixed(&mut alloc2, 12);
+        assert_eq!(fixed.num_registers(), 12);
+    }
+}

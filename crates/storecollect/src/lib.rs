@@ -1,0 +1,57 @@
+//! Store&Collect built on the renaming stack — Theorem 5 of Chlebus &
+//! Kowalski.
+//!
+//! `Store(v)` publishes a value for the calling process; `Collect` returns
+//! the latest value of every process that has stored. The construction:
+//! a process's *first* store runs a renaming algorithm, adopts the
+//! resulting name `m` as the index of a dedicated value register, and
+//! writes there; every later store is a single write. Collect reads the
+//! register prefix in use.
+//!
+//! The four knowledge settings of Theorem 5 differ only in the renaming
+//! subroutine and in how collect discovers the prefix length:
+//!
+//! | Setting | Renamer | First store | Collect | Registers |
+//! |---|---|---|---|---|
+//! | (i) `k, N` known | `PolyLog-Rename(k,N)` | `O(log k(log N + log k log log N))` | `O(k)` | `O(k·log(N/k))` |
+//! | (ii) `N = O(n)` known | `Almost-Adaptive(N)` | `O(log²k(log n + log k log log n))` | `O(k)` | `O(n)` |
+//! | (iii) `N = poly(n)` known | `Almost-Adaptive(N)` | same as (ii) | `O(k)` | `O(n·log n)` |
+//! | (iv) fully adaptive | `Adaptive-Rename` | `O(k)` | `O(k)` | `O(n²)` |
+//!
+//! In the adaptive settings the value registers are organized in
+//! *doubling intervals* of lengths 2, 4, 8, …, each preceded by a control
+//! register: a first store at a name in interval `J` first raises the
+//! controls of intervals `0..J`, and collect scans intervals in order
+//! until it finds a lowered control — `O(k)` reads because adaptive names
+//! are `O(k)`.
+//!
+//! # Example
+//!
+//! ```
+//! use exsel_shm::{Ctx, Pid, RegAlloc, ThreadedShm};
+//! use exsel_storecollect::{StoreCollect, StoreHandle};
+//! use exsel_core::RenameConfig;
+//!
+//! let mut alloc = RegAlloc::new();
+//! let sc = StoreCollect::adaptive(&mut alloc, 4, &RenameConfig::default());
+//! let mem = ThreadedShm::new(alloc.total(), 4);
+//!
+//! let ctx = Ctx::new(&mem, Pid(0));
+//! let mut handle = StoreHandle::new();
+//! sc.store(ctx, &mut handle, 42, 1000)?; // original name 42, value 1000
+//! sc.store(ctx, &mut handle, 42, 1001)?; // repeat stores are one write
+//!
+//! let view = sc.collect(ctx)?;
+//! assert_eq!(view, vec![(42, 1001)]);
+//! # Ok::<(), exsel_storecollect::StoreCollectError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod layout;
+mod store;
+
+pub use error::StoreCollectError;
+pub use store::{Setting, StoreCollect, StoreHandle};

@@ -1,0 +1,317 @@
+//! The Store&Collect object.
+
+use exsel_core::{
+    AdaptiveRename, AlmostAdaptive, Outcome, PolyLogRename, Rename, RenameConfig,
+};
+use exsel_shm::{Ctx, RegAlloc, RegId, Word};
+
+use crate::layout::ValueLayout;
+use crate::StoreCollectError;
+
+/// Which of Theorem 5's knowledge settings an instance implements.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Setting {
+    /// (i): both `k` and `N` known.
+    KnownContention,
+    /// (ii)/(iii): `N` known, `k` unknown.
+    AlmostAdaptive,
+    /// (iv): fully adaptive.
+    Adaptive,
+}
+
+/// Per-process local state: the value register adopted by the first store.
+///
+/// A process keeps one handle per [`StoreCollect`] object for its entire
+/// lifetime; the handle is intentionally not `Clone` (two copies would
+/// race on the first store).
+#[derive(Debug, Default)]
+pub struct StoreHandle {
+    reg: Option<RegId>,
+}
+
+impl StoreHandle {
+    /// A fresh handle (no store performed yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the first store (which runs renaming) has completed.
+    #[must_use]
+    pub fn is_registered(&self) -> bool {
+        self.reg.is_some()
+    }
+
+    /// The value register adopted by the first store, if any. Distinct
+    /// processes always hold distinct registers (renaming
+    /// exclusiveness); experiments use this to audit that invariant.
+    #[must_use]
+    pub fn register(&self) -> Option<RegId> {
+        self.reg
+    }
+}
+
+/// A wait-free Store&Collect object (Theorem 5).
+///
+/// See the crate docs for the four settings and their complexity bounds.
+/// Collect semantics: the returned view contains `(owner, value)` for
+/// every process whose first store completed before the collect started,
+/// with `value` a value the owner stored no earlier than its latest store
+/// preceding the collect (regularity, as standard for collect objects).
+pub struct StoreCollect {
+    renamer: Box<dyn Rename + Send>,
+    layout: ValueLayout,
+    setting: Setting,
+}
+
+impl StoreCollect {
+    /// Setting (i): both the contention bound `k` and the original-name
+    /// range `[1, n_names]` are known. Uses `PolyLog-Rename(k, N)` and a
+    /// fixed `O(k)` value-register prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `n_names == 0`.
+    #[must_use]
+    pub fn known(alloc: &mut RegAlloc, k: usize, n_names: usize, cfg: &RenameConfig) -> Self {
+        let renamer = PolyLogRename::new(alloc, n_names, k, cfg);
+        let layout = ValueLayout::fixed(alloc, renamer.name_bound());
+        StoreCollect {
+            renamer: Box::new(renamer),
+            layout,
+            setting: Setting::KnownContention,
+        }
+    }
+
+    /// Settings (ii)/(iii): the original-name range `[1, n_names]` is
+    /// known but contention is not. Uses `Almost-Adaptive(N)` and doubling
+    /// intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_names == 0` or `n_processes == 0`.
+    #[must_use]
+    pub fn almost_adaptive(
+        alloc: &mut RegAlloc,
+        n_names: usize,
+        n_processes: usize,
+        cfg: &RenameConfig,
+    ) -> Self {
+        let renamer = AlmostAdaptive::new(alloc, n_names, n_processes, cfg);
+        let layout = ValueLayout::intervals(alloc, renamer.name_bound());
+        StoreCollect {
+            renamer: Box::new(renamer),
+            layout,
+            setting: Setting::AlmostAdaptive,
+        }
+    }
+
+    /// Setting (iv): fully adaptive — neither `k` nor `N` known. Uses
+    /// `Adaptive-Rename` and doubling intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_processes == 0`.
+    #[must_use]
+    pub fn adaptive(alloc: &mut RegAlloc, n_processes: usize, cfg: &RenameConfig) -> Self {
+        let renamer = AdaptiveRename::new(alloc, n_processes, cfg);
+        let layout = ValueLayout::intervals(alloc, renamer.name_bound());
+        StoreCollect {
+            renamer: Box::new(renamer),
+            layout,
+            setting: Setting::Adaptive,
+        }
+    }
+
+    /// The setting this instance implements.
+    #[must_use]
+    pub fn setting(&self) -> Setting {
+        self.setting
+    }
+
+    /// Registers used by the renamer plus the value layout.
+    #[must_use]
+    pub fn num_registers(&self) -> usize {
+        // The renamer's registers were reserved on the same allocator;
+        // layout knows only its own. Experiments read the allocator total,
+        // this reports the layout part.
+        self.layout.num_registers()
+    }
+
+    /// Stores `value` for the calling process (unique original name
+    /// `original`). The first store runs the renaming subroutine and
+    /// raises interval controls; later stores through the same handle are
+    /// a single write.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreCollectError::Crash`] if the process crashes;
+    /// [`StoreCollectError::CapacityExceeded`] if more processes contend
+    /// than the instance was sized for.
+    pub fn store(
+        &self,
+        ctx: Ctx<'_>,
+        handle: &mut StoreHandle,
+        original: u64,
+        value: u64,
+    ) -> Result<(), StoreCollectError> {
+        let reg = match handle.reg {
+            Some(reg) => reg,
+            None => {
+                let name = match self.renamer.rename(ctx, original)? {
+                    Outcome::Named(m) => m,
+                    Outcome::Failed => return Err(StoreCollectError::CapacityExceeded),
+                };
+                self.layout.raise_controls(ctx, name)?;
+                let reg = self.layout.value_register(name);
+                handle.reg = Some(reg);
+                reg
+            }
+        };
+        ctx.write(reg, Word::Pair(original, value))?;
+        Ok(())
+    }
+
+    /// Collects the latest stored value of every registered process, as
+    /// `(original name, value)` pairs sorted by original name.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreCollectError::Crash`] if the process crashes.
+    pub fn collect(&self, ctx: Ctx<'_>) -> Result<Vec<(u64, u64)>, StoreCollectError> {
+        let mut out = Vec::new();
+        self.layout.read_prefix(ctx, |w| {
+            if let Some(pair) = w.as_pair() {
+                out.push(pair);
+            }
+        })?;
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for StoreCollect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreCollect")
+            .field("setting", &self.setting)
+            .field("name_bound", &self.renamer.name_bound())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::{Pid, ThreadedShm};
+
+    fn run_store_collect(sc: &StoreCollect, num_regs: usize, k: usize) -> Vec<Vec<(u64, u64)>> {
+        let mem = ThreadedShm::new(num_regs, k);
+        std::thread::scope(|s| {
+            (0..k)
+                .map(|p| {
+                    let (sc, mem) = (sc, &mem);
+                    s.spawn(move || {
+                        let ctx = Ctx::new(mem, Pid(p));
+                        let mut h = StoreHandle::new();
+                        let orig = (p as u64 + 1) * 37;
+                        for round in 0..3u64 {
+                            sc.store(ctx, &mut h, orig, 100 * p as u64 + round).unwrap();
+                        }
+                        sc.collect(ctx).unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        })
+    }
+
+    fn check_views(views: &[Vec<(u64, u64)>], k: usize) {
+        for view in views {
+            // Every view has at most one entry per owner; the final
+            // sequential collect below checks completeness.
+            let owners: std::collections::BTreeSet<u64> =
+                view.iter().map(|&(o, _)| o).collect();
+            assert_eq!(owners.len(), view.len(), "duplicate owner in view");
+            assert!(view.len() <= k);
+        }
+    }
+
+    #[test]
+    fn known_setting_roundtrip() {
+        let mut alloc = RegAlloc::new();
+        let k = 4;
+        let sc = StoreCollect::known(&mut alloc, k, 256, &RenameConfig::default());
+        let views = run_store_collect(&sc, alloc.total(), k);
+        check_views(&views, k);
+        // A quiescent collect sees everyone's last value.
+        let mem = ThreadedShm::new(alloc.total(), k);
+        let ctx0 = Ctx::new(&mem, Pid(0));
+        let mut h = StoreHandle::new();
+        sc.store(ctx0, &mut h, 37, 7).unwrap();
+        assert_eq!(sc.collect(ctx0).unwrap(), vec![(37, 7)]);
+    }
+
+    #[test]
+    fn adaptive_setting_concurrent() {
+        let mut alloc = RegAlloc::new();
+        let k = 6;
+        let sc = StoreCollect::adaptive(&mut alloc, 8, &RenameConfig::default());
+        let views = run_store_collect(&sc, alloc.total(), k);
+        check_views(&views, k);
+    }
+
+    #[test]
+    fn almost_adaptive_quiescent_complete() {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::almost_adaptive(&mut alloc, 64, 8, &RenameConfig::default());
+        let mem = ThreadedShm::new(alloc.total(), 3);
+        for p in 0..3 {
+            let ctx = Ctx::new(&mem, Pid(p));
+            let mut h = StoreHandle::new();
+            sc.store(ctx, &mut h, p as u64 + 1, 10 + p as u64).unwrap();
+        }
+        let view = sc.collect(Ctx::new(&mem, Pid(0))).unwrap();
+        assert_eq!(view, vec![(1, 10), (2, 11), (3, 12)]);
+    }
+
+    #[test]
+    fn repeat_store_is_one_step_and_overwrites() {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, 4, &RenameConfig::default());
+        let mem = ThreadedShm::new(alloc.total(), 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut h = StoreHandle::new();
+        sc.store(ctx, &mut h, 5, 1).unwrap();
+        assert!(h.is_registered());
+        let before = ctx.steps();
+        sc.store(ctx, &mut h, 5, 2).unwrap();
+        assert_eq!(ctx.steps() - before, 1, "repeat store must be one write");
+        assert_eq!(sc.collect(ctx).unwrap(), vec![(5, 2)]);
+    }
+
+    #[test]
+    fn collect_cost_scales_with_contention_not_capacity() {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, 16, &RenameConfig::default());
+        let mem = ThreadedShm::new(alloc.total(), 2);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut h = StoreHandle::new();
+        sc.store(ctx, &mut h, 9, 1).unwrap();
+        let before = ctx.steps();
+        sc.collect(ctx).unwrap();
+        let cost = ctx.steps() - before;
+        // One registered process: collect reads only the first interval(s),
+        // far below the full O(n²)-register layout.
+        assert!(cost < 64, "collect cost {cost} too high for k=1");
+    }
+
+    #[test]
+    fn debug_mentions_setting() {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, 2, &RenameConfig::default());
+        assert!(format!("{sc:?}").contains("Adaptive"));
+        assert_eq!(sc.setting(), Setting::Adaptive);
+    }
+}

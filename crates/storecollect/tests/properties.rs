@@ -1,0 +1,71 @@
+//! Property-based tests of the Store&Collect layer: interval arithmetic,
+//! collect regularity and register exclusiveness under arbitrary
+//! parameters and schedules.
+
+use exsel_core::RenameConfig;
+use exsel_shm::{Crash, RegAlloc};
+use exsel_sim::policy::RandomPolicy;
+use exsel_sim::SimBuilder;
+use exsel_storecollect::{StoreCollect, StoreHandle};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Adaptive store&collect: for arbitrary contention, seeds and store
+    /// counts, value registers are exclusive and final collects are
+    /// complete and latest.
+    #[test]
+    fn adaptive_store_collect_invariants(
+        k in 1usize..5,
+        rounds in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, 8, &RenameConfig::default());
+        let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+            .run(k, |ctx| {
+                let mut h = StoreHandle::new();
+                let orig = (ctx.pid().0 as u64 + 1) * 11;
+                for round in 0..rounds {
+                    sc.store(ctx, &mut h, orig, round).map_err(|_| Crash)?;
+                }
+                // Final self-check: a collect after my last store includes
+                // my latest value.
+                let view = sc.collect(ctx).map_err(|_| Crash)?;
+                let mine = view.iter().find(|&&(o, _)| o == orig).copied();
+                Ok((h.register().unwrap().0, mine))
+            });
+        let mut regs = Vec::new();
+        for (pid, r) in outcome.results.iter().enumerate() {
+            let (reg, mine) = r.as_ref().unwrap();
+            regs.push(*reg);
+            let orig = (pid as u64 + 1) * 11;
+            prop_assert_eq!(*mine, Some((orig, rounds - 1)), "collect missed own latest");
+        }
+        regs.sort_unstable();
+        regs.dedup();
+        prop_assert_eq!(regs.len(), k, "value-register collision");
+    }
+
+    /// The known-(k,N) setting under exact-capacity contention: always
+    /// complete.
+    #[test]
+    fn known_setting_complete_at_capacity(
+        k in 1usize..5,
+        n_exp in 6u32..10,
+        seed in any::<u64>(),
+    ) {
+        let n_names = 1usize << n_exp;
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::known(&mut alloc, k, n_names, &RenameConfig::with_seed(seed));
+        let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+            .run(k, |ctx| {
+                let mut h = StoreHandle::new();
+                let orig = (ctx.pid().0 * n_names / k) as u64 + 1;
+                sc.store(ctx, &mut h, orig, 5).map_err(|_| Crash)?;
+                Ok(())
+            });
+        prop_assert!(outcome.results.iter().all(Result::is_ok));
+    }
+}

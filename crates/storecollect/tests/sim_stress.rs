@@ -1,0 +1,109 @@
+//! Store&Collect under the deterministic simulator: first-store races,
+//! collect regularity and the interval mechanism across adversarial
+//! seeds.
+
+use exsel_core::RenameConfig;
+use exsel_shm::{Crash, Pid, RegAlloc};
+use exsel_sim::policy::{RandomPolicy, Solo};
+use exsel_sim::SimBuilder;
+use exsel_storecollect::{StoreCollect, StoreHandle};
+
+#[test]
+fn racing_first_stores_claim_distinct_registers() {
+    let n = 4;
+    for seed in 0..12 {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, n, &RenameConfig::default());
+        let outcome =
+            SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(n, |ctx| {
+                let mut h = StoreHandle::new();
+                sc.store(ctx, &mut h, ctx.pid().0 as u64 + 1, 9)
+                    .map_err(|_| Crash)?;
+                Ok(h.register().expect("registered").0)
+            });
+        let regs: Vec<usize> = outcome.completed().copied().collect();
+        let set: std::collections::BTreeSet<usize> = regs.iter().copied().collect();
+        assert_eq!(set.len(), regs.len(), "seed {seed}: register collision");
+    }
+}
+
+#[test]
+fn collect_concurrent_with_first_stores_is_regular() {
+    // A collector racing first stores must return, for each owner it
+    // reports, a value that owner actually stored — and must report any
+    // owner whose store completed before the collect started. The
+    // collector here runs solo *after* grants interleave arbitrarily.
+    let n = 4;
+    for seed in 0..8 {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::almost_adaptive(&mut alloc, 32, n, &RenameConfig::default());
+        let outcome =
+            SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(n, |ctx| {
+                if ctx.pid().0 == 0 {
+                    // Collector: repeatedly collect while others store.
+                    let mut views = Vec::new();
+                    for _ in 0..3 {
+                        views.push(sc.collect(ctx).map_err(|_| Crash)?);
+                    }
+                    Ok(views)
+                } else {
+                    let mut h = StoreHandle::new();
+                    let orig = ctx.pid().0 as u64;
+                    sc.store(ctx, &mut h, orig, orig * 10).map_err(|_| Crash)?;
+                    Ok(Vec::new())
+                }
+            });
+        let views = outcome.results[0].as_ref().unwrap();
+        for view in views {
+            for &(owner, value) in view {
+                assert_eq!(value, owner * 10, "seed {seed}: value never stored by {owner}");
+            }
+        }
+        // Views grow monotonically (more stores visible over time).
+        for pair in views.windows(2) {
+            assert!(
+                pair[0].len() <= pair[1].len(),
+                "seed {seed}: collect went backwards"
+            );
+        }
+    }
+}
+
+#[test]
+fn solo_store_and_collect_wait_free() {
+    let n = 3;
+    let mut alloc = RegAlloc::new();
+    let sc = StoreCollect::adaptive(&mut alloc, n, &RenameConfig::default());
+    let outcome = SimBuilder::new(alloc.total(), Box::new(Solo::new(Pid(2)))).run(n, |ctx| {
+        let mut h = StoreHandle::new();
+        sc.store(ctx, &mut h, ctx.pid().0 as u64 + 1, 5)
+            .map_err(|_| Crash)?;
+        sc.collect(ctx).map_err(|_| Crash)
+    });
+    let hero_view = outcome.results[2].as_ref().unwrap();
+    assert!(
+        hero_view.iter().any(|&(o, v)| o == 3 && v == 5),
+        "solo store+collect must see itself"
+    );
+}
+
+#[test]
+fn known_setting_rejects_overflow_gracefully() {
+    // More contenders than the (k, N) instance was sized for: the excess
+    // gets CapacityExceeded, never a duplicate register.
+    let k = 2;
+    let contenders = 5;
+    let mut alloc = RegAlloc::new();
+    let sc = StoreCollect::known(&mut alloc, k, 64, &RenameConfig::default());
+    let outcome =
+        SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(3))).run(contenders, |ctx| {
+            let mut h = StoreHandle::new();
+            match sc.store(ctx, &mut h, ctx.pid().0 as u64 + 1, 1) {
+                Ok(()) => Ok(h.register().map(|r| r.0)),
+                Err(_) => Ok(None),
+            }
+        });
+    let regs: Vec<usize> = outcome.completed().flatten().copied().collect();
+    let set: std::collections::BTreeSet<usize> = regs.iter().copied().collect();
+    assert_eq!(set.len(), regs.len(), "overflow created duplicates");
+}

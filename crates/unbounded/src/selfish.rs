@@ -1,0 +1,311 @@
+//! `Selfish-Deposit` — Theorem 8: a non-blocking repository wasting at
+//! most `n−1` dedicated registers.
+
+use exsel_shm::{Ctx, RegAlloc, Snapshot, Step, Word};
+
+use crate::DepositArena;
+
+/// The non-blocking repository.
+///
+/// Each process `p` keeps a sorted local list `L_p` of `2n−1` candidate
+/// register indices (initially `1..2n−1`) and a fresh-index pointer `A_p`
+/// (initially `2n`). To deposit, `p` publishes a candidate `i` in its
+/// component of an atomic-snapshot object `W` and scans:
+///
+/// * if `i` is **unique** in the snapshot, `p` reads `R_i`: empty means
+///   `p` deposits there (the write is safe — any rival for `i` would have
+///   held `i` in `W` through its own check, contradicting uniqueness);
+///   nonempty means the list is stale, so `p` *verifies* it, pruning
+///   occupied entries and refilling from `A_p`;
+/// * otherwise `p` *chooses by rank*: with `r` its rank among the
+///   processes whose published value lies on `L_p`, it re-proposes the
+///   `r`-th entry of `L_p` not present in the snapshot — distinct ranks
+///   give distinct proposals, so once lists stabilize everyone separates.
+#[derive(Clone, Debug)]
+pub struct SelfishDeposit {
+    n: usize,
+    w: Snapshot,
+    arena: DepositArena,
+}
+
+/// Per-process local state: the candidate list `L_p` (sorted ascending)
+/// and the fresh pointer `A_p`.
+#[derive(Clone, Debug)]
+pub struct DepositorState {
+    list: Vec<u64>,
+    next_fresh: u64,
+}
+
+impl DepositorState {
+    /// The current candidate list (test/experiment introspection).
+    #[must_use]
+    pub fn list(&self) -> &[u64] {
+        &self.list
+    }
+
+    /// The fresh pointer `A_p`.
+    #[must_use]
+    pub fn next_fresh(&self) -> u64 {
+        self.next_fresh
+    }
+}
+
+impl SelfishDeposit {
+    /// Builds a repository for `n` processes with `arena_capacity`
+    /// dedicated registers (size it beyond the run's total deposits plus
+    /// `2n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the arena cannot hold the initial lists
+    /// (`arena_capacity < 2n`).
+    #[must_use]
+    pub fn new(alloc: &mut RegAlloc, n: usize, arena_capacity: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(
+            arena_capacity >= 2 * n,
+            "arena must hold at least the initial candidate lists (2n)"
+        );
+        SelfishDeposit {
+            n,
+            w: Snapshot::new(alloc, n),
+            arena: DepositArena::new(alloc, arena_capacity),
+        }
+    }
+
+    /// Initial local state for a depositor.
+    #[must_use]
+    pub fn depositor_state(&self) -> DepositorState {
+        DepositorState {
+            list: (1..=2 * self.n as u64 - 1).collect(),
+            next_fresh: 2 * self.n as u64,
+        }
+    }
+
+    /// The dedicated registers.
+    #[must_use]
+    pub fn arena(&self) -> &DepositArena {
+        &self.arena
+    }
+
+    /// System size `n`.
+    #[must_use]
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Deposits `value`, returning the index of the register it now
+    /// permanently occupies. Non-blocking: under contention an individual
+    /// call may take many steps, but some process always completes.
+    ///
+    /// The caller's `ctx.pid()` indexes its snapshot component; each
+    /// process must use a stable distinct pid in `[0, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`exsel_shm::Crash`] if the process crashes mid-operation
+    /// (the value may or may not have been deposited, per the spec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena runs out of capacity.
+    pub fn deposit(&self, ctx: Ctx<'_>, st: &mut DepositorState, value: u64) -> Step<u64> {
+        let slot = ctx.pid().0;
+        assert!(slot < self.n, "pid beyond system size");
+        let mut candidate = st.list[0];
+        loop {
+            self.w.update(ctx, slot, Word::Int(candidate))?;
+            let view = self.w.scan(ctx)?;
+            if Self::is_unique(&view, slot, candidate) {
+                if self.arena.read(ctx, candidate)?.is_null() {
+                    self.arena.write(ctx, candidate, value)?;
+                    // The register is consumed: prune it locally and
+                    // refill the list from the fresh frontier.
+                    st.list.retain(|&x| x != candidate);
+                    self.refill(ctx, st)?;
+                    return Ok(candidate);
+                }
+                // Someone deposited at our candidate since we listed it:
+                // the whole list may be stale — verify it.
+                self.verify_list(ctx, st)?;
+                candidate = st.list[0];
+            } else {
+                candidate = Self::choose_by_rank(&view, slot, &st.list);
+            }
+        }
+    }
+
+    /// Whether `candidate` appears in no snapshot component other than
+    /// `slot`.
+    fn is_unique(view: &[Word], slot: usize, candidate: u64) -> bool {
+        view.iter()
+            .enumerate()
+            .all(|(q, w)| q == slot || w.as_int() != Some(candidate))
+    }
+
+    /// The paper's *choosing by rank*: rank `r` of this process among the
+    /// component indices whose published value is on our list, then the
+    /// `r`-th list entry not present in the snapshot.
+    fn choose_by_rank(view: &[Word], slot: usize, list: &[u64]) -> u64 {
+        let on_list = |v: u64| list.binary_search(&v).is_ok();
+        let rank = view
+            .iter()
+            .enumerate()
+            .take(slot + 1)
+            .filter(|(_, w)| w.as_int().is_some_and(on_list))
+            .count();
+        debug_assert!(rank >= 1, "own published entry is on the list");
+        let published: Vec<u64> = view.iter().filter_map(Word::as_int).collect();
+        list.iter()
+            .copied()
+            .filter(|v| !published.contains(v))
+            .nth(rank - 1)
+            .expect("list of 2n−1 entries always covers rank + published")
+    }
+
+    /// The paper's list verification: prune entries whose register is
+    /// occupied, appending fresh empty registers found from `A_p` onward.
+    fn verify_list(&self, ctx: Ctx<'_>, st: &mut DepositorState) -> Step<()> {
+        let entries: Vec<u64> = st.list.clone();
+        for j in entries {
+            if !self.arena.read(ctx, j)?.is_null() {
+                st.list.retain(|&x| x != j);
+                self.refill(ctx, st)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans from `A_p` for the next empty register and appends it,
+    /// restoring the list to `2n−1` entries (appended indices exceed all
+    /// current entries, keeping the list sorted).
+    fn refill(&self, ctx: Ctx<'_>, st: &mut DepositorState) -> Step<()> {
+        while st.list.len() < 2 * self.n - 1 {
+            let i = st.next_fresh;
+            st.next_fresh += 1;
+            if self.arena.read(ctx, i)?.is_null() {
+                st.list.push(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::{Memory, Pid, ThreadedShm};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn sequential_deposits_use_distinct_registers() {
+        let mut alloc = RegAlloc::new();
+        let repo = SelfishDeposit::new(&mut alloc, 2, 32);
+        let mem = ThreadedShm::new(alloc.total(), 2);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut st = repo.depositor_state();
+        let regs: Vec<u64> = (0..5).map(|v| repo.deposit(ctx, &mut st, v).unwrap()).collect();
+        let set: BTreeSet<u64> = regs.iter().copied().collect();
+        assert_eq!(set.len(), 5);
+        // Values persisted.
+        for (i, &r) in regs.iter().enumerate() {
+            assert_eq!(repo.arena().read(ctx, r).unwrap(), Word::Int(i as u64));
+        }
+    }
+
+    #[test]
+    fn concurrent_deposits_never_collide_or_overwrite() {
+        const N: usize = 4;
+        const PER: usize = 10;
+        let mut alloc = RegAlloc::new();
+        let repo = SelfishDeposit::new(&mut alloc, N, 256);
+        let mem = ThreadedShm::new(alloc.total(), N);
+        let per_proc: Vec<Vec<(u64, u64)>> = std::thread::scope(|s| {
+            (0..N)
+                .map(|p| {
+                    let (repo, mem) = (&repo, &mem);
+                    s.spawn(move || {
+                        let ctx = Ctx::new(mem, Pid(p));
+                        let mut st = repo.depositor_state();
+                        (0..PER)
+                            .map(|i| {
+                                let value = (p * PER + i) as u64;
+                                (repo.deposit(ctx, &mut st, value).unwrap(), value)
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let all: Vec<(u64, u64)> = per_proc.into_iter().flatten().collect();
+        let regs: BTreeSet<u64> = all.iter().map(|&(r, _)| r).collect();
+        assert_eq!(regs.len(), N * PER, "two deposits shared a register");
+        // Persistence: every deposited value is still in its register.
+        let ctx = Ctx::new(&mem, Pid(0));
+        for (r, v) in all {
+            assert_eq!(repo.arena().read(ctx, r).unwrap(), Word::Int(v));
+        }
+    }
+
+    #[test]
+    fn waste_is_bounded_in_quiescent_runs() {
+        // With no crashes and a quiescent end, the only "holes" below the
+        // frontier are registers still on some live list — bounded by the
+        // Theorem 8 waste bound n−1 after everyone stops.
+        const N: usize = 3;
+        let mut alloc = RegAlloc::new();
+        let repo = SelfishDeposit::new(&mut alloc, N, 128);
+        let mem = ThreadedShm::new(alloc.total(), N);
+        std::thread::scope(|s| {
+            for p in 0..N {
+                let (repo, mem) = (&repo, &mem);
+                s.spawn(move || {
+                    let ctx = Ctx::new(mem, Pid(p));
+                    let mut st = repo.depositor_state();
+                    for i in 0..8u64 {
+                        repo.deposit(ctx, &mut st, i).unwrap();
+                    }
+                });
+            }
+        });
+        let occ = repo.arena().occupancy(&mem, Pid(0));
+        let frontier = occ.iter().rposition(Option::is_some).unwrap() + 1;
+        let holes = occ[..frontier].iter().filter(|v| v.is_none()).count();
+        assert!(
+            holes < N,
+            "quiescent waste {holes} exceeds n−1 = {}",
+            N - 1
+        );
+        assert_eq!(occ.iter().flatten().count(), 3 * 8);
+        let _ = mem.num_registers();
+    }
+
+    #[test]
+    fn choose_by_rank_separates_processes() {
+        let list: Vec<u64> = (1..=7).collect();
+        // Both processes published 1 (both on list): ranks 1 and 2 among
+        // indices, snapshot occupies {1}, so they re-propose 2 and 3.
+        let view = vec![Word::Int(1), Word::Int(1), Word::Null];
+        assert_eq!(SelfishDeposit::choose_by_rank(&view, 0, &list), 2);
+        assert_eq!(SelfishDeposit::choose_by_rank(&view, 1, &list), 3);
+    }
+
+    #[test]
+    fn verify_prunes_and_refills() {
+        let mut alloc = RegAlloc::new();
+        let repo = SelfishDeposit::new(&mut alloc, 2, 32);
+        let mem = ThreadedShm::new(alloc.total(), 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut st = repo.depositor_state();
+        assert_eq!(st.list(), &[1, 2, 3]);
+        // Occupy registers 1 and 3 behind the process's back.
+        repo.arena().write(ctx, 1, 9).unwrap();
+        repo.arena().write(ctx, 3, 9).unwrap();
+        repo.verify_list(ctx, &mut st).unwrap();
+        assert_eq!(st.list(), &[2, 4, 5]);
+        assert_eq!(st.next_fresh(), 6);
+    }
+}

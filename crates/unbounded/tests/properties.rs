@@ -1,0 +1,81 @@
+//! Property-based tests of the repository layer: exclusiveness and
+//! persistence under arbitrary contention, schedules and crash budgets.
+
+use std::collections::BTreeSet;
+
+use exsel_shm::{Pid, RegAlloc};
+use exsel_sim::policy::{CrashStorm, RandomPolicy};
+use exsel_sim::SimBuilder;
+use exsel_unbounded::{SelfishDeposit, UnboundedNaming};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Selfish deposits: registers exclusive across arbitrary n, per-
+    /// process deposit counts, schedules and crashes; acknowledged
+    /// deposits always persisted.
+    #[test]
+    fn selfish_exclusive_and_persistent(
+        n in 2usize..5,
+        per in 1u64..5,
+        seed in any::<u64>(),
+        crashes in 0usize..3,
+    ) {
+        let mut alloc = RegAlloc::new();
+        let repo = SelfishDeposit::new(&mut alloc, n, 64 * n);
+        let policy = CrashStorm::new(
+            Box::new(RandomPolicy::new(seed)),
+            !seed,
+            0.01,
+            crashes.min(n - 1),
+        ).protect([Pid(0)]);
+        let outcome = SimBuilder::new(alloc.total(), Box::new(policy)).run(n, |ctx| {
+            let mut st = repo.depositor_state();
+            let mut acks = Vec::new();
+            for i in 0..per {
+                acks.push((repo.deposit(ctx, &mut st, ctx.pid().0 as u64 * 100 + i)?,
+                           ctx.pid().0 as u64 * 100 + i));
+            }
+            Ok(acks)
+        });
+        let acked: Vec<(u64, u64)> = outcome
+            .results
+            .iter()
+            .flat_map(|r| r.as_ref().ok().cloned().unwrap_or_default())
+            .collect();
+        let regs: BTreeSet<u64> = acked.iter().map(|&(r, _)| r).collect();
+        prop_assert_eq!(regs.len(), acked.len(), "register reused");
+        // The protected process completed everything.
+        prop_assert!(outcome.results[0].is_ok());
+    }
+
+    /// Unbounded naming: exclusivity for arbitrary parameters; a solo
+    /// claimant takes consecutive integers.
+    #[test]
+    fn naming_exclusive(
+        n in 1usize..5,
+        per in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut alloc = RegAlloc::new();
+        let naming = UnboundedNaming::new(&mut alloc, n);
+        let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+            .run(n, |ctx| {
+                let mut st = naming.namer_state();
+                let mut names = Vec::new();
+                for _ in 0..per {
+                    names.push(naming.acquire(ctx, &mut st)?);
+                }
+                Ok(names)
+            });
+        let all: Vec<u64> = outcome.completed().flatten().copied().collect();
+        let set: BTreeSet<u64> = all.iter().copied().collect();
+        prop_assert_eq!(set.len(), all.len(), "duplicate integer");
+        prop_assert_eq!(all.len(), n * per);
+        if n == 1 {
+            let expect: Vec<u64> = (1..=per as u64).collect();
+            prop_assert_eq!(all, expect, "solo claims must be consecutive");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The debugging workflow: hunt for an interesting interleaving with
+//! seeded-random schedules, render it as a timeline, and replay it
+//! bit-for-bit.
+//!
+//! The program under test is the two-register competition of Figure 1:
+//! we search for the schedule where *nobody* wins the slot (both
+//! contenders reserve, then both observe the other's reservation) — the
+//! paper's remark that "this specification does not require a register to
+//! be won... when there are multiple contenders".
+//!
+//! Run with: `cargo run --example trace_debug`
+
+use exclusive_selection::renaming::SlotBank;
+use exclusive_selection::sim::policy::{RandomPolicy, Scripted};
+use exclusive_selection::sim::trace_view;
+use exclusive_selection::{RegAlloc, SimBuilder};
+
+fn main() {
+    let build = || {
+        let mut alloc = RegAlloc::new();
+        let bank = SlotBank::new(&mut alloc, 1);
+        (bank, alloc.total())
+    };
+
+    // 1. Search: find a seed where both contenders lose.
+    let mut found = None;
+    for seed in 0..200u64 {
+        let (bank, regs) = build();
+        let outcome = SimBuilder::new(regs, Box::new(RandomPolicy::new(seed)))
+            .record_trace(true)
+            .run(2, |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1));
+        let wins: Vec<bool> = outcome.results.iter().map(|r| *r.as_ref().unwrap()).collect();
+        if wins == [false, false] {
+            found = Some((seed, outcome.trace.unwrap()));
+            break;
+        }
+    }
+    let (seed, trace) = found.expect("the nobody-wins interleaving exists and is common");
+    println!("seed {seed} produced the nobody-wins interleaving:\n");
+
+    // 2. Render the schedule.
+    println!("{}", trace_view::render(&trace));
+    println!("{}\n", trace_view::summarize(&trace));
+
+    // 3. Replay it exactly.
+    let (bank, regs) = build();
+    let replay = SimBuilder::new(regs, Box::new(Scripted::from_trace(&trace)))
+        .record_trace(true)
+        .run(2, |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1));
+    let wins: Vec<bool> = replay.results.iter().map(|r| *r.as_ref().unwrap()).collect();
+    assert_eq!(wins, [false, false], "replay diverged");
+    assert_eq!(replay.trace.unwrap(), trace, "replay schedule diverged");
+    println!("replayed bit-for-bit: both contenders exited without a win —");
+    println!("allowed by Lemma 1 (exclusive wins, solo wins), and exactly why the");
+    println!("renaming algorithms route around contested name slots via expansion.");
+}

@@ -1,0 +1,78 @@
+//! Integration: the Theorem 6 adversary against every wait-free renaming
+//! algorithm in the stack — exclusiveness must survive the staged
+//! execution + culling, and the observed steps must dominate the bound.
+
+use exclusive_selection::lowerbound::run_against;
+use exclusive_selection::{
+    AdaptiveRename, BasicRename, MoirAnderson, RegAlloc, Rename, RenameConfig,
+};
+
+#[test]
+fn adversary_vs_moir_anderson() {
+    let (k, n) = (4, 64);
+    let mut alloc = RegAlloc::new();
+    let algo = MoirAnderson::new(&mut alloc, k);
+    let report = run_against(
+        n,
+        alloc.total(),
+        k,
+        algo.name_bound(),
+        alloc.total() as u64,
+        |ctx| Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name()),
+    );
+    assert!(report.exclusive);
+    assert!(report.max_steps_named >= report.bound);
+    assert!(report.named > 0);
+}
+
+#[test]
+fn adversary_vs_basic_rename() {
+    let (k, n) = (4, 64);
+    let mut alloc = RegAlloc::new();
+    let algo = BasicRename::new(&mut alloc, n, k, &RenameConfig::default());
+    let report = run_against(
+        n,
+        alloc.total(),
+        k,
+        algo.name_bound(),
+        alloc.total() as u64,
+        |ctx| Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name()),
+    );
+    assert!(report.exclusive);
+    assert!(report.max_steps_named >= report.bound);
+}
+
+#[test]
+fn adversary_vs_adaptive_rename() {
+    let (k, n) = (4, 32);
+    let mut alloc = RegAlloc::new();
+    let algo = AdaptiveRename::new(&mut alloc, k, &RenameConfig::default());
+    let report = run_against(
+        n,
+        alloc.total(),
+        k,
+        algo.name_bound(),
+        alloc.total() as u64,
+        |ctx| Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name()),
+    );
+    assert!(report.exclusive);
+    assert!(report.max_steps_named >= report.bound);
+}
+
+#[test]
+fn pool_shrinks_within_pigeonhole_factor() {
+    let (k, n) = (8, 128);
+    let mut alloc = RegAlloc::new();
+    let algo = MoirAnderson::new(&mut alloc, k);
+    let r = alloc.total() as u64;
+    let report = run_against(n, alloc.total(), k, algo.name_bound(), r, |ctx| {
+        Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
+    });
+    for w in report.pool_sizes.windows(2) {
+        assert!(
+            w[1] as u64 * 2 * r >= w[0] as u64,
+            "pool shrank faster than the 2r pigeonhole factor: {:?}",
+            report.pool_sizes
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests of the Figure 1 primitive (`Compete-For-Register`):
+//! Lemma 1's two guarantees under arbitrary schedules, contenders and
+//! crash patterns.
+
+use std::collections::BTreeSet;
+
+use exclusive_selection::renaming::SlotBank;
+use exclusive_selection::sim::policy::{CrashStorm, RandomPolicy, Solo};
+use exclusive_selection::{Pid, RegAlloc, SimBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exclusive wins: across arbitrary schedules and contender counts,
+    /// no slot is ever won twice; and a slot someone won reads back the
+    /// winner's token.
+    #[test]
+    fn wins_exclusive_under_arbitrary_schedules(
+        contenders in 2usize..8,
+        slots in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut alloc = RegAlloc::new();
+        let bank = SlotBank::new(&mut alloc, slots);
+        let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+            .run(contenders, |ctx| {
+                let token = ctx.pid().0 as u64 + 1;
+                // Everyone walks all slots, claiming the first win.
+                for s in 0..bank.len() {
+                    if bank.compete(ctx, s, token)? {
+                        return Ok(Some((s, token)));
+                    }
+                }
+                Ok(None)
+            });
+        let wins: Vec<(usize, u64)> = outcome.completed().flatten().copied().collect();
+        let won_slots: BTreeSet<usize> = wins.iter().map(|&(s, _)| s).collect();
+        prop_assert_eq!(won_slots.len(), wins.len(), "a slot was won twice: {:?}", wins);
+    }
+
+    /// Solo wins: the hero, scheduled alone, always wins its first slot,
+    /// no matter what crash storm hits everyone else.
+    #[test]
+    fn solo_contender_always_wins(
+        contenders in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut alloc = RegAlloc::new();
+        let bank = SlotBank::new(&mut alloc, contenders);
+        let hero = Pid(0);
+        let policy = CrashStorm::new(Box::new(Solo::new(hero)), seed, 0.3, contenders.saturating_sub(1))
+            .protect([hero]);
+        let outcome = SimBuilder::new(alloc.total(), Box::new(policy))
+            .run(contenders, |ctx| {
+                let token = ctx.pid().0 as u64 + 1;
+                for s in 0..bank.len() {
+                    if bank.compete(ctx, s, token)? {
+                        return Ok(Some(s));
+                    }
+                }
+                Ok(None)
+            });
+        // The hero runs to completion before anyone else takes a step:
+        // slot 0 is uncontested when it arrives, so it must win slot 0.
+        prop_assert_eq!(outcome.results[0].as_ref().unwrap(), &Some(0));
+    }
+
+    /// Crashed contenders can block a slot (both exit) but never create a
+    /// second winner.
+    #[test]
+    fn crashes_never_create_double_wins(
+        contenders in 2usize..6,
+        seed in any::<u64>(),
+        budget in 1usize..5,
+    ) {
+        let mut alloc = RegAlloc::new();
+        let bank = SlotBank::new(&mut alloc, 1);
+        let policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), !seed, 0.2, budget);
+        let outcome = SimBuilder::new(alloc.total(), Box::new(policy))
+            .run(contenders, |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1));
+        let winners = outcome.completed().filter(|&&w| w).count();
+        prop_assert!(winners <= 1, "{winners} winners on one slot");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests (proptest): the paper's safety invariants hold
+//! for arbitrary contention levels, original-name layouts, schedule seeds
+//! and crash budgets.
+
+use std::collections::BTreeSet;
+
+use exclusive_selection::sim::policy::{CrashStorm, RandomPolicy};
+use exclusive_selection::{
+    AdaptiveRename, BasicRename, MoirAnderson, RegAlloc, Rename, RenameConfig, SimBuilder,
+};
+use proptest::prelude::*;
+
+/// Distinct original names in [1, n_names].
+fn originals_strategy(k: usize, n_names: usize) -> impl Strategy<Value = Vec<u64>> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut set = BTreeSet::new();
+        while set.len() < k {
+            set.insert(rng.random_range(1..=n_names as u64));
+        }
+        let mut v: Vec<u64> = set.into_iter().collect();
+        // Shuffle so pid order is unrelated to name order.
+        for i in (1..v.len()).rev() {
+            v.swap(i, rng.random_range(0..=i));
+        }
+        v
+    })
+}
+
+fn run_basic(
+    k: usize,
+    n_names: usize,
+    originals: &[u64],
+    seed: u64,
+    crash_budget: usize,
+) -> (Vec<Option<u64>>, usize, u64) {
+    let mut alloc = RegAlloc::new();
+    let algo = BasicRename::new(&mut alloc, n_names, k, &RenameConfig::with_seed(seed));
+    let bound = algo.name_bound();
+    let policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), !seed, 0.02, crash_budget);
+    let outcome = SimBuilder::new(alloc.total(), Box::new(policy)).run(originals.len(), |ctx| {
+        algo.rename(ctx, originals[ctx.pid().0]).map(|o| o.name())
+    });
+    let crashed = outcome.crashed.len();
+    (
+        outcome.results.into_iter().map(|r| r.ok().flatten()).collect(),
+        crashed,
+        bound,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Basic-Rename: exclusiveness, range and progress for arbitrary
+    /// contention, name layout, schedule and crashes.
+    #[test]
+    fn basic_rename_invariants(
+        k in 1usize..6,
+        seed in any::<u64>(),
+        crash_budget in 0usize..4,
+        originals in originals_strategy(6, 64),
+    ) {
+        let originals = &originals[..k];
+        let (names, crashed, bound) = run_basic(6, 64, originals, seed, crash_budget.min(k.saturating_sub(1)));
+        let got: Vec<u64> = names.iter().flatten().copied().collect();
+        let set: BTreeSet<u64> = got.iter().copied().collect();
+        prop_assert_eq!(set.len(), got.len(), "duplicate names");
+        prop_assert!(got.iter().all(|&m| (1..=bound).contains(&m)));
+        prop_assert!(got.len() + crashed >= k, "a survivor was left unnamed");
+    }
+
+    /// Moir–Anderson under arbitrary overload: exclusiveness and range
+    /// hold even when contention exceeds the grid capacity.
+    #[test]
+    fn moir_anderson_overload_safe(
+        cap in 1usize..5,
+        contenders in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, cap);
+        let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+            .run(contenders, |ctx| {
+                algo.rename(ctx, ctx.pid().0 as u64 + 1).map(|o| o.name())
+            });
+        let got: Vec<u64> = outcome.results.iter().filter_map(|r| r.as_ref().ok().copied().flatten()).collect();
+        let set: BTreeSet<u64> = got.iter().copied().collect();
+        prop_assert_eq!(set.len(), got.len());
+        prop_assert!(got.iter().all(|&m| m <= algo.name_bound()));
+        if contenders <= cap {
+            prop_assert_eq!(got.len(), contenders, "everyone within capacity must stop");
+        }
+    }
+
+    /// Adaptive-Rename: the 8k − lg k − 1 bound holds for every true
+    /// contention under every schedule.
+    #[test]
+    fn adaptive_bound_holds(
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut alloc = RegAlloc::new();
+        let algo = AdaptiveRename::new(&mut alloc, 8, &RenameConfig::default());
+        let originals: Vec<u64> = (0..k as u64).map(|i| (i + 1).wrapping_mul(seed | 1)).collect();
+        // Original names must be distinct; wrapping_mul with odd seed is a
+        // bijection on u64, so they are.
+        let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+            .run(k, |ctx| algo.rename(ctx, originals[ctx.pid().0]).map(|o| o.name()));
+        let got: Vec<u64> = outcome.results.iter().filter_map(|r| r.as_ref().ok().copied().flatten()).collect();
+        prop_assert_eq!(got.len(), k);
+        let set: BTreeSet<u64> = got.iter().copied().collect();
+        prop_assert_eq!(set.len(), k);
+        let lg_k = (k as f64).log2().floor() as u64;
+        prop_assert!(got.iter().all(|&m| m < 8 * k as u64 - lg_k));
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration: every renaming algorithm in the stack, run on
+//! the deterministic simulator under fair, random, solo and crash-storm
+//! schedules. The invariants checked here are the paper's specification:
+//! exclusiveness always; progress (everyone named) whenever contention is
+//! within capacity; wait-freedom (a solo-scheduled process completes).
+
+use std::collections::BTreeSet;
+
+use exclusive_selection::sim::policy::{CrashStorm, Policy, RandomPolicy, RoundRobin, Solo};
+use exclusive_selection::{
+    AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, MoirAnderson, Pid,
+    PolyLogRename, RegAlloc, Rename, RenameConfig, SimBuilder, SnapshotRename,
+};
+
+type AlgoFactory = Box<dyn Fn(&mut RegAlloc) -> Box<dyn Rename + Send> + Sync>;
+
+fn stack(k: usize, n_names: usize) -> Vec<(&'static str, AlgoFactory)> {
+    let cfg = RenameConfig::default();
+    let c1 = cfg.clone();
+    let c2 = cfg.clone();
+    let c3 = cfg.clone();
+    let c4 = cfg.clone();
+    vec![
+        (
+            "moir_anderson",
+            Box::new(move |a: &mut RegAlloc| Box::new(MoirAnderson::new(a, k)) as _),
+        ),
+        (
+            "basic",
+            Box::new(move |a: &mut RegAlloc| Box::new(BasicRename::new(a, n_names, k, &c1)) as _),
+        ),
+        (
+            "polylog",
+            Box::new(move |a: &mut RegAlloc| Box::new(PolyLogRename::new(a, n_names, k, &c2)) as _),
+        ),
+        (
+            "efficient",
+            Box::new(move |a: &mut RegAlloc| Box::new(EfficientRename::new(a, k, &c3)) as _),
+        ),
+        (
+            "almost_adaptive",
+            Box::new(move |a: &mut RegAlloc| Box::new(AlmostAdaptive::new(a, n_names, k, &c4)) as _),
+        ),
+        (
+            "adaptive",
+            Box::new(move |a: &mut RegAlloc| {
+                Box::new(AdaptiveRename::new(a, k, &RenameConfig::default())) as _
+            }),
+        ),
+        (
+            "snapshot_baseline",
+            Box::new(move |a: &mut RegAlloc| Box::new(SnapshotRename::new(a, k)) as _),
+        ),
+    ]
+}
+
+fn run_with_policy(
+    factory: &AlgoFactory,
+    k: usize,
+    n_names: usize,
+    policy: Box<dyn Policy>,
+) -> (Vec<Option<u64>>, usize) {
+    let mut alloc = RegAlloc::new();
+    let algo = factory(&mut alloc);
+    let originals: Vec<u64> = (0..k).map(|i| (i * n_names / k) as u64 + 1).collect();
+    let outcome = SimBuilder::new(alloc.total(), policy).run(k, |ctx| {
+        algo.rename(ctx, originals[ctx.pid().0]).map(|o| o.name())
+    });
+    let crashed = outcome.crashed.len();
+    (
+        outcome
+            .results
+            .into_iter()
+            .map(|r| r.ok().flatten())
+            .collect(),
+        crashed,
+    )
+}
+
+fn assert_exclusive(names: &[Option<u64>], label: &str) {
+    let got: Vec<u64> = names.iter().flatten().copied().collect();
+    let set: BTreeSet<u64> = got.iter().copied().collect();
+    assert_eq!(set.len(), got.len(), "{label}: duplicate names {got:?}");
+}
+
+#[test]
+fn fair_schedule_names_everyone() {
+    let (k, n_names) = (4, 64);
+    for (label, factory) in stack(k, n_names) {
+        let (names, _) = run_with_policy(&factory, k, n_names, Box::new(RoundRobin::new()));
+        assert_exclusive(&names, label);
+        assert_eq!(
+            names.iter().flatten().count(),
+            k,
+            "{label}: not everyone named under fair schedule"
+        );
+    }
+}
+
+#[test]
+fn random_schedules_preserve_exclusiveness_and_progress() {
+    let (k, n_names) = (4, 64);
+    for (label, factory) in stack(k, n_names) {
+        for seed in 0..10 {
+            let (names, _) =
+                run_with_policy(&factory, k, n_names, Box::new(RandomPolicy::new(seed)));
+            assert_exclusive(&names, label);
+            assert_eq!(names.iter().flatten().count(), k, "{label} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn solo_schedule_is_wait_free() {
+    // The hero is scheduled to completion while everyone else is frozen:
+    // wait-freedom demands it still gets a name.
+    let (k, n_names) = (4, 64);
+    for (label, factory) in stack(k, n_names) {
+        let (names, _) = run_with_policy(&factory, k, n_names, Box::new(Solo::new(Pid(2))));
+        assert_exclusive(&names, label);
+        assert!(
+            names[2].is_some(),
+            "{label}: solo-scheduled process failed to rename"
+        );
+    }
+}
+
+#[test]
+fn crash_storms_never_violate_exclusiveness() {
+    let (k, n_names) = (4, 64);
+    for (label, factory) in stack(k, n_names) {
+        for seed in 0..6 {
+            let policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), seed, 0.05, k - 1);
+            let (names, crashed) = run_with_policy(&factory, k, n_names, Box::new(policy));
+            assert_exclusive(&names, label);
+            assert!(
+                names.iter().flatten().count() + crashed >= k,
+                "{label} seed {seed}: a survivor was left unnamed"
+            );
+        }
+    }
+}
+
+#[test]
+fn name_ranges_respected_under_all_seeds() {
+    let (k, n_names) = (4, 64);
+    for (label, factory) in stack(k, n_names) {
+        let mut alloc = RegAlloc::new();
+        let bound = factory(&mut alloc).name_bound();
+        for seed in 20..25 {
+            let (names, _) =
+                run_with_policy(&factory, k, n_names, Box::new(RandomPolicy::new(seed)));
+            for name in names.iter().flatten() {
+                assert!(
+                    (1..=bound).contains(name),
+                    "{label}: name {name} outside [1, {bound}]"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration: the §5 repository/naming stack on the deterministic
+//! simulator — persistence, exclusiveness and waste bounds under
+//! adversarial schedules and crashes.
+
+use std::collections::BTreeSet;
+
+use exclusive_selection::sim::policy::{CrashStorm, RandomPolicy, RoundRobin};
+use exclusive_selection::{
+    AltruisticDeposit, Pid, RegAlloc, SelfishDeposit, SimBuilder, UnboundedNaming,
+};
+
+#[test]
+fn selfish_deposits_exclusive_under_random_schedules() {
+    let n = 3;
+    let per = 5u64;
+    for seed in 0..8 {
+        let mut alloc = RegAlloc::new();
+        let repo = SelfishDeposit::new(&mut alloc, n, 256);
+        let outcome =
+            SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(n, |ctx| {
+                let mut st = repo.depositor_state();
+                let mut regs = Vec::new();
+                for i in 0..per {
+                    regs.push(repo.deposit(ctx, &mut st, ctx.pid().0 as u64 * 100 + i)?);
+                }
+                Ok(regs)
+            });
+        let all: Vec<u64> = outcome.completed().flatten().copied().collect();
+        let set: BTreeSet<u64> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "seed {seed}: register double-used");
+        assert_eq!(all.len(), n * per as usize);
+    }
+}
+
+#[test]
+fn selfish_nonblocking_under_crash_storm() {
+    // Non-blockingness in a finite run: with crashes bounded by n−1, the
+    // surviving process still completes all its deposits.
+    let n = 3;
+    for seed in 0..5 {
+        let mut alloc = RegAlloc::new();
+        let repo = SelfishDeposit::new(&mut alloc, n, 256);
+        let policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), seed, 0.02, n - 1)
+            .protect([Pid(0)]);
+        let outcome = SimBuilder::new(alloc.total(), Box::new(policy)).run(n, |ctx| {
+            let mut st = repo.depositor_state();
+            for i in 0..4u64 {
+                repo.deposit(ctx, &mut st, i)?;
+            }
+            Ok(())
+        });
+        assert!(
+            outcome.results[0].is_ok(),
+            "seed {seed}: protected process failed to finish"
+        );
+    }
+}
+
+#[test]
+fn altruistic_deposits_exclusive_on_simulator() {
+    let n = 3;
+    let per = 3u64;
+    for seed in 0..4 {
+        let mut alloc = RegAlloc::new();
+        let repo = AltruisticDeposit::new(&mut alloc, n, 512);
+        let outcome =
+            SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(n, |ctx| {
+                let mut st = repo.depositor_state();
+                let mut regs = Vec::new();
+                for i in 0..per {
+                    regs.push(repo.deposit(ctx, &mut st, i)?);
+                }
+                Ok(regs)
+            });
+        let all: Vec<u64> = outcome.completed().flatten().copied().collect();
+        let set: BTreeSet<u64> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "seed {seed}: register double-used");
+    }
+}
+
+#[test]
+fn unbounded_naming_exclusive_across_processes_and_time() {
+    let n = 3;
+    let per = 6u64;
+    for seed in 0..6 {
+        let mut alloc = RegAlloc::new();
+        let naming = UnboundedNaming::new(&mut alloc, n);
+        let outcome =
+            SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(n, |ctx| {
+                let mut st = naming.namer_state();
+                let mut names = Vec::new();
+                for _ in 0..per {
+                    names.push(naming.acquire(ctx, &mut st)?);
+                }
+                Ok(names)
+            });
+        let all: Vec<u64> = outcome.completed().flatten().copied().collect();
+        let set: BTreeSet<u64> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "seed {seed}: duplicate name");
+        // Theorem 10 quality: skipped integers below the frontier stay
+        // within n−1 in crash-free runs.
+        let frontier = *all.iter().max().unwrap();
+        let skipped = (1..=frontier).filter(|i| !set.contains(i)).count();
+        assert!(skipped < n, "seed {seed}: {skipped} integers skipped");
+    }
+}
+
+#[test]
+fn fair_schedule_round_trips() {
+    let n = 2;
+    let mut alloc = RegAlloc::new();
+    let repo = SelfishDeposit::new(&mut alloc, n, 64);
+    let outcome = SimBuilder::new(alloc.total(), Box::new(RoundRobin::new())).run(n, |ctx| {
+        let mut st = repo.depositor_state();
+        repo.deposit(ctx, &mut st, ctx.pid().0 as u64)
+    });
+    let regs: Vec<u64> = outcome.completed().copied().collect();
+    assert_eq!(regs.len(), 2);
+    assert_ne!(regs[0], regs[1]);
+}

@@ -1,0 +1,104 @@
+//! Execution-backend comparison: the thread-backed lock-step scheduler
+//! (`SimBuilder`) vs the single-threaded step-machine engine
+//! (`StepEngine`) on identical workloads — a full Majority-renaming round
+//! under a seeded random schedule, exhaustive schedule exploration of
+//! `Compete-For-Register` at a fixed depth, and a pigeonhole-adversary
+//! run. The executions themselves are identical (same policy ⇒ same
+//! trace); only the machinery differs.
+//!
+//! `cargo bench -p exsel-bench --bench engine`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exsel_bench::runner::{run_sim, run_sim_engine, spread_originals};
+use exsel_core::{Majority, MoirAnderson, Outcome, Rename, RenameConfig, SlotBank, StepRename};
+use exsel_lowerbound::{run_against, run_machines_against};
+use exsel_shm::{RegAlloc, StepMachine};
+use exsel_sim::explore::{explore, explore_engine};
+
+fn bench_majority_round(c: &mut Criterion) {
+    let cfg = RenameConfig::default();
+    let mut group = c.benchmark_group("backend_majority");
+    group.sample_size(10);
+    for k in [4usize, 8, 16] {
+        let mut alloc = RegAlloc::new();
+        let algo = Majority::new(&mut alloc, 256, k, &cfg);
+        let regs = alloc.total();
+        let originals = spread_originals(k, 256);
+        group.bench_with_input(BenchmarkId::new("threads", k), &k, |b, _| {
+            b.iter(|| run_sim(&algo, regs, &originals, 42));
+        });
+        group.bench_with_input(BenchmarkId::new("step_engine", k), &k, |b, _| {
+            b.iter(|| run_sim_engine(&algo, regs, &originals, 42));
+        });
+    }
+    group.finish();
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_explore");
+    group.sample_size(10);
+    // Three contenders on one compete slot: exhaustive schedule tree,
+    // thousands of executions per iteration.
+    let mut alloc = RegAlloc::new();
+    let bank = SlotBank::new(&mut alloc, 1);
+    let regs = alloc.total();
+    group.bench_with_input(BenchmarkId::new("threads", 3), &3, |b, _| {
+        b.iter(|| {
+            explore(
+                regs,
+                3,
+                u64::MAX,
+                |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1),
+                |_| {},
+            )
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("step_engine", 3), &3, |b, _| {
+        b.iter(|| {
+            explore_engine(
+                regs,
+                3,
+                u64::MAX,
+                |pid| Box::new(bank.begin_compete(0, pid.0 as u64 + 1)),
+                |_| {},
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_adversary");
+    group.sample_size(10);
+    let (k, n) = (8usize, 256usize);
+    let mut alloc = RegAlloc::new();
+    let algo = MoirAnderson::new(&mut alloc, k);
+    let regs = alloc.total();
+    let m = algo.name_bound();
+    group.bench_with_input(BenchmarkId::new("threads", n), &n, |b, _| {
+        b.iter(|| {
+            run_against(n, regs, k, m, regs as u64, |ctx| {
+                Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
+            })
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("step_engine", n), &n, |b, _| {
+        b.iter(|| {
+            run_machines_against(n, regs, k, m, regs as u64, |pid| {
+                Box::new(
+                    algo.begin_rename(pid, pid.0 as u64 + 1)
+                        .map_output(Outcome::name),
+                )
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_majority_round,
+    bench_explore,
+    bench_adversary
+);
+criterion_main!(benches);

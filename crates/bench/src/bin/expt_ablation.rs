@@ -25,7 +25,13 @@ fn main() {
     let mut t1 = Table::new(
         "A1 Efficient-Rename pipeline — polylog stage on/off",
         &[
-            "k", "pipeline", "polylog_used", "snapshot_slots", "registers", "max_steps", "max_name",
+            "k",
+            "pipeline",
+            "polylog_used",
+            "snapshot_slots",
+            "registers",
+            "max_steps",
+            "max_name",
         ],
     );
     for k in [4usize, 8, 16] {
@@ -52,7 +58,14 @@ fn main() {
     let mut t2 = Table::new(
         "A2 Expander profile — Lemma 3 constants vs compact",
         &[
-            "profile", "N", "l", "degree", "outputs", "registers", "renamed", "max_steps",
+            "profile",
+            "N",
+            "l",
+            "degree",
+            "outputs",
+            "registers",
+            "renamed",
+            "max_steps",
         ],
     );
     for (label, params) in [
@@ -88,7 +101,15 @@ fn main() {
     // is where the Majority guarantee erodes.
     let mut t3 = Table::new(
         "A3 Width ablation — worst unique-neighbour rate over 300 sampled subsets",
-        &["width_factor", "N", "l", "degree", "outputs", "worst_rate", "majority_ok"],
+        &[
+            "width_factor",
+            "N",
+            "l",
+            "degree",
+            "outputs",
+            "worst_rate",
+            "majority_ok",
+        ],
     );
     for width_factor in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
         let params = ExpanderParams {

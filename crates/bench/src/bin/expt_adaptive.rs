@@ -26,7 +26,9 @@ fn main() {
 
     for k in [1usize, 2, 3, 4, 6, 8, 12, 16] {
         // Sparse, huge originals: N is effectively unbounded.
-        let originals: Vec<u64> = (0..k as u64).map(|i| (i + 1).wrapping_mul(0x9E37_79B9)).collect();
+        let originals: Vec<u64> = (0..k as u64)
+            .map(|i| (i + 1).wrapping_mul(0x9E37_79B9))
+            .collect();
         let mut max_steps = 0u64;
         let mut max_name = 0u64;
         let mut min_named = k;

@@ -42,7 +42,10 @@ fn main() {
             min_named = min_named.min(run.named());
         }
         let bound = probe.name_bound_for_contention(k);
-        assert!(max_name <= bound, "Theorem 3 violated: {max_name} > {bound}");
+        assert!(
+            max_name <= bound,
+            "Theorem 3 violated: {max_name} > {bound}"
+        );
         assert_eq!(min_named, k, "not everyone renamed at k={k}");
         let lg_k = (k as f64).log2().max(1.0);
         let lg_n = (n_names as f64).log2();

@@ -14,7 +14,15 @@ fn main() {
     let mut table = Table::new(
         "T2 Basic-Rename(k,N) — Lemma 5: O(log k · log N) steps, M = O(k log(N/k))",
         &[
-            "N", "k", "stages", "M", "registers", "named", "max_steps", "steps_norm", "M_norm",
+            "N",
+            "k",
+            "stages",
+            "M",
+            "registers",
+            "named",
+            "max_steps",
+            "steps_norm",
+            "M_norm",
         ],
     );
     let cfg = RenameConfig::default();

@@ -38,7 +38,14 @@ fn main() {
     let mut table = Table::new(
         "T4 k-renaming comparison — Theorem 2 vs prior work (full contention)",
         &[
-            "algorithm", "k", "N", "M_bound", "max_name", "max_steps", "registers", "named",
+            "algorithm",
+            "k",
+            "N",
+            "M_bound",
+            "max_name",
+            "max_steps",
+            "registers",
+            "named",
         ],
     );
     let cfg = RenameConfig::default();
@@ -46,12 +53,8 @@ fn main() {
         let n_small = 4 * k;
         let n_large = 1 << 16;
 
-        let (steps, name, named, regs) = measure(
-            |a| Box::new(MoirAnderson::new(a, k)),
-            k,
-            n_small,
-            0..5,
-        );
+        let (steps, name, named, regs) =
+            measure(|a| Box::new(MoirAnderson::new(a, k)), k, n_small, 0..5);
         table.row(&[
             "MoirAnderson".into(),
             k.to_string(),
@@ -101,12 +104,8 @@ fn main() {
         // Classic snapshot renaming with a contender-sized snapshot
         // (slot = pid): matches M = 2k−1 but its scans cost O(k) per
         // collect with higher iteration counts under contention.
-        let (steps, name, named, regs) = measure(
-            |a| Box::new(SnapshotRename::new(a, k)),
-            k,
-            n_small,
-            0..3,
-        );
+        let (steps, name, named, regs) =
+            measure(|a| Box::new(SnapshotRename::new(a, k)), k, n_small, 0..3);
         table.row(&[
             "SnapshotRename".into(),
             k.to_string(),

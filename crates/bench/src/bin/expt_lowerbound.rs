@@ -16,7 +16,16 @@ fn main() {
     let mut table = Table::new(
         "T7 Theorem 6 lower bound — pigeonhole adversary vs real algorithms",
         &[
-            "algorithm", "k", "N", "M", "r", "bound", "stages", "pool_path", "observed", "holds",
+            "algorithm",
+            "k",
+            "N",
+            "M",
+            "r",
+            "bound",
+            "stages",
+            "pool_path",
+            "observed",
+            "holds",
         ],
     );
 
@@ -77,7 +86,9 @@ fn main() {
     // Theorem 7: the storing analogue — first stores under the adversary.
     let mut t7 = Table::new(
         "T7b Theorem 7 storing lower bound — adversary vs Store&Collect (adaptive setting)",
-        &["k", "N", "r", "bound", "stages", "stored", "observed", "holds"],
+        &[
+            "k", "N", "r", "bound", "stages", "stored", "observed", "holds",
+        ],
     );
     for (k, n) in [(4usize, 32usize), (4, 64), (8, 64)] {
         let mut alloc = RegAlloc::new();

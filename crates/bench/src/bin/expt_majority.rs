@@ -13,7 +13,15 @@ fn main() {
     let mut table = Table::new(
         "T1 Majority(l,N) — Lemma 4: ≥ half renamed, O(log N) steps",
         &[
-            "N", "l", "degree", "M", "registers", "renamed", "frac", "max_steps", "walk_bound",
+            "N",
+            "l",
+            "degree",
+            "M",
+            "registers",
+            "renamed",
+            "frac",
+            "max_steps",
+            "walk_bound",
         ],
     );
     let cfg = RenameConfig::default();

@@ -14,7 +14,15 @@ fn main() {
     let mut table = Table::new(
         "T3 PolyLog-Rename(k,N) — Theorem 1: M = O(k), polylog steps",
         &[
-            "N", "k", "epochs", "M", "M/k", "registers", "named", "max_steps", "steps_norm",
+            "N",
+            "k",
+            "epochs",
+            "M",
+            "M/k",
+            "registers",
+            "named",
+            "max_steps",
+            "steps_norm",
         ],
     );
     let cfg = RenameConfig::default();
@@ -45,10 +53,7 @@ fn main() {
                 alloc.total().to_string(),
                 min_named.to_string(),
                 max_steps.to_string(),
-                format!(
-                    "{:.2}",
-                    max_steps as f64 / (lg_k * (lg_n + lg_k * lglg_n))
-                ),
+                format!("{:.2}", max_steps as f64 / (lg_k * (lg_n + lg_k * lglg_n))),
             ]);
             assert_eq!(min_named, k, "Theorem 1 violated: not everyone renamed");
         }

@@ -30,7 +30,12 @@ fn waste(occ: &[Option<u64>]) -> (usize, usize) {
 fn selfish_storm(n: usize, per: usize, seed: u64) -> (usize, usize, usize) {
     let mut alloc = RegAlloc::new();
     let repo = SelfishDeposit::new(&mut alloc, n, 8 * n * per + 4 * n);
-    let policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), seed ^ 0xABCD, 0.001, n - 1);
+    let policy = CrashStorm::new(
+        Box::new(RandomPolicy::new(seed)),
+        seed ^ 0xABCD,
+        0.001,
+        n - 1,
+    );
     let outcome = SimBuilder::new(alloc.total(), Box::new(policy)).run(n, |ctx| {
         let mut st = repo.depositor_state();
         for i in 0..per as u64 {
@@ -89,7 +94,10 @@ fn selfish_tightness() -> (usize, usize) {
     {
         let ctx = Ctx::new(&mem, Pid(1));
         let mut st = repo.depositor_state();
-        assert!(repo.deposit(ctx, &mut st, 99).is_err(), "victim must freeze");
+        assert!(
+            repo.deposit(ctx, &mut st, 99).is_err(),
+            "victim must freeze"
+        );
     }
     // The survivor deposits many values; the frozen reservation blocks
     // register 1 forever.
@@ -152,11 +160,7 @@ fn altruistic_fill_freeze(n: usize) -> (usize, usize, usize) {
             });
         }
     });
-    let parked_before = repo
-        .help_occupancy(&mem, Pid(0))
-        .iter()
-        .flatten()
-        .count();
+    let parked_before = repo.help_occupancy(&mem, Pid(0)).iter().flatten().count();
     assert_eq!(parked_before, n * n, "matrix must be full");
     // Crash everyone but process 0.
     for victim in 1..n {
@@ -176,7 +180,13 @@ fn main() {
     let mut table = Table::new(
         "T9 Repository waste — Theorems 8 & 9, Corollary 2",
         &[
-            "experiment", "n", "deposits", "holes", "budget", "frontier", "within",
+            "experiment",
+            "n",
+            "deposits",
+            "holes",
+            "budget",
+            "frontier",
+            "within",
         ],
     );
 
@@ -260,7 +270,9 @@ fn main() {
 
     // Crash accounting sanity from the deterministic simulator.
     let (crashed, completed, budget) = selfish_storm(3, 4, 42);
-    println!("sim sanity: {crashed} crashed (≤ {budget}), {completed} completed under storm schedule");
+    println!(
+        "sim sanity: {crashed} crashed (≤ {budget}), {completed} completed under storm schedule"
+    );
 
     table.emit();
     println!("shape check: selfish waste ≤ n−1 under every storm and exactly n−1 in the freeze construction");

@@ -14,7 +14,14 @@ fn main() {
     let cfg = RenameConfig::default();
     let mut table = Table::new(
         "S1 large-k scaling on real threads (max local steps over 3 rounds)",
-        &["algorithm", "k", "max_steps", "steps_per_k", "max_name", "registers"],
+        &[
+            "algorithm",
+            "k",
+            "max_steps",
+            "steps_per_k",
+            "max_name",
+            "registers",
+        ],
     );
 
     for k in [8usize, 16, 32, 64, 128] {
@@ -91,5 +98,7 @@ fn main() {
 
     table.emit();
     println!("shape check: MoirAnderson's steps_per_k stays ≤ 4 out to k = 128; the 2k−1 algorithms pay their");
-    println!("snapshot constants but remain wait-free at every contention (all runs named everyone).");
+    println!(
+        "snapshot constants but remain wait-free at every contention (all runs named everyone)."
+    );
 }

@@ -58,7 +58,13 @@ fn main() {
     let mut table = Table::new(
         "T8 Store&Collect — Theorem 5: step costs per setting",
         &[
-            "setting", "k", "first_store", "repeat_store", "collect", "registers", "complete",
+            "setting",
+            "k",
+            "first_store",
+            "repeat_store",
+            "collect",
+            "registers",
+            "complete",
         ],
     );
     for k in [2usize, 4, 8] {

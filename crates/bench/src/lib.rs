@@ -21,5 +21,5 @@
 pub mod runner;
 pub mod table;
 
-pub use runner::{run_sim, run_threaded, RenamingRun};
+pub use runner::{run_sim, run_sim_engine, run_threaded, RenamingRun};
 pub use table::Table;

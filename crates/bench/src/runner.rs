@@ -4,9 +4,9 @@
 
 use std::collections::BTreeSet;
 
-use exsel_core::Rename;
-use exsel_shm::{Ctx, Pid, ThreadedShm};
-use exsel_sim::{policy::RandomPolicy, SimBuilder};
+use exsel_core::{Rename, StepRename};
+use exsel_shm::{Ctx, Pid, StepMachine, ThreadedShm};
+use exsel_sim::{policy::RandomPolicy, SimBuilder, StepEngine};
 
 /// The outcome of one renaming execution.
 #[derive(Clone, Debug)]
@@ -83,6 +83,45 @@ where
     run
 }
 
+/// [`run_sim`] on the single-threaded `StepEngine`: no thread spawns, so
+/// large contender counts and long seed sweeps run at memory speed. The
+/// same seed produces the same execution as [`run_sim`] (the blocking
+/// renaming APIs are `drive` adapters over the same step machines).
+pub fn run_sim_engine<R>(
+    algo: &R,
+    num_registers: usize,
+    originals: &[u64],
+    seed: u64,
+) -> RenamingRun
+where
+    R: StepRename + ?Sized,
+{
+    let outcome = StepEngine::new(num_registers, Box::new(RandomPolicy::new(seed))).run(
+        originals
+            .iter()
+            .enumerate()
+            .map(
+                |(p, &orig)| -> Box<dyn StepMachine<Output = Option<u64>> + '_> {
+                    Box::new(
+                        algo.begin_rename(Pid(p), orig)
+                            .map_output(exsel_core::Outcome::name),
+                    )
+                },
+            )
+            .collect(),
+    );
+    let run = RenamingRun {
+        names: outcome
+            .results
+            .into_iter()
+            .map(|r| r.ok().flatten())
+            .collect(),
+        steps: outcome.steps,
+    };
+    run.assert_exclusive();
+    run
+}
+
 /// Runs contenders on real OS threads over [`ThreadedShm`]. Step counts
 /// are schedule-dependent but indicative; use for larger instances than
 /// the simulator can handle comfortably.
@@ -116,9 +155,7 @@ where
 #[must_use]
 pub fn spread_originals(k: usize, n_names: usize) -> Vec<u64> {
     assert!(k <= n_names, "more contenders than names");
-    (0..k)
-        .map(|i| (i * n_names / k) as u64 + 1)
-        .collect()
+    (0..k).map(|i| (i * n_names / k) as u64 + 1).collect()
 }
 
 #[cfg(test)]
@@ -139,6 +176,19 @@ mod tests {
         let b = run_sim(&algo2, alloc2.total(), &originals, 11);
         assert_eq!(a.names, b.names);
         assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn engine_run_matches_thread_backed_run() {
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, 5);
+        let originals = spread_originals(5, 100);
+        for seed in [0u64, 7, 23] {
+            let threaded = run_sim(&algo, alloc.total(), &originals, seed);
+            let engine = run_sim_engine(&algo, alloc.total(), &originals, seed);
+            assert_eq!(threaded.names, engine.names, "seed {seed}");
+            assert_eq!(threaded.steps, engine.steps, "seed {seed}");
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! `N` known) with `M = 8k − lg k − 1`, `O(k)` local steps and `O(n²)`
 //! registers.
 
-use exsel_shm::{Ctx, RegAlloc, Step};
+use exsel_shm::{drive, Ctx, Pid, RegAlloc, Step};
 
+use crate::step::{RenameMachine, Staged, StepRename};
 use crate::{EfficientRename, Outcome, Rename, RenameConfig};
 
 /// Doubling over [`EfficientRename`]: phase `i` runs
@@ -64,7 +65,10 @@ impl AdaptiveRename {
     pub fn name_bound_for_contention(&self, k: usize) -> u64 {
         assert!(k > 0, "contention must be positive");
         let phase = k.next_power_of_two().ilog2() as usize;
-        assert!(phase < self.phases.len(), "contention {k} beyond system size");
+        assert!(
+            phase < self.phases.len(),
+            "contention {k} beyond system size"
+        );
         self.offsets[phase] + self.phases[phase].name_bound()
     }
 
@@ -77,17 +81,25 @@ impl AdaptiveRename {
 
 impl Rename for AdaptiveRename {
     fn name_bound(&self) -> u64 {
-        self.offsets.last().copied().unwrap_or(0)
-            + self.phases.last().map_or(0, |p| p.name_bound())
+        self.offsets.last().copied().unwrap_or(0) + self.phases.last().map_or(0, |p| p.name_bound())
     }
 
+    /// Blocking adapter over [`StepRename::begin_rename`].
     fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
-        for (phase, &offset) in self.phases.iter().zip(&self.offsets) {
-            if let Outcome::Named(w) = phase.rename(ctx, original)? {
-                return Ok(Outcome::Named(offset + w));
-            }
-        }
-        Ok(Outcome::Failed)
+        drive(&mut self.begin_rename(ctx.pid(), original), ctx)
+    }
+}
+
+impl StepRename for AdaptiveRename {
+    /// The doubling walk as a [`exsel_shm::StepMachine`]: phase `i` runs
+    /// `Efficient-Rename(2^i)` on the shared `original`, offset into its
+    /// own name interval.
+    fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a> {
+        Box::new(Staged::new(move |i| {
+            self.phases
+                .get(i)
+                .map(|phase| (phase.begin_rename(pid, original), self.offsets[i]))
+        }))
     }
 }
 

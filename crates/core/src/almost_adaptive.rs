@@ -3,8 +3,9 @@
 //! `O(log²k (log N + log k · log log N))` local steps with
 //! `O(n·log(N/n))` registers.
 
-use exsel_shm::{Ctx, RegAlloc, Step};
+use exsel_shm::{drive, Ctx, Pid, RegAlloc, Step};
 
+use crate::step::{RenameMachine, Staged, StepRename};
 use crate::{Outcome, PolyLogRename, Rename, RenameConfig};
 
 /// Doubling over [`PolyLogRename`]: phase `i` runs
@@ -43,7 +44,8 @@ impl AlmostAdaptive {
         let mut offsets = Vec::with_capacity(top + 1);
         let mut offset = 0u64;
         for i in 0..=top {
-            let phase = PolyLogRename::new(alloc, n_names, 1 << i, &cfg.child(0x30_0000 + i as u64));
+            let phase =
+                PolyLogRename::new(alloc, n_names, 1 << i, &cfg.child(0x30_0000 + i as u64));
             offsets.push(offset);
             offset += phase.name_bound();
             phases.push(phase);
@@ -80,7 +82,10 @@ impl AlmostAdaptive {
     pub fn name_bound_for_contention(&self, k: usize) -> u64 {
         assert!(k > 0, "contention must be positive");
         let phase = k.next_power_of_two().ilog2() as usize;
-        assert!(phase < self.phases.len(), "contention {k} beyond system size");
+        assert!(
+            phase < self.phases.len(),
+            "contention {k} beyond system size"
+        );
         self.offsets[phase] + self.phases[phase].name_bound()
     }
 
@@ -93,17 +98,25 @@ impl AlmostAdaptive {
 
 impl Rename for AlmostAdaptive {
     fn name_bound(&self) -> u64 {
-        self.offsets.last().copied().unwrap_or(0)
-            + self.phases.last().map_or(0, |p| p.name_bound())
+        self.offsets.last().copied().unwrap_or(0) + self.phases.last().map_or(0, |p| p.name_bound())
     }
 
+    /// Blocking adapter over [`StepRename::begin_rename`].
     fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
-        for (phase, &offset) in self.phases.iter().zip(&self.offsets) {
-            if let Outcome::Named(w) = phase.rename(ctx, original)? {
-                return Ok(Outcome::Named(offset + w));
-            }
-        }
-        Ok(Outcome::Failed)
+        drive(&mut self.begin_rename(ctx.pid(), original), ctx)
+    }
+}
+
+impl StepRename for AlmostAdaptive {
+    /// The doubling walk as a [`exsel_shm::StepMachine`]: phase `i` runs
+    /// `PolyLog-Rename(2^i, N)` on the shared `original`, offset into its
+    /// own name interval.
+    fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a> {
+        Box::new(Staged::new(move |i| {
+            self.phases
+                .get(i)
+                .map(|phase| (phase.begin_rename(pid, original), self.offsets[i]))
+        }))
     }
 }
 

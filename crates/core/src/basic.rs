@@ -1,8 +1,9 @@
 //! `Basic-Rename(k, N)` — Lemma 5: `(k,N)`-renaming in `O(log k · log N)`
 //! local steps with `M = O(k · log(N/k))` new names.
 
-use exsel_shm::{Ctx, RegAlloc, Step};
+use exsel_shm::{drive, Ctx, Pid, RegAlloc, Step};
 
+use crate::step::{RenameMachine, Staged, StepRename};
 use crate::{Majority, Outcome, Rename, RenameConfig};
 
 /// Staged majority renaming.
@@ -80,17 +81,25 @@ impl BasicRename {
 
 impl Rename for BasicRename {
     fn name_bound(&self) -> u64 {
-        self.offsets.last().copied().unwrap_or(0)
-            + self.stages.last().map_or(0, |s| s.name_bound())
+        self.offsets.last().copied().unwrap_or(0) + self.stages.last().map_or(0, |s| s.name_bound())
     }
 
+    /// Blocking adapter over [`StepRename::begin_rename`].
     fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
-        for (stage, &offset) in self.stages.iter().zip(&self.offsets) {
-            if let Outcome::Named(w) = stage.rename(ctx, original)? {
-                return Ok(Outcome::Named(offset + w));
-            }
-        }
-        Ok(Outcome::Failed)
+        drive(&mut self.begin_rename(ctx.pid(), original), ctx)
+    }
+}
+
+impl StepRename for BasicRename {
+    /// The staged walk as a [`exsel_shm::StepMachine`]: stage `i`'s
+    /// `Majority` machine runs on the shared `original` until one names
+    /// the caller, offset into stage `i`'s name interval.
+    fn begin_rename<'a>(&'a self, _pid: Pid, original: u64) -> RenameMachine<'a> {
+        Box::new(Staged::new(move |i| {
+            self.stages.get(i).map(|stage| -> (RenameMachine<'a>, u64) {
+                (Box::new(stage.begin_walk(original)), self.offsets[i])
+            })
+        }))
     }
 }
 
@@ -126,7 +135,10 @@ mod tests {
         let outs = rename_all(&algo, alloc.total(), &originals);
         let names: Vec<u64> = outs
             .iter()
-            .map(|o| o.name().expect("full contention within capacity must name everyone"))
+            .map(|o| {
+                o.name()
+                    .expect("full contention within capacity must name everyone")
+            })
             .collect();
         let set: BTreeSet<u64> = names.iter().copied().collect();
         assert_eq!(set.len(), k, "names not exclusive: {names:?}");

@@ -1,6 +1,6 @@
 //! `Compete-For-Register` — Figure 1 of the paper.
 
-use exsel_shm::{Ctx, RegAlloc, RegRange, Step, Word};
+use exsel_shm::{drive, Ctx, Poll, RegAlloc, RegId, RegRange, ShmOp, Step, StepMachine, Word};
 
 /// A bank of *name slots*, each backed by two registers: the placeholder
 /// `HR` (a reservation) and the register `R` itself. A process wins slot
@@ -58,10 +58,33 @@ impl SlotBank {
         self.regs
     }
 
+    /// Starts `Compete-For-Register` (Figure 1) on slot `slot` as a
+    /// [`StepMachine`], with `token` standing for the process identity
+    /// `p`. Tokens must be unique among the contenders of a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn begin_compete(&self, slot: usize, token: u64) -> CompeteOp {
+        assert!(
+            slot < self.slots,
+            "slot {slot} out of bank of {}",
+            self.slots
+        );
+        CompeteOp {
+            hr: self.regs.get(2 * slot),
+            r: self.regs.get(2 * slot + 1),
+            token,
+            state: CompeteState::ReadHr,
+        }
+    }
+
     /// Procedure `Compete-For-Register` (Figure 1) on slot `slot`, with
     /// `token` standing for the process identity `p`. Tokens must be
     /// unique among the contenders of a bank. Returns whether the caller
-    /// won the slot. At most 5 local steps.
+    /// won the slot. At most 5 local steps. Blocking adapter over
+    /// [`SlotBank::begin_compete`].
     ///
     /// # Errors
     ///
@@ -71,24 +94,7 @@ impl SlotBank {
     ///
     /// Panics if `slot` is out of range.
     pub fn compete(&self, ctx: Ctx<'_>, slot: usize, token: u64) -> Step<bool> {
-        assert!(slot < self.slots, "slot {slot} out of bank of {}", self.slots);
-        let hr = self.regs.get(2 * slot);
-        let r = self.regs.get(2 * slot + 1);
-
-        // read: contention ← HR; if null then write HR ← p else exit
-        if ctx.read(hr)?.is_null() {
-            ctx.write(hr, token)?;
-        } else {
-            return Ok(false);
-        }
-        // read: contention ← R; if null then write R ← p else exit
-        if ctx.read(r)?.is_null() {
-            ctx.write(r, token)?;
-        } else {
-            return Ok(false);
-        }
-        // read: contention ← HR; if contention = p then win else exit
-        Ok(ctx.read(hr)? == Word::Int(token))
+        drive(&mut self.begin_compete(slot, token), ctx)
     }
 
     /// The token that won slot `slot`, if any — i.e. the current contents
@@ -103,8 +109,79 @@ impl SlotBank {
     ///
     /// Panics if `slot` is out of range.
     pub fn winner(&self, ctx: Ctx<'_>, slot: usize) -> Step<Option<u64>> {
-        assert!(slot < self.slots, "slot {slot} out of bank of {}", self.slots);
+        assert!(
+            slot < self.slots,
+            "slot {slot} out of bank of {}",
+            self.slots
+        );
         Ok(ctx.read(self.regs.get(2 * slot + 1))?.as_int())
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+enum CompeteState {
+    /// read: contention ← HR; if null then write HR ← p else exit
+    ReadHr,
+    WriteHr,
+    /// read: contention ← R; if null then write R ← p else exit
+    ReadR,
+    WriteR,
+    /// read: contention ← HR; if contention = p then win else exit
+    Verify,
+}
+
+/// In-progress `Compete-For-Register` — a [`StepMachine`] performing the
+/// at-most-5 operations of Figure 1, one per step. `Ready(true)` means the
+/// caller won the slot.
+#[derive(Copy, Clone, Debug)]
+pub struct CompeteOp {
+    hr: RegId,
+    r: RegId,
+    token: u64,
+    state: CompeteState,
+}
+
+impl StepMachine for CompeteOp {
+    type Output = bool;
+
+    fn op(&self) -> ShmOp {
+        match self.state {
+            CompeteState::ReadHr => ShmOp::Read(self.hr),
+            CompeteState::WriteHr => ShmOp::Write(self.hr, Word::Int(self.token)),
+            CompeteState::ReadR => ShmOp::Read(self.r),
+            CompeteState::WriteR => ShmOp::Write(self.r, Word::Int(self.token)),
+            CompeteState::Verify => ShmOp::Read(self.hr),
+        }
+    }
+
+    fn advance(&mut self, input: Word) -> Poll<bool> {
+        match self.state {
+            CompeteState::ReadHr => {
+                if input.is_null() {
+                    self.state = CompeteState::WriteHr;
+                    Poll::Pending
+                } else {
+                    Poll::Ready(false)
+                }
+            }
+            CompeteState::WriteHr => {
+                self.state = CompeteState::ReadR;
+                Poll::Pending
+            }
+            CompeteState::ReadR => {
+                if input.is_null() {
+                    self.state = CompeteState::WriteR;
+                    Poll::Pending
+                } else {
+                    Poll::Ready(false)
+                }
+            }
+            CompeteState::WriteR => {
+                self.state = CompeteState::Verify;
+                Poll::Pending
+            }
+            CompeteState::Verify => Poll::Ready(input == Word::Int(self.token)),
+        }
     }
 }
 
@@ -153,7 +230,9 @@ mod tests {
                 (0..8)
                     .map(|p| {
                         let (b, mem) = (&b, &mem);
-                        s.spawn(move || b.compete(Ctx::new(mem, Pid(p)), 0, 100 + p as u64).unwrap())
+                        s.spawn(move || {
+                            b.compete(Ctx::new(mem, Pid(p)), 0, 100 + p as u64).unwrap()
+                        })
                     })
                     .collect::<Vec<_>>()
                     .into_iter()

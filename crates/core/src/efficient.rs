@@ -19,8 +19,9 @@
 //! [`Pipeline::Direct`] ablation forces the skip so benches can measure
 //! the stage's contribution at any scale.
 
-use exsel_shm::{Ctx, RegAlloc, Step};
+use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, ShmOp, Step, StepMachine, Word};
 
+use crate::step::{RenameMachine, StepRename};
 use crate::{MoirAnderson, Outcome, PolyLogRename, Rename, RenameConfig, SnapshotRename};
 
 /// Which stages the pipeline includes.
@@ -121,7 +122,10 @@ impl EfficientRename {
     #[must_use]
     pub fn num_registers(&self) -> usize {
         self.ma.num_registers()
-            + self.polylog.as_ref().map_or(0, PolyLogRename::num_registers)
+            + self
+                .polylog
+                .as_ref()
+                .map_or(0, PolyLogRename::num_registers)
             + self.final_stage.num_registers()
     }
 }
@@ -131,21 +135,82 @@ impl Rename for EfficientRename {
         2 * self.k as u64 - 1
     }
 
+    /// Blocking adapter over [`StepRename::begin_rename`].
     fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
-        let a = match self.ma.rename(ctx, original)? {
-            Outcome::Named(a) => a,
-            Outcome::Failed => return Ok(Outcome::Failed),
-        };
-        let b = match &self.polylog {
-            Some(pl) => match pl.rename(ctx, a)? {
-                Outcome::Named(b) => b,
-                Outcome::Failed => return Ok(Outcome::Failed),
+        drive(&mut self.begin_rename(ctx.pid(), original), ctx)
+    }
+}
+
+impl StepRename for EfficientRename {
+    /// The three-stage pipeline as a [`StepMachine`]: Moir-Anderson, the
+    /// optional polylog compressor, then the snapshot stage on the private
+    /// slot `b - 1` with unique token `b`.
+    fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a> {
+        Box::new(EfficientOp {
+            algo: self,
+            pid,
+            stage: EffStage::Ma(Box::new(self.ma.begin_walk(original))),
+        })
+    }
+}
+
+enum EffStage<'a> {
+    Ma(RenameMachine<'a>),
+    Poly(RenameMachine<'a>),
+    Final(RenameMachine<'a>),
+}
+
+/// In-progress `Efficient-Rename` — a [`StepMachine`] over the pipeline's
+/// stages.
+pub struct EfficientOp<'a> {
+    algo: &'a EfficientRename,
+    pid: Pid,
+    stage: EffStage<'a>,
+}
+
+impl<'a> EfficientOp<'a> {
+    /// Enters the final snapshot stage with the compressed name `b`.
+    /// Stage names are exclusive, so `b - 1` is a private slot and `b` a
+    /// unique token.
+    fn final_stage(&self, b: u64) -> EffStage<'a> {
+        EffStage::Final(Box::new(
+            self.algo.final_stage.begin_rename_slot((b - 1) as usize, b),
+        ))
+    }
+}
+
+impl StepMachine for EfficientOp<'_> {
+    type Output = Outcome;
+
+    fn op(&self) -> ShmOp {
+        match &self.stage {
+            EffStage::Ma(m) | EffStage::Poly(m) | EffStage::Final(m) => m.op(),
+        }
+    }
+
+    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+        match &mut self.stage {
+            EffStage::Ma(m) => match m.advance(input) {
+                Poll::Pending => Poll::Pending,
+                Poll::Ready(Outcome::Failed) => Poll::Ready(Outcome::Failed),
+                Poll::Ready(Outcome::Named(a)) => {
+                    self.stage = match &self.algo.polylog {
+                        Some(pl) => EffStage::Poly(pl.begin_rename(self.pid, a)),
+                        None => self.final_stage(a),
+                    };
+                    Poll::Pending
+                }
             },
-            None => a,
-        };
-        // Stage names are exclusive, so `b − 1` is a private slot and `b`
-        // a unique token.
-        self.final_stage.rename_slot(ctx, (b - 1) as usize, b)
+            EffStage::Poly(m) => match m.advance(input) {
+                Poll::Pending => Poll::Pending,
+                Poll::Ready(Outcome::Failed) => Poll::Ready(Outcome::Failed),
+                Poll::Ready(Outcome::Named(b)) => {
+                    self.stage = self.final_stage(b);
+                    Poll::Pending
+                }
+            },
+            EffStage::Final(m) => m.advance(input),
+        }
     }
 }
 

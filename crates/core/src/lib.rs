@@ -73,15 +73,17 @@ mod moir_anderson;
 mod outcome;
 mod polylog;
 mod snapshot_rename;
+mod step;
 
 pub use adaptive::AdaptiveRename;
 pub use almost_adaptive::AlmostAdaptive;
 pub use basic::BasicRename;
-pub use compete::SlotBank;
+pub use compete::{CompeteOp, SlotBank};
 pub use config::RenameConfig;
-pub use efficient::{EfficientRename, Pipeline};
-pub use majority::Majority;
-pub use moir_anderson::MoirAnderson;
+pub use efficient::{EfficientOp, EfficientRename, Pipeline};
+pub use majority::{Majority, MajorityOp};
+pub use moir_anderson::{MoirAnderson, SplitWalkOp};
 pub use outcome::{Outcome, Rename};
 pub use polylog::PolyLogRename;
-pub use snapshot_rename::SnapshotRename;
+pub use snapshot_rename::{SnapshotRename, SnapshotRenameOp};
+pub use step::{RenameMachine, StepRename};

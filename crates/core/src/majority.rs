@@ -4,8 +4,10 @@
 use std::sync::Arc;
 
 use exsel_expander::BipartiteGraph;
-use exsel_shm::{Ctx, RegAlloc, Step};
+use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, ShmOp, Step, StepMachine, Word};
 
+use crate::compete::CompeteOp;
+use crate::step::{RenameMachine, StepRename};
 use crate::{Outcome, Rename, RenameConfig, SlotBank};
 
 /// The expander-walk majority-renaming algorithm.
@@ -68,6 +70,80 @@ impl Majority {
     pub fn num_registers(&self) -> usize {
         self.slots.registers().len()
     }
+
+    /// Starts the expander walk of `original` as a [`StepMachine`]: the
+    /// adjacency list is competed for slot by slot, at most `5·Δ`
+    /// operations in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` is not in `[1, num_names()]`.
+    #[must_use]
+    pub fn begin_walk(&self, original: u64) -> MajorityOp<'_> {
+        let v = usize::try_from(original.checked_sub(1).expect("names are 1-based"))
+            .expect("original name fits usize");
+        assert!(
+            v < self.graph.num_inputs(),
+            "original name {original} outside [1, {}]",
+            self.graph.num_inputs()
+        );
+        let first = self.graph.neighbors(v)[0] as usize;
+        MajorityOp {
+            algo: self,
+            original,
+            v,
+            idx: 0,
+            inner: self.slots.begin_compete(first, original),
+        }
+    }
+}
+
+/// In-progress `Majority` renaming — a [`StepMachine`] walking the
+/// adjacency list of the original name, one compete operation per step.
+#[derive(Clone, Debug)]
+pub struct MajorityOp<'a> {
+    algo: &'a Majority,
+    original: u64,
+    /// Input node of the walk (`original − 1`).
+    v: usize,
+    /// Position in the adjacency list.
+    idx: usize,
+    inner: CompeteOp,
+}
+
+impl StepMachine for MajorityOp<'_> {
+    type Output = Outcome;
+
+    fn op(&self) -> ShmOp {
+        self.inner.op()
+    }
+
+    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+        match self.inner.advance(input) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(true) => {
+                let w = self.algo.graph.neighbors(self.v)[self.idx];
+                Poll::Ready(Outcome::Named(u64::from(w) + 1))
+            }
+            Poll::Ready(false) => {
+                self.idx += 1;
+                let neighbors = self.algo.graph.neighbors(self.v);
+                match neighbors.get(self.idx) {
+                    Some(&w) => {
+                        self.inner = self.algo.slots.begin_compete(w as usize, self.original);
+                        Poll::Pending
+                    }
+                    None => Poll::Ready(Outcome::Failed),
+                }
+            }
+        }
+    }
+}
+
+impl StepRename for Majority {
+    fn begin_rename<'a>(&'a self, _pid: Pid, original: u64) -> RenameMachine<'a> {
+        Box::new(self.begin_walk(original))
+    }
 }
 
 impl Rename for Majority {
@@ -76,25 +152,13 @@ impl Rename for Majority {
     }
 
     /// Walks the adjacency list of `original`, competing for each
-    /// neighbour's slot.
+    /// neighbour's slot. Blocking adapter over [`Majority::begin_walk`].
     ///
     /// # Panics
     ///
     /// Panics if `original` is not in `[1, num_names()]`.
     fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
-        let v = usize::try_from(original.checked_sub(1).expect("names are 1-based"))
-            .expect("original name fits usize");
-        assert!(
-            v < self.graph.num_inputs(),
-            "original name {original} outside [1, {}]",
-            self.graph.num_inputs()
-        );
-        for &w in self.graph.neighbors(v) {
-            if self.slots.compete(ctx, w as usize, original)? {
-                return Ok(Outcome::Named(u64::from(w) + 1));
-            }
-        }
-        Ok(Outcome::Failed)
+        drive(&mut self.begin_walk(original), ctx)
     }
 }
 

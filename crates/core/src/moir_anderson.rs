@@ -3,17 +3,10 @@
 //! registers. Used both as the first stage of `Efficient-Rename`
 //! (Theorem 2) and as a prior-work baseline in the comparison experiments.
 
-use exsel_shm::{Ctx, RegAlloc, RegRange, Step, Word};
+use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, RegRange, ShmOp, Step, StepMachine, Word};
 
+use crate::step::{RenameMachine, StepRename};
 use crate::{Outcome, Rename};
-
-/// One splitter's verdict.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-enum Split {
-    Stop,
-    Right,
-    Down,
-}
 
 /// A triangular `k × k` grid of wait-free splitters.
 ///
@@ -68,19 +61,102 @@ impl MoirAnderson {
         d * (d + 1) / 2 + r
     }
 
-    /// Runs one splitter: 4 local steps at most.
-    fn split(&self, ctx: Ctx<'_>, idx: usize, token: u64) -> Step<Split> {
-        let x = self.regs.get(2 * idx);
-        let y = self.regs.get(2 * idx + 1);
-        ctx.write(x, token)?;
-        if !ctx.read(y)?.is_null() {
-            return Ok(Split::Right);
+    /// Starts the grid walk of `token` as a [`StepMachine`]: each visited
+    /// splitter costs at most 4 operations (write X, read Y, write Y,
+    /// read X), announced one at a time.
+    #[must_use]
+    pub fn begin_walk(&self, token: u64) -> SplitWalkOp<'_> {
+        SplitWalkOp {
+            algo: self,
+            token,
+            row: 0,
+            col: 0,
+            state: SplitState::WriteX,
         }
-        ctx.write(y, 1u64)?;
-        if ctx.read(x)? == Word::Int(token) {
-            Ok(Split::Stop)
+    }
+}
+
+/// Position within one splitter's 4-operation protocol.
+#[derive(Copy, Clone, Debug)]
+enum SplitState {
+    WriteX,
+    ReadY,
+    WriteY,
+    ReadX,
+}
+
+/// In-progress Moir–Anderson renaming — a [`StepMachine`] walking the
+/// splitter grid one operation per step.
+#[derive(Clone, Debug)]
+pub struct SplitWalkOp<'a> {
+    algo: &'a MoirAnderson,
+    token: u64,
+    row: usize,
+    col: usize,
+    state: SplitState,
+}
+
+impl SplitWalkOp<'_> {
+    fn idx(&self) -> usize {
+        MoirAnderson::splitter_index(self.row, self.col)
+    }
+
+    /// Applies a splitter verdict of "move on" (right or down): advances
+    /// the position, failing if the walk leaves the grid.
+    fn step_off(&mut self, down: bool) -> Poll<Outcome> {
+        if down {
+            self.row += 1;
         } else {
-            Ok(Split::Down)
+            self.col += 1;
+        }
+        if self.row + self.col >= self.algo.k {
+            // Walked off the grid: more than k contenders.
+            return Poll::Ready(Outcome::Failed);
+        }
+        self.state = SplitState::WriteX;
+        Poll::Pending
+    }
+}
+
+impl StepMachine for SplitWalkOp<'_> {
+    type Output = Outcome;
+
+    fn op(&self) -> ShmOp {
+        let x = self.algo.regs.get(2 * self.idx());
+        let y = self.algo.regs.get(2 * self.idx() + 1);
+        match self.state {
+            SplitState::WriteX => ShmOp::Write(x, Word::Int(self.token)),
+            SplitState::ReadY => ShmOp::Read(y),
+            SplitState::WriteY => ShmOp::Write(y, Word::Int(1)),
+            SplitState::ReadX => ShmOp::Read(x),
+        }
+    }
+
+    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+        match self.state {
+            SplitState::WriteX => {
+                self.state = SplitState::ReadY;
+                Poll::Pending
+            }
+            SplitState::ReadY => {
+                if input.is_null() {
+                    self.state = SplitState::WriteY;
+                    Poll::Pending
+                } else {
+                    self.step_off(false) // right
+                }
+            }
+            SplitState::WriteY => {
+                self.state = SplitState::ReadX;
+                Poll::Pending
+            }
+            SplitState::ReadX => {
+                if input == Word::Int(self.token) {
+                    Poll::Ready(Outcome::Named(self.idx() as u64 + 1)) // stop
+                } else {
+                    self.step_off(true) // down
+                }
+            }
         }
     }
 }
@@ -90,21 +166,15 @@ impl Rename for MoirAnderson {
         (self.k * (self.k + 1) / 2) as u64
     }
 
+    /// Blocking adapter over [`MoirAnderson::begin_walk`].
     fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
-        let (mut r, mut c) = (0usize, 0usize);
-        loop {
-            if r + c >= self.k {
-                // Walked off the grid: more than k contenders.
-                return Ok(Outcome::Failed);
-            }
-            match self.split(ctx, Self::splitter_index(r, c), original)? {
-                Split::Stop => {
-                    return Ok(Outcome::Named(Self::splitter_index(r, c) as u64 + 1));
-                }
-                Split::Right => c += 1,
-                Split::Down => r += 1,
-            }
-        }
+        drive(&mut self.begin_walk(original), ctx)
+    }
+}
+
+impl StepRename for MoirAnderson {
+    fn begin_rename<'a>(&'a self, _pid: Pid, original: u64) -> RenameMachine<'a> {
+        Box::new(self.begin_walk(original))
     }
 }
 

@@ -128,10 +128,8 @@ mod tests {
         let algo = MoirAnderson::new(&mut alloc, 2);
         let by_ref: &dyn Rename = &algo;
         assert_eq!(by_ref.name_bound(), algo.name_bound());
-        let boxed: Box<dyn Rename> = Box::new(MoirAnderson::new(
-            &mut exsel_shm::RegAlloc::new(),
-            2,
-        ));
+        let boxed: Box<dyn Rename> =
+            Box::new(MoirAnderson::new(&mut exsel_shm::RegAlloc::new(), 2));
         assert_eq!(boxed.name_bound(), 3);
         assert_eq!(boxed.name_bound(), 3);
     }

@@ -1,8 +1,9 @@
 //! `PolyLog-Rename(k, N)` — Theorem 1: `(k,N)`-renaming with `M = O(k)`
 //! in `O(log k (log N + log k · log log N))` local steps.
 
-use exsel_shm::{Ctx, RegAlloc, Step};
+use exsel_shm::{drive, Ctx, Pid, RegAlloc, Step};
 
+use crate::step::{Piped, RenameMachine, StepRename};
 use crate::{BasicRename, Outcome, Rename, RenameConfig};
 
 /// Epoch-iterated basic renaming.
@@ -83,15 +84,21 @@ impl Rename for PolyLogRename {
         self.epochs.last().expect("at least one epoch").name_bound()
     }
 
+    /// Blocking adapter over [`StepRename::begin_rename`].
     fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
-        let mut name = original;
-        for epoch in &self.epochs {
-            match epoch.rename(ctx, name)? {
-                Outcome::Named(next) => name = next,
-                Outcome::Failed => return Ok(Outcome::Failed),
-            }
-        }
-        Ok(Outcome::Named(name))
+        drive(&mut self.begin_rename(ctx.pid(), original), ctx)
+    }
+}
+
+impl StepRename for PolyLogRename {
+    /// The epoch chain as a [`exsel_shm::StepMachine`]: every epoch's name
+    /// feeds the next epoch; the final epoch's name is kept.
+    fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a> {
+        Box::new(Piped::new(original, move |j, name| {
+            self.epochs
+                .get(j)
+                .map(|epoch| epoch.begin_rename(pid, name))
+        }))
     }
 }
 

@@ -12,8 +12,12 @@
 //! and at most `k−1` foreign proposals are skipped, so decided names never
 //! exceed `2k−1`.
 
-use exsel_shm::{Ctx, RegAlloc, Snapshot, Step, Word};
+use std::sync::Arc;
 
+use exsel_shm::snapshot::{ScanOp, UpdateOp};
+use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, ShmOp, Snapshot, Step, StepMachine, Word};
+
+use crate::step::{RenameMachine, StepRename};
 use crate::{Outcome, Rename};
 
 /// Snapshot-based wait-free renaming with the optimal bound `M = 2k−1`
@@ -80,43 +84,129 @@ impl SnapshotRename {
     ///
     /// Panics if `slot >= num_slots()`.
     pub fn rename_slot(&self, ctx: Ctx<'_>, slot: usize, token: u64) -> Step<Outcome> {
+        drive(&mut self.begin_rename_slot(slot, token), ctx)
+    }
+
+    /// Starts [`SnapshotRename::rename_slot`] as a [`StepMachine`]: an
+    /// update/scan round trip per proposal, one shared-memory operation
+    /// per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= num_slots()`.
+    #[must_use]
+    pub fn begin_rename_slot(&self, slot: usize, token: u64) -> SnapshotRenameOp<'_> {
         assert!(slot < self.num_slots(), "slot {slot} out of range");
-        let mut proposal: u64 = 1;
-        for _ in 0..self.max_iterations {
-            if let Some(bound) = self.bound {
-                if proposal > bound {
-                    return Ok(Outcome::Failed);
-                }
-            }
-            self.snap.update(ctx, slot, Word::Pair(token, proposal))?;
-            let view = self.snap.scan(ctx)?;
-            let mut tokens: Vec<u64> = Vec::new();
-            let mut foreign_proposals: Vec<u64> = Vec::new();
-            let mut duplicate = false;
-            for (i, w) in view.iter().enumerate() {
-                if let Some((t, p)) = w.as_pair() {
-                    tokens.push(t);
-                    if i != slot {
-                        foreign_proposals.push(p);
-                        if p == proposal {
-                            duplicate = true;
-                        }
+        SnapshotRenameOp {
+            algo: self,
+            slot,
+            token,
+            proposal: 1,
+            iterations: 0,
+            state: SrState::Update(self.snap.begin_update(slot, Word::Pair(token, 1))),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum SrState {
+    Update(UpdateOp),
+    Scan(ScanOp),
+}
+
+/// In-progress snapshot-based renaming — a [`StepMachine`] running the
+/// propose/scan/re-propose loop one shared-memory operation per step.
+#[derive(Clone, Debug)]
+pub struct SnapshotRenameOp<'a> {
+    algo: &'a SnapshotRename,
+    slot: usize,
+    token: u64,
+    proposal: u64,
+    /// Completed propose/scan rounds.
+    iterations: u64,
+    state: SrState,
+}
+
+impl SnapshotRenameOp<'_> {
+    /// Digests a completed scan: decide, or compute the next proposal.
+    fn decide(&mut self, view: &Arc<[Word]>) -> Poll<Outcome> {
+        let mut tokens: Vec<u64> = Vec::new();
+        let mut foreign_proposals: Vec<u64> = Vec::new();
+        let mut duplicate = false;
+        for (i, w) in view.iter().enumerate() {
+            if let Some((t, p)) = w.as_pair() {
+                tokens.push(t);
+                if i != self.slot {
+                    foreign_proposals.push(p);
+                    if p == self.proposal {
+                        duplicate = true;
                     }
                 }
             }
-            if !duplicate {
-                return Ok(Outcome::Named(proposal));
-            }
-            // Re-propose: the r-th smallest positive integer free of
-            // foreign proposals, r = rank of our token.
-            tokens.sort_unstable();
-            let rank = tokens.iter().position(|&t| t == token).expect("own token in view") + 1;
-            foreign_proposals.sort_unstable();
-            proposal = nth_free(&foreign_proposals, rank);
         }
-        // Unreachable within capacity; in overloaded instances we bail out
-        // like a crashed process (safe: wait-free algorithms tolerate it).
-        Ok(Outcome::Failed)
+        if !duplicate {
+            // Names above the cap are never decided (a degenerate bound
+            // below the initial proposal fails here, after one round).
+            if self.algo.bound.is_some_and(|bound| self.proposal > bound) {
+                return Poll::Ready(Outcome::Failed);
+            }
+            return Poll::Ready(Outcome::Named(self.proposal));
+        }
+        // Re-propose: the r-th smallest positive integer free of foreign
+        // proposals, r = rank of our token.
+        tokens.sort_unstable();
+        let rank = tokens
+            .iter()
+            .position(|&t| t == self.token)
+            .expect("own token in view")
+            + 1;
+        foreign_proposals.sort_unstable();
+        self.proposal = nth_free(&foreign_proposals, rank);
+
+        self.iterations += 1;
+        if self.iterations >= self.algo.max_iterations {
+            // Unreachable within capacity; in overloaded instances we bail
+            // out like a crashed process (safe: wait-free algorithms
+            // tolerate it).
+            return Poll::Ready(Outcome::Failed);
+        }
+        if let Some(bound) = self.algo.bound {
+            if self.proposal > bound {
+                return Poll::Ready(Outcome::Failed);
+            }
+        }
+        self.state = SrState::Update(
+            self.algo
+                .snap
+                .begin_update(self.slot, Word::Pair(self.token, self.proposal)),
+        );
+        Poll::Pending
+    }
+}
+
+impl StepMachine for SnapshotRenameOp<'_> {
+    type Output = Outcome;
+
+    fn op(&self) -> ShmOp {
+        match &self.state {
+            SrState::Update(update) => update.op(),
+            SrState::Scan(scan) => scan.op(),
+        }
+    }
+
+    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+        match &mut self.state {
+            SrState::Update(update) => {
+                if let Poll::Ready(()) = update.advance(input) {
+                    self.state = SrState::Scan(self.algo.snap.begin_scan());
+                }
+                Poll::Pending
+            }
+            SrState::Scan(scan) => match scan.advance(input) {
+                Poll::Pending => Poll::Pending,
+                Poll::Ready(view) => self.decide(&view),
+            },
+        }
     }
 }
 
@@ -152,6 +242,14 @@ impl Rename for SnapshotRename {
     /// `num_slots() >= num_processes`.
     fn rename(&self, ctx: Ctx<'_>, original: u64) -> Step<Outcome> {
         self.rename_slot(ctx, ctx.pid().0, original)
+    }
+}
+
+impl StepRename for SnapshotRename {
+    /// Uses `pid` as the participant slot, exactly like the blocking
+    /// [`Rename::rename`].
+    fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a> {
+        Box::new(self.begin_rename_slot(pid.0, original))
     }
 }
 
@@ -209,6 +307,17 @@ mod tests {
                 "k={k}: name beyond 2k-1 in {names:?}"
             );
         }
+    }
+
+    #[test]
+    fn degenerate_zero_bound_fails_cleanly() {
+        // A bound below the initial proposal can never name anyone; it
+        // must fail (never decide a name above the cap), not panic.
+        let mut alloc = RegAlloc::new();
+        let algo = SnapshotRename::new(&mut alloc, 2).with_bound(0);
+        let mem = ThreadedShm::new(alloc.total(), 1);
+        let out = algo.rename_slot(Ctx::new(&mem, Pid(0)), 0, 5).unwrap();
+        assert_eq!(out, Outcome::Failed);
     }
 
     #[test]

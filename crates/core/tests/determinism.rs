@@ -11,10 +11,15 @@ use exsel_sim::{policy::RandomPolicy, SimBuilder};
 
 fn run_once<R: Rename>(algo: &R, regs: usize, k: usize, seed: u64) -> (Vec<Option<u64>>, Vec<u64>) {
     let outcome = SimBuilder::new(regs, Box::new(RandomPolicy::new(seed))).run(k, |ctx| {
-        algo.rename(ctx, ctx.pid().0 as u64 * 31 + 5).map(|o| o.name())
+        algo.rename(ctx, ctx.pid().0 as u64 * 31 + 5)
+            .map(|o| o.name())
     });
     (
-        outcome.results.into_iter().map(|r| r.ok().flatten()).collect(),
+        outcome
+            .results
+            .into_iter()
+            .map(|r| r.ok().flatten())
+            .collect(),
         outcome.steps,
     )
 }

@@ -99,10 +99,10 @@ mod tests {
         // overwhelmingly likely to be lossless; check a fixed good seed
         // exhaustively.
         let p = ExpanderParams::compact();
-        let g = BipartiteGraph::random(24, 3, &p, 0);
+        let g = BipartiteGraph::random(24, 3, &p, 1);
         assert!(
             is_lossless_expander(&g, 3, p.epsilon),
-            "seed 0 gave a non-expanding graph; pick another fixed seed"
+            "seed 1 gave a non-expanding graph; pick another fixed seed"
         );
     }
 

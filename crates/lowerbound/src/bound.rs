@@ -6,7 +6,9 @@
 /// `N ≤ 2M`, `r = 0`) clamp the minimum at 0.
 #[must_use]
 pub fn theorem6_bound(k: u64, n_names: u64, m: u64, r: u64) -> u64 {
-    1 + k.saturating_sub(2).min(log_floor(2 * r, n_names / (2 * m).max(1)))
+    1 + k
+        .saturating_sub(2)
+        .min(log_floor(2 * r, n_names / (2 * m).max(1)))
 }
 
 /// Theorem 7: the storing lower bound `min{k, ⌈log_{2r}(N/k)⌉}` for

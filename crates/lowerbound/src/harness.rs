@@ -2,8 +2,8 @@
 
 use std::collections::BTreeSet;
 
-use exsel_shm::Ctx;
-use exsel_sim::SimBuilder;
+use exsel_shm::{Ctx, Pid, StepMachine};
+use exsel_sim::{SimBuilder, SimOutcome, StepEngine};
 
 use crate::{theorem6_bound, PigeonholeAdversary};
 
@@ -55,7 +55,45 @@ where
     let outcome = SimBuilder::new(num_registers, Box::new(adversary))
         .stack_size(128 * 1024)
         .run(n_processes, rename);
+    digest_outcome(&outcome, stats.as_ref(), n_processes, k, m, r)
+}
 
+/// [`run_against`] on the single-threaded `StepEngine`: `factory(pid)`
+/// builds process `pid`'s renaming machine (its output is the acquired
+/// name, `None` on instance failure). No OS threads are spawned, which is
+/// what makes adversary sweeps over thousands of processes practical.
+///
+/// # Panics
+///
+/// Panics if two processes decide the same name (exclusiveness violation
+/// — a bug in the algorithm under test).
+pub fn run_machines_against<'a, F>(
+    n_processes: usize,
+    num_registers: usize,
+    k: usize,
+    m: u64,
+    r: u64,
+    factory: F,
+) -> LowerBoundReport
+where
+    F: Fn(Pid) -> Box<dyn StepMachine<Output = Option<u64>> + 'a>,
+{
+    let (adversary, stats) =
+        PigeonholeAdversary::new(n_processes, k.saturating_sub(2), 2 * m as usize);
+    let outcome = StepEngine::new(num_registers, Box::new(adversary))
+        .run((0..n_processes).map(Pid).map(factory).collect());
+    digest_outcome(&outcome, stats.as_ref(), n_processes, k, m, r)
+}
+
+/// Shared digestion of an adversarial execution into the report.
+fn digest_outcome(
+    outcome: &SimOutcome<Option<u64>>,
+    stats: &std::sync::Mutex<crate::AdversaryStats>,
+    n_processes: usize,
+    k: usize,
+    m: u64,
+    r: u64,
+) -> LowerBoundReport {
     let mut names = Vec::new();
     let mut max_steps_named = 0;
     for (pid, result) in outcome.results.iter().enumerate() {
@@ -66,7 +104,10 @@ where
     }
     let set: BTreeSet<u64> = names.iter().copied().collect();
     let exclusive = set.len() == names.len();
-    assert!(exclusive, "exclusiveness violated under adversary: {names:?}");
+    assert!(
+        exclusive,
+        "exclusiveness violated under adversary: {names:?}"
+    );
 
     let st = stats.lock().expect("stats lock");
     LowerBoundReport {
@@ -115,7 +156,11 @@ where
         }
     }
     let set: BTreeSet<u64> = slots.iter().copied().collect();
-    assert_eq!(set.len(), slots.len(), "stores shared a register: {slots:?}");
+    assert_eq!(
+        set.len(),
+        slots.len(),
+        "stores shared a register: {slots:?}"
+    );
 
     let st = stats.lock().expect("stats lock");
     LowerBoundReport {
@@ -201,6 +246,35 @@ mod tests {
             report.max_steps_named,
             report.bound
         );
+    }
+
+    #[test]
+    fn engine_adversary_matches_thread_backed_adversary() {
+        // The pigeonhole adversary is deterministic: both backends must
+        // force the identical staged execution on Moir-Anderson.
+        use exsel_core::StepRename;
+        use exsel_shm::StepMachine as _;
+        let k = 8;
+        let n = 128;
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, k);
+        let m = algo.name_bound();
+        let r = alloc.total() as u64;
+        let threaded = run_against(n, alloc.total(), k, m, r, |ctx| {
+            Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
+        });
+        let engine = run_machines_against(n, alloc.total(), k, m, r, |pid| {
+            Box::new(
+                algo.begin_rename(pid, pid.0 as u64 + 1)
+                    .map_output(exsel_core::Outcome::name),
+            )
+        });
+        assert_eq!(threaded.stages, engine.stages);
+        assert_eq!(threaded.pool_sizes, engine.pool_sizes);
+        assert_eq!(threaded.max_steps_named, engine.max_steps_named);
+        assert_eq!(threaded.named, engine.named);
+        assert!(engine.exclusive);
+        assert!(engine.max_steps_named >= engine.bound);
     }
 
     #[test]

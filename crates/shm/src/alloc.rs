@@ -106,7 +106,11 @@ impl RegRange {
     /// Panics if `at > self.len()`.
     #[must_use]
     pub fn split_at(&self, at: usize) -> (RegRange, RegRange) {
-        assert!(at <= self.len, "split {at} beyond bank of length {}", self.len);
+        assert!(
+            at <= self.len,
+            "split {at} beyond bank of length {}",
+            self.len
+        );
         (
             RegRange {
                 start: self.start,

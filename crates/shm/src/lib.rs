@@ -16,12 +16,18 @@
 //! * [`RegAlloc`]/[`RegRange`] — static register-layout allocation, so that
 //!   composite algorithms can account exactly for the auxiliary-register
 //!   complexity `r` claimed by each theorem.
-//! * [`ThreadedShm`] — a real-concurrency implementation (one linearizable
-//!   register per cell) used by benches and examples running on OS threads.
+//! * [`StepMachine`] — the *non-blocking* op interface alongside [`Ctx`]:
+//!   an algorithm suspended between shared-memory operations, announcing
+//!   its next operation ([`ShmOp`]) before performing it. Blocking callers
+//!   use [`drive`]; the single-threaded `exsel_sim::StepEngine` schedules
+//!   thousands of machines without spawning a thread per process.
+//! * [`ThreadedShm`] — a real-concurrency implementation (one linearizable,
+//!   cache-line-padded register per cell) used by benches and examples
+//!   running on OS threads.
 //! * [`snapshot::Snapshot`] — the wait-free atomic-snapshot object of Afek,
 //!   Attiya, Dolev, Gafni, Merritt and Shavit (JACM 1993), required by the
 //!   classic (2k−1)-renaming stage and by `Selfish-Deposit`. Both blocking
-//!   and *poll-based* (one shared-memory operation per call) drivers are
+//!   and step-machine (one shared-memory operation per poll) drivers are
 //!   provided; the poll form is what lets `Altruistic-Deposit` interleave
 //!   two activities at event granularity as the paper prescribes.
 //!
@@ -48,6 +54,7 @@ mod ctx;
 mod error;
 mod mem;
 pub mod snapshot;
+pub mod step;
 mod threaded;
 mod word;
 
@@ -55,6 +62,7 @@ pub use alloc::{RegAlloc, RegRange};
 pub use ctx::Ctx;
 pub use error::{Crash, Step};
 pub use mem::{Memory, OpKind, Pid, RegId};
-pub use snapshot::{Poll, Snapshot};
+pub use snapshot::Snapshot;
+pub use step::{drive, MapOutput, Poll, ShmOp, StepMachine};
 pub use threaded::ThreadedShm;
 pub use word::{SnapRecord, Word};

@@ -11,11 +11,13 @@
 //! *direct* scan, and a writer observed to move twice yields a *borrowed*
 //! scan (its embedded view lies entirely within the scanner's interval).
 //!
-//! Both blocking ([`Snapshot::scan`], [`Snapshot::update`]) and poll-based
+//! Blocking ([`Snapshot::scan`], [`Snapshot::update`]) and step-machine
 //! ([`Snapshot::begin_scan`], [`Snapshot::begin_update`]) drivers are
-//! provided. Poll drivers perform **exactly one shared-memory operation per
-//! `step` call**, which is what lets `Altruistic-Deposit` interleave its two
-//! concurrent activities at event granularity as the paper prescribes.
+//! provided. [`ScanOp`] and [`UpdateOp`] are [`StepMachine`]s — **exactly
+//! one shared-memory operation per step** — which is what lets
+//! `Altruistic-Deposit` interleave two activities at event granularity as
+//! the paper prescribes, and what lets the `exsel-sim` step engine run
+//! snapshot-based algorithms without blocking threads.
 //!
 //! Each slot is single-writer: at most one process may call `update` on a
 //! given slot (the usual SWMR snapshot discipline). Scans may be invoked by
@@ -23,26 +25,10 @@
 
 use std::sync::Arc;
 
-use crate::{Ctx, RegAlloc, RegRange, SnapRecord, Step, Word};
+use crate::step::{ShmOp, StepMachine};
+use crate::{drive, Ctx, RegAlloc, RegRange, SnapRecord, Step, Word};
 
-/// Outcome of driving a poll-based operation one shared-memory step.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Poll<T> {
-    /// The operation completed with this result.
-    Ready(T),
-    /// More steps are needed.
-    Pending,
-}
-
-impl<T> Poll<T> {
-    /// Returns the result if ready.
-    pub fn ready(self) -> Option<T> {
-        match self {
-            Poll::Ready(v) => Some(v),
-            Poll::Pending => None,
-        }
-    }
-}
+pub use crate::step::Poll;
 
 /// An `n`-component wait-free atomic snapshot object laid out over `n`
 /// shared registers.
@@ -62,6 +48,15 @@ impl<T> Poll<T> {
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     regs: RegRange,
+}
+
+/// Interprets a raw register word as a snapshot record.
+fn as_record(word: Word, n: usize) -> Arc<SnapRecord> {
+    match word {
+        Word::Null => Arc::new(SnapRecord::initial(n)),
+        Word::Snap(rec) => rec,
+        other => panic!("snapshot register holds non-snapshot word {other:?}"),
+    }
 }
 
 impl Snapshot {
@@ -90,19 +85,10 @@ impl Snapshot {
         self.regs
     }
 
-    fn read_record(&self, ctx: Ctx<'_>, slot: usize) -> Step<Arc<SnapRecord>> {
-        let w = ctx.read(self.regs.get(slot))?;
-        Ok(match w {
-            Word::Null => Arc::new(SnapRecord::initial(self.num_slots())),
-            Word::Snap(rec) => rec,
-            other => panic!("snapshot register holds non-snapshot word {other:?}"),
-        })
-    }
-
     /// Starts a poll-based scan.
     #[must_use]
     pub fn begin_scan(&self) -> ScanOp {
-        ScanOp::new(self.num_slots())
+        ScanOp::new(self.regs)
     }
 
     /// Starts a poll-based update of `slot` to `value`.
@@ -114,6 +100,7 @@ impl Snapshot {
     pub fn begin_update(&self, slot: usize, value: Word) -> UpdateOp {
         assert!(slot < self.num_slots(), "slot {slot} out of range");
         UpdateOp {
+            regs: self.regs,
             slot,
             value,
             state: UpdateState::Scanning(self.begin_scan()),
@@ -127,12 +114,7 @@ impl Snapshot {
     ///
     /// Returns [`crate::Crash`] if the process crashes mid-operation.
     pub fn scan(&self, ctx: Ctx<'_>) -> Step<Arc<[Word]>> {
-        let mut op = self.begin_scan();
-        loop {
-            if let Poll::Ready(view) = op.step(self, ctx)? {
-                return Ok(view);
-            }
-        }
+        drive(&mut self.begin_scan(), ctx)
     }
 
     /// Blocking wait-free update of `slot` to `value`.
@@ -145,20 +127,15 @@ impl Snapshot {
     ///
     /// Panics if `slot` is out of range.
     pub fn update(&self, ctx: Ctx<'_>, slot: usize, value: Word) -> Step<()> {
-        let mut op = self.begin_update(slot, value);
-        loop {
-            if let Poll::Ready(()) = op.step(self, ctx)? {
-                return Ok(());
-            }
-        }
+        drive(&mut self.begin_update(slot, value), ctx)
     }
 }
 
-/// In-progress poll-based scan. Each [`ScanOp::step`] performs exactly one
-/// shared-memory read.
+/// In-progress poll-based scan — a [`StepMachine`] performing exactly one
+/// shared-memory read per step.
 #[derive(Clone, Debug)]
 pub struct ScanOp {
-    n: usize,
+    regs: RegRange,
     /// Sequence numbers seen in the previous complete collect.
     prev_seq: Vec<u64>,
     /// Whether at least one complete collect has finished.
@@ -172,9 +149,10 @@ pub struct ScanOp {
 }
 
 impl ScanOp {
-    fn new(n: usize) -> Self {
+    fn new(regs: RegRange) -> Self {
+        let n = regs.len();
         ScanOp {
-            n,
+            regs,
             prev_seq: vec![0; n],
             have_prev: false,
             cur: vec![None; n],
@@ -183,8 +161,13 @@ impl ScanOp {
         }
     }
 
+    fn n(&self) -> usize {
+        self.regs.len()
+    }
+
     /// Performs one shared-memory read; returns the view when the scan
-    /// completes.
+    /// completes. Equivalent to [`StepMachine::poll`] with an object-identity
+    /// check against `snap`.
     ///
     /// # Errors
     ///
@@ -192,15 +175,27 @@ impl ScanOp {
     ///
     /// # Panics
     ///
-    /// Panics if `snap` is not the object this operation was started on
-    /// (detected by slot-count mismatch) or if called again after `Ready`.
+    /// Panics if `snap` is not the object this operation was started on or
+    /// if called again after `Ready`.
     pub fn step(&mut self, snap: &Snapshot, ctx: Ctx<'_>) -> Step<Poll<Arc<[Word]>>> {
-        assert_eq!(snap.num_slots(), self.n, "scan driven on a different object");
-        let rec = snap.read_record(ctx, self.idx)?;
-        self.cur[self.idx] = Some(rec);
+        assert_eq!(snap.regs, self.regs, "scan driven on a different object");
+        self.poll(ctx)
+    }
+}
+
+impl StepMachine for ScanOp {
+    type Output = Arc<[Word]>;
+
+    fn op(&self) -> ShmOp {
+        ShmOp::Read(self.regs.get(self.idx))
+    }
+
+    fn advance(&mut self, input: Word) -> Poll<Arc<[Word]>> {
+        let n = self.n();
+        self.cur[self.idx] = Some(as_record(input, n));
         self.idx += 1;
-        if self.idx < self.n {
-            return Ok(Poll::Pending);
+        if self.idx < n {
+            return Poll::Pending;
         }
 
         // A collect just completed.
@@ -217,7 +212,7 @@ impl ScanOp {
                     .iter()
                     .map(|r| r.as_ref().expect("collect slot filled").value.clone())
                     .collect();
-                return Ok(Poll::Ready(view.into()));
+                return Poll::Ready(view.into());
             }
             for (j, seq) in cur_seq.iter().enumerate() {
                 if *seq != self.prev_seq[j] {
@@ -226,7 +221,7 @@ impl ScanOp {
                         // Writer j completed an entire update inside our
                         // interval: borrow its embedded view.
                         let rec = self.cur[j].as_ref().expect("collect slot filled");
-                        return Ok(Poll::Ready(rec.view.clone()));
+                        return Poll::Ready(rec.view.clone());
                     }
                 }
             }
@@ -234,7 +229,7 @@ impl ScanOp {
         self.prev_seq = cur_seq;
         self.have_prev = true;
         self.idx = 0;
-        Ok(Poll::Pending)
+        Poll::Pending
     }
 }
 
@@ -246,10 +241,11 @@ enum UpdateState {
     Done,
 }
 
-/// In-progress poll-based update. Each [`UpdateOp::step`] performs exactly
-/// one shared-memory operation.
+/// In-progress poll-based update — a [`StepMachine`] performing exactly
+/// one shared-memory operation per step.
 #[derive(Clone, Debug)]
 pub struct UpdateOp {
+    regs: RegRange,
     slot: usize,
     value: Word,
     state: UpdateState,
@@ -257,7 +253,8 @@ pub struct UpdateOp {
 
 impl UpdateOp {
     /// Performs one shared-memory operation; returns `Ready` when the
-    /// update has been installed.
+    /// update has been installed. Equivalent to [`StepMachine::poll`] with
+    /// an object-identity check against `snap`.
     ///
     /// # Errors
     ///
@@ -265,32 +262,51 @@ impl UpdateOp {
     ///
     /// # Panics
     ///
-    /// Panics if called again after `Ready`.
+    /// Panics if `snap` is not the object this operation was started on or
+    /// if called again after `Ready`.
     pub fn step(&mut self, snap: &Snapshot, ctx: Ctx<'_>) -> Step<Poll<()>> {
+        assert_eq!(snap.regs, self.regs, "update driven on a different object");
+        self.poll(ctx)
+    }
+}
+
+impl StepMachine for UpdateOp {
+    type Output = ();
+
+    fn op(&self) -> ShmOp {
+        match &self.state {
+            UpdateState::Scanning(scan) => scan.op(),
+            UpdateState::ReadOwn { .. } => ShmOp::Read(self.regs.get(self.slot)),
+            UpdateState::Write(rec) => {
+                ShmOp::Write(self.regs.get(self.slot), Word::Snap(Arc::clone(rec)))
+            }
+            UpdateState::Done => panic!("update driven after completion"),
+        }
+    }
+
+    fn advance(&mut self, input: Word) -> Poll<()> {
         match &mut self.state {
             UpdateState::Scanning(scan) => {
-                if let Poll::Ready(view) = scan.step(snap, ctx)? {
+                if let Poll::Ready(view) = scan.advance(input) {
                     self.state = UpdateState::ReadOwn { view };
                 }
-                Ok(Poll::Pending)
+                Poll::Pending
             }
             UpdateState::ReadOwn { view } => {
                 // One read of our own register to learn our sequence number
                 // (each slot is single-writer, so no one else bumps it).
-                let own = snap.read_record(ctx, self.slot)?;
+                let own = as_record(input, self.regs.len());
                 let rec = SnapRecord {
                     seq: own.seq + 1,
                     value: self.value.clone(),
                     view: view.clone(),
                 };
                 self.state = UpdateState::Write(Arc::new(rec));
-                Ok(Poll::Pending)
+                Poll::Pending
             }
-            UpdateState::Write(rec) => {
-                let rec = rec.clone();
-                ctx.write(snap.registers().get(self.slot), Word::Snap(rec))?;
+            UpdateState::Write(_) => {
                 self.state = UpdateState::Done;
-                Ok(Poll::Ready(()))
+                Poll::Ready(())
             }
             UpdateState::Done => panic!("update driven after completion"),
         }
@@ -438,10 +454,39 @@ mod tests {
     }
 
     #[test]
+    fn ops_describe_reads_then_the_final_write() {
+        // The step-machine face: a quiescent update is 2 collect reads +
+        // 1 own-read + 1 write, every one announced by `op()` beforehand.
+        let (snap, mem) = setup(1, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut op = snap.begin_update(0, Word::Int(8));
+        let mut kinds = Vec::new();
+        loop {
+            kinds.push(op.op().kind());
+            if op.poll(ctx).unwrap().ready().is_some() {
+                break;
+            }
+        }
+        use crate::OpKind::{Read, Write};
+        assert_eq!(kinds, vec![Read, Read, Read, Write]);
+    }
+
+    #[test]
     #[should_panic(expected = "slot 5 out of range")]
     fn update_slot_out_of_range() {
         let (snap, _mem) = setup(2, 1);
         let _ = snap.begin_update(5, Word::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "different object")]
+    fn step_checks_object_identity() {
+        let mut alloc = RegAlloc::new();
+        let a = Snapshot::new(&mut alloc, 2);
+        let b = Snapshot::new(&mut alloc, 2);
+        let mem = ThreadedShm::new(alloc.total(), 1);
+        let mut op = a.begin_scan();
+        let _ = op.step(&b, Ctx::new(&mem, Pid(0)));
     }
 
     #[test]

@@ -5,10 +5,42 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::{Crash, Memory, Pid, RegId, Step, Word};
 
+/// Pads (and aligns) its contents to a cache line, so that adjacent
+/// registers — hammered concurrently by different cores — never share one.
+/// 128 bytes covers the spatial-prefetcher pairing on x86 and the 128-byte
+/// lines of some arm64 parts.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct CachePadded<T>(T);
+
+/// Per-process accounting, one padded block per process so that the hot
+/// step counters of concurrently running processes never false-share.
+#[repr(align(128))]
+#[derive(Debug)]
+struct ProcState {
+    steps: AtomicU64,
+    crashed: AtomicBool,
+    /// Step index at which the process's next operation crashes
+    /// (`u64::MAX` = never).
+    crash_at: AtomicU64,
+}
+
+impl Default for ProcState {
+    fn default() -> Self {
+        ProcState {
+            steps: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            crash_at: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
 /// Shared memory backed by one linearizable multi-reader multi-writer
 /// register per cell, for running algorithms on real OS threads (benches,
-/// examples). Each register is a `parking_lot::RwLock<Word>`; a lock-held
-/// read or write of a single cell is an atomic register operation.
+/// examples). Each register is a cache-line-padded
+/// `parking_lot::RwLock<Word>`; a lock-held read or write of a single cell
+/// is an atomic register operation, and the padding keeps contention on
+/// one register from slowing neighbouring registers down.
 ///
 /// Crash injection: [`ThreadedShm::crash`] marks a process crashed; its next
 /// operation returns [`Crash`] and the algorithm unwinds.
@@ -23,12 +55,8 @@ use crate::{Crash, Memory, Pid, RegId, Step, Word};
 /// assert_eq!(mem.read(Pid(0), RegId(1)).unwrap(), Word::Int(2));
 /// ```
 pub struct ThreadedShm {
-    regs: Vec<RwLock<Word>>,
-    steps: Vec<AtomicU64>,
-    crashed: Vec<AtomicBool>,
-    /// Step index at which the process's next operation crashes
-    /// (`u64::MAX` = never).
-    crash_at: Vec<AtomicU64>,
+    regs: Vec<CachePadded<RwLock<Word>>>,
+    procs: Vec<ProcState>,
 }
 
 impl ThreadedShm {
@@ -37,18 +65,14 @@ impl ThreadedShm {
     #[must_use]
     pub fn new(num_registers: usize, num_processes: usize) -> Self {
         ThreadedShm {
-            regs: (0..num_registers).map(|_| RwLock::new(Word::Null)).collect(),
-            steps: (0..num_processes).map(|_| AtomicU64::new(0)).collect(),
-            crashed: (0..num_processes).map(|_| AtomicBool::new(false)).collect(),
-            crash_at: (0..num_processes)
-                .map(|_| AtomicU64::new(u64::MAX))
-                .collect(),
+            regs: (0..num_registers).map(|_| CachePadded::default()).collect(),
+            procs: (0..num_processes).map(|_| ProcState::default()).collect(),
         }
     }
 
     /// Crashes process `pid`: every subsequent operation by it fails.
     pub fn crash(&self, pid: Pid) {
-        self.crashed[pid.0].store(true, Ordering::SeqCst);
+        self.procs[pid.0].crashed.store(true, Ordering::SeqCst);
     }
 
     /// Schedules a deterministic crash: `pid`'s operation number `step`
@@ -57,21 +81,21 @@ impl ThreadedShm {
     /// a repository reservation and its write — Corollary 2's
     /// construction).
     pub fn crash_at_step(&self, pid: Pid, step: u64) {
-        self.crash_at[pid.0].store(step, Ordering::SeqCst);
+        self.procs[pid.0].crash_at.store(step, Ordering::SeqCst);
     }
 
     /// Whether `pid` has been crashed.
     #[must_use]
     pub fn is_crashed(&self, pid: Pid) -> bool {
-        self.crashed[pid.0].load(Ordering::SeqCst)
+        self.procs[pid.0].crashed.load(Ordering::SeqCst)
     }
 
     /// Maximum local steps over all processes.
     #[must_use]
     pub fn max_steps(&self) -> u64 {
-        self.steps
+        self.procs
             .iter()
-            .map(|s| s.load(Ordering::Relaxed))
+            .map(|p| p.steps.load(Ordering::Relaxed))
             .max()
             .unwrap_or(0)
     }
@@ -79,19 +103,22 @@ impl ThreadedShm {
     /// Total local steps over all processes.
     #[must_use]
     pub fn total_steps(&self) -> u64 {
-        self.steps.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+        self.procs
+            .iter()
+            .map(|p| p.steps.load(Ordering::Relaxed))
+            .sum()
     }
 
     fn charge(&self, pid: Pid) -> Step<()> {
-        if self.crashed[pid.0].load(Ordering::SeqCst) {
+        let proc = &self.procs[pid.0];
+        if proc.crashed.load(Ordering::SeqCst) {
             return Err(Crash);
         }
-        if self.steps[pid.0].load(Ordering::Relaxed) >= self.crash_at[pid.0].load(Ordering::SeqCst)
-        {
-            self.crashed[pid.0].store(true, Ordering::SeqCst);
+        if proc.steps.load(Ordering::Relaxed) >= proc.crash_at.load(Ordering::SeqCst) {
+            proc.crashed.store(true, Ordering::SeqCst);
             return Err(Crash);
         }
-        self.steps[pid.0].fetch_add(1, Ordering::Relaxed);
+        proc.steps.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -99,12 +126,12 @@ impl ThreadedShm {
 impl Memory for ThreadedShm {
     fn read(&self, pid: Pid, reg: RegId) -> Step<Word> {
         self.charge(pid)?;
-        Ok(self.regs[reg.0].read().clone())
+        Ok(self.regs[reg.0].0.read().clone())
     }
 
     fn write(&self, pid: Pid, reg: RegId, word: Word) -> Step<()> {
         self.charge(pid)?;
-        *self.regs[reg.0].write() = word;
+        *self.regs[reg.0].0.write() = word;
         Ok(())
     }
 
@@ -113,11 +140,11 @@ impl Memory for ThreadedShm {
     }
 
     fn num_processes(&self) -> usize {
-        self.steps.len()
+        self.procs.len()
     }
 
     fn steps(&self, pid: Pid) -> u64 {
-        self.steps[pid.0].load(Ordering::Relaxed)
+        self.procs[pid.0].steps.load(Ordering::Relaxed)
     }
 }
 
@@ -180,6 +207,13 @@ mod tests {
     }
 
     #[test]
+    fn register_cells_are_cache_padded() {
+        assert!(std::mem::align_of::<CachePadded<RwLock<Word>>>() >= 128);
+        assert!(std::mem::size_of::<CachePadded<RwLock<Word>>>() >= 128);
+        assert!(std::mem::align_of::<ProcState>() >= 128);
+    }
+
+    #[test]
     fn concurrent_writers_linearize() {
         let mem = ThreadedShm::new(1, 8);
         std::thread::scope(|s| {
@@ -187,7 +221,8 @@ mod tests {
                 let mem = &mem;
                 s.spawn(move || {
                     for i in 0..100 {
-                        mem.write(Pid(p), RegId(0), Word::Pair(p as u64, i)).unwrap();
+                        mem.write(Pid(p), RegId(0), Word::Pair(p as u64, i))
+                            .unwrap();
                         let w = mem.read(Pid(p), RegId(0)).unwrap();
                         // Whatever we read is a complete pair some process wrote.
                         assert!(w.as_pair().is_some());

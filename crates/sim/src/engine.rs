@@ -1,0 +1,421 @@
+//! The single-threaded step-machine execution engine.
+//!
+//! [`StepEngine`] runs a set of [`StepMachine`]s under a [`Policy`] with
+//! the exact lock-step semantics of the thread-backed scheduler
+//! ([`crate::SimMemory`]/[`crate::SimBuilder`]) but **zero OS threads,
+//! zero locks and zero parked stacks**: every live machine always exposes
+//! its pending operation (`op()` is pure), so the policy can be consulted
+//! directly and the chosen operation applied in place. Because the
+//! blocking algorithm APIs are `drive` adapters over the same machines,
+//! the two backends observe identical operation sequences — the same
+//! policy (and seed) produces the same trace, steps and results on both.
+//!
+//! Use the thread-backed [`crate::SimBuilder`] for closure-style process
+//! bodies; use `StepEngine` whenever the algorithms expose step machines
+//! and you care about speed or scale — exhaustive exploration, adversary
+//! searches, crash storms over thousands of processes.
+//!
+//! ```
+//! use exsel_shm::{Poll, RegAlloc, ShmOp, StepMachine, Word};
+//! use exsel_sim::{policy::RoundRobin, StepEngine};
+//!
+//! /// Write own id, then read the register back.
+//! struct WriteThenRead {
+//!     reg: exsel_shm::RegId,
+//!     id: u64,
+//!     wrote: bool,
+//! }
+//! impl StepMachine for WriteThenRead {
+//!     type Output = Word;
+//!     fn op(&self) -> ShmOp {
+//!         if self.wrote { ShmOp::Read(self.reg) } else { ShmOp::Write(self.reg, Word::Int(self.id)) }
+//!     }
+//!     fn advance(&mut self, input: Word) -> Poll<Word> {
+//!         if self.wrote { Poll::Ready(input) } else { self.wrote = true; Poll::Pending }
+//!     }
+//! }
+//!
+//! let mut alloc = RegAlloc::new();
+//! let bank = alloc.reserve(1);
+//! let outcome = StepEngine::new(alloc.total(), Box::new(RoundRobin::new()))
+//!     .run((0..3).map(|p| -> Box<dyn StepMachine<Output = Word>> {
+//!         Box::new(WriteThenRead { reg: bank.get(0), id: p, wrote: false })
+//!     }).collect());
+//! // Round-robin: W0 W1 W2 R0 R1 R2 — everyone reads process 2's write.
+//! for r in &outcome.results {
+//!     assert_eq!(*r.as_ref().unwrap(), Word::Int(2));
+//! }
+//! assert_eq!(outcome.steps, vec![2, 2, 2]);
+//! ```
+
+use exsel_shm::{Crash, Pid, Poll, ShmOp, StepMachine, Word};
+
+use crate::policy::{Action, PendingOp, Policy};
+use crate::runner::SimOutcome;
+
+/// Builder/driver for one engine execution; see the module docs.
+pub struct StepEngine {
+    num_registers: usize,
+    policy: Box<dyn Policy>,
+    max_total_ops: u64,
+    record_trace: bool,
+}
+
+impl StepEngine {
+    /// A new engine over `num_registers` registers scheduled by `policy`.
+    #[must_use]
+    pub fn new(num_registers: usize, policy: Box<dyn Policy>) -> Self {
+        StepEngine {
+            num_registers,
+            policy,
+            max_total_ops: 50_000_000,
+            record_trace: false,
+        }
+    }
+
+    /// Overrides the total-operation safety valve (default 50 million).
+    /// Exceeding it makes [`StepEngine::run`] panic with a diagnostic
+    /// instead of looping forever.
+    #[must_use]
+    pub fn max_total_ops(mut self, ops: u64) -> Self {
+        self.max_total_ops = ops;
+        self
+    }
+
+    /// Records the granted schedule in [`SimOutcome::trace`].
+    #[must_use]
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Runs `machines` (machine `i` is process `Pid(i)`) to quiescence
+    /// and collects the per-process results. Completed machines yield
+    /// `Ok(output)`; machines crashed by the policy yield `Err(Crash)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation budget is exhausted (a livelocked
+    /// algorithm — everything in this stack is supposed to be wait-free
+    /// or non-blocking), if a machine targets a register out of range, or
+    /// if the policy grants a non-pending process / crashes a non-live
+    /// one.
+    pub fn run<T>(mut self, machines: Vec<Box<dyn StepMachine<Output = T> + '_>>) -> SimOutcome<T> {
+        let n = machines.len();
+        let mut live: Vec<Option<Box<dyn StepMachine<Output = T> + '_>>> =
+            machines.into_iter().map(Some).collect();
+        let mut live_count = n;
+        let mut results: Vec<Option<Result<T, Crash>>> = (0..n).map(|_| None).collect();
+        let mut regs = vec![Word::Null; self.num_registers];
+        let mut steps = vec![0u64; n];
+        // Indexed by pid (reported sorted, matching the thread scheduler).
+        let mut crashed = vec![false; n];
+        let mut trace = self.record_trace.then(Vec::new);
+        let mut total_ops = 0u64;
+        let mut pending: Vec<PendingOp> = Vec::with_capacity(n);
+
+        while live_count > 0 {
+            assert!(
+                total_ops < self.max_total_ops,
+                "simulation exceeded its operation budget of {} ops — livelocked algorithm?",
+                self.max_total_ops
+            );
+
+            pending.clear();
+            for (pid, slot) in live.iter().enumerate() {
+                if let Some(machine) = slot {
+                    let op = machine.op();
+                    pending.push(PendingOp {
+                        pid: Pid(pid),
+                        kind: op.kind(),
+                        reg: op.reg(),
+                        step_index: steps[pid],
+                    });
+                }
+            }
+
+            match self.policy.decide(&pending) {
+                Action::Grant(pid) => {
+                    let machine = live[pid.0]
+                        .as_mut()
+                        .unwrap_or_else(|| panic!("policy granted non-pending process {pid}"));
+                    let op = machine.op();
+                    let (kind, reg) = (op.kind(), op.reg());
+                    assert!(
+                        reg.0 < regs.len(),
+                        "register {reg} out of range ({} registers)",
+                        regs.len()
+                    );
+                    // Perform the granted operation in place.
+                    let input = match op {
+                        ShmOp::Read(_) => regs[reg.0].clone(),
+                        ShmOp::Write(_, word) => {
+                            regs[reg.0] = word;
+                            Word::Null
+                        }
+                    };
+                    if let Some(trace) = &mut trace {
+                        trace.push(PendingOp {
+                            pid,
+                            kind,
+                            reg,
+                            step_index: steps[pid.0],
+                        });
+                    }
+                    steps[pid.0] += 1;
+                    total_ops += 1;
+                    if let Poll::Ready(out) = machine.advance(input) {
+                        results[pid.0] = Some(Ok(out));
+                        live[pid.0] = None;
+                        live_count -= 1;
+                    }
+                }
+                Action::Crash(pid) => {
+                    assert!(
+                        live[pid.0].is_some(),
+                        "policy crashed non-live process {pid}"
+                    );
+                    live[pid.0] = None;
+                    live_count -= 1;
+                    crashed[pid.0] = true;
+                    results[pid.0] = Some(Err(Crash));
+                }
+            }
+        }
+
+        SimOutcome {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("result recorded"))
+                .collect(),
+            steps,
+            crashed: crashed
+                .iter()
+                .enumerate()
+                .filter_map(|(pid, &c)| c.then_some(Pid(pid)))
+                .collect(),
+            total_ops,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CrashStorm, RandomPolicy, RoundRobin, Scripted, Solo};
+    use crate::runner::SimBuilder;
+    use exsel_shm::{Ctx, RegAlloc, RegId, RegRange, Step};
+
+    /// A machine performing `rounds` write/read pairs on one register.
+    struct Hammer {
+        reg: RegId,
+        id: u64,
+        rounds: u64,
+        done_ops: u64,
+        last_read: Word,
+    }
+
+    impl Hammer {
+        fn new(reg: RegId, id: u64, rounds: u64) -> Self {
+            Hammer {
+                reg,
+                id,
+                rounds,
+                done_ops: 0,
+                last_read: Word::Null,
+            }
+        }
+    }
+
+    impl StepMachine for Hammer {
+        type Output = Word;
+        fn op(&self) -> ShmOp {
+            if self.done_ops.is_multiple_of(2) {
+                ShmOp::Write(self.reg, Word::Int(self.id))
+            } else {
+                ShmOp::Read(self.reg)
+            }
+        }
+        fn advance(&mut self, input: Word) -> Poll<Word> {
+            if !self.done_ops.is_multiple_of(2) {
+                self.last_read = input;
+            }
+            self.done_ops += 1;
+            if self.done_ops == 2 * self.rounds {
+                Poll::Ready(self.last_read.clone())
+            } else {
+                Poll::Pending
+            }
+        }
+    }
+
+    /// The same program as a blocking closure, for backend comparison.
+    fn hammer_blocking(bank: RegRange, rounds: u64) -> impl Fn(Ctx<'_>) -> Step<Word> + Sync {
+        move |ctx| {
+            let mut last = Word::Null;
+            for _ in 0..rounds {
+                ctx.write(bank.get(0), ctx.pid().0 as u64)?;
+                last = ctx.read(bank.get(0))?;
+            }
+            Ok(last)
+        }
+    }
+
+    fn hammer_machines(
+        bank: RegRange,
+        n: usize,
+        rounds: u64,
+    ) -> Vec<Box<dyn StepMachine<Output = Word>>> {
+        (0..n)
+            .map(|p| -> Box<dyn StepMachine<Output = Word>> {
+                Box::new(Hammer::new(bank.get(0), p as u64, rounds))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_matches_thread_backed_runner() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let threaded = SimBuilder::new(alloc.total(), Box::new(RoundRobin::new()))
+            .record_trace(true)
+            .run(3, hammer_blocking(bank, 4));
+        let engine = StepEngine::new(alloc.total(), Box::new(RoundRobin::new()))
+            .record_trace(true)
+            .run(hammer_machines(bank, 3, 4));
+        assert_eq!(threaded.trace, engine.trace);
+        assert_eq!(threaded.steps, engine.steps);
+        assert_eq!(
+            threaded
+                .results
+                .iter()
+                .map(|r| r.clone().unwrap())
+                .collect::<Vec<_>>(),
+            engine
+                .results
+                .iter()
+                .map(|r| r.clone().unwrap())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn random_policy_matches_thread_backed_runner_across_seeds() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        for seed in 0..10 {
+            let threaded = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+                .record_trace(true)
+                .run(4, hammer_blocking(bank, 3));
+            let engine = StepEngine::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+                .record_trace(true)
+                .run(hammer_machines(bank, 4, 3));
+            assert_eq!(threaded.trace, engine.trace, "seed {seed}");
+            assert_eq!(threaded.steps, engine.steps, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crashes_are_delivered_and_reported() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let policy = CrashStorm::new(Box::new(RoundRobin::new()), 9, 0.5, 2);
+        let outcome =
+            StepEngine::new(alloc.total(), Box::new(policy)).run(hammer_machines(bank, 4, 10));
+        assert_eq!(outcome.crashed.len(), 2);
+        for pid in &outcome.crashed {
+            assert!(outcome.results[pid.0].is_err());
+        }
+        assert_eq!(outcome.completed().count(), 2);
+    }
+
+    #[test]
+    fn solo_runs_hero_first() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let outcome = StepEngine::new(alloc.total(), Box::new(Solo::new(Pid(2))))
+            .record_trace(true)
+            .run(hammer_machines(bank, 3, 2));
+        let trace = outcome.trace.unwrap();
+        assert!(trace[..4].iter().all(|op| op.pid == Pid(2)));
+    }
+
+    #[test]
+    fn scripted_replay_reproduces_engine_runs() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let original = StepEngine::new(alloc.total(), Box::new(RandomPolicy::new(99)))
+            .record_trace(true)
+            .run(hammer_machines(bank, 3, 2));
+        let replay = StepEngine::new(
+            alloc.total(),
+            Box::new(Scripted::from_trace(original.trace.as_ref().unwrap())),
+        )
+        .record_trace(true)
+        .run(hammer_machines(bank, 3, 2));
+        assert_eq!(original.trace, replay.trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "operation budget")]
+    fn budget_exhaustion_panics() {
+        /// Spins forever.
+        struct Spin(RegId);
+        impl StepMachine for Spin {
+            type Output = ();
+            fn op(&self) -> ShmOp {
+                ShmOp::Read(self.0)
+            }
+            fn advance(&mut self, _input: Word) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        StepEngine::new(alloc.total(), Box::new(RoundRobin::new()))
+            .max_total_ops(100)
+            .run(vec![
+                Box::new(Spin(bank.get(0))) as Box<dyn StepMachine<Output = ()>>,
+                Box::new(Spin(bank.get(0))),
+            ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_register_is_rejected() {
+        struct Bad;
+        impl StepMachine for Bad {
+            type Output = ();
+            fn op(&self) -> ShmOp {
+                ShmOp::Read(RegId(5))
+            }
+            fn advance(&mut self, _input: Word) -> Poll<()> {
+                Poll::Ready(())
+            }
+        }
+        StepEngine::new(1, Box::new(RoundRobin::new()))
+            .run(vec![Box::new(Bad) as Box<dyn StepMachine<Output = ()>>]);
+    }
+
+    #[test]
+    fn empty_machine_set_returns_immediately() {
+        let outcome = StepEngine::new(4, Box::new(RoundRobin::new()))
+            .run(Vec::<Box<dyn StepMachine<Output = ()>>>::new());
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.total_ops, 0);
+    }
+
+    #[test]
+    fn spawns_no_threads_for_thousands_of_processes() {
+        // 2000 simulated processes, one shared register: on the threaded
+        // backend this would need 2000 stacks; here it is a vector walk.
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let outcome = StepEngine::new(alloc.total(), Box::new(RoundRobin::new()))
+            .run(hammer_machines(bank, 2000, 2));
+        assert_eq!(outcome.results.len(), 2000);
+        assert_eq!(outcome.total_ops, 2000 * 4);
+        assert!(outcome.results.iter().all(Result::is_ok));
+    }
+}

@@ -37,8 +37,9 @@
 
 use std::sync::{Arc, Mutex};
 
-use exsel_shm::{Ctx, Pid, Step};
+use exsel_shm::{Ctx, Pid, Step, StepMachine};
 
+use crate::engine::StepEngine;
 use crate::policy::{Action, PendingOp, Policy};
 use crate::runner::{SimBuilder, SimOutcome};
 
@@ -115,6 +116,44 @@ where
     F: Fn(Ctx<'_>) -> Step<T> + Sync,
     C: Fn(&SimOutcome<T>),
 {
+    explore_driver(max_executions, check, |policy| {
+        SimBuilder::new(num_registers, policy).run(num_procs, &body)
+    })
+}
+
+/// [`explore`] on the single-threaded [`StepEngine`]: identical schedule
+/// tree, identical checker interface, no thread spawns — typically an
+/// order of magnitude faster, which buys exhaustive coverage of deeper
+/// programs. `factory(pid)` builds the step machine of process `pid`; it
+/// is invoked afresh for every execution.
+///
+/// # Panics
+///
+/// Propagates panics from the machines and `check`.
+pub fn explore_engine<'a, T, F, C>(
+    num_registers: usize,
+    num_procs: usize,
+    max_executions: u64,
+    factory: F,
+    check: C,
+) -> ExploreReport
+where
+    F: Fn(Pid) -> Box<dyn StepMachine<Output = T> + 'a>,
+    C: Fn(&SimOutcome<T>),
+{
+    explore_driver(max_executions, check, |policy| {
+        StepEngine::new(num_registers, policy).run((0..num_procs).map(Pid).map(&factory).collect())
+    })
+}
+
+/// The depth-first odometer shared by both explore backends: re-runs the
+/// program under [`ExplorerPolicy`] prefixes until the whole schedule
+/// tree is covered (or `max_executions` truncates the walk).
+fn explore_driver<T, C, R>(max_executions: u64, check: C, mut run_one: R) -> ExploreReport
+where
+    C: Fn(&SimOutcome<T>),
+    R: FnMut(Box<dyn Policy>) -> SimOutcome<T>,
+{
     let cursor = Arc::new(Mutex::new(Cursor::default()));
     let mut executions = 0;
     let mut max_depth = 0;
@@ -131,7 +170,7 @@ where
             cursor: Arc::clone(&cursor),
             depth: 0,
         };
-        let outcome = SimBuilder::new(num_registers, Box::new(policy)).run(num_procs, &body);
+        let outcome = run_one(Box::new(policy));
         executions += 1;
         check(&outcome);
 
@@ -179,11 +218,15 @@ mod tests {
         // Two processes, one op each: exactly C(2,1) = 2 schedules.
         let mut alloc = RegAlloc::new();
         let bank = alloc.reserve(2);
-        let report = explore(alloc.total(), 2, 100, |ctx| {
-            ctx.write(bank.get(ctx.pid().0), 1u64)
-        }, |outcome| {
-            assert!(outcome.results.iter().all(Result::is_ok));
-        });
+        let report = explore(
+            alloc.total(),
+            2,
+            100,
+            |ctx| ctx.write(bank.get(ctx.pid().0), 1u64),
+            |outcome| {
+                assert!(outcome.results.iter().all(Result::is_ok));
+            },
+        );
         assert!(report.complete);
         assert_eq!(report.executions, 2);
         assert_eq!(report.max_depth, 2);
@@ -194,10 +237,16 @@ mod tests {
         // Two processes, two ops each: C(4,2) = 6 schedules.
         let mut alloc = RegAlloc::new();
         let bank = alloc.reserve(1);
-        let report = explore(alloc.total(), 2, 100, |ctx| {
-            ctx.write(bank.get(0), ctx.pid().0 as u64)?;
-            ctx.read(bank.get(0))
-        }, |_| {});
+        let report = explore(
+            alloc.total(),
+            2,
+            100,
+            |ctx| {
+                ctx.write(bank.get(0), ctx.pid().0 as u64)?;
+                ctx.read(bank.get(0))
+            },
+            |_| {},
+        );
         assert!(report.complete);
         assert_eq!(report.executions, 6);
     }
@@ -211,29 +260,48 @@ mod tests {
         let mut alloc = RegAlloc::new();
         let bank = alloc.reserve(1);
         let saw_race = AtomicBool::new(false);
-        let report = explore(alloc.total(), 2, 1000, |ctx| {
-            let v = ctx.read(bank.get(0))?.as_int().unwrap_or(0);
-            ctx.write(bank.get(0), v + 1)?;
-            Ok(v)
-        }, |outcome| {
-            let reads: Vec<u64> = outcome.results.iter().map(|r| *r.as_ref().unwrap()).collect();
-            if reads == [0, 0] {
-                saw_race.store(true, Ordering::SeqCst);
-            }
-        });
+        let report = explore(
+            alloc.total(),
+            2,
+            1000,
+            |ctx| {
+                let v = ctx.read(bank.get(0))?.as_int().unwrap_or(0);
+                ctx.write(bank.get(0), v + 1)?;
+                Ok(v)
+            },
+            |outcome| {
+                let reads: Vec<u64> = outcome
+                    .results
+                    .iter()
+                    .map(|r| *r.as_ref().unwrap())
+                    .collect();
+                if reads == [0, 0] {
+                    saw_race.store(true, Ordering::SeqCst);
+                }
+            },
+        );
         assert!(report.complete);
-        assert!(saw_race.load(Ordering::SeqCst), "exploration missed the race");
+        assert!(
+            saw_race.load(Ordering::SeqCst),
+            "exploration missed the race"
+        );
     }
 
     #[test]
     fn truncation_reports_incomplete() {
         let mut alloc = RegAlloc::new();
         let bank = alloc.reserve(1);
-        let report = explore(alloc.total(), 3, 4, |ctx| {
-            ctx.write(bank.get(0), 1u64)?;
-            ctx.read(bank.get(0))?;
-            ctx.write(bank.get(0), Word::Null)
-        }, |_| {});
+        let report = explore(
+            alloc.total(),
+            3,
+            4,
+            |ctx| {
+                ctx.write(bank.get(0), 1u64)?;
+                ctx.read(bank.get(0))?;
+                ctx.write(bank.get(0), Word::Null)
+            },
+            |_| {},
+        );
         assert!(!report.complete);
         assert_eq!(report.executions, 4);
     }
@@ -241,5 +309,122 @@ mod tests {
     #[test]
     fn all_pids_helper() {
         assert_eq!(all_pids(3), vec![Pid(0), Pid(1), Pid(2)]);
+    }
+
+    /// Write own id then read back, as a step machine.
+    struct WriteRead {
+        reg: exsel_shm::RegId,
+        id: u64,
+        wrote: bool,
+    }
+
+    impl StepMachine for WriteRead {
+        type Output = u64;
+        fn op(&self) -> exsel_shm::ShmOp {
+            if self.wrote {
+                exsel_shm::ShmOp::Read(self.reg)
+            } else {
+                exsel_shm::ShmOp::Write(self.reg, Word::Int(self.id))
+            }
+        }
+        fn advance(&mut self, input: Word) -> exsel_shm::Poll<u64> {
+            if self.wrote {
+                exsel_shm::Poll::Ready(input.expect_int())
+            } else {
+                self.wrote = true;
+                exsel_shm::Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn engine_explore_counts_match_thread_backed_explore() {
+        // The same two-process write-then-read program on both backends:
+        // identical schedule trees, identical counts (C(4,2) = 6).
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let threaded = explore(
+            alloc.total(),
+            2,
+            100,
+            |ctx| {
+                ctx.write(bank.get(0), ctx.pid().0 as u64)?;
+                ctx.read(bank.get(0)).map(|w| w.expect_int())
+            },
+            |_| {},
+        );
+        let engine = explore_engine(
+            alloc.total(),
+            2,
+            100,
+            |pid| {
+                Box::new(WriteRead {
+                    reg: bank.get(0),
+                    id: pid.0 as u64,
+                    wrote: false,
+                })
+            },
+            |_| {},
+        );
+        assert!(threaded.complete && engine.complete);
+        assert_eq!(threaded.executions, engine.executions);
+        assert_eq!(threaded.max_depth, engine.max_depth);
+    }
+
+    #[test]
+    fn engine_explore_finds_the_racy_interleaving() {
+        /// Read-modify-write without atomicity, as a step machine.
+        struct Incr {
+            reg: exsel_shm::RegId,
+            seen: Option<u64>,
+        }
+        impl StepMachine for Incr {
+            type Output = u64;
+            fn op(&self) -> exsel_shm::ShmOp {
+                match self.seen {
+                    None => exsel_shm::ShmOp::Read(self.reg),
+                    Some(v) => exsel_shm::ShmOp::Write(self.reg, Word::Int(v + 1)),
+                }
+            }
+            fn advance(&mut self, input: Word) -> exsel_shm::Poll<u64> {
+                match self.seen {
+                    None => {
+                        self.seen = Some(input.as_int().unwrap_or(0));
+                        exsel_shm::Poll::Pending
+                    }
+                    Some(v) => exsel_shm::Poll::Ready(v),
+                }
+            }
+        }
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let saw_race = AtomicBool::new(false);
+        let report = explore_engine(
+            alloc.total(),
+            2,
+            1000,
+            |_pid| {
+                Box::new(Incr {
+                    reg: bank.get(0),
+                    seen: None,
+                })
+            },
+            |outcome| {
+                let reads: Vec<u64> = outcome
+                    .results
+                    .iter()
+                    .map(|r| *r.as_ref().unwrap())
+                    .collect();
+                if reads == [0, 0] {
+                    saw_race.store(true, Ordering::SeqCst);
+                }
+            },
+        );
+        assert!(report.complete);
+        assert!(
+            saw_race.load(Ordering::SeqCst),
+            "exploration missed the race"
+        );
     }
 }

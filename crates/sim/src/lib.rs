@@ -2,12 +2,26 @@
 //!
 //! The paper's adversary controls the interleaving of processes' local steps
 //! and may crash any of them at any point. This crate realizes that
-//! adversary executably: each simulated process runs on its own OS thread,
-//! but every shared-memory operation must first be *granted* by a
-//! [`Policy`]. The scheduler runs in **lock-step**: the policy is consulted
-//! only when every live process has an operation pending, so — because the
-//! policy then sees the complete set of enabled operations — executions are
-//! fully deterministic given the policy (and any seed it embeds).
+//! adversary executably, with **two interchangeable backends** sharing the
+//! [`Policy`] trait and the [`SimOutcome`] result type:
+//!
+//! * [`SimBuilder`] — the thread-backed scheduler: each simulated process
+//!   runs a blocking closure on its own OS thread, and every shared-memory
+//!   operation parks until a [`Policy`] grants it. Use it for closure-style
+//!   process bodies and for code without a step-machine form.
+//! * [`StepEngine`] — the single-threaded step-machine engine: processes
+//!   are `exsel_shm::StepMachine`s, so their pending operations are visible
+//!   without parking and the whole execution is a loop over a vector — no
+//!   thread spawns, no locks, no stacks. Same policy ⇒ same trace, steps
+//!   and results as the thread-backed runner (the blocking algorithm APIs
+//!   are `drive` adapters over the same machines), at orders-of-magnitude
+//!   higher execution rates. Use it for exhaustive exploration
+//!   ([`explore_engine`]), adversary searches and large crash storms.
+//!
+//! Both run in **lock-step**: the policy is consulted only when every live
+//! process has an operation pending, so — because the policy then sees the
+//! complete set of enabled operations — executions are fully deterministic
+//! given the policy (and any seed it embeds).
 //!
 //! Lock-step does not restrict the reachable interleavings: any sequence of
 //! operations can be produced by granting accordingly, including fully
@@ -44,13 +58,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 pub mod explore;
 pub mod policy;
 mod runner;
 mod sched;
 pub mod trace_view;
 
-pub use explore::{explore, ExploreReport};
+pub use engine::StepEngine;
+pub use explore::{explore, explore_engine, ExploreReport};
 pub use policy::{Action, PendingOp, Policy};
 pub use runner::{SimBuilder, SimOutcome};
 pub use sched::SimMemory;

@@ -150,7 +150,12 @@ impl CrashStorm {
     /// Wraps `inner`, crashing a random pending process with probability
     /// `crash_probability` at each decision, at most `max_crashes` times.
     #[must_use]
-    pub fn new(inner: Box<dyn Policy>, seed: u64, crash_probability: f64, max_crashes: usize) -> Self {
+    pub fn new(
+        inner: Box<dyn Policy>,
+        seed: u64,
+        crash_probability: f64,
+        max_crashes: usize,
+    ) -> Self {
         CrashStorm {
             inner,
             rng: SmallRng::seed_from_u64(seed),

@@ -133,7 +133,10 @@ impl SimBuilder {
             .map(|p| exsel_shm::Memory::steps(mem.as_ref(), Pid(p)))
             .collect();
         SimOutcome {
-            results: results.into_iter().map(|r| r.expect("result recorded")).collect(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("result recorded"))
+                .collect(),
             steps,
             crashed: mem.crashed_set(),
             total_ops: mem.total_ops(),
@@ -196,8 +199,14 @@ mod tests {
         let b = run();
         assert_eq!(a.trace, b.trace, "same policy must replay identically");
         assert_eq!(
-            a.results.iter().map(|r| r.clone().unwrap()).collect::<Vec<_>>(),
-            b.results.iter().map(|r| r.clone().unwrap()).collect::<Vec<_>>()
+            a.results
+                .iter()
+                .map(|r| r.clone().unwrap())
+                .collect::<Vec<_>>(),
+            b.results
+                .iter()
+                .map(|r| r.clone().unwrap())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -296,15 +305,24 @@ mod tests {
         let original = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(99)))
             .record_trace(true)
             .run(3, program(bank));
-        let replay = SimBuilder::new(alloc.total(), Box::new(Scripted::from_trace(
-            original.trace.as_ref().unwrap(),
-        )))
+        let replay = SimBuilder::new(
+            alloc.total(),
+            Box::new(Scripted::from_trace(original.trace.as_ref().unwrap())),
+        )
         .record_trace(true)
         .run(3, program(bank));
         assert_eq!(original.trace, replay.trace);
         assert_eq!(
-            original.results.iter().map(|r| r.clone().unwrap()).collect::<Vec<_>>(),
-            replay.results.iter().map(|r| r.clone().unwrap()).collect::<Vec<_>>(),
+            original
+                .results
+                .iter()
+                .map(|r| r.clone().unwrap())
+                .collect::<Vec<_>>(),
+            replay
+                .results
+                .iter()
+                .map(|r| r.clone().unwrap())
+                .collect::<Vec<_>>(),
         );
     }
 
@@ -316,8 +334,8 @@ mod tests {
         for seed in 0..20 {
             let mut alloc = RegAlloc::new();
             let bank = alloc.reserve(1);
-            let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
-                .run(2, |ctx| {
+            let outcome =
+                SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(2, |ctx| {
                     ctx.write(bank.get(0), ctx.pid().0 as u64)?;
                     ctx.read(bank.get(0))
                 });

@@ -122,10 +122,7 @@ impl SimMemory {
     /// Consults the policy while the lock-step condition holds and no grant
     /// is outstanding.
     fn dispatch(st: &mut SimState) {
-        while st.granted.is_none()
-            && st.live_count > 0
-            && st.pending.len() == st.live_count
-        {
+        while st.granted.is_none() && st.live_count > 0 && st.pending.len() == st.live_count {
             if st.total_ops >= st.max_total_ops {
                 st.budget_exhausted = true;
                 for pid in 0..st.live.len() {
@@ -157,10 +154,7 @@ impl SimMemory {
                     st.granted = Some(pid.0);
                 }
                 Action::Crash(pid) => {
-                    assert!(
-                        st.live[pid.0],
-                        "policy crashed non-live process {pid}"
-                    );
+                    assert!(st.live[pid.0], "policy crashed non-live process {pid}");
                     st.crashed[pid.0] = true;
                     st.live[pid.0] = false;
                     st.live_count -= 1;

@@ -50,7 +50,9 @@ mod tests {
             StoreCollectError::Crash(Crash).to_string(),
             "process crashed"
         );
-        assert!(StoreCollectError::CapacityExceeded.to_string().contains("capacity"));
+        assert!(StoreCollectError::CapacityExceeded
+            .to_string()
+            .contains("capacity"));
         use std::error::Error;
         assert!(StoreCollectError::Crash(Crash).source().is_some());
         assert!(StoreCollectError::CapacityExceeded.source().is_none());

@@ -68,13 +68,27 @@ impl ValueLayout {
         }
     }
 
-    /// Raises the control registers a first store at `name` must set
-    /// (controls of the intervals strictly before `name`'s).
-    pub(crate) fn raise_controls(&self, ctx: Ctx<'_>, name: u64) -> Step<()> {
-        if let ValueLayout::Intervals { controls, .. } = self {
-            for j in 0..interval_of(name) {
-                ctx.write(controls.get(j), 1u64)?;
+    /// The control registers a first store at `name` must raise, in
+    /// writing order (controls of the intervals strictly before `name`'s;
+    /// empty for the fixed layout).
+    pub(crate) fn controls_to_raise(&self, name: u64) -> Vec<RegId> {
+        match self {
+            ValueLayout::Fixed { .. } => Vec::new(),
+            ValueLayout::Intervals { controls, .. } => {
+                (0..interval_of(name)).map(|j| controls.get(j)).collect()
             }
+        }
+    }
+
+    /// Raises the control registers a first store at `name` must set
+    /// (controls of the intervals strictly before `name`'s). The
+    /// step-machine store path performs these writes itself from
+    /// [`ValueLayout::controls_to_raise`]; this blocking form remains for
+    /// tests and direct layout manipulation.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn raise_controls(&self, ctx: Ctx<'_>, name: u64) -> Step<()> {
+        for reg in self.controls_to_raise(name) {
+            ctx.write(reg, 1u64)?;
         }
         Ok(())
     }
@@ -161,7 +175,8 @@ mod tests {
         let layout = ValueLayout::fixed(&mut alloc, 4);
         let mem = ThreadedShm::new(alloc.total(), 1);
         let ctx = Ctx::new(&mem, Pid(0));
-        ctx.write(layout.value_register(3), Word::Pair(9, 10)).unwrap();
+        ctx.write(layout.value_register(3), Word::Pair(9, 10))
+            .unwrap();
         let mut seen = Vec::new();
         layout.read_prefix(ctx, |w| seen.push(w)).unwrap();
         assert_eq!(seen, vec![Word::Pair(9, 10)]);
@@ -176,11 +191,13 @@ mod tests {
         // Store at name 5 (interval 1): raise controls of interval 0,
         // write the value.
         layout.raise_controls(ctx, 5).unwrap();
-        ctx.write(layout.value_register(5), Word::Pair(1, 55)).unwrap();
+        ctx.write(layout.value_register(5), Word::Pair(1, 55))
+            .unwrap();
         // Also place a value in a *later* interval without its controls:
         // collect must not see it (models a store that has not finished
         // raising controls — its store has not completed).
-        ctx.write(layout.value_register(20), Word::Pair(2, 99)).unwrap();
+        ctx.write(layout.value_register(20), Word::Pair(2, 99))
+            .unwrap();
         let mut seen = Vec::new();
         let before = ctx.steps();
         layout.read_prefix(ctx, |w| seen.push(w)).unwrap();

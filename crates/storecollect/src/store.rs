@@ -1,9 +1,10 @@
 //! The Store&Collect object.
 
 use exsel_core::{
-    AdaptiveRename, AlmostAdaptive, Outcome, PolyLogRename, Rename, RenameConfig,
+    AdaptiveRename, AlmostAdaptive, Outcome, PolyLogRename, Rename, RenameConfig, RenameMachine,
+    StepRename,
 };
-use exsel_shm::{Ctx, RegAlloc, RegId, Word};
+use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, RegId, ShmOp, StepMachine, Word};
 
 use crate::layout::ValueLayout;
 use crate::StoreCollectError;
@@ -49,6 +50,15 @@ impl StoreHandle {
     pub fn register(&self) -> Option<RegId> {
         self.reg
     }
+
+    /// Records the register adopted by a completed [`FirstStoreOp`].
+    /// Callers driving the step-machine store path must invoke this with
+    /// the machine's output before issuing further stores through the
+    /// handle.
+    pub fn adopt(&mut self, reg: RegId) {
+        debug_assert!(self.reg.is_none(), "first store already completed");
+        self.reg = Some(reg);
+    }
 }
 
 /// A wait-free Store&Collect object (Theorem 5).
@@ -59,7 +69,7 @@ impl StoreHandle {
 /// with `value` a value the owner stored no earlier than its latest store
 /// preceding the collect (regularity, as standard for collect objects).
 pub struct StoreCollect {
-    renamer: Box<dyn Rename + Send>,
+    renamer: Box<dyn StepRename + Send>,
     layout: ValueLayout,
     setting: Setting,
 }
@@ -155,21 +165,36 @@ impl StoreCollect {
         original: u64,
         value: u64,
     ) -> Result<(), StoreCollectError> {
-        let reg = match handle.reg {
-            Some(reg) => reg,
+        match handle.reg {
+            Some(reg) => ctx.write(reg, Word::Pair(original, value))?,
             None => {
-                let name = match self.renamer.rename(ctx, original)? {
-                    Outcome::Named(m) => m,
-                    Outcome::Failed => return Err(StoreCollectError::CapacityExceeded),
-                };
-                self.layout.raise_controls(ctx, name)?;
-                let reg = self.layout.value_register(name);
-                handle.reg = Some(reg);
-                reg
+                // Blocking adapter over the step-machine first-store path.
+                let mut op = self.begin_first_store(ctx.pid(), original, value);
+                let reg = drive(&mut op, ctx)??;
+                handle.adopt(reg);
             }
-        };
-        ctx.write(reg, Word::Pair(original, value))?;
+        }
         Ok(())
+    }
+
+    /// Starts a process's *first* store — renaming, control raising and
+    /// the value write — as a [`StepMachine`], one shared-memory operation
+    /// per step. `Ready(Ok(reg))` yields the adopted value register, which
+    /// the caller records with [`StoreHandle::adopt`]; later stores are a
+    /// single write to it. `Ready(Err(_))` reports capacity exhaustion.
+    #[must_use]
+    pub fn begin_first_store<'a>(
+        &'a self,
+        pid: Pid,
+        original: u64,
+        value: u64,
+    ) -> FirstStoreOp<'a> {
+        FirstStoreOp {
+            sc: self,
+            original,
+            value,
+            state: FsState::Renaming(self.renamer.begin_rename(pid, original)),
+        }
     }
 
     /// Collects the latest stored value of every registered process, as
@@ -187,6 +212,83 @@ impl StoreCollect {
         })?;
         out.sort_unstable();
         Ok(out)
+    }
+}
+
+enum FsState<'a> {
+    Renaming(RenameMachine<'a>),
+    /// Raising interval controls `controls[idx..]`, then writing the value.
+    Raising {
+        controls: Vec<RegId>,
+        idx: usize,
+        reg: RegId,
+    },
+    WriteValue {
+        reg: RegId,
+    },
+}
+
+/// In-progress first store — a [`StepMachine`] over the rename +
+/// raise-controls + value-write path of [`StoreCollect::store`].
+pub struct FirstStoreOp<'a> {
+    sc: &'a StoreCollect,
+    original: u64,
+    value: u64,
+    state: FsState<'a>,
+}
+
+impl FirstStoreOp<'_> {
+    /// Transition for a freshly acquired name: set up control raising (or
+    /// go straight to the value write when there are none).
+    fn enter_raising(&mut self, name: u64) {
+        let controls = self.sc.layout.controls_to_raise(name);
+        let reg = self.sc.layout.value_register(name);
+        self.state = if controls.is_empty() {
+            FsState::WriteValue { reg }
+        } else {
+            FsState::Raising {
+                controls,
+                idx: 0,
+                reg,
+            }
+        };
+    }
+}
+
+impl StepMachine for FirstStoreOp<'_> {
+    type Output = Result<RegId, StoreCollectError>;
+
+    fn op(&self) -> ShmOp {
+        match &self.state {
+            FsState::Renaming(machine) => machine.op(),
+            FsState::Raising { controls, idx, .. } => ShmOp::Write(controls[*idx], Word::Int(1)),
+            FsState::WriteValue { reg } => {
+                ShmOp::Write(*reg, Word::Pair(self.original, self.value))
+            }
+        }
+    }
+
+    fn advance(&mut self, input: Word) -> Poll<Self::Output> {
+        match &mut self.state {
+            FsState::Renaming(machine) => match machine.advance(input) {
+                Poll::Pending => Poll::Pending,
+                Poll::Ready(Outcome::Failed) => {
+                    Poll::Ready(Err(StoreCollectError::CapacityExceeded))
+                }
+                Poll::Ready(Outcome::Named(name)) => {
+                    self.enter_raising(name);
+                    Poll::Pending
+                }
+            },
+            FsState::Raising { controls, idx, reg } => {
+                *idx += 1;
+                if *idx >= controls.len() {
+                    self.state = FsState::WriteValue { reg: *reg };
+                }
+                Poll::Pending
+            }
+            FsState::WriteValue { reg } => Poll::Ready(Ok(*reg)),
+        }
     }
 }
 
@@ -231,8 +333,7 @@ mod tests {
         for view in views {
             // Every view has at most one entry per owner; the final
             // sequential collect below checks completeness.
-            let owners: std::collections::BTreeSet<u64> =
-                view.iter().map(|&(o, _)| o).collect();
+            let owners: std::collections::BTreeSet<u64> = view.iter().map(|&(o, _)| o).collect();
             assert_eq!(owners.len(), view.len(), "duplicate owner in view");
             assert!(view.len() <= k);
         }

@@ -56,7 +56,11 @@ fn collect_concurrent_with_first_stores_is_regular() {
         let views = outcome.results[0].as_ref().unwrap();
         for view in views {
             for &(owner, value) in view {
-                assert_eq!(value, owner * 10, "seed {seed}: value never stored by {owner}");
+                assert_eq!(
+                    value,
+                    owner * 10,
+                    "seed {seed}: value never stored by {owner}"
+                );
             }
         }
         // Views grow monotonically (more stores visible over time).

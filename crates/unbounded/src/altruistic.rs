@@ -155,7 +155,10 @@ impl AltruisticDeposit {
         let p = ctx.pid().0;
         let r = st.col_r;
         st.col_r = (st.col_r + 1) % self.n;
-        Ok(ctx.read(self.help_cell(r, p))?.as_int().map(|name| (r, name)))
+        Ok(ctx
+            .read(self.help_cell(r, p))?
+            .as_int()
+            .map(|name| (r, name)))
     }
 
     /// Deposits `value`, returning the register index it permanently
@@ -277,7 +280,11 @@ mod tests {
         assert_eq!(regs.len(), N * PER, "register reused for two deposits");
         let ctx = Ctx::new(&mem, Pid(0));
         for (r, v) in all {
-            assert_eq!(repo.arena().read(ctx, r).unwrap(), Word::Int(v), "R_{r} overwritten");
+            assert_eq!(
+                repo.arena().read(ctx, r).unwrap(),
+                Word::Int(v),
+                "R_{r} overwritten"
+            );
         }
     }
 

@@ -105,10 +105,7 @@ mod tests {
         let mem = ThreadedShm::new(alloc.total(), 1);
         let ctx = Ctx::new(&mem, Pid(0));
         arena.write(ctx, 2, 7).unwrap();
-        assert_eq!(
-            arena.occupancy(&mem, Pid(0)),
-            vec![None, Some(7), None]
-        );
+        assert_eq!(arena.occupancy(&mem, Pid(0)), vec![None, Some(7), None]);
     }
 
     #[test]

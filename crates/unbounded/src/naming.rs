@@ -164,15 +164,22 @@ impl UnboundedNaming {
 #[derive(Clone, Debug)]
 enum AcqState {
     /// First-time publication of `B_p` (one write per step).
-    Publish { idx: usize },
+    Publish {
+        idx: usize,
+    },
     /// Local transition marker: begin a `W_p := candidate` update.
     StartUpdate,
     Update(UpdateOp),
     Scan(ScanOp),
     /// Availability check: read `B_q[0] = A_q`.
-    CheckA { q: usize },
+    CheckA {
+        q: usize,
+    },
     /// Availability check: scan `B_q`'s slots for the candidate.
-    CheckSlots { q: usize, j: usize },
+    CheckSlots {
+        q: usize,
+        j: usize,
+    },
     /// Prune an unavailable candidate: overwrite its published slot with a
     /// fresh value.
     PruneSlot,
@@ -182,7 +189,9 @@ enum AcqState {
     /// value (removing the candidate from the list makes it unavailable).
     CommitSlot,
     /// Publish the advanced `A_p`, then the acquire is complete.
-    CommitAdvanceA { name: u64 },
+    CommitAdvanceA {
+        name: u64,
+    },
     Done,
 }
 
@@ -230,9 +239,7 @@ impl AcquireOp {
                 Ok(Poll::Pending)
             }
             AcqState::StartUpdate => {
-                let mut up = naming
-                    .w
-                    .begin_update(slot, Word::Int(self.candidate));
+                let mut up = naming.w.begin_update(slot, Word::Int(self.candidate));
                 let poll = up.step(&naming.w, ctx)?;
                 self.state = match poll {
                     Poll::Ready(()) => AcqState::Scan(naming.w.begin_scan()),
@@ -385,7 +392,9 @@ mod tests {
         let mem = ThreadedShm::new(alloc.total(), 2);
         let ctx = Ctx::new(&mem, Pid(0));
         let mut st = naming.namer_state();
-        let names: Vec<u64> = (0..6).map(|_| naming.acquire(ctx, &mut st).unwrap()).collect();
+        let names: Vec<u64> = (0..6)
+            .map(|_| naming.acquire(ctx, &mut st).unwrap())
+            .collect();
         let set: BTreeSet<u64> = names.iter().copied().collect();
         assert_eq!(set.len(), names.len());
         // A solo process claims the smallest available integers in order.

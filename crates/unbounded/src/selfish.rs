@@ -204,7 +204,9 @@ mod tests {
         let mem = ThreadedShm::new(alloc.total(), 2);
         let ctx = Ctx::new(&mem, Pid(0));
         let mut st = repo.depositor_state();
-        let regs: Vec<u64> = (0..5).map(|v| repo.deposit(ctx, &mut st, v).unwrap()).collect();
+        let regs: Vec<u64> = (0..5)
+            .map(|v| repo.deposit(ctx, &mut st, v).unwrap())
+            .collect();
         let set: BTreeSet<u64> = regs.iter().copied().collect();
         assert_eq!(set.len(), 5);
         // Values persisted.
@@ -274,11 +276,7 @@ mod tests {
         let occ = repo.arena().occupancy(&mem, Pid(0));
         let frontier = occ.iter().rposition(Option::is_some).unwrap() + 1;
         let holes = occ[..frontier].iter().filter(|v| v.is_none()).count();
-        assert!(
-            holes < N,
-            "quiescent waste {holes} exceeds n−1 = {}",
-            N - 1
-        );
+        assert!(holes < N, "quiescent waste {holes} exceeds n−1 = {}", N - 1);
         assert_eq!(occ.iter().flatten().count(), 3 * 8);
         let _ = mem.num_registers();
     }

@@ -15,12 +15,20 @@ fn main() {
     let cfg = RenameConfig::default();
 
     println!("Basic-Rename(k={k}, N={n_names}) under crash storms, 20 seeds:\n");
-    println!("{:>5}  {:>8}  {:>7}  {:>9}  {:>9}", "seed", "crashed", "named", "max_steps", "exclusive");
+    println!(
+        "{:>5}  {:>8}  {:>7}  {:>9}  {:>9}",
+        "seed", "crashed", "named", "max_steps", "exclusive"
+    );
 
     for seed in 0..20u64 {
         let mut alloc = RegAlloc::new();
         let algo = BasicRename::new(&mut alloc, n_names, k, &cfg);
-        let policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), seed ^ 0xF00D, 0.02, k - 1);
+        let policy = CrashStorm::new(
+            Box::new(RandomPolicy::new(seed)),
+            seed ^ 0xF00D,
+            0.02,
+            k - 1,
+        );
         let outcome = SimBuilder::new(alloc.total(), Box::new(policy)).run(k, |ctx| {
             let original = (ctx.pid().0 as u64 + 1) * 61;
             algo.rename(ctx, original).map(|o| o.name())

@@ -58,9 +58,15 @@ fn main() {
             total += 1;
         }
     }
-    let frontier = occupancy.iter().rposition(Option::is_some).map_or(0, |i| i + 1);
+    let frontier = occupancy
+        .iter()
+        .rposition(Option::is_some)
+        .map_or(0, |i| i + 1);
     let holes = occupancy[..frontier].iter().filter(|v| v.is_none()).count();
     println!("\nledger audit: {total} records persisted across registers R_1..R_{frontier}");
-    println!("holes (registers lost to the crash): {holes} — Theorem 9 allows up to n(n−1) = {}", n * (n - 1));
+    println!(
+        "holes (registers lost to the crash): {holes} — Theorem 9 allows up to n(n−1) = {}",
+        n * (n - 1)
+    );
     assert!(holes <= n * (n - 1) + (n - 1));
 }

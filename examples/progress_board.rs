@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --example progress_board`
 
-use exclusive_selection::{Ctx, Pid, RegAlloc, RenameConfig, StoreCollect, StoreHandle, ThreadedShm};
+use exclusive_selection::{
+    Ctx, Pid, RegAlloc, RenameConfig, StoreCollect, StoreHandle, ThreadedShm,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() {
@@ -41,8 +43,7 @@ fn main() {
                 let before = ctx.steps();
                 let view = board.collect(ctx).unwrap();
                 let cost = ctx.steps() - before;
-                let all_done =
-                    view.len() == workers && view.iter().all(|&(_, pct)| pct == 100);
+                let all_done = view.len() == workers && view.iter().all(|&(_, pct)| pct == 100);
                 println!(
                     "collect ({cost:>3} reads): {:?}",
                     view.iter()

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use exclusive_selection::{
-    AdaptiveRename, Ctx, Pid, RegAlloc, Rename, RenameConfig, ThreadedShm,
-};
+use exclusive_selection::{AdaptiveRename, Ctx, Pid, RegAlloc, Rename, RenameConfig, ThreadedShm};
 
 fn main() {
     let system_size = 8;

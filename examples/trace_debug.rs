@@ -29,7 +29,11 @@ fn main() {
         let outcome = SimBuilder::new(regs, Box::new(RandomPolicy::new(seed)))
             .record_trace(true)
             .run(2, |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1));
-        let wins: Vec<bool> = outcome.results.iter().map(|r| *r.as_ref().unwrap()).collect();
+        let wins: Vec<bool> = outcome
+            .results
+            .iter()
+            .map(|r| *r.as_ref().unwrap())
+            .collect();
         if wins == [false, false] {
             found = Some((seed, outcome.trace.unwrap()));
             break;
@@ -47,7 +51,11 @@ fn main() {
     let replay = SimBuilder::new(regs, Box::new(Scripted::from_trace(&trace)))
         .record_trace(true)
         .run(2, |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1));
-    let wins: Vec<bool> = replay.results.iter().map(|r| *r.as_ref().unwrap()).collect();
+    let wins: Vec<bool> = replay
+        .results
+        .iter()
+        .map(|r| *r.as_ref().unwrap())
+        .collect();
     assert_eq!(wins, [false, false], "replay diverged");
     assert_eq!(replay.trace.unwrap(), trace, "replay schedule diverged");
     println!("replayed bit-for-bit: both contenders exited without a win —");

@@ -12,8 +12,8 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`shm`] | `exsel-shm` | registers, step counting, crashes, atomic snapshots |
-//! | [`sim`] | `exsel-sim` | deterministic lock-step scheduler, crash injection |
+//! | [`shm`] | `exsel-shm` | registers, step counting, crashes, atomic snapshots, step machines |
+//! | [`sim`] | `exsel-sim` | deterministic lock-step execution: thread-backed scheduler **and** the single-threaded step-machine engine |
 //! | [`expander`] | `exsel-expander` | bipartite lossless expanders (Lemmas 2–3) |
 //! | [`renaming`] | `exsel-core` | Majority, Basic-, PolyLog-, Efficient-, Almost-Adaptive and Adaptive renaming (Lemmas 4–5, Theorems 1–4) + baselines |
 //! | [`storecollect`] | `exsel-storecollect` | Store&Collect, four knowledge settings (Theorem 5) |
@@ -40,6 +40,20 @@
 //! assert!(name >= 1 && name <= 7); // 8k − lg k − 1 with k = 1
 //! ```
 //!
+//! ## Execution backends
+//!
+//! Simulated executions run on either of two backends with identical
+//! semantics (same policy ⇒ same trace, steps and results):
+//!
+//! * [`SimBuilder`] — one OS thread per simulated process, blocking
+//!   closures. Use for closure-style bodies and code without a
+//!   step-machine form.
+//! * [`StepEngine`] — zero threads: processes are [`StepMachine`]s
+//!   (obtained from [`StepRename::begin_rename`] or built by hand) and
+//!   the whole execution is a single-threaded loop. Orders of magnitude
+//!   faster; use for exhaustive exploration, adversary searches and
+//!   large crash storms. See `BENCH_engine.json` for measurements.
+//!
 //! See `examples/` for runnable scenarios and `EXPERIMENTS.md` for the
 //! paper-claim reproduction tables.
 
@@ -55,10 +69,13 @@ pub use exsel_storecollect as storecollect;
 pub use exsel_unbounded as unbounded;
 
 pub use exsel_core::{
-    AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, Majority, MoirAnderson,
-    Outcome, PolyLogRename, Rename, RenameConfig, SnapshotRename,
+    AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, Majority, MoirAnderson, Outcome,
+    PolyLogRename, Rename, RenameConfig, SnapshotRename, StepRename,
 };
-pub use exsel_shm::{Crash, Ctx, Memory, Pid, RegAlloc, RegId, Step, ThreadedShm, Word};
-pub use exsel_sim::SimBuilder;
+pub use exsel_shm::{
+    drive, Crash, Ctx, Memory, Pid, Poll, RegAlloc, RegId, ShmOp, Step, StepMachine, ThreadedShm,
+    Word,
+};
+pub use exsel_sim::{SimBuilder, StepEngine};
 pub use exsel_storecollect::{StoreCollect, StoreHandle};
 pub use exsel_unbounded::{AltruisticDeposit, SelfishDeposit, UnboundedNaming};

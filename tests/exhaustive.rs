@@ -5,60 +5,168 @@
 //! and snapshot self-inclusion are checked over the *complete* schedule
 //! tree of 2–3 process programs.
 
-use exclusive_selection::renaming::{MoirAnderson, Rename, SlotBank};
+use exclusive_selection::renaming::{MoirAnderson, SlotBank};
 use exclusive_selection::shm::Snapshot;
-use exclusive_selection::sim::explore;
-use exclusive_selection::{RegAlloc, Word};
+use exclusive_selection::sim::explore::{explore, explore_engine};
+use exclusive_selection::{Outcome, RegAlloc, StepMachine, StepRename, Word};
 
 #[test]
 fn lemma1_exclusive_wins_every_interleaving_two_contenders() {
+    // Both backends cover the identical tree; the thread-backed run keeps
+    // that backend honest, the engine run is the fast path.
     let mut alloc = RegAlloc::new();
     let bank = SlotBank::new(&mut alloc, 1);
-    let report = explore(
+    let check = |outcome: &exclusive_selection::sim::SimOutcome<bool>| {
+        let winners = outcome
+            .results
+            .iter()
+            .filter(|r| *r.as_ref().unwrap())
+            .count();
+        assert!(winners <= 1, "two winners in one interleaving");
+    };
+    let threaded = explore(
         alloc.total(),
         2,
         100_000,
         |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1),
-        |outcome| {
-            let winners = outcome.results.iter().filter(|r| *r.as_ref().unwrap()).count();
-            assert!(winners <= 1, "two winners in one interleaving");
-        },
+        check,
     );
-    assert!(report.complete, "schedule tree not fully covered");
-    assert!(report.executions >= 2, "suspiciously few schedules");
+    let engine = explore_engine(
+        alloc.total(),
+        2,
+        100_000,
+        |pid| Box::new(bank.begin_compete(0, pid.0 as u64 + 1)),
+        check,
+    );
+    assert!(
+        threaded.complete && engine.complete,
+        "schedule tree not fully covered"
+    );
+    assert_eq!(
+        threaded.executions, engine.executions,
+        "backends saw different trees"
+    );
+    assert!(engine.executions >= 2, "suspiciously few schedules");
 }
 
 #[test]
 fn lemma1_exclusive_wins_every_interleaving_three_contenders() {
     let mut alloc = RegAlloc::new();
     let bank = SlotBank::new(&mut alloc, 1);
-    let report = explore(
+    let report = explore_engine(
         alloc.total(),
         3,
         2_000_000,
-        |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1),
+        |pid| Box::new(bank.begin_compete(0, pid.0 as u64 + 1)),
         |outcome| {
-            let winners = outcome.results.iter().filter(|r| *r.as_ref().unwrap()).count();
+            let winners = outcome
+                .results
+                .iter()
+                .filter(|r| *r.as_ref().unwrap())
+                .count();
             assert!(winners <= 1, "two winners in one interleaving");
         },
     );
     assert!(report.complete, "schedule tree not fully covered");
 }
 
+/// A bank walk: compete for slot 0, then slot 1 if lost, and so on. The
+/// machine form of the first-win loop every renaming algorithm runs.
+struct SlotWalk {
+    bank: SlotBank,
+    token: u64,
+    slot: usize,
+    inner: exclusive_selection::renaming::CompeteOp,
+}
+
+impl SlotWalk {
+    fn new(bank: &SlotBank, token: u64) -> Self {
+        SlotWalk {
+            bank: bank.clone(),
+            token,
+            slot: 0,
+            inner: bank.begin_compete(0, token),
+        }
+    }
+}
+
+impl StepMachine for SlotWalk {
+    type Output = Option<usize>;
+    fn op(&self) -> exclusive_selection::ShmOp {
+        self.inner.op()
+    }
+    fn advance(&mut self, input: Word) -> exclusive_selection::Poll<Option<usize>> {
+        use exclusive_selection::Poll;
+        match self.inner.advance(input) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(true) => Poll::Ready(Some(self.slot)),
+            Poll::Ready(false) => {
+                self.slot += 1;
+                if self.slot < self.bank.len() {
+                    self.inner = self.bank.begin_compete(self.slot, self.token);
+                    Poll::Pending
+                } else {
+                    Poll::Ready(None)
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma1_walks_exclusive_every_interleaving_two_contenders_three_slots() {
+    // Up to 15 ops per process, schedule-tree depth 26, ~185k complete
+    // executions — a depth the thread-backed explorer cannot finish in
+    // reasonable test time; on the engine it is routine. Every
+    // interleaving must keep slot wins exclusive.
+    let mut alloc = RegAlloc::new();
+    let bank = SlotBank::new(&mut alloc, 3);
+    let report = explore_engine(
+        alloc.total(),
+        2,
+        1_000_000,
+        |pid| Box::new(SlotWalk::new(&bank, pid.0 as u64 + 1)),
+        |outcome| {
+            let wins: Vec<usize> = outcome
+                .results
+                .iter()
+                .filter_map(|r| *r.as_ref().unwrap())
+                .collect();
+            let set: std::collections::BTreeSet<usize> = wins.iter().copied().collect();
+            assert_eq!(set.len(), wins.len(), "a slot won twice: {wins:?}");
+        },
+    );
+    assert!(report.complete, "schedule tree not fully covered");
+    assert!(
+        report.executions > 100_000,
+        "only {} schedules",
+        report.executions
+    );
+}
+
 #[test]
 fn splitter_grid_exclusive_every_interleaving_k2() {
     let mut alloc = RegAlloc::new();
     let algo = MoirAnderson::new(&mut alloc, 2);
-    let report = explore(
+    let report = explore_engine(
         alloc.total(),
         2,
         500_000,
-        |ctx| algo.rename(ctx, ctx.pid().0 as u64 + 1).map(|o| o.name()),
+        |pid| {
+            Box::new(
+                algo.begin_rename(pid, pid.0 as u64 + 1)
+                    .map_output(Outcome::name),
+            )
+        },
         |outcome| {
             let names: Vec<u64> = outcome
                 .results
                 .iter()
-                .map(|r| r.as_ref().unwrap().expect("within capacity: both must stop"))
+                .map(|r| {
+                    r.as_ref()
+                        .unwrap()
+                        .expect("within capacity: both must stop")
+                })
                 .collect();
             assert_ne!(names[0], names[1], "duplicate names");
             assert!(names.iter().all(|&m| (1..=3).contains(&m)));
@@ -66,7 +174,11 @@ fn splitter_grid_exclusive_every_interleaving_k2() {
     );
     assert!(report.complete);
     // The grid program is 4–8 ops per process: a real tree, not a toy.
-    assert!(report.executions > 50, "only {} schedules", report.executions);
+    assert!(
+        report.executions > 50,
+        "only {} schedules",
+        report.executions
+    );
 }
 
 #[test]
@@ -95,7 +207,11 @@ fn snapshot_self_inclusion_every_interleaving() {
         },
     );
     assert!(report.complete);
-    assert!(report.executions > 100, "only {} schedules", report.executions);
+    assert!(
+        report.executions > 100,
+        "only {} schedules",
+        report.executions
+    );
 }
 
 #[test]

@@ -42,7 +42,11 @@ fn run_basic(
     });
     let crashed = outcome.crashed.len();
     (
-        outcome.results.into_iter().map(|r| r.ok().flatten()).collect(),
+        outcome
+            .results
+            .into_iter()
+            .map(|r| r.ok().flatten())
+            .collect(),
         crashed,
         bound,
     )

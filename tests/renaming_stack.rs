@@ -8,8 +8,8 @@ use std::collections::BTreeSet;
 
 use exclusive_selection::sim::policy::{CrashStorm, Policy, RandomPolicy, RoundRobin, Solo};
 use exclusive_selection::{
-    AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, MoirAnderson, Pid,
-    PolyLogRename, RegAlloc, Rename, RenameConfig, SimBuilder, SnapshotRename,
+    AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, MoirAnderson, Pid, PolyLogRename,
+    RegAlloc, Rename, RenameConfig, SimBuilder, SnapshotRename,
 };
 
 type AlgoFactory = Box<dyn Fn(&mut RegAlloc) -> Box<dyn Rename + Send> + Sync>;
@@ -39,7 +39,9 @@ fn stack(k: usize, n_names: usize) -> Vec<(&'static str, AlgoFactory)> {
         ),
         (
             "almost_adaptive",
-            Box::new(move |a: &mut RegAlloc| Box::new(AlmostAdaptive::new(a, n_names, k, &c4)) as _),
+            Box::new(move |a: &mut RegAlloc| {
+                Box::new(AlmostAdaptive::new(a, n_names, k, &c4)) as _
+            }),
         ),
         (
             "adaptive",

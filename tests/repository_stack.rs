@@ -40,8 +40,8 @@ fn selfish_nonblocking_under_crash_storm() {
     for seed in 0..5 {
         let mut alloc = RegAlloc::new();
         let repo = SelfishDeposit::new(&mut alloc, n, 256);
-        let policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), seed, 0.02, n - 1)
-            .protect([Pid(0)]);
+        let policy =
+            CrashStorm::new(Box::new(RandomPolicy::new(seed)), seed, 0.02, n - 1).protect([Pid(0)]);
         let outcome = SimBuilder::new(alloc.total(), Box::new(policy)).run(n, |ctx| {
             let mut st = repo.depositor_state();
             for i in 0..4u64 {

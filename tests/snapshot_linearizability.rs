@@ -15,8 +15,8 @@ fn views_totally_ordered_across_seeds() {
     for seed in 0..25 {
         let mut alloc = RegAlloc::new();
         let snap = Snapshot::new(&mut alloc, PROCS);
-        let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
-            .run(PROCS, |ctx| {
+        let outcome =
+            SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(PROCS, |ctx| {
                 let slot = ctx.pid().0;
                 let mut views = Vec::new();
                 for i in 1..=OPS {
@@ -49,8 +49,8 @@ fn self_inclusion_under_adversarial_schedules() {
     for seed in 0..25 {
         let mut alloc = RegAlloc::new();
         let snap = Snapshot::new(&mut alloc, PROCS);
-        let outcome = SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
-            .run(PROCS, |ctx| {
+        let outcome =
+            SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(PROCS, |ctx| {
                 let slot = ctx.pid().0;
                 for i in 1..=6u64 {
                     snap.update(ctx, slot, Word::Int(i))?;

@@ -33,7 +33,8 @@ fn quiescent_collect_is_complete_and_latest() {
             let mut h = StoreHandle::new();
             let orig = ctx.pid().0 as u64 + 1;
             for round in 0..3u64 {
-                sc.store(ctx, &mut h, orig, round).map_err(|_| exclusive_selection::Crash)?;
+                sc.store(ctx, &mut h, orig, round)
+                    .map_err(|_| exclusive_selection::Crash)?;
             }
             // After everyone interleaved, collect sees one entry per
             // process with its latest value... eventually; here we only
@@ -58,14 +59,13 @@ fn collects_respect_owner_uniqueness_under_random_schedules() {
     let n = 4;
     for (label, sc, regs) in settings(n, 64) {
         for seed in 0..6 {
-            let outcome =
-                SimBuilder::new(regs, Box::new(RandomPolicy::new(seed))).run(n, |ctx| {
-                    let mut h = StoreHandle::new();
-                    let orig = (ctx.pid().0 as u64 + 1) * 7;
-                    sc.store(ctx, &mut h, orig, ctx.pid().0 as u64)
-                        .map_err(|_| exclusive_selection::Crash)?;
-                    sc.collect(ctx).map_err(|_| exclusive_selection::Crash)
-                });
+            let outcome = SimBuilder::new(regs, Box::new(RandomPolicy::new(seed))).run(n, |ctx| {
+                let mut h = StoreHandle::new();
+                let orig = (ctx.pid().0 as u64 + 1) * 7;
+                sc.store(ctx, &mut h, orig, ctx.pid().0 as u64)
+                    .map_err(|_| exclusive_selection::Crash)?;
+                sc.collect(ctx).map_err(|_| exclusive_selection::Crash)
+            });
             for result in outcome.completed() {
                 let owners: Vec<u64> = result.iter().map(|&(o, _)| o).collect();
                 let mut dedup = owners.clone();

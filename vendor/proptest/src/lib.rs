@@ -1,0 +1,596 @@
+//! Offline shim for `proptest`: deterministic random-sampling property
+//! testing exposing the proptest API subset this workspace's tests use —
+//! `proptest!`, `prop_assert*!`, `prop_oneof!`, [`Strategy`] with
+//! `prop_map`/`prop_perturb`, [`any`], range strategies, tuple strategies
+//! and `collection::vec`.
+//!
+//! Differences from the real crate: cases are sampled from a fixed
+//! deterministic seed (no OS entropy, no persisted failure regressions)
+//! and failing cases are *not* shrunk — the failing inputs are reported
+//! as generated.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+/// A failed property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// An error carrying `message`.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The random source handed to strategies (and to `prop_perturb`
+/// closures). Deterministic: every run of a test sees the same stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// The deterministic root generator of a test, distinguished by the
+    /// test's name so sibling tests draw independent streams.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xE5E1_D305_1BAD_5EEDu64;
+        for b in name.bytes() {
+            seed = seed
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(u64::from(b));
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples uniformly from `range` (rand 0.9 spelling, which is what
+    /// `prop_perturb` closures in this workspace use).
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        self.inner.gen_range(range)
+    }
+
+    /// An independent generator split off this one.
+    #[must_use]
+    pub fn fork(&mut self) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(self.inner.next_u64()),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Maps generated values through `f` with access to a random source.
+    fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> O,
+    {
+        Perturb { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_perturb`].
+#[derive(Clone, Debug)]
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Perturb<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value, TestRng) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        let value = self.inner.generate(rng);
+        (self.f)(value, rng.fork())
+    }
+}
+
+/// Uniform choice between type-erased strategies (built by
+/// [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.below(self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, roughly magnitude-spread values.
+        let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = (rng.next_u64() % 64) as i32 - 32;
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over every value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(usize, u64, u32, u16, u8, f64);
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` values with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty length range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.random_range(self.size.clone());
+            let mut set = std::collections::BTreeSet::new();
+            // Bounded retries: duplicate draws (tiny element domains) must
+            // not loop forever; a smaller set is still a valid sample.
+            for _ in 0..target.saturating_mul(20).max(16) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// A strategy for ordered sets of `element` values with size drawn
+    /// from `size` (possibly smaller when the element domain is tiny).
+    pub fn btree_set<S: Strategy>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        assert!(!size.is_empty(), "empty size range");
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `(left == right)`\n  left: {l:?}\n right: {r:?}"
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{} (left: {l:?}, right: {r:?})",
+                        format!($($fmt)*)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `(left != right)`\n  both: {l:?}"
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{} (both: {l:?})",
+                        format!($($fmt)*)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` running its
+/// body over deterministically sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let input_desc = {
+                    let mut s = String::new();
+                    $(s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)+
+                    s
+                };
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {e}\ninputs:\n{input_desc}",
+                        case + 1,
+                        config.cases,
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_streams_per_test_name() {
+        let draw = |name: &str| {
+            let mut rng = TestRng::for_test(name);
+            (0..8)
+                .map(|_| rng.random_range(0u64..1000))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw("a"), draw("a"));
+        assert_ne!(draw("a"), draw("b"));
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::for_test("union");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let s = prop::collection::vec(0usize..10, 2..5);
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_checks(
+            a in 0u64..100,
+            b in any::<bool>(),
+            v in prop::collection::vec(1usize..4, 1..6),
+        ) {
+            prop_assert!(a < 100);
+            prop_assert_ne!(v.len(), 0);
+            prop_assert_eq!(b, b);
+        }
+
+        #[test]
+        fn map_and_perturb_compose(
+            x in (0u64..50).prop_map(|v| v * 2).prop_perturb(|v, mut rng| v + rng.random_range(0u64..=1)),
+        ) {
+            prop_assert!(x <= 99);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline shim for `serde_json`: an order-preserving JSON value type and
+//! printer — the subset the experiment tables need for JSON-lines output.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// An insertion-order-preserving string-keyed map of JSON values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` at `key`, replacing (in place) any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// The value at `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer number.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        i64::try_from(v).map_or(Value::Float(v as f64), Value::Int)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    write!(f, "null") // JSON has no NaN/Inf
+                }
+            }
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_object_in_insertion_order() {
+        let mut m = Map::new();
+        m.insert("b".into(), Value::Int(1));
+        m.insert("a".into(), Value::String("x\"y".into()));
+        m.insert("c".into(), Value::Float(1.5));
+        assert_eq!(
+            Value::Object(m).to_string(),
+            r#"{"b":1,"a":"x\"y","c":1.5}"#
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal() {
+        assert_eq!(Value::Float(3.0).to_string(), "3.0");
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Int(1));
+        let old = m.insert("k".into(), Value::Int(2));
+        assert_eq!(old, Some(Value::Int(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn array_and_null() {
+        let v = Value::Array(vec![Value::Null, Value::Bool(true)]);
+        assert_eq!(v.to_string(), "[null,true]");
+    }
+}

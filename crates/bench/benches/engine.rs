@@ -9,11 +9,13 @@
 //! `cargo bench -p exsel-bench --bench engine`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use exsel_bench::runner::{run_sim, run_sim_engine, spread_originals};
+use exsel_bench::runner::{run_sim, run_sim_engine, run_sim_engine_with, spread_originals};
 use exsel_core::{Majority, MoirAnderson, Outcome, Rename, RenameConfig, SlotBank, StepRename};
 use exsel_lowerbound::{run_against, run_machines_against};
 use exsel_shm::{RegAlloc, StepMachine};
 use exsel_sim::explore::{explore, explore_engine};
+use exsel_sim::policy::RandomPolicy;
+use exsel_sim::StepEngine;
 
 fn bench_majority_round(c: &mut Criterion) {
     let cfg = RenameConfig::default();
@@ -95,10 +97,44 @@ fn bench_adversary(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_reuse(c: &mut Criterion) {
+    // Fresh engine per trial vs one reusable engine across a seed sweep:
+    // the reused engine must be no slower (target: faster), since it
+    // keeps its register bank and scratch buffers across trials.
+    let cfg = RenameConfig::default();
+    let mut group = c.benchmark_group("engine_reuse");
+    group.sample_size(10);
+    let trials = 32u64;
+    for k in [8usize, 32] {
+        let mut alloc = RegAlloc::new();
+        let algo = Majority::new(&mut alloc, 1024, k, &cfg);
+        let regs = alloc.total();
+        let originals = spread_originals(k, 1024);
+        group.bench_with_input(BenchmarkId::new("fresh", k), &k, |b, _| {
+            b.iter(|| {
+                for seed in 0..trials {
+                    run_sim_engine(&algo, regs, &originals, seed);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reused", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = StepEngine::reusable(regs);
+                for seed in 0..trials {
+                    let mut policy = RandomPolicy::new(seed);
+                    run_sim_engine_with(&mut engine, &algo, &originals, &mut policy);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_majority_round,
     bench_explore,
-    bench_adversary
+    bench_adversary,
+    bench_engine_reuse
 );
 criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! The experiment multiplexer: every scenario in the registry behind one
+//! binary.
+//!
+//! ```text
+//! cargo run --release -p exsel-bench --bin expt -- list
+//! cargo run --release -p exsel-bench --bin expt -- run smoke
+//! cargo run --release -p exsel-bench --bin expt -- run majority --json
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match exsel_bench::scenario::cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

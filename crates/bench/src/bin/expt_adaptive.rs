@@ -1,62 +1,6 @@
-//! T6 — Theorem 4: fully adaptive renaming (neither `k` nor `N` known)
-//! with `M ≤ 8k − lg k − 1`, `O(k)` steps and `O(n²)` registers.
-//!
-//! The contenders' original names are drawn from a huge sparse range to
-//! stress the "N unknown" claim; true contention `k` sweeps.
-
-use exsel_bench::{run_sim, Table};
-use exsel_core::{AdaptiveRename, RenameConfig};
-use exsel_shm::RegAlloc;
+//! Thin wrapper kept for muscle memory; the canonical entry is
+//! `expt -- run adaptive` (see `exsel_bench::scenario`).
 
 fn main() {
-    let n_procs = 16usize;
-    let cfg = RenameConfig::default();
-    let mut probe_alloc = RegAlloc::new();
-    let _probe = AdaptiveRename::new(&mut probe_alloc, n_procs, &cfg);
-
-    let mut table = Table::new(
-        format!(
-            "T6 Adaptive-Rename over n={n_procs} — Theorem 4: M ≤ 8k − lg k − 1, O(k) steps, {} registers",
-            probe_alloc.total()
-        ),
-        &[
-            "k", "max_name", "8k-lgk-1", "max_steps", "steps_per_k", "named",
-        ],
-    );
-
-    for k in [1usize, 2, 3, 4, 6, 8, 12, 16] {
-        // Sparse, huge originals: N is effectively unbounded.
-        let originals: Vec<u64> = (0..k as u64)
-            .map(|i| (i + 1).wrapping_mul(0x9E37_79B9))
-            .collect();
-        let mut max_steps = 0u64;
-        let mut max_name = 0u64;
-        let mut min_named = k;
-        for seed in 0..3 {
-            let mut alloc = RegAlloc::new();
-            let algo = AdaptiveRename::new(&mut alloc, n_procs, &cfg);
-            let run = run_sim(&algo, alloc.total(), &originals, seed);
-            max_steps = max_steps.max(run.max_steps());
-            max_name = max_name.max(run.max_name());
-            min_named = min_named.min(run.named());
-        }
-        let lg_k = (k as f64).log2().floor() as u64;
-        let theorem_bound = 8 * k as u64 - lg_k - 1;
-        assert!(
-            max_name <= theorem_bound,
-            "Theorem 4 violated: {max_name} > {theorem_bound} at k={k}"
-        );
-        assert_eq!(min_named, k, "not everyone renamed at k={k}");
-        table.row(&[
-            k.to_string(),
-            max_name.to_string(),
-            theorem_bound.to_string(),
-            max_steps.to_string(),
-            format!("{:.0}", max_steps as f64 / k as f64),
-            min_named.to_string(),
-        ]);
-    }
-    table.emit();
-    println!("shape check: max_name ≤ 8k − lg k − 1 for every contention; steps_per_k stabilizes, certifying O(k) steps");
-    println!("(the per-k constant is the snapshot stage's scan width — see DESIGN.md on the AF-stage substitution).");
+    exsel_bench::expts::adaptive::run();
 }

@@ -1,68 +1,6 @@
-//! T5 — Theorem 3 / Corollary 1: `Almost-Adaptive(N)` renames unknown
-//! contention `k` into names of magnitude `O(k)` in
-//! `O(log²k (log N + log k·log log N))` steps with `O(n·log(N/n))`
-//! registers.
-//!
-//! `N` and the system size `n` are fixed; true contention `k` sweeps.
-//! The observed max name must stay within the phase-`⌈lg k⌉` budget
-//! (`O(k)`), far below the full-system name bound.
-
-use exsel_bench::{run_sim, runner::spread_originals, Table};
-use exsel_core::{AlmostAdaptive, Rename, RenameConfig};
-use exsel_shm::RegAlloc;
+//! Thin wrapper kept for muscle memory; the canonical entry is
+//! `expt -- run almost-adaptive` (see `exsel_bench::scenario`).
 
 fn main() {
-    let n_names = 1usize << 12;
-    let n_procs = 32usize;
-    let cfg = RenameConfig::default();
-
-    let mut probe_alloc = RegAlloc::new();
-    let probe = AlmostAdaptive::new(&mut probe_alloc, n_names, n_procs, &cfg);
-    let mut table = Table::new(
-        format!(
-            "T5 Almost-Adaptive(N={n_names}) over n={n_procs} — Theorem 3: names O(k), registers {} (full bound {})",
-            probe_alloc.total(),
-            probe.name_bound()
-        ),
-        &[
-            "k", "max_name", "bound_for_k", "name_per_k", "max_steps", "steps_norm", "named",
-        ],
-    );
-
-    for k in [1usize, 2, 4, 8, 16, 32] {
-        let mut max_steps = 0u64;
-        let mut max_name = 0u64;
-        let mut min_named = k;
-        for seed in 0..3 {
-            let mut alloc = RegAlloc::new();
-            let algo = AlmostAdaptive::new(&mut alloc, n_names, n_procs, &cfg);
-            let run = run_sim(&algo, alloc.total(), &spread_originals(k, n_names), seed);
-            max_steps = max_steps.max(run.max_steps());
-            max_name = max_name.max(run.max_name());
-            min_named = min_named.min(run.named());
-        }
-        let bound = probe.name_bound_for_contention(k);
-        assert!(
-            max_name <= bound,
-            "Theorem 3 violated: {max_name} > {bound}"
-        );
-        assert_eq!(min_named, k, "not everyone renamed at k={k}");
-        let lg_k = (k as f64).log2().max(1.0);
-        let lg_n = (n_names as f64).log2();
-        table.row(&[
-            k.to_string(),
-            max_name.to_string(),
-            bound.to_string(),
-            format!("{:.0}", max_name as f64 / k as f64),
-            max_steps.to_string(),
-            format!(
-                "{:.2}",
-                max_steps as f64 / (lg_k * lg_k * (lg_n + lg_k * lg_n.log2()))
-            ),
-            min_named.to_string(),
-        ]);
-    }
-    table.emit();
-    println!("shape check: max_name tracks O(k) (bounded by bound_for_k, independent of n or the full bound);");
-    println!("steps_norm stays bounded, certifying the polylog-in-k step complexity.");
+    exsel_bench::expts::almost_adaptive::run();
 }

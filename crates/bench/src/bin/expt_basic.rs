@@ -1,63 +1,6 @@
-//! T2 — Lemma 5: `Basic-Rename(k, N)` is `(k,N)`-renaming in
-//! `O(log k · log N)` local steps with `M = O(k·log(N/k))` and as many
-//! registers.
-//!
-//! Sweeps `(k, N)`; the normalized column `steps/(lg k·lg N)` should stay
-//! roughly flat while raw steps grow, and `M / (k·lg(N/k))` should stay
-//! bounded.
-
-use exsel_bench::{run_sim, runner::spread_originals, Table};
-use exsel_core::{BasicRename, Rename, RenameConfig};
-use exsel_shm::RegAlloc;
+//! Thin wrapper kept for muscle memory; the canonical entry is
+//! `expt -- run basic` (see `exsel_bench::scenario`).
 
 fn main() {
-    let mut table = Table::new(
-        "T2 Basic-Rename(k,N) — Lemma 5: O(log k · log N) steps, M = O(k log(N/k))",
-        &[
-            "N",
-            "k",
-            "stages",
-            "M",
-            "registers",
-            "named",
-            "max_steps",
-            "steps_norm",
-            "M_norm",
-        ],
-    );
-    let cfg = RenameConfig::default();
-    for n_exp in [8u32, 10, 12, 14] {
-        let n = 1usize << n_exp;
-        for k in [2usize, 4, 8, 16] {
-            let mut alloc = RegAlloc::new();
-            let algo = BasicRename::new(&mut alloc, n, k, &cfg);
-            let originals = spread_originals(k, n);
-            let mut max_steps = 0u64;
-            let mut min_named = k;
-            for seed in 0..5 {
-                let mut a2 = RegAlloc::new();
-                let fresh = BasicRename::new(&mut a2, n, k, &cfg);
-                let run = run_sim(&fresh, a2.total(), &originals, seed);
-                max_steps = max_steps.max(run.max_steps());
-                min_named = min_named.min(run.named());
-            }
-            let lg_k = (k as f64).log2().max(1.0);
-            let lg_n = (n as f64).log2();
-            let lg_ratio = ((n / k) as f64).log2().max(1.0);
-            table.row(&[
-                n.to_string(),
-                k.to_string(),
-                algo.num_stages().to_string(),
-                algo.name_bound().to_string(),
-                alloc.total().to_string(),
-                min_named.to_string(),
-                max_steps.to_string(),
-                format!("{:.2}", max_steps as f64 / (lg_k * lg_n)),
-                format!("{:.1}", algo.name_bound() as f64 / (k as f64 * lg_ratio)),
-            ]);
-            assert_eq!(min_named, k, "Lemma 5 violated: not everyone renamed");
-        }
-    }
-    table.emit();
-    println!("shape check: steps_norm (≈ constant) certifies O(log k · log N); M_norm certifies M = O(k·log(N/k)).");
+    exsel_bench::expts::basic::run();
 }

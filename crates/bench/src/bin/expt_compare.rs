@@ -1,123 +1,6 @@
-//! T4 — Theorem 2 and the prior-work comparison: `Efficient-Rename(k)`
-//! achieves `O(k)` steps *and* the optimal `M = 2k−1` simultaneously;
-//! Moir–Anderson matches the steps but pays `M = k(k+1)/2`; the classic
-//! snapshot renaming matches `M` but needs a system-sized snapshot. This
-//! reproduces the "who wins" table of the paper's introduction.
-//!
-//! Renaming is run at full contention; `N_indep` re-runs Efficient-Rename
-//! with originals drawn from a 2¹⁶ range to certify that, being a
-//! *k-renaming* algorithm, its cost does not depend on `N`.
-
-use exsel_bench::{run_sim, runner::spread_originals, Table};
-use exsel_core::{EfficientRename, MoirAnderson, Rename, RenameConfig, SnapshotRename};
-use exsel_shm::RegAlloc;
-
-fn measure<R: Rename + ?Sized>(
-    build: impl Fn(&mut RegAlloc) -> Box<R>,
-    k: usize,
-    n_names: usize,
-    seeds: std::ops::Range<u64>,
-) -> (u64, u64, usize, usize) {
-    let mut max_steps = 0;
-    let mut max_name = 0;
-    let mut named = k;
-    let mut regs = 0;
-    for seed in seeds {
-        let mut alloc = RegAlloc::new();
-        let algo = build(&mut alloc);
-        regs = alloc.total();
-        let run = run_sim(algo.as_ref(), regs, &spread_originals(k, n_names), seed);
-        max_steps = max_steps.max(run.max_steps());
-        max_name = max_name.max(run.max_name());
-        named = named.min(run.named());
-    }
-    (max_steps, max_name, named, regs)
-}
+//! Thin wrapper kept for muscle memory; the canonical entry is
+//! `expt -- run compare` (see `exsel_bench::scenario`).
 
 fn main() {
-    let mut table = Table::new(
-        "T4 k-renaming comparison — Theorem 2 vs prior work (full contention)",
-        &[
-            "algorithm",
-            "k",
-            "N",
-            "M_bound",
-            "max_name",
-            "max_steps",
-            "registers",
-            "named",
-        ],
-    );
-    let cfg = RenameConfig::default();
-    for k in [2usize, 4, 8, 16] {
-        let n_small = 4 * k;
-        let n_large = 1 << 16;
-
-        let (steps, name, named, regs) =
-            measure(|a| Box::new(MoirAnderson::new(a, k)), k, n_small, 0..5);
-        table.row(&[
-            "MoirAnderson".into(),
-            k.to_string(),
-            n_small.to_string(),
-            (k * (k + 1) / 2).to_string(),
-            name.to_string(),
-            steps.to_string(),
-            regs.to_string(),
-            named.to_string(),
-        ]);
-
-        let (steps, name, named, regs) = measure(
-            |a| Box::new(EfficientRename::new(a, k, &cfg)),
-            k,
-            n_small,
-            0..3,
-        );
-        table.row(&[
-            "EfficientRename".into(),
-            k.to_string(),
-            n_small.to_string(),
-            (2 * k - 1).to_string(),
-            name.to_string(),
-            steps.to_string(),
-            regs.to_string(),
-            named.to_string(),
-        ]);
-
-        // N-independence: same algorithm, originals from a huge range.
-        let (steps, name, named, regs) = measure(
-            |a| Box::new(EfficientRename::new(a, k, &cfg)),
-            k,
-            n_large,
-            0..3,
-        );
-        table.row(&[
-            "EfficientRename(N_indep)".into(),
-            k.to_string(),
-            n_large.to_string(),
-            (2 * k - 1).to_string(),
-            name.to_string(),
-            steps.to_string(),
-            regs.to_string(),
-            named.to_string(),
-        ]);
-
-        // Classic snapshot renaming with a contender-sized snapshot
-        // (slot = pid): matches M = 2k−1 but its scans cost O(k) per
-        // collect with higher iteration counts under contention.
-        let (steps, name, named, regs) =
-            measure(|a| Box::new(SnapshotRename::new(a, k)), k, n_small, 0..3);
-        table.row(&[
-            "SnapshotRename".into(),
-            k.to_string(),
-            n_small.to_string(),
-            (2 * k - 1).to_string(),
-            name.to_string(),
-            steps.to_string(),
-            regs.to_string(),
-            named.to_string(),
-        ]);
-    }
-    table.emit();
-    println!("shape check: EfficientRename keeps max_name ≤ 2k−1 (optimal) where MoirAnderson pays k(k+1)/2;");
-    println!("both are N-independent (compare the N_indep rows); steps grow linearly in k for all three.");
+    exsel_bench::expts::compare::run();
 }

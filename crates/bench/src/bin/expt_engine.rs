@@ -1,172 +1,6 @@
-//! T11 — execution backends: the thread-backed lock-step scheduler vs
-//! the single-threaded step-machine engine on identical workloads.
-//!
-//! Both backends replay the *same* executions (same policy ⇒ same trace;
-//! the blocking renaming APIs are `drive` adapters over the same step
-//! machines), so the comparison isolates the machinery: thread parking +
-//! condvar round trips per operation vs a vector walk. Reports wall-clock
-//! per workload and the speedup, asserts the engine's executions match
-//! the thread-backed ones, and — when run from the repository root —
-//! records the numbers in `BENCH_engine.json`.
-//!
-//! `cargo run --release -p exsel-bench --bin expt_engine`
-
-use std::time::Instant;
-
-use exsel_bench::runner::{run_sim, run_sim_engine, spread_originals};
-use exsel_bench::Table;
-use exsel_core::{Majority, RenameConfig, SlotBank};
-use exsel_shm::RegAlloc;
-use exsel_sim::explore::{explore, explore_engine};
-
-/// Wall-clock of `iters` runs of `f`, in seconds.
-fn time(iters: u32, mut f: impl FnMut()) -> f64 {
-    // One warmup.
-    f();
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    start.elapsed().as_secs_f64() / f64::from(iters)
-}
-
-struct Row {
-    workload: String,
-    threads_s: f64,
-    engine_s: f64,
-}
-
-impl Row {
-    fn speedup(&self) -> f64 {
-        self.threads_s / self.engine_s
-    }
-}
+//! Thin wrapper kept for muscle memory; the canonical entry is
+//! `expt -- run engine` (see `exsel_bench::scenario`).
 
 fn main() {
-    let cfg = RenameConfig::default();
-    let mut rows = Vec::new();
-
-    // Majority-renaming rounds under a seeded random schedule.
-    for k in [8usize, 32, 128] {
-        let mut alloc = RegAlloc::new();
-        let algo = Majority::new(&mut alloc, 1024, k, &cfg);
-        let regs = alloc.total();
-        let originals = spread_originals(k, 1024);
-        // Equivalence first: identical names and step counts.
-        let a = run_sim(&algo, regs, &originals, 7);
-        let b = run_sim_engine(&algo, regs, &originals, 7);
-        assert_eq!(a.names, b.names, "backends diverged at k={k}");
-        assert_eq!(a.steps, b.steps, "backends diverged at k={k}");
-        let iters = if k >= 128 { 3 } else { 10 };
-        let threads_s = time(iters, || {
-            run_sim(&algo, regs, &originals, 7);
-        });
-        let engine_s = time(iters, || {
-            run_sim_engine(&algo, regs, &originals, 7);
-        });
-        rows.push(Row {
-            workload: format!("majority_round/k={k}"),
-            threads_s,
-            engine_s,
-        });
-    }
-
-    // Exhaustive exploration of Compete-For-Register, 3 contenders —
-    // the fixed-depth model-checking workload.
-    {
-        let mut alloc = RegAlloc::new();
-        let bank = SlotBank::new(&mut alloc, 1);
-        let regs = alloc.total();
-        let a = explore(
-            regs,
-            3,
-            u64::MAX,
-            |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1),
-            |_| {},
-        );
-        let b = explore_engine(
-            regs,
-            3,
-            u64::MAX,
-            |pid| Box::new(bank.begin_compete(0, pid.0 as u64 + 1)),
-            |_| {},
-        );
-        assert!(a.complete && b.complete);
-        assert_eq!(a.executions, b.executions, "exploration trees diverged");
-        let threads_s = time(3, || {
-            explore(
-                regs,
-                3,
-                u64::MAX,
-                |ctx| bank.compete(ctx, 0, ctx.pid().0 as u64 + 1),
-                |_| {},
-            );
-        });
-        let engine_s = time(3, || {
-            explore_engine(
-                regs,
-                3,
-                u64::MAX,
-                |pid| Box::new(bank.begin_compete(0, pid.0 as u64 + 1)),
-                |_| {},
-            );
-        });
-        rows.push(Row {
-            workload: format!("explore_compete/3procs/{}execs", a.executions),
-            threads_s,
-            engine_s,
-        });
-    }
-
-    let mut table = Table::new(
-        "T11 execution backends — thread scheduler vs step engine",
-        &["workload", "threads_ms", "engine_ms", "speedup"],
-    );
-    for row in &rows {
-        table.row(&[
-            row.workload.clone(),
-            format!("{:.3}", row.threads_s * 1e3),
-            format!("{:.3}", row.engine_s * 1e3),
-            format!("{:.1}", row.speedup()),
-        ]);
-    }
-    table.emit();
-
-    let min_speedup = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
-    println!(
-        "\nstep engine is {:.0}x-{:.0}x faster; executions verified identical per backend.",
-        min_speedup,
-        rows.iter().map(Row::speedup).fold(0.0, f64::max)
-    );
-    assert!(
-        min_speedup >= 5.0,
-        "engine speedup {min_speedup:.1}x below the 5x acceptance floor"
-    );
-
-    // Record for the repository (BENCH_engine.json at the cwd, i.e. the
-    // repo root under `cargo run`).
-    let mut entries = Vec::new();
-    for row in &rows {
-        let mut obj = serde_json::Map::new();
-        obj.insert(
-            "workload".into(),
-            serde_json::Value::String(row.workload.clone()),
-        );
-        obj.insert(
-            "threads_ms".into(),
-            serde_json::Value::Float(row.threads_s * 1e3),
-        );
-        obj.insert(
-            "engine_ms".into(),
-            serde_json::Value::Float(row.engine_s * 1e3),
-        );
-        obj.insert("speedup".into(), serde_json::Value::Float(row.speedup()));
-        entries.push(serde_json::Value::Object(obj));
-    }
-    let doc = serde_json::Value::Array(entries);
-    if let Err(e) = std::fs::write("BENCH_engine.json", format!("{doc}\n")) {
-        eprintln!("(could not write BENCH_engine.json: {e})");
-    } else {
-        println!("wrote BENCH_engine.json");
-    }
+    exsel_bench::expts::engine::run();
 }

@@ -1,67 +1,6 @@
-//! T1 — Lemma 4: `Majority(ℓ, N)` renames at least half of at most `ℓ`
-//! contenders in `O(log N)` local steps with `O(M)` registers.
-//!
-//! Sweeps `N` and `ℓ`, reporting the renamed fraction (must be ≥ 1/2),
-//! the worst-case steps (should track the walk length `5Δ = O(log N)`),
-//! and the register footprint.
-
-use exsel_bench::{run_sim, runner::spread_originals, Table};
-use exsel_core::{Majority, Rename, RenameConfig};
-use exsel_shm::RegAlloc;
+//! Thin wrapper kept for muscle memory; the canonical entry is
+//! `expt -- run majority` (see `exsel_bench::scenario`).
 
 fn main() {
-    let mut table = Table::new(
-        "T1 Majority(l,N) — Lemma 4: ≥ half renamed, O(log N) steps",
-        &[
-            "N",
-            "l",
-            "degree",
-            "M",
-            "registers",
-            "renamed",
-            "frac",
-            "max_steps",
-            "walk_bound",
-        ],
-    );
-    let cfg = RenameConfig::default();
-    for n_exp in [8u32, 10, 12, 14] {
-        let n = 1usize << n_exp;
-        for l in [4usize, 16, 64] {
-            if l * 4 > n {
-                continue;
-            }
-            let mut alloc = RegAlloc::new();
-            let algo = Majority::new(&mut alloc, n, l, &cfg);
-            let originals = spread_originals(l, n);
-            // Worst renamed fraction over several adversarially-seeded
-            // schedules.
-            let mut worst_named = l;
-            let mut max_steps = 0u64;
-            for seed in 0..5 {
-                let mut a2 = RegAlloc::new();
-                let fresh = Majority::new(&mut a2, n, l, &cfg);
-                let run = run_sim(&fresh, a2.total(), &originals, seed);
-                worst_named = worst_named.min(run.named());
-                max_steps = max_steps.max(run.max_steps());
-            }
-            table.row(&[
-                n.to_string(),
-                l.to_string(),
-                algo.graph().degree().to_string(),
-                algo.name_bound().to_string(),
-                alloc.total().to_string(),
-                worst_named.to_string(),
-                format!("{:.2}", worst_named as f64 / l as f64),
-                max_steps.to_string(),
-                (5 * algo.graph().degree()).to_string(),
-            ]);
-            assert!(
-                worst_named * 2 >= l,
-                "Lemma 4 violated: {worst_named}/{l} renamed"
-            );
-        }
-    }
-    table.emit();
-    println!("shape check: renamed fraction ≥ 0.50 everywhere; max_steps ≤ walk_bound = 5·degree = O(log N).");
+    exsel_bench::expts::majority::run();
 }

@@ -1,63 +1,6 @@
-//! T3 — Theorem 1: `PolyLog-Rename(k, N)` is `(k,N)`-renaming with
-//! `M = O(k)` in `O(log k (log N + log k·log log N))` local steps and
-//! `O(k·log(N/k))` registers.
-//!
-//! The defining contrast with T2: `M/k` stays flat as `N` grows (the
-//! epochs squeeze the `log(N/k)` factor out of the name range), at the
-//! cost of a few more epochs of steps.
-
-use exsel_bench::{run_sim, runner::spread_originals, Table};
-use exsel_core::{PolyLogRename, Rename, RenameConfig};
-use exsel_shm::RegAlloc;
+//! Thin wrapper kept for muscle memory; the canonical entry is
+//! `expt -- run polylog` (see `exsel_bench::scenario`).
 
 fn main() {
-    let mut table = Table::new(
-        "T3 PolyLog-Rename(k,N) — Theorem 1: M = O(k), polylog steps",
-        &[
-            "N",
-            "k",
-            "epochs",
-            "M",
-            "M/k",
-            "registers",
-            "named",
-            "max_steps",
-            "steps_norm",
-        ],
-    );
-    let cfg = RenameConfig::default();
-    for n_exp in [10u32, 12, 14, 16] {
-        let n = 1usize << n_exp;
-        for k in [2usize, 4, 8, 16] {
-            let mut alloc = RegAlloc::new();
-            let algo = PolyLogRename::new(&mut alloc, n, k, &cfg);
-            let originals = spread_originals(k, n);
-            let mut max_steps = 0u64;
-            let mut min_named = k;
-            for seed in 0..3 {
-                let mut a2 = RegAlloc::new();
-                let fresh = PolyLogRename::new(&mut a2, n, k, &cfg);
-                let run = run_sim(&fresh, a2.total(), &originals, seed);
-                max_steps = max_steps.max(run.max_steps());
-                min_named = min_named.min(run.named());
-            }
-            let lg_k = (k as f64).log2().max(1.0);
-            let lg_n = (n as f64).log2();
-            let lglg_n = lg_n.log2();
-            table.row(&[
-                n.to_string(),
-                k.to_string(),
-                algo.num_epochs().to_string(),
-                algo.name_bound().to_string(),
-                format!("{:.0}", algo.name_bound() as f64 / k as f64),
-                alloc.total().to_string(),
-                min_named.to_string(),
-                max_steps.to_string(),
-                format!("{:.2}", max_steps as f64 / (lg_k * (lg_n + lg_k * lglg_n))),
-            ]);
-            assert_eq!(min_named, k, "Theorem 1 violated: not everyone renamed");
-        }
-    }
-    table.emit();
-    println!("shape check: M/k flat in N (Theorem 1's M = O(k)); steps_norm roughly flat certifies the polylog step bound.");
+    exsel_bench::expts::polylog::run();
 }

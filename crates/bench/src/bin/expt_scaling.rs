@@ -1,104 +1,6 @@
-//! Scaling sweep on real threads: step counts of the k-renaming
-//! algorithms at contentions beyond what the deterministic simulator
-//! handles comfortably (`ThreadedShm`, schedule-dependent but
-//! indicative). Complements T4's exact small-k tables with the large-k
-//! trend: Moir–Anderson stays within its 4k walk bound while the
-//! snapshot-stage algorithms grow linearly with the much larger
-//! scan-width constant.
-
-use exsel_bench::{run_threaded, runner::spread_originals, Table};
-use exsel_core::{EfficientRename, MoirAnderson, RenameConfig, SnapshotRename};
-use exsel_shm::RegAlloc;
+//! Thin wrapper kept for muscle memory; the canonical entry is
+//! `expt -- run scaling` (see `exsel_bench::scenario`).
 
 fn main() {
-    let cfg = RenameConfig::default();
-    let mut table = Table::new(
-        "S1 large-k scaling on real threads (max local steps over 3 rounds)",
-        &[
-            "algorithm",
-            "k",
-            "max_steps",
-            "steps_per_k",
-            "max_name",
-            "registers",
-        ],
-    );
-
-    for k in [8usize, 16, 32, 64, 128] {
-        // Moir–Anderson scales to large k cheaply.
-        let mut worst = 0u64;
-        let mut max_name = 0u64;
-        let mut regs = 0usize;
-        for _ in 0..3 {
-            let mut alloc = RegAlloc::new();
-            let algo = MoirAnderson::new(&mut alloc, k);
-            regs = alloc.total();
-            let run = run_threaded(&algo, alloc.total(), &spread_originals(k, 1 << 20));
-            assert_eq!(run.named(), k);
-            worst = worst.max(run.max_steps());
-            max_name = max_name.max(run.max_name());
-        }
-        assert!(worst <= 4 * k as u64);
-        table.row(&[
-            "MoirAnderson".into(),
-            k.to_string(),
-            worst.to_string(),
-            format!("{:.1}", worst as f64 / k as f64),
-            max_name.to_string(),
-            regs.to_string(),
-        ]);
-    }
-
-    for k in [8usize, 16, 32] {
-        let mut worst = 0u64;
-        let mut max_name = 0u64;
-        let mut regs = 0usize;
-        for _ in 0..2 {
-            let mut alloc = RegAlloc::new();
-            let algo = EfficientRename::new(&mut alloc, k, &cfg);
-            regs = alloc.total();
-            let run = run_threaded(&algo, alloc.total(), &spread_originals(k, 1 << 20));
-            assert_eq!(run.named(), k);
-            worst = worst.max(run.max_steps());
-            max_name = max_name.max(run.max_name());
-        }
-        assert!(max_name < 2 * k as u64);
-        table.row(&[
-            "EfficientRename".into(),
-            k.to_string(),
-            worst.to_string(),
-            format!("{:.1}", worst as f64 / k as f64),
-            max_name.to_string(),
-            regs.to_string(),
-        ]);
-    }
-
-    for k in [8usize, 16, 32] {
-        let mut worst = 0u64;
-        let mut max_name = 0u64;
-        let mut regs = 0usize;
-        for _ in 0..2 {
-            let mut alloc = RegAlloc::new();
-            let algo = SnapshotRename::new(&mut alloc, k);
-            regs = alloc.total();
-            let run = run_threaded(&algo, alloc.total(), &spread_originals(k, 1 << 20));
-            assert_eq!(run.named(), k);
-            worst = worst.max(run.max_steps());
-            max_name = max_name.max(run.max_name());
-        }
-        table.row(&[
-            "SnapshotRename".into(),
-            k.to_string(),
-            worst.to_string(),
-            format!("{:.1}", worst as f64 / k as f64),
-            max_name.to_string(),
-            regs.to_string(),
-        ]);
-    }
-
-    table.emit();
-    println!("shape check: MoirAnderson's steps_per_k stays ≤ 4 out to k = 128; the 2k−1 algorithms pay their");
-    println!(
-        "snapshot constants but remain wait-free at every contention (all runs named everyone)."
-    );
+    exsel_bench::expts::scaling::run();
 }

@@ -1,0 +1,120 @@
+//! T7 — Theorem 6: any wait-free renaming needs
+//! `1 + min{k−2, log_{2r}(N/2M)}` local steps. The pigeonhole adversary
+//! is run against Moir–Anderson (the most register-frugal algorithm in
+//! the stack, where the log term is non-trivial at laptop `N`) and
+//! against Basic-Rename; the table reports the closed form, the stages
+//! the adversary forced, and the observed worst-case steps of deciders —
+//! the bound holds iff `observed ≥ bound`.
+
+use crate::Table;
+use exsel_core::{BasicRename, MoirAnderson, Rename, RenameConfig};
+use exsel_lowerbound::{run_against, run_store_against};
+use exsel_shm::RegAlloc;
+use exsel_storecollect::{StoreCollect, StoreHandle};
+
+/// Regenerates the table.
+pub fn run() {
+    let mut table = Table::new(
+        "T7 Theorem 6 lower bound — pigeonhole adversary vs real algorithms",
+        &[
+            "algorithm",
+            "k",
+            "N",
+            "M",
+            "r",
+            "bound",
+            "stages",
+            "pool_path",
+            "observed",
+            "holds",
+        ],
+    );
+
+    for (k, n) in [(8usize, 128usize), (8, 256), (8, 512), (4, 1024)] {
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, k);
+        let m = algo.name_bound();
+        let r = alloc.total() as u64;
+        let report = run_against(n, alloc.total(), k, m, r, |ctx| {
+            Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
+        });
+        let holds = report.max_steps_named >= report.bound;
+        table.row(&[
+            "MoirAnderson".into(),
+            k.to_string(),
+            n.to_string(),
+            m.to_string(),
+            r.to_string(),
+            report.bound.to_string(),
+            report.stages.to_string(),
+            format!("{:?}", report.pool_sizes),
+            report.max_steps_named.to_string(),
+            holds.to_string(),
+        ]);
+        assert!(holds, "Theorem 6 violated by MoirAnderson at k={k}, N={n}");
+    }
+
+    let cfg = RenameConfig::default();
+    for (k, n) in [(4usize, 256usize), (8, 512)] {
+        let mut alloc = RegAlloc::new();
+        let algo = BasicRename::new(&mut alloc, n, k, &cfg);
+        let m = algo.name_bound();
+        let r = alloc.total() as u64;
+        let report = run_against(n, alloc.total(), k, m, r, |ctx| {
+            Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
+        });
+        let holds = report.max_steps_named >= report.bound;
+        table.row(&[
+            "BasicRename".into(),
+            k.to_string(),
+            n.to_string(),
+            m.to_string(),
+            r.to_string(),
+            report.bound.to_string(),
+            report.stages.to_string(),
+            format!("{:?}", report.pool_sizes),
+            report.max_steps_named.to_string(),
+            holds.to_string(),
+        ]);
+        assert!(holds, "Theorem 6 violated by BasicRename at k={k}, N={n}");
+    }
+
+    table.emit();
+    println!("shape check: observed ≥ bound everywhere; the bound grows with N at fixed k (log branch) for the");
+    println!("register-frugal MoirAnderson and collapses to the trivial 1 for register-rich BasicRename (N ≤ 2M·2r);");
+    println!("pool_path shows the pigeonhole shrink: each stage divides the pool by at most 2r.\n");
+
+    // Theorem 7: the storing analogue — first stores under the adversary.
+    let mut t7 = Table::new(
+        "T7b Theorem 7 storing lower bound — adversary vs Store&Collect (adaptive setting)",
+        &[
+            "k", "N", "r", "bound", "stages", "stored", "observed", "holds",
+        ],
+    );
+    for (k, n) in [(4usize, 32usize), (4, 64), (8, 64)] {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, n, &cfg);
+        let r = alloc.total() as u64;
+        let report = run_store_against(n, alloc.total(), k, r, |ctx| {
+            let mut h = StoreHandle::new();
+            match sc.store(ctx, &mut h, ctx.pid().0 as u64 + 1, 7) {
+                Ok(()) => Ok(h.register().map(|reg| reg.0 as u64)),
+                Err(_) => Ok(None),
+            }
+        });
+        let holds = report.max_steps_named >= report.bound;
+        t7.row(&[
+            k.to_string(),
+            n.to_string(),
+            r.to_string(),
+            report.bound.to_string(),
+            report.stages.to_string(),
+            report.named.to_string(),
+            report.max_steps_named.to_string(),
+            holds.to_string(),
+        ]);
+        assert!(holds, "Theorem 7 violated at k={k}, N={n}");
+    }
+    t7.emit();
+    println!("storing, like renaming, cannot beat the pigeonhole bound: observed first-store steps dominate it.");
+}

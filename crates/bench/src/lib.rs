@@ -1,25 +1,30 @@
-//! Experiment harness for the EXPERIMENTS.md tables (T1–T9) and shared
-//! utilities for the Criterion benches (T10).
+//! Experiment harness for the EXPERIMENTS.md tables (T1–T11) and shared
+//! utilities for the Criterion benches.
 //!
-//! Each `expt_*` binary in `src/bin/` regenerates one table: it sweeps the
-//! parameters DESIGN.md §5 lists, runs the algorithms on the deterministic
-//! simulator (exact step counts) or on real threads (throughput), and
-//! prints both an aligned text table and JSON lines (`--json`).
-//!
-//! Run everything with:
+//! Every experiment is a named entry in the [`scenario`] registry —
+//! either a reproduction table ([`expts`]) or a declarative
+//! `algorithm × adversary × size-grid` specification run by the shared
+//! grid driver over one reusable `StepEngine`. The single `expt` binary
+//! multiplexes them all:
 //!
 //! ```text
-//! for t in majority basic polylog compare almost_adaptive adaptive \
-//!          lowerbound storecollect repository; do
-//!     cargo run --release -p exsel-bench --bin expt_$t
-//! done
+//! cargo run --release -p exsel-bench --bin expt -- list
+//! cargo run --release -p exsel-bench --bin expt -- run <name> [--json]
 //! ```
+//!
+//! The historical `expt_*` binaries remain as one-line wrappers. Tables
+//! print aligned text, or JSON lines with `--json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expts;
 pub mod runner;
+pub mod scenario;
 pub mod table;
 
-pub use runner::{run_sim, run_sim_engine, run_threaded, RenamingRun};
+pub use runner::{
+    run_sim, run_sim_engine, run_sim_engine_with, run_threaded, sweep, sweep_random, RenamingRun,
+    TrialStats,
+};
 pub use table::Table;

@@ -1,12 +1,15 @@
 //! Shared execution helpers: run a renaming algorithm under the
 //! deterministic simulator or on real threads, collecting names and step
-//! counts.
+//! counts — plus the **one generic trial loop** ([`sweep`]) that every
+//! experiment and scenario shares: rebuild the algorithm fresh per seed,
+//! run it on a reusable [`StepEngine`], fold worst-case statistics.
 
 use std::collections::BTreeSet;
+use std::ops::Range;
 
 use exsel_core::{Rename, StepRename};
-use exsel_shm::{Ctx, Pid, StepMachine, ThreadedShm};
-use exsel_sim::{policy::RandomPolicy, SimBuilder, StepEngine};
+use exsel_shm::{Ctx, Pid, RegAlloc, StepMachine, ThreadedShm};
+use exsel_sim::{policy::RandomPolicy, Metrics, Policy, SimBuilder, SimOutcome, StepEngine};
 
 /// The outcome of one renaming execution.
 #[derive(Clone, Debug)]
@@ -16,6 +19,11 @@ pub struct RenamingRun {
     pub names: Vec<Option<u64>>,
     /// Local steps per contender.
     pub steps: Vec<u64>,
+    /// Contenders crashed by the adversary.
+    pub crashed: usize,
+    /// Contenders crashed by op-budget exhaustion (kept distinct from
+    /// adversary crashes; see `SimOutcome::budget_crashed`).
+    pub budget_crashed: usize,
 }
 
 impl RenamingRun {
@@ -59,6 +67,46 @@ impl RenamingRun {
     }
 }
 
+/// Digests a simulated execution into a [`RenamingRun`] and checks
+/// exclusiveness — the one folding point for all backends.
+fn digest(outcome: SimOutcome<Option<u64>>) -> RenamingRun {
+    let run = RenamingRun {
+        crashed: outcome.crashed.len(),
+        budget_crashed: outcome.budget_crashed.len(),
+        names: outcome
+            .results
+            .into_iter()
+            .map(|r| r.ok().flatten())
+            .collect(),
+        steps: outcome.steps,
+    };
+    run.assert_exclusive();
+    run
+}
+
+/// The renaming machines of `originals.len()` contenders of `algo`
+/// (contender `p` holds `originals[p]`), ready for a `StepEngine` trial.
+pub fn machines<'a, R>(
+    algo: &'a R,
+    originals: &[u64],
+) -> Vec<Box<dyn StepMachine<Output = Option<u64>> + 'a>>
+where
+    R: StepRename + ?Sized,
+{
+    originals
+        .iter()
+        .enumerate()
+        .map(
+            |(p, &orig)| -> Box<dyn StepMachine<Output = Option<u64>> + 'a> {
+                Box::new(
+                    algo.begin_rename(Pid(p), orig)
+                        .map_output(exsel_core::Outcome::name),
+                )
+            },
+        )
+        .collect()
+}
+
 /// Runs `originals.len()` contenders through `algo` on the deterministic
 /// simulator under a seeded random schedule; step counts are exactly
 /// reproducible.
@@ -71,16 +119,7 @@ where
         .run(originals.len(), |ctx| {
             algo.rename(ctx, originals[ctx.pid().0]).map(|o| o.name())
         });
-    let run = RenamingRun {
-        names: outcome
-            .results
-            .into_iter()
-            .map(|r| r.ok().flatten())
-            .collect(),
-        steps: outcome.steps,
-    };
-    run.assert_exclusive();
-    run
+    digest(outcome)
 }
 
 /// [`run_sim`] on the single-threaded `StepEngine`: no thread spawns, so
@@ -96,30 +135,26 @@ pub fn run_sim_engine<R>(
 where
     R: StepRename + ?Sized,
 {
-    let outcome = StepEngine::new(num_registers, Box::new(RandomPolicy::new(seed))).run(
-        originals
-            .iter()
-            .enumerate()
-            .map(
-                |(p, &orig)| -> Box<dyn StepMachine<Output = Option<u64>> + '_> {
-                    Box::new(
-                        algo.begin_rename(Pid(p), orig)
-                            .map_output(exsel_core::Outcome::name),
-                    )
-                },
-            )
-            .collect(),
-    );
-    let run = RenamingRun {
-        names: outcome
-            .results
-            .into_iter()
-            .map(|r| r.ok().flatten())
-            .collect(),
-        steps: outcome.steps,
-    };
-    run.assert_exclusive();
-    run
+    let mut engine = StepEngine::reusable(num_registers);
+    let mut policy = RandomPolicy::new(seed);
+    run_sim_engine_with(&mut engine, algo, originals, &mut policy)
+}
+
+/// [`run_sim_engine`] over a caller-held reusable engine and policy:
+/// consecutive trials keep the engine's register bank, pending-op
+/// scratch and metric buffers instead of reallocating per run. Point the
+/// engine at the right register count with `StepEngine::set_registers`
+/// before calling when the algorithm changed.
+pub fn run_sim_engine_with<R>(
+    engine: &mut StepEngine,
+    algo: &R,
+    originals: &[u64],
+    policy: &mut dyn Policy,
+) -> RenamingRun
+where
+    R: StepRename + ?Sized,
+{
+    digest(engine.run_trial(policy, machines(algo, originals)))
 }
 
 /// Runs contenders on real OS threads over [`ThreadedShm`]. Step counts
@@ -146,9 +181,116 @@ where
     let steps: Vec<u64> = (0..originals.len())
         .map(|p| exsel_shm::Memory::steps(&mem, Pid(p)))
         .collect();
-    let run = RenamingRun { names, steps };
+    let run = RenamingRun {
+        names,
+        steps,
+        crashed: 0,
+        budget_crashed: 0,
+    };
     run.assert_exclusive();
     run
+}
+
+/// Worst-case statistics folded over a seed sweep by [`sweep`].
+#[derive(Clone, Debug)]
+pub struct TrialStats {
+    /// Registers the (last-built) algorithm instance reserved.
+    pub registers: usize,
+    /// Largest name handed out in any trial.
+    pub max_name: u64,
+    /// Fewest contenders named in any trial.
+    pub min_named: usize,
+    /// Worst per-trial count of contenders that neither crashed nor got
+    /// a name — 0 for every algorithm that names all survivors.
+    pub max_unnamed_survivors: usize,
+    /// Engine metrics merged over trials (op mix, per-register
+    /// histogram, contention, crash causes, worst steps).
+    pub metrics: Metrics,
+}
+
+impl TrialStats {
+    /// Trials run.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.metrics.trials
+    }
+
+    /// Worst max-steps over trials.
+    #[must_use]
+    pub fn max_steps(&self) -> u64 {
+        self.metrics.max_steps
+    }
+
+    /// Adversary crashes, totalled over trials.
+    #[must_use]
+    pub fn crashed(&self) -> usize {
+        self.metrics.adversary_crashes
+    }
+
+    /// Budget-exhaustion crashes, totalled over trials.
+    #[must_use]
+    pub fn budget_crashed(&self) -> usize {
+        self.metrics.budget_crashes
+    }
+}
+
+/// The one generic trial loop behind every experiment table and grid
+/// scenario: for each seed, rebuild the algorithm fresh (`build`), run
+/// one trial of `originals` under `policy(seed)` on the reused `engine`,
+/// check exclusiveness and fold worst-case statistics.
+pub fn sweep<A, B, P>(
+    engine: &mut StepEngine,
+    seeds: Range<u64>,
+    originals: &[u64],
+    build: B,
+    policy: P,
+) -> TrialStats
+where
+    A: StepRename,
+    B: Fn(&mut RegAlloc) -> A,
+    P: Fn(u64) -> Box<dyn Policy>,
+{
+    let mut stats = TrialStats {
+        registers: 0,
+        max_name: 0,
+        min_named: originals.len(),
+        max_unnamed_survivors: 0,
+        metrics: Metrics::default(),
+    };
+    for seed in seeds {
+        let mut alloc = RegAlloc::new();
+        let algo = build(&mut alloc);
+        engine.set_registers(alloc.total());
+        let mut policy = policy(seed);
+        let run = run_sim_engine_with(engine, &algo, originals, policy.as_mut());
+        stats.registers = alloc.total();
+        stats.max_name = stats.max_name.max(run.max_name());
+        stats.min_named = stats.min_named.min(run.named());
+        stats.max_unnamed_survivors = stats.max_unnamed_survivors.max(
+            originals
+                .len()
+                .saturating_sub(run.crashed + run.budget_crashed + run.named()),
+        );
+        stats.metrics.merge(engine.metrics());
+    }
+    stats
+}
+
+/// [`sweep`] under the plain seeded-random schedule — the default
+/// adversary of the experiment tables.
+pub fn sweep_random<A, B>(
+    engine: &mut StepEngine,
+    seeds: Range<u64>,
+    originals: &[u64],
+    build: B,
+) -> TrialStats
+where
+    A: StepRename,
+    B: Fn(&mut RegAlloc) -> A,
+{
+    sweep(engine, seeds, originals, build, |seed| {
+        Box::new(RandomPolicy::new(seed))
+    })
 }
 
 /// Evenly spread distinct original names in `[1, n_names]`.
@@ -162,7 +304,7 @@ pub fn spread_originals(k: usize, n_names: usize) -> Vec<u64> {
 mod tests {
     use super::*;
     use exsel_core::{MoirAnderson, RenameConfig};
-    use exsel_shm::RegAlloc;
+    use exsel_sim::policy::CrashStorm;
 
     #[test]
     fn sim_run_is_reproducible() {
@@ -189,6 +331,56 @@ mod tests {
             assert_eq!(threaded.names, engine.names, "seed {seed}");
             assert_eq!(threaded.steps, engine.steps, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn sweep_folds_worst_cases_and_reuses_the_engine() {
+        let originals = spread_originals(4, 64);
+        let mut engine = StepEngine::reusable(0);
+        let stats = sweep_random(&mut engine, 0..5, &originals, |alloc| {
+            MoirAnderson::new(alloc, 4)
+        });
+        assert_eq!(stats.trials(), 5);
+        assert_eq!(stats.min_named, 4);
+        assert!(stats.max_steps() > 0);
+        assert_eq!(stats.metrics.trials, 5);
+        assert_eq!(stats.crashed(), 0);
+
+        // The folded worst cases match a hand-rolled loop of single runs.
+        let mut max_steps = 0;
+        let mut max_name = 0;
+        for seed in 0..5 {
+            let mut alloc = RegAlloc::new();
+            let algo = MoirAnderson::new(&mut alloc, 4);
+            let run = run_sim_engine(&algo, alloc.total(), &originals, seed);
+            max_steps = max_steps.max(run.max_steps());
+            max_name = max_name.max(run.max_name());
+        }
+        assert_eq!(stats.max_steps(), max_steps);
+        assert_eq!(stats.max_name, max_name);
+    }
+
+    #[test]
+    fn sweep_reports_adversary_crashes() {
+        let originals = spread_originals(6, 64);
+        let mut engine = StepEngine::reusable(0);
+        let stats = sweep(
+            &mut engine,
+            0..4,
+            &originals,
+            |alloc| MoirAnderson::new(alloc, 6),
+            |seed| {
+                Box::new(CrashStorm::new(
+                    Box::new(RandomPolicy::new(seed)),
+                    !seed,
+                    0.2,
+                    2,
+                ))
+            },
+        );
+        assert!(stats.crashed() > 0, "storm never crashed anyone");
+        assert_eq!(stats.budget_crashed(), 0);
+        assert!(stats.min_named < originals.len());
     }
 
     #[test]

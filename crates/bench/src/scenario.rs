@@ -1,0 +1,552 @@
+//! The scenario registry: every experiment in the repository as a named,
+//! data-driven entry behind one multiplexer binary.
+//!
+//! A scenario is either a **table** (one of the EXPERIMENTS.md
+//! reproduction tables, T1–T11/S1/A1-3, living in [`crate::expts`]) or a
+//! **grid** — a declarative `algorithm × adversary × size-grid × seeds`
+//! specification executed by the shared [`run_grid`] driver over one
+//! reusable `StepEngine`, with per-trial engine metrics (op mix,
+//! contention, crash causes) folded into the emitted table. Adding an
+//! experiment is a ~10-line [`GridSpec`] entry in [`registry`], not a new
+//! binary.
+//!
+//! ```text
+//! cargo run --release -p exsel-bench --bin expt -- list
+//! cargo run --release -p exsel-bench --bin expt -- run smoke
+//! cargo run --release -p exsel-bench --bin expt -- run storm-efficient --json
+//! ```
+
+use std::ops::Range;
+
+use exsel_core::{
+    AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, Majority, MoirAnderson,
+    PolyLogRename, RenameConfig, SnapshotRename, StepRename,
+};
+use exsel_shm::RegAlloc;
+use exsel_sim::policy::{Bursty, CrashAfter, CrashStorm, Pigeonhole, RandomPolicy, RoundRobin};
+use exsel_sim::{Policy, StepEngine};
+
+use crate::runner::{spread_originals, sweep, TrialStats};
+use crate::{expts, Table};
+
+/// A named experiment in the registry.
+pub struct Scenario {
+    /// Registry name (`expt -- run <name>`).
+    pub name: &'static str,
+    /// One-line summary shown by `expt -- list`.
+    pub summary: &'static str,
+    /// How the scenario executes.
+    pub kind: Kind,
+}
+
+/// How a scenario executes.
+pub enum Kind {
+    /// A reproduction-table experiment (legacy `expt_*` body).
+    Table(fn()),
+    /// A declarative grid run by [`run_grid`].
+    Grid(GridSpec),
+}
+
+/// A data-driven scenario: which algorithm, under which adversary, over
+/// which `(N, k)` grid, for how many seeds.
+pub struct GridSpec {
+    /// The renaming algorithm under test.
+    pub algo: AlgoSpec,
+    /// The adversary scheduling (and possibly crashing) the contenders.
+    pub adversary: AdversarySpec,
+    /// `(n_names, k)` cells to sweep.
+    pub grid: &'static [(usize, usize)],
+    /// Seeds per cell (each seed is one trial with a fresh algorithm).
+    pub seeds: Range<u64>,
+}
+
+/// The renaming algorithms a grid can instantiate. Each is built fresh
+/// per trial from `(n_names, k)` and the shared [`RenameConfig`].
+#[derive(Clone, Copy, Debug)]
+pub enum AlgoSpec {
+    /// Moir–Anderson splitter grid (baseline, `M = k(k+1)/2`).
+    MoirAnderson,
+    /// `Efficient-Rename(k)` — Theorem 2.
+    Efficient,
+    /// Classic snapshot renaming (baseline, `M = 2k−1`).
+    Snapshot,
+    /// `Basic-Rename(k, N)` — Lemma 5.
+    Basic,
+    /// `PolyLog-Rename(k, N)` — Theorem 1.
+    PolyLog,
+    /// `Almost-Adaptive(N)` over a system of `4k` processes — Theorem 3.
+    AlmostAdaptive,
+    /// `Adaptive-Rename` over a system of `4k` processes — Theorem 4.
+    Adaptive,
+    /// `Majority(ℓ, N)` — Lemma 4 (may legitimately rename only half).
+    Majority,
+}
+
+impl AlgoSpec {
+    /// Builds a fresh instance for one trial.
+    #[must_use]
+    pub fn build(
+        self,
+        alloc: &mut RegAlloc,
+        n_names: usize,
+        k: usize,
+        cfg: &RenameConfig,
+    ) -> Box<dyn StepRename> {
+        match self {
+            AlgoSpec::MoirAnderson => Box::new(MoirAnderson::new(alloc, k)),
+            AlgoSpec::Efficient => Box::new(EfficientRename::new(alloc, k, cfg)),
+            AlgoSpec::Snapshot => Box::new(SnapshotRename::new(alloc, k)),
+            AlgoSpec::Basic => Box::new(BasicRename::new(alloc, n_names, k, cfg)),
+            AlgoSpec::PolyLog => Box::new(PolyLogRename::new(alloc, n_names, k, cfg)),
+            AlgoSpec::AlmostAdaptive => Box::new(AlmostAdaptive::new(alloc, n_names, 4 * k, cfg)),
+            AlgoSpec::Adaptive => Box::new(AdaptiveRename::new(alloc, 4 * k, cfg)),
+            AlgoSpec::Majority => Box::new(Majority::new(alloc, n_names, k, cfg)),
+        }
+    }
+
+    /// Whether the algorithm guarantees that every *surviving* contender
+    /// is named (Majority only promises half).
+    #[must_use]
+    pub fn names_all_survivors(self) -> bool {
+        !matches!(self, AlgoSpec::Majority)
+    }
+}
+
+/// The adversary family a grid can schedule under. Every variant is
+/// seedable and trace-deterministic; `k` scales crash budgets.
+#[derive(Clone, Copy, Debug)]
+pub enum AdversarySpec {
+    /// Fair cyclic schedule.
+    RoundRobin,
+    /// Seeded uniformly random schedule.
+    Random,
+    /// Random schedule + random crashes, at most `k − 1` of them.
+    CrashStorm {
+        /// Per-decision crash probability.
+        probability: f64,
+    },
+    /// Crashes every process reaching local step `after` (≤ `k − 1`).
+    CrashAfter {
+        /// The fatal local step index.
+        after: u64,
+    },
+    /// The pigeonhole schedule, crashing up to `k − 1` leaders that
+    /// pull more than `lead` steps ahead.
+    Pigeonhole {
+        /// Tolerated lead before the front-runner is crashed.
+        lead: u64,
+    },
+    /// Bursts of `burst` consecutive steps per randomly chosen process.
+    Bursty {
+        /// Steps granted per burst.
+        burst: u64,
+    },
+}
+
+impl AdversarySpec {
+    /// Builds the policy for one trial.
+    #[must_use]
+    pub fn build(self, seed: u64, k: usize) -> Box<dyn Policy> {
+        let budget = k.saturating_sub(1);
+        match self {
+            AdversarySpec::RoundRobin => Box::new(RoundRobin::new()),
+            AdversarySpec::Random => Box::new(RandomPolicy::new(seed)),
+            AdversarySpec::CrashStorm { probability } => Box::new(CrashStorm::new(
+                Box::new(RandomPolicy::new(seed)),
+                !seed,
+                probability,
+                budget,
+            )),
+            AdversarySpec::CrashAfter { after } => Box::new(CrashAfter::new(
+                Box::new(RandomPolicy::new(seed)),
+                after,
+                budget,
+            )),
+            AdversarySpec::Pigeonhole { lead } => {
+                Box::new(Pigeonhole::new(seed).crash_leaders(lead, budget))
+            }
+            AdversarySpec::Bursty { burst } => Box::new(Bursty::new(seed, burst)),
+        }
+    }
+
+    /// A short label for table rows.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            AdversarySpec::RoundRobin => "round-robin".into(),
+            AdversarySpec::Random => "random".into(),
+            AdversarySpec::CrashStorm { probability } => format!("storm(p={probability})"),
+            AdversarySpec::CrashAfter { after } => format!("crash-after({after})"),
+            AdversarySpec::Pigeonhole { lead } => format!("pigeonhole(lead={lead})"),
+            AdversarySpec::Bursty { burst } => format!("bursty({burst})"),
+        }
+    }
+}
+
+/// Runs one grid scenario: for every `(N, k)` cell, sweeps the seeds
+/// through the shared [`sweep`] trial loop on one reusable, contention-
+/// measuring `StepEngine`, and emits a table with the folded worst cases
+/// and engine metrics. Safety (name exclusiveness among survivors) is
+/// asserted inside `sweep` on every trial.
+///
+/// # Panics
+///
+/// Panics if exclusiveness is violated, or — for algorithms that
+/// guarantee it — if a surviving contender ends up unnamed.
+pub fn run_grid(name: &str, spec: &GridSpec) {
+    let cfg = RenameConfig::default();
+    let mut table = Table::new(
+        format!(
+            "scenario {name} — {:?} under {}",
+            spec.algo,
+            spec.adversary.label()
+        ),
+        &[
+            "N",
+            "k",
+            "trials",
+            "named_min",
+            "crashed",
+            "budget_crashed",
+            "max_name",
+            "max_steps",
+            "total_ops",
+            "max_contention",
+            "hot_reg_ops",
+            "registers",
+        ],
+    );
+    // Budget exhaustion is reported (budget_crashed column), not a
+    // panic: a livelocking grid cell records its trials instead of
+    // killing the whole scenario run.
+    let mut engine = StepEngine::reusable(0)
+        .measure_contention(true)
+        .panic_on_budget(false);
+    for &(n_names, k) in spec.grid {
+        let originals = spread_originals(k, n_names);
+        let stats: TrialStats = sweep(
+            &mut engine,
+            spec.seeds.clone(),
+            &originals,
+            |alloc| spec.algo.build(alloc, n_names, k, &cfg),
+            |seed| spec.adversary.build(seed, k),
+        );
+        if spec.algo.names_all_survivors() {
+            assert_eq!(
+                stats.max_unnamed_survivors, 0,
+                "scenario {name}: survivors left unnamed at N={n_names}, k={k}"
+            );
+        }
+        table.row(&[
+            n_names.to_string(),
+            k.to_string(),
+            stats.trials().to_string(),
+            stats.min_named.to_string(),
+            stats.crashed().to_string(),
+            stats.budget_crashed().to_string(),
+            stats.max_name.to_string(),
+            stats.max_steps().to_string(),
+            stats.metrics.total_ops.to_string(),
+            stats.metrics.max_contention.to_string(),
+            stats
+                .metrics
+                .hottest_register()
+                .map_or(0, |(_, ops)| ops)
+                .to_string(),
+            stats.registers.to_string(),
+        ]);
+    }
+    table.emit();
+}
+
+/// A table scenario entry.
+fn table(name: &'static str, summary: &'static str, run: fn()) -> Scenario {
+    Scenario {
+        name,
+        summary,
+        kind: Kind::Table(run),
+    }
+}
+
+/// A grid scenario entry.
+fn grid(name: &'static str, summary: &'static str, spec: GridSpec) -> Scenario {
+    Scenario {
+        name,
+        summary,
+        kind: Kind::Grid(spec),
+    }
+}
+
+/// Every named scenario, tables first, grids after.
+#[must_use]
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        table(
+            "majority",
+            "T1 Lemma 4: Majority renames ≥ half in O(log N) steps",
+            expts::majority::run,
+        ),
+        table(
+            "basic",
+            "T2 Lemma 5: Basic-Rename in O(log k · log N) steps",
+            expts::basic::run,
+        ),
+        table(
+            "polylog",
+            "T3 Theorem 1: PolyLog-Rename with M = O(k)",
+            expts::polylog::run,
+        ),
+        table(
+            "compare",
+            "T4 Theorem 2 vs prior k-renaming work",
+            expts::compare::run,
+        ),
+        table(
+            "almost-adaptive",
+            "T5 Theorem 3: names O(k) at unknown contention",
+            expts::almost_adaptive::run,
+        ),
+        table(
+            "adaptive",
+            "T6 Theorem 4: fully adaptive, M ≤ 8k − lg k − 1",
+            expts::adaptive::run,
+        ),
+        table(
+            "lowerbound",
+            "T7 Theorems 6-7: pigeonhole adversary vs real algorithms",
+            expts::lowerbound::run,
+        ),
+        table(
+            "storecollect",
+            "T8 Theorem 5: Store&Collect step costs per setting",
+            expts::storecollect::run,
+        ),
+        table(
+            "repository",
+            "T9 Theorems 8-9: repository waste under crash storms",
+            expts::repository::run,
+        ),
+        table(
+            "scaling",
+            "S1 large-k scaling on real threads",
+            expts::scaling::run,
+        ),
+        table(
+            "ablation",
+            "A1-A3 design-choice ablations (pipeline, expander profile, width)",
+            expts::ablation::run,
+        ),
+        table(
+            "engine",
+            "T11 backend + engine-reuse wall-clock (writes BENCH_engine.json)",
+            expts::engine::run,
+        ),
+        grid(
+            "smoke",
+            "tiny fair-schedule grid for CI (seconds, asserts safety)",
+            GridSpec {
+                algo: AlgoSpec::MoirAnderson,
+                adversary: AdversarySpec::Random,
+                grid: &[(16, 4), (32, 8)],
+                seeds: 0..3,
+            },
+        ),
+        grid(
+            "storm-efficient",
+            "Efficient-Rename under k−1 random crashes: survivors still exclusive",
+            GridSpec {
+                algo: AlgoSpec::Efficient,
+                adversary: AdversarySpec::CrashStorm { probability: 0.05 },
+                grid: &[(32, 8), (64, 16), (128, 32)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "crash-after-moir",
+            "Moir-Anderson with every process culled at step 6",
+            GridSpec {
+                algo: AlgoSpec::MoirAnderson,
+                adversary: AdversarySpec::CrashAfter { after: 6 },
+                grid: &[(32, 8), (64, 16), (128, 32)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "pigeonhole-adaptive",
+            "Adaptive-Rename vs the Theorem 6 pigeonhole schedule (leader-crashing)",
+            GridSpec {
+                algo: AlgoSpec::Adaptive,
+                adversary: AdversarySpec::Pigeonhole { lead: 8 },
+                grid: &[(64, 4), (64, 8), (256, 16)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "bursty-basic",
+            "Basic-Rename under burst schedules (worst splitter contention)",
+            GridSpec {
+                algo: AlgoSpec::Basic,
+                adversary: AdversarySpec::Bursty { burst: 3 },
+                grid: &[(256, 8), (1024, 16)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "bursty-snapshot",
+            "snapshot renaming under burst schedules (scan-heavy baseline)",
+            GridSpec {
+                algo: AlgoSpec::Snapshot,
+                adversary: AdversarySpec::Bursty { burst: 24 },
+                grid: &[(32, 8), (64, 16)],
+                seeds: 0..10,
+            },
+        ),
+    ]
+}
+
+/// Looks a scenario up by name.
+#[must_use]
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// Executes one scenario.
+pub fn run_scenario(scenario: &Scenario) {
+    match &scenario.kind {
+        Kind::Table(run) => run(),
+        Kind::Grid(spec) => run_grid(scenario.name, spec),
+    }
+}
+
+/// The `expt` multiplexer CLI: `list` prints the registry, `run <name>`
+/// executes one scenario (append `--json` for JSON-lines tables).
+/// Returns an error message for unknown commands or scenarios.
+///
+/// Note that JSON output is switched by `Table::emit`, which reads the
+/// **process argv** — a `--json` in `args` only has effect when the
+/// process was launched with it (as the `expt` binary always is); the
+/// filter below merely tolerates its presence while parsing.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the command or scenario name
+/// does not resolve; the caller decides the exit code.
+pub fn cli(args: &[String]) -> Result<(), String> {
+    let args: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
+    match args.first().map(|s| s.as_str()) {
+        None | Some("list") => {
+            let mut t = Table::new("scenario registry", &["name", "kind", "summary"]);
+            for s in registry() {
+                t.row(&[
+                    s.name.to_string(),
+                    match s.kind {
+                        Kind::Table(_) => "table".into(),
+                        Kind::Grid(_) => "grid".into(),
+                    },
+                    s.summary.to_string(),
+                ]);
+            }
+            t.emit();
+            println!("\nrun one with: expt -- run <name> [--json]");
+            Ok(())
+        }
+        Some("run") => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| "usage: expt -- run <name> [--json]".to_string())?;
+            let scenario = find(name).ok_or_else(|| {
+                format!(
+                    "unknown scenario `{name}` — try `expt -- list`; known: {}",
+                    registry()
+                        .iter()
+                        .map(|s| s.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+            run_scenario(&scenario);
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown command `{other}` — usage: expt -- (list | run <name>) [--json]"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_cover_all_tables() {
+        let reg = registry();
+        let names: std::collections::BTreeSet<&str> = reg.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), reg.len(), "duplicate scenario names");
+        // Every historical expt_* binary is reachable through the
+        // registry under its table name.
+        for legacy in [
+            "majority",
+            "basic",
+            "polylog",
+            "compare",
+            "almost-adaptive",
+            "adaptive",
+            "lowerbound",
+            "storecollect",
+            "repository",
+            "scaling",
+            "ablation",
+            "engine",
+        ] {
+            assert!(names.contains(legacy), "missing table scenario {legacy}");
+        }
+    }
+
+    #[test]
+    fn smoke_grid_runs_clean() {
+        let scenario = find("smoke").expect("smoke scenario registered");
+        run_scenario(&scenario);
+    }
+
+    #[test]
+    fn grid_with_crashes_keeps_survivors_exclusive() {
+        // A small storm grid: sweep asserts exclusiveness per trial.
+        run_grid(
+            "test-storm",
+            &GridSpec {
+                algo: AlgoSpec::MoirAnderson,
+                adversary: AdversarySpec::CrashStorm { probability: 0.2 },
+                grid: &[(16, 4)],
+                seeds: 0..5,
+            },
+        );
+    }
+
+    #[test]
+    fn every_adversary_spec_builds_and_schedules() {
+        for adv in [
+            AdversarySpec::RoundRobin,
+            AdversarySpec::Random,
+            AdversarySpec::CrashStorm { probability: 0.1 },
+            AdversarySpec::CrashAfter { after: 3 },
+            AdversarySpec::Pigeonhole { lead: 4 },
+            AdversarySpec::Bursty { burst: 5 },
+        ] {
+            run_grid(
+                "test-adversaries",
+                &GridSpec {
+                    algo: AlgoSpec::Efficient,
+                    adversary: adv,
+                    grid: &[(16, 4)],
+                    seeds: 0..2,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn cli_rejects_unknown_scenarios() {
+        assert!(cli(&["run".into(), "no-such".into()]).is_err());
+        assert!(cli(&["frobnicate".into()]).is_err());
+    }
+}

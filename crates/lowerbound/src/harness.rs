@@ -62,6 +62,9 @@ where
 /// builds process `pid`'s renaming machine (its output is the acquired
 /// name, `None` on instance failure). No OS threads are spawned, which is
 /// what makes adversary sweeps over thousands of processes practical.
+/// Uses a throwaway reusable engine; sweeps that run many adversarial
+/// trials should hold their own engine and call
+/// [`run_machines_against_with`] to keep its buffers across trials.
 ///
 /// # Panics
 ///
@@ -78,10 +81,37 @@ pub fn run_machines_against<'a, F>(
 where
     F: Fn(Pid) -> Box<dyn StepMachine<Output = Option<u64>> + 'a>,
 {
-    let (adversary, stats) =
+    let mut engine = StepEngine::reusable(num_registers);
+    run_machines_against_with(&mut engine, n_processes, num_registers, k, m, r, factory)
+}
+
+/// [`run_machines_against`] over a caller-held reusable engine: the
+/// engine is pointed at the algorithm's register count and the
+/// adversarial trial runs via [`StepEngine::run_trial`], so consecutive
+/// calls reuse the engine's scratch buffers instead of reallocating.
+///
+/// # Panics
+///
+/// As [`run_machines_against`].
+pub fn run_machines_against_with<'a, F>(
+    engine: &mut StepEngine,
+    n_processes: usize,
+    num_registers: usize,
+    k: usize,
+    m: u64,
+    r: u64,
+    factory: F,
+) -> LowerBoundReport
+where
+    F: Fn(Pid) -> Box<dyn StepMachine<Output = Option<u64>> + 'a>,
+{
+    engine.set_registers(num_registers);
+    let (mut adversary, stats) =
         PigeonholeAdversary::new(n_processes, k.saturating_sub(2), 2 * m as usize);
-    let outcome = StepEngine::new(num_registers, Box::new(adversary))
-        .run((0..n_processes).map(Pid).map(factory).collect());
+    let outcome = engine.run_trial(
+        &mut adversary,
+        (0..n_processes).map(Pid).map(factory).collect(),
+    );
     digest_outcome(&outcome, stats.as_ref(), n_processes, k, m, r)
 }
 

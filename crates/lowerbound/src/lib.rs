@@ -39,4 +39,7 @@ mod harness;
 
 pub use adversary::{AdversaryStats, PigeonholeAdversary};
 pub use bound::{theorem6_bound, theorem7_bound};
-pub use harness::{run_against, run_machines_against, run_store_against, LowerBoundReport};
+pub use harness::{
+    run_against, run_machines_against, run_machines_against_with, run_store_against,
+    LowerBoundReport,
+};

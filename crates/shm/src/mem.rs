@@ -32,7 +32,7 @@ impl fmt::Display for RegId {
 /// The kind of a shared-memory operation, exposed to schedulers so that the
 /// lower-bound adversary can split pending processes into readers and
 /// writers before deciding whom to advance (Theorem 6).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpKind {
     /// A read of a register.
     Read,

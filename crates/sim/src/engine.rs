@@ -15,6 +15,24 @@
 //! and you care about speed or scale — exhaustive exploration, adversary
 //! searches, crash storms over thousands of processes.
 //!
+//! # Reuse
+//!
+//! An engine is **reusable**: [`StepEngine::run_trial`] runs one
+//! execution under a caller-supplied policy and keeps the register bank,
+//! pending-op scratch, crash vector and metric histograms allocated for
+//! the next trial ([`StepEngine::reset`] re-initializes them in place).
+//! Seed sweeps and schedule exploration run thousands of trials; reusing
+//! one engine removes every per-trial allocation except the machines
+//! themselves. The exception is trace recording: with
+//! [`StepEngine::record_trace`] on, each trial's trace buffer is moved
+//! into its outcome (no copy), so the next traced trial grows a fresh
+//! one. A reused engine is observationally identical to a fresh one:
+//! same policy + seed ⇒ same trace (this is tested).
+//!
+//! Per-trial [`Metrics`] (operation mix, ops per register, crash causes,
+//! contention) are collected during the grant loop and read back with
+//! [`StepEngine::metrics`].
+//!
 //! ```
 //! use exsel_shm::{Poll, RegAlloc, ShmOp, StepMachine, Word};
 //! use exsel_sim::{policy::RoundRobin, StepEngine};
@@ -53,29 +71,150 @@ use exsel_shm::{Crash, Pid, Poll, ShmOp, StepMachine, Word};
 use crate::policy::{Action, PendingOp, Policy};
 use crate::runner::SimOutcome;
 
-/// Builder/driver for one engine execution; see the module docs.
+/// Counters collected by [`StepEngine`] during one trial's grant loop,
+/// read back with [`StepEngine::metrics`] after the trial. Reset by
+/// [`StepEngine::reset`] (and therefore at the start of every trial);
+/// fold trials together with [`Metrics::merge`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Trials folded into these metrics (1 after a single trial).
+    pub trials: u64,
+    /// Operations granted.
+    pub total_ops: u64,
+    /// Read operations granted.
+    pub reads: u64,
+    /// Write operations granted.
+    pub writes: u64,
+    /// Maximum local steps over all processes.
+    pub max_steps: u64,
+    /// Processes crashed by the policy ([`Action::Crash`]).
+    pub adversary_crashes: usize,
+    /// Processes crashed because the trial exhausted its operation
+    /// budget (distinguished from adversary crashes — see
+    /// [`StepEngine::panic_on_budget`]).
+    pub budget_crashes: usize,
+    /// The largest number of processes pending on a granted operation's
+    /// register at any decision point, the grantee included. Only
+    /// collected when [`StepEngine::measure_contention`] is on (the scan
+    /// costs one extra pass over the pending set per decision).
+    pub max_contention: usize,
+    /// Operations granted per register, indexed by register id.
+    pub ops_per_register: Vec<u64>,
+}
+
+impl Metrics {
+    fn reset(&mut self, num_registers: usize) {
+        self.trials = 0;
+        self.total_ops = 0;
+        self.reads = 0;
+        self.writes = 0;
+        self.max_steps = 0;
+        self.adversary_crashes = 0;
+        self.budget_crashes = 0;
+        self.max_contention = 0;
+        self.ops_per_register.clear();
+        self.ops_per_register.resize(num_registers, 0);
+    }
+
+    /// The register granted the most operations, with its count.
+    #[must_use]
+    pub fn hottest_register(&self) -> Option<(usize, u64)> {
+        self.ops_per_register
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(reg, ops)| (ops, usize::MAX - reg))
+            .filter(|&(_, ops)| ops > 0)
+    }
+
+    /// Folds another trial's metrics into this aggregate: counters add,
+    /// maxima take the max, per-register histograms add element-wise.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.trials += other.trials;
+        self.total_ops += other.total_ops;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.max_steps = self.max_steps.max(other.max_steps);
+        self.adversary_crashes += other.adversary_crashes;
+        self.budget_crashes += other.budget_crashes;
+        self.max_contention = self.max_contention.max(other.max_contention);
+        if self.ops_per_register.len() < other.ops_per_register.len() {
+            self.ops_per_register
+                .resize(other.ops_per_register.len(), 0);
+        }
+        for (acc, &ops) in self
+            .ops_per_register
+            .iter_mut()
+            .zip(&other.ops_per_register)
+        {
+            *acc += ops;
+        }
+    }
+}
+
+/// How a trial crashed a process, in the engine's scratch crash vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CrashKind {
+    None,
+    Adversary,
+    Budget,
+}
+
+/// Builder/driver for engine executions; see the module docs.
 pub struct StepEngine {
     num_registers: usize,
-    policy: Box<dyn Policy>,
+    policy: Option<Box<dyn Policy>>,
     max_total_ops: u64,
     record_trace: bool,
+    measure_contention: bool,
+    panic_on_budget: bool,
+    // Scratch reused across trials — the point of `reset`/`run_trial`:
+    // the register bank, the pending-op buffer, the per-pid crash
+    // vector, the trace storage and the metric histograms keep their
+    // capacity from one trial to the next.
+    regs: Vec<Word>,
+    pending: Vec<PendingOp>,
+    crashed: Vec<CrashKind>,
+    trace: Vec<PendingOp>,
+    metrics: Metrics,
 }
 
 impl StepEngine {
-    /// A new engine over `num_registers` registers scheduled by `policy`.
-    #[must_use]
-    pub fn new(num_registers: usize, policy: Box<dyn Policy>) -> Self {
+    fn with_policy(num_registers: usize, policy: Option<Box<dyn Policy>>) -> Self {
         StepEngine {
             num_registers,
             policy,
             max_total_ops: 50_000_000,
             record_trace: false,
+            measure_contention: false,
+            panic_on_budget: true,
+            regs: Vec::new(),
+            pending: Vec::new(),
+            crashed: Vec::new(),
+            trace: Vec::new(),
+            metrics: Metrics::default(),
         }
     }
 
+    /// A new engine over `num_registers` registers scheduled by `policy`
+    /// (the policy is consumed by [`StepEngine::run`]; trials via
+    /// [`StepEngine::run_trial`] take their policy per call).
+    #[must_use]
+    pub fn new(num_registers: usize, policy: Box<dyn Policy>) -> Self {
+        Self::with_policy(num_registers, Some(policy))
+    }
+
+    /// A reusable engine with no built-in policy: run trials with
+    /// [`StepEngine::run_trial`], which reuses the engine's scratch
+    /// buffers across trials instead of reallocating per run.
+    #[must_use]
+    pub fn reusable(num_registers: usize) -> Self {
+        Self::with_policy(num_registers, None)
+    }
+
     /// Overrides the total-operation safety valve (default 50 million).
-    /// Exceeding it makes [`StepEngine::run`] panic with a diagnostic
-    /// instead of looping forever.
+    /// Exceeding it makes a run panic with a diagnostic instead of
+    /// looping forever — unless [`StepEngine::panic_on_budget`] is off.
     #[must_use]
     pub fn max_total_ops(mut self, ops: u64) -> Self {
         self.max_total_ops = ops;
@@ -89,43 +228,122 @@ impl StepEngine {
         self
     }
 
+    /// Collects [`Metrics::max_contention`] (one extra pass over the
+    /// pending set per decision; off by default to keep the grant loop
+    /// lean).
+    #[must_use]
+    pub fn measure_contention(mut self, on: bool) -> Self {
+        self.measure_contention = on;
+        self
+    }
+
+    /// Whether exhausting the operation budget panics (the default —
+    /// every algorithm in this stack is supposed to be wait-free, so a
+    /// blown budget means a livelock bug). With `false`, the survivors
+    /// are crashed with a **budget** cause instead: the trial returns an
+    /// outcome whose [`SimOutcome::budget_crashed`] lists them,
+    /// distinguishable from adversary [`Action::Crash`] victims in
+    /// [`SimOutcome::crashed`].
+    #[must_use]
+    pub fn panic_on_budget(mut self, panic: bool) -> Self {
+        self.panic_on_budget = panic;
+        self
+    }
+
+    /// Points the engine at a memory of `num_registers` registers from
+    /// the next reset on (size sweeps reuse one engine across grid
+    /// cells).
+    pub fn set_registers(&mut self, num_registers: usize) {
+        self.num_registers = num_registers;
+    }
+
+    /// Metrics of the last trial (or of the trial in progress).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Re-initializes the engine's state in place for the next trial:
+    /// registers to [`Word::Null`], trace and metrics cleared — **keeping
+    /// every buffer's capacity**. Called automatically at the start of
+    /// [`StepEngine::run_trial`]; public for callers that want to drop
+    /// trial state eagerly.
+    pub fn reset(&mut self) {
+        self.regs.clear();
+        self.regs.resize(self.num_registers, Word::Null);
+        self.trace.clear();
+        self.metrics.reset(self.num_registers);
+    }
+
     /// Runs `machines` (machine `i` is process `Pid(i)`) to quiescence
-    /// and collects the per-process results. Completed machines yield
-    /// `Ok(output)`; machines crashed by the policy yield `Err(Crash)`.
+    /// under the policy the engine was constructed with, consuming the
+    /// engine. Completed machines yield `Ok(output)`; machines crashed by
+    /// the policy yield `Err(Crash)`.
     ///
     /// # Panics
     ///
-    /// Panics if the operation budget is exhausted (a livelocked
-    /// algorithm — everything in this stack is supposed to be wait-free
-    /// or non-blocking), if a machine targets a register out of range, or
-    /// if the policy grants a non-pending process / crashes a non-live
-    /// one.
+    /// Panics if the engine was built with [`StepEngine::reusable`]
+    /// (use [`StepEngine::run_trial`]), if the operation budget is
+    /// exhausted while [`StepEngine::panic_on_budget`] is on, if a
+    /// machine targets a register out of range, or if the policy grants a
+    /// non-pending process / crashes a non-live one.
     pub fn run<T>(mut self, machines: Vec<Box<dyn StepMachine<Output = T> + '_>>) -> SimOutcome<T> {
+        let mut policy = self
+            .policy
+            .take()
+            .expect("engine built with StepEngine::reusable — use run_trial");
+        self.run_trial(policy.as_mut(), machines)
+    }
+
+    /// Runs one trial of `machines` under `policy`, reusing the engine's
+    /// scratch buffers (see [`StepEngine::reset`], which this calls
+    /// first). The policy is borrowed per trial so seeded policies can be
+    /// rebuilt — or deliberately continued — across trials by the caller.
+    ///
+    /// # Panics
+    ///
+    /// As [`StepEngine::run`], except for the missing-policy case.
+    pub fn run_trial<T>(
+        &mut self,
+        policy: &mut dyn Policy,
+        machines: Vec<Box<dyn StepMachine<Output = T> + '_>>,
+    ) -> SimOutcome<T> {
+        self.reset();
         let n = machines.len();
         let mut live: Vec<Option<Box<dyn StepMachine<Output = T> + '_>>> =
             machines.into_iter().map(Some).collect();
         let mut live_count = n;
         let mut results: Vec<Option<Result<T, Crash>>> = (0..n).map(|_| None).collect();
-        let mut regs = vec![Word::Null; self.num_registers];
         let mut steps = vec![0u64; n];
-        // Indexed by pid (reported sorted, matching the thread scheduler).
-        let mut crashed = vec![false; n];
-        let mut trace = self.record_trace.then(Vec::new);
+        self.crashed.clear();
+        self.crashed.resize(n, CrashKind::None);
         let mut total_ops = 0u64;
-        let mut pending: Vec<PendingOp> = Vec::with_capacity(n);
 
         while live_count > 0 {
-            assert!(
-                total_ops < self.max_total_ops,
-                "simulation exceeded its operation budget of {} ops — livelocked algorithm?",
-                self.max_total_ops
-            );
+            if total_ops >= self.max_total_ops {
+                assert!(
+                    !self.panic_on_budget,
+                    "simulation exceeded its operation budget of {} ops — livelocked algorithm?",
+                    self.max_total_ops
+                );
+                // Crash the survivors, attributing the crash to the
+                // budget so outcomes and metrics can tell it apart from
+                // an adversary Action::Crash.
+                for (pid, slot) in live.iter_mut().enumerate() {
+                    if slot.take().is_some() {
+                        self.crashed[pid] = CrashKind::Budget;
+                        self.metrics.budget_crashes += 1;
+                        results[pid] = Some(Err(Crash));
+                    }
+                }
+                break;
+            }
 
-            pending.clear();
+            self.pending.clear();
             for (pid, slot) in live.iter().enumerate() {
                 if let Some(machine) = slot {
                     let op = machine.op();
-                    pending.push(PendingOp {
+                    self.pending.push(PendingOp {
                         pid: Pid(pid),
                         kind: op.kind(),
                         reg: op.reg(),
@@ -134,7 +352,7 @@ impl StepEngine {
                 }
             }
 
-            match self.policy.decide(&pending) {
+            match policy.decide(&self.pending) {
                 Action::Grant(pid) => {
                     let machine = live[pid.0]
                         .as_mut()
@@ -142,20 +360,29 @@ impl StepEngine {
                     let op = machine.op();
                     let (kind, reg) = (op.kind(), op.reg());
                     assert!(
-                        reg.0 < regs.len(),
+                        reg.0 < self.regs.len(),
                         "register {reg} out of range ({} registers)",
-                        regs.len()
+                        self.regs.len()
                     );
+                    if self.measure_contention {
+                        let contention = self.pending.iter().filter(|p| p.reg == reg).count();
+                        self.metrics.max_contention = self.metrics.max_contention.max(contention);
+                    }
                     // Perform the granted operation in place.
                     let input = match op {
-                        ShmOp::Read(_) => regs[reg.0].clone(),
+                        ShmOp::Read(_) => {
+                            self.metrics.reads += 1;
+                            self.regs[reg.0].clone()
+                        }
                         ShmOp::Write(_, word) => {
-                            regs[reg.0] = word;
+                            self.metrics.writes += 1;
+                            self.regs[reg.0] = word;
                             Word::Null
                         }
                     };
-                    if let Some(trace) = &mut trace {
-                        trace.push(PendingOp {
+                    self.metrics.ops_per_register[reg.0] += 1;
+                    if self.record_trace {
+                        self.trace.push(PendingOp {
                             pid,
                             kind,
                             reg,
@@ -177,25 +404,36 @@ impl StepEngine {
                     );
                     live[pid.0] = None;
                     live_count -= 1;
-                    crashed[pid.0] = true;
+                    self.crashed[pid.0] = CrashKind::Adversary;
+                    self.metrics.adversary_crashes += 1;
                     results[pid.0] = Some(Err(Crash));
                 }
             }
         }
 
+        self.metrics.trials = 1;
+        self.metrics.total_ops = total_ops;
+        self.metrics.max_steps = steps.iter().copied().max().unwrap_or(0);
+
+        let crashed_by = |kind: CrashKind| -> Vec<Pid> {
+            self.crashed
+                .iter()
+                .enumerate()
+                .filter_map(|(pid, &c)| (c == kind).then_some(Pid(pid)))
+                .collect()
+        };
         SimOutcome {
             results: results
                 .into_iter()
                 .map(|r| r.expect("result recorded"))
                 .collect(),
             steps,
-            crashed: crashed
-                .iter()
-                .enumerate()
-                .filter_map(|(pid, &c)| c.then_some(Pid(pid)))
-                .collect(),
+            crashed: crashed_by(CrashKind::Adversary),
+            budget_crashed: crashed_by(CrashKind::Budget),
             total_ops,
-            trace,
+            // Hand the outcome the buffer itself — no O(total_ops)
+            // copy; `reset` regrows it for the next trial.
+            trace: self.record_trace.then(|| std::mem::take(&mut self.trace)),
         }
     }
 }
@@ -324,6 +562,8 @@ mod tests {
         let outcome =
             StepEngine::new(alloc.total(), Box::new(policy)).run(hammer_machines(bank, 4, 10));
         assert_eq!(outcome.crashed.len(), 2);
+        assert!(outcome.budget_crashed.is_empty());
+        assert!(!outcome.budget_exhausted());
         for pid in &outcome.crashed {
             assert!(outcome.results[pid.0].is_err());
         }
@@ -379,6 +619,124 @@ mod tests {
                 Box::new(Spin(bank.get(0))) as Box<dyn StepMachine<Output = ()>>,
                 Box::new(Spin(bank.get(0))),
             ]);
+    }
+
+    #[test]
+    fn budget_crashes_are_distinguished_from_adversary_crashes() {
+        /// Spins forever.
+        struct Spin(RegId);
+        impl StepMachine for Spin {
+            type Output = ();
+            fn op(&self) -> ShmOp {
+                ShmOp::Read(self.0)
+            }
+            fn advance(&mut self, _input: Word) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        // The storm crashes exactly one spinner; the budget then kills
+        // the remaining two. The outcome tells the causes apart.
+        let policy = CrashStorm::new(Box::new(RoundRobin::new()), 5, 1.0, 1);
+        let mut engine = StepEngine::reusable(alloc.total())
+            .max_total_ops(50)
+            .panic_on_budget(false);
+        let mut policy: Box<dyn Policy> = Box::new(policy);
+        let outcome = engine.run_trial(
+            policy.as_mut(),
+            (0..3)
+                .map(|_| Box::new(Spin(bank.get(0))) as Box<dyn StepMachine<Output = ()>>)
+                .collect(),
+        );
+        assert!(outcome.budget_exhausted());
+        assert_eq!(outcome.crashed.len(), 1);
+        assert_eq!(outcome.budget_crashed.len(), 2);
+        assert!(outcome
+            .crashed
+            .iter()
+            .all(|pid| !outcome.budget_crashed.contains(pid)));
+        assert_eq!(engine.metrics().adversary_crashes, 1);
+        assert_eq!(engine.metrics().budget_crashes, 2);
+        assert!(outcome.results.iter().all(Result::is_err));
+    }
+
+    #[test]
+    fn reused_engine_is_trace_identical_to_fresh() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let fresh = StepEngine::new(alloc.total(), Box::new(RandomPolicy::new(31)))
+            .record_trace(true)
+            .run(hammer_machines(bank, 4, 3));
+        let mut reused = StepEngine::reusable(alloc.total()).record_trace(true);
+        // Dirty the scratch with unrelated trials first.
+        for seed in 0..3 {
+            let mut warm: Box<dyn Policy> = Box::new(RandomPolicy::new(seed));
+            reused.run_trial(warm.as_mut(), hammer_machines(bank, 4, 3));
+        }
+        let mut policy: Box<dyn Policy> = Box::new(RandomPolicy::new(31));
+        let again = reused.run_trial(policy.as_mut(), hammer_machines(bank, 4, 3));
+        assert_eq!(fresh.trace, again.trace);
+        assert_eq!(fresh.steps, again.steps);
+        assert_eq!(fresh.total_ops, again.total_ops);
+    }
+
+    #[test]
+    fn metrics_count_the_grant_loop() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let mut engine = StepEngine::reusable(alloc.total()).measure_contention(true);
+        let mut policy: Box<dyn Policy> = Box::new(RoundRobin::new());
+        let outcome = engine.run_trial(policy.as_mut(), hammer_machines(bank, 3, 2));
+        let m = engine.metrics();
+        // 3 machines × 2 rounds × (1 write + 1 read).
+        assert_eq!(m.total_ops, 12);
+        assert_eq!(m.reads, 6);
+        assert_eq!(m.writes, 6);
+        assert_eq!(m.max_steps, 4);
+        assert_eq!(m.ops_per_register, vec![12]);
+        assert_eq!(m.hottest_register(), Some((0, 12)));
+        // Everyone always contends on the single register.
+        assert_eq!(m.max_contention, 3);
+        assert_eq!(m.adversary_crashes, 0);
+        assert_eq!(outcome.total_ops, 12);
+
+        // Merging two trials' metrics adds counters and maxes maxima.
+        let mut agg = Metrics::default();
+        agg.merge(m);
+        let mut policy: Box<dyn Policy> = Box::new(RoundRobin::new());
+        engine.run_trial(policy.as_mut(), hammer_machines(bank, 2, 1));
+        agg.merge(engine.metrics());
+        assert_eq!(agg.trials, 2);
+        assert_eq!(agg.total_ops, 12 + 4);
+        assert_eq!(agg.max_contention, 3);
+        assert_eq!(agg.ops_per_register, vec![16]);
+    }
+
+    #[test]
+    fn set_registers_resizes_the_bank_between_trials() {
+        let mut engine = StepEngine::reusable(1);
+        struct Touch(RegId);
+        impl StepMachine for Touch {
+            type Output = ();
+            fn op(&self) -> ShmOp {
+                ShmOp::Read(self.0)
+            }
+            fn advance(&mut self, _input: Word) -> Poll<()> {
+                Poll::Ready(())
+            }
+        }
+        let mut policy: Box<dyn Policy> = Box::new(RoundRobin::new());
+        engine.run_trial(
+            policy.as_mut(),
+            vec![Box::new(Touch(RegId(0))) as Box<dyn StepMachine<Output = ()>>],
+        );
+        engine.set_registers(8);
+        let outcome = engine.run_trial(
+            policy.as_mut(),
+            vec![Box::new(Touch(RegId(7))) as Box<dyn StepMachine<Output = ()>>],
+        );
+        assert!(outcome.results[0].is_ok());
     }
 
     #[test]

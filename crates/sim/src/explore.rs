@@ -125,7 +125,9 @@ where
 /// tree, identical checker interface, no thread spawns — typically an
 /// order of magnitude faster, which buys exhaustive coverage of deeper
 /// programs. `factory(pid)` builds the step machine of process `pid`; it
-/// is invoked afresh for every execution.
+/// is invoked afresh for every execution. One reusable engine serves the
+/// whole walk ([`StepEngine::run_trial`]), so exploring a tree of
+/// thousands of executions reallocates nothing but the machines.
 ///
 /// # Panics
 ///
@@ -141,8 +143,12 @@ where
     F: Fn(Pid) -> Box<dyn StepMachine<Output = T> + 'a>,
     C: Fn(&SimOutcome<T>),
 {
-    explore_driver(max_executions, check, |policy| {
-        StepEngine::new(num_registers, policy).run((0..num_procs).map(Pid).map(&factory).collect())
+    let mut engine = StepEngine::reusable(num_registers);
+    explore_driver(max_executions, check, |mut policy| {
+        engine.run_trial(
+            policy.as_mut(),
+            (0..num_procs).map(Pid).map(&factory).collect(),
+        )
     })
 }
 

@@ -65,8 +65,8 @@ mod runner;
 mod sched;
 pub mod trace_view;
 
-pub use engine::StepEngine;
+pub use engine::{Metrics, StepEngine};
 pub use explore::{explore, explore_engine, ExploreReport};
 pub use policy::{Action, PendingOp, Policy};
 pub use runner::{SimBuilder, SimOutcome};
-pub use sched::SimMemory;
+pub use sched::{CrashCause, SimMemory};

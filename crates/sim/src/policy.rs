@@ -231,6 +231,205 @@ impl Policy for CrashAtStep {
     }
 }
 
+/// Wraps another policy and crashes processes the moment they reach
+/// their `after`-th local step (0-based), up to a crash budget — the
+/// "you may run this far and no further" adversary. Unlike
+/// [`CrashAtStep`] it needs no victim named in advance: every
+/// unprotected process that survives to the threshold is culled, which
+/// stresses an algorithm's late, commitment-heavy phases.
+pub struct CrashAfter {
+    inner: Box<dyn Policy>,
+    after: u64,
+    remaining_crashes: usize,
+    protected: Vec<Pid>,
+}
+
+impl CrashAfter {
+    /// Wraps `inner`, crashing any process about to take local step
+    /// number `after` (0-based), at most `max_crashes` times.
+    #[must_use]
+    pub fn new(inner: Box<dyn Policy>, after: u64, max_crashes: usize) -> Self {
+        CrashAfter {
+            inner,
+            after,
+            remaining_crashes: max_crashes,
+            protected: Vec::new(),
+        }
+    }
+
+    /// Marks processes that must never be crashed.
+    #[must_use]
+    pub fn protect(mut self, pids: impl IntoIterator<Item = Pid>) -> Self {
+        self.protected.extend(pids);
+        self
+    }
+}
+
+impl Policy for CrashAfter {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        if self.remaining_crashes > 0 {
+            if let Some(op) = pending
+                .iter()
+                .find(|op| op.step_index >= self.after && !self.protected.contains(&op.pid))
+            {
+                self.remaining_crashes -= 1;
+                return Action::Crash(op.pid);
+            }
+        }
+        self.inner.decide(pending)
+    }
+}
+
+/// The Theorem 6 pigeonhole schedule as a reusable adversary. At every
+/// decision it finds the largest group of pending operations that look
+/// identical to the adversary — same kind (read/write) and same target
+/// register, the paper's indistinguishability classes — and marches that
+/// group in lock-step, granting its least-advanced member first so
+/// nobody escapes the pack; processes outside the group are starved
+/// until the group disperses. With [`Pigeonhole::crash_leaders`], it additionally
+/// **targets the most-advanced process**: whenever some process has
+/// pulled more than `lead` local steps ahead of the slowest pending one,
+/// it is crashed (budget permitting) — the adaptive "kill whoever is
+/// about to decide" behaviour of the lower-bound construction.
+///
+/// Decisions are a pure function of the pending set and the seed, so
+/// executions are trace-deterministic and replayable.
+pub struct Pigeonhole {
+    rng: SmallRng,
+    crash_lead: Option<u64>,
+    remaining_crashes: usize,
+    // Per-decision scratch, reused so the grant loop stays
+    // allocation-free: (kind, register) group sizes in first-appearance
+    // (= pid) order, and the equally-large groups of the round.
+    groups: Vec<((OpKind, RegId), usize)>,
+    tied: Vec<(OpKind, RegId)>,
+}
+
+impl Pigeonhole {
+    /// A pigeonhole schedule; `seed` breaks ties among equally-large
+    /// groups reproducibly.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Pigeonhole {
+            rng: SmallRng::seed_from_u64(seed),
+            crash_lead: None,
+            remaining_crashes: 0,
+            groups: Vec::new(),
+            tied: Vec::new(),
+        }
+    }
+
+    /// Crashes the most-advanced pending process whenever it leads the
+    /// least-advanced by more than `lead` local steps, at most
+    /// `max_crashes` times.
+    #[must_use]
+    pub fn crash_leaders(mut self, lead: u64, max_crashes: usize) -> Self {
+        self.crash_lead = Some(lead);
+        self.remaining_crashes = max_crashes;
+        self
+    }
+}
+
+impl Policy for Pigeonhole {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        if let Some(lead) = self.crash_lead {
+            if self.remaining_crashes > 0 && pending.len() > 1 {
+                let slowest = pending.iter().map(|op| op.step_index).min().unwrap();
+                let leader = pending
+                    .iter()
+                    .max_by_key(|op| (op.step_index, usize::MAX - op.pid.0))
+                    .unwrap();
+                if leader.step_index > slowest + lead {
+                    self.remaining_crashes -= 1;
+                    return Action::Crash(leader.pid);
+                }
+            }
+        }
+        // Largest (kind, register) group, in one counting pass over the
+        // pid-sorted pending set — group order is deterministic, so the
+        // uniform seeded tie-break over the equally-large ones is
+        // reproducible.
+        self.groups.clear();
+        for op in pending {
+            let key = (op.kind, op.reg);
+            match self.groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, size)) => *size += 1,
+                None => self.groups.push((key, 1)),
+            }
+        }
+        let largest = self
+            .groups
+            .iter()
+            .map(|&(_, size)| size)
+            .max()
+            .expect("pending nonempty");
+        self.tied.clear();
+        self.tied.extend(
+            self.groups
+                .iter()
+                .filter_map(|&(key, size)| (size == largest).then_some(key)),
+        );
+        let key = self.tied[self.rng.gen_range(0..self.tied.len())];
+        // Least-advanced member first: the group advances together, so
+        // the policy never manufactures the leads it would then punish.
+        let chosen = pending
+            .iter()
+            .filter(|op| (op.kind, op.reg) == key)
+            .min_by_key(|op| (op.step_index, op.pid.0))
+            .expect("group nonempty");
+        Action::Grant(chosen.pid)
+    }
+}
+
+/// Grants one process a burst of consecutive steps before switching to a
+/// randomly chosen next process — the antithesis of round-robin
+/// fairness. Bursts model a scheduler that parks everyone else while one
+/// process runs hot, which is exactly where splitter-based algorithms
+/// see their worst contention patterns. Seedable and trace-deterministic.
+#[derive(Clone, Debug)]
+pub struct Bursty {
+    rng: SmallRng,
+    burst: u64,
+    current: Option<Pid>,
+    remaining: u64,
+}
+
+impl Bursty {
+    /// A bursty schedule granting `burst` consecutive steps per process,
+    /// choosing the next process with `seed`'s generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    #[must_use]
+    pub fn new(seed: u64, burst: u64) -> Self {
+        assert!(burst > 0, "burst length must be positive");
+        Bursty {
+            rng: SmallRng::seed_from_u64(seed),
+            burst,
+            current: None,
+            remaining: 0,
+        }
+    }
+}
+
+impl Policy for Bursty {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        if self.remaining > 0 {
+            if let Some(cur) = self.current {
+                if pending.iter().any(|op| op.pid == cur) {
+                    self.remaining -= 1;
+                    return Action::Grant(cur);
+                }
+            }
+        }
+        let chosen = pending[self.rng.gen_range(0..pending.len())].pid;
+        self.current = Some(chosen);
+        self.remaining = self.burst - 1;
+        Action::Grant(chosen)
+    }
+}
+
 /// Replays a recorded schedule: grants processes in exactly the order of
 /// a trace captured with `SimBuilder::record_trace`, then falls back to
 /// round-robin once the script is exhausted. Replaying a deterministic
@@ -345,6 +544,112 @@ mod tests {
         // Pid 7 is never pending: skipped, fallback takes over.
         assert_eq!(p.decide(&pending), Action::Grant(Pid(0)));
         assert_eq!(p.divergences(), 1);
+    }
+
+    #[test]
+    fn crash_after_culls_each_process_at_the_threshold() {
+        let mut p = CrashAfter::new(Box::new(RoundRobin::new()), 2, 2).protect([Pid(0)]);
+        // Nobody at the threshold yet: fair grants.
+        assert_eq!(p.decide(&[op(0, 0), op(1, 1)]), Action::Grant(Pid(0)));
+        // Pid 1 reaches step 2: crashed. Pid 0 is protected at any step.
+        assert_eq!(p.decide(&[op(0, 5), op(1, 2)]), Action::Crash(Pid(1)));
+        assert_eq!(p.decide(&[op(0, 5), op(2, 3)]), Action::Crash(Pid(2)));
+        // Budget (2) exhausted: further stragglers survive.
+        assert!(matches!(p.decide(&[op(0, 6), op(3, 9)]), Action::Grant(_)));
+    }
+
+    #[test]
+    fn pigeonhole_marches_the_largest_identical_group() {
+        let mut p = Pigeonhole::new(7);
+        // 3 readers of R0 vs 1 reader of R1 vs 1 writer: the R0 group
+        // wins; its least advanced member (pid 0, step 1) goes first so
+        // the group stays in lock-step.
+        let pending = [
+            PendingOp {
+                pid: Pid(0),
+                kind: OpKind::Read,
+                reg: RegId(0),
+                step_index: 1,
+            },
+            PendingOp {
+                pid: Pid(1),
+                kind: OpKind::Read,
+                reg: RegId(0),
+                step_index: 2,
+            },
+            PendingOp {
+                pid: Pid(2),
+                kind: OpKind::Read,
+                reg: RegId(0),
+                step_index: 4,
+            },
+            PendingOp {
+                pid: Pid(3),
+                kind: OpKind::Read,
+                reg: RegId(1),
+                step_index: 9,
+            },
+            PendingOp {
+                pid: Pid(4),
+                kind: OpKind::Write,
+                reg: RegId(0),
+                step_index: 0,
+            },
+        ];
+        assert_eq!(p.decide(&pending), Action::Grant(Pid(0)));
+    }
+
+    #[test]
+    fn pigeonhole_is_deterministic_per_seed() {
+        let pending: Vec<_> = (0..8).map(|i| op(i, (i % 3) as u64)).collect();
+        let run = |seed| {
+            let mut p = Pigeonhole::new(seed);
+            (0..30).map(|_| p.decide(&pending)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn pigeonhole_crashes_the_leader_when_it_pulls_ahead() {
+        let mut p = Pigeonhole::new(0).crash_leaders(3, 1);
+        // Leader pid 1 at step 10 vs slowest at step 0: lead 10 > 3.
+        assert_eq!(p.decide(&[op(0, 0), op(1, 10)]), Action::Crash(Pid(1)));
+        // Budget spent: no further crashes.
+        assert!(matches!(p.decide(&[op(0, 0), op(2, 20)]), Action::Grant(_)));
+    }
+
+    #[test]
+    fn bursty_grants_runs_of_the_same_process() {
+        let mut p = Bursty::new(11, 4);
+        let pending: Vec<_> = (0..5).map(|i| op(i, 0)).collect();
+        let grants: Vec<Pid> = (0..12)
+            .map(|_| match p.decide(&pending) {
+                Action::Grant(pid) => pid,
+                Action::Crash(_) => unreachable!("bursty never crashes"),
+            })
+            .collect();
+        for chunk in grants.chunks(4) {
+            assert!(chunk.iter().all(|&pid| pid == chunk[0]), "{grants:?}");
+        }
+        // Reproducible per seed.
+        let mut q = Bursty::new(11, 4);
+        let again: Vec<_> = (0..12).map(|_| q.decide(&pending)).collect();
+        assert_eq!(
+            again,
+            grants.iter().map(|&g| Action::Grant(g)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bursty_switches_when_the_current_process_finishes() {
+        let mut p = Bursty::new(2, 8);
+        let first = match p.decide(&[op(0, 0), op(1, 0)]) {
+            Action::Grant(pid) => pid,
+            Action::Crash(_) => unreachable!(),
+        };
+        // The granted process vanishes (finished): the burst must move on.
+        let other = [op(if first.0 == 0 { 1 } else { 0 }, 1)];
+        assert_eq!(p.decide(&other), Action::Grant(other[0].pid));
     }
 
     #[test]

@@ -7,6 +7,16 @@ use exsel_shm::{Crash, Memory, OpKind, Pid, RegId, Step, Word};
 
 use crate::policy::{Action, PendingOp, Policy};
 
+/// Why [`SimMemory`] crashed a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashCause {
+    /// The policy decided [`Action::Crash`].
+    Adversary,
+    /// The execution exceeded its operation budget and all live
+    /// processes were crashed to terminate the run.
+    Budget,
+}
+
 /// Shared memory whose every access is granted by a [`Policy`].
 ///
 /// Each process runs on its own thread; an access parks the thread until
@@ -30,7 +40,7 @@ struct SimState {
     pending: BTreeMap<usize, (OpKind, RegId)>,
     /// The pid currently allowed to perform its operation, if any.
     granted: Option<usize>,
-    crashed: Vec<bool>,
+    crashed: Vec<Option<CrashCause>>,
     steps: Vec<u64>,
     policy: Box<dyn Policy>,
     total_ops: u64,
@@ -63,7 +73,7 @@ impl SimMemory {
                 live_count: num_processes,
                 pending: BTreeMap::new(),
                 granted: None,
-                crashed: vec![false; num_processes],
+                crashed: vec![None; num_processes],
                 steps: vec![0; num_processes],
                 policy,
                 total_ops: 0,
@@ -101,14 +111,33 @@ impl SimMemory {
         self.state.lock().total_ops
     }
 
-    /// Which processes were crashed by the policy.
+    /// Which processes were crashed by the policy's `Action::Crash`
+    /// decisions (budget-exhaustion crashes are reported separately by
+    /// [`SimMemory::budget_crashed_set`]).
     #[must_use]
     pub fn crashed_set(&self) -> Vec<Pid> {
+        self.crashed_by(CrashCause::Adversary)
+    }
+
+    /// Which processes were crashed because the run exceeded its
+    /// operation budget.
+    #[must_use]
+    pub fn budget_crashed_set(&self) -> Vec<Pid> {
+        self.crashed_by(CrashCause::Budget)
+    }
+
+    /// Why `pid` crashed, if it did.
+    #[must_use]
+    pub fn crash_cause(&self, pid: Pid) -> Option<CrashCause> {
+        self.state.lock().crashed[pid.0]
+    }
+
+    fn crashed_by(&self, cause: CrashCause) -> Vec<Pid> {
         let st = self.state.lock();
         st.crashed
             .iter()
             .enumerate()
-            .filter_map(|(i, &c)| c.then_some(Pid(i)))
+            .filter_map(|(i, &c)| (c == Some(cause)).then_some(Pid(i)))
             .collect()
     }
 
@@ -127,7 +156,7 @@ impl SimMemory {
                 st.budget_exhausted = true;
                 for pid in 0..st.live.len() {
                     if st.live[pid] {
-                        st.crashed[pid] = true;
+                        st.crashed[pid] = Some(CrashCause::Budget);
                         st.live[pid] = false;
                     }
                 }
@@ -155,7 +184,7 @@ impl SimMemory {
                 }
                 Action::Crash(pid) => {
                     assert!(st.live[pid.0], "policy crashed non-live process {pid}");
-                    st.crashed[pid.0] = true;
+                    st.crashed[pid.0] = Some(CrashCause::Adversary);
                     st.live[pid.0] = false;
                     st.live_count -= 1;
                     st.pending.remove(&pid.0);
@@ -174,7 +203,7 @@ impl SimMemory {
             "register {reg} out of range ({} registers)",
             st.regs.len()
         );
-        if st.crashed[pid.0] {
+        if st.crashed[pid.0].is_some() {
             return Err(Crash);
         }
         assert!(st.live[pid.0], "operation from finished process {pid}");
@@ -183,7 +212,7 @@ impl SimMemory {
         Self::dispatch(&mut st);
         self.cv.notify_all();
         loop {
-            if st.crashed[pid.0] {
+            if st.crashed[pid.0].is_some() {
                 return Err(Crash);
             }
             if st.granted == Some(pid.0) {

@@ -1,0 +1,165 @@
+//! Crash-semantics property coverage: crashing any single process
+//! mid-rename — in any of the 8 renamers, at any point of its execution,
+//! under any seeded schedule — must leave the survivors deciding unique
+//! names, and (for every algorithm whose guarantee is total) leave no
+//! survivor unnamed. Runs on the step-machine engine via `StepRename`,
+//! with the crash placed by `CrashAtStep` at an exact local step of the
+//! victim.
+
+use exclusive_selection::sim::policy::{CrashAtStep, Policy, RandomPolicy};
+use exclusive_selection::sim::StepEngine;
+use exclusive_selection::{
+    AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, Majority, MoirAnderson, Outcome,
+    Pid, PolyLogRename, RegAlloc, RenameConfig, SnapshotRename, StepMachine, StepRename,
+};
+use proptest::prelude::*;
+
+const K: usize = 6;
+const N_NAMES: usize = 256;
+
+/// Builds renamer number `idx` (all 8 of the stack's `StepRename`
+/// implementations) and reports whether it guarantees a name for every
+/// surviving contender (`Majority` only promises half). Mirrors
+/// `AlgoSpec` in `crates/bench/src/scenario.rs` (this root test crate
+/// cannot depend on exsel-bench): when a renamer is added there, extend
+/// this table and the `0..8` strategy range below.
+fn build(idx: usize, alloc: &mut RegAlloc, cfg: &RenameConfig) -> (Box<dyn StepRename>, bool) {
+    match idx {
+        0 => (Box::new(MoirAnderson::new(alloc, K)), true),
+        1 => (Box::new(EfficientRename::new(alloc, K, cfg)), true),
+        2 => (Box::new(SnapshotRename::new(alloc, K)), true),
+        3 => (Box::new(BasicRename::new(alloc, N_NAMES, K, cfg)), true),
+        4 => (Box::new(PolyLogRename::new(alloc, N_NAMES, K, cfg)), true),
+        5 => (
+            Box::new(AlmostAdaptive::new(alloc, N_NAMES, 2 * K, cfg)),
+            true,
+        ),
+        6 => (Box::new(AdaptiveRename::new(alloc, 2 * K, cfg)), true),
+        7 => (Box::new(Majority::new(alloc, N_NAMES, K, cfg)), false),
+        _ => unreachable!("8 renamers"),
+    }
+}
+
+/// One adversarial execution: `victim` is crashed the moment it reaches
+/// local step `crash_step`; everyone else runs under the seeded random
+/// schedule. Returns `(names, crashed_pids)`.
+fn run_with_crash(
+    algo: &dyn StepRename,
+    num_registers: usize,
+    victim: usize,
+    crash_step: u64,
+    seed: u64,
+) -> (Vec<Option<u64>>, Vec<Pid>) {
+    let mut engine = StepEngine::reusable(num_registers);
+    let mut policy: Box<dyn Policy> = Box::new(CrashAtStep::new(
+        Box::new(RandomPolicy::new(seed)),
+        Pid(victim),
+        crash_step,
+    ));
+    let outcome = engine.run_trial(
+        policy.as_mut(),
+        (0..K)
+            .map(|p| -> Box<dyn StepMachine<Output = Option<u64>> + '_> {
+                Box::new(
+                    algo.begin_rename(Pid(p), (p * N_NAMES / K) as u64 + 1)
+                        .map_output(Outcome::name),
+                )
+            })
+            .collect(),
+    );
+    (
+        outcome.results.iter().map(|r| r.ok().flatten()).collect(),
+        outcome.crashed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn single_crash_mid_rename_leaves_survivors_exclusive(
+        algo_idx in 0..8usize,
+        victim in 0..K,
+        crash_step in 0u64..48,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = RenameConfig::default();
+        let mut alloc = RegAlloc::new();
+        let (algo, names_all) = build(algo_idx, &mut alloc, &cfg);
+        let (names, crashed) =
+            run_with_crash(algo.as_ref(), alloc.total(), victim, crash_step, seed);
+
+        // Exclusiveness among everyone who decided.
+        let decided: Vec<u64> = names.iter().flatten().copied().collect();
+        let unique: std::collections::BTreeSet<u64> = decided.iter().copied().collect();
+        prop_assert_eq!(
+            unique.len(),
+            decided.len(),
+            "duplicate names from renamer {} under crash of {} at step {}: {:?}",
+            algo_idx,
+            victim,
+            crash_step,
+            names
+        );
+
+        // At most the one victim crashed, and it decided nothing.
+        prop_assert!(crashed.len() <= 1);
+        if let Some(pid) = crashed.first() {
+            prop_assert_eq!(pid.0, victim);
+            prop_assert!(names[victim].is_none());
+        }
+
+        // Wait-freedom under the crash: every survivor decided a name
+        // (for the renamers whose guarantee is total).
+        if names_all {
+            for (pid, name) in names.iter().enumerate() {
+                if !crashed.iter().any(|c| c.0 == pid) {
+                    prop_assert!(
+                        name.is_some(),
+                        "renamer {} left survivor {} unnamed (victim {}, step {}, seed {})",
+                        algo_idx,
+                        pid,
+                        victim,
+                        crash_step,
+                        seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic exhaustive sweep at one tight spot: every renamer ×
+/// every victim, crash placed inside the victim's first few operations —
+/// the window where reservations and announcements are half-done.
+#[test]
+fn every_renamer_survives_every_single_victim() {
+    let cfg = RenameConfig::default();
+    for algo_idx in 0..8 {
+        for victim in 0..K {
+            for crash_step in [1u64, 3, 7] {
+                let mut alloc = RegAlloc::new();
+                let (algo, names_all) = build(algo_idx, &mut alloc, &cfg);
+                let (names, crashed) =
+                    run_with_crash(algo.as_ref(), alloc.total(), victim, crash_step, 42);
+                let decided: Vec<u64> = names.iter().flatten().copied().collect();
+                let unique: std::collections::BTreeSet<u64> = decided.iter().copied().collect();
+                assert_eq!(unique.len(), decided.len(), "renamer {algo_idx}");
+                // The victim may legitimately outrun the crash point; if
+                // the crash fired, it hit exactly the victim.
+                if crashed.is_empty() {
+                    assert!(names[victim].is_some(), "renamer {algo_idx}");
+                } else {
+                    assert_eq!(crashed, vec![Pid(victim)], "renamer {algo_idx}");
+                }
+                if names_all {
+                    assert_eq!(
+                        decided.len(),
+                        K - crashed.len(),
+                        "renamer {algo_idx}: survivors unnamed after crashing {victim} at {crash_step}"
+                    );
+                }
+            }
+        }
+    }
+}

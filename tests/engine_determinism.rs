@@ -114,6 +114,76 @@ fn crash_storms_identical_on_both_backends() {
 }
 
 #[test]
+fn reused_engine_is_trace_identical_to_fresh_engine() {
+    // The engine-reuse contract: the same policy + seed yields the
+    // identical trace whether the engine is fresh or reused after
+    // reset() — even with different register counts and unrelated
+    // algorithms run in between.
+    let cfg = RenameConfig::default();
+    let mut alloc = RegAlloc::new();
+    let algo = BasicRename::new(&mut alloc, 256, 6, &cfg);
+    let originals: Vec<u64> = (0..6u64).map(|i| i * 41 + 3).collect();
+
+    let machines = || {
+        originals
+            .iter()
+            .enumerate()
+            .map(
+                |(p, &orig)| -> Box<dyn StepMachine<Output = Option<u64>> + '_> {
+                    Box::new(algo.begin_rename(Pid(p), orig).map_output(Outcome::name))
+                },
+            )
+            .collect()
+    };
+
+    let mut reused = StepEngine::reusable(alloc.total()).record_trace(true);
+    // Dirty the engine's scratch with unrelated trials first: another
+    // algorithm, another register count, other seeds.
+    {
+        let mut other_alloc = RegAlloc::new();
+        let other = Majority::new(&mut other_alloc, 128, 4, &cfg);
+        reused.set_registers(other_alloc.total());
+        for seed in 0..3 {
+            let mut warm: Box<dyn Policy> = Box::new(RandomPolicy::new(seed));
+            reused.run_trial(
+                warm.as_mut(),
+                (0..4)
+                    .map(|p| -> Box<dyn StepMachine<Output = Option<u64>> + '_> {
+                        Box::new(
+                            other
+                                .begin_rename(Pid(p), p as u64 + 1)
+                                .map_output(Outcome::name),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+    }
+    reused.set_registers(alloc.total());
+
+    for seed in [0u64, 7, 1234] {
+        let fresh_outcome = StepEngine::new(alloc.total(), Box::new(RandomPolicy::new(seed)))
+            .record_trace(true)
+            .run(machines());
+        let mut policy: Box<dyn Policy> = Box::new(RandomPolicy::new(seed));
+        let reused_outcome = reused.run_trial(policy.as_mut(), machines());
+        assert_eq!(
+            fresh_outcome.trace, reused_outcome.trace,
+            "seed {seed}: traces diverged between fresh and reused engines"
+        );
+        assert_eq!(fresh_outcome.steps, reused_outcome.steps, "seed {seed}");
+        assert_eq!(
+            fresh_outcome.total_ops, reused_outcome.total_ops,
+            "seed {seed}"
+        );
+        let names = |o: &SimOutcome<Option<u64>>| -> Vec<Option<u64>> {
+            o.results.iter().map(|r| r.ok().flatten()).collect()
+        };
+        assert_eq!(names(&fresh_outcome), names(&reused_outcome), "seed {seed}");
+    }
+}
+
+#[test]
 fn engine_seed_sweep_replays_on_threads() {
     // The intended workflow: sweep many seeds cheaply on the engine, then
     // reproduce a chosen one on the thread-backed runner. Pick the seed

@@ -13,9 +13,9 @@ use exsel_bench::runner::{run_sim, run_sim_engine, run_sim_engine_with, spread_o
 use exsel_core::{Majority, MoirAnderson, Outcome, Rename, RenameConfig, SlotBank, StepRename};
 use exsel_lowerbound::{run_against, run_machines_against};
 use exsel_shm::{RegAlloc, StepMachine};
-use exsel_sim::explore::{explore, explore_engine};
+use exsel_sim::explore::{explore, explore_engine, explore_pool};
 use exsel_sim::policy::RandomPolicy;
-use exsel_sim::StepEngine;
+use exsel_sim::{AlgoSet, MachinePool, StepEngine};
 
 fn bench_majority_round(c: &mut Criterion) {
     let cfg = RenameConfig::default();
@@ -130,11 +130,63 @@ fn bench_engine_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_machine_pool(c: &mut Criterion) {
+    // The allocation-free trial loop: the PR 2 recipe (pending set
+    // rebuilt per decision + boxed machines per trial) vs one
+    // enum-dispatched MachinePool on the incremental engine. Trials are
+    // trace-identical; only the machinery differs.
+    let cfg = RenameConfig::default();
+    let mut group = c.benchmark_group("machine_pool");
+    group.sample_size(10);
+    let trials = 32u64;
+    for k in [8usize, 32] {
+        let mut alloc = RegAlloc::new();
+        let algo = Majority::new(&mut alloc, 1024, k, &cfg);
+        let regs = alloc.total();
+        let originals = spread_originals(k, 1024);
+        group.bench_with_input(BenchmarkId::new("pr2_boxed", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = StepEngine::reusable(regs).pending_rebuild(true);
+                for seed in 0..trials {
+                    let mut policy = RandomPolicy::new(seed);
+                    run_sim_engine_with(&mut engine, &algo, &originals, &mut policy);
+                }
+            });
+        });
+        let algo_set = AlgoSet::Majority(algo.clone());
+        group.bench_with_input(BenchmarkId::new("pooled", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = StepEngine::reusable(regs);
+                let mut pool = algo_set.pool(&originals);
+                for seed in 0..trials {
+                    let mut policy = RandomPolicy::new(seed);
+                    engine.run_pool(&mut policy, &mut pool);
+                }
+            });
+        });
+    }
+
+    // Pooled exhaustive exploration of Compete-For-Register.
+    let mut alloc = RegAlloc::new();
+    let bank = SlotBank::new(&mut alloc, 1);
+    let regs = alloc.total();
+    group.bench_with_input(BenchmarkId::new("explore_pooled", 3), &3, |b, _| {
+        b.iter(|| {
+            let mut pool: MachinePool<exsel_core::CompeteOp> = (0..3)
+                .map(|p| bank.begin_compete(0, p as u64 + 1))
+                .collect();
+            explore_pool(regs, &mut pool, u64::MAX, |_| {})
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_majority_round,
     bench_explore,
     bench_adversary,
-    bench_engine_reuse
+    bench_engine_reuse,
+    bench_machine_pool
 );
 criterion_main!(benches);

@@ -9,7 +9,10 @@ use std::ops::Range;
 
 use exsel_core::{Rename, StepRename};
 use exsel_shm::{Ctx, Pid, RegAlloc, StepMachine, ThreadedShm};
-use exsel_sim::{policy::RandomPolicy, Metrics, Policy, SimBuilder, SimOutcome, StepEngine};
+use exsel_sim::{
+    policy::RandomPolicy, AlgoSet, MachinePool, MachineSet, Metrics, Policy, SimBuilder,
+    SimOutcome, StepEngine,
+};
 
 /// The outcome of one renaming execution.
 #[derive(Clone, Debug)]
@@ -276,6 +279,92 @@ where
     stats
 }
 
+/// The allocation-free form of [`sweep`]: the algorithm instance is
+/// built **once** per call, a [`MachinePool`] of [`MachineSet`] machines
+/// is built once from it, and every seed's trial re-drives that pool via
+/// [`StepEngine::run_pool`] — no per-trial machine boxes, no per-trial
+/// result vectors. Trials are trace-identical to [`sweep`]'s
+/// rebuild-per-seed form because algorithm construction is deterministic
+/// and the engine resets all shared state between trials (tested in
+/// `tests/engine_determinism.rs`).
+///
+/// Works for every algorithm family ([`AlgoSet`]), not just renamers:
+/// per-trial safety asserts that completed processes' *claims* (names /
+/// value registers / claimed integers) are pairwise distinct.
+///
+/// # Panics
+///
+/// Panics if two processes ever hold the same claim.
+pub fn sweep_pool<B, P>(
+    engine: &mut StepEngine,
+    seeds: Range<u64>,
+    originals: &[u64],
+    build: B,
+    policy: P,
+) -> TrialStats
+where
+    B: FnOnce(&mut RegAlloc) -> AlgoSet,
+    P: Fn(u64) -> Box<dyn Policy>,
+{
+    let mut alloc = RegAlloc::new();
+    let algo = build(&mut alloc);
+    engine.set_registers(alloc.total());
+    let mut pool: MachinePool<MachineSet<'_>> = algo.pool(originals);
+    // Naming machines claim several integers per trial, so the fewest-
+    // claims fold must not be capped at the contender count.
+    let mut stats = TrialStats {
+        registers: alloc.total(),
+        max_name: 0,
+        min_named: usize::MAX,
+        max_unnamed_survivors: 0,
+        metrics: Metrics::default(),
+    };
+    let mut claims: Vec<u64> = Vec::with_capacity(originals.len());
+    for seed in seeds {
+        let mut policy = policy(seed);
+        engine.run_pool(policy.as_mut(), &mut pool);
+        // Audit every exclusive claim of the trial. Naming machines may
+        // commit several integers per trial (and claims committed before
+        // a crash are permanent), so read the machines' full claim lists
+        // — not just each completed process's final output. `claimants`
+        // counts *processes* holding at least one claim, which is what
+        // the unnamed-survivors gate compares against (total claims can
+        // exceed the process count).
+        claims.clear();
+        let mut claimants = 0usize;
+        for (machine, result) in pool.machines().iter().zip(pool.results()) {
+            let had = claims.len();
+            match machine {
+                MachineSet::Naming(m) => claims.extend_from_slice(m.names()),
+                _ => {
+                    if let Some(Ok(out)) = result {
+                        claims.extend(out.claim());
+                    }
+                }
+            }
+            claimants += usize::from(claims.len() > had);
+        }
+        claims.sort_unstable();
+        assert!(
+            claims.windows(2).all(|w| w[0] != w[1]),
+            "duplicate claims: {claims:?}"
+        );
+        let trial = engine.metrics();
+        stats.max_name = stats.max_name.max(claims.last().copied().unwrap_or(0));
+        stats.min_named = stats.min_named.min(claims.len());
+        stats.max_unnamed_survivors = stats.max_unnamed_survivors.max(
+            originals
+                .len()
+                .saturating_sub(trial.adversary_crashes + trial.budget_crashes + claimants),
+        );
+        stats.metrics.merge(trial);
+    }
+    if stats.metrics.trials == 0 {
+        stats.min_named = 0;
+    }
+    stats
+}
+
 /// [`sweep`] under the plain seeded-random schedule — the default
 /// adversary of the experiment tables.
 pub fn sweep_random<A, B>(
@@ -358,6 +447,29 @@ mod tests {
         }
         assert_eq!(stats.max_steps(), max_steps);
         assert_eq!(stats.max_name, max_name);
+    }
+
+    #[test]
+    fn pooled_sweep_matches_boxed_sweep_bit_for_bit() {
+        let originals = spread_originals(4, 64);
+        let mut engine = StepEngine::reusable(0).measure_contention(true);
+        let boxed = sweep_random(&mut engine, 0..6, &originals, |alloc| {
+            MoirAnderson::new(alloc, 4)
+        });
+        let mut engine = StepEngine::reusable(0).measure_contention(true);
+        let pooled = sweep_pool(
+            &mut engine,
+            0..6,
+            &originals,
+            |alloc| AlgoSet::MoirAnderson(MoirAnderson::new(alloc, 4)),
+            |seed| Box::new(RandomPolicy::new(seed)),
+        );
+        // Same trials ⇒ identical folded statistics, metrics included.
+        assert_eq!(boxed.metrics, pooled.metrics);
+        assert_eq!(boxed.max_name, pooled.max_name);
+        assert_eq!(boxed.min_named, pooled.min_named);
+        assert_eq!(boxed.registers, pooled.registers);
+        assert_eq!(boxed.max_unnamed_survivors, pooled.max_unnamed_survivors);
     }
 
     #[test]

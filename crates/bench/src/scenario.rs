@@ -20,13 +20,15 @@ use std::ops::Range;
 
 use exsel_core::{
     AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, Majority, MoirAnderson,
-    PolyLogRename, RenameConfig, SnapshotRename, StepRename,
+    PolyLogRename, RenameConfig, SnapshotRename,
 };
 use exsel_shm::RegAlloc;
 use exsel_sim::policy::{Bursty, CrashAfter, CrashStorm, Pigeonhole, RandomPolicy, RoundRobin};
-use exsel_sim::{Policy, StepEngine};
+use exsel_sim::{AlgoSet, Policy, StepEngine};
+use exsel_storecollect::StoreCollect;
+use exsel_unbounded::UnboundedNaming;
 
-use crate::runner::{spread_originals, sweep, TrialStats};
+use crate::runner::{spread_originals, sweep_pool, TrialStats};
 use crate::{expts, Table};
 
 /// A named experiment in the registry.
@@ -47,21 +49,26 @@ pub enum Kind {
     Grid(GridSpec),
 }
 
-/// A data-driven scenario: which algorithm, under which adversary, over
-/// which `(N, k)` grid, for how many seeds.
+/// A data-driven scenario: which algorithm family, under which
+/// adversary, over which `(N, k)` grid, for how many seeds. The grid and
+/// seeds are owned so the `expt` CLI can override them per run
+/// (`--sizes`, `--seeds`).
 pub struct GridSpec {
-    /// The renaming algorithm under test.
+    /// The algorithm family under test (any [`AlgoSet`] family, not just
+    /// renamers).
     pub algo: AlgoSpec,
     /// The adversary scheduling (and possibly crashing) the contenders.
     pub adversary: AdversarySpec,
     /// `(n_names, k)` cells to sweep.
-    pub grid: &'static [(usize, usize)],
-    /// Seeds per cell (each seed is one trial with a fresh algorithm).
+    pub grid: Vec<(usize, usize)>,
+    /// Seeds per cell (each seed is one pooled trial).
     pub seeds: Range<u64>,
 }
 
-/// The renaming algorithms a grid can instantiate. Each is built fresh
-/// per trial from `(n_names, k)` and the shared [`RenameConfig`].
+/// The algorithm families a grid can instantiate. Each is built **once
+/// per cell** from `(n_names, k)` and the shared [`RenameConfig`]; the
+/// per-seed trials re-drive one pooled machine set over it
+/// ([`crate::runner::sweep_pool`]).
 #[derive(Clone, Copy, Debug)]
 pub enum AlgoSpec {
     /// Moir–Anderson splitter grid (baseline, `M = k(k+1)/2`).
@@ -80,32 +87,57 @@ pub enum AlgoSpec {
     Adaptive,
     /// `Majority(ℓ, N)` — Lemma 4 (may legitimately rename only half).
     Majority,
+    /// Store&collect, setting (i): `k` and `N` known — Theorem 5. The
+    /// trial is each process's first store; the claim is its adopted
+    /// value register.
+    StoreKnown,
+    /// Store&collect, setting (iv): fully adaptive — Theorem 5.
+    StoreAdaptive,
+    /// The unbounded-naming repository — Theorem 10: `k` processes each
+    /// claim this many integers per trial.
+    Naming {
+        /// Integers each process claims per trial.
+        rounds: usize,
+    },
 }
 
 impl AlgoSpec {
-    /// Builds a fresh instance for one trial.
+    /// Builds the cell's algorithm instance as a pooled-machine entry
+    /// point.
     #[must_use]
-    pub fn build(
+    pub fn build_set(
         self,
         alloc: &mut RegAlloc,
         n_names: usize,
         k: usize,
         cfg: &RenameConfig,
-    ) -> Box<dyn StepRename> {
+    ) -> AlgoSet {
         match self {
-            AlgoSpec::MoirAnderson => Box::new(MoirAnderson::new(alloc, k)),
-            AlgoSpec::Efficient => Box::new(EfficientRename::new(alloc, k, cfg)),
-            AlgoSpec::Snapshot => Box::new(SnapshotRename::new(alloc, k)),
-            AlgoSpec::Basic => Box::new(BasicRename::new(alloc, n_names, k, cfg)),
-            AlgoSpec::PolyLog => Box::new(PolyLogRename::new(alloc, n_names, k, cfg)),
-            AlgoSpec::AlmostAdaptive => Box::new(AlmostAdaptive::new(alloc, n_names, 4 * k, cfg)),
-            AlgoSpec::Adaptive => Box::new(AdaptiveRename::new(alloc, 4 * k, cfg)),
-            AlgoSpec::Majority => Box::new(Majority::new(alloc, n_names, k, cfg)),
+            AlgoSpec::MoirAnderson => AlgoSet::MoirAnderson(MoirAnderson::new(alloc, k)),
+            AlgoSpec::Efficient => AlgoSet::Rename(Box::new(EfficientRename::new(alloc, k, cfg))),
+            AlgoSpec::Snapshot => AlgoSet::SnapshotRename(SnapshotRename::new(alloc, k)),
+            AlgoSpec::Basic => AlgoSet::Rename(Box::new(BasicRename::new(alloc, n_names, k, cfg))),
+            AlgoSpec::PolyLog => {
+                AlgoSet::Rename(Box::new(PolyLogRename::new(alloc, n_names, k, cfg)))
+            }
+            AlgoSpec::AlmostAdaptive => {
+                AlgoSet::Rename(Box::new(AlmostAdaptive::new(alloc, n_names, 4 * k, cfg)))
+            }
+            AlgoSpec::Adaptive => AlgoSet::Rename(Box::new(AdaptiveRename::new(alloc, 4 * k, cfg))),
+            AlgoSpec::Majority => AlgoSet::Majority(Majority::new(alloc, n_names, k, cfg)),
+            AlgoSpec::StoreKnown => {
+                AlgoSet::StoreCollect(StoreCollect::known(alloc, k, n_names, cfg))
+            }
+            AlgoSpec::StoreAdaptive => AlgoSet::StoreCollect(StoreCollect::adaptive(alloc, k, cfg)),
+            AlgoSpec::Naming { rounds } => AlgoSet::Naming {
+                naming: UnboundedNaming::new(alloc, k),
+                rounds,
+            },
         }
     }
 
-    /// Whether the algorithm guarantees that every *surviving* contender
-    /// is named (Majority only promises half).
+    /// Whether the family guarantees that every *surviving* contender
+    /// acquires its claim (Majority only promises half).
     #[must_use]
     pub fn names_all_survivors(self) -> bool {
         !matches!(self, AlgoSpec::Majority)
@@ -183,17 +215,20 @@ impl AdversarySpec {
     }
 }
 
-/// Runs one grid scenario: for every `(N, k)` cell, sweeps the seeds
-/// through the shared [`sweep`] trial loop on one reusable, contention-
-/// measuring `StepEngine`, and emits a table with the folded worst cases
-/// and engine metrics. Safety (name exclusiveness among survivors) is
-/// asserted inside `sweep` on every trial.
+/// Runs one grid scenario: for every `(N, k)` cell, builds the
+/// algorithm instance and its machine pool **once**, then sweeps the
+/// seeds through the allocation-free pooled trial loop
+/// ([`crate::runner::sweep_pool`]) on one reusable, contention-measuring
+/// `StepEngine`, and emits a table with the folded worst cases and
+/// engine metrics. Safety (claim exclusiveness among survivors) is
+/// asserted inside the sweep on every trial. Returns the rows as JSON
+/// objects for `--json-out` artifact persistence.
 ///
 /// # Panics
 ///
-/// Panics if exclusiveness is violated, or — for algorithms that
-/// guarantee it — if a surviving contender ends up unnamed.
-pub fn run_grid(name: &str, spec: &GridSpec) {
+/// Panics if exclusiveness is violated, or — for families that
+/// guarantee it — if a surviving contender ends up without a claim.
+pub fn run_grid(name: &str, spec: &GridSpec) -> Vec<serde_json::Value> {
     let cfg = RenameConfig::default();
     let mut table = Table::new(
         format!(
@@ -222,13 +257,14 @@ pub fn run_grid(name: &str, spec: &GridSpec) {
     let mut engine = StepEngine::reusable(0)
         .measure_contention(true)
         .panic_on_budget(false);
-    for &(n_names, k) in spec.grid {
+    let mut artifact = Vec::new();
+    for &(n_names, k) in &spec.grid {
         let originals = spread_originals(k, n_names);
-        let stats: TrialStats = sweep(
+        let stats: TrialStats = sweep_pool(
             &mut engine,
             spec.seeds.clone(),
             &originals,
-            |alloc| spec.algo.build(alloc, n_names, k, &cfg),
+            |alloc| spec.algo.build_set(alloc, n_names, k, &cfg),
             |seed| spec.adversary.build(seed, k),
         );
         if spec.algo.names_all_survivors() {
@@ -237,6 +273,36 @@ pub fn run_grid(name: &str, spec: &GridSpec) {
                 "scenario {name}: survivors left unnamed at N={n_names}, k={k}"
             );
         }
+        let mut row = serde_json::Map::new();
+        row.insert("scenario".into(), serde_json::Value::String(name.into()));
+        row.insert(
+            "algo".into(),
+            serde_json::Value::String(format!("{:?}", spec.algo)),
+        );
+        row.insert(
+            "adversary".into(),
+            serde_json::Value::String(spec.adversary.label()),
+        );
+        for (key, value) in [
+            ("N", n_names as u64),
+            ("k", k as u64),
+            ("trials", stats.trials()),
+            ("named_min", stats.min_named as u64),
+            ("crashed", stats.crashed() as u64),
+            ("budget_crashed", stats.budget_crashed() as u64),
+            ("max_name", stats.max_name),
+            ("max_steps", stats.max_steps()),
+            ("total_ops", stats.metrics.total_ops),
+            ("max_contention", stats.metrics.max_contention as u64),
+            (
+                "hot_reg_ops",
+                stats.metrics.hottest_register().map_or(0, |(_, ops)| ops),
+            ),
+            ("registers", stats.registers as u64),
+        ] {
+            row.insert(key.into(), serde_json::Value::from(value));
+        }
+        artifact.push(serde_json::Value::Object(row));
         table.row(&[
             n_names.to_string(),
             k.to_string(),
@@ -257,6 +323,7 @@ pub fn run_grid(name: &str, spec: &GridSpec) {
         ]);
     }
     table.emit();
+    artifact
 }
 
 /// A table scenario entry.
@@ -347,7 +414,7 @@ pub fn registry() -> Vec<Scenario> {
             GridSpec {
                 algo: AlgoSpec::MoirAnderson,
                 adversary: AdversarySpec::Random,
-                grid: &[(16, 4), (32, 8)],
+                grid: vec![(16, 4), (32, 8)],
                 seeds: 0..3,
             },
         ),
@@ -357,7 +424,7 @@ pub fn registry() -> Vec<Scenario> {
             GridSpec {
                 algo: AlgoSpec::Efficient,
                 adversary: AdversarySpec::CrashStorm { probability: 0.05 },
-                grid: &[(32, 8), (64, 16), (128, 32)],
+                grid: vec![(32, 8), (64, 16), (128, 32)],
                 seeds: 0..10,
             },
         ),
@@ -367,7 +434,7 @@ pub fn registry() -> Vec<Scenario> {
             GridSpec {
                 algo: AlgoSpec::MoirAnderson,
                 adversary: AdversarySpec::CrashAfter { after: 6 },
-                grid: &[(32, 8), (64, 16), (128, 32)],
+                grid: vec![(32, 8), (64, 16), (128, 32)],
                 seeds: 0..10,
             },
         ),
@@ -377,7 +444,7 @@ pub fn registry() -> Vec<Scenario> {
             GridSpec {
                 algo: AlgoSpec::Adaptive,
                 adversary: AdversarySpec::Pigeonhole { lead: 8 },
-                grid: &[(64, 4), (64, 8), (256, 16)],
+                grid: vec![(64, 4), (64, 8), (256, 16)],
                 seeds: 0..10,
             },
         ),
@@ -387,7 +454,7 @@ pub fn registry() -> Vec<Scenario> {
             GridSpec {
                 algo: AlgoSpec::Basic,
                 adversary: AdversarySpec::Bursty { burst: 3 },
-                grid: &[(256, 8), (1024, 16)],
+                grid: vec![(256, 8), (1024, 16)],
                 seeds: 0..10,
             },
         ),
@@ -397,7 +464,47 @@ pub fn registry() -> Vec<Scenario> {
             GridSpec {
                 algo: AlgoSpec::Snapshot,
                 adversary: AdversarySpec::Bursty { burst: 24 },
-                grid: &[(32, 8), (64, 16)],
+                grid: vec![(32, 8), (64, 16)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "storm-storecollect",
+            "adaptive Store&Collect first stores under k−1 random crashes: value registers stay exclusive",
+            GridSpec {
+                algo: AlgoSpec::StoreAdaptive,
+                adversary: AdversarySpec::CrashStorm { probability: 0.05 },
+                grid: vec![(64, 4), (128, 8), (256, 16)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "storecollect-known",
+            "Store&Collect setting (i) first stores over the (N, k) grid",
+            GridSpec {
+                algo: AlgoSpec::StoreKnown,
+                adversary: AdversarySpec::Random,
+                grid: vec![(64, 4), (256, 8)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "naming-repository",
+            "Unbounded-Naming: k processes each claim 3 integers, claims stay exclusive",
+            GridSpec {
+                algo: AlgoSpec::Naming { rounds: 3 },
+                adversary: AdversarySpec::Random,
+                grid: vec![(16, 2), (16, 4), (16, 8)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "bursty-naming",
+            "Unbounded-Naming under burst schedules + crashless contention",
+            GridSpec {
+                algo: AlgoSpec::Naming { rounds: 2 },
+                adversary: AdversarySpec::Bursty { burst: 8 },
+                grid: vec![(16, 2), (16, 4)],
                 seeds: 0..10,
             },
         ),
@@ -410,33 +517,115 @@ pub fn find(name: &str) -> Option<Scenario> {
     registry().into_iter().find(|s| s.name == name)
 }
 
-/// Executes one scenario.
-pub fn run_scenario(scenario: &Scenario) {
+/// Executes one scenario; grid scenarios return their rows as JSON
+/// objects (tables return `None` — their bodies print and persist their
+/// own artifacts).
+pub fn run_scenario(scenario: &Scenario) -> Option<Vec<serde_json::Value>> {
     match &scenario.kind {
-        Kind::Table(run) => run(),
-        Kind::Grid(spec) => run_grid(scenario.name, spec),
+        Kind::Table(run) => {
+            run();
+            None
+        }
+        Kind::Grid(spec) => Some(run_grid(scenario.name, spec)),
     }
 }
 
-/// The `expt` multiplexer CLI: `list` prints the registry, `run <name>`
-/// executes one scenario (append `--json` for JSON-lines tables).
-/// Returns an error message for unknown commands or scenarios.
+/// CLI overrides parsed from `expt -- run <name> ...` flags.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RunOverrides {
+    /// `--seeds N`: run seeds `0..N` per cell instead of the registry
+    /// default.
+    pub seeds: Option<u64>,
+    /// `--sizes a,b,c`: replace the grid with these cells. Each entry is
+    /// `k` (the cell keeps `N = 8k`) or an explicit `N:k` pair.
+    pub sizes: Option<Vec<(usize, usize)>>,
+    /// `--json-out <path>`: persist grid rows as a JSON artifact (e.g.
+    /// `BENCH_grid.json`).
+    pub json_out: Option<String>,
+}
+
+impl RunOverrides {
+    /// Applies the overrides to a grid spec (tables ignore them).
+    fn apply(&self, spec: &mut GridSpec) {
+        if let Some(seeds) = self.seeds {
+            spec.seeds = 0..seeds;
+        }
+        if let Some(sizes) = &self.sizes {
+            spec.grid = sizes.clone();
+        }
+    }
+}
+
+/// Parses one `--sizes` entry: `k` or `N:k`.
+fn parse_size(entry: &str) -> Result<(usize, usize), String> {
+    let bad = |what: &str| format!("bad --sizes entry `{entry}`: {what}");
+    match entry.split_once(':') {
+        Some((n, k)) => {
+            let n: usize = n.parse().map_err(|_| bad("N is not a number"))?;
+            let k: usize = k.parse().map_err(|_| bad("k is not a number"))?;
+            if k == 0 || n < k {
+                return Err(bad("need N ≥ k ≥ 1"));
+            }
+            Ok((n, k))
+        }
+        None => {
+            let k: usize = entry.parse().map_err(|_| bad("k is not a number"))?;
+            if k == 0 {
+                return Err(bad("need k ≥ 1"));
+            }
+            Ok((8 * k, k))
+        }
+    }
+}
+
+/// The `expt` multiplexer CLI behind the single `expt` binary:
 ///
-/// Note that JSON output is switched by `Table::emit`, which reads the
-/// **process argv** — a `--json` in `args` only has effect when the
-/// process was launched with it (as the `expt` binary always is); the
-/// filter below merely tolerates its presence while parsing.
+/// ```text
+/// expt -- list [--filter <substr>]
+/// expt -- run <name> [--seeds N] [--sizes a,b,c | N:k,...]
+///                    [--json-out <path>] [--json]
+/// ```
+///
+/// `--seeds`/`--sizes` override a grid scenario's registry defaults;
+/// `--json-out` writes the grid rows to a JSON artifact (the repository
+/// keeps `BENCH_grid.json` next to `BENCH_engine.json`).
+///
+/// Note that JSON *table* output is switched by `Table::emit`, which
+/// reads the **process argv** — a `--json` in `args` only has effect
+/// when the process was launched with it (as the `expt` binary always
+/// is); the filter below merely tolerates its presence while parsing.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message when the command or scenario name
-/// does not resolve; the caller decides the exit code.
+/// Returns a human-readable message when the command, scenario name or
+/// a flag does not resolve; the caller decides the exit code.
 pub fn cli(args: &[String]) -> Result<(), String> {
     let args: Vec<&String> = args.iter().filter(|a| *a != "--json").collect();
     match args.first().map(|s| s.as_str()) {
         None | Some("list") => {
+            let mut filter = None;
+            let mut rest = args.iter().skip(1);
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--filter" => {
+                        filter = Some(
+                            rest.next()
+                                .ok_or_else(|| "--filter needs a substring".to_string())?
+                                .to_lowercase(),
+                        );
+                    }
+                    other => return Err(format!("unknown list flag `{other}`")),
+                }
+            }
             let mut t = Table::new("scenario registry", &["name", "kind", "summary"]);
             for s in registry() {
+                if let Some(f) = &filter {
+                    if !s.name.to_lowercase().contains(f)
+                        && !s.summary.to_lowercase().contains(f)
+                    {
+                        continue;
+                    }
+                }
                 t.row(&[
                     s.name.to_string(),
                     match s.kind {
@@ -447,14 +636,44 @@ pub fn cli(args: &[String]) -> Result<(), String> {
                 ]);
             }
             t.emit();
-            println!("\nrun one with: expt -- run <name> [--json]");
+            if t.is_empty() {
+                println!("(no scenario matches the filter)");
+            }
+            println!("
+run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>] [--json]");
             Ok(())
         }
         Some("run") => {
             let name = args
                 .get(1)
-                .ok_or_else(|| "usage: expt -- run <name> [--json]".to_string())?;
-            let scenario = find(name).ok_or_else(|| {
+                .ok_or_else(|| "usage: expt -- run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>]".to_string())?;
+            let mut overrides = RunOverrides::default();
+            let mut rest = args.iter().skip(2);
+            while let Some(flag) = rest.next() {
+                let value = |rest: &mut dyn Iterator<Item = &&String>| -> Result<String, String> {
+                    rest.next()
+                        .map(|s| (*s).clone())
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--seeds" => {
+                        let v = value(&mut rest)?;
+                        overrides.seeds =
+                            Some(v.parse().map_err(|_| format!("bad --seeds `{v}`"))?);
+                    }
+                    "--sizes" => {
+                        let v = value(&mut rest)?;
+                        overrides.sizes = Some(
+                            v.split(',')
+                                .map(parse_size)
+                                .collect::<Result<Vec<_>, _>>()?,
+                        );
+                    }
+                    "--json-out" => overrides.json_out = Some(value(&mut rest)?),
+                    other => return Err(format!("unknown run flag `{other}`")),
+                }
+            }
+            let mut scenario = find(name).ok_or_else(|| {
                 format!(
                     "unknown scenario `{name}` — try `expt -- list`; known: {}",
                     registry()
@@ -464,11 +683,25 @@ pub fn cli(args: &[String]) -> Result<(), String> {
                         .join(", ")
                 )
             })?;
-            run_scenario(&scenario);
+            if let Kind::Grid(spec) = &mut scenario.kind {
+                overrides.apply(spec);
+            } else if overrides != RunOverrides::default() {
+                return Err(format!(
+                    "scenario `{name}` is a table — --seeds/--sizes/--json-out only apply to grids"
+                ));
+            }
+            let rows = run_scenario(&scenario);
+            if let Some(path) = &overrides.json_out {
+                let rows = rows.expect("json-out rejected for tables above");
+                let doc = serde_json::Value::Array(rows);
+                std::fs::write(path, format!("{doc}\n"))
+                    .map_err(|e| format!("could not write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
             Ok(())
         }
         Some(other) => Err(format!(
-            "unknown command `{other}` — usage: expt -- (list | run <name>) [--json]"
+            "unknown command `{other}` — usage: expt -- (list [--filter <substr>] | run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>]) [--json]"
         )),
     }
 }
@@ -516,7 +749,7 @@ mod tests {
             &GridSpec {
                 algo: AlgoSpec::MoirAnderson,
                 adversary: AdversarySpec::CrashStorm { probability: 0.2 },
-                grid: &[(16, 4)],
+                grid: vec![(16, 4)],
                 seeds: 0..5,
             },
         );
@@ -537,7 +770,7 @@ mod tests {
                 &GridSpec {
                     algo: AlgoSpec::Efficient,
                     adversary: adv,
-                    grid: &[(16, 4)],
+                    grid: vec![(16, 4)],
                     seeds: 0..2,
                 },
             );
@@ -548,5 +781,88 @@ mod tests {
     fn cli_rejects_unknown_scenarios() {
         assert!(cli(&["run".into(), "no-such".into()]).is_err());
         assert!(cli(&["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn cli_rejects_bad_flags() {
+        assert!(cli(&["run".into(), "smoke".into(), "--seeds".into()]).is_err());
+        assert!(cli(&["run".into(), "smoke".into(), "--seeds".into(), "x".into()]).is_err());
+        assert!(cli(&["run".into(), "smoke".into(), "--sizes".into(), "0".into()]).is_err());
+        assert!(cli(&["run".into(), "smoke".into(), "--sizes".into(), "4:8".into()]).is_err());
+        assert!(cli(&["run".into(), "smoke".into(), "--frob".into()]).is_err());
+        assert!(cli(&["list".into(), "--frob".into()]).is_err());
+        // Table scenarios reject grid-only overrides without running.
+        assert!(cli(&[
+            "run".into(),
+            "majority".into(),
+            "--seeds".into(),
+            "1".into()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn cli_overrides_and_json_artifact() {
+        let dir = std::env::temp_dir().join(format!("exsel_grid_{}", std::process::id()));
+        let path = dir.to_string_lossy().to_string();
+        cli(&[
+            "run".into(),
+            "smoke".into(),
+            "--seeds".into(),
+            "2".into(),
+            "--sizes".into(),
+            "4,32:8".into(),
+            "--json-out".into(),
+            path.clone(),
+        ])
+        .expect("overridden smoke run succeeds");
+        let artifact = std::fs::read_to_string(&path).expect("artifact written");
+        let _ = std::fs::remove_file(&path);
+        // Two cells: bare `4` (N = 32) and explicit `32:8`; two seeds.
+        assert!(artifact.contains("\"scenario\":\"smoke\""));
+        assert!(artifact.contains("\"trials\":2"));
+        assert!(artifact.contains("\"k\":4"));
+        assert!(artifact.contains("\"k\":8"));
+    }
+
+    #[test]
+    fn parse_size_forms() {
+        assert_eq!(parse_size("4"), Ok((32, 4)));
+        assert_eq!(parse_size("64:16"), Ok((64, 16)));
+        assert!(parse_size("").is_err());
+        assert!(parse_size("x:4").is_err());
+        assert!(parse_size("4:x").is_err());
+    }
+
+    #[test]
+    fn store_and_naming_grids_run_clean() {
+        let rows = run_grid(
+            "test-store",
+            &GridSpec {
+                algo: AlgoSpec::StoreAdaptive,
+                adversary: AdversarySpec::CrashStorm { probability: 0.1 },
+                grid: vec![(32, 4)],
+                seeds: 0..3,
+            },
+        );
+        assert_eq!(rows.len(), 1);
+        run_grid(
+            "test-store-known",
+            &GridSpec {
+                algo: AlgoSpec::StoreKnown,
+                adversary: AdversarySpec::Random,
+                grid: vec![(32, 4)],
+                seeds: 0..3,
+            },
+        );
+        run_grid(
+            "test-naming",
+            &GridSpec {
+                algo: AlgoSpec::Naming { rounds: 2 },
+                adversary: AdversarySpec::Random,
+                grid: vec![(16, 3)],
+                seeds: 0..3,
+            },
+        );
     }
 }

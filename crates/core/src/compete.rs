@@ -1,6 +1,6 @@
 //! `Compete-For-Register` — Figure 1 of the paper.
 
-use exsel_shm::{drive, Ctx, Poll, RegAlloc, RegId, RegRange, ShmOp, Step, StepMachine, Word};
+use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, RegId, RegRange, ShmOp, Step, StepMachine, Word};
 
 /// A bank of *name slots*, each backed by two registers: the placeholder
 /// `HR` (a reservation) and the register `R` itself. A process wins slot
@@ -154,7 +154,17 @@ impl StepMachine for CompeteOp {
         }
     }
 
-    fn advance(&mut self, input: Word) -> Poll<bool> {
+    fn peek(&self) -> (exsel_shm::OpKind, RegId) {
+        use exsel_shm::OpKind::{Read, Write};
+        match self.state {
+            CompeteState::ReadHr | CompeteState::Verify => (Read, self.hr),
+            CompeteState::WriteHr => (Write, self.hr),
+            CompeteState::ReadR => (Read, self.r),
+            CompeteState::WriteR => (Write, self.r),
+        }
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<bool> {
         match self.state {
             CompeteState::ReadHr => {
                 if input.is_null() {
@@ -180,8 +190,12 @@ impl StepMachine for CompeteOp {
                 self.state = CompeteState::Verify;
                 Poll::Pending
             }
-            CompeteState::Verify => Poll::Ready(input == Word::Int(self.token)),
+            CompeteState::Verify => Poll::Ready(*input == Word::Int(self.token)),
         }
+    }
+
+    fn reset(&mut self, _pid: Pid) {
+        self.state = CompeteState::ReadHr;
     }
 }
 

@@ -149,6 +149,7 @@ impl StepRename for EfficientRename {
         Box::new(EfficientOp {
             algo: self,
             pid,
+            original,
             stage: EffStage::Ma(Box::new(self.ma.begin_walk(original))),
         })
     }
@@ -165,6 +166,7 @@ enum EffStage<'a> {
 pub struct EfficientOp<'a> {
     algo: &'a EfficientRename,
     pid: Pid,
+    original: u64,
     stage: EffStage<'a>,
 }
 
@@ -188,7 +190,7 @@ impl StepMachine for EfficientOp<'_> {
         }
     }
 
-    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+    fn advance(&mut self, input: &Word) -> Poll<Outcome> {
         match &mut self.stage {
             EffStage::Ma(m) => match m.advance(input) {
                 Poll::Pending => Poll::Pending,
@@ -211,6 +213,13 @@ impl StepMachine for EfficientOp<'_> {
             },
             EffStage::Final(m) => m.advance(input),
         }
+    }
+
+    fn reset(&mut self, pid: Pid) {
+        // Composite pipelines rebuild their first stage (one box); the
+        // stage machines themselves are built lazily as before.
+        self.pid = pid;
+        self.stage = EffStage::Ma(Box::new(self.algo.ma.begin_walk(self.original)));
     }
 }
 

@@ -118,7 +118,11 @@ impl StepMachine for MajorityOp<'_> {
         self.inner.op()
     }
 
-    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+    fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        self.inner.peek()
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<Outcome> {
         match self.inner.advance(input) {
             Poll::Pending => Poll::Pending,
             Poll::Ready(true) => {
@@ -137,6 +141,12 @@ impl StepMachine for MajorityOp<'_> {
                 }
             }
         }
+    }
+
+    fn reset(&mut self, _pid: Pid) {
+        self.idx = 0;
+        let first = self.algo.graph.neighbors(self.v)[0] as usize;
+        self.inner = self.algo.slots.begin_compete(first, self.original);
     }
 }
 

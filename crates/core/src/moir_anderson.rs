@@ -132,7 +132,19 @@ impl StepMachine for SplitWalkOp<'_> {
         }
     }
 
-    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+    fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        use exsel_shm::OpKind::{Read, Write};
+        let x = self.algo.regs.get(2 * self.idx());
+        let y = self.algo.regs.get(2 * self.idx() + 1);
+        match self.state {
+            SplitState::WriteX => (Write, x),
+            SplitState::ReadY => (Read, y),
+            SplitState::WriteY => (Write, y),
+            SplitState::ReadX => (Read, x),
+        }
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<Outcome> {
         match self.state {
             SplitState::WriteX => {
                 self.state = SplitState::ReadY;
@@ -151,13 +163,19 @@ impl StepMachine for SplitWalkOp<'_> {
                 Poll::Pending
             }
             SplitState::ReadX => {
-                if input == Word::Int(self.token) {
+                if *input == Word::Int(self.token) {
                     Poll::Ready(Outcome::Named(self.idx() as u64 + 1)) // stop
                 } else {
                     self.step_off(true) // down
                 }
             }
         }
+    }
+
+    fn reset(&mut self, _pid: Pid) {
+        self.row = 0;
+        self.col = 0;
+        self.state = SplitState::WriteX;
     }
 }
 

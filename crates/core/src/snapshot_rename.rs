@@ -194,7 +194,7 @@ impl StepMachine for SnapshotRenameOp<'_> {
         }
     }
 
-    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+    fn advance(&mut self, input: &Word) -> Poll<Outcome> {
         match &mut self.state {
             SrState::Update(update) => {
                 if let Poll::Ready(()) = update.advance(input) {
@@ -207,6 +207,26 @@ impl StepMachine for SnapshotRenameOp<'_> {
                 Poll::Ready(view) => self.decide(&view),
             },
         }
+    }
+
+    fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        match &self.state {
+            SrState::Update(update) => update.peek(),
+            SrState::Scan(scan) => scan.peek(),
+        }
+    }
+
+    fn reset(&mut self, _pid: Pid) {
+        // The slot is part of the machine's construction (`pid.0` when
+        // started through `StepRename::begin_rename`, the caller's slot
+        // otherwise) and stays; only the execution state re-arms.
+        self.proposal = 1;
+        self.iterations = 0;
+        self.state = SrState::Update(
+            self.algo
+                .snap
+                .begin_update(self.slot, Word::Pair(self.token, 1)),
+        );
     }
 }
 

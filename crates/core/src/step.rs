@@ -85,7 +85,11 @@ where
         self.cur.op()
     }
 
-    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+    fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        self.cur.peek()
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<Outcome> {
         match self.cur.advance(input) {
             Poll::Pending => Poll::Pending,
             Poll::Ready(Outcome::Named(w)) => Poll::Ready(Outcome::Named(self.offset + w)),
@@ -102,6 +106,17 @@ where
             }
         }
     }
+
+    fn reset(&mut self, _pid: Pid) {
+        // Re-enter stage 0; `next` closures capture only the algorithm
+        // and the original input, so calling them again is valid (and
+        // costs one boxed machine — composite renamers reset by
+        // rebuilding their current stage, not the whole chain).
+        let (cur, offset) = (self.next)(0).expect("at least one stage");
+        self.idx = 0;
+        self.cur = cur;
+        self.offset = offset;
+    }
 }
 
 /// Runs a pipeline of sub-renamings where each stage's `Named` output is
@@ -115,6 +130,7 @@ where
     next: F,
     idx: usize,
     cur: RenameMachine<'a>,
+    input: u64,
 }
 
 impl<'a, F> Piped<'a, F>
@@ -129,7 +145,12 @@ where
     /// Panics if there is no stage 0.
     pub(crate) fn new(input: u64, mut next: F) -> Self {
         let cur = next(0, input).expect("at least one stage");
-        Piped { next, idx: 0, cur }
+        Piped {
+            next,
+            idx: 0,
+            cur,
+            input,
+        }
     }
 }
 
@@ -143,7 +164,11 @@ where
         self.cur.op()
     }
 
-    fn advance(&mut self, input: Word) -> Poll<Outcome> {
+    fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        self.cur.peek()
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<Outcome> {
         match self.cur.advance(input) {
             Poll::Pending => Poll::Pending,
             Poll::Ready(Outcome::Failed) => Poll::Ready(Outcome::Failed),
@@ -158,6 +183,11 @@ where
                 }
             }
         }
+    }
+
+    fn reset(&mut self, _pid: Pid) {
+        self.cur = (self.next)(0, self.input).expect("at least one stage");
+        self.idx = 0;
     }
 }
 

@@ -26,7 +26,7 @@
 use std::sync::Arc;
 
 use crate::step::{ShmOp, StepMachine};
-use crate::{drive, Ctx, RegAlloc, RegRange, SnapRecord, Step, Word};
+use crate::{drive, Ctx, OpKind, Pid, RegAlloc, RegId, RegRange, SnapRecord, Step, Word};
 
 pub use crate::step::Poll;
 
@@ -50,11 +50,14 @@ pub struct Snapshot {
     regs: RegRange,
 }
 
-/// Interprets a raw register word as a snapshot record.
-fn as_record(word: Word, n: usize) -> Arc<SnapRecord> {
+/// The sequence number of a raw snapshot-register word — the
+/// *generation tag* of the component. `Null` (never written) is
+/// generation 0; each update strictly increases it (SWMR discipline), so
+/// equal tags mean the very same record.
+fn seq_of(word: &Word) -> u64 {
     match word {
-        Word::Null => Arc::new(SnapRecord::initial(n)),
-        Word::Snap(rec) => rec,
+        Word::Null => 0,
+        Word::Snap(rec) => rec.seq,
         other => panic!("snapshot register holds non-snapshot word {other:?}"),
     }
 }
@@ -103,7 +106,10 @@ impl Snapshot {
             regs: self.regs,
             slot,
             value,
-            state: UpdateState::Scanning(self.begin_scan()),
+            scan: self.begin_scan(),
+            view: None,
+            rec: None,
+            state: UpdateState::Scanning,
         }
     }
 
@@ -133,15 +139,26 @@ impl Snapshot {
 
 /// In-progress poll-based scan — a [`StepMachine`] performing exactly one
 /// shared-memory read per step.
+///
+/// Steady-state collects are allocation-free: the collect buffers are
+/// reused across rounds (and across trials via [`StepMachine::reset`]),
+/// and each slot's stored record carries its sequence number as a
+/// *generation tag* — a re-read whose tag matches is dropped without
+/// cloning the record's `Arc`, so quiescent registers cost no refcount
+/// traffic at all.
 #[derive(Clone, Debug)]
 pub struct ScanOp {
     regs: RegRange,
+    /// The shared never-written record (generation 0), allocated once at
+    /// construction and reinstalled — not reallocated — on reset.
+    initial: Arc<SnapRecord>,
     /// Sequence numbers seen in the previous complete collect.
     prev_seq: Vec<u64>,
     /// Whether at least one complete collect has finished.
     have_prev: bool,
-    /// Records of the collect currently in progress.
-    cur: Vec<Option<Arc<SnapRecord>>>,
+    /// Records of the collect currently in progress; `cur[j].seq` is the
+    /// generation tag guarding the `Arc` clone.
+    cur: Vec<Arc<SnapRecord>>,
     /// Next slot to read in the current collect.
     idx: usize,
     /// How many times each writer has been observed to move.
@@ -151,11 +168,13 @@ pub struct ScanOp {
 impl ScanOp {
     fn new(regs: RegRange) -> Self {
         let n = regs.len();
+        let initial = Arc::new(SnapRecord::initial(n));
         ScanOp {
             regs,
             prev_seq: vec![0; n],
             have_prev: false,
-            cur: vec![None; n],
+            cur: vec![Arc::clone(&initial); n],
+            initial,
             idx: 0,
             moved: vec![0; n],
         }
@@ -190,64 +209,91 @@ impl StepMachine for ScanOp {
         ShmOp::Read(self.regs.get(self.idx))
     }
 
-    fn advance(&mut self, input: Word) -> Poll<Arc<[Word]>> {
+    fn advance(&mut self, input: &Word) -> Poll<Arc<[Word]>> {
         let n = self.n();
-        self.cur[self.idx] = Some(as_record(input, n));
+        // Generation-tagged read: clone the record's Arc only when the
+        // register actually changed since we last stored this slot.
+        if seq_of(input) != self.cur[self.idx].seq {
+            self.cur[self.idx] = match input {
+                Word::Null => Arc::clone(&self.initial),
+                Word::Snap(rec) => Arc::clone(rec),
+                other => panic!("snapshot register holds non-snapshot word {other:?}"),
+            };
+        }
         self.idx += 1;
         if self.idx < n {
             return Poll::Pending;
         }
 
         // A collect just completed.
-        let cur_seq: Vec<u64> = self
-            .cur
-            .iter()
-            .map(|r| r.as_ref().expect("collect slot filled").seq)
-            .collect();
         if self.have_prev {
-            if cur_seq == self.prev_seq {
+            if self
+                .cur
+                .iter()
+                .zip(&self.prev_seq)
+                .all(|(rec, &prev)| rec.seq == prev)
+            {
                 // Two identical consecutive collects: direct scan.
-                let view: Vec<Word> = self
-                    .cur
-                    .iter()
-                    .map(|r| r.as_ref().expect("collect slot filled").value.clone())
-                    .collect();
+                let view: Vec<Word> = self.cur.iter().map(|r| r.value.clone()).collect();
                 return Poll::Ready(view.into());
             }
-            for (j, seq) in cur_seq.iter().enumerate() {
-                if *seq != self.prev_seq[j] {
+            for j in 0..n {
+                if self.cur[j].seq != self.prev_seq[j] {
                     self.moved[j] = self.moved[j].saturating_add(1);
                     if self.moved[j] >= 2 {
                         // Writer j completed an entire update inside our
                         // interval: borrow its embedded view.
-                        let rec = self.cur[j].as_ref().expect("collect slot filled");
-                        return Poll::Ready(rec.view.clone());
+                        return Poll::Ready(Arc::clone(&self.cur[j].view));
                     }
                 }
             }
         }
-        self.prev_seq = cur_seq;
+        for (prev, rec) in self.prev_seq.iter_mut().zip(&self.cur) {
+            *prev = rec.seq;
+        }
         self.have_prev = true;
         self.idx = 0;
         Poll::Pending
     }
+
+    fn reset(&mut self, _pid: Pid) {
+        // Stale records must go: a fresh trial restarts every writer's
+        // sequence numbers, so a leftover tag could falsely match.
+        for (slot, prev) in self.cur.iter_mut().zip(&mut self.prev_seq) {
+            *slot = Arc::clone(&self.initial);
+            *prev = 0;
+        }
+        self.have_prev = false;
+        self.idx = 0;
+        self.moved.fill(0);
+    }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum UpdateState {
-    Scanning(ScanOp),
-    ReadOwn { view: Arc<[Word]> },
-    Write(Arc<SnapRecord>),
+    Scanning,
+    ReadOwn,
+    Write,
     Done,
 }
 
 /// In-progress poll-based update — a [`StepMachine`] performing exactly
-/// one shared-memory operation per step.
+/// one shared-memory operation per step. The embedded [`ScanOp`] is a
+/// permanent field (not a state payload) so [`StepMachine::reset`]
+/// re-arms the update without reallocating the collect buffers; the one
+/// unavoidable steady-state allocation is the freshly installed
+/// [`SnapRecord`] itself — that is the copy-on-write object the readers
+/// share.
 #[derive(Clone, Debug)]
 pub struct UpdateOp {
     regs: RegRange,
     slot: usize,
     value: Word,
+    scan: ScanOp,
+    /// The view captured when the embedded scan completed.
+    view: Option<Arc<[Word]>>,
+    /// The record to install, built after the own-register read.
+    rec: Option<Arc<SnapRecord>>,
     state: UpdateState,
 }
 
@@ -274,42 +320,63 @@ impl StepMachine for UpdateOp {
     type Output = ();
 
     fn op(&self) -> ShmOp {
-        match &self.state {
-            UpdateState::Scanning(scan) => scan.op(),
-            UpdateState::ReadOwn { .. } => ShmOp::Read(self.regs.get(self.slot)),
-            UpdateState::Write(rec) => {
-                ShmOp::Write(self.regs.get(self.slot), Word::Snap(Arc::clone(rec)))
-            }
+        match self.state {
+            UpdateState::Scanning => self.scan.op(),
+            UpdateState::ReadOwn => ShmOp::Read(self.regs.get(self.slot)),
+            UpdateState::Write => ShmOp::Write(
+                self.regs.get(self.slot),
+                Word::Snap(Arc::clone(self.rec.as_ref().expect("record built"))),
+            ),
             UpdateState::Done => panic!("update driven after completion"),
         }
     }
 
-    fn advance(&mut self, input: Word) -> Poll<()> {
-        match &mut self.state {
-            UpdateState::Scanning(scan) => {
-                if let Poll::Ready(view) = scan.advance(input) {
-                    self.state = UpdateState::ReadOwn { view };
+    fn peek(&self) -> (OpKind, RegId) {
+        // The pending write is inspected by schedulers on every decision;
+        // describing it without materializing the word skips the record's
+        // Arc clone in `op()`.
+        match self.state {
+            UpdateState::Scanning => self.scan.peek(),
+            UpdateState::ReadOwn => (OpKind::Read, self.regs.get(self.slot)),
+            UpdateState::Write => (OpKind::Write, self.regs.get(self.slot)),
+            UpdateState::Done => panic!("update driven after completion"),
+        }
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<()> {
+        match self.state {
+            UpdateState::Scanning => {
+                if let Poll::Ready(view) = self.scan.advance(input) {
+                    self.view = Some(view);
+                    self.state = UpdateState::ReadOwn;
                 }
                 Poll::Pending
             }
-            UpdateState::ReadOwn { view } => {
+            UpdateState::ReadOwn => {
                 // One read of our own register to learn our sequence number
                 // (each slot is single-writer, so no one else bumps it).
-                let own = as_record(input, self.regs.len());
                 let rec = SnapRecord {
-                    seq: own.seq + 1,
+                    seq: seq_of(input) + 1,
                     value: self.value.clone(),
-                    view: view.clone(),
+                    view: self.view.take().expect("scan completed"),
                 };
-                self.state = UpdateState::Write(Arc::new(rec));
+                self.rec = Some(Arc::new(rec));
+                self.state = UpdateState::Write;
                 Poll::Pending
             }
-            UpdateState::Write(_) => {
+            UpdateState::Write => {
                 self.state = UpdateState::Done;
                 Poll::Ready(())
             }
             UpdateState::Done => panic!("update driven after completion"),
         }
+    }
+
+    fn reset(&mut self, pid: Pid) {
+        self.scan.reset(pid);
+        self.view = None;
+        self.rec = None;
+        self.state = UpdateState::Scanning;
     }
 }
 

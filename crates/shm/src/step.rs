@@ -21,13 +21,21 @@
 //! # Contract
 //!
 //! * `op()` is pure and may be called any number of times between
-//!   transitions; it describes the next operation exactly.
+//!   transitions; it describes the next operation exactly. `peek()` is
+//!   the cheap form — just `(kind, register)` — that schedulers use to
+//!   collect pending operations without materializing operand words.
 //! * `advance(input)` consumes the result of the operation last returned
-//!   by `op()` — the register's value for a read, [`Word::Null`] for a
-//!   write — and either completes with [`Poll::Ready`] or moves to the
-//!   next operation.
+//!   by `op()` — a borrow of the register's value for a read,
+//!   [`Word::Null`] for a write — and either completes with
+//!   [`Poll::Ready`] or moves to the next operation. The borrow is what
+//!   lets snapshot scanners skip cloning an `Arc`-carrying
+//!   [`Word::Snap`] when its sequence number shows the register
+//!   unchanged since their last collect.
 //! * A machine performs **at least one** operation before completing, and
 //!   neither `op` nor `advance` may be called after `Ready`.
+//! * `reset(pid)` (optional — default panics) re-initializes the machine
+//!   to its just-constructed state so pooled machines can be re-driven
+//!   across trials without reallocation; see [`StepMachine::reset`].
 //!
 //! ```
 //! use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, ShmOp, StepMachine, ThreadedShm, Word};
@@ -46,7 +54,7 @@
 //!             Some(v) => ShmOp::Write(self.reg, Word::Int(v + 1)),
 //!         }
 //!     }
-//!     fn advance(&mut self, input: Word) -> Poll<u64> {
+//!     fn advance(&mut self, input: &Word) -> Poll<u64> {
 //!         match self.seen {
 //!             None => {
 //!                 self.seen = Some(input.as_int().unwrap_or(0));
@@ -68,7 +76,7 @@
 //! # Ok::<(), exsel_shm::Crash>(())
 //! ```
 
-use crate::{Ctx, OpKind, RegId, Step, Word};
+use crate::{Ctx, OpKind, Pid, RegId, Step, Word};
 
 /// Outcome of driving a poll-based operation one shared-memory step.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -126,10 +134,40 @@ pub trait StepMachine {
     /// The next shared-memory operation. Pure; callable repeatedly.
     fn op(&self) -> ShmOp;
 
+    /// The next operation's kind and target register, without
+    /// materializing the operand word. Equivalent to (and defaulted
+    /// from) `op()`, but overridable where building the full [`ShmOp`]
+    /// costs something — e.g. a snapshot update whose pending write
+    /// would clone an `Arc`-carrying [`Word::Snap`] on every scheduler
+    /// inspection. Must agree with `op()` exactly.
+    fn peek(&self) -> (OpKind, RegId) {
+        let op = self.op();
+        (op.kind(), op.reg())
+    }
+
     /// Consumes the result of the operation last described by
-    /// [`StepMachine::op`] (the read value, or [`Word::Null`] for writes)
-    /// and transitions.
-    fn advance(&mut self, input: Word) -> Poll<Self::Output>;
+    /// [`StepMachine::op`] (a borrow of the read value, or
+    /// [`Word::Null`] for writes) and transitions. Machines that keep
+    /// the value clone it; machines that can tell from the borrow that
+    /// nothing changed (snapshot scanners comparing sequence numbers)
+    /// skip the clone.
+    fn advance(&mut self, input: &Word) -> Poll<Self::Output>;
+
+    /// Re-initializes the machine to its just-constructed state so a
+    /// pool can re-drive the same storage across trials. `pid` is the
+    /// process identity of the next trial; machines built for a specific
+    /// pid (slot-addressed algorithms) re-derive their slot from it,
+    /// everyone else may ignore it. Machines whose construction captured
+    /// a pid must be reset with that same pid.
+    ///
+    /// The default panics: only machines that opt into pooling implement
+    /// this, and a pool refuses nothing at compile time — the first
+    /// reset of an unsupported machine fails loudly instead of silently
+    /// rerunning a finished machine.
+    fn reset(&mut self, pid: Pid) {
+        let _ = pid;
+        panic!("this StepMachine does not support pooled reuse (reset)");
+    }
 
     /// Performs exactly one shared-memory operation through `ctx`.
     ///
@@ -141,11 +179,11 @@ pub trait StepMachine {
         match self.op() {
             ShmOp::Read(reg) => {
                 let value = ctx.read(reg)?;
-                Ok(self.advance(value))
+                Ok(self.advance(&value))
             }
             ShmOp::Write(reg, word) => {
                 ctx.write(reg, word)?;
-                Ok(self.advance(Word::Null))
+                Ok(self.advance(&Word::Null))
             }
         }
     }
@@ -165,8 +203,14 @@ impl<M: StepMachine + ?Sized> StepMachine for &mut M {
     fn op(&self) -> ShmOp {
         (**self).op()
     }
-    fn advance(&mut self, input: Word) -> Poll<M::Output> {
+    fn peek(&self) -> (OpKind, RegId) {
+        (**self).peek()
+    }
+    fn advance(&mut self, input: &Word) -> Poll<M::Output> {
         (**self).advance(input)
+    }
+    fn reset(&mut self, pid: Pid) {
+        (**self).reset(pid);
     }
 }
 
@@ -175,8 +219,14 @@ impl<M: StepMachine + ?Sized> StepMachine for Box<M> {
     fn op(&self) -> ShmOp {
         (**self).op()
     }
-    fn advance(&mut self, input: Word) -> Poll<M::Output> {
+    fn peek(&self) -> (OpKind, RegId) {
+        (**self).peek()
+    }
+    fn advance(&mut self, input: &Word) -> Poll<M::Output> {
         (**self).advance(input)
+    }
+    fn reset(&mut self, pid: Pid) {
+        (**self).reset(pid);
     }
 }
 
@@ -196,11 +246,17 @@ where
     fn op(&self) -> ShmOp {
         self.inner.op()
     }
-    fn advance(&mut self, input: Word) -> Poll<O> {
+    fn peek(&self) -> (OpKind, RegId) {
+        self.inner.peek()
+    }
+    fn advance(&mut self, input: &Word) -> Poll<O> {
         match self.inner.advance(input) {
             Poll::Ready(out) => Poll::Ready((self.f)(out)),
             Poll::Pending => Poll::Pending,
         }
+    }
+    fn reset(&mut self, pid: Pid) {
+        self.inner.reset(pid);
     }
 }
 
@@ -239,13 +295,16 @@ mod tests {
                 ShmOp::Write(self.reg, Word::Int(self.token))
             }
         }
-        fn advance(&mut self, input: Word) -> Poll<Word> {
+        fn advance(&mut self, input: &Word) -> Poll<Word> {
             if self.wrote {
-                Poll::Ready(input)
+                Poll::Ready(input.clone())
             } else {
                 self.wrote = true;
                 Poll::Pending
             }
+        }
+        fn reset(&mut self, _pid: Pid) {
+            self.wrote = false;
         }
     }
 
@@ -319,6 +378,49 @@ mod tests {
             wrote: false,
         };
         assert!(m.poll(ctx).is_err());
+    }
+
+    #[test]
+    fn peek_defaults_to_op() {
+        let (reg, _mem) = setup();
+        let m = WriteRead {
+            reg,
+            token: 1,
+            wrote: false,
+        };
+        assert_eq!(m.peek(), (m.op().kind(), m.op().reg()));
+    }
+
+    #[test]
+    fn reset_reinitializes_for_another_run() {
+        let (reg, mem) = setup();
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut m = WriteRead {
+            reg,
+            token: 5,
+            wrote: false,
+        };
+        assert_eq!(drive(&mut m, ctx).unwrap(), Word::Int(5));
+        m.reset(Pid(0));
+        assert_eq!(m.op().kind(), OpKind::Write);
+        assert_eq!(drive(&mut m, ctx).unwrap(), Word::Int(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support pooled reuse")]
+    fn reset_defaults_to_a_loud_panic() {
+        struct NoReset(RegId);
+        impl StepMachine for NoReset {
+            type Output = ();
+            fn op(&self) -> ShmOp {
+                ShmOp::Read(self.0)
+            }
+            fn advance(&mut self, _input: &Word) -> Poll<()> {
+                Poll::Ready(())
+            }
+        }
+        let (reg, _mem) = setup();
+        NoReset(reg).reset(Pid(0));
     }
 
     #[test]

@@ -15,19 +15,26 @@
 //! and you care about speed or scale — exhaustive exploration, adversary
 //! searches, crash storms over thousands of processes.
 //!
-//! # Reuse
+//! # Reuse and the machine pool
 //!
 //! An engine is **reusable**: [`StepEngine::run_trial`] runs one
 //! execution under a caller-supplied policy and keeps the register bank,
 //! pending-op scratch, crash vector and metric histograms allocated for
 //! the next trial ([`StepEngine::reset`] re-initializes them in place).
-//! Seed sweeps and schedule exploration run thousands of trials; reusing
-//! one engine removes every per-trial allocation except the machines
-//! themselves. The exception is trace recording: with
-//! [`StepEngine::record_trace`] on, each trial's trace buffer is moved
-//! into its outcome (no copy), so the next traced trial grows a fresh
-//! one. A reused engine is observationally identical to a fresh one:
-//! same policy + seed ⇒ same trace (this is tested).
+//! [`StepEngine::run_pool`] goes further: driving a
+//! [`crate::MachinePool`] re-initializes the *machines* in place too
+//! ([`StepMachine::reset`]) and lands results in the pool's own buffers,
+//! so steady-state trials perform **zero heap allocations**
+//! (`tests/alloc_free.rs` proves it with a counting allocator). The
+//! pending set the policy consults is maintained incrementally — one
+//! [`StepMachine::peek`] per *grant*, not one per live machine per
+//! decision; the rebuild-per-decision reference loop survives behind
+//! [`StepEngine::pending_rebuild`] for differential tests and A/B
+//! benchmarks. With [`StepEngine::record_trace`] on, `run_trial` moves
+//! each trial's trace buffer into its outcome (no copy) while pooled
+//! trials leave it readable via [`StepEngine::trace`]. A reused engine —
+//! pooled or not — is observationally identical to a fresh one: same
+//! policy + seed ⇒ same trace (this is tested).
 //!
 //! Per-trial [`Metrics`] (operation mix, ops per register, crash causes,
 //! contention) are collected during the grant loop and read back with
@@ -48,8 +55,8 @@
 //!     fn op(&self) -> ShmOp {
 //!         if self.wrote { ShmOp::Read(self.reg) } else { ShmOp::Write(self.reg, Word::Int(self.id)) }
 //!     }
-//!     fn advance(&mut self, input: Word) -> Poll<Word> {
-//!         if self.wrote { Poll::Ready(input) } else { self.wrote = true; Poll::Pending }
+//!     fn advance(&mut self, input: &Word) -> Poll<Word> {
+//!         if self.wrote { Poll::Ready(input.clone()) } else { self.wrote = true; Poll::Pending }
 //!     }
 //! }
 //!
@@ -66,10 +73,14 @@
 //! assert_eq!(outcome.steps, vec![2, 2, 2]);
 //! ```
 
-use exsel_shm::{Crash, Pid, Poll, ShmOp, StepMachine, Word};
+use exsel_shm::{Crash, OpKind, Pid, Poll, ShmOp, StepMachine, Word};
 
 use crate::policy::{Action, PendingOp, Policy};
+use crate::pool::MachinePool;
 use crate::runner::SimOutcome;
+
+/// The input handed to a machine consuming a granted write.
+const NULL_WORD: Word = Word::Null;
 
 /// Counters collected by [`StepEngine`] during one trial's grant loop,
 /// read back with [`StepEngine::metrics`] after the trial. Reset by
@@ -168,16 +179,28 @@ pub struct StepEngine {
     record_trace: bool,
     measure_contention: bool,
     panic_on_budget: bool,
+    pending_rebuild: bool,
     // Scratch reused across trials — the point of `reset`/`run_trial`:
     // the register bank, the pending-op buffer, the per-pid crash
     // vector, the trace storage and the metric histograms keep their
     // capacity from one trial to the next.
     regs: Vec<Word>,
+    /// Whether `run_trial` moved the last trial's trace into its outcome
+    /// (pooled trials leave it in place; see [`StepEngine::trace`]).
+    trace_moved: bool,
     pending: Vec<PendingOp>,
+    /// `pending_pos[pid]` is pid's index into `pending`, or
+    /// [`NOT_PENDING`]: the pending set is maintained *incrementally* —
+    /// only the granted machine's entry changes per decision — instead
+    /// of being rebuilt with one `peek` per live machine per decision.
+    pending_pos: Vec<usize>,
     crashed: Vec<CrashKind>,
     trace: Vec<PendingOp>,
     metrics: Metrics,
 }
+
+/// Sentinel in `pending_pos` for completed/crashed processes.
+const NOT_PENDING: usize = usize::MAX;
 
 impl StepEngine {
     fn with_policy(num_registers: usize, policy: Option<Box<dyn Policy>>) -> Self {
@@ -188,8 +211,11 @@ impl StepEngine {
             record_trace: false,
             measure_contention: false,
             panic_on_budget: true,
+            pending_rebuild: false,
             regs: Vec::new(),
+            trace_moved: false,
             pending: Vec::new(),
+            pending_pos: Vec::new(),
             crashed: Vec::new(),
             trace: Vec::new(),
             metrics: Metrics::default(),
@@ -237,6 +263,19 @@ impl StepEngine {
         self
     }
 
+    /// Rebuilds the pending set from scratch before every decision (one
+    /// [`StepMachine::peek`] per live machine per decision) instead of
+    /// maintaining it incrementally. This is the pre-optimization grant
+    /// loop, kept as the obviously-correct reference: differential tests
+    /// assert the incremental loop is trace-identical to it, and the
+    /// bench layer uses it as the measured baseline for the
+    /// `machine_pool/*` rows. Off by default.
+    #[must_use]
+    pub fn pending_rebuild(mut self, on: bool) -> Self {
+        self.pending_rebuild = on;
+        self
+    }
+
     /// Whether exhausting the operation budget panics (the default —
     /// every algorithm in this stack is supposed to be wait-free, so a
     /// blown budget means a livelock bug). With `false`, the survivors
@@ -272,6 +311,7 @@ impl StepEngine {
         self.regs.clear();
         self.regs.resize(self.num_registers, Word::Null);
         self.trace.clear();
+        self.trace_moved = false;
         self.metrics.reset(self.num_registers);
     }
 
@@ -300,26 +340,167 @@ impl StepEngine {
     /// first). The policy is borrowed per trial so seeded policies can be
     /// rebuilt — or deliberately continued — across trials by the caller.
     ///
+    /// This is the boxed compatibility path: it allocates result and
+    /// step vectors (they are moved into the outcome) and the machines
+    /// themselves were boxed by the caller. Hot trial loops use
+    /// [`StepEngine::run_pool`] instead, which re-drives pooled machine
+    /// storage with zero steady-state allocations.
+    ///
     /// # Panics
     ///
     /// As [`StepEngine::run`], except for the missing-policy case.
     pub fn run_trial<T>(
         &mut self,
         policy: &mut dyn Policy,
-        machines: Vec<Box<dyn StepMachine<Output = T> + '_>>,
+        mut machines: Vec<Box<dyn StepMachine<Output = T> + '_>>,
     ) -> SimOutcome<T> {
         self.reset();
         let n = machines.len();
-        let mut live: Vec<Option<Box<dyn StepMachine<Output = T> + '_>>> =
-            machines.into_iter().map(Some).collect();
-        let mut live_count = n;
         let mut results: Vec<Option<Result<T, Crash>>> = (0..n).map(|_| None).collect();
         let mut steps = vec![0u64; n];
+        self.drive_machines(policy, &mut machines, &mut results, &mut steps);
+
+        SimOutcome {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("result recorded"))
+                .collect(),
+            steps,
+            crashed: self.adversary_crashed().collect(),
+            budget_crashed: self.budget_crashed().collect(),
+            total_ops: self.metrics.total_ops,
+            // Hand the outcome the buffer itself — no O(total_ops)
+            // copy; `reset` regrows it for the next trial.
+            trace: self.record_trace.then(|| {
+                self.trace_moved = true;
+                std::mem::take(&mut self.trace)
+            }),
+        }
+    }
+
+    /// Runs one trial over a [`MachinePool`]: every machine is reset in
+    /// place ([`StepMachine::reset`]) and re-driven, results and step
+    /// counts land in the pool's own buffers, and nothing is allocated
+    /// once the pool and engine have reached their steady-state
+    /// capacities — the allocation-free trial loop that grid sweeps and
+    /// exploration walks sit on. Read the trial back through the pool's
+    /// accessors, [`StepEngine::metrics`], [`StepEngine::trace`] and the
+    /// crash-cause iterators.
+    ///
+    /// # Panics
+    ///
+    /// As [`StepEngine::run_trial`]; additionally panics if a pooled
+    /// machine does not implement [`StepMachine::reset`].
+    pub fn run_pool<M: StepMachine>(&mut self, policy: &mut dyn Policy, pool: &mut MachinePool<M>) {
+        self.reset();
+        pool.begin_trial();
+        let (machines, results, steps) = pool.trial_buffers();
+        self.drive_machines(policy, machines, results, steps);
+    }
+
+    /// The last trial's granted schedule, when
+    /// [`StepEngine::record_trace`] is on and the trace has not been
+    /// moved into a [`SimOutcome`] — pooled trials leave it in place;
+    /// after a boxed [`StepEngine::run_trial`] (which moves the buffer
+    /// into its outcome) this is `None` until the next trial.
+    #[must_use]
+    pub fn trace(&self) -> Option<&[PendingOp]> {
+        (self.record_trace && !self.trace_moved).then_some(self.trace.as_slice())
+    }
+
+    /// Processes the policy crashed in the last trial, in pid order.
+    pub fn adversary_crashed(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.crashed_of(CrashKind::Adversary)
+    }
+
+    /// Processes the operation budget crashed in the last trial, in pid
+    /// order (only reachable with [`StepEngine::panic_on_budget`] off).
+    pub fn budget_crashed(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.crashed_of(CrashKind::Budget)
+    }
+
+    fn crashed_of(&self, kind: CrashKind) -> impl Iterator<Item = Pid> + '_ {
+        self.crashed
+            .iter()
+            .enumerate()
+            .filter_map(move |(pid, &c)| (c == kind).then_some(Pid(pid)))
+    }
+
+    /// Drops the granted-or-crashed process at `pending[idx]` from the
+    /// maintained pending set, keeping it sorted by pid.
+    fn remove_pending(&mut self, idx: usize) {
+        let pid = self.pending.remove(idx).pid;
+        self.pending_pos[pid.0] = NOT_PENDING;
+        for entry in &self.pending[idx..] {
+            self.pending_pos[entry.pid.0] -= 1;
+        }
+    }
+
+    /// The grant loop shared by every trial entry point, generic over the
+    /// machine storage: `machines[i]` is process `Pid(i)`; a process is
+    /// live while `results[i]` is `None`.
+    ///
+    /// The pending set the policy consults is maintained
+    /// **incrementally**: it is built once at trial start, and each
+    /// decision only touches the granted machine's entry (one
+    /// [`StepMachine::peek`]) or removes a finished one — not one peek
+    /// per live machine per decision. Reads hand machines a borrow of
+    /// the register word (no clone — snapshot scanners exploit this);
+    /// the operand word of a write is materialized exactly once, at the
+    /// grant.
+    fn drive_machines<M: StepMachine>(
+        &mut self,
+        policy: &mut dyn Policy,
+        machines: &mut [M],
+        results: &mut [Option<Result<M::Output, Crash>>],
+        steps: &mut [u64],
+    ) {
+        let n = machines.len();
+        debug_assert!(results.iter().all(Option::is_none));
         self.crashed.clear();
         self.crashed.resize(n, CrashKind::None);
+        let mut live_count = n;
         let mut total_ops = 0u64;
 
+        let rebuild = |pending: &mut Vec<PendingOp>,
+                       pending_pos: &mut Vec<usize>,
+                       machines: &[M],
+                       results: &[Option<Result<M::Output, Crash>>],
+                       steps: &[u64]| {
+            pending.clear();
+            pending_pos.clear();
+            pending_pos.resize(machines.len(), NOT_PENDING);
+            for (pid, machine) in machines.iter().enumerate() {
+                if results[pid].is_none() {
+                    let (kind, reg) = machine.peek();
+                    pending_pos[pid] = pending.len();
+                    pending.push(PendingOp {
+                        pid: Pid(pid),
+                        kind,
+                        reg,
+                        step_index: steps[pid],
+                    });
+                }
+            }
+        };
+        rebuild(
+            &mut self.pending,
+            &mut self.pending_pos,
+            machines,
+            results,
+            steps,
+        );
+
         while live_count > 0 {
+            if self.pending_rebuild {
+                rebuild(
+                    &mut self.pending,
+                    &mut self.pending_pos,
+                    machines,
+                    results,
+                    steps,
+                );
+            }
             if total_ops >= self.max_total_ops {
                 assert!(
                     !self.panic_on_budget,
@@ -329,36 +510,24 @@ impl StepEngine {
                 // Crash the survivors, attributing the crash to the
                 // budget so outcomes and metrics can tell it apart from
                 // an adversary Action::Crash.
-                for (pid, slot) in live.iter_mut().enumerate() {
-                    if slot.take().is_some() {
+                for (pid, result) in results.iter_mut().enumerate() {
+                    if result.is_none() {
                         self.crashed[pid] = CrashKind::Budget;
                         self.metrics.budget_crashes += 1;
-                        results[pid] = Some(Err(Crash));
+                        *result = Some(Err(Crash));
                     }
                 }
                 break;
             }
 
-            self.pending.clear();
-            for (pid, slot) in live.iter().enumerate() {
-                if let Some(machine) = slot {
-                    let op = machine.op();
-                    self.pending.push(PendingOp {
-                        pid: Pid(pid),
-                        kind: op.kind(),
-                        reg: op.reg(),
-                        step_index: steps[pid],
-                    });
-                }
-            }
-
             match policy.decide(&self.pending) {
                 Action::Grant(pid) => {
-                    let machine = live[pid.0]
-                        .as_mut()
-                        .unwrap_or_else(|| panic!("policy granted non-pending process {pid}"));
-                    let op = machine.op();
-                    let (kind, reg) = (op.kind(), op.reg());
+                    let idx = self.pending_pos[pid.0];
+                    assert!(
+                        idx != NOT_PENDING,
+                        "policy granted non-pending process {pid}"
+                    );
+                    let PendingOp { kind, reg, .. } = self.pending[idx];
                     assert!(
                         reg.0 < self.regs.len(),
                         "register {reg} out of range ({} registers)",
@@ -368,18 +537,6 @@ impl StepEngine {
                         let contention = self.pending.iter().filter(|p| p.reg == reg).count();
                         self.metrics.max_contention = self.metrics.max_contention.max(contention);
                     }
-                    // Perform the granted operation in place.
-                    let input = match op {
-                        ShmOp::Read(_) => {
-                            self.metrics.reads += 1;
-                            self.regs[reg.0].clone()
-                        }
-                        ShmOp::Write(_, word) => {
-                            self.metrics.writes += 1;
-                            self.regs[reg.0] = word;
-                            Word::Null
-                        }
-                    };
                     self.metrics.ops_per_register[reg.0] += 1;
                     if self.record_trace {
                         self.trace.push(PendingOp {
@@ -391,22 +548,54 @@ impl StepEngine {
                     }
                     steps[pid.0] += 1;
                     total_ops += 1;
-                    if let Poll::Ready(out) = machine.advance(input) {
-                        results[pid.0] = Some(Ok(out));
-                        live[pid.0] = None;
-                        live_count -= 1;
+                    // Perform the granted operation in place; reads pass
+                    // the machine a borrow of the register word.
+                    let machine = &mut machines[pid.0];
+                    let poll = match kind {
+                        OpKind::Read => {
+                            self.metrics.reads += 1;
+                            machine.advance(&self.regs[reg.0])
+                        }
+                        OpKind::Write => {
+                            self.metrics.writes += 1;
+                            let ShmOp::Write(_, word) = machine.op() else {
+                                panic!("machine peek/op disagree on pending operation")
+                            };
+                            self.regs[reg.0] = word;
+                            machine.advance(&NULL_WORD)
+                        }
+                    };
+                    match poll {
+                        Poll::Ready(out) => {
+                            results[pid.0] = Some(Ok(out));
+                            live_count -= 1;
+                            if !self.pending_rebuild {
+                                self.remove_pending(idx);
+                            }
+                        }
+                        Poll::Pending => {
+                            if !self.pending_rebuild {
+                                let (kind, reg) = machines[pid.0].peek();
+                                self.pending[idx] = PendingOp {
+                                    pid,
+                                    kind,
+                                    reg,
+                                    step_index: steps[pid.0],
+                                };
+                            }
+                        }
                     }
                 }
                 Action::Crash(pid) => {
-                    assert!(
-                        live[pid.0].is_some(),
-                        "policy crashed non-live process {pid}"
-                    );
-                    live[pid.0] = None;
+                    let idx = self.pending_pos[pid.0];
+                    assert!(idx != NOT_PENDING, "policy crashed non-live process {pid}");
                     live_count -= 1;
                     self.crashed[pid.0] = CrashKind::Adversary;
                     self.metrics.adversary_crashes += 1;
                     results[pid.0] = Some(Err(Crash));
+                    if !self.pending_rebuild {
+                        self.remove_pending(idx);
+                    }
                 }
             }
         }
@@ -414,27 +603,6 @@ impl StepEngine {
         self.metrics.trials = 1;
         self.metrics.total_ops = total_ops;
         self.metrics.max_steps = steps.iter().copied().max().unwrap_or(0);
-
-        let crashed_by = |kind: CrashKind| -> Vec<Pid> {
-            self.crashed
-                .iter()
-                .enumerate()
-                .filter_map(|(pid, &c)| (c == kind).then_some(Pid(pid)))
-                .collect()
-        };
-        SimOutcome {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("result recorded"))
-                .collect(),
-            steps,
-            crashed: crashed_by(CrashKind::Adversary),
-            budget_crashed: crashed_by(CrashKind::Budget),
-            total_ops,
-            // Hand the outcome the buffer itself — no O(total_ops)
-            // copy; `reset` regrows it for the next trial.
-            trace: self.record_trace.then(|| std::mem::take(&mut self.trace)),
-        }
     }
 }
 
@@ -475,9 +643,9 @@ mod tests {
                 ShmOp::Read(self.reg)
             }
         }
-        fn advance(&mut self, input: Word) -> Poll<Word> {
+        fn advance(&mut self, input: &Word) -> Poll<Word> {
             if !self.done_ops.is_multiple_of(2) {
-                self.last_read = input;
+                self.last_read = input.clone();
             }
             self.done_ops += 1;
             if self.done_ops == 2 * self.rounds {
@@ -528,12 +696,12 @@ mod tests {
             threaded
                 .results
                 .iter()
-                .map(|r| r.clone().unwrap())
+                .map(|r| r.as_ref().unwrap())
                 .collect::<Vec<_>>(),
             engine
                 .results
                 .iter()
-                .map(|r| r.clone().unwrap())
+                .map(|r| r.as_ref().unwrap())
                 .collect::<Vec<_>>(),
         );
     }
@@ -607,7 +775,7 @@ mod tests {
             fn op(&self) -> ShmOp {
                 ShmOp::Read(self.0)
             }
-            fn advance(&mut self, _input: Word) -> Poll<()> {
+            fn advance(&mut self, _input: &Word) -> Poll<()> {
                 Poll::Pending
             }
         }
@@ -630,7 +798,7 @@ mod tests {
             fn op(&self) -> ShmOp {
                 ShmOp::Read(self.0)
             }
-            fn advance(&mut self, _input: Word) -> Poll<()> {
+            fn advance(&mut self, _input: &Word) -> Poll<()> {
                 Poll::Pending
             }
         }
@@ -682,6 +850,43 @@ mod tests {
     }
 
     #[test]
+    fn incremental_pending_is_trace_identical_to_rebuild() {
+        // The maintained pending set must present policies with exactly
+        // the view the rebuild-per-decision reference loop builds —
+        // including under crashes and completions.
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        for seed in 0..12u64 {
+            let reference = StepEngine::new(
+                alloc.total(),
+                Box::new(CrashStorm::new(
+                    Box::new(RandomPolicy::new(seed)),
+                    !seed,
+                    0.1,
+                    2,
+                )),
+            )
+            .pending_rebuild(true)
+            .record_trace(true)
+            .run(hammer_machines(bank, 5, 4));
+            let incremental = StepEngine::new(
+                alloc.total(),
+                Box::new(CrashStorm::new(
+                    Box::new(RandomPolicy::new(seed)),
+                    !seed,
+                    0.1,
+                    2,
+                )),
+            )
+            .record_trace(true)
+            .run(hammer_machines(bank, 5, 4));
+            assert_eq!(reference.trace, incremental.trace, "seed {seed}");
+            assert_eq!(reference.steps, incremental.steps, "seed {seed}");
+            assert_eq!(reference.crashed, incremental.crashed, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn metrics_count_the_grant_loop() {
         let mut alloc = RegAlloc::new();
         let bank = alloc.reserve(1);
@@ -722,7 +927,7 @@ mod tests {
             fn op(&self) -> ShmOp {
                 ShmOp::Read(self.0)
             }
-            fn advance(&mut self, _input: Word) -> Poll<()> {
+            fn advance(&mut self, _input: &Word) -> Poll<()> {
                 Poll::Ready(())
             }
         }
@@ -748,7 +953,7 @@ mod tests {
             fn op(&self) -> ShmOp {
                 ShmOp::Read(RegId(5))
             }
-            fn advance(&mut self, _input: Word) -> Poll<()> {
+            fn advance(&mut self, _input: &Word) -> Poll<()> {
                 Poll::Ready(())
             }
         }

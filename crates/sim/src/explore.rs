@@ -41,6 +41,7 @@ use exsel_shm::{Ctx, Pid, Step, StepMachine};
 
 use crate::engine::StepEngine;
 use crate::policy::{Action, PendingOp, Policy};
+use crate::pool::MachinePool;
 use crate::runner::{SimBuilder, SimOutcome};
 
 /// Outcome of an exhaustive exploration.
@@ -68,6 +69,43 @@ struct Cursor {
     degrees: Vec<usize>,
 }
 
+impl Cursor {
+    /// One scheduling decision at `depth` following the prefix
+    /// (0-extended past its end), recording the branching degree.
+    fn decide(&mut self, depth: usize, pending: &[PendingOp]) -> Action {
+        let choice = if depth < self.prefix.len() {
+            self.prefix[depth]
+        } else {
+            self.prefix.push(0);
+            0
+        };
+        if depth < self.degrees.len() {
+            self.degrees[depth] = pending.len();
+        } else {
+            self.degrees.push(pending.len());
+        }
+        Action::Grant(pending[choice.min(pending.len() - 1)].pid)
+    }
+
+    /// Advances the odometer to the next unexplored schedule: finds the
+    /// deepest decision with an untried branch, increments it, truncates
+    /// everything below. Returns `false` when the tree is exhausted.
+    fn advance(&mut self) -> bool {
+        for i in (0..self.prefix.len()).rev() {
+            if self.prefix[i] + 1 < self.degrees[i] {
+                self.prefix[i] += 1;
+                self.prefix.truncate(i + 1);
+                self.degrees.truncate(i + 1);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The thread-backed explorer policy: the cursor is shared with the
+/// driver across the scheduler's thread boundary, so it sits behind a
+/// mutex.
 struct ExplorerPolicy {
     cursor: Arc<Mutex<Cursor>>,
     depth: usize,
@@ -76,20 +114,25 @@ struct ExplorerPolicy {
 impl Policy for ExplorerPolicy {
     fn decide(&mut self, pending: &[PendingOp]) -> Action {
         let mut cur = self.cursor.lock().expect("cursor lock");
-        let choice = if self.depth < cur.prefix.len() {
-            cur.prefix[self.depth]
-        } else {
-            cur.prefix.push(0);
-            0
-        };
-        if self.depth < cur.degrees.len() {
-            cur.degrees[self.depth] = pending.len();
-        } else {
-            cur.degrees.push(pending.len());
-        }
-        let pid = pending[choice.min(pending.len() - 1)].pid;
+        let action = cur.decide(self.depth, pending);
         self.depth += 1;
-        Action::Grant(pid)
+        action
+    }
+}
+
+/// The engine-side explorer policy: the driver hands the cursor in and
+/// takes it back between runs, so decisions are lock-free and the
+/// prefix/degree buffers are reused across the whole walk.
+struct OwnedExplorer {
+    cursor: Cursor,
+    depth: usize,
+}
+
+impl Policy for OwnedExplorer {
+    fn decide(&mut self, pending: &[PendingOp]) -> Action {
+        let action = self.cursor.decide(self.depth, pending);
+        self.depth += 1;
+        action
     }
 }
 
@@ -116,8 +159,9 @@ where
     F: Fn(Ctx<'_>) -> Step<T> + Sync,
     C: Fn(&SimOutcome<T>),
 {
-    explore_driver(max_executions, check, |policy| {
-        SimBuilder::new(num_registers, policy).run(num_procs, &body)
+    explore_driver_threaded(max_executions, |policy| {
+        let outcome = SimBuilder::new(num_registers, Box::new(policy)).run(num_procs, &body);
+        check(&outcome);
     })
 }
 
@@ -144,21 +188,85 @@ where
     C: Fn(&SimOutcome<T>),
 {
     let mut engine = StepEngine::reusable(num_registers);
-    explore_driver(max_executions, check, |mut policy| {
-        engine.run_trial(
-            policy.as_mut(),
-            (0..num_procs).map(Pid).map(&factory).collect(),
-        )
+    explore_engine_with(&mut engine, num_procs, max_executions, factory, check)
+}
+
+/// [`explore_engine`] over a caller-configured reusable engine (e.g.
+/// one with [`StepEngine::pending_rebuild`] on, for A/B measurements of
+/// the grant loop itself).
+///
+/// # Panics
+///
+/// As [`explore_engine`].
+pub fn explore_engine_with<'a, T, F, C>(
+    engine: &mut StepEngine,
+    num_procs: usize,
+    max_executions: u64,
+    factory: F,
+    check: C,
+) -> ExploreReport
+where
+    F: Fn(Pid) -> Box<dyn StepMachine<Output = T> + 'a>,
+    C: Fn(&SimOutcome<T>),
+{
+    explore_driver_engine(max_executions, |policy| {
+        let outcome = engine.run_trial(policy, (0..num_procs).map(Pid).map(&factory).collect());
+        check(&outcome);
     })
 }
 
-/// The depth-first odometer shared by both explore backends: re-runs the
-/// program under [`ExplorerPolicy`] prefixes until the whole schedule
-/// tree is covered (or `max_executions` truncates the walk).
-fn explore_driver<T, C, R>(max_executions: u64, check: C, mut run_one: R) -> ExploreReport
+/// [`explore_engine`] over a caller-built [`MachinePool`]: the machines
+/// are built **once** and reset in place for every execution of the
+/// walk, so the only remaining per-execution work is the grant loop
+/// itself — the allocation-free form of exhaustive exploration. `check`
+/// reads each complete execution back through the pool's accessors.
+///
+/// # Panics
+///
+/// Propagates panics from the machines and `check`; panics if a pooled
+/// machine does not implement [`StepMachine::reset`].
+pub fn explore_pool<M, C>(
+    num_registers: usize,
+    pool: &mut MachinePool<M>,
+    max_executions: u64,
+    check: C,
+) -> ExploreReport
 where
-    C: Fn(&SimOutcome<T>),
-    R: FnMut(Box<dyn Policy>) -> SimOutcome<T>,
+    M: StepMachine,
+    C: FnMut(&MachinePool<M>),
+{
+    let mut engine = StepEngine::reusable(num_registers);
+    explore_pool_with(&mut engine, pool, max_executions, check)
+}
+
+/// [`explore_pool`] over a caller-configured reusable engine.
+///
+/// # Panics
+///
+/// As [`explore_pool`].
+pub fn explore_pool_with<M, C>(
+    engine: &mut StepEngine,
+    pool: &mut MachinePool<M>,
+    max_executions: u64,
+    mut check: C,
+) -> ExploreReport
+where
+    M: StepMachine,
+    C: FnMut(&MachinePool<M>),
+{
+    explore_driver_engine(max_executions, |policy| {
+        engine.run_pool(policy, pool);
+        check(pool);
+    })
+}
+
+/// The depth-first odometer driving the thread-backed explorer: the
+/// cursor crosses the scheduler's thread boundary, so it is shared
+/// behind a mutex. `run_and_check` executes one run under the given
+/// policy and applies the caller's checker to it.
+fn explore_driver_threaded<R>(max_executions: u64, mut run_and_check: R) -> ExploreReport
+where
+    R: FnMut(ExplorerPolicy),
 {
     let cursor = Arc::new(Mutex::new(Cursor::default()));
     let mut executions = 0;
@@ -172,38 +280,57 @@ where
             };
         }
         // One run following the current prefix (0-extended past its end).
-        let policy = ExplorerPolicy {
+        run_and_check(ExplorerPolicy {
             cursor: Arc::clone(&cursor),
             depth: 0,
-        };
-        let outcome = run_one(Box::new(policy));
+        });
         executions += 1;
-        check(&outcome);
 
-        // Advance the odometer: find the deepest decision with an untried
-        // branch, increment it, truncate everything below.
         let mut cur = cursor.lock().expect("cursor lock");
         max_depth = max_depth.max(cur.prefix.len());
-        let mut next = None;
-        for i in (0..cur.prefix.len()).rev() {
-            if cur.prefix[i] + 1 < cur.degrees[i] {
-                next = Some(i);
-                break;
-            }
+        if !cur.advance() {
+            return ExploreReport {
+                executions,
+                complete: true,
+                max_depth,
+            };
         }
-        match next {
-            Some(i) => {
-                cur.prefix[i] += 1;
-                cur.prefix.truncate(i + 1);
-                cur.degrees.truncate(i + 1);
-            }
-            None => {
-                return ExploreReport {
-                    executions,
-                    complete: true,
-                    max_depth,
-                };
-            }
+    }
+}
+
+/// The same odometer for the single-threaded engine backends: the
+/// cursor lives in an [`OwnedExplorer`] the driver keeps between runs —
+/// no locks on the decision path, and the prefix/degree buffers are
+/// reused across the entire walk.
+fn explore_driver_engine<R>(max_executions: u64, mut run_one: R) -> ExploreReport
+where
+    R: FnMut(&mut OwnedExplorer),
+{
+    let mut policy = OwnedExplorer {
+        cursor: Cursor::default(),
+        depth: 0,
+    };
+    let mut executions = 0;
+    let mut max_depth = 0;
+    loop {
+        if executions >= max_executions {
+            return ExploreReport {
+                executions,
+                complete: false,
+                max_depth,
+            };
+        }
+        policy.depth = 0;
+        run_one(&mut policy);
+        executions += 1;
+
+        max_depth = max_depth.max(policy.cursor.prefix.len());
+        if !policy.cursor.advance() {
+            return ExploreReport {
+                executions,
+                complete: true,
+                max_depth,
+            };
         }
     }
 }
@@ -333,13 +460,16 @@ mod tests {
                 exsel_shm::ShmOp::Write(self.reg, Word::Int(self.id))
             }
         }
-        fn advance(&mut self, input: Word) -> exsel_shm::Poll<u64> {
+        fn advance(&mut self, input: &Word) -> exsel_shm::Poll<u64> {
             if self.wrote {
                 exsel_shm::Poll::Ready(input.expect_int())
             } else {
                 self.wrote = true;
                 exsel_shm::Poll::Pending
             }
+        }
+        fn reset(&mut self, _pid: Pid) {
+            self.wrote = false;
         }
     }
 
@@ -392,7 +522,7 @@ mod tests {
                     Some(v) => exsel_shm::ShmOp::Write(self.reg, Word::Int(v + 1)),
                 }
             }
-            fn advance(&mut self, input: Word) -> exsel_shm::Poll<u64> {
+            fn advance(&mut self, input: &Word) -> exsel_shm::Poll<u64> {
                 match self.seen {
                     None => {
                         self.seen = Some(input.as_int().unwrap_or(0));
@@ -400,6 +530,9 @@ mod tests {
                     }
                     Some(v) => exsel_shm::Poll::Ready(v),
                 }
+            }
+            fn reset(&mut self, _pid: Pid) {
+                self.seen = None;
             }
         }
         use std::sync::atomic::{AtomicBool, Ordering};
@@ -432,5 +565,43 @@ mod tests {
             saw_race.load(Ordering::SeqCst),
             "exploration missed the race"
         );
+    }
+
+    #[test]
+    fn pooled_explore_matches_factory_explore() {
+        // The same program explored with per-execution boxed machines
+        // and with one reset-in-place pool: identical tree walks.
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(1);
+        let factory = explore_engine(
+            alloc.total(),
+            2,
+            10_000,
+            |pid| {
+                Box::new(WriteRead {
+                    reg: bank.get(0),
+                    id: pid.0 as u64,
+                    wrote: false,
+                })
+            },
+            |_| {},
+        );
+        let mut pool: MachinePool<WriteRead> = (0..2)
+            .map(|p| WriteRead {
+                reg: bank.get(0),
+                id: p,
+                wrote: false,
+            })
+            .collect();
+        let mut sum_of_reads = 0u64;
+        let pooled = explore_pool(alloc.total(), &mut pool, 10_000, |pool| {
+            for (_, out) in pool.completed() {
+                sum_of_reads = sum_of_reads.wrapping_add(*out);
+            }
+        });
+        assert!(factory.complete && pooled.complete);
+        assert_eq!(factory.executions, pooled.executions);
+        assert_eq!(factory.max_depth, pooled.max_depth);
+        assert!(sum_of_reads > 0);
     }
 }

@@ -16,7 +16,11 @@
 //!   and results as the thread-backed runner (the blocking algorithm APIs
 //!   are `drive` adapters over the same machines), at orders-of-magnitude
 //!   higher execution rates. Use it for exhaustive exploration
-//!   ([`explore_engine`]), adversary searches and large crash storms.
+//!   ([`explore_engine`], [`explore_pool`]), adversary searches and
+//!   large crash storms. Hot trial loops drive a [`MachinePool`] of
+//!   concrete [`MachineSet`] machines ([`StepEngine::run_pool`]): built
+//!   once, reset in place, enum-dispatched — zero steady-state heap
+//!   allocations.
 //!
 //! Both run in **lock-step**: the policy is consulted only when every live
 //! process has an operation pending, so — because the policy then sees the
@@ -60,13 +64,19 @@
 
 mod engine;
 pub mod explore;
+pub mod machines;
 pub mod policy;
+mod pool;
 mod runner;
 mod sched;
 pub mod trace_view;
 
 pub use engine::{Metrics, StepEngine};
-pub use explore::{explore, explore_engine, ExploreReport};
+pub use explore::{
+    explore, explore_engine, explore_engine_with, explore_pool, explore_pool_with, ExploreReport,
+};
+pub use machines::{AlgoSet, MachineSet, SetOutput};
 pub use policy::{Action, PendingOp, Policy};
+pub use pool::MachinePool;
 pub use runner::{SimBuilder, SimOutcome};
 pub use sched::{CrashCause, SimMemory};

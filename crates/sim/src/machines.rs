@@ -1,0 +1,331 @@
+//! `MachineSet` — the concrete, enum-dispatched machine families of this
+//! repository, and `AlgoSet`, the matching algorithm-instance enum that
+//! builds them.
+//!
+//! The boxed `begin_rename` API is convenient but costs a heap
+//! allocation per machine per trial and a virtual call per step. A
+//! [`MachineSet`] is one concrete enum over every algorithm family —
+//! splitter walks, expander majority walks, snapshot renaming, composite
+//! (staged/piped) renamers, store&collect first stores, and
+//! unbounded-naming acquires — so a pool of them is plain `Vec` storage,
+//! dispatch is a jump table instead of a vtable load, and
+//! [`StepMachine::reset`] re-arms the same storage for the next trial.
+//! Families whose machines are closure-built (the composite renamers)
+//! keep one box *inside* their variant; the box survives across trials,
+//! so the per-trial allocation is still gone.
+//!
+//! [`AlgoSet`] is the uniform entry point the grid driver uses to run
+//! non-renaming workloads: it owns the algorithm instance and hands out
+//! `MachineSet`s per process, with [`SetOutput::claim`] as the common
+//! "what exclusive resource did this process end up holding" view that
+//! safety checks compare (a new name, a value register, a claimed
+//! integer).
+//!
+//! ```
+//! use exsel_core::MoirAnderson;
+//! use exsel_shm::RegAlloc;
+//! use exsel_sim::{policy::RandomPolicy, AlgoSet, StepEngine};
+//!
+//! let mut alloc = RegAlloc::new();
+//! let algo = AlgoSet::MoirAnderson(MoirAnderson::new(&mut alloc, 4));
+//! let mut pool = algo.pool(&[10, 20, 30, 40]);
+//! let mut engine = StepEngine::reusable(alloc.total());
+//! for seed in 0..8 {
+//!     let mut policy = RandomPolicy::new(seed);
+//!     engine.run_pool(&mut policy, &mut pool);
+//!     let mut claims: Vec<u64> = pool
+//!         .completed()
+//!         .filter_map(|(_, out)| out.claim())
+//!         .collect();
+//!     claims.sort_unstable();
+//!     claims.dedup();
+//!     assert_eq!(claims.len(), 4, "names must be exclusive");
+//! }
+//! ```
+
+use exsel_core::{
+    Majority, MajorityOp, MoirAnderson, Outcome, RenameMachine, SnapshotRename, SnapshotRenameOp,
+    SplitWalkOp, StepRename,
+};
+use exsel_shm::{OpKind, Pid, Poll, RegId, ShmOp, StepMachine, Word};
+use exsel_storecollect::{FirstStoreOp, StoreCollect, StoreCollectError};
+use exsel_unbounded::{NamingMachine, UnboundedNaming};
+
+use crate::pool::MachinePool;
+
+/// The uniform output of a [`MachineSet`] trial: what the process ended
+/// up holding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetOutput {
+    /// A renaming outcome (all four renaming variants).
+    Rename(Outcome),
+    /// A first-store result: the adopted value register, or capacity
+    /// exhaustion.
+    Store(Result<RegId, StoreCollectError>),
+    /// The last integer claimed by an unbounded-naming machine.
+    Name(u64),
+}
+
+impl SetOutput {
+    /// The exclusive resource this process acquired, as one comparable
+    /// integer — a new name, a value-register id, or a claimed integer.
+    /// `None` when the machine completed without acquiring (instance
+    /// failure, capacity exhaustion). Safety checks assert claims are
+    /// pairwise distinct; the numbers are only comparable *within* one
+    /// family.
+    #[must_use]
+    pub fn claim(&self) -> Option<u64> {
+        match self {
+            SetOutput::Rename(outcome) => outcome.name(),
+            SetOutput::Store(Ok(reg)) => Some(reg.0 as u64),
+            SetOutput::Store(Err(_)) => None,
+            SetOutput::Name(name) => Some(*name),
+        }
+    }
+
+    /// The renaming outcome, for rename-family machines.
+    #[must_use]
+    pub fn outcome(&self) -> Option<&Outcome> {
+        match self {
+            SetOutput::Rename(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
+/// One machine from any of the repository's algorithm families; see the
+/// module docs.
+pub enum MachineSet<'a> {
+    /// Moir–Anderson splitter-grid walk.
+    Walk(SplitWalkOp<'a>),
+    /// Expander majority walk.
+    Majority(MajorityOp<'a>),
+    /// Snapshot-based `(2k−1)`-renaming.
+    SnapshotRename(SnapshotRenameOp<'a>),
+    /// A composite (staged/piped) renamer — Basic, PolyLog,
+    /// Almost-Adaptive, Adaptive, Efficient. The box is built once and
+    /// pooled; `reset` re-arms it in place.
+    Rename(RenameMachine<'a>),
+    /// Store&collect first store (rename + raise controls + value write).
+    FirstStore(FirstStoreOp<'a>),
+    /// Unbounded-naming acquire loop.
+    Naming(NamingMachine<'a>),
+}
+
+impl StepMachine for MachineSet<'_> {
+    type Output = SetOutput;
+
+    fn op(&self) -> ShmOp {
+        match self {
+            MachineSet::Walk(m) => m.op(),
+            MachineSet::Majority(m) => m.op(),
+            MachineSet::SnapshotRename(m) => m.op(),
+            MachineSet::Rename(m) => m.op(),
+            MachineSet::FirstStore(m) => m.op(),
+            MachineSet::Naming(m) => m.op(),
+        }
+    }
+
+    fn peek(&self) -> (OpKind, RegId) {
+        match self {
+            MachineSet::Walk(m) => m.peek(),
+            MachineSet::Majority(m) => m.peek(),
+            MachineSet::SnapshotRename(m) => m.peek(),
+            MachineSet::Rename(m) => m.peek(),
+            MachineSet::FirstStore(m) => m.peek(),
+            MachineSet::Naming(m) => m.peek(),
+        }
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<SetOutput> {
+        let wrap_rename = |poll: Poll<Outcome>| match poll {
+            Poll::Ready(outcome) => Poll::Ready(SetOutput::Rename(outcome)),
+            Poll::Pending => Poll::Pending,
+        };
+        match self {
+            MachineSet::Walk(m) => wrap_rename(m.advance(input)),
+            MachineSet::Majority(m) => wrap_rename(m.advance(input)),
+            MachineSet::SnapshotRename(m) => wrap_rename(m.advance(input)),
+            MachineSet::Rename(m) => wrap_rename(m.advance(input)),
+            MachineSet::FirstStore(m) => match m.advance(input) {
+                Poll::Ready(res) => Poll::Ready(SetOutput::Store(res)),
+                Poll::Pending => Poll::Pending,
+            },
+            MachineSet::Naming(m) => match m.advance(input) {
+                Poll::Ready(name) => Poll::Ready(SetOutput::Name(name)),
+                Poll::Pending => Poll::Pending,
+            },
+        }
+    }
+
+    fn reset(&mut self, pid: Pid) {
+        match self {
+            MachineSet::Walk(m) => m.reset(pid),
+            MachineSet::Majority(m) => m.reset(pid),
+            MachineSet::SnapshotRename(m) => m.reset(pid),
+            MachineSet::Rename(m) => m.reset(pid),
+            MachineSet::FirstStore(m) => m.reset(pid),
+            MachineSet::Naming(m) => m.reset(pid),
+        }
+    }
+}
+
+/// An owned algorithm instance of any family, handing out [`MachineSet`]
+/// machines — the grid driver's uniform, non-`StepRename` entry point.
+pub enum AlgoSet {
+    /// Moir–Anderson splitter grid.
+    MoirAnderson(MoirAnderson),
+    /// `Majority(ℓ, N)` expander renaming.
+    Majority(Majority),
+    /// Snapshot-based `(2k−1)`-renaming baseline.
+    SnapshotRename(SnapshotRename),
+    /// Any composite renamer behind the boxed [`StepRename`] face.
+    Rename(Box<dyn StepRename + Send>),
+    /// A store&collect object; machines run the first-store path (the
+    /// stored value is the process's original name).
+    StoreCollect(StoreCollect),
+    /// The unbounded-naming object; each machine claims `rounds`
+    /// integers per trial.
+    Naming {
+        /// The shared naming object.
+        naming: UnboundedNaming,
+        /// Integers each process claims per trial.
+        rounds: usize,
+    },
+}
+
+impl AlgoSet {
+    /// Starts process `pid`'s machine on input `original` (renaming
+    /// input, store token+value, ignored by naming).
+    #[must_use]
+    pub fn begin(&self, pid: Pid, original: u64) -> MachineSet<'_> {
+        match self {
+            AlgoSet::MoirAnderson(algo) => MachineSet::Walk(algo.begin_walk(original)),
+            AlgoSet::Majority(algo) => MachineSet::Majority(algo.begin_walk(original)),
+            AlgoSet::SnapshotRename(algo) => {
+                MachineSet::SnapshotRename(algo.begin_rename_slot(pid.0, original))
+            }
+            AlgoSet::Rename(algo) => MachineSet::Rename(algo.begin_rename(pid, original)),
+            AlgoSet::StoreCollect(sc) => {
+                MachineSet::FirstStore(sc.begin_first_store(pid, original, original))
+            }
+            AlgoSet::Naming { naming, rounds } => {
+                MachineSet::Naming(naming.begin_machine(pid, *rounds))
+            }
+        }
+    }
+
+    /// A pool of one machine per contender: machine `p` runs
+    /// `originals[p]` as process `Pid(p)`.
+    #[must_use]
+    pub fn pool(&self, originals: &[u64]) -> MachinePool<MachineSet<'_>> {
+        originals
+            .iter()
+            .enumerate()
+            .map(|(p, &orig)| self.begin(Pid(p), orig))
+            .collect()
+    }
+
+    /// Whether this family guarantees a claim for every surviving
+    /// process (the `Majority` renamer only promises half; everyone else
+    /// names, stores or claims for all survivors within capacity).
+    #[must_use]
+    pub fn claims_all_survivors(&self) -> bool {
+        !matches!(self, AlgoSet::Majority(_))
+    }
+}
+
+impl std::fmt::Debug for AlgoSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoSet::MoirAnderson(_) => write!(f, "AlgoSet::MoirAnderson"),
+            AlgoSet::Majority(_) => write!(f, "AlgoSet::Majority"),
+            AlgoSet::SnapshotRename(_) => write!(f, "AlgoSet::SnapshotRename"),
+            AlgoSet::Rename(_) => write!(f, "AlgoSet::Rename"),
+            AlgoSet::StoreCollect(_) => write!(f, "AlgoSet::StoreCollect"),
+            AlgoSet::Naming { rounds, .. } => write!(f, "AlgoSet::Naming(rounds={rounds})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StepEngine;
+    use crate::policy::RandomPolicy;
+    use exsel_core::RenameConfig;
+    use exsel_shm::RegAlloc;
+    use std::collections::BTreeSet;
+
+    fn distinct_claims(algo: &AlgoSet, regs: usize, originals: &[u64], seeds: u64) {
+        let mut pool = algo.pool(originals);
+        let mut engine = StepEngine::reusable(regs);
+        for seed in 0..seeds {
+            let mut policy = RandomPolicy::new(seed);
+            engine.run_pool(&mut policy, &mut pool);
+            let claims: Vec<u64> = pool
+                .completed()
+                .filter_map(|(_, out)| out.claim())
+                .collect();
+            let set: BTreeSet<u64> = claims.iter().copied().collect();
+            assert_eq!(set.len(), claims.len(), "{algo:?} seed {seed}: {claims:?}");
+            if algo.claims_all_survivors() {
+                assert_eq!(claims.len(), originals.len(), "{algo:?} seed {seed}");
+            } else {
+                assert!(2 * claims.len() >= originals.len(), "{algo:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_claims_exclusively_across_pooled_trials() {
+        let cfg = RenameConfig::default();
+        let originals: Vec<u64> = (0..4u64).map(|i| i * 13 + 1).collect();
+
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::MoirAnderson(MoirAnderson::new(&mut alloc, 4));
+        distinct_claims(&algo, alloc.total(), &originals, 5);
+
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::Majority(Majority::new(&mut alloc, 64, 4, &cfg));
+        distinct_claims(&algo, alloc.total(), &originals, 5);
+
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::SnapshotRename(SnapshotRename::new(&mut alloc, 4));
+        distinct_claims(&algo, alloc.total(), &originals, 5);
+
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::Rename(Box::new(exsel_core::BasicRename::new(
+            &mut alloc, 64, 4, &cfg,
+        )));
+        distinct_claims(&algo, alloc.total(), &originals, 5);
+
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::StoreCollect(StoreCollect::known(&mut alloc, 4, 64, &cfg));
+        distinct_claims(&algo, alloc.total(), &originals, 5);
+
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::Naming {
+            naming: UnboundedNaming::new(&mut alloc, 4),
+            rounds: 2,
+        };
+        distinct_claims(&algo, alloc.total(), &originals, 5);
+    }
+
+    #[test]
+    fn set_output_claims() {
+        assert_eq!(SetOutput::Rename(Outcome::Named(7)).claim(), Some(7));
+        assert_eq!(SetOutput::Rename(Outcome::Failed).claim(), None);
+        assert_eq!(SetOutput::Store(Ok(RegId(3))).claim(), Some(3));
+        assert_eq!(
+            SetOutput::Store(Err(StoreCollectError::CapacityExceeded)).claim(),
+            None
+        );
+        assert_eq!(SetOutput::Name(9).claim(), Some(9));
+        assert!(SetOutput::Name(9).outcome().is_none());
+        assert_eq!(
+            SetOutput::Rename(Outcome::Named(7)).outcome(),
+            Some(&Outcome::Named(7))
+        );
+    }
+}

@@ -268,7 +268,7 @@ impl StepMachine for FirstStoreOp<'_> {
         }
     }
 
-    fn advance(&mut self, input: Word) -> Poll<Self::Output> {
+    fn advance(&mut self, input: &Word) -> Poll<Self::Output> {
         match &mut self.state {
             FsState::Renaming(machine) => match machine.advance(input) {
                 Poll::Pending => Poll::Pending,
@@ -289,6 +289,18 @@ impl StepMachine for FirstStoreOp<'_> {
             }
             FsState::WriteValue { reg } => Poll::Ready(Ok(*reg)),
         }
+    }
+
+    fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        match &self.state {
+            FsState::Renaming(machine) => machine.peek(),
+            FsState::Raising { controls, idx, .. } => (exsel_shm::OpKind::Write, controls[*idx]),
+            FsState::WriteValue { reg } => (exsel_shm::OpKind::Write, *reg),
+        }
+    }
+
+    fn reset(&mut self, pid: Pid) {
+        self.state = FsState::Renaming(self.sc.renamer.begin_rename(pid, self.original));
     }
 }
 

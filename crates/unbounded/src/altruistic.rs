@@ -130,7 +130,7 @@ impl AltruisticDeposit {
                 let q = st.row_q;
                 st.row_q = (st.row_q + 1) % self.n;
                 if ctx.read(self.help_cell(p, q))?.is_null() {
-                    let op = Box::new(self.naming.begin_acquire(&st.namer));
+                    let op = Box::new(self.naming.begin_acquire(ctx.pid(), &st.namer));
                     st.row_phase = RowPhase::Acquiring { target: q, op };
                 }
             }

@@ -56,5 +56,5 @@ mod selfish;
 
 pub use altruistic::{AltruisticDeposit, AltruisticState};
 pub use arena::DepositArena;
-pub use naming::{AcquireOp, NamerState, UnboundedNaming};
+pub use naming::{AcquireOp, NamerState, NamingMachine, UnboundedNaming};
 pub use selfish::{DepositorState, SelfishDeposit};

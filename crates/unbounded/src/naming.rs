@@ -20,7 +20,7 @@
 //! with its column scan at event granularity, as §5 prescribes.
 
 use exsel_shm::snapshot::{Poll, ScanOp, UpdateOp};
-use exsel_shm::{Ctx, RegAlloc, RegRange, Snapshot, Step, Word};
+use exsel_shm::{Ctx, Pid, RegAlloc, RegRange, ShmOp, Snapshot, Step, StepMachine, Word};
 
 /// The non-blocking unbounded naming object.
 #[derive(Clone, Debug)]
@@ -70,6 +70,15 @@ impl NamerState {
             .expect("list never empties: every removal refills")
     }
 
+    /// Re-initializes to the pre-publication state in place, keeping the
+    /// list buffer's capacity (used by pooled [`NamingMachine`]s).
+    pub fn reset(&mut self, n: usize) {
+        self.published = false;
+        self.slots.clear();
+        self.slots.extend(1..=2 * n as u64 - 1);
+        self.next_fresh = 2 * n as u64;
+    }
+
     /// The slot index (0-based into `slots`) holding `value`.
     fn slot_of(&self, value: u64) -> usize {
         self.slots
@@ -117,16 +126,48 @@ impl UnboundedNaming {
         self.w.registers().len() + self.b.iter().map(RegRange::len).sum::<usize>()
     }
 
-    /// Starts a poll-based acquire for the calling process.
+    /// Starts a poll-based acquire for process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is beyond the system size.
     #[must_use]
-    pub fn begin_acquire(&self, st: &NamerState) -> AcquireOp {
+    pub fn begin_acquire(&self, pid: Pid, st: &NamerState) -> AcquireOp {
+        let slot = pid.0;
+        assert!(slot < self.n, "pid {pid} beyond system size {}", self.n);
+        let candidate = st.smallest();
         AcquireOp {
-            candidate: st.smallest(),
+            slot,
+            candidate,
             state: if st.published {
-                AcqState::StartUpdate
+                AcqState::Update(self.w.begin_update(slot, Word::Int(candidate)))
             } else {
                 AcqState::Publish { idx: 0 }
             },
+        }
+    }
+
+    /// Starts the acquire loop of process `pid` as a self-contained
+    /// [`StepMachine`] owning its [`NamerState`]: the machine claims
+    /// `rounds` integers and completes with the last one (all of them are
+    /// readable through [`NamingMachine::names`]). Resettable, so one
+    /// pool of naming machines serves a whole seed sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or `pid` is beyond the system size.
+    #[must_use]
+    pub fn begin_machine(&self, pid: Pid, rounds: usize) -> NamingMachine<'_> {
+        assert!(rounds > 0, "need at least one acquire round");
+        let st = self.namer_state();
+        let acquire = self.begin_acquire(pid, &st);
+        NamingMachine {
+            naming: self,
+            pid,
+            st,
+            acquire,
+            names: Vec::with_capacity(rounds),
+            rounds,
         }
     }
 
@@ -137,7 +178,7 @@ impl UnboundedNaming {
     ///
     /// Returns [`exsel_shm::Crash`] if the process crashes mid-operation.
     pub fn acquire(&self, ctx: Ctx<'_>, st: &mut NamerState) -> Step<u64> {
-        let mut op = self.begin_acquire(st);
+        let mut op = self.begin_acquire(ctx.pid(), st);
         loop {
             if let Poll::Ready(name) = op.step(self, ctx, st)? {
                 return Ok(name);
@@ -167,8 +208,6 @@ enum AcqState {
     Publish {
         idx: usize,
     },
-    /// Local transition marker: begin a `W_p := candidate` update.
-    StartUpdate,
     Update(UpdateOp),
     Scan(ScanOp),
     /// Availability check: read `B_q[0] = A_q`.
@@ -196,14 +235,166 @@ enum AcqState {
 }
 
 /// In-progress poll-based acquire; each [`AcquireOp::step`] performs
-/// exactly one shared-memory operation.
+/// exactly one shared-memory operation. Internally in announce-first
+/// form: [`AcquireOp::describe`] names the next operation purely, and
+/// the transition consumes its result — which is what lets
+/// [`NamingMachine`] expose the same loop as a [`StepMachine`] with an
+/// identical operation sequence.
 #[derive(Clone, Debug)]
 pub struct AcquireOp {
+    slot: usize,
     candidate: u64,
     state: AcqState,
 }
 
 impl AcquireOp {
+    /// The next shared-memory operation, derived purely from the local
+    /// state `st`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acquire already completed.
+    fn describe(&self, naming: &UnboundedNaming, st: &NamerState) -> ShmOp {
+        let my_b = naming.b[self.slot];
+        match &self.state {
+            AcqState::Publish { idx } => {
+                let value = if *idx == 0 {
+                    st.next_fresh
+                } else {
+                    st.slots[*idx - 1]
+                };
+                ShmOp::Write(my_b.get(*idx), Word::Int(value))
+            }
+            AcqState::Update(up) => up.op(),
+            AcqState::Scan(scan) => scan.op(),
+            AcqState::CheckA { q } => ShmOp::Read(naming.b[*q].get(0)),
+            AcqState::CheckSlots { q, j } => ShmOp::Read(naming.b[*q].get(*j)),
+            AcqState::PruneSlot | AcqState::CommitSlot => {
+                let j = st.slot_of(self.candidate);
+                ShmOp::Write(my_b.get(j + 1), Word::Int(st.next_fresh))
+            }
+            AcqState::PruneAdvanceA | AcqState::CommitAdvanceA { .. } => {
+                ShmOp::Write(my_b.get(0), Word::Int(st.next_fresh))
+            }
+            AcqState::Done => panic!("acquire driven after completion"),
+        }
+    }
+
+    /// Consumes the result of the operation last described and
+    /// transitions; `Ready(name)` when the claim committed.
+    fn consume(
+        &mut self,
+        naming: &UnboundedNaming,
+        st: &mut NamerState,
+        input: &Word,
+    ) -> Poll<u64> {
+        match &mut self.state {
+            AcqState::Publish { idx } => {
+                let i = *idx;
+                if i + 1 < naming.b[self.slot].len() {
+                    self.state = AcqState::Publish { idx: i + 1 };
+                } else {
+                    st.published = true;
+                    self.state = AcqState::Update(
+                        naming.w.begin_update(self.slot, Word::Int(self.candidate)),
+                    );
+                }
+                Poll::Pending
+            }
+            AcqState::Update(up) => {
+                if let Poll::Ready(()) = up.advance(input) {
+                    self.state = AcqState::Scan(naming.w.begin_scan());
+                }
+                Poll::Pending
+            }
+            AcqState::Scan(scan) => {
+                if let Poll::Ready(view) = scan.advance(input) {
+                    let unique = view
+                        .iter()
+                        .enumerate()
+                        .all(|(q, w)| q == self.slot || w.as_int() != Some(self.candidate));
+                    if unique {
+                        // Availability check, skipping ourselves.
+                        let q = usize::from(self.slot == 0);
+                        self.state = if q >= naming.n {
+                            // Single-process system: commit directly.
+                            AcqState::CommitSlot
+                        } else {
+                            AcqState::CheckA { q }
+                        };
+                    } else {
+                        self.candidate = choose_by_rank(&view, self.slot, &st.list());
+                        self.state = AcqState::Update(
+                            naming.w.begin_update(self.slot, Word::Int(self.candidate)),
+                        );
+                    }
+                }
+                Poll::Pending
+            }
+            AcqState::CheckA { q } => {
+                let q = *q;
+                let a_q = match input.as_int() {
+                    Some(v) => v,
+                    None => 2 * naming.n as u64, // never published: initial A
+                };
+                if self.candidate >= a_q {
+                    // Available according to q by the fresh-frontier rule.
+                    self.advance_check(naming, q);
+                } else {
+                    self.state = AcqState::CheckSlots { q, j: 1 };
+                }
+                Poll::Pending
+            }
+            AcqState::CheckSlots { q, j } => {
+                let (q, j) = (*q, *j);
+                let entry = UnboundedNaming::b_default(j, input);
+                if entry == self.candidate {
+                    // On q's list: available according to q.
+                    self.advance_check(naming, q);
+                } else if j + 1 < naming.b[q].len() {
+                    self.state = AcqState::CheckSlots { q, j: j + 1 };
+                } else {
+                    // Unavailable: someone claimed it. Prune and retry.
+                    self.state = AcqState::PruneSlot;
+                }
+                Poll::Pending
+            }
+            AcqState::PruneSlot => {
+                let fresh = st.next_fresh;
+                let j = st.slot_of(self.candidate);
+                st.slots[j] = fresh;
+                st.next_fresh += 1;
+                self.state = AcqState::PruneAdvanceA;
+                Poll::Pending
+            }
+            AcqState::PruneAdvanceA => {
+                self.candidate = st.smallest();
+                self.state =
+                    AcqState::Update(naming.w.begin_update(self.slot, Word::Int(self.candidate)));
+                Poll::Pending
+            }
+            AcqState::CommitSlot => {
+                // Replace the candidate's published slot with a fresh
+                // value: one atomic write removes the candidate from our
+                // list (making it globally unavailable) and refills.
+                let fresh = st.next_fresh;
+                let j = st.slot_of(self.candidate);
+                st.slots[j] = fresh;
+                st.next_fresh += 1;
+                self.state = AcqState::CommitAdvanceA {
+                    name: self.candidate,
+                };
+                Poll::Pending
+            }
+            AcqState::CommitAdvanceA { name } => {
+                let name = *name;
+                self.state = AcqState::Done;
+                Poll::Ready(name)
+            }
+            AcqState::Done => panic!("acquire driven after completion"),
+        }
+    }
+
     /// Performs one shared-memory operation; `Ready(name)` when the claim
     /// committed.
     ///
@@ -220,137 +411,28 @@ impl AcquireOp {
         ctx: Ctx<'_>,
         st: &mut NamerState,
     ) -> Step<Poll<u64>> {
-        let slot = ctx.pid().0;
-        let my_b = naming.b[slot];
-        match &mut self.state {
-            AcqState::Publish { idx } => {
-                let i = *idx;
-                if i == 0 {
-                    ctx.write(my_b.get(0), st.next_fresh)?;
-                } else {
-                    ctx.write(my_b.get(i), st.slots[i - 1])?;
-                }
-                if i + 1 < my_b.len() {
-                    self.state = AcqState::Publish { idx: i + 1 };
-                } else {
-                    st.published = true;
-                    self.state = AcqState::StartUpdate;
-                }
-                Ok(Poll::Pending)
+        debug_assert_eq!(
+            ctx.pid().0,
+            self.slot,
+            "acquire driven by a different process"
+        );
+        match self.describe(naming, st) {
+            ShmOp::Read(reg) => {
+                let value = ctx.read(reg)?;
+                Ok(self.consume(naming, st, &value))
             }
-            AcqState::StartUpdate => {
-                let mut up = naming.w.begin_update(slot, Word::Int(self.candidate));
-                let poll = up.step(&naming.w, ctx)?;
-                self.state = match poll {
-                    Poll::Ready(()) => AcqState::Scan(naming.w.begin_scan()),
-                    Poll::Pending => AcqState::Update(up),
-                };
-                Ok(Poll::Pending)
+            ShmOp::Write(reg, word) => {
+                ctx.write(reg, word)?;
+                Ok(self.consume(naming, st, &Word::Null))
             }
-            AcqState::Update(up) => {
-                if let Poll::Ready(()) = up.step(&naming.w, ctx)? {
-                    self.state = AcqState::Scan(naming.w.begin_scan());
-                }
-                Ok(Poll::Pending)
-            }
-            AcqState::Scan(scan) => {
-                if let Poll::Ready(view) = scan.step(&naming.w, ctx)? {
-                    let unique = view
-                        .iter()
-                        .enumerate()
-                        .all(|(q, w)| q == slot || w.as_int() != Some(self.candidate));
-                    if unique {
-                        // Availability check, skipping ourselves.
-                        self.state = AcqState::CheckA {
-                            q: usize::from(slot == 0),
-                        };
-                        if let AcqState::CheckA { q } = self.state {
-                            if q >= naming.n {
-                                // Single-process system: commit directly.
-                                self.state = AcqState::CommitSlot;
-                            }
-                        }
-                    } else {
-                        self.candidate = choose_by_rank(&view, slot, &st.list());
-                        self.state = AcqState::StartUpdate;
-                    }
-                }
-                Ok(Poll::Pending)
-            }
-            AcqState::CheckA { q } => {
-                let q = *q;
-                let w = ctx.read(naming.b[q].get(0))?;
-                let a_q = match w.as_int() {
-                    Some(v) => v,
-                    None => 2 * naming.n as u64, // never published: initial A
-                };
-                if self.candidate >= a_q {
-                    // Available according to q by the fresh-frontier rule.
-                    self.advance_check(naming, slot, q);
-                } else {
-                    self.state = AcqState::CheckSlots { q, j: 1 };
-                }
-                Ok(Poll::Pending)
-            }
-            AcqState::CheckSlots { q, j } => {
-                let (q, j) = (*q, *j);
-                let w = ctx.read(naming.b[q].get(j))?;
-                let entry = UnboundedNaming::b_default(j, &w);
-                if entry == self.candidate {
-                    // On q's list: available according to q.
-                    self.advance_check(naming, slot, q);
-                } else if j + 1 < naming.b[q].len() {
-                    self.state = AcqState::CheckSlots { q, j: j + 1 };
-                } else {
-                    // Unavailable: someone claimed it. Prune and retry.
-                    self.state = AcqState::PruneSlot;
-                }
-                Ok(Poll::Pending)
-            }
-            AcqState::PruneSlot => {
-                let fresh = st.next_fresh;
-                let j = st.slot_of(self.candidate);
-                st.slots[j] = fresh;
-                st.next_fresh += 1;
-                ctx.write(my_b.get(j + 1), fresh)?;
-                self.state = AcqState::PruneAdvanceA;
-                Ok(Poll::Pending)
-            }
-            AcqState::PruneAdvanceA => {
-                ctx.write(my_b.get(0), st.next_fresh)?;
-                self.candidate = st.smallest();
-                self.state = AcqState::StartUpdate;
-                Ok(Poll::Pending)
-            }
-            AcqState::CommitSlot => {
-                // Replace the candidate's published slot with a fresh
-                // value: one atomic write removes the candidate from our
-                // list (making it globally unavailable) and refills.
-                let fresh = st.next_fresh;
-                let j = st.slot_of(self.candidate);
-                st.slots[j] = fresh;
-                st.next_fresh += 1;
-                ctx.write(my_b.get(j + 1), fresh)?;
-                self.state = AcqState::CommitAdvanceA {
-                    name: self.candidate,
-                };
-                Ok(Poll::Pending)
-            }
-            AcqState::CommitAdvanceA { name } => {
-                let name = *name;
-                ctx.write(my_b.get(0), st.next_fresh)?;
-                self.state = AcqState::Done;
-                Ok(Poll::Ready(name))
-            }
-            AcqState::Done => panic!("acquire driven after completion"),
         }
     }
 
     /// Moves the availability check to the next process, or to commit if
     /// everyone has been checked.
-    fn advance_check(&mut self, naming: &UnboundedNaming, slot: usize, q: usize) {
+    fn advance_check(&mut self, naming: &UnboundedNaming, q: usize) {
         let mut next = q + 1;
-        if next == slot {
+        if next == self.slot {
             next += 1;
         }
         self.state = if next >= naming.n {
@@ -358,6 +440,53 @@ impl AcquireOp {
         } else {
             AcqState::CheckA { q: next }
         };
+    }
+}
+
+/// The acquire loop of one process as a self-contained, resettable
+/// [`StepMachine`] — the pooled form `MachineSet` and the grid driver
+/// run on the step engine. See [`UnboundedNaming::begin_machine`].
+#[derive(Clone, Debug)]
+pub struct NamingMachine<'a> {
+    naming: &'a UnboundedNaming,
+    pid: Pid,
+    st: NamerState,
+    acquire: AcquireOp,
+    names: Vec<u64>,
+    rounds: usize,
+}
+
+impl NamingMachine<'_> {
+    /// The integers claimed so far in this trial, in acquisition order.
+    #[must_use]
+    pub fn names(&self) -> &[u64] {
+        &self.names
+    }
+}
+
+impl StepMachine for NamingMachine<'_> {
+    type Output = u64;
+
+    fn op(&self) -> ShmOp {
+        self.acquire.describe(self.naming, &self.st)
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<u64> {
+        if let Poll::Ready(name) = self.acquire.consume(self.naming, &mut self.st, input) {
+            self.names.push(name);
+            if self.names.len() == self.rounds {
+                return Poll::Ready(name);
+            }
+            self.acquire = self.naming.begin_acquire(self.pid, &self.st);
+        }
+        Poll::Pending
+    }
+
+    fn reset(&mut self, pid: Pid) {
+        assert_eq!(pid, self.pid, "naming machine reset for a different pid");
+        self.st.reset(self.naming.n);
+        self.acquire = self.naming.begin_acquire(self.pid, &self.st);
+        self.names.clear();
     }
 }
 
@@ -473,7 +602,7 @@ mod tests {
         let mem = ThreadedShm::new(alloc.total(), 1);
         let ctx = Ctx::new(&mem, Pid(0));
         let mut st = naming.namer_state();
-        let mut op = naming.begin_acquire(&st);
+        let mut op = naming.begin_acquire(Pid(0), &st);
         loop {
             let before = ctx.steps();
             let poll = op.step(&naming, ctx, &mut st).unwrap();
@@ -483,6 +612,54 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn naming_machines_on_the_engine_never_collide_and_reset_cleanly() {
+        use exsel_sim::{policy::RandomPolicy, MachinePool, StepEngine};
+        const N: usize = 3;
+        const ROUNDS: usize = 4;
+        let mut alloc = RegAlloc::new();
+        let naming = UnboundedNaming::new(&mut alloc, N);
+        let mut engine = StepEngine::reusable(alloc.total()).record_trace(true);
+        let mut pool: MachinePool<NamingMachine<'_>> = (0..N)
+            .map(|p| naming.begin_machine(Pid(p), ROUNDS))
+            .collect();
+        let mut first_trace = Vec::new();
+        for round in 0..3 {
+            let mut policy = RandomPolicy::new(7);
+            engine.run_pool(&mut policy, &mut pool);
+            let all: Vec<u64> = pool
+                .machines()
+                .iter()
+                .flat_map(|m| m.names().iter().copied())
+                .collect();
+            let set: BTreeSet<u64> = all.iter().copied().collect();
+            assert_eq!(set.len(), N * ROUNDS, "duplicate names: {all:?}");
+            // Same seed after reset ⇒ identical execution.
+            if round == 0 {
+                first_trace = engine.trace().unwrap().to_vec();
+            } else {
+                assert_eq!(engine.trace().unwrap(), &first_trace[..], "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn machine_and_blocking_acquire_perform_identical_op_sequences() {
+        let mut alloc = RegAlloc::new();
+        let naming = UnboundedNaming::new(&mut alloc, 2);
+        let mem_a = ThreadedShm::new(alloc.total(), 1);
+        let ctx_a = Ctx::new(&mem_a, Pid(0));
+        let mut st = naming.namer_state();
+        let name_a = naming.acquire(ctx_a, &mut st).unwrap();
+
+        let mem_b = ThreadedShm::new(alloc.total(), 1);
+        let ctx_b = Ctx::new(&mem_b, Pid(0));
+        let mut machine = naming.begin_machine(Pid(0), 1);
+        let name_b = exsel_shm::drive(&mut machine, ctx_b).unwrap();
+        assert_eq!(name_a, name_b);
+        assert_eq!(ctx_a.steps(), ctx_b.steps());
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl StepMachine for SlotWalk {
     fn op(&self) -> exclusive_selection::ShmOp {
         self.inner.op()
     }
-    fn advance(&mut self, input: Word) -> exclusive_selection::Poll<Option<usize>> {
+    fn advance(&mut self, input: &Word) -> exclusive_selection::Poll<Option<usize>> {
         use exclusive_selection::Poll;
         match self.inner.advance(input) {
             Poll::Pending => Poll::Pending,

@@ -1,0 +1,217 @@
+//! The machine-pool contract: pooled `MachineSet` trials (machines built
+//! once, `reset` in place, enum dispatch, incremental pending set) are
+//! **trace-identical** to trials over freshly boxed machines, for every
+//! algorithm family × adversary policy × seed — and per-trial [`Metrics`]
+//! under engine+pool reuse match fresh-engine runs bit for bit.
+
+use exclusive_selection::sim::policy::{
+    Bursty, CrashAfter, CrashStorm, Policy, RandomPolicy, RoundRobin,
+};
+use exclusive_selection::sim::{AlgoSet, MachinePool, MachineSet, Metrics, SetOutput, StepEngine};
+use exclusive_selection::{
+    AdaptiveRename, AlmostAdaptive, BasicRename, Crash, EfficientRename, Majority, MoirAnderson,
+    Pid, PolyLogRename, RegAlloc, RenameConfig, SnapshotRename, StepMachine, StoreCollect,
+};
+use exsel_unbounded::UnboundedNaming;
+
+/// Every algorithm family as an [`AlgoSet`], with its register count and
+/// contender inputs.
+fn families(cfg: &RenameConfig) -> Vec<(&'static str, usize, Vec<u64>, AlgoSet)> {
+    let k = 4usize;
+    let n_names = 64usize;
+    let originals: Vec<u64> = (0..k as u64).map(|i| i * 13 + 2).collect();
+    let mut out = Vec::new();
+    let mut with = |label: &'static str, build: &dyn Fn(&mut RegAlloc) -> AlgoSet| {
+        let mut alloc = RegAlloc::new();
+        let algo = build(&mut alloc);
+        out.push((label, alloc.total(), originals.clone(), algo));
+    };
+    with("moir-anderson", &|a| {
+        AlgoSet::MoirAnderson(MoirAnderson::new(a, k))
+    });
+    with("majority", &|a| {
+        AlgoSet::Majority(Majority::new(a, n_names, k, cfg))
+    });
+    with("snapshot", &|a| {
+        AlgoSet::SnapshotRename(SnapshotRename::new(a, k))
+    });
+    with("basic", &|a| {
+        AlgoSet::Rename(Box::new(BasicRename::new(a, n_names, k, cfg)))
+    });
+    with("polylog", &|a| {
+        AlgoSet::Rename(Box::new(PolyLogRename::new(a, n_names, k, cfg)))
+    });
+    with("almost-adaptive", &|a| {
+        AlgoSet::Rename(Box::new(AlmostAdaptive::new(a, n_names, 4 * k, cfg)))
+    });
+    with("adaptive", &|a| {
+        AlgoSet::Rename(Box::new(AdaptiveRename::new(a, 4 * k, cfg)))
+    });
+    with("efficient", &|a| {
+        AlgoSet::Rename(Box::new(EfficientRename::new(a, k, cfg)))
+    });
+    with("store-known", &|a| {
+        AlgoSet::StoreCollect(StoreCollect::known(a, k, n_names, cfg))
+    });
+    with("store-adaptive", &|a| {
+        AlgoSet::StoreCollect(StoreCollect::adaptive(a, k, cfg))
+    });
+    with("naming", &|a| AlgoSet::Naming {
+        naming: UnboundedNaming::new(a, k),
+        rounds: 2,
+    });
+    out
+}
+
+/// The adversary policies of the suite, rebuilt per (policy, seed).
+fn policies(seed: u64, k: usize) -> Vec<(&'static str, Box<dyn Policy>)> {
+    let budget = k - 1;
+    vec![
+        ("round-robin", Box::new(RoundRobin::new())),
+        ("random", Box::new(RandomPolicy::new(seed))),
+        (
+            "crash-storm",
+            Box::new(CrashStorm::new(
+                Box::new(RandomPolicy::new(seed)),
+                !seed,
+                0.03,
+                budget,
+            )),
+        ),
+        (
+            "crash-after",
+            Box::new(CrashAfter::new(
+                Box::new(RandomPolicy::new(seed)),
+                25,
+                budget,
+            )),
+        ),
+        ("bursty", Box::new(Bursty::new(seed, 5))),
+    ]
+}
+
+type BoxedMachine<'a> = Box<dyn StepMachine<Output = SetOutput> + 'a>;
+
+/// Freshly boxed machines, the pre-pool shape: one heap allocation per
+/// machine per trial.
+fn boxed_machines<'a>(algo: &'a AlgoSet, originals: &[u64]) -> Vec<BoxedMachine<'a>> {
+    originals
+        .iter()
+        .enumerate()
+        .map(|(p, &orig)| -> BoxedMachine<'a> { Box::new(algo.begin(Pid(p), orig)) })
+        .collect()
+}
+
+#[test]
+fn pooled_trials_are_trace_identical_to_fresh_boxed_machines() {
+    let cfg = RenameConfig::default();
+    for (label, regs, originals, algo) in families(&cfg) {
+        let k = originals.len();
+        let mut boxed_engine = StepEngine::reusable(regs)
+            .record_trace(true)
+            .panic_on_budget(false);
+        let mut pooled_engine = StepEngine::reusable(regs)
+            .record_trace(true)
+            .panic_on_budget(false);
+        let mut pool: MachinePool<MachineSet<'_>> = algo.pool(&originals);
+        for seed in 0..3u64 {
+            for (policy_label, mut policy) in policies(seed, k) {
+                let tag = format!("{label} × {policy_label} × seed {seed}");
+                let fresh =
+                    boxed_engine.run_trial(policy.as_mut(), boxed_machines(&algo, &originals));
+
+                let (_, mut policy) = policies(seed, k)
+                    .into_iter()
+                    .find(|(l, _)| *l == policy_label)
+                    .unwrap();
+                pooled_engine.run_pool(policy.as_mut(), &mut pool);
+
+                assert_eq!(
+                    fresh.trace.as_deref(),
+                    pooled_engine.trace(),
+                    "{tag}: traces diverged"
+                );
+                assert_eq!(fresh.steps, pool.steps(), "{tag}: steps diverged");
+                let pooled_results: Vec<Result<SetOutput, Crash>> = pool
+                    .results()
+                    .iter()
+                    .map(|r| r.clone().expect("result recorded"))
+                    .collect();
+                assert_eq!(fresh.results, pooled_results, "{tag}: results diverged");
+                assert_eq!(
+                    fresh.crashed,
+                    pooled_engine.adversary_crashed().collect::<Vec<_>>(),
+                    "{tag}: crash sets diverged"
+                );
+                assert_eq!(
+                    fresh.budget_crashed,
+                    pooled_engine.budget_crashed().collect::<Vec<_>>(),
+                    "{tag}: budget-crash sets diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_under_engine_and_pool_reuse_match_fresh_runs_bit_for_bit() {
+    // `ops_per_register`, `max_contention` and the crash-cause counters
+    // of a reused engine + pool must equal a fresh engine + fresh boxed
+    // machines on every trial.
+    let cfg = RenameConfig::default();
+    let mut alloc = RegAlloc::new();
+    let algo = AlgoSet::Majority(Majority::new(&mut alloc, 128, 6, &cfg));
+    let originals: Vec<u64> = (0..6u64).map(|i| i * 19 + 1).collect();
+    let regs = alloc.total();
+
+    let mut reused = StepEngine::reusable(regs)
+        .measure_contention(true)
+        .panic_on_budget(false);
+    let mut pool = algo.pool(&originals);
+
+    for seed in 0..8u64 {
+        let mut policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), !seed, 0.04, 3);
+        reused.run_pool(&mut policy, &mut pool);
+        let reused_metrics: Metrics = reused.metrics().clone();
+
+        let mut fresh = StepEngine::reusable(regs)
+            .measure_contention(true)
+            .panic_on_budget(false);
+        let mut policy = CrashStorm::new(Box::new(RandomPolicy::new(seed)), !seed, 0.04, 3);
+        fresh.run_trial(&mut policy, boxed_machines(&algo, &originals));
+
+        assert_eq!(
+            &reused_metrics,
+            fresh.metrics(),
+            "seed {seed}: metrics diverged under reuse"
+        );
+        assert_eq!(
+            reused_metrics.ops_per_register.len(),
+            regs,
+            "seed {seed}: histogram width"
+        );
+    }
+}
+
+#[test]
+fn engine_trace_accessor_tracks_where_the_trace_lives() {
+    // Boxed `run_trial` moves the trace into its outcome — the engine
+    // accessor must then report None, not an empty schedule; pooled
+    // trials leave it in place.
+    let cfg = RenameConfig::default();
+    let mut alloc = RegAlloc::new();
+    let algo = AlgoSet::MoirAnderson(MoirAnderson::new(&mut alloc, 3));
+    let originals = [1u64, 2, 3];
+    let mut engine = StepEngine::reusable(alloc.total()).record_trace(true);
+    let _ = cfg;
+
+    let mut policy = RoundRobin::new();
+    let outcome = engine.run_trial(&mut policy, boxed_machines(&algo, &originals));
+    assert!(outcome.trace.as_ref().is_some_and(|t| !t.is_empty()));
+    assert_eq!(engine.trace(), None, "moved trace must not read as empty");
+
+    let mut pool = algo.pool(&originals);
+    let mut policy = RoundRobin::new();
+    engine.run_pool(&mut policy, &mut pool);
+    assert!(engine.trace().is_some_and(|t| !t.is_empty()));
+}

@@ -138,6 +138,11 @@ impl Bencher {
     /// Measures `routine`: one warmup call, then `sample_size` timed
     /// samples of enough iterations each to dominate timer overhead.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.sample_size == 0 {
+            // --test mode: exercise the body once, skip measurement.
+            black_box(routine());
+            return;
+        }
         // Warmup + calibration: aim for samples of >= ~1 ms.
         let start = Instant::now();
         black_box(routine());
@@ -155,7 +160,23 @@ impl Bencher {
     }
 }
 
+/// `cargo bench ... -- --test`: run every benchmark body exactly once
+/// with no timed sampling — CI's smoke mode for bench code.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    if test_mode() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            sample_size: 0,
+        };
+        f(&mut b);
+        println!("{id:<50} ok (--test mode: body ran once, not timed)");
+        return;
+    }
     let mut b = Bencher {
         samples: Vec::new(),
         iters_per_sample: 0,

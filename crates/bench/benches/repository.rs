@@ -39,7 +39,7 @@ fn bench_repository(c: &mut Criterion) {
                         let (repo, mem) = (&repo, &mem);
                         s.spawn(move || {
                             let ctx = Ctx::new(mem, Pid(p));
-                            let mut st = repo.depositor_state();
+                            let mut st = repo.depositor_state(Pid(p));
                             for i in 0..8u64 {
                                 repo.deposit(ctx, &mut st, i).unwrap();
                             }

@@ -16,10 +16,11 @@
 use std::time::Instant;
 
 use exsel_core::{Majority, RenameConfig, SlotBank};
-use exsel_shm::RegAlloc;
+use exsel_shm::{Pid, RegAlloc, StepMachine};
 use exsel_sim::explore::{explore, explore_engine, explore_pool};
 use exsel_sim::policy::RandomPolicy;
-use exsel_sim::{AlgoSet, MachinePool, StepEngine};
+use exsel_sim::{AlgoSet, MachinePool, SetOutput, StepEngine};
+use exsel_unbounded::AltruisticDeposit;
 
 use crate::runner::{run_sim, run_sim_engine, run_sim_engine_with, spread_originals};
 use crate::Table;
@@ -284,6 +285,80 @@ pub fn run() {
         });
         rows.push(Row {
             workload: "machine_pool/explore_compete/3procs".into(),
+            baseline: "pr2_boxed",
+            contender: "pooled",
+            baseline_s: boxed_s,
+            contender_s: pooled_s,
+        });
+    }
+
+    // The deposit family: the boxed-vs-pooled comparison on the
+    // two-activity wait-free deposit machines (Help-matrix row service
+    // interleaved with column scans over the unbounded-naming
+    // machinery) — the heaviest per-machine state in the stack, so the
+    // reset-in-place win is dominated by construction avoidance rather
+    // than box churn.
+    {
+        let trials = 32u64;
+        let n = 8usize;
+        let mut alloc = RegAlloc::new();
+        let algo_set = AlgoSet::Deposit {
+            repo: AltruisticDeposit::new(&mut alloc, n, 4096),
+            rounds: 2,
+            servers: 0,
+        };
+        let regs = alloc.total();
+        let originals: Vec<u64> = (0..n as u64).map(|p| p * 1000 + 1).collect();
+        let boxed_machines = || -> Vec<Box<dyn StepMachine<Output = SetOutput> + '_>> {
+            originals
+                .iter()
+                .enumerate()
+                .map(
+                    |(p, &orig)| -> Box<dyn StepMachine<Output = SetOutput> + '_> {
+                        Box::new(algo_set.begin(Pid(p), orig))
+                    },
+                )
+                .collect()
+        };
+        // Equivalence: pooled deposit trials replay boxed trials exactly.
+        {
+            let mut boxed_engine = StepEngine::reusable(regs).record_trace(true);
+            let mut pooled_engine = StepEngine::reusable(regs).record_trace(true);
+            let mut pool = algo_set.pool(&originals);
+            for seed in 0..4 {
+                let mut policy = RandomPolicy::new(seed);
+                let boxed = boxed_engine.run_trial(&mut policy, boxed_machines());
+                let mut policy = RandomPolicy::new(seed);
+                pooled_engine.run_pool(&mut policy, &mut pool);
+                assert_eq!(
+                    boxed.trace.as_deref(),
+                    pooled_engine.trace(),
+                    "deposit pool diverged at seed {seed}"
+                );
+                assert_eq!(
+                    boxed.steps,
+                    pool.steps(),
+                    "deposit pool diverged at seed {seed}"
+                );
+            }
+        }
+        let boxed_s = time(5, || {
+            let mut engine = StepEngine::reusable(regs).pending_rebuild(true);
+            for seed in 0..trials {
+                let mut policy = RandomPolicy::new(seed);
+                engine.run_trial(&mut policy, boxed_machines());
+            }
+        });
+        let pooled_s = time(5, || {
+            let mut engine = StepEngine::reusable(regs);
+            let mut pool = algo_set.pool(&originals);
+            for seed in 0..trials {
+                let mut policy = RandomPolicy::new(seed);
+                engine.run_pool(&mut policy, &mut pool);
+            }
+        });
+        rows.push(Row {
+            workload: format!("machine_pool/deposit_round/n={n} x{trials}"),
             baseline: "pr2_boxed",
             contender: "pooled",
             baseline_s: boxed_s,

@@ -5,17 +5,54 @@
 //! against Basic-Rename; the table reports the closed form, the stages
 //! the adversary forced, and the observed worst-case steps of deciders —
 //! the bound holds iff `observed ≥ bound`.
+//!
+//! Runs on the **pooled** harness
+//! ([`exsel_lowerbound::run_machines_against_pooled`]): one
+//! `MachinePool` of enum-dispatched `MachineSet` machines per algorithm,
+//! reset in place per adversarial trial on one reusable engine — the
+//! same staged executions the thread-backed harness forces (the
+//! adversary is deterministic; equality is tested in
+//! `exsel-lowerbound`), at engine speed and without per-trial boxing.
 
 use crate::Table;
 use exsel_core::{BasicRename, MoirAnderson, Rename, RenameConfig};
-use exsel_lowerbound::{run_against, run_store_against};
-use exsel_shm::RegAlloc;
-use exsel_storecollect::{StoreCollect, StoreHandle};
+use exsel_lowerbound::{run_machines_against_pooled, run_store_against_pooled};
+use exsel_shm::{Pid, RegAlloc, RegId, StepMachine};
+use exsel_sim::{AlgoSet, MachinePool, SetOutput, StepEngine};
+use exsel_storecollect::StoreCollectError;
+
+/// The uniform claim view of a pooled machine: its exclusive resource as
+/// one integer, the shape the harness's exclusiveness audit wants.
+fn claim(out: SetOutput) -> Option<u64> {
+    out.claim()
+}
+
+/// One pooled adversarial row: builds the pool over `algo` (contender
+/// `p` holds original `p + 1`, as in the proof's conceptual-process
+/// pool) and runs it under the Theorem 6 staging on `engine`.
+fn renaming_row(
+    engine: &mut StepEngine,
+    algo: &AlgoSet,
+    n: usize,
+    regs: usize,
+    k: usize,
+    m: u64,
+    r: u64,
+) -> exsel_lowerbound::LowerBoundReport {
+    let mut pool: MachinePool<_> = (0..n)
+        .map(|p| {
+            algo.begin(Pid(p), p as u64 + 1)
+                .map_output(claim as fn(SetOutput) -> Option<u64>)
+        })
+        .collect();
+    run_machines_against_pooled(engine, &mut pool, regs, k, m, r)
+}
 
 /// Regenerates the table.
 pub fn run() {
+    let mut engine = StepEngine::reusable(0);
     let mut table = Table::new(
-        "T7 Theorem 6 lower bound — pigeonhole adversary vs real algorithms",
+        "T7 Theorem 6 lower bound — pigeonhole adversary vs real algorithms (pooled engine)",
         &[
             "algorithm",
             "k",
@@ -35,9 +72,9 @@ pub fn run() {
         let algo = MoirAnderson::new(&mut alloc, k);
         let m = algo.name_bound();
         let r = alloc.total() as u64;
-        let report = run_against(n, alloc.total(), k, m, r, |ctx| {
-            Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
-        });
+        let regs = alloc.total();
+        let algo = AlgoSet::MoirAnderson(algo);
+        let report = renaming_row(&mut engine, &algo, n, regs, k, m, r);
         let holds = report.max_steps_named >= report.bound;
         table.row(&[
             "MoirAnderson".into(),
@@ -60,9 +97,9 @@ pub fn run() {
         let algo = BasicRename::new(&mut alloc, n, k, &cfg);
         let m = algo.name_bound();
         let r = alloc.total() as u64;
-        let report = run_against(n, alloc.total(), k, m, r, |ctx| {
-            Ok(algo.rename(ctx, ctx.pid().0 as u64 + 1)?.name())
-        });
+        let regs = alloc.total();
+        let algo = AlgoSet::Rename(Box::new(algo));
+        let report = renaming_row(&mut engine, &algo, n, regs, k, m, r);
         let holds = report.max_steps_named >= report.bound;
         table.row(&[
             "BasicRename".into(),
@@ -84,24 +121,27 @@ pub fn run() {
     println!("register-frugal MoirAnderson and collapses to the trivial 1 for register-rich BasicRename (N ≤ 2M·2r);");
     println!("pool_path shows the pigeonhole shrink: each stage divides the pool by at most 2r.\n");
 
-    // Theorem 7: the storing analogue — first stores under the adversary.
+    // Theorem 7: the storing analogue — pooled first stores under the
+    // adversary (the claim is the adopted value register).
     let mut t7 = Table::new(
-        "T7b Theorem 7 storing lower bound — adversary vs Store&Collect (adaptive setting)",
+        "T7b Theorem 7 storing lower bound — adversary vs Store&Collect (adaptive setting, pooled)",
         &[
             "k", "N", "r", "bound", "stages", "stored", "observed", "holds",
         ],
     );
     for (k, n) in [(4usize, 32usize), (4, 64), (8, 64)] {
         let mut alloc = RegAlloc::new();
-        let sc = StoreCollect::adaptive(&mut alloc, n, &cfg);
+        let sc = exsel_storecollect::StoreCollect::adaptive(&mut alloc, n, &cfg);
         let r = alloc.total() as u64;
-        let report = run_store_against(n, alloc.total(), k, r, |ctx| {
-            let mut h = StoreHandle::new();
-            match sc.store(ctx, &mut h, ctx.pid().0 as u64 + 1, 7) {
-                Ok(()) => Ok(h.register().map(|reg| reg.0 as u64)),
-                Err(_) => Ok(None),
-            }
-        });
+        let mut pool: MachinePool<_> = (0..n)
+            .map(|p| {
+                sc.begin_first_store(Pid(p), p as u64 + 1, 7).map_output(
+                    (|res: Result<RegId, StoreCollectError>| res.ok().map(|reg| reg.0 as u64))
+                        as fn(Result<RegId, StoreCollectError>) -> Option<u64>,
+                )
+            })
+            .collect();
+        let report = run_store_against_pooled(&mut engine, &mut pool, alloc.total(), k, r);
         let holds = report.max_steps_named >= report.bound;
         t7.row(&[
             k.to_string(),

@@ -12,13 +12,17 @@
 //!    `n = 2` the waste is exactly `n−1 = 1`.
 //! 3. **Altruistic under crash storms** — the wait-free repository's holes
 //!    (names parked in `Help` plus pruned claims) stay within the
-//!    Theorem 9 budget `n(n−1)`.
+//!    Theorem 9 budget `n(n−1)`. Ported onto the pooled step-machine
+//!    engine: one [`exsel_unbounded::DepositOp`] pool is re-driven
+//!    across every storm seed (machines reset in place), and occupancy
+//!    is audited straight from the engine's register bank
+//!    (`StepEngine::registers`).
 
 use crate::Table;
 use exsel_shm::{Ctx, Pid, RegAlloc, ThreadedShm};
 use exsel_sim::policy::{CrashStorm, RandomPolicy};
-use exsel_sim::SimBuilder;
-use exsel_unbounded::{AltruisticDeposit, SelfishDeposit};
+use exsel_sim::{MachinePool, SimBuilder, StepEngine};
+use exsel_unbounded::{AltruisticDeposit, DepositOp, SelfishDeposit};
 
 /// Holes strictly below the last used register.
 fn waste(occ: &[Option<u64>]) -> (usize, usize) {
@@ -109,29 +113,33 @@ fn selfish_tightness() -> (usize, usize) {
     waste(&repo.arena().occupancy(&mem, Pid(0)))
 }
 
-fn altruistic_storm(n: usize, per: usize, seed: u64) -> (usize, usize) {
+/// Altruistic crash storms on the pooled engine: the pool of `n`
+/// deposit machines (each depositing `per` values per trial) is built
+/// once and re-driven across all `seeds`, each under a fresh seeded
+/// crash storm with budget `n − 1`; every trial's arena occupancy is
+/// audited from the engine's register bank. Returns the worst holes and
+/// frontier over the sweep.
+fn altruistic_storm_pooled(n: usize, per: usize, seeds: std::ops::Range<u64>) -> (usize, usize) {
     let mut alloc = RegAlloc::new();
     let repo = AltruisticDeposit::new(&mut alloc, n, 16 * n * per + 8 * n * n);
-    let mem = ThreadedShm::new(alloc.total(), n);
-    for (i, victim) in (1..n).enumerate() {
-        let step = 50 + (seed as usize + i * 29) % 400;
-        mem.crash_at_step(Pid(victim), step as u64);
+    let mut engine = StepEngine::reusable(alloc.total());
+    let mut pool: MachinePool<DepositOp<'_>> = (0..n)
+        .map(|p| repo.begin_deposit(Pid(p), p as u64 * 1000, per))
+        .collect();
+    let (mut worst, mut frontier) = (0, 0);
+    for seed in seeds {
+        let mut policy = CrashStorm::new(
+            Box::new(RandomPolicy::new(seed)),
+            seed ^ 0xABCD,
+            0.002,
+            n - 1,
+        );
+        engine.run_pool(&mut policy, &mut pool);
+        let (h, f) = waste(&repo.arena().occupancy_in(engine.registers()));
+        worst = worst.max(h);
+        frontier = frontier.max(f);
     }
-    std::thread::scope(|s| {
-        for p in 0..n {
-            let (repo, mem) = (&repo, &mem);
-            s.spawn(move || {
-                let ctx = Ctx::new(mem, Pid(p));
-                let mut st = repo.depositor_state();
-                for i in 0..per as u64 {
-                    if repo.deposit(ctx, &mut st, p as u64 * 1000 + i).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-    });
-    waste(&repo.arena().occupancy(&mem, Pid(0)))
+    (worst, frontier)
 }
 
 /// Theorem 9's tightness construction: every process serves until the
@@ -149,7 +157,7 @@ fn altruistic_fill_freeze(n: usize) -> (usize, usize, usize) {
             let (repo, mem) = (&repo, &mem);
             s.spawn(move || {
                 let ctx = Ctx::new(mem, Pid(p));
-                let mut st = repo.depositor_state();
+                let mut st = repo.depositor_state(ctx.pid());
                 loop {
                     repo.serve(ctx, &mut st, 64).unwrap();
                     let row = &repo.help_occupancy(mem, Pid(p))[p * n..(p + 1) * n];
@@ -168,7 +176,7 @@ fn altruistic_fill_freeze(n: usize) -> (usize, usize, usize) {
     }
     // The survivor deposits, consuming only column 0.
     let ctx = Ctx::new(&mem, Pid(0));
-    let mut st = repo.depositor_state();
+    let mut st = repo.depositor_state(ctx.pid());
     for i in 0..n as u64 {
         repo.deposit(ctx, &mut st, 1000 + i).unwrap();
     }
@@ -229,16 +237,10 @@ pub fn run() {
 
     for n in [2usize, 3, 4] {
         let per = 8;
-        let mut worst = 0;
-        let mut frontier = 0;
-        for seed in 0..6 {
-            let (h, f) = altruistic_storm(n, per, seed);
-            worst = worst.max(h);
-            frontier = frontier.max(f);
-        }
+        let (worst, frontier) = altruistic_storm_pooled(n, per, 0..6);
         let budget = n * (n - 1) + (n - 1); // parked names + frozen claims
         table.row(&[
-            "altruistic/crash-storm".into(),
+            "altruistic/crash-storm (pooled engine)".into(),
             n.to_string(),
             (n * per).to_string(),
             worst.to_string(),

@@ -323,19 +323,25 @@ where
     for seed in seeds {
         let mut policy = policy(seed);
         engine.run_pool(policy.as_mut(), &mut pool);
-        // Audit every exclusive claim of the trial. Naming machines may
-        // commit several integers per trial (and claims committed before
-        // a crash are permanent), so read the machines' full claim lists
-        // — not just each completed process's final output. `claimants`
-        // counts *processes* holding at least one claim, which is what
-        // the unnamed-survivors gate compares against (total claims can
-        // exceed the process count).
+        // Audit every exclusive claim of the trial. Naming and deposit
+        // machines may commit several claims per trial (and claims
+        // committed before a crash are permanent), so read the machines'
+        // full claim lists — not just each completed process's final
+        // output. `claimants` counts *processes* holding at least one
+        // claim, which is what the unnamed-survivors gate compares
+        // against (total claims can exceed the process count); serve-only
+        // deposit machines legitimately claim nothing and are counted as
+        // claimants so the gate does not flag them.
         claims.clear();
         let mut claimants = 0usize;
         for (machine, result) in pool.machines().iter().zip(pool.results()) {
             let had = claims.len();
             match machine {
                 MachineSet::Naming(m) => claims.extend_from_slice(m.names()),
+                MachineSet::Deposit(m) => {
+                    claims.extend_from_slice(m.deposits());
+                    claimants += usize::from(m.is_server());
+                }
                 _ => {
                     if let Some(Ok(out)) = result {
                         claims.extend(out.claim());

@@ -26,7 +26,7 @@ use exsel_shm::RegAlloc;
 use exsel_sim::policy::{Bursty, CrashAfter, CrashStorm, Pigeonhole, RandomPolicy, RoundRobin};
 use exsel_sim::{AlgoSet, Policy, StepEngine};
 use exsel_storecollect::StoreCollect;
-use exsel_unbounded::UnboundedNaming;
+use exsel_unbounded::{AltruisticDeposit, UnboundedNaming};
 
 use crate::runner::{spread_originals, sweep_pool, TrialStats};
 use crate::{expts, Table};
@@ -99,6 +99,17 @@ pub enum AlgoSpec {
         /// Integers each process claims per trial.
         rounds: usize,
     },
+    /// The wait-free altruistic deposit repository — Theorem 9: `k`
+    /// processes share an `n_names`-register dedicated arena (the grid's
+    /// `N` axis sizes the arena); the last `servers` of them only
+    /// service their `Help` row (the paper's fairness assumption) while
+    /// the rest each perform `rounds` deposits per trial.
+    Deposit {
+        /// Deposits each depositor performs per trial.
+        rounds: usize,
+        /// Trailing pids that serve instead of depositing (< `k`).
+        servers: usize,
+    },
 }
 
 impl AlgoSpec {
@@ -133,14 +144,26 @@ impl AlgoSpec {
                 naming: UnboundedNaming::new(alloc, k),
                 rounds,
             },
+            AlgoSpec::Deposit { rounds, servers } => {
+                assert!(servers < k, "need at least one depositor");
+                AlgoSet::Deposit {
+                    repo: AltruisticDeposit::new(alloc, k, n_names.max(2 * k)),
+                    rounds,
+                    servers,
+                }
+            }
         }
     }
 
     /// Whether the family guarantees that every *surviving* contender
-    /// acquires its claim (Majority only promises half).
+    /// acquires its claim (Majority only promises half; serve-only
+    /// deposit helpers claim nothing by design).
     #[must_use]
     pub fn names_all_survivors(self) -> bool {
-        !matches!(self, AlgoSpec::Majority)
+        !matches!(
+            self,
+            AlgoSpec::Majority | AlgoSpec::Deposit { servers: 1.., .. }
+        )
     }
 }
 
@@ -508,7 +531,50 @@ pub fn registry() -> Vec<Scenario> {
                 seeds: 0..10,
             },
         ),
+        grid(
+            "deposit-serve",
+            "Altruistic deposit with one serve-only helper: deposits stay exclusive under crashes",
+            GridSpec {
+                algo: AlgoSpec::Deposit {
+                    rounds: 2,
+                    servers: 1,
+                },
+                adversary: AdversarySpec::CrashStorm { probability: 0.02 },
+                grid: vec![(512, 2), (512, 3), (768, 4)],
+                seeds: 0..10,
+            },
+        ),
+        grid(
+            "bursty-deposit",
+            "all-depositor altruistic repository under burst schedules (Theorem 9 wait-freedom)",
+            GridSpec {
+                algo: AlgoSpec::Deposit {
+                    rounds: 2,
+                    servers: 0,
+                },
+                adversary: AdversarySpec::Bursty { burst: 8 },
+                grid: vec![(512, 2), (768, 3)],
+                seeds: 0..10,
+            },
+        ),
     ]
+}
+
+/// The registry as a plain-text catalog, one `name  kind  summary` line
+/// per scenario — the exact block README.md embeds between its
+/// `expt-list` markers (`crates/bench/tests/readme_catalog.rs` asserts
+/// they match, so the README cannot drift from the registry).
+#[must_use]
+pub fn catalog() -> String {
+    let mut out = String::new();
+    for s in registry() {
+        let kind = match s.kind {
+            Kind::Table(_) => "table",
+            Kind::Grid(_) => "grid",
+        };
+        out.push_str(&format!("{:<19} {:<5} {}\n", s.name, kind, s.summary));
+    }
+    out
 }
 
 /// Looks a scenario up by name.
@@ -861,6 +927,35 @@ mod tests {
                 algo: AlgoSpec::Naming { rounds: 2 },
                 adversary: AdversarySpec::Random,
                 grid: vec![(16, 3)],
+                seeds: 0..3,
+            },
+        );
+    }
+
+    #[test]
+    fn deposit_grids_run_clean() {
+        let rows = run_grid(
+            "test-deposit",
+            &GridSpec {
+                algo: AlgoSpec::Deposit {
+                    rounds: 2,
+                    servers: 0,
+                },
+                adversary: AdversarySpec::Bursty { burst: 4 },
+                grid: vec![(512, 3)],
+                seeds: 0..3,
+            },
+        );
+        assert_eq!(rows.len(), 1);
+        run_grid(
+            "test-deposit-serve",
+            &GridSpec {
+                algo: AlgoSpec::Deposit {
+                    rounds: 2,
+                    servers: 1,
+                },
+                adversary: AdversarySpec::CrashStorm { probability: 0.05 },
+                grid: vec![(512, 3)],
                 seeds: 0..3,
             },
         );

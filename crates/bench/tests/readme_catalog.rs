@@ -1,0 +1,41 @@
+//! The README's scenario catalog is generated from the registry and
+//! asserted here: adding, renaming or re-describing a scenario without
+//! regenerating the README block fails this test, so the documented
+//! catalog can never drift from what `expt -- list` actually offers.
+
+use exsel_bench::scenario::catalog;
+
+const BEGIN: &str = "<!-- expt-list:begin -->";
+const END: &str = "<!-- expt-list:end -->";
+
+#[test]
+fn readme_catalog_matches_registry() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(path).expect("README.md at the repository root");
+    let begin = readme
+        .find(BEGIN)
+        .expect("README missing expt-list:begin marker");
+    let end = readme
+        .find(END)
+        .expect("README missing expt-list:end marker");
+    assert!(begin < end, "markers out of order");
+
+    // The block between the markers is one fenced ```text code block.
+    let block = &readme[begin + BEGIN.len()..end];
+    let embedded: String = block
+        .lines()
+        .skip_while(|l| !l.starts_with("```"))
+        .skip(1)
+        .take_while(|l| !l.starts_with("```"))
+        .flat_map(|l| [l.trim_end(), "\n"])
+        .collect();
+    let generated: String = catalog()
+        .lines()
+        .flat_map(|l| [l.trim_end(), "\n"])
+        .collect();
+    assert_eq!(
+        embedded, generated,
+        "README scenario catalog drifted from the registry — paste the output of \
+         `exsel_bench::scenario::catalog()` between the expt-list markers"
+    );
+}

@@ -1,11 +1,26 @@
 //! Running the adversary against a concrete renaming algorithm.
+//!
+//! Three generations of entry points, newest preferred:
+//!
+//! * [`run_machines_against_pooled`] / [`run_store_against_pooled`] —
+//!   the adversarial trial over a caller-held [`MachinePool`] and
+//!   reusable engine: machines are reset in place per trial, so
+//!   adversary sweeps allocate nothing per trial beyond what the
+//!   algorithm itself installs in registers.
+//! * [`run_machines_against`] / [`run_machines_against_with`] — the
+//!   boxed engine path (one heap allocation per machine per trial).
+//! * [`run_against`] / [`run_store_against`] — the thread-backed
+//!   scheduler for closure-style process bodies; kept as the
+//!   differential oracle (the pigeonhole adversary is deterministic, so
+//!   all paths must force the identical staged execution).
 
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 
-use exsel_shm::{Ctx, Pid, StepMachine};
-use exsel_sim::{SimBuilder, SimOutcome, StepEngine};
+use exsel_shm::{Crash, Ctx, Pid, StepMachine};
+use exsel_sim::{MachinePool, SimBuilder, SimOutcome, StepEngine};
 
-use crate::{theorem6_bound, PigeonholeAdversary};
+use crate::{theorem6_bound, AdversaryStats, PigeonholeAdversary};
 
 /// The outcome of one adversarial execution, ready for the T7 table.
 #[derive(Clone, Debug)]
@@ -115,21 +130,143 @@ where
     digest_outcome(&outcome, stats.as_ref(), n_processes, k, m, r)
 }
 
+/// The fully pooled adversarial trial: runs the machines of `pool`
+/// (process `i` is `Pid(i)`; output `Some(name)` is the exclusiveness
+/// witness, `None` an instance failure) under the Theorem 6 pigeonhole
+/// adversary on the caller's reusable engine via
+/// [`StepEngine::run_pool`] — machines are reset in place, results land
+/// in the pool's own buffers, and consecutive sweep trials reallocate
+/// neither machines nor scratch. `m` and `r` are the algorithm's name
+/// bound and register count, `k` the contention parameter for the
+/// `k − 2` staging budget.
+///
+/// The adversary is deterministic: the forced execution is identical to
+/// [`run_machines_against`] over freshly boxed machines and to the
+/// thread-backed [`run_against`] (tested).
+///
+/// # Panics
+///
+/// Panics if two processes decide the same name (exclusiveness violation
+/// — a bug in the algorithm under test), or if a pooled machine does not
+/// implement [`StepMachine::reset`].
+pub fn run_machines_against_pooled<M>(
+    engine: &mut StepEngine,
+    pool: &mut MachinePool<M>,
+    num_registers: usize,
+    k: usize,
+    m: u64,
+    r: u64,
+) -> LowerBoundReport
+where
+    M: StepMachine<Output = Option<u64>>,
+{
+    let bound = theorem6_bound(k as u64, pool.len() as u64, m, r);
+    run_pooled_with(
+        engine,
+        pool,
+        num_registers,
+        k.saturating_sub(2),
+        2 * m as usize,
+        bound,
+    )
+}
+
+/// The storing analogue of [`run_machines_against_pooled`] (Theorem 7):
+/// pooled first-store machines (output = the adopted value register)
+/// staged `k − 1` times down to a pool of `k`, reported against
+/// [`crate::theorem7_bound`].
+///
+/// # Panics
+///
+/// As [`run_machines_against_pooled`] (two stores landing on the same
+/// value register violate exclusiveness).
+pub fn run_store_against_pooled<M>(
+    engine: &mut StepEngine,
+    pool: &mut MachinePool<M>,
+    num_registers: usize,
+    k: usize,
+    r: u64,
+) -> LowerBoundReport
+where
+    M: StepMachine<Output = Option<u64>>,
+{
+    let bound = crate::theorem7_bound(k as u64, pool.len() as u64, r);
+    run_pooled_with(engine, pool, num_registers, k.saturating_sub(1), k, bound)
+}
+
+/// Shared pooled driver: one adversarial [`StepEngine::run_pool`] trial
+/// with the given staging limits, digested into a report carrying
+/// `bound`.
+fn run_pooled_with<M>(
+    engine: &mut StepEngine,
+    pool: &mut MachinePool<M>,
+    num_registers: usize,
+    max_stages: usize,
+    min_pool: usize,
+    bound: u64,
+) -> LowerBoundReport
+where
+    M: StepMachine<Output = Option<u64>>,
+{
+    engine.set_registers(num_registers);
+    let n_processes = pool.len();
+    let (mut adversary, stats) = PigeonholeAdversary::new(n_processes, max_stages, min_pool);
+    engine.run_pool(&mut adversary, pool);
+    let named: Vec<Option<u64>> = pool
+        .results()
+        .iter()
+        .map(|r| match r {
+            Some(Ok(name)) => *name,
+            Some(Err(Crash)) => None,
+            None => unreachable!("trial ran to quiescence"),
+        })
+        .collect();
+    assemble_report(
+        named.into_iter(),
+        pool.steps(),
+        stats.as_ref(),
+        n_processes,
+        bound,
+    )
+}
+
 /// Shared digestion of an adversarial execution into the report.
 fn digest_outcome(
     outcome: &SimOutcome<Option<u64>>,
-    stats: &std::sync::Mutex<crate::AdversaryStats>,
+    stats: &Mutex<AdversaryStats>,
     n_processes: usize,
     k: usize,
     m: u64,
     r: u64,
 ) -> LowerBoundReport {
+    assemble_report(
+        outcome
+            .results
+            .iter()
+            .map(|r| r.as_ref().ok().copied().flatten()),
+        &outcome.steps,
+        stats,
+        n_processes,
+        theorem6_bound(k as u64, n_processes as u64, m, r),
+    )
+}
+
+/// The one folding point of every harness path: collects decided names
+/// (asserting exclusiveness), the worst step count among deciders, and
+/// the adversary's staging statistics.
+fn assemble_report(
+    results: impl Iterator<Item = Option<u64>>,
+    steps: &[u64],
+    stats: &Mutex<AdversaryStats>,
+    n_processes: usize,
+    bound: u64,
+) -> LowerBoundReport {
     let mut names = Vec::new();
     let mut max_steps_named = 0;
-    for (pid, result) in outcome.results.iter().enumerate() {
-        if let Ok(Some(name)) = result {
-            names.push(*name);
-            max_steps_named = max_steps_named.max(outcome.steps[pid]);
+    for (pid, result) in results.enumerate() {
+        if let Some(name) = result {
+            names.push(name);
+            max_steps_named = max_steps_named.max(steps[pid]);
         }
     }
     let set: BTreeSet<u64> = names.iter().copied().collect();
@@ -144,7 +281,7 @@ fn digest_outcome(
         n_processes,
         stages: st.stages,
         pool_sizes: st.pool_sizes.clone(),
-        bound: theorem6_bound(k as u64, n_processes as u64, m, r),
+        bound,
         max_steps_named,
         exclusive,
         named: names.len(),
@@ -305,6 +442,82 @@ mod tests {
         assert_eq!(threaded.named, engine.named);
         assert!(engine.exclusive);
         assert!(engine.max_steps_named >= engine.bound);
+    }
+
+    #[test]
+    fn pooled_adversary_matches_boxed_adversary_across_reuse() {
+        // The pooled path must force the identical staged execution as
+        // freshly boxed machines — including on a dirtied, reused
+        // engine+pool (trial 2 replays trial 1 exactly).
+        use exsel_core::StepRename;
+        use exsel_shm::StepMachine as _;
+        let k = 8;
+        let n = 128;
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, k);
+        let m = algo.name_bound();
+        let r = alloc.total() as u64;
+        let boxed = run_machines_against(n, alloc.total(), k, m, r, |pid| {
+            Box::new(
+                algo.begin_rename(pid, pid.0 as u64 + 1)
+                    .map_output(exsel_core::Outcome::name),
+            )
+        });
+        let mut engine = StepEngine::reusable(alloc.total());
+        let mut pool: exsel_sim::MachinePool<_> = (0..n)
+            .map(|p| {
+                algo.begin_rename(Pid(p), p as u64 + 1)
+                    .map_output(exsel_core::Outcome::name as fn(exsel_core::Outcome) -> Option<u64>)
+            })
+            .collect();
+        for trial in 0..2 {
+            let pooled =
+                run_machines_against_pooled(&mut engine, &mut pool, alloc.total(), k, m, r);
+            assert_eq!(boxed.stages, pooled.stages, "trial {trial}");
+            assert_eq!(boxed.pool_sizes, pooled.pool_sizes, "trial {trial}");
+            assert_eq!(
+                boxed.max_steps_named, pooled.max_steps_named,
+                "trial {trial}"
+            );
+            assert_eq!(boxed.named, pooled.named, "trial {trial}");
+            assert_eq!(boxed.bound, pooled.bound, "trial {trial}");
+            assert!(pooled.exclusive);
+        }
+    }
+
+    #[test]
+    fn pooled_store_adversary_matches_threaded_store_adversary() {
+        use exsel_shm::StepMachine as _;
+        use exsel_storecollect::{StoreCollect, StoreHandle};
+        let k = 4;
+        let n = 32;
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, n, &RenameConfig::default());
+        let r = alloc.total() as u64;
+        let threaded = run_store_against(n, alloc.total(), k, r, |ctx| {
+            let mut h = StoreHandle::new();
+            match sc.store(ctx, &mut h, ctx.pid().0 as u64 + 1, 7) {
+                Ok(()) => Ok(h.register().map(|reg| reg.0 as u64)),
+                Err(_) => Ok(None),
+            }
+        });
+        let mut engine = StepEngine::reusable(alloc.total());
+        let mut pool: exsel_sim::MachinePool<_> = (0..n)
+            .map(|p| {
+                sc.begin_first_store(Pid(p), p as u64 + 1, 7).map_output(
+                    (|res| res.ok().map(|reg: exsel_shm::RegId| reg.0 as u64))
+                        as fn(
+                            Result<exsel_shm::RegId, exsel_storecollect::StoreCollectError>,
+                        ) -> Option<u64>,
+                )
+            })
+            .collect();
+        let pooled = run_store_against_pooled(&mut engine, &mut pool, alloc.total(), k, r);
+        assert_eq!(threaded.stages, pooled.stages);
+        assert_eq!(threaded.pool_sizes, pooled.pool_sizes);
+        assert_eq!(threaded.max_steps_named, pooled.max_steps_named);
+        assert_eq!(threaded.named, pooled.named);
+        assert_eq!(threaded.bound, pooled.bound);
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! is reached — crashes everyone outside the surviving pool and residue
 //! and lets the rest run to completion. [`theorem6_bound`] evaluates the
 //! closed form for comparison. Experiment T7 tabulates forced stages and
-//! observed steps against the formula.
+//! observed steps against the formula, running on the pooled harness
+//! ([`run_machines_against_pooled`] / [`run_store_against_pooled`]):
+//! one caller-held `MachinePool` is reset in place per adversarial
+//! trial, so sweeps over thousands of conceptual processes neither box
+//! machines nor spawn threads.
 //!
 //! ```
 //! use exsel_lowerbound::theorem6_bound;
@@ -40,6 +44,6 @@ mod harness;
 pub use adversary::{AdversaryStats, PigeonholeAdversary};
 pub use bound::{theorem6_bound, theorem7_bound};
 pub use harness::{
-    run_against, run_machines_against, run_machines_against_with, run_store_against,
-    LowerBoundReport,
+    run_against, run_machines_against, run_machines_against_pooled, run_machines_against_with,
+    run_store_against, run_store_against_pooled, LowerBoundReport,
 };

@@ -184,6 +184,21 @@ impl ScanOp {
         self.regs.len()
     }
 
+    /// Restarts the scan from its first collect **within the same
+    /// trial**, allocation-free: the collect buffers are reused as-is,
+    /// and the generation-tag cache (`cur`) is kept — writer sequence
+    /// numbers only grow within a trial, so retained tags stay valid and
+    /// quiescent registers still skip their `Arc` clones. This is the
+    /// in-place counterpart of [`Snapshot::begin_scan`] for machines
+    /// that scan many times per trial (the unbounded-naming acquire
+    /// loop). Between trials use [`StepMachine::reset`] instead, which
+    /// must drop the cache because writers' sequence numbers restart.
+    pub fn restart(&mut self) {
+        self.have_prev = false;
+        self.idx = 0;
+        self.moved.fill(0);
+    }
+
     /// Performs one shared-memory read; returns the view when the scan
     /// completes. Equivalent to [`StepMachine::poll`] with an object-identity
     /// check against `snap`.
@@ -298,6 +313,27 @@ pub struct UpdateOp {
 }
 
 impl UpdateOp {
+    /// Re-arms this operation in place as a fresh update of `slot` to
+    /// `value` **within the same trial** — the allocation-free
+    /// counterpart of [`Snapshot::begin_update`] for machines that
+    /// update many times per trial. The embedded scan keeps its collect
+    /// buffers and generation-tag cache (see [`ScanOp::restart`]);
+    /// only the freshly installed [`SnapRecord`] itself is ever
+    /// allocated, and that is the copy-on-write object readers share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn rearm(&mut self, slot: usize, value: Word) {
+        assert!(slot < self.regs.len(), "slot {slot} out of range");
+        self.slot = slot;
+        self.value = value;
+        self.scan.restart();
+        self.view = None;
+        self.rec = None;
+        self.state = UpdateState::Scanning;
+    }
+
     /// Performs one shared-memory operation; returns `Ready` when the
     /// update has been installed. Equivalent to [`StepMachine::poll`] with
     /// an object-identity check against `snap`.
@@ -536,6 +572,43 @@ mod tests {
         }
         use crate::OpKind::{Read, Write};
         assert_eq!(kinds, vec![Read, Read, Read, Write]);
+    }
+
+    #[test]
+    fn restarted_scan_performs_a_fresh_scans_op_sequence() {
+        let (snap, mem) = setup(3, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut op = snap.begin_scan();
+        assert_eq!(drive(&mut op, ctx).unwrap().len(), 3);
+        let steps_fresh = ctx.steps();
+        op.restart();
+        // Same quiescent memory ⇒ same 2-collect scan, same view.
+        let view = drive(&mut op, ctx).unwrap();
+        assert_eq!(ctx.steps() - steps_fresh, steps_fresh);
+        assert!(view.iter().all(Word::is_null));
+    }
+
+    #[test]
+    fn rearmed_update_matches_fresh_update_op_sequence() {
+        let (snap, mem) = setup(2, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut fresh = snap.begin_update(0, Word::Int(1));
+        drive(&mut fresh, ctx).unwrap();
+        let first = ctx.steps();
+        // Re-arm the spent op for slot 1 and drive it like a new update.
+        fresh.rearm(1, Word::Int(2));
+        drive(&mut fresh, ctx).unwrap();
+        assert_eq!(ctx.steps(), 2 * first);
+        let view = snap.scan(ctx).unwrap();
+        assert_eq!(&view[..], &[Word::Int(1), Word::Int(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 7 out of range")]
+    fn rearm_slot_out_of_range() {
+        let (snap, _mem) = setup(2, 1);
+        let mut op = snap.begin_update(0, Word::Null);
+        op.rearm(7, Word::Null);
     }
 
     #[test]

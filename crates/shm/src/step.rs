@@ -160,10 +160,37 @@ pub trait StepMachine {
     /// everyone else may ignore it. Machines whose construction captured
     /// a pid must be reset with that same pid.
     ///
-    /// The default panics: only machines that opt into pooling implement
-    /// this, and a pool refuses nothing at compile time — the first
-    /// reset of an unsupported machine fails loudly instead of silently
-    /// rerunning a finished machine.
+    /// # The pooling contract
+    ///
+    /// `reset` is what turns a machine into *reusable storage*: a
+    /// `MachinePool` calls it on every machine at the start of every
+    /// trial (including the first), and a reset machine must be
+    /// **observationally identical** to a freshly constructed one — the
+    /// same operation sequence against the same schedule (the pooled
+    /// determinism suite enforces this for every family). Resets happen
+    /// **in place**: buffers keep their capacity, caches that would be
+    /// invalid across trials (e.g. a snapshot scanner's generation-tag
+    /// cache — register sequence numbers restart with the bank) are
+    /// cleared, not reallocated. After the first trial has stretched
+    /// every buffer, steady-state resets must not touch the allocator.
+    ///
+    /// Every production machine in this workspace opts in: the snapshot
+    /// `ScanOp`/`UpdateOp` (exsel-shm); `CompeteOp`, `SplitWalkOp`,
+    /// `MajorityOp`, `SnapshotRenameOp`, `EfficientOp` and the
+    /// composite `Staged`/`Piped` renamers (exsel-core, where composite
+    /// stages reset by rebuilding their current boxed stage);
+    /// `FirstStoreOp` (exsel-storecollect); `NamingMachine` and
+    /// `DepositOp` (exsel-unbounded); and the delegating wrappers
+    /// `MachineSet`, `MapOutput`, `&mut M`, `Box<M>` (resettable iff
+    /// their inner machine is).
+    ///
+    /// The **default implementation panics**: the ones still on that
+    /// path are ad-hoc machines — doc examples, test fixtures, bespoke
+    /// one-shot machines built in experiment closures — and any machine
+    /// a future contributor has not yet audited for in-place reuse. A
+    /// pool refuses nothing at compile time, so the first reset of an
+    /// unsupported machine fails loudly instead of silently rerunning a
+    /// finished machine.
     fn reset(&mut self, pid: Pid) {
         let _ = pid;
         panic!("this StepMachine does not support pooled reuse (reset)");

@@ -302,6 +302,16 @@ impl StepEngine {
         &self.metrics
     }
 
+    /// The register bank as the last trial left it, indexed by
+    /// [`exsel_shm::RegId`] — the post-trial inspection path for
+    /// occupancy audits (e.g. repository waste counting), which on the
+    /// thread-backed runner would read through a `Memory` handle. The
+    /// next trial's [`StepEngine::reset`] re-nulls it.
+    #[must_use]
+    pub fn registers(&self) -> &[Word] {
+        &self.regs
+    }
+
     /// Re-initializes the engine's state in place for the next trial:
     /// registers to [`Word::Null`], trace and metrics cleared — **keeping
     /// every buffer's capacity**. Called automatically at the start of

@@ -6,8 +6,9 @@
 //! allocation per machine per trial and a virtual call per step. A
 //! [`MachineSet`] is one concrete enum over every algorithm family —
 //! splitter walks, expander majority walks, snapshot renaming, composite
-//! (staged/piped) renamers, store&collect first stores, and
-//! unbounded-naming acquires — so a pool of them is plain `Vec` storage,
+//! (staged/piped) renamers, store&collect first stores, unbounded-naming
+//! acquires, and wait-free altruistic deposits (with their serve-only
+//! helpers) — so a pool of them is plain `Vec` storage,
 //! dispatch is a jump table instead of a vtable load, and
 //! [`StepMachine::reset`] re-arms the same storage for the next trial.
 //! Families whose machines are closure-built (the composite renamers)
@@ -49,7 +50,7 @@ use exsel_core::{
 };
 use exsel_shm::{OpKind, Pid, Poll, RegId, ShmOp, StepMachine, Word};
 use exsel_storecollect::{FirstStoreOp, StoreCollect, StoreCollectError};
-use exsel_unbounded::{NamingMachine, UnboundedNaming};
+use exsel_unbounded::{AltruisticDeposit, DepositOp, NamingMachine, UnboundedNaming};
 
 use crate::pool::MachinePool;
 
@@ -64,6 +65,9 @@ pub enum SetOutput {
     Store(Result<RegId, StoreCollectError>),
     /// The last integer claimed by an unbounded-naming machine.
     Name(u64),
+    /// The last arena register claimed by a wait-free deposit machine
+    /// (`None` for serve-only machines, which consume nothing).
+    Deposit(Option<u64>),
 }
 
 impl SetOutput {
@@ -80,6 +84,7 @@ impl SetOutput {
             SetOutput::Store(Ok(reg)) => Some(reg.0 as u64),
             SetOutput::Store(Err(_)) => None,
             SetOutput::Name(name) => Some(*name),
+            SetOutput::Deposit(reg) => *reg,
         }
     }
 
@@ -110,6 +115,8 @@ pub enum MachineSet<'a> {
     FirstStore(FirstStoreOp<'a>),
     /// Unbounded-naming acquire loop.
     Naming(NamingMachine<'a>),
+    /// Wait-free altruistic deposit (or serve-only) loop.
+    Deposit(DepositOp<'a>),
 }
 
 impl StepMachine for MachineSet<'_> {
@@ -123,6 +130,7 @@ impl StepMachine for MachineSet<'_> {
             MachineSet::Rename(m) => m.op(),
             MachineSet::FirstStore(m) => m.op(),
             MachineSet::Naming(m) => m.op(),
+            MachineSet::Deposit(m) => m.op(),
         }
     }
 
@@ -134,6 +142,7 @@ impl StepMachine for MachineSet<'_> {
             MachineSet::Rename(m) => m.peek(),
             MachineSet::FirstStore(m) => m.peek(),
             MachineSet::Naming(m) => m.peek(),
+            MachineSet::Deposit(m) => m.peek(),
         }
     }
 
@@ -155,6 +164,10 @@ impl StepMachine for MachineSet<'_> {
                 Poll::Ready(name) => Poll::Ready(SetOutput::Name(name)),
                 Poll::Pending => Poll::Pending,
             },
+            MachineSet::Deposit(m) => match m.advance(input) {
+                Poll::Ready(reg) => Poll::Ready(SetOutput::Deposit(reg)),
+                Poll::Pending => Poll::Pending,
+            },
         }
     }
 
@@ -166,6 +179,7 @@ impl StepMachine for MachineSet<'_> {
             MachineSet::Rename(m) => m.reset(pid),
             MachineSet::FirstStore(m) => m.reset(pid),
             MachineSet::Naming(m) => m.reset(pid),
+            MachineSet::Deposit(m) => m.reset(pid),
         }
     }
 }
@@ -192,6 +206,19 @@ pub enum AlgoSet {
         /// Integers each process claims per trial.
         rounds: usize,
     },
+    /// The wait-free altruistic repository (Theorem 9). The last
+    /// `servers` of the repository's `n` processes run serve-only
+    /// machines (the paper's fairness assumption); everyone else
+    /// performs `rounds` deposits per trial, depositing
+    /// `original + round` values.
+    Deposit {
+        /// The shared repository.
+        repo: AltruisticDeposit,
+        /// Deposits each depositor performs per trial.
+        rounds: usize,
+        /// How many of the highest pids serve instead of depositing.
+        servers: usize,
+    },
 }
 
 impl AlgoSet {
@@ -212,6 +239,24 @@ impl AlgoSet {
             AlgoSet::Naming { naming, rounds } => {
                 MachineSet::Naming(naming.begin_machine(pid, *rounds))
             }
+            AlgoSet::Deposit {
+                repo,
+                rounds,
+                servers,
+            } => {
+                let n = repo.num_processes();
+                assert!(
+                    *servers <= n,
+                    "{servers} serve-only processes exceed the repository's {n}"
+                );
+                MachineSet::Deposit(if pid.0 >= n - servers {
+                    // Serve long enough to keep every depositor's column
+                    // supplied for the whole trial.
+                    repo.begin_server(pid, (2 * n * *rounds) as u64)
+                } else {
+                    repo.begin_deposit(pid, original, *rounds)
+                })
+            }
         }
     }
 
@@ -227,11 +272,15 @@ impl AlgoSet {
     }
 
     /// Whether this family guarantees a claim for every surviving
-    /// process (the `Majority` renamer only promises half; everyone else
-    /// names, stores or claims for all survivors within capacity).
+    /// process (the `Majority` renamer only promises half; serve-only
+    /// deposit machines legitimately claim nothing; everyone else names,
+    /// stores or claims for all survivors within capacity).
     #[must_use]
     pub fn claims_all_survivors(&self) -> bool {
-        !matches!(self, AlgoSet::Majority(_))
+        !matches!(
+            self,
+            AlgoSet::Majority(_) | AlgoSet::Deposit { servers: 1.., .. }
+        )
     }
 }
 
@@ -244,6 +293,9 @@ impl std::fmt::Debug for AlgoSet {
             AlgoSet::Rename(_) => write!(f, "AlgoSet::Rename"),
             AlgoSet::StoreCollect(_) => write!(f, "AlgoSet::StoreCollect"),
             AlgoSet::Naming { rounds, .. } => write!(f, "AlgoSet::Naming(rounds={rounds})"),
+            AlgoSet::Deposit {
+                rounds, servers, ..
+            } => write!(f, "AlgoSet::Deposit(rounds={rounds}, servers={servers})"),
         }
     }
 }
@@ -310,6 +362,46 @@ mod tests {
             rounds: 2,
         };
         distinct_claims(&algo, alloc.total(), &originals, 5);
+
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::Deposit {
+            repo: AltruisticDeposit::new(&mut alloc, 4, 512),
+            rounds: 2,
+            servers: 0,
+        };
+        distinct_claims(&algo, alloc.total(), &originals, 5);
+    }
+
+    #[test]
+    fn deposit_family_mixes_depositors_and_servers() {
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::Deposit {
+            repo: AltruisticDeposit::new(&mut alloc, 4, 512),
+            rounds: 2,
+            servers: 2,
+        };
+        assert!(!algo.claims_all_survivors());
+        let originals: Vec<u64> = (0..4u64).map(|i| i * 100 + 1).collect();
+        let mut pool = algo.pool(&originals);
+        let mut engine = StepEngine::reusable(alloc.total());
+        for seed in 0..4u64 {
+            let mut policy = RandomPolicy::new(seed);
+            engine.run_pool(&mut policy, &mut pool);
+            // Everyone completes: depositors with their last register,
+            // servers with None.
+            assert_eq!(pool.completed().count(), 4, "seed {seed}");
+            let claims: Vec<u64> = pool
+                .completed()
+                .filter_map(|(_, out)| out.claim())
+                .collect();
+            assert_eq!(claims.len(), 2, "seed {seed}: {claims:?}");
+            let servers = pool
+                .machines()
+                .iter()
+                .filter(|m| matches!(m, MachineSet::Deposit(d) if d.is_server()))
+                .count();
+            assert_eq!(servers, 2);
+        }
     }
 
     #[test]
@@ -323,6 +415,8 @@ mod tests {
         );
         assert_eq!(SetOutput::Name(9).claim(), Some(9));
         assert!(SetOutput::Name(9).outcome().is_none());
+        assert_eq!(SetOutput::Deposit(Some(4)).claim(), Some(4));
+        assert_eq!(SetOutput::Deposit(None).claim(), None);
         assert_eq!(
             SetOutput::Rename(Outcome::Named(7)).outcome(),
             Some(&Outcome::Named(7))

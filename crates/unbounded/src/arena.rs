@@ -58,6 +58,12 @@ impl DepositArena {
         ctx.write(self.reg_of(index), Word::Int(value))
     }
 
+    /// The register backing `R_index` (1-based) — the machine form's
+    /// announce-first path describes arena writes with it.
+    pub(crate) fn reg(&self, index: u64) -> exsel_shm::RegId {
+        self.reg_of(index)
+    }
+
     fn reg_of(&self, index: u64) -> exsel_shm::RegId {
         assert!(index >= 1, "deposit registers are 1-based");
         let i = usize::try_from(index - 1).expect("index fits usize");
@@ -77,6 +83,14 @@ impl DepositArena {
             .iter()
             .map(|reg| mem.read(observer, reg).ok().and_then(|w| w.as_int()))
             .collect()
+    }
+
+    /// [`DepositArena::occupancy`] over a raw register bank — the
+    /// post-trial inspection path for `StepEngine` executions
+    /// (`StepEngine::registers`), which have no [`Memory`] handle.
+    #[must_use]
+    pub fn occupancy_in(&self, regs: &[Word]) -> Vec<Option<u64>> {
+        self.regs.iter().map(|reg| regs[reg.0].as_int()).collect()
     }
 }
 

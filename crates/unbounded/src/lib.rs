@@ -28,6 +28,15 @@
 //! [`DepositArena`]; experiments size it beyond the deposits they perform
 //! (see DESIGN.md substitution notes).
 //!
+//! Every operation also exists in resettable step-machine form for the
+//! `exsel-sim` engine and its machine pools: [`NamingMachine`] (the
+//! Theorem 10 acquire loop) and [`DepositOp`] (the Theorem 9 deposit
+//! with its two §5 activities — deposit-or-help row service and consume
+//! column scan — as explicit, strictly alternating machine phases, plus
+//! a serve-only mode for the paper's fairness assumption). The blocking
+//! APIs drive the same transition functions, so both forms perform
+//! identical operation sequences.
+//!
 //! # Example
 //!
 //! ```
@@ -54,7 +63,7 @@ mod arena;
 mod naming;
 mod selfish;
 
-pub use altruistic::{AltruisticDeposit, AltruisticState};
+pub use altruistic::{AltruisticDeposit, AltruisticState, DepositOp};
 pub use arena::DepositArena;
 pub use naming::{AcquireOp, NamerState, NamingMachine, UnboundedNaming};
 pub use selfish::{DepositorState, SelfishDeposit};

@@ -20,7 +20,9 @@
 //! with its column scan at event granularity, as §5 prescribes.
 
 use exsel_shm::snapshot::{Poll, ScanOp, UpdateOp};
-use exsel_shm::{Ctx, Pid, RegAlloc, RegRange, ShmOp, Snapshot, Step, StepMachine, Word};
+use exsel_shm::{
+    Ctx, OpKind, Pid, RegAlloc, RegId, RegRange, ShmOp, Snapshot, Step, StepMachine, Word,
+};
 
 /// The non-blocking unbounded naming object.
 #[derive(Clone, Debug)]
@@ -139,8 +141,10 @@ impl UnboundedNaming {
         AcquireOp {
             slot,
             candidate,
+            update: self.w.begin_update(slot, Word::Int(candidate)),
+            scan: self.w.begin_scan(),
             state: if st.published {
-                AcqState::Update(self.w.begin_update(slot, Word::Int(candidate)))
+                AcqState::Update
             } else {
                 AcqState::Publish { idx: 0 }
             },
@@ -202,14 +206,16 @@ impl UnboundedNaming {
     }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum AcqState {
     /// First-time publication of `B_p` (one write per step).
     Publish {
         idx: usize,
     },
-    Update(UpdateOp),
-    Scan(ScanOp),
+    /// Driving the owned snapshot update (announce the candidate in `W`).
+    Update,
+    /// Driving the owned snapshot scan of `W`.
+    Scan,
     /// Availability check: read `B_q[0] = A_q`.
     CheckA {
         q: usize,
@@ -236,25 +242,60 @@ enum AcqState {
 
 /// In-progress poll-based acquire; each [`AcquireOp::step`] performs
 /// exactly one shared-memory operation. Internally in announce-first
-/// form: [`AcquireOp::describe`] names the next operation purely, and
-/// the transition consumes its result — which is what lets
-/// [`NamingMachine`] expose the same loop as a [`StepMachine`] with an
-/// identical operation sequence.
+/// form: a pure `describe` names the next operation, and the
+/// transition consumes its result — which is what lets
+/// [`NamingMachine`] (and the deposit machines built on top) expose the
+/// same loop as a [`StepMachine`] with an identical operation sequence.
+///
+/// The snapshot update and scan are owned as permanent fields and
+/// re-armed in place ([`UpdateOp::rearm`], [`ScanOp::restart`]) rather
+/// than rebuilt per transition, so one pooled `AcquireOp` drives any
+/// number of acquisitions without reallocating its collect buffers.
 #[derive(Clone, Debug)]
 pub struct AcquireOp {
     slot: usize,
     candidate: u64,
+    update: UpdateOp,
+    scan: ScanOp,
     state: AcqState,
 }
 
 impl AcquireOp {
+    /// The process slot this operation was constructed for.
+    pub(crate) fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Re-arms the spent (or mid-flight) operation in place as a fresh
+    /// acquire for the same process over the current local state —
+    /// the allocation-free counterpart of
+    /// [`UnboundedNaming::begin_acquire`] for pooled machines.
+    pub(crate) fn rearm(&mut self, st: &NamerState) {
+        self.candidate = st.smallest();
+        if st.published {
+            self.update.rearm(self.slot, Word::Int(self.candidate));
+            self.state = AcqState::Update;
+        } else {
+            self.state = AcqState::Publish { idx: 0 };
+        }
+    }
+
+    /// Cross-trial re-initialization for pooled machines: drops the
+    /// snapshot generation-tag caches (register sequence numbers restart
+    /// with the bank), then re-arms over the freshly reset `st`.
+    pub(crate) fn reset_trial(&mut self, st: &NamerState) {
+        self.update.reset(Pid(self.slot));
+        self.scan.reset(Pid(self.slot));
+        self.rearm(st);
+    }
+
     /// The next shared-memory operation, derived purely from the local
     /// state `st`.
     ///
     /// # Panics
     ///
     /// Panics if the acquire already completed.
-    fn describe(&self, naming: &UnboundedNaming, st: &NamerState) -> ShmOp {
+    pub(crate) fn describe(&self, naming: &UnboundedNaming, st: &NamerState) -> ShmOp {
         let my_b = naming.b[self.slot];
         match &self.state {
             AcqState::Publish { idx } => {
@@ -265,8 +306,8 @@ impl AcquireOp {
                 };
                 ShmOp::Write(my_b.get(*idx), Word::Int(value))
             }
-            AcqState::Update(up) => up.op(),
-            AcqState::Scan(scan) => scan.op(),
+            AcqState::Update => self.update.op(),
+            AcqState::Scan => self.scan.op(),
             AcqState::CheckA { q } => ShmOp::Read(naming.b[*q].get(0)),
             AcqState::CheckSlots { q, j } => ShmOp::Read(naming.b[*q].get(*j)),
             AcqState::PruneSlot | AcqState::CommitSlot => {
@@ -280,9 +321,23 @@ impl AcquireOp {
         }
     }
 
+    /// [`AcquireOp::describe`] without materializing the operand word —
+    /// delegates to the owned snapshot ops' `peek` in the update state,
+    /// where `op()` would clone the pending record's `Arc`.
+    pub(crate) fn peek_op(&self, naming: &UnboundedNaming, st: &NamerState) -> (OpKind, RegId) {
+        match self.state {
+            AcqState::Update => self.update.peek(),
+            AcqState::Scan => self.scan.peek(),
+            _ => {
+                let op = self.describe(naming, st);
+                (op.kind(), op.reg())
+            }
+        }
+    }
+
     /// Consumes the result of the operation last described and
     /// transitions; `Ready(name)` when the claim committed.
-    fn consume(
+    pub(crate) fn consume(
         &mut self,
         naming: &UnboundedNaming,
         st: &mut NamerState,
@@ -295,20 +350,20 @@ impl AcquireOp {
                     self.state = AcqState::Publish { idx: i + 1 };
                 } else {
                     st.published = true;
-                    self.state = AcqState::Update(
-                        naming.w.begin_update(self.slot, Word::Int(self.candidate)),
-                    );
+                    self.update.rearm(self.slot, Word::Int(self.candidate));
+                    self.state = AcqState::Update;
                 }
                 Poll::Pending
             }
-            AcqState::Update(up) => {
-                if let Poll::Ready(()) = up.advance(input) {
-                    self.state = AcqState::Scan(naming.w.begin_scan());
+            AcqState::Update => {
+                if let Poll::Ready(()) = self.update.advance(input) {
+                    self.scan.restart();
+                    self.state = AcqState::Scan;
                 }
                 Poll::Pending
             }
-            AcqState::Scan(scan) => {
-                if let Poll::Ready(view) = scan.advance(input) {
+            AcqState::Scan => {
+                if let Poll::Ready(view) = self.scan.advance(input) {
                     let unique = view
                         .iter()
                         .enumerate()
@@ -324,9 +379,8 @@ impl AcquireOp {
                         };
                     } else {
                         self.candidate = choose_by_rank(&view, self.slot, &st.list());
-                        self.state = AcqState::Update(
-                            naming.w.begin_update(self.slot, Word::Int(self.candidate)),
-                        );
+                        self.update.rearm(self.slot, Word::Int(self.candidate));
+                        self.state = AcqState::Update;
                     }
                 }
                 Poll::Pending
@@ -369,8 +423,8 @@ impl AcquireOp {
             }
             AcqState::PruneAdvanceA => {
                 self.candidate = st.smallest();
-                self.state =
-                    AcqState::Update(naming.w.begin_update(self.slot, Word::Int(self.candidate)));
+                self.update.rearm(self.slot, Word::Int(self.candidate));
+                self.state = AcqState::Update;
                 Poll::Pending
             }
             AcqState::CommitSlot => {
@@ -471,13 +525,17 @@ impl StepMachine for NamingMachine<'_> {
         self.acquire.describe(self.naming, &self.st)
     }
 
+    fn peek(&self) -> (OpKind, RegId) {
+        self.acquire.peek_op(self.naming, &self.st)
+    }
+
     fn advance(&mut self, input: &Word) -> Poll<u64> {
         if let Poll::Ready(name) = self.acquire.consume(self.naming, &mut self.st, input) {
             self.names.push(name);
             if self.names.len() == self.rounds {
                 return Poll::Ready(name);
             }
-            self.acquire = self.naming.begin_acquire(self.pid, &self.st);
+            self.acquire.rearm(&self.st);
         }
         Poll::Pending
     }
@@ -485,7 +543,7 @@ impl StepMachine for NamingMachine<'_> {
     fn reset(&mut self, pid: Pid) {
         assert_eq!(pid, self.pid, "naming machine reset for a different pid");
         self.st.reset(self.naming.n);
-        self.acquire = self.naming.begin_acquire(self.pid, &self.st);
+        self.acquire.reset_trial(&self.st);
         self.names.clear();
     }
 }

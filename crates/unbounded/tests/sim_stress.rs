@@ -44,7 +44,7 @@ fn altruistic_deposit_wait_free_under_solo_schedule() {
     let mut alloc = exsel_shm::RegAlloc::new();
     let repo = AltruisticDeposit::new(&mut alloc, n, 128);
     let outcome = SimBuilder::new(alloc.total(), Box::new(Solo::new(Pid(1)))).run(n, |ctx| {
-        let mut st = repo.depositor_state();
+        let mut st = repo.depositor_state(ctx.pid());
         repo.deposit(ctx, &mut st, ctx.pid().0 as u64)
     });
     assert!(
@@ -88,7 +88,7 @@ fn mixed_servers_and_depositors() {
     let mut alloc = exsel_shm::RegAlloc::new();
     let repo = AltruisticDeposit::new(&mut alloc, n, 256);
     let outcome = SimBuilder::new(alloc.total(), Box::new(RoundRobin::new())).run(n, |ctx| {
-        let mut st = repo.depositor_state();
+        let mut st = repo.depositor_state(ctx.pid());
         if ctx.pid().0 < 2 {
             // Pure helpers.
             repo.serve(ctx, &mut st, 600)?;

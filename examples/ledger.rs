@@ -23,7 +23,7 @@ fn main() {
                 let (ledger, mem) = (&ledger, &mem);
                 s.spawn(move || {
                     let ctx = Ctx::new(mem, Pid(p));
-                    let mut st = ledger.depositor_state();
+                    let mut st = ledger.depositor_state(ctx.pid());
                     let mut written = Vec::new();
                     for i in 0..per_process {
                         let record = (p as u64) << 32 | i; // (who, seq)

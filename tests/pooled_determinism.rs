@@ -1,8 +1,10 @@
 //! The machine-pool contract: pooled `MachineSet` trials (machines built
 //! once, `reset` in place, enum dispatch, incremental pending set) are
 //! **trace-identical** to trials over freshly boxed machines, for every
-//! algorithm family × adversary policy × seed — and per-trial [`Metrics`]
-//! under engine+pool reuse match fresh-engine runs bit for bit.
+//! algorithm family × adversary policy × seed — including the wait-free
+//! deposit family's two interleaved activities, with and without
+//! serve-only helpers — and per-trial [`Metrics`] under engine+pool
+//! reuse match fresh-engine runs bit for bit.
 
 use exclusive_selection::sim::policy::{
     Bursty, CrashAfter, CrashStorm, Policy, RandomPolicy, RoundRobin,
@@ -12,7 +14,7 @@ use exclusive_selection::{
     AdaptiveRename, AlmostAdaptive, BasicRename, Crash, EfficientRename, Majority, MoirAnderson,
     Pid, PolyLogRename, RegAlloc, RenameConfig, SnapshotRename, StepMachine, StoreCollect,
 };
-use exsel_unbounded::UnboundedNaming;
+use exsel_unbounded::{AltruisticDeposit, UnboundedNaming};
 
 /// Every algorithm family as an [`AlgoSet`], with its register count and
 /// contender inputs.
@@ -59,6 +61,16 @@ fn families(cfg: &RenameConfig) -> Vec<(&'static str, usize, Vec<u64>, AlgoSet)>
     with("naming", &|a| AlgoSet::Naming {
         naming: UnboundedNaming::new(a, k),
         rounds: 2,
+    });
+    with("deposit", &|a| AlgoSet::Deposit {
+        repo: AltruisticDeposit::new(a, 4, 512),
+        rounds: 2,
+        servers: 0,
+    });
+    with("deposit-serve", &|a| AlgoSet::Deposit {
+        repo: AltruisticDeposit::new(a, 4, 512),
+        rounds: 2,
+        servers: 1,
     });
     out
 }

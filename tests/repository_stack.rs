@@ -65,7 +65,7 @@ fn altruistic_deposits_exclusive_on_simulator() {
         let repo = AltruisticDeposit::new(&mut alloc, n, 512);
         let outcome =
             SimBuilder::new(alloc.total(), Box::new(RandomPolicy::new(seed))).run(n, |ctx| {
-                let mut st = repo.depositor_state();
+                let mut st = repo.depositor_state(ctx.pid());
                 let mut regs = Vec::new();
                 for i in 0..per {
                     regs.push(repo.deposit(ctx, &mut st, i)?);

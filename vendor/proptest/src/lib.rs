@@ -334,7 +334,7 @@ impl_strategy_for_tuple! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: std::ops::Range<usize>,

@@ -42,6 +42,9 @@ struct Row {
     contender: &'static str,
     baseline_s: f64,
     contender_s: f64,
+    /// Extra integer facts recorded alongside the timings (e.g. the
+    /// before/after snapshot allocation counts of the compaction row).
+    extras: Vec<(&'static str, u64)>,
 }
 
 impl Row {
@@ -85,6 +88,7 @@ pub fn run() {
             contender: "engine",
             baseline_s: threads_s,
             contender_s: engine_s,
+            extras: Vec::new(),
         });
     }
 
@@ -134,6 +138,7 @@ pub fn run() {
             contender: "engine",
             baseline_s: threads_s,
             contender_s: engine_s,
+            extras: Vec::new(),
         });
     }
 
@@ -177,6 +182,7 @@ pub fn run() {
             contender: "reused",
             baseline_s: fresh_s,
             contender_s: reused_s,
+            extras: Vec::new(),
         });
     }
 
@@ -242,6 +248,7 @@ pub fn run() {
             contender: "pooled",
             baseline_s: boxed_s,
             contender_s: pooled_s,
+            extras: Vec::new(),
         });
 
         // Exploration: the explore_compete workload re-driven on a pool
@@ -289,6 +296,7 @@ pub fn run() {
             contender: "pooled",
             baseline_s: boxed_s,
             contender_s: pooled_s,
+            extras: Vec::new(),
         });
     }
 
@@ -363,6 +371,92 @@ pub fn run() {
             contender: "pooled",
             baseline_s: boxed_s,
             contender_s: pooled_s,
+            extras: Vec::new(),
+        });
+    }
+
+    // Snapshot compaction: one n = 128 snapshot object (the memory
+    // shape whose embedded views dominate at large n) under pooled
+    // single-writer updates, recycling arena off vs on. The "allocs"
+    // extras are the arena's own fresh-allocation counters over the
+    // measured sweeps — with recycling on they collapse to the warm-up
+    // residue; with it off every update installs a fresh record and
+    // every direct scan collects a fresh view.
+    {
+        use exsel_shm::snapshot::UpdateOp;
+        use exsel_shm::{Snapshot, Word};
+        const N: usize = 128;
+        let trials = 8u64;
+        let build = |recycle: bool| {
+            let mut alloc = RegAlloc::new();
+            (
+                Snapshot::new(&mut alloc, N).recycling(recycle),
+                alloc.total(),
+            )
+        };
+        let sweep = |engine: &mut StepEngine, pool: &mut MachinePool<UpdateOp>| {
+            for seed in 0..trials {
+                let mut policy = RandomPolicy::new(seed);
+                engine.run_pool(&mut policy, pool);
+            }
+        };
+        let pool_of = |snap: &Snapshot| -> MachinePool<UpdateOp> {
+            (0..N)
+                .map(|p| snap.begin_update(p, Word::Int(p as u64 + 1)))
+                .collect()
+        };
+        // Equivalence: recycling must not change a single granted op.
+        let (snap_off, regs) = build(false);
+        let (snap_on, _) = build(true);
+        {
+            let mut engine_off = StepEngine::reusable(regs).record_trace(true);
+            let mut engine_on = StepEngine::reusable(regs).record_trace(true);
+            let mut pool_off = pool_of(&snap_off);
+            let mut pool_on = pool_of(&snap_on);
+            for seed in 0..3 {
+                let mut policy = RandomPolicy::new(seed);
+                engine_off.run_pool(&mut policy, &mut pool_off);
+                let mut policy = RandomPolicy::new(seed);
+                engine_on.run_pool(&mut policy, &mut pool_on);
+                assert_eq!(
+                    engine_off.trace(),
+                    engine_on.trace(),
+                    "recycling changed the schedule at seed {seed}"
+                );
+                assert_eq!(
+                    engine_off.registers(),
+                    engine_on.registers(),
+                    "recycling changed the memory at seed {seed}"
+                );
+            }
+        }
+        let measure = |snap: &Snapshot| -> (f64, u64) {
+            let mut engine = StepEngine::reusable(regs);
+            let mut pool = pool_of(snap);
+            // One warm sweep (inside `time`) stretches the arena.
+            let before_stats = snap.arena().stats();
+            let secs = time(3, || sweep(&mut engine, &mut pool));
+            // 4 sweeps ran (1 warm + 3 timed): report the per-sweep
+            // average allocation count of the timed portion.
+            let window = snap.arena().stats().since(&before_stats);
+            (secs, window.fresh_allocations() / 4)
+        };
+        let (off_s, off_allocs) = measure(&snap_off);
+        let (on_s, on_allocs) = measure(&snap_on);
+        assert!(
+            on_allocs * 10 < off_allocs,
+            "recycling barely dented snapshot allocations: {on_allocs} vs {off_allocs}"
+        );
+        rows.push(Row {
+            workload: format!("machine_pool/snapshot_compact/n={N} x{trials}"),
+            baseline: "recycle_off",
+            contender: "recycle_on",
+            baseline_s: off_s,
+            contender_s: on_s,
+            extras: vec![
+                ("recycle_off_allocs", off_allocs),
+                ("recycle_on_allocs", on_allocs),
+            ],
         });
     }
 
@@ -409,6 +503,9 @@ pub fn run() {
             serde_json::Value::Float(row.contender_s * 1e3),
         );
         obj.insert("speedup".into(), serde_json::Value::Float(row.speedup()));
+        for (key, value) in &row.extras {
+            obj.insert((*key).into(), serde_json::Value::from(*value));
+        }
         entries.push(serde_json::Value::Object(obj));
     }
     let doc = serde_json::Value::Array(entries);
@@ -456,9 +553,12 @@ pub fn run() {
         reuse.baseline_s * 1e3
     );
 
+    // The 2x floor judges the boxed-vs-pooled recipe rows; the snapshot
+    // compaction row competes on allocations (asserted above), not
+    // wall-clock — the collect loop dominates its runtime either way.
     let pool_rows: Vec<&Row> = rows
         .iter()
-        .filter(|r| r.workload.starts_with("machine_pool/"))
+        .filter(|r| r.workload.starts_with("machine_pool/") && r.baseline == "pr2_boxed")
         .collect();
     let min_pool_speedup = pool_rows
         .iter()

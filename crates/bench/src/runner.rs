@@ -319,6 +319,10 @@ where
         max_unnamed_survivors: 0,
         metrics: Metrics::default(),
     };
+    // Snapshot-arena telemetry is cumulative per object: window the
+    // sweep so the folded metrics report only this sweep's allocation
+    // and recycling traffic.
+    let arena_before = algo.snapshot_arena().map(|a| a.stats());
     let mut claims: Vec<u64> = Vec::with_capacity(originals.len());
     for seed in seeds {
         let mut policy = policy(seed);
@@ -367,6 +371,9 @@ where
     }
     if stats.metrics.trials == 0 {
         stats.min_named = 0;
+    }
+    if let (Some(arena), Some(before)) = (algo.snapshot_arena(), arena_before) {
+        stats.metrics.record_snapshot(&arena.stats().since(&before));
     }
     stats
 }

@@ -272,6 +272,8 @@ pub fn run_grid(name: &str, spec: &GridSpec) -> Vec<serde_json::Value> {
             "max_contention",
             "hot_reg_ops",
             "registers",
+            "snap_allocs",
+            "snap_recycled",
         ],
     );
     // Budget exhaustion is reported (budget_crashed column), not a
@@ -322,6 +324,8 @@ pub fn run_grid(name: &str, spec: &GridSpec) -> Vec<serde_json::Value> {
                 stats.metrics.hottest_register().map_or(0, |(_, ops)| ops),
             ),
             ("registers", stats.registers as u64),
+            ("snap_allocs", stats.metrics.snapshot.fresh_allocations()),
+            ("snap_recycled", stats.metrics.snapshot.recycled()),
         ] {
             row.insert(key.into(), serde_json::Value::from(value));
         }
@@ -343,6 +347,8 @@ pub fn run_grid(name: &str, spec: &GridSpec) -> Vec<serde_json::Value> {
                 .map_or(0, |(_, ops)| ops)
                 .to_string(),
             stats.registers.to_string(),
+            stats.metrics.snapshot.fresh_allocations().to_string(),
+            stats.metrics.snapshot.recycled().to_string(),
         ]);
     }
     table.emit();
@@ -529,6 +535,16 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Bursty { burst: 8 },
                 grid: vec![(16, 2), (16, 4)],
                 seeds: 0..10,
+            },
+        ),
+        grid(
+            "snapshot-compact",
+            "large-n snapshot renaming over the view-recycling record arena (memory-compaction axis)",
+            GridSpec {
+                algo: AlgoSpec::Snapshot,
+                adversary: AdversarySpec::Random,
+                grid: vec![(63, 32), (127, 64), (255, 128)],
+                seeds: 0..3,
             },
         ),
         grid(

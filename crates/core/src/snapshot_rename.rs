@@ -72,6 +72,13 @@ impl SnapshotRename {
         self.snap.registers().len()
     }
 
+    /// The backing snapshot object (introspection — e.g. reading its
+    /// record-recycling arena telemetry after a sweep).
+    #[must_use]
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
     /// Renames with an explicit participant slot. `token` must be unique
     /// among participants (original names qualify); `slot` must be unique
     /// too and is this participant's snapshot component.

@@ -521,6 +521,52 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_recycling_is_invisible_to_pooled_adversarial_audits() {
+        // The pigeonhole adversary forces one deterministic staged
+        // execution on snapshot renaming; the snapshot's record/view
+        // recycling arena must change neither the report nor the final
+        // register bank the post-trial audits read. The bank comparison
+        // walks `Word::Snap` registers whose embedded views are length
+        // `n` — the `Arc::ptr_eq`-fast-path `PartialEq` keeps that audit
+        // O(1) per shared view instead of O(n).
+        use exsel_shm::StepMachine as _;
+        let n = 24;
+        let k = n;
+        let run = |recycle: bool| {
+            let mut alloc = RegAlloc::new();
+            let algo = SnapshotRename::new(&mut alloc, n);
+            // The recycling flag lives on the object's shared arena;
+            // flipping it on a clone governs the whole object.
+            let _ = algo.snapshot().clone().recycling(recycle);
+            let m = algo.name_bound();
+            let r = alloc.total() as u64;
+            let mut engine = StepEngine::reusable(alloc.total());
+            let mut pool: exsel_sim::MachinePool<_> = (0..n)
+                .map(|p| {
+                    algo.begin_rename_slot(p, p as u64 + 1).map_output(
+                        exsel_core::Outcome::name as fn(exsel_core::Outcome) -> Option<u64>,
+                    )
+                })
+                .collect();
+            let report =
+                run_machines_against_pooled(&mut engine, &mut pool, alloc.total(), k, m, r);
+            let bank: Vec<exsel_shm::Word> = engine.registers().to_vec();
+            (report, bank)
+        };
+        let (on, bank_on) = run(true);
+        let (off, bank_off) = run(false);
+        assert_eq!(on.stages, off.stages);
+        assert_eq!(on.pool_sizes, off.pool_sizes);
+        assert_eq!(on.max_steps_named, off.max_steps_named);
+        assert_eq!(on.named, off.named);
+        assert!(on.exclusive && off.exclusive);
+        assert_eq!(
+            bank_on, bank_off,
+            "post-trial register audits diverged under recycling"
+        );
+    }
+
+    #[test]
     fn small_instance_trivial_bound() {
         // N ≤ 2M: the bound degenerates to 1 step, and the run is benign.
         let k = 4;

@@ -53,6 +53,7 @@ mod alloc;
 mod ctx;
 mod error;
 mod mem;
+mod snap_arena;
 pub mod snapshot;
 pub mod step;
 mod threaded;
@@ -62,6 +63,7 @@ pub use alloc::{RegAlloc, RegRange};
 pub use ctx::Ctx;
 pub use error::{Crash, Step};
 pub use mem::{Memory, OpKind, Pid, RegId};
+pub use snap_arena::{SnapArena, SnapArenaStats};
 pub use snapshot::Snapshot;
 pub use step::{drive, MapOutput, Poll, ShmOp, StepMachine};
 pub use threaded::ThreadedShm;

@@ -19,6 +19,12 @@
 //! the paper prescribes, and what lets the `exsel-sim` step engine run
 //! snapshot-based algorithms without blocking threads.
 //!
+//! Memory-wise the object is **compacted** by a per-object [`SnapArena`]:
+//! displaced records and retired view buffers are reclaimed under `Arc`
+//! uniqueness and refilled in place, so steady-state updates and scans
+//! perform no heap allocation (see the arena's docs for the reclaim
+//! invariants and `ARCHITECTURE.md` for the full lifecycle).
+//!
 //! Each slot is single-writer: at most one process may call `update` on a
 //! given slot (the usual SWMR snapshot discipline). Scans may be invoked by
 //! anyone.
@@ -28,10 +34,18 @@ use std::sync::Arc;
 use crate::step::{ShmOp, StepMachine};
 use crate::{drive, Ctx, OpKind, Pid, RegAlloc, RegId, RegRange, SnapRecord, Step, Word};
 
+pub use crate::snap_arena::{SnapArena, SnapArenaStats};
 pub use crate::step::Poll;
 
 /// An `n`-component wait-free atomic snapshot object laid out over `n`
 /// shared registers.
+///
+/// The object carries a [`SnapArena`]: displaced records and retired
+/// view buffers are reclaimed (under `Arc` uniqueness) and refilled in
+/// place instead of reallocated, so steady-state snapshot traffic is
+/// heap-silent. Recycling changes no operation sequence and no returned
+/// value; [`Snapshot::recycling`] keeps the never-recycling baseline
+/// available as a differential-test oracle.
 ///
 /// ```
 /// use exsel_shm::{Ctx, Pid, RegAlloc, Snapshot, ThreadedShm, Word};
@@ -48,6 +62,7 @@ pub use crate::step::Poll;
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     regs: RegRange,
+    arena: Arc<SnapArena>,
 }
 
 /// The sequence number of a raw snapshot-register word — the
@@ -73,7 +88,28 @@ impl Snapshot {
         assert!(n > 0, "snapshot object needs at least one component");
         Snapshot {
             regs: alloc.reserve(n),
+            arena: Arc::new(SnapArena::new(n)),
         }
+    }
+
+    /// Toggles record/view recycling (on by default). With recycling
+    /// off, every update installs a freshly allocated [`SnapRecord`] and
+    /// every direct scan collects a fresh view — the pre-arena baseline,
+    /// kept as the oracle for differential tests: both modes perform
+    /// identical operation sequences and return value-identical views.
+    /// The flag lives on the shared arena, so it also governs clones of
+    /// this object and operations already begun.
+    #[must_use]
+    pub fn recycling(self, on: bool) -> Self {
+        self.arena.set_recycling(on);
+        self
+    }
+
+    /// The object's record/view recycling arena (telemetry and capacity
+    /// inspection).
+    #[must_use]
+    pub fn arena(&self) -> &SnapArena {
+        &self.arena
     }
 
     /// Number of components.
@@ -91,7 +127,7 @@ impl Snapshot {
     /// Starts a poll-based scan.
     #[must_use]
     pub fn begin_scan(&self) -> ScanOp {
-        ScanOp::new(self.regs)
+        ScanOp::new(self.regs, Arc::clone(&self.arena))
     }
 
     /// Starts a poll-based update of `slot` to `value`.
@@ -140,17 +176,24 @@ impl Snapshot {
 /// In-progress poll-based scan — a [`StepMachine`] performing exactly one
 /// shared-memory read per step.
 ///
-/// Steady-state collects are allocation-free: the collect buffers are
-/// reused across rounds (and across trials via [`StepMachine::reset`]),
-/// and each slot's stored record carries its sequence number as a
-/// *generation tag* — a re-read whose tag matches is dropped without
-/// cloning the record's `Arc`, so quiescent registers cost no refcount
-/// traffic at all.
+/// Steady-state scans are allocation-free end to end: the collect
+/// buffers are reused across rounds (and across trials via
+/// [`StepMachine::reset`]); each slot's stored record carries its
+/// sequence number as a *generation tag* — a re-read whose tag matches
+/// is dropped without cloning the record's `Arc`, so quiescent registers
+/// cost no refcount traffic at all; and the view a successful direct
+/// double-collect returns comes from the object's [`SnapArena`] — a
+/// retired buffer refilled in place, or, when no register changed since
+/// this scanner's previous direct scan, the generation-tagged cached
+/// view itself (no refill, no allocation).
 #[derive(Clone, Debug)]
 pub struct ScanOp {
     regs: RegRange,
-    /// The shared never-written record (generation 0), allocated once at
-    /// construction and reinstalled — not reallocated — on reset.
+    /// The object's recycling arena (shared; also holds the never-written
+    /// generation-0 record, allocated once per *object*).
+    arena: Arc<SnapArena>,
+    /// Clone of the arena's shared initial record, reinstalled — not
+    /// reallocated — on reset.
     initial: Arc<SnapRecord>,
     /// Sequence numbers seen in the previous complete collect.
     prev_seq: Vec<u64>,
@@ -163,20 +206,74 @@ pub struct ScanOp {
     idx: usize,
     /// How many times each writer has been observed to move.
     moved: Vec<u8>,
+    /// Generation tags of the last direct view this scan returned (all 0
+    /// = the initial all-null view, which `last_direct` starts as).
+    direct_seq: Vec<u64>,
+    /// The last direct view returned: re-returned as-is while no
+    /// register's tag moves past `direct_seq`.
+    last_direct: Arc<[Word]>,
 }
 
 impl ScanOp {
-    fn new(regs: RegRange) -> Self {
+    fn new(regs: RegRange, arena: Arc<SnapArena>) -> Self {
         let n = regs.len();
-        let initial = Arc::new(SnapRecord::initial(n));
+        let initial = Arc::clone(arena.initial());
         ScanOp {
             regs,
             prev_seq: vec![0; n],
             have_prev: false,
             cur: vec![Arc::clone(&initial); n],
-            initial,
             idx: 0,
             moved: vec![0; n],
+            direct_seq: vec![0; n],
+            last_direct: Arc::clone(&initial.view),
+            initial,
+            arena,
+        }
+    }
+
+    /// The view of a completed direct double-collect: the values of
+    /// `cur`, materialized without allocating whenever the arena can
+    /// serve the request — the cached previous direct view if no
+    /// register changed since it was taken (same generation tags ⇒ the
+    /// very same records ⇒ identical values, by the SWMR discipline), or
+    /// a retired buffer refilled in place. Falls back to a fresh collect
+    /// (arena miss, or recycling disabled) with identical contents.
+    fn direct_view(&mut self) -> Arc<[Word]> {
+        if self.arena.recycling_enabled() {
+            if self
+                .cur
+                .iter()
+                .zip(&self.direct_seq)
+                .all(|(rec, &seq)| rec.seq == seq)
+            {
+                self.arena.note_view_cache_hit();
+                return Arc::clone(&self.last_direct);
+            }
+            let view = match self.arena.take_view() {
+                Some(mut view) => {
+                    let buf = Arc::get_mut(&mut view).expect("taken view is uniquely owned");
+                    for (dst, rec) in buf.iter_mut().zip(&self.cur) {
+                        dst.clone_from(&rec.value);
+                    }
+                    self.arena.put_view(&view, false);
+                    view
+                }
+                None => {
+                    let view: Arc<[Word]> = self.cur.iter().map(|r| r.value.clone()).collect();
+                    self.arena.put_view(&view, true);
+                    view
+                }
+            };
+            for (seq, rec) in self.direct_seq.iter_mut().zip(&self.cur) {
+                *seq = rec.seq;
+            }
+            self.last_direct = Arc::clone(&view);
+            view
+        } else {
+            let view: Arc<[Word]> = self.cur.iter().map(|r| r.value.clone()).collect();
+            self.arena.put_view(&view, true);
+            view
         }
     }
 
@@ -249,8 +346,7 @@ impl StepMachine for ScanOp {
                 .all(|(rec, &prev)| rec.seq == prev)
             {
                 // Two identical consecutive collects: direct scan.
-                let view: Vec<Word> = self.cur.iter().map(|r| r.value.clone()).collect();
-                return Poll::Ready(view.into());
+                return Poll::Ready(self.direct_view());
             }
             for j in 0..n {
                 if self.cur[j].seq != self.prev_seq[j] {
@@ -273,7 +369,11 @@ impl StepMachine for ScanOp {
 
     fn reset(&mut self, _pid: Pid) {
         // Stale records must go: a fresh trial restarts every writer's
-        // sequence numbers, so a leftover tag could falsely match.
+        // sequence numbers, so a leftover tag could falsely match. The
+        // direct-view cache resets to the initial all-null view for the
+        // same reason (all-zero tags describe it exactly), which also
+        // keeps the previous trial's values from ever escaping a reused
+        // machine.
         for (slot, prev) in self.cur.iter_mut().zip(&mut self.prev_seq) {
             *slot = Arc::clone(&self.initial);
             *prev = 0;
@@ -281,6 +381,8 @@ impl StepMachine for ScanOp {
         self.have_prev = false;
         self.idx = 0;
         self.moved.fill(0);
+        self.direct_seq.fill(0);
+        self.last_direct = Arc::clone(&self.initial.view);
     }
 }
 
@@ -295,10 +397,11 @@ enum UpdateState {
 /// In-progress poll-based update — a [`StepMachine`] performing exactly
 /// one shared-memory operation per step. The embedded [`ScanOp`] is a
 /// permanent field (not a state payload) so [`StepMachine::reset`]
-/// re-arms the update without reallocating the collect buffers; the one
-/// unavoidable steady-state allocation is the freshly installed
-/// [`SnapRecord`] itself — that is the copy-on-write object the readers
-/// share.
+/// re-arms the update without reallocating the collect buffers; the
+/// installed [`SnapRecord`] itself comes from the object's
+/// [`SnapArena`] — a displaced record, reclaimed once every reader has
+/// let go of it, mutated in place under `Arc` uniqueness — so at steady
+/// state even the record install touches no allocator.
 #[derive(Clone, Debug)]
 pub struct UpdateOp {
     regs: RegRange,
@@ -317,9 +420,12 @@ impl UpdateOp {
     /// `value` **within the same trial** — the allocation-free
     /// counterpart of [`Snapshot::begin_update`] for machines that
     /// update many times per trial. The embedded scan keeps its collect
-    /// buffers and generation-tag cache (see [`ScanOp::restart`]);
-    /// only the freshly installed [`SnapRecord`] itself is ever
-    /// allocated, and that is the copy-on-write object readers share.
+    /// buffers and generation-tag caches (see [`ScanOp::restart`]), and
+    /// the installed record is reclaimed from the object's [`SnapArena`]
+    /// whenever a displaced one has become uniquely owned — at steady
+    /// state a re-armed update allocates nothing at all. Dropping the
+    /// previous record handle here never frees it: the arena keeps
+    /// every installed record reclaimable.
     ///
     /// # Panics
     ///
@@ -391,12 +497,32 @@ impl StepMachine for UpdateOp {
             UpdateState::ReadOwn => {
                 // One read of our own register to learn our sequence number
                 // (each slot is single-writer, so no one else bumps it).
-                let rec = SnapRecord {
-                    seq: seq_of(input) + 1,
-                    value: self.value.clone(),
-                    view: self.view.take().expect("scan completed"),
+                let seq = seq_of(input) + 1;
+                let view = self.view.take().expect("scan completed");
+                let arena = &self.scan.arena;
+                let (rec, fresh) = match arena.take_record() {
+                    Some(mut rec) => {
+                        // Uniquely owned: mutating in place is invisible
+                        // to every reader by construction. Replacing the
+                        // record's old view drops one ref; the arena
+                        // keeps the buffer for a future direct scan.
+                        let slot = Arc::get_mut(&mut rec).expect("taken record is uniquely owned");
+                        slot.seq = seq;
+                        slot.value.clone_from(&self.value);
+                        slot.view = view;
+                        (rec, false)
+                    }
+                    None => (
+                        Arc::new(SnapRecord {
+                            seq,
+                            value: self.value.clone(),
+                            view,
+                        }),
+                        true,
+                    ),
                 };
-                self.rec = Some(Arc::new(rec));
+                arena.put_record(&rec, fresh);
+                self.rec = Some(rec);
                 self.state = UpdateState::Write;
                 Poll::Pending
             }
@@ -627,6 +753,120 @@ mod tests {
         let mem = ThreadedShm::new(alloc.total(), 1);
         let mut op = a.begin_scan();
         let _ = op.step(&b, Ctx::new(&mem, Pid(0)));
+    }
+
+    #[test]
+    fn rearmed_updates_recycle_records_and_views() {
+        let (snap, mem) = setup(2, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut op = snap.begin_update(0, Word::Int(1));
+        drive(&mut op, ctx).unwrap();
+        // Warm up: a few re-armed updates retire displaced records into
+        // the arena and let the scanner caches move past them.
+        for i in 2..6u64 {
+            op.rearm(0, Word::Int(i));
+            drive(&mut op, ctx).unwrap();
+        }
+        let before = snap.arena().stats();
+        assert!(before.records_fresh > 0, "fresh installs counted");
+        for i in 6..12u64 {
+            op.rearm(0, Word::Int(i));
+            drive(&mut op, ctx).unwrap();
+        }
+        let after = snap.arena().stats().since(&before);
+        assert_eq!(
+            after.fresh_allocations(),
+            0,
+            "steady-state re-armed updates must allocate nothing: {after:?}"
+        );
+        assert!(after.records_recycled >= 6);
+        let view = snap.scan(ctx).unwrap();
+        assert_eq!(&view[..], &[Word::Int(11), Word::Null]);
+    }
+
+    #[test]
+    fn unchanged_registers_serve_the_cached_direct_view() {
+        let (snap, mem) = setup(3, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        snap.update(ctx, 1, Word::Int(4)).unwrap();
+        let mut op = snap.begin_scan();
+        let first = drive(&mut op, ctx).unwrap();
+        let hits = snap.arena().stats().view_cache_hits;
+        op.restart();
+        let second = drive(&mut op, ctx).unwrap();
+        // No register moved: the very same view comes back, no refill.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(snap.arena().stats().view_cache_hits, hits + 1);
+        // A write invalidates the cache; the next direct view differs.
+        snap.update(ctx, 2, Word::Int(9)).unwrap();
+        op.restart();
+        let third = drive(&mut op, ctx).unwrap();
+        assert!(!Arc::ptr_eq(&second, &third));
+        assert_eq!(&third[..], &[Word::Null, Word::Int(4), Word::Int(9)]);
+    }
+
+    #[test]
+    fn recycling_off_is_the_frozen_baseline() {
+        let (snap, mem) = setup(2, 1);
+        let snap = snap.recycling(false);
+        assert!(!snap.arena().recycling_enabled());
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut op = snap.begin_update(0, Word::Int(1));
+        drive(&mut op, ctx).unwrap();
+        for i in 2..6u64 {
+            op.rearm(0, Word::Int(i));
+            drive(&mut op, ctx).unwrap();
+        }
+        let stats = snap.arena().stats();
+        assert_eq!(stats.records_recycled + stats.views_recycled, 0);
+        assert_eq!(stats.records_fresh, 5, "one fresh record per update");
+        assert_eq!(snap.arena().cached_records(), 0, "baseline tracks nothing");
+        // Both modes return the same values.
+        let view = snap.scan(ctx).unwrap();
+        assert_eq!(&view[..], &[Word::Int(5), Word::Null]);
+    }
+
+    #[test]
+    fn recycled_views_are_value_identical_to_fresh_ones() {
+        // Drive the same update/scan sequence against a recycling and a
+        // non-recycling object over identical layouts: every returned
+        // view must match by value.
+        let run = |recycle: bool| -> Vec<Vec<Word>> {
+            let mut alloc = RegAlloc::new();
+            let snap = Snapshot::new(&mut alloc, 2).recycling(recycle);
+            let mem = ThreadedShm::new(alloc.total(), 2);
+            let ctx = Ctx::new(&mem, Pid(0));
+            let mut views = Vec::new();
+            let mut update = snap.begin_update(0, Word::Int(1));
+            drive(&mut update, ctx).unwrap();
+            let mut scan = snap.begin_scan();
+            for i in 0..8u64 {
+                update.rearm((i % 2) as usize, Word::Int(10 + i));
+                drive(&mut update, ctx).unwrap();
+                scan.restart();
+                views.push(drive(&mut scan, ctx).unwrap().to_vec());
+            }
+            views
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn reset_scan_does_not_leak_the_previous_trials_view() {
+        // Pool reuse: after reset(pid) the cached direct view must be
+        // the initial all-null view again, not the old trial's values —
+        // the registers of a new trial restart at Null with tag 0.
+        let (snap, mem) = setup(2, 1);
+        let ctx = Ctx::new(&mem, Pid(0));
+        snap.update(ctx, 0, Word::Int(7)).unwrap();
+        let mut op = snap.begin_scan();
+        assert_eq!(drive(&mut op, ctx).unwrap()[0], Word::Int(7));
+        op.reset(Pid(0));
+        // Fresh "trial" memory: all registers Null again.
+        let mem2 = ThreadedShm::new(snap.registers().len(), 1);
+        let ctx2 = Ctx::new(&mem2, Pid(0));
+        let view = drive(&mut op, ctx2).unwrap();
+        assert!(view.iter().all(Word::is_null), "leaked {view:?}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::Arc;
 /// assert_eq!(w.as_int(), Some(3));
 /// assert!(Word::Null.is_null());
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, Eq)]
 pub enum Word {
     /// Initial "empty" register contents.
     #[default]
@@ -85,6 +85,26 @@ impl Word {
     }
 }
 
+/// Structural equality with an [`Arc::ptr_eq`] fast path on
+/// [`Word::Snap`]: two registers holding the *same* record (the common
+/// case for unchanged-register checks — scanners and engines re-reading
+/// a quiescent component see the identical `Arc`) compare in O(1)
+/// instead of deep-comparing the record's length-`n` embedded view (and,
+/// recursively, any `Snap` nested inside it). Pointer-unequal records
+/// still fall back to full structural comparison, so value-equal words
+/// always compare equal regardless of sharing.
+impl PartialEq for Word {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Word::Null, Word::Null) => true,
+            (Word::Int(a), Word::Int(b)) => a == b,
+            (Word::Pair(a, b), Word::Pair(c, d)) => a == c && b == d,
+            (Word::Snap(a), Word::Snap(b)) => Arc::ptr_eq(a, b) || **a == **b,
+            _ => false,
+        }
+    }
+}
+
 impl From<u64> for Word {
     fn from(v: u64) -> Self {
         Word::Int(v)
@@ -121,7 +141,7 @@ impl fmt::Display for Word {
 /// current value of the component, and the *embedded view* — a snapshot
 /// taken by the writer during its update, which concurrent scanners may
 /// borrow (Afek et al., JACM 1993).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Eq)]
 pub struct SnapRecord {
     /// Per-writer sequence number, strictly increasing across updates.
     pub seq: u64,
@@ -129,6 +149,18 @@ pub struct SnapRecord {
     pub value: Word,
     /// The view embedded by the writer (one entry per component).
     pub view: Arc<[Word]>,
+}
+
+/// Structural equality with an [`Arc::ptr_eq`] fast path on the embedded
+/// view: records sharing one view buffer (recycled scan outputs, borrowed
+/// views) compare without walking the `n` embedded words. See the
+/// matching fast path on [`Word`].
+impl PartialEq for SnapRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+            && self.value == other.value
+            && (Arc::ptr_eq(&self.view, &other.view) || self.view == other.view)
+    }
 }
 
 impl SnapRecord {
@@ -194,6 +226,57 @@ mod tests {
             view: vec![].into(),
         });
         assert_eq!(Word::Snap(rec).to_string(), "snap#3");
+    }
+
+    #[test]
+    fn ptr_unequal_but_value_equal_records_compare_equal() {
+        // Two structurally identical records behind different Arcs (and
+        // different view buffers) must compare equal — the ptr_eq fast
+        // path is an optimization, never a semantic change.
+        let make = || SnapRecord {
+            seq: 4,
+            value: Word::Pair(1, 2),
+            view: vec![Word::Int(9), Word::Null].into(),
+        };
+        let (a, b) = (Arc::new(make()), Arc::new(make()));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a.view, &b.view));
+        assert_eq!(*a, *b);
+        assert_eq!(Word::Snap(a), Word::Snap(b));
+    }
+
+    #[test]
+    fn shared_records_compare_without_deep_equality() {
+        // A register word and its re-read share one Arc: the comparison
+        // must succeed through the pointer fast path even when the
+        // embedded views nest further Snap words (which a deep walk
+        // would recurse into).
+        let inner = Arc::new(SnapRecord {
+            seq: 1,
+            value: Word::Int(3),
+            view: vec![Word::Null; 3].into(),
+        });
+        let rec = Arc::new(SnapRecord {
+            seq: 2,
+            value: Word::Snap(inner),
+            view: vec![Word::Null; 3].into(),
+        });
+        assert_eq!(Word::Snap(Arc::clone(&rec)), Word::Snap(rec));
+    }
+
+    #[test]
+    fn unequal_records_still_compare_unequal() {
+        let base = SnapRecord {
+            seq: 7,
+            value: Word::Int(1),
+            view: vec![Word::Int(5)].into(),
+        };
+        let mut other = base.clone();
+        other.view = vec![Word::Int(6)].into();
+        assert_ne!(base, other);
+        let mut other = base.clone();
+        other.seq = 8;
+        assert_ne!(base, other);
     }
 
     #[test]

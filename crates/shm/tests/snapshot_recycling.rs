@@ -1,0 +1,185 @@
+//! Differential property test of the snapshot recycling arena: pooled
+//! scans and updates driven over a recycling object must produce views
+//! **bit-identical** to the never-recycling baseline
+//! (`Snapshot::recycling(false)`) under arbitrary interleavings, with
+//! crashes, and across trial boundaries that reuse the same machines via
+//! `StepMachine::reset` (the pooling contract).
+//!
+//! The two flavors are driven by the *same* generated schedule over
+//! identical register layouts, so any divergence — a recycled buffer
+//! leaking a stale word, a cache returning an outdated view, a reset
+//! failing to drop the previous trial's state — shows up as a value
+//! mismatch.
+
+use std::sync::Arc;
+
+use exsel_shm::snapshot::{Poll, ScanOp, UpdateOp};
+use exsel_shm::{Ctx, Pid, RegAlloc, Snapshot, StepMachine, ThreadedShm, Word};
+use proptest::prelude::*;
+
+/// One simulated process alternating update → scan forever, pooled
+/// across trials: the update and scan ops are built once and re-armed /
+/// reset in place.
+struct Proc {
+    update: UpdateOp,
+    scan: ScanOp,
+    scanning: bool,
+    round: u64,
+    crashed: bool,
+}
+
+/// Runs `trials` trials of the same `schedule` against one persistent
+/// `Snapshot` (fresh memory per trial, machines reused via `reset`),
+/// returning every completed scan view plus the final register bank of
+/// each trial — the full observable surface.
+fn run_flavor(
+    recycling: bool,
+    n: usize,
+    schedule: &[usize],
+    crash_at: Option<(usize, usize)>,
+    trials: usize,
+) -> Vec<(Vec<Vec<Word>>, Vec<Word>)> {
+    let mut alloc = RegAlloc::new();
+    let snap = Snapshot::new(&mut alloc, n).recycling(recycling);
+    let regs = alloc.total();
+    let mut procs: Vec<Proc> = (0..n)
+        .map(|p| Proc {
+            update: snap.begin_update(p, Word::Int(1)),
+            scan: snap.begin_scan(),
+            scanning: false,
+            round: 0,
+            crashed: false,
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        // Trial boundary: fresh registers, machines reset in place —
+        // exactly what `MachinePool::begin_trial` + `StepEngine::reset`
+        // do on the engine.
+        let mem = ThreadedShm::new(regs, n);
+        for (p, proc) in procs.iter_mut().enumerate() {
+            proc.update.reset(Pid(p));
+            proc.scan.reset(Pid(p));
+            proc.update.rearm(p, Word::Int(value_of(trial, 0, p)));
+            proc.scanning = false;
+            proc.round = 0;
+            proc.crashed = false;
+        }
+        let mut views: Vec<Vec<Word>> = Vec::new();
+        for (step, &grant) in schedule.iter().enumerate() {
+            let p = grant % n;
+            if procs[p].crashed {
+                continue;
+            }
+            if crash_at == Some((step, p)) {
+                mem.crash(Pid(p));
+                procs[p].crashed = true;
+                continue;
+            }
+            let ctx = Ctx::new(&mem, Pid(p));
+            let proc = &mut procs[p];
+            if proc.scanning {
+                if let Poll::Ready(view) = proc.scan.step(&snap, ctx).unwrap() {
+                    views.push(view.to_vec());
+                    proc.scanning = false;
+                    proc.round += 1;
+                    proc.update
+                        .rearm(p, Word::Int(value_of(trial, proc.round, p)));
+                }
+            } else if let Poll::Ready(()) = proc.update.step(&snap, ctx).unwrap() {
+                proc.scanning = true;
+                proc.scan.restart();
+            }
+        }
+        // Final register contents, read by a surviving process (at most
+        // one crash per trial, so with n ≥ 2 one always exists).
+        let reader = (0..n).find(|&p| !procs[p].crashed).expect("survivor");
+        let ctx = Ctx::new(&mem, Pid(reader));
+        let bank: Vec<Word> = (0..regs)
+            .map(|r| ctx.read(exsel_shm::RegId(r)).unwrap())
+            .collect();
+        out.push((views, bank));
+    }
+
+    if recycling {
+        let stats = snap.arena().stats();
+        assert!(
+            stats.recycled() > 0 || stats.fresh_allocations() <= (n * trials) as u64,
+            "arena never engaged: {stats:?}"
+        );
+    }
+    out
+}
+
+/// Deterministic distinct update values, so a leaked buffer from a
+/// previous trial or round is guaranteed to hold different words.
+fn value_of(trial: usize, round: u64, pid: usize) -> u64 {
+    1 + (trial as u64) * 10_000 + round * 100 + pid as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interleaved pooled scans/updates with recycling on are
+    /// observation-identical to the never-recycling baseline: same
+    /// views (bit for bit), same final register banks, across crashes
+    /// and trial reuse.
+    #[test]
+    fn recycling_is_invisible_to_every_interleaving(
+        n in 2usize..5,
+        schedule in prop::collection::vec(0usize..8, 24..160),
+        crash_step in 0usize..160,
+        crash_pid in 0usize..8,
+    ) {
+        let crash_at = Some((crash_step, crash_pid % n));
+        let recycled = run_flavor(true, n, &schedule, crash_at, 3);
+        let baseline = run_flavor(false, n, &schedule, crash_at, 3);
+        prop_assert_eq!(recycled.len(), baseline.len());
+        for (trial, (r, b)) in recycled.iter().zip(&baseline).enumerate() {
+            prop_assert_eq!(&r.0, &b.0, "views diverged in trial {}", trial);
+            prop_assert_eq!(&r.1, &b.1, "register banks diverged in trial {}", trial);
+        }
+    }
+
+    /// Crash-free runs agree too (the schedule space without the crash
+    /// point, which also exercises longer same-trial re-arm chains).
+    #[test]
+    fn recycling_is_invisible_without_crashes(
+        n in 2usize..5,
+        schedule in prop::collection::vec(0usize..8, 24..200),
+    ) {
+        let recycled = run_flavor(true, n, &schedule, None, 2);
+        let baseline = run_flavor(false, n, &schedule, None, 2);
+        prop_assert_eq!(recycled, baseline);
+    }
+}
+
+/// A recycled view returned to a caller is immutable from that moment
+/// on: later updates and scans must never overwrite a buffer the caller
+/// still holds (the `Arc`-uniqueness reclaim rule).
+#[test]
+fn returned_views_are_frozen_forever() {
+    let mut alloc = RegAlloc::new();
+    let snap = Snapshot::new(&mut alloc, 3);
+    let mem = ThreadedShm::new(alloc.total(), 1);
+    let ctx = Ctx::new(&mem, Pid(0));
+    let mut update = snap.begin_update(0, Word::Int(1));
+    exsel_shm::drive(&mut update, ctx).unwrap();
+    let mut scan = snap.begin_scan();
+    let held = exsel_shm::drive(&mut scan, ctx).unwrap();
+    let frozen: Vec<Word> = held.to_vec();
+    // Hammer the object: many recycled updates and scans.
+    for i in 2..40u64 {
+        update.rearm((i % 3) as usize, Word::Int(i));
+        exsel_shm::drive(&mut update, ctx).unwrap();
+        scan.restart();
+        let _ = exsel_shm::drive(&mut scan, ctx).unwrap();
+    }
+    assert_eq!(
+        &held[..],
+        &frozen[..],
+        "a held view was mutated by later recycling"
+    );
+    assert!(Arc::strong_count(&held) >= 1);
+}

@@ -73,7 +73,7 @@
 //! assert_eq!(outcome.steps, vec![2, 2, 2]);
 //! ```
 
-use exsel_shm::{Crash, OpKind, Pid, Poll, ShmOp, StepMachine, Word};
+use exsel_shm::{Crash, OpKind, Pid, Poll, ShmOp, SnapArenaStats, StepMachine, Word};
 
 use crate::policy::{Action, PendingOp, Policy};
 use crate::pool::MachinePool;
@@ -111,6 +111,11 @@ pub struct Metrics {
     pub max_contention: usize,
     /// Operations granted per register, indexed by register id.
     pub ops_per_register: Vec<u64>,
+    /// Snapshot record/view allocation and peak-view telemetry, folded
+    /// in by the sweep driver via [`Metrics::record_snapshot`] (the
+    /// engine itself does not know which registers back a snapshot
+    /// object — the arena does). Zero for non-snapshot workloads.
+    pub snapshot: SnapArenaStats,
 }
 
 impl Metrics {
@@ -125,6 +130,15 @@ impl Metrics {
         self.max_contention = 0;
         self.ops_per_register.clear();
         self.ops_per_register.resize(num_registers, 0);
+        self.snapshot = SnapArenaStats::default();
+    }
+
+    /// Folds a snapshot object's arena telemetry window into these
+    /// metrics — allocation counts add, peak record/view footprints take
+    /// the max. Sweeps call this once per sweep with
+    /// [`SnapArenaStats::since`] over the sweep's window.
+    pub fn record_snapshot(&mut self, stats: &SnapArenaStats) {
+        self.snapshot.merge(stats);
     }
 
     /// The register granted the most operations, with its count.
@@ -160,6 +174,7 @@ impl Metrics {
         {
             *acc += ops;
         }
+        self.snapshot.merge(&other.snapshot);
     }
 }
 

@@ -271,6 +271,21 @@ impl AlgoSet {
             .collect()
     }
 
+    /// The [`SnapArena`](exsel_shm::SnapArena) backing this family's
+    /// shared snapshot object, for families built on one — the hook
+    /// sweep drivers use to fold record/view recycling telemetry into
+    /// their [`Metrics`](crate::Metrics) (composite renamers box their
+    /// stages behind `StepRename` and expose no arena).
+    #[must_use]
+    pub fn snapshot_arena(&self) -> Option<&exsel_shm::SnapArena> {
+        match self {
+            AlgoSet::SnapshotRename(algo) => Some(algo.snapshot().arena()),
+            AlgoSet::Naming { naming, .. } => Some(naming.snapshot().arena()),
+            AlgoSet::Deposit { repo, .. } => Some(repo.naming().snapshot().arena()),
+            _ => None,
+        }
+    }
+
     /// Whether this family guarantees a claim for every surviving
     /// process (the `Majority` renamer only promises half; serve-only
     /// deposit machines legitimately claim nothing; everyone else names,

@@ -51,9 +51,19 @@ impl NamerState {
     /// The current list `L_p`, sorted ascending.
     #[must_use]
     pub fn list(&self) -> Vec<u64> {
-        let mut l: Vec<u64> = self.slots.iter().copied().filter(|&v| v != 0).collect();
-        l.sort_unstable();
+        let mut l = Vec::new();
+        self.fill_list_sorted(&mut l);
         l
+    }
+
+    /// Fills `buf` with the current list `L_p`, sorted ascending —
+    /// the allocation-free form of [`NamerState::list`] for hot retry
+    /// paths (the buffer is cleared and reused; `sort_unstable` is
+    /// in-place).
+    pub fn fill_list_sorted(&self, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend(self.slots.iter().copied().filter(|&v| v != 0));
+        buf.sort_unstable();
     }
 
     /// The fresh pointer `A_p`.
@@ -128,6 +138,13 @@ impl UnboundedNaming {
         self.w.registers().len() + self.b.iter().map(RegRange::len).sum::<usize>()
     }
 
+    /// The snapshot object `W` (introspection — e.g. reading its
+    /// record-recycling arena telemetry after a sweep).
+    #[must_use]
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.w
+    }
+
     /// Starts a poll-based acquire for process `pid`.
     ///
     /// # Panics
@@ -148,6 +165,8 @@ impl UnboundedNaming {
             } else {
                 AcqState::Publish { idx: 0 }
             },
+            list_scratch: Vec::new(),
+            published_scratch: Vec::new(),
         }
     }
 
@@ -258,6 +277,11 @@ pub struct AcquireOp {
     update: UpdateOp,
     scan: ScanOp,
     state: AcqState,
+    /// Scratch for the contention path (`choose_by_rank`): the sorted
+    /// list, reused so retries allocate nothing at steady state.
+    list_scratch: Vec<u64>,
+    /// Scratch for the published-candidate set of `choose_by_rank`.
+    published_scratch: Vec<u64>,
 }
 
 impl AcquireOp {
@@ -378,7 +402,13 @@ impl AcquireOp {
                             AcqState::CheckA { q }
                         };
                     } else {
-                        self.candidate = choose_by_rank(&view, self.slot, &st.list());
+                        st.fill_list_sorted(&mut self.list_scratch);
+                        self.candidate = choose_by_rank(
+                            &view,
+                            self.slot,
+                            &self.list_scratch,
+                            &mut self.published_scratch,
+                        );
                         self.update.rearm(self.slot, Word::Int(self.candidate));
                         self.state = AcqState::Update;
                     }
@@ -548,8 +578,11 @@ impl StepMachine for NamingMachine<'_> {
     }
 }
 
-/// The paper's *choosing by rank* over the naming list.
-fn choose_by_rank(view: &[Word], slot: usize, list: &[u64]) -> u64 {
+/// The paper's *choosing by rank* over the (sorted) naming list.
+/// `published` is caller-held scratch, refilled per call — acquire
+/// retries are a steady-state path of pooled naming machines and must
+/// not touch the allocator.
+fn choose_by_rank(view: &[Word], slot: usize, list: &[u64], published: &mut Vec<u64>) -> u64 {
     let on_list = |v: u64| list.binary_search(&v).is_ok();
     let rank = view
         .iter()
@@ -558,7 +591,8 @@ fn choose_by_rank(view: &[Word], slot: usize, list: &[u64]) -> u64 {
         .filter(|(_, w)| w.as_int().is_some_and(on_list))
         .count()
         .max(1);
-    let published: Vec<u64> = view.iter().filter_map(Word::as_int).collect();
+    published.clear();
+    published.extend(view.iter().filter_map(Word::as_int));
     list.iter()
         .copied()
         .filter(|v| !published.contains(v))

@@ -73,8 +73,8 @@ pub use exsel_core::{
     PolyLogRename, Rename, RenameConfig, SnapshotRename, StepRename,
 };
 pub use exsel_shm::{
-    drive, Crash, Ctx, Memory, Pid, Poll, RegAlloc, RegId, ShmOp, Step, StepMachine, ThreadedShm,
-    Word,
+    drive, Crash, Ctx, Memory, Pid, Poll, RegAlloc, RegId, ShmOp, SnapArena, SnapArenaStats,
+    Snapshot, Step, StepMachine, ThreadedShm, Word,
 };
 pub use exsel_sim::{SimBuilder, StepEngine};
 pub use exsel_storecollect::{StoreCollect, StoreHandle};

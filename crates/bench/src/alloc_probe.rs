@@ -1,0 +1,89 @@
+//! Heap-traffic counters for the flat-memory assertions of the mega
+//! scenario and the bench gate.
+//!
+//! The library forbids `unsafe`, so the `GlobalAlloc` wrapper itself
+//! lives in the binaries (`expt`, `bench_gate`): each installs a
+//! counting allocator that forwards to the system allocator and bumps
+//! [`note_alloc`]/[`note_dealloc`]. Library code only *reads* the
+//! counters — and because test harnesses and other embedders do not
+//! install the wrapper, every assertion on the counters must first check
+//! [`active`]: with no wrapper installed the counters stay at zero and
+//! flatness cannot be distinguished from absence of instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one heap allocation (called by the binaries' `GlobalAlloc`
+/// wrappers; never call from library code).
+pub fn note_alloc() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one heap deallocation (see [`note_alloc`]).
+pub fn note_dealloc() {
+    DEALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A window over the counters: capture one before and one after the
+/// region of interest, subtract with [`Counts::since`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Heap allocations observed so far.
+    pub allocs: u64,
+    /// Heap deallocations observed so far.
+    pub deallocs: u64,
+}
+
+impl Counts {
+    /// The counter deltas since `earlier`.
+    #[must_use]
+    pub fn since(&self, earlier: &Counts) -> Counts {
+        Counts {
+            allocs: self.allocs - earlier.allocs,
+            deallocs: self.deallocs - earlier.deallocs,
+        }
+    }
+}
+
+/// The current counter values.
+#[must_use]
+pub fn counts() -> Counts {
+    Counts {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+    }
+}
+
+/// Whether a counting allocator is installed in this process. Any real
+/// program has allocated long before a scenario body runs, so a zero
+/// count means "no wrapper", not "no traffic".
+#[must_use]
+pub fn active() -> bool {
+    ALLOCS.load(Ordering::Relaxed) > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_subtract() {
+        let a = Counts {
+            allocs: 10,
+            deallocs: 4,
+        };
+        let b = Counts {
+            allocs: 17,
+            deallocs: 9,
+        };
+        assert_eq!(
+            b.since(&a),
+            Counts {
+                allocs: 7,
+                deallocs: 5
+            }
+        );
+    }
+}

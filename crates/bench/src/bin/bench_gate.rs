@@ -1,0 +1,83 @@
+//! The bench gate: re-measures every committed BENCH workload in quick
+//! mode and checks it against the floors in `BENCH_engine.json` (25%
+//! per-row regression tolerance, clamped by the per-category hard
+//! floors — see [`exsel_bench::gate`]). Run from the repository root:
+//!
+//! ```text
+//! cargo run --release -p exsel-bench --bin bench_gate
+//! cargo run --release -p exsel-bench --bin bench_gate -- --full
+//! ```
+//!
+//! Exits non-zero when any row regresses, so CI can gate on it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+
+use exsel_bench::expts::{engine, mega};
+use exsel_bench::gate;
+
+/// The system allocator with every allocation and deallocation counted
+/// into [`exsel_bench::alloc_probe`], so the gate can hold the mega row
+/// to its zero-steady-state-allocations promise (the library forbids
+/// `unsafe`; the wrapper lives here in the binary).
+struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the counters are relaxed
+// atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        exsel_bench::alloc_probe::note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        exsel_bench::alloc_probe::note_dealloc();
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() -> ExitCode {
+    // Quick by default; `--full` re-measures at full scale (slower,
+    // tighter numbers). Unknown flags are ignored so harnesses that
+    // append e.g. `--test` keep working.
+    let full = std::env::args().skip(1).any(|a| a == "--full");
+    let quick = !full;
+    println!(
+        "bench gate: {} rerun vs committed BENCH_engine.json floors\n",
+        if quick { "quick" } else { "full-scale" }
+    );
+
+    let mut rows = engine::measure(quick);
+    rows.push(mega::measure(quick));
+
+    let committed = match std::fs::read_to_string("BENCH_engine.json") {
+        Ok(text) => match serde_json::from_str(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("BENCH_engine.json is unreadable ({e}); gating on hard floors only");
+                serde_json::Value::Array(Vec::new())
+            }
+        },
+        // No committed artifact (fresh checkout mid-regeneration):
+        // the per-category hard floors still apply.
+        Err(_) => serde_json::Value::Array(Vec::new()),
+    };
+
+    let report = gate::check(&rows, &committed);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if report.passed() {
+        println!("\nbench gate: all {} rows within tolerance", rows.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench gate FAILED:");
+        for failure in &report.failures {
+            eprintln!("  - {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -7,7 +7,31 @@
 //! cargo run --release -p exsel-bench --bin expt -- run majority --json
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+
+/// The system allocator with every allocation and deallocation counted
+/// into [`exsel_bench::alloc_probe`] — the observer behind the mega
+/// scenario's flat-memory claim (the library itself forbids `unsafe`,
+/// so the wrapper lives here in the binary).
+struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the counters are relaxed
+// atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        exsel_bench::alloc_probe::note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        exsel_bench::alloc_probe::note_dealloc();
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

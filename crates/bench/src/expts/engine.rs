@@ -22,11 +22,12 @@ use exsel_sim::policy::RandomPolicy;
 use exsel_sim::{AlgoSet, MachinePool, SetOutput, StepEngine};
 use exsel_unbounded::AltruisticDeposit;
 
+use crate::gate::Measurement as Row;
 use crate::runner::{run_sim, run_sim_engine, run_sim_engine_with, spread_originals};
 use crate::Table;
 
 /// Wall-clock of `iters` runs of `f`, in seconds.
-fn time(iters: u32, mut f: impl FnMut()) -> f64 {
+pub(crate) fn time(iters: u32, mut f: impl FnMut()) -> f64 {
     // One warmup.
     f();
     let start = Instant::now();
@@ -36,36 +37,24 @@ fn time(iters: u32, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() / f64::from(iters)
 }
 
-struct Row {
-    workload: String,
-    baseline: &'static str,
-    contender: &'static str,
-    baseline_s: f64,
-    contender_s: f64,
-    /// Extra integer facts recorded alongside the timings (e.g. the
-    /// before/after snapshot allocation counts of the compaction row).
-    extras: Vec<(&'static str, u64)>,
-}
-
-impl Row {
-    fn speedup(&self) -> f64 {
-        self.baseline_s / self.contender_s
-    }
-}
-
-/// Regenerates the T11 backend comparison and the engine-reuse numbers.
+/// Measures every T11 workload and returns the rows. `quick` is the
+/// bench-gate mode: fewer trials and iterations, the largest-k majority
+/// round and the thread-backed exploration (seconds of wall-clock by
+/// itself) skipped — rows keep the same [`crate::gate::workload_key`]s,
+/// so the gate compares them against the committed full-scale artifact.
 ///
 /// # Panics
 ///
-/// Panics if the backends diverge, if the engine speedup falls below the
-/// 5x acceptance floor, or if reused-engine trials are slower than
-/// fresh-engine trials beyond timing noise.
-pub fn run() {
+/// Panics if any backend pair diverges on the equivalence seeds — a
+/// correctness bug, gated here so a wrong-but-fast engine can never pass.
+#[must_use]
+pub fn measure(quick: bool) -> Vec<Row> {
     let cfg = RenameConfig::default();
     let mut rows = Vec::new();
 
     // Majority-renaming rounds under a seeded random schedule.
-    for k in [8usize, 32, 128] {
+    let majority_ks: &[usize] = if quick { &[8, 32] } else { &[8, 32, 128] };
+    for &k in majority_ks {
         let mut alloc = RegAlloc::new();
         let algo = Majority::new(&mut alloc, 1024, k, &cfg);
         let regs = alloc.total();
@@ -75,7 +64,13 @@ pub fn run() {
         let b = run_sim_engine(&algo, regs, &originals, 7);
         assert_eq!(a.names, b.names, "backends diverged at k={k}");
         assert_eq!(a.steps, b.steps, "backends diverged at k={k}");
-        let iters = if k >= 128 { 3 } else { 10 };
+        let iters = if k >= 128 {
+            3
+        } else if quick {
+            5
+        } else {
+            10
+        };
         let threads_s = time(iters, || {
             run_sim(&algo, regs, &originals, 7);
         });
@@ -93,8 +88,10 @@ pub fn run() {
     }
 
     // Exhaustive exploration of Compete-For-Register, 3 contenders —
-    // the fixed-depth model-checking workload.
-    {
+    // the fixed-depth model-checking workload. The thread-backed arm
+    // takes seconds per iteration, so the quick mode leaves this row to
+    // full regenerations.
+    if !quick {
         let mut alloc = RegAlloc::new();
         let bank = SlotBank::new(&mut alloc, 1);
         let regs = alloc.total();
@@ -147,7 +144,7 @@ pub fn run() {
     // per-trial construction cost (register bank, scratch, metric
     // buffers) that the reusable API amortizes.
     {
-        let trials = 64u64;
+        let trials = if quick { 16u64 } else { 64u64 };
         let k = 32usize;
         let mut alloc = RegAlloc::new();
         let algo = Majority::new(&mut alloc, 1024, k, &cfg);
@@ -164,12 +161,13 @@ pub fn run() {
                 assert_eq!(fresh.steps, again.steps, "reuse diverged at seed {seed}");
             }
         }
-        let fresh_s = time(5, || {
+        let iters = if quick { 3 } else { 5 };
+        let fresh_s = time(iters, || {
             for seed in 0..trials {
                 run_sim_engine(&algo, regs, &originals, seed);
             }
         });
-        let reused_s = time(5, || {
+        let reused_s = time(iters, || {
             let mut engine = StepEngine::reusable(regs);
             for seed in 0..trials {
                 let mut policy = RandomPolicy::new(seed);
@@ -197,7 +195,10 @@ pub fn run() {
     // `pending_rebuild` differential test); the delta is allocator
     // traffic + vtable dispatch + the per-decision pending rebuild.
     {
-        let trials = 64u64;
+        // Not as small as the other quick blocks: sub-millisecond
+        // windows make the boxed-vs-pooled ratio noisy enough to trip
+        // the gate on an otherwise healthy run.
+        let trials = if quick { 32u64 } else { 64u64 };
         let k = 32usize;
         let mut alloc = RegAlloc::new();
         let algo = Majority::new(&mut alloc, 1024, k, &cfg);
@@ -227,14 +228,15 @@ pub fn run() {
                 assert_eq!(boxed.steps, pool.steps(), "pool diverged at seed {seed}");
             }
         }
-        let boxed_s = time(5, || {
+        let iters = 5;
+        let boxed_s = time(iters, || {
             let mut engine = StepEngine::reusable(regs).pending_rebuild(true);
             for seed in 0..trials {
                 let mut policy = RandomPolicy::new(seed);
                 run_sim_engine_with(&mut engine, &algo, &originals, &mut policy);
             }
         });
-        let pooled_s = time(5, || {
+        let pooled_s = time(iters, || {
             let mut engine = StepEngine::reusable(regs);
             let mut pool = algo_set.pool(&originals);
             for seed in 0..trials {
@@ -276,7 +278,8 @@ pub fn run() {
                 "pooled exploration tree diverged"
             );
         }
-        let boxed_s = time(3, || {
+        let iters = if quick { 1 } else { 3 };
+        let boxed_s = time(iters, || {
             let mut engine = StepEngine::reusable(regs).pending_rebuild(true);
             exsel_sim::explore_engine_with(
                 &mut engine,
@@ -286,7 +289,7 @@ pub fn run() {
                 |_| {},
             );
         });
-        let pooled_s = time(3, || {
+        let pooled_s = time(iters, || {
             let mut pool = pool_of();
             explore_pool(regs, &mut pool, u64::MAX, |_| {});
         });
@@ -307,7 +310,7 @@ pub fn run() {
     // reset-in-place win is dominated by construction avoidance rather
     // than box churn.
     {
-        let trials = 32u64;
+        let trials = if quick { 8u64 } else { 32u64 };
         let n = 8usize;
         let mut alloc = RegAlloc::new();
         let algo_set = AlgoSet::Deposit {
@@ -350,14 +353,15 @@ pub fn run() {
                 );
             }
         }
-        let boxed_s = time(5, || {
+        let iters = if quick { 2 } else { 5 };
+        let boxed_s = time(iters, || {
             let mut engine = StepEngine::reusable(regs).pending_rebuild(true);
             for seed in 0..trials {
                 let mut policy = RandomPolicy::new(seed);
                 engine.run_trial(&mut policy, boxed_machines());
             }
         });
-        let pooled_s = time(5, || {
+        let pooled_s = time(iters, || {
             let mut engine = StepEngine::reusable(regs);
             let mut pool = algo_set.pool(&originals);
             for seed in 0..trials {
@@ -386,7 +390,7 @@ pub fn run() {
         use exsel_shm::snapshot::UpdateOp;
         use exsel_shm::{Snapshot, Word};
         const N: usize = 128;
-        let trials = 8u64;
+        let trials = if quick { 2u64 } else { 8u64 };
         let build = |recycle: bool| {
             let mut alloc = RegAlloc::new();
             (
@@ -430,23 +434,21 @@ pub fn run() {
                 );
             }
         }
+        let timed = if quick { 1u64 } else { 3u64 };
         let measure = |snap: &Snapshot| -> (f64, u64) {
             let mut engine = StepEngine::reusable(regs);
             let mut pool = pool_of(snap);
             // One warm sweep (inside `time`) stretches the arena.
             let before_stats = snap.arena().stats();
-            let secs = time(3, || sweep(&mut engine, &mut pool));
-            // 4 sweeps ran (1 warm + 3 timed): report the per-sweep
-            // average allocation count of the timed portion.
+            let secs = time(timed as u32, || sweep(&mut engine, &mut pool));
+            // `timed + 1` sweeps ran (1 warm + `timed` timed): report the
+            // per-sweep average allocation count across them. The gate
+            // owns the recycle-on-vs-off floor (`gate::check`).
             let window = snap.arena().stats().since(&before_stats);
-            (secs, window.fresh_allocations() / 4)
+            (secs, window.fresh_allocations() / (timed + 1))
         };
         let (off_s, off_allocs) = measure(&snap_off);
         let (on_s, on_allocs) = measure(&snap_on);
-        assert!(
-            on_allocs * 10 < off_allocs,
-            "recycling barely dented snapshot allocations: {on_allocs} vs {off_allocs}"
-        );
         rows.push(Row {
             workload: format!("machine_pool/snapshot_compact/n={N} x{trials}"),
             baseline: "recycle_off",
@@ -459,6 +461,21 @@ pub fn run() {
             ],
         });
     }
+
+    rows
+}
+
+/// Runs every T11 workload at full scale, emits the table and merges
+/// the rows into `BENCH_engine.json` (at the cwd, i.e. the repo root
+/// under `cargo run`). Regression floors live in the bench gate
+/// ([`crate::gate::check`], run by the `bench_gate` binary in CI), not
+/// here — one noisy run must not destroy the regenerated artifact.
+///
+/// # Panics
+///
+/// Panics only if a backend pair diverges (see [`measure`]).
+pub fn run() {
+    let rows = measure(false);
 
     let mut table = Table::new(
         "T11 execution machinery — backend and engine-reuse comparisons",
@@ -483,94 +500,46 @@ pub fn run() {
     }
     table.emit();
 
-    // Record for the repository *before* the acceptance asserts below:
-    // one noisy row must not destroy the whole regenerated artifact
-    // (BENCH_engine.json at the cwd, i.e. the repo root under
-    // `cargo run`).
-    let mut entries = Vec::new();
-    for row in &rows {
-        let mut obj = serde_json::Map::new();
-        obj.insert(
-            "workload".into(),
-            serde_json::Value::String(row.workload.clone()),
-        );
-        obj.insert(
-            format!("{}_ms", row.baseline),
-            serde_json::Value::Float(row.baseline_s * 1e3),
-        );
-        obj.insert(
-            format!("{}_ms", row.contender),
-            serde_json::Value::Float(row.contender_s * 1e3),
-        );
-        obj.insert("speedup".into(), serde_json::Value::Float(row.speedup()));
-        for (key, value) in &row.extras {
-            obj.insert((*key).into(), serde_json::Value::from(*value));
-        }
-        entries.push(serde_json::Value::Object(obj));
-    }
-    let doc = serde_json::Value::Array(entries);
-    if let Err(e) = std::fs::write("BENCH_engine.json", format!("{doc}\n")) {
+    if let Err(e) = crate::gate::merge_into_artifact("BENCH_engine.json", &rows) {
         eprintln!("(could not write BENCH_engine.json: {e})");
     } else {
         println!("wrote BENCH_engine.json");
     }
 
-    let backend_rows: Vec<&Row> = rows.iter().filter(|r| r.baseline == "threads").collect();
-    let min_speedup = backend_rows
+    let backend_speedups: Vec<f64> = rows
         .iter()
-        .map(|r| r.speedup())
-        .fold(f64::INFINITY, f64::min);
-    println!(
-        "\nstep engine is {:.0}x-{:.0}x faster than threads; executions verified identical per backend.",
-        min_speedup,
-        backend_rows
-            .iter()
-            .map(|r| r.speedup())
-            .fold(0.0, f64::max)
-    );
-    assert!(
-        min_speedup >= 5.0,
-        "engine speedup {min_speedup:.1}x below the 5x acceptance floor"
-    );
+        .filter(|r| r.baseline == "threads")
+        .map(Row::speedup)
+        .collect();
+    if !backend_speedups.is_empty() {
+        println!(
+            "\nstep engine is {:.0}x-{:.0}x faster than threads; executions verified identical per backend.",
+            backend_speedups.iter().copied().fold(f64::INFINITY, f64::min),
+            backend_speedups.iter().copied().fold(0.0, f64::max)
+        );
+    }
 
-    let reuse = rows
-        .iter()
-        .find(|r| r.baseline == "fresh")
-        .expect("reuse row present");
-    println!(
-        "engine reuse: {:.3} ms fresh vs {:.3} ms reused per sweep ({:.2}x).",
-        reuse.baseline_s * 1e3,
-        reuse.contender_s * 1e3,
-        reuse.speedup()
-    );
-    // "No slower" with headroom for 1-CPU scheduling noise: the
-    // measured edge is only a few percent, so a tight margin would make
-    // this scenario flaky without anything having regressed.
-    assert!(
-        reuse.contender_s <= reuse.baseline_s * 1.25,
-        "reused-engine trials slower than fresh construction: {:.3} ms vs {:.3} ms",
-        reuse.contender_s * 1e3,
-        reuse.baseline_s * 1e3
-    );
+    if let Some(reuse) = rows.iter().find(|r| r.baseline == "fresh") {
+        println!(
+            "engine reuse: {:.3} ms fresh vs {:.3} ms reused per sweep ({:.2}x).",
+            reuse.baseline_s * 1e3,
+            reuse.contender_s * 1e3,
+            reuse.speedup()
+        );
+    }
 
-    // The 2x floor judges the boxed-vs-pooled recipe rows; the snapshot
-    // compaction row competes on allocations (asserted above), not
+    // The snapshot compaction row competes on allocations, not
     // wall-clock — the collect loop dominates its runtime either way.
-    let pool_rows: Vec<&Row> = rows
+    let pool_speedups: Vec<f64> = rows
         .iter()
         .filter(|r| r.workload.starts_with("machine_pool/") && r.baseline == "pr2_boxed")
+        .map(Row::speedup)
         .collect();
-    let min_pool_speedup = pool_rows
-        .iter()
-        .map(|r| r.speedup())
-        .fold(f64::INFINITY, f64::min);
-    println!(
-        "machine pool: {:.2}x-{:.2}x over boxed-per-trial machines.",
-        min_pool_speedup,
-        pool_rows.iter().map(|r| r.speedup()).fold(0.0, f64::max)
-    );
-    assert!(
-        min_pool_speedup >= 2.0,
-        "machine-pool speedup {min_pool_speedup:.2}x below the 2x acceptance floor"
-    );
+    if !pool_speedups.is_empty() {
+        println!(
+            "machine pool: {:.2}x-{:.2}x over boxed-per-trial machines.",
+            pool_speedups.iter().copied().fold(f64::INFINITY, f64::min),
+            pool_speedups.iter().copied().fold(0.0, f64::max)
+        );
+    }
 }

@@ -19,6 +19,7 @@ pub mod compare;
 pub mod engine;
 pub mod lowerbound;
 pub mod majority;
+pub mod mega;
 pub mod polylog;
 pub mod repository;
 pub mod scaling;

@@ -18,13 +18,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_probe;
 pub mod expts;
+pub mod gate;
 pub mod runner;
 pub mod scenario;
 pub mod table;
 
 pub use runner::{
-    run_sim, run_sim_engine, run_sim_engine_with, run_threaded, sweep, sweep_random, RenamingRun,
-    TrialStats,
+    run_sim, run_sim_engine, run_sim_engine_with, run_threaded, sweep, sweep_pool,
+    sweep_pool_sharded, sweep_random, RenamingRun, TrialStats,
 };
 pub use table::Table;

@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use std::ops::Range;
 
 use exsel_core::{Rename, StepRename};
-use exsel_shm::{Ctx, Pid, RegAlloc, StepMachine, ThreadedShm};
+use exsel_shm::{Ctx, Pid, RegAlloc, RegisterBank, StepMachine, ThreadedShm};
 use exsel_sim::{
     policy::RandomPolicy, AlgoSet, MachinePool, MachineSet, Metrics, Policy, SimBuilder,
     SimOutcome, StepEngine,
@@ -290,19 +290,49 @@ where
 ///
 /// Works for every algorithm family ([`AlgoSet`]), not just renamers:
 /// per-trial safety asserts that completed processes' *claims* (names /
-/// value registers / claimed integers) are pairwise distinct.
+/// value registers / claimed integers) are pairwise distinct. Generic
+/// over the engine's register-bank backend, so the same sweep runs on
+/// the `Arc` bank and the slab bank.
 ///
 /// # Panics
 ///
 /// Panics if two processes ever hold the same claim.
-pub fn sweep_pool<B, P>(
-    engine: &mut StepEngine,
+pub fn sweep_pool<Bank, B, P>(
+    engine: &mut StepEngine<Bank>,
     seeds: Range<u64>,
     originals: &[u64],
     build: B,
     policy: P,
 ) -> TrialStats
 where
+    Bank: RegisterBank,
+    B: FnOnce(&mut RegAlloc) -> AlgoSet,
+    P: Fn(u64) -> Box<dyn Policy>,
+{
+    sweep_pool_sharded(engine, seeds, originals, build, policy, 1)
+}
+
+/// [`sweep_pool`] over the sharded grant loop
+/// ([`StepEngine::run_pool_sharded`]): the pending set is split into
+/// `shards` contiguous pid ranges and the policy decides in cache-local
+/// batches per shard. `shards == 1` is exactly [`sweep_pool`] (the
+/// engine delegates to the unsharded loop); `shards > 1` is its own
+/// deterministic adversary — same safety guarantees, different traces.
+///
+/// # Panics
+///
+/// Panics if two processes ever hold the same claim, or if
+/// `shards == 0`.
+pub fn sweep_pool_sharded<Bank, B, P>(
+    engine: &mut StepEngine<Bank>,
+    seeds: Range<u64>,
+    originals: &[u64],
+    build: B,
+    policy: P,
+    shards: usize,
+) -> TrialStats
+where
+    Bank: RegisterBank,
     B: FnOnce(&mut RegAlloc) -> AlgoSet,
     P: Fn(u64) -> Box<dyn Policy>,
 {
@@ -326,7 +356,7 @@ where
     let mut claims: Vec<u64> = Vec::with_capacity(originals.len());
     for seed in seeds {
         let mut policy = policy(seed);
-        engine.run_pool(policy.as_mut(), &mut pool);
+        engine.run_pool_sharded(policy.as_mut(), &mut pool, shards);
         // Audit every exclusive claim of the trial. Naming and deposit
         // machines may commit several claims per trial (and claims
         // committed before a crash are permanent), so read the machines'
@@ -483,6 +513,32 @@ mod tests {
         assert_eq!(boxed.min_named, pooled.min_named);
         assert_eq!(boxed.registers, pooled.registers);
         assert_eq!(boxed.max_unnamed_survivors, pooled.max_unnamed_survivors);
+    }
+
+    #[test]
+    fn sharded_sweep_is_safe_and_one_shard_matches_unsharded() {
+        let originals = spread_originals(8, 64);
+        let build = |alloc: &mut RegAlloc| AlgoSet::MoirAnderson(MoirAnderson::new(alloc, 8));
+        let policy = |seed: u64| -> Box<dyn Policy> { Box::new(RandomPolicy::new(seed)) };
+        let mut engine = StepEngine::reusable(0);
+        let unsharded = sweep_pool(&mut engine, 0..4, &originals, build, policy);
+        // One shard delegates to the unsharded grant loop: identical
+        // trials, identical folded metrics.
+        let mut engine = StepEngine::reusable(0);
+        let one = sweep_pool_sharded(&mut engine, 0..4, &originals, build, policy, 1);
+        assert_eq!(unsharded.metrics, one.metrics);
+        assert_eq!(unsharded.max_name, one.max_name);
+        // Four shards is a different (still deterministic) adversary:
+        // safety holds and every granted op lands in some shard.
+        let mut engine = StepEngine::reusable(0);
+        let four = sweep_pool_sharded(&mut engine, 0..4, &originals, build, policy, 4);
+        assert_eq!(four.max_unnamed_survivors, 0);
+        assert_eq!(four.min_named, 8);
+        assert_eq!(four.metrics.shard_ops.len(), 4);
+        assert_eq!(
+            four.metrics.shard_ops.iter().sum::<u64>(),
+            four.metrics.total_ops
+        );
     }
 
     #[test]

@@ -22,13 +22,13 @@ use exsel_core::{
     AdaptiveRename, AlmostAdaptive, BasicRename, EfficientRename, Majority, MoirAnderson,
     PolyLogRename, RenameConfig, SnapshotRename,
 };
-use exsel_shm::RegAlloc;
+use exsel_shm::{RegAlloc, SlabBank};
 use exsel_sim::policy::{Bursty, CrashAfter, CrashStorm, Pigeonhole, RandomPolicy, RoundRobin};
 use exsel_sim::{AlgoSet, Policy, StepEngine};
 use exsel_storecollect::StoreCollect;
 use exsel_unbounded::{AltruisticDeposit, UnboundedNaming};
 
-use crate::runner::{spread_originals, sweep_pool, TrialStats};
+use crate::runner::{spread_originals, sweep_pool_sharded, TrialStats};
 use crate::{expts, Table};
 
 /// A named experiment in the registry.
@@ -63,6 +63,12 @@ pub struct GridSpec {
     pub grid: Vec<(usize, usize)>,
     /// Seeds per cell (each seed is one pooled trial).
     pub seeds: Range<u64>,
+    /// Shards for the engine's grant loop: `1` (the registry default)
+    /// runs the classic unsharded loop; `> 1` splits the pending set
+    /// into that many contiguous pid ranges and batches policy
+    /// decisions per shard (`StepEngine::run_pool_sharded`). The `expt`
+    /// CLI overrides this per run with `--shards`.
+    pub shards: usize,
 }
 
 /// The algorithm families a grid can instantiate. Each is built **once
@@ -241,11 +247,20 @@ impl AdversarySpec {
 /// Runs one grid scenario: for every `(N, k)` cell, builds the
 /// algorithm instance and its machine pool **once**, then sweeps the
 /// seeds through the allocation-free pooled trial loop
-/// ([`crate::runner::sweep_pool`]) on one reusable, contention-measuring
-/// `StepEngine`, and emits a table with the folded worst cases and
-/// engine metrics. Safety (claim exclusiveness among survivors) is
-/// asserted inside the sweep on every trial. Returns the rows as JSON
-/// objects for `--json-out` artifact persistence.
+/// ([`crate::runner::sweep_pool_sharded`]) on one reusable,
+/// contention-measuring slab-backed `StepEngine`, and emits a table with
+/// the folded worst cases and engine metrics. Safety (claim
+/// exclusiveness among survivors) is asserted inside the sweep on every
+/// trial. Returns the rows as JSON objects for `--json-out` artifact
+/// persistence; on top of the table columns the JSON rows carry the
+/// shard axis (`shards`, `shard_ops`, `shard_contention`) and the slab
+/// bank's occupancy telemetry (`slab_live`, `slab_peak`).
+///
+/// The grids run on the [`exsel_shm::SlabBank`] backend — trials are
+/// bit-identical to the `Arc` bank (`tests/pooled_determinism.rs`
+/// proves it for every family × policy), so the emitted statistics are
+/// unchanged and the scenario doubles as a large-surface exercise of
+/// the slab path.
 ///
 /// # Panics
 ///
@@ -279,18 +294,19 @@ pub fn run_grid(name: &str, spec: &GridSpec) -> Vec<serde_json::Value> {
     // Budget exhaustion is reported (budget_crashed column), not a
     // panic: a livelocking grid cell records its trials instead of
     // killing the whole scenario run.
-    let mut engine = StepEngine::reusable(0)
+    let mut engine = StepEngine::reusable_with(0, SlabBank::new())
         .measure_contention(true)
         .panic_on_budget(false);
     let mut artifact = Vec::new();
     for &(n_names, k) in &spec.grid {
         let originals = spread_originals(k, n_names);
-        let stats: TrialStats = sweep_pool(
+        let stats: TrialStats = sweep_pool_sharded(
             &mut engine,
             spec.seeds.clone(),
             &originals,
             |alloc| spec.algo.build_set(alloc, n_names, k, &cfg),
             |seed| spec.adversary.build(seed, k),
+            spec.shards,
         );
         if spec.algo.names_all_survivors() {
             assert_eq!(
@@ -326,6 +342,26 @@ pub fn run_grid(name: &str, spec: &GridSpec) -> Vec<serde_json::Value> {
             ("registers", stats.registers as u64),
             ("snap_allocs", stats.metrics.snapshot.fresh_allocations()),
             ("snap_recycled", stats.metrics.snapshot.recycled()),
+            // The shard axis: grant counts per shard sum to total_ops
+            // (all zero width when unsharded), contention is the worst
+            // same-register pending count seen within any one shard.
+            ("shards", spec.shards as u64),
+            ("shard_ops", stats.metrics.shard_ops.iter().sum::<u64>()),
+            (
+                "shard_contention",
+                stats
+                    .metrics
+                    .shard_contention
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0) as u64,
+            ),
+            // Slab occupancy: Snap-payload slots still live after the
+            // cell's last trial, and the engine-lifetime peak (the slab
+            // is reused across cells, so the peak is cumulative).
+            ("slab_live", engine.bank().live_slots() as u64),
+            ("slab_peak", engine.bank().peak_slots() as u64),
         ] {
             row.insert(key.into(), serde_json::Value::from(value));
         }
@@ -437,6 +473,11 @@ pub fn registry() -> Vec<Scenario> {
             "T11 backend + engine-reuse wall-clock (writes BENCH_engine.json)",
             expts::engine::run,
         ),
+        table(
+            "mega",
+            "n=10^6 majority sweep: slab bank + SoA pool, sharded (updates BENCH_engine.json)",
+            expts::mega::run,
+        ),
         grid(
             "smoke",
             "tiny fair-schedule grid for CI (seconds, asserts safety)",
@@ -445,6 +486,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Random,
                 grid: vec![(16, 4), (32, 8)],
                 seeds: 0..3,
+                shards: 1,
             },
         ),
         grid(
@@ -455,6 +497,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::CrashStorm { probability: 0.05 },
                 grid: vec![(32, 8), (64, 16), (128, 32)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -465,6 +508,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::CrashAfter { after: 6 },
                 grid: vec![(32, 8), (64, 16), (128, 32)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -475,6 +519,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Pigeonhole { lead: 8 },
                 grid: vec![(64, 4), (64, 8), (256, 16)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -485,6 +530,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Bursty { burst: 3 },
                 grid: vec![(256, 8), (1024, 16)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -495,6 +541,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Bursty { burst: 24 },
                 grid: vec![(32, 8), (64, 16)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -505,6 +552,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::CrashStorm { probability: 0.05 },
                 grid: vec![(64, 4), (128, 8), (256, 16)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -515,6 +563,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Random,
                 grid: vec![(64, 4), (256, 8)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -525,6 +574,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Random,
                 grid: vec![(16, 2), (16, 4), (16, 8)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -535,6 +585,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Bursty { burst: 8 },
                 grid: vec![(16, 2), (16, 4)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -545,6 +596,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Random,
                 grid: vec![(63, 32), (127, 64), (255, 128)],
                 seeds: 0..3,
+                shards: 1,
             },
         ),
         grid(
@@ -558,6 +610,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::CrashStorm { probability: 0.02 },
                 grid: vec![(512, 2), (512, 3), (768, 4)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
         grid(
@@ -571,6 +624,7 @@ pub fn registry() -> Vec<Scenario> {
                 adversary: AdversarySpec::Bursty { burst: 8 },
                 grid: vec![(512, 2), (768, 3)],
                 seeds: 0..10,
+                shards: 1,
             },
         ),
     ]
@@ -624,6 +678,9 @@ pub struct RunOverrides {
     /// `--json-out <path>`: persist grid rows as a JSON artifact (e.g.
     /// `BENCH_grid.json`).
     pub json_out: Option<String>,
+    /// `--shards k`: run the grid's trials on the sharded grant loop
+    /// with `k` pending-set shards instead of the registry default.
+    pub shards: Option<usize>,
 }
 
 impl RunOverrides {
@@ -634,6 +691,9 @@ impl RunOverrides {
         }
         if let Some(sizes) = &self.sizes {
             spec.grid = sizes.clone();
+        }
+        if let Some(shards) = self.shards {
+            spec.shards = shards;
         }
     }
 }
@@ -664,7 +724,7 @@ fn parse_size(entry: &str) -> Result<(usize, usize), String> {
 ///
 /// ```text
 /// expt -- list [--filter <substr>]
-/// expt -- run <name> [--seeds N] [--sizes a,b,c | N:k,...]
+/// expt -- run <name> [--seeds N] [--sizes a,b,c | N:k,...] [--shards k]
 ///                    [--json-out <path>] [--json]
 /// ```
 ///
@@ -722,13 +782,13 @@ pub fn cli(args: &[String]) -> Result<(), String> {
                 println!("(no scenario matches the filter)");
             }
             println!("
-run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>] [--json]");
+run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--json-out <path>] [--json]");
             Ok(())
         }
         Some("run") => {
             let name = args
                 .get(1)
-                .ok_or_else(|| "usage: expt -- run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>]".to_string())?;
+                .ok_or_else(|| "usage: expt -- run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--json-out <path>]".to_string())?;
             let mut overrides = RunOverrides::default();
             let mut rest = args.iter().skip(2);
             while let Some(flag) = rest.next() {
@@ -752,6 +812,15 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>]
                         );
                     }
                     "--json-out" => overrides.json_out = Some(value(&mut rest)?),
+                    "--shards" => {
+                        let v = value(&mut rest)?;
+                        let shards: usize =
+                            v.parse().map_err(|_| format!("bad --shards `{v}`"))?;
+                        if shards == 0 {
+                            return Err("--shards needs at least one shard".into());
+                        }
+                        overrides.shards = Some(shards);
+                    }
                     other => return Err(format!("unknown run flag `{other}`")),
                 }
             }
@@ -769,7 +838,7 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>]
                 overrides.apply(spec);
             } else if overrides != RunOverrides::default() {
                 return Err(format!(
-                    "scenario `{name}` is a table — --seeds/--sizes/--json-out only apply to grids"
+                    "scenario `{name}` is a table — --seeds/--sizes/--shards/--json-out only apply to grids"
                 ));
             }
             let rows = run_scenario(&scenario);
@@ -783,7 +852,7 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>]
             Ok(())
         }
         Some(other) => Err(format!(
-            "unknown command `{other}` — usage: expt -- (list [--filter <substr>] | run <name> [--seeds N] [--sizes a,b,c] [--json-out <path>]) [--json]"
+            "unknown command `{other}` — usage: expt -- (list [--filter <substr>] | run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--json-out <path>]) [--json]"
         )),
     }
 }
@@ -833,6 +902,7 @@ mod tests {
                 adversary: AdversarySpec::CrashStorm { probability: 0.2 },
                 grid: vec![(16, 4)],
                 seeds: 0..5,
+                shards: 1,
             },
         );
     }
@@ -854,6 +924,7 @@ mod tests {
                     adversary: adv,
                     grid: vec![(16, 4)],
                     seeds: 0..2,
+                    shards: 1,
                 },
             );
         }
@@ -871,6 +942,9 @@ mod tests {
         assert!(cli(&["run".into(), "smoke".into(), "--seeds".into(), "x".into()]).is_err());
         assert!(cli(&["run".into(), "smoke".into(), "--sizes".into(), "0".into()]).is_err());
         assert!(cli(&["run".into(), "smoke".into(), "--sizes".into(), "4:8".into()]).is_err());
+        assert!(cli(&["run".into(), "smoke".into(), "--shards".into()]).is_err());
+        assert!(cli(&["run".into(), "smoke".into(), "--shards".into(), "x".into()]).is_err());
+        assert!(cli(&["run".into(), "smoke".into(), "--shards".into(), "0".into()]).is_err());
         assert!(cli(&["run".into(), "smoke".into(), "--frob".into()]).is_err());
         assert!(cli(&["list".into(), "--frob".into()]).is_err());
         // Table scenarios reject grid-only overrides without running.
@@ -905,6 +979,49 @@ mod tests {
         assert!(artifact.contains("\"trials\":2"));
         assert!(artifact.contains("\"k\":4"));
         assert!(artifact.contains("\"k\":8"));
+        assert!(artifact.contains("\"shards\":1"));
+    }
+
+    #[test]
+    fn sharded_grid_rows_carry_the_shard_axis() {
+        let rows = run_grid(
+            "test-sharded",
+            &GridSpec {
+                algo: AlgoSpec::MoirAnderson,
+                adversary: AdversarySpec::Random,
+                grid: vec![(32, 8)],
+                seeds: 0..3,
+                shards: 4,
+            },
+        );
+        assert_eq!(rows.len(), 1);
+        let serde_json::Value::Object(row) = &rows[0] else {
+            panic!("grid row is not an object");
+        };
+        assert_eq!(row.get("shards"), Some(&serde_json::Value::from(4u64)));
+        // Every granted op lands in some shard.
+        assert_eq!(row.get("shard_ops"), row.get("total_ops"));
+        assert!(row.get("slab_live").is_some() && row.get("slab_peak").is_some());
+    }
+
+    #[test]
+    fn shards_override_reaches_the_artifact() {
+        let dir = std::env::temp_dir().join(format!("exsel_shards_{}", std::process::id()));
+        let path = dir.to_string_lossy().to_string();
+        cli(&[
+            "run".into(),
+            "smoke".into(),
+            "--seeds".into(),
+            "2".into(),
+            "--shards".into(),
+            "3".into(),
+            "--json-out".into(),
+            path.clone(),
+        ])
+        .expect("sharded smoke run succeeds");
+        let artifact = std::fs::read_to_string(&path).expect("artifact written");
+        let _ = std::fs::remove_file(&path);
+        assert!(artifact.contains("\"shards\":3"));
     }
 
     #[test]
@@ -925,6 +1042,7 @@ mod tests {
                 adversary: AdversarySpec::CrashStorm { probability: 0.1 },
                 grid: vec![(32, 4)],
                 seeds: 0..3,
+                shards: 1,
             },
         );
         assert_eq!(rows.len(), 1);
@@ -935,6 +1053,7 @@ mod tests {
                 adversary: AdversarySpec::Random,
                 grid: vec![(32, 4)],
                 seeds: 0..3,
+                shards: 1,
             },
         );
         run_grid(
@@ -944,6 +1063,7 @@ mod tests {
                 adversary: AdversarySpec::Random,
                 grid: vec![(16, 3)],
                 seeds: 0..3,
+                shards: 1,
             },
         );
     }
@@ -960,6 +1080,7 @@ mod tests {
                 adversary: AdversarySpec::Bursty { burst: 4 },
                 grid: vec![(512, 3)],
                 seeds: 0..3,
+                shards: 1,
             },
         );
         assert_eq!(rows.len(), 1);
@@ -973,6 +1094,7 @@ mod tests {
                 adversary: AdversarySpec::CrashStorm { probability: 0.05 },
                 grid: vec![(512, 3)],
                 seeds: 0..3,
+                shards: 1,
             },
         );
     }

@@ -110,19 +110,31 @@ impl SnapshotRename {
             token,
             proposal: 1,
             iterations: 0,
-            state: SrState::Update(self.snap.begin_update(slot, Word::Pair(token, 1))),
+            update: self.snap.begin_update(slot, Word::Pair(token, 1)),
+            scan: self.snap.begin_scan(),
+            phase: SrPhase::Update,
+            tokens: Vec::new(),
+            foreign_proposals: Vec::new(),
         }
     }
 }
 
-#[derive(Clone, Debug)]
-enum SrState {
-    Update(UpdateOp),
-    Scan(ScanOp),
+/// Which of the two owned sub-machines is running.
+#[derive(Clone, Copy, Debug)]
+enum SrPhase {
+    Update,
+    Scan,
 }
 
 /// In-progress snapshot-based renaming — a [`StepMachine`] running the
 /// propose/scan/re-propose loop one shared-memory operation per step.
+///
+/// The update and scan sub-machines are **owned and re-armed in place**
+/// (like the unbounded-naming `AcquireOp`): a re-proposal round calls
+/// [`UpdateOp::rearm`]/[`ScanOp::restart`] instead of constructing fresh
+/// ops, and the decide scratch (token/proposal sort buffers) keeps its
+/// capacity across rounds — so a pooled steady-state trial allocates
+/// nothing (`tests/alloc_free.rs`).
 #[derive(Clone, Debug)]
 pub struct SnapshotRenameOp<'a> {
     algo: &'a SnapshotRename,
@@ -131,20 +143,26 @@ pub struct SnapshotRenameOp<'a> {
     proposal: u64,
     /// Completed propose/scan rounds.
     iterations: u64,
-    state: SrState,
+    update: UpdateOp,
+    scan: ScanOp,
+    phase: SrPhase,
+    /// Decide scratch: published tokens of the last view, sorted.
+    tokens: Vec<u64>,
+    /// Decide scratch: other participants' proposals, sorted.
+    foreign_proposals: Vec<u64>,
 }
 
 impl SnapshotRenameOp<'_> {
     /// Digests a completed scan: decide, or compute the next proposal.
     fn decide(&mut self, view: &Arc<[Word]>) -> Poll<Outcome> {
-        let mut tokens: Vec<u64> = Vec::new();
-        let mut foreign_proposals: Vec<u64> = Vec::new();
+        self.tokens.clear();
+        self.foreign_proposals.clear();
         let mut duplicate = false;
         for (i, w) in view.iter().enumerate() {
             if let Some((t, p)) = w.as_pair() {
-                tokens.push(t);
+                self.tokens.push(t);
                 if i != self.slot {
-                    foreign_proposals.push(p);
+                    self.foreign_proposals.push(p);
                     if p == self.proposal {
                         duplicate = true;
                     }
@@ -161,14 +179,15 @@ impl SnapshotRenameOp<'_> {
         }
         // Re-propose: the r-th smallest positive integer free of foreign
         // proposals, r = rank of our token.
-        tokens.sort_unstable();
-        let rank = tokens
+        self.tokens.sort_unstable();
+        let rank = self
+            .tokens
             .iter()
             .position(|&t| t == self.token)
             .expect("own token in view")
             + 1;
-        foreign_proposals.sort_unstable();
-        self.proposal = nth_free(&foreign_proposals, rank);
+        self.foreign_proposals.sort_unstable();
+        self.proposal = nth_free(&self.foreign_proposals, rank);
 
         self.iterations += 1;
         if self.iterations >= self.algo.max_iterations {
@@ -182,11 +201,9 @@ impl SnapshotRenameOp<'_> {
                 return Poll::Ready(Outcome::Failed);
             }
         }
-        self.state = SrState::Update(
-            self.algo
-                .snap
-                .begin_update(self.slot, Word::Pair(self.token, self.proposal)),
-        );
+        self.update
+            .rearm(self.slot, Word::Pair(self.token, self.proposal));
+        self.phase = SrPhase::Update;
         Poll::Pending
     }
 }
@@ -195,21 +212,24 @@ impl StepMachine for SnapshotRenameOp<'_> {
     type Output = Outcome;
 
     fn op(&self) -> ShmOp {
-        match &self.state {
-            SrState::Update(update) => update.op(),
-            SrState::Scan(scan) => scan.op(),
+        match self.phase {
+            SrPhase::Update => self.update.op(),
+            SrPhase::Scan => self.scan.op(),
         }
     }
 
     fn advance(&mut self, input: &Word) -> Poll<Outcome> {
-        match &mut self.state {
-            SrState::Update(update) => {
-                if let Poll::Ready(()) = update.advance(input) {
-                    self.state = SrState::Scan(self.algo.snap.begin_scan());
+        match self.phase {
+            SrPhase::Update => {
+                if let Poll::Ready(()) = self.update.advance(input) {
+                    // In-trial restart keeps the scanner's generation
+                    // caches (valid while writer sequence numbers grow).
+                    self.scan.restart();
+                    self.phase = SrPhase::Scan;
                 }
                 Poll::Pending
             }
-            SrState::Scan(scan) => match scan.advance(input) {
+            SrPhase::Scan => match self.scan.advance(input) {
                 Poll::Pending => Poll::Pending,
                 Poll::Ready(view) => self.decide(&view),
             },
@@ -217,23 +237,25 @@ impl StepMachine for SnapshotRenameOp<'_> {
     }
 
     fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
-        match &self.state {
-            SrState::Update(update) => update.peek(),
-            SrState::Scan(scan) => scan.peek(),
+        match self.phase {
+            SrPhase::Update => self.update.peek(),
+            SrPhase::Scan => self.scan.peek(),
         }
     }
 
-    fn reset(&mut self, _pid: Pid) {
+    fn reset(&mut self, pid: Pid) {
         // The slot is part of the machine's construction (`pid.0` when
         // started through `StepRename::begin_rename`, the caller's slot
-        // otherwise) and stays; only the execution state re-arms.
+        // otherwise) and stays; only the execution state re-arms. The
+        // sub-machines reset fully (cross-trial: writer sequence numbers
+        // restart, so scan generation caches must drop), then the update
+        // is re-armed to the first proposal.
         self.proposal = 1;
         self.iterations = 0;
-        self.state = SrState::Update(
-            self.algo
-                .snap
-                .begin_update(self.slot, Word::Pair(self.token, 1)),
-        );
+        self.update.reset(pid);
+        self.update.rearm(self.slot, Word::Pair(self.token, 1));
+        self.scan.reset(pid);
+        self.phase = SrPhase::Update;
     }
 }
 

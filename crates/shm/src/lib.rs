@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod alloc;
+mod bank;
 mod ctx;
 mod error;
 mod mem;
@@ -60,6 +61,7 @@ mod threaded;
 mod word;
 
 pub use alloc::{RegAlloc, RegRange};
+pub use bank::{ArcBank, RegisterBank, SlabBank};
 pub use ctx::Ctx;
 pub use error::{Crash, Step};
 pub use mem::{Memory, OpKind, Pid, RegId};

@@ -73,11 +73,14 @@
 //! assert_eq!(outcome.steps, vec![2, 2, 2]);
 //! ```
 
-use exsel_shm::{Crash, OpKind, Pid, Poll, ShmOp, SnapArenaStats, StepMachine, Word};
+use exsel_shm::{
+    ArcBank, Crash, OpKind, Pid, Poll, RegisterBank, ShmOp, SnapArenaStats, StepMachine, Word,
+};
 
 use crate::policy::{Action, PendingOp, Policy};
 use crate::pool::MachinePool;
 use crate::runner::SimOutcome;
+use crate::soa::MachineBank;
 
 /// The input handed to a machine consuming a granted write.
 const NULL_WORD: Word = Word::Null;
@@ -111,6 +114,15 @@ pub struct Metrics {
     pub max_contention: usize,
     /// Operations granted per register, indexed by register id.
     pub ops_per_register: Vec<u64>,
+    /// Operations granted per shard of the last **sharded** trial
+    /// ([`StepEngine::run_pool_sharded`]), indexed by shard. Empty for
+    /// unsharded trials.
+    pub shard_ops: Vec<u64>,
+    /// Largest same-register pending count observed *within* each shard
+    /// at a grant, indexed by shard. Only collected when
+    /// [`StepEngine::measure_contention`] is on; empty for unsharded
+    /// trials.
+    pub shard_contention: Vec<usize>,
     /// Snapshot record/view allocation and peak-view telemetry, folded
     /// in by the sweep driver via [`Metrics::record_snapshot`] (the
     /// engine itself does not know which registers back a snapshot
@@ -130,6 +142,8 @@ impl Metrics {
         self.max_contention = 0;
         self.ops_per_register.clear();
         self.ops_per_register.resize(num_registers, 0);
+        self.shard_ops.clear();
+        self.shard_contention.clear();
         self.snapshot = SnapArenaStats::default();
     }
 
@@ -174,6 +188,23 @@ impl Metrics {
         {
             *acc += ops;
         }
+        if self.shard_ops.len() < other.shard_ops.len() {
+            self.shard_ops.resize(other.shard_ops.len(), 0);
+        }
+        for (acc, &ops) in self.shard_ops.iter_mut().zip(&other.shard_ops) {
+            *acc += ops;
+        }
+        if self.shard_contention.len() < other.shard_contention.len() {
+            self.shard_contention
+                .resize(other.shard_contention.len(), 0);
+        }
+        for (acc, &c) in self
+            .shard_contention
+            .iter_mut()
+            .zip(&other.shard_contention)
+        {
+            *acc = (*acc).max(c);
+        }
         self.snapshot.merge(&other.snapshot);
     }
 }
@@ -187,7 +218,14 @@ enum CrashKind {
 }
 
 /// Builder/driver for engine executions; see the module docs.
-pub struct StepEngine {
+///
+/// Generic over the register-bank storage `B` — [`ArcBank`] (the
+/// default, one `Word` enum per register) or [`exsel_shm::SlabBank`]
+/// (inline small payloads + generation-tagged slab handles for snapshot
+/// records, the mega-scale backend). The two are bit-identical per trial
+/// (`tests/pooled_determinism.rs` proves it differentially); slab
+/// engines are built with [`StepEngine::reusable_with`].
+pub struct StepEngine<B: RegisterBank = ArcBank> {
     num_registers: usize,
     policy: Option<Box<dyn Policy>>,
     max_total_ops: u64,
@@ -199,7 +237,7 @@ pub struct StepEngine {
     // the register bank, the pending-op buffer, the per-pid crash
     // vector, the trace storage and the metric histograms keep their
     // capacity from one trial to the next.
-    regs: Vec<Word>,
+    regs: B,
     /// Whether `run_trial` moved the last trial's trace into its outcome
     /// (pooled trials leave it in place; see [`StepEngine::trace`]).
     trace_moved: bool,
@@ -208,7 +246,12 @@ pub struct StepEngine {
     /// [`NOT_PENDING`]: the pending set is maintained *incrementally* —
     /// only the granted machine's entry changes per decision — instead
     /// of being rebuilt with one `peek` per live machine per decision.
+    /// Sharded trials reuse it for the pid's index into its *shard's*
+    /// pending vector.
     pending_pos: Vec<usize>,
+    /// Per-shard pending sets of sharded trials (empty otherwise);
+    /// reused across trials like `pending`.
+    shard_pending: Vec<Vec<PendingOp>>,
     crashed: Vec<CrashKind>,
     trace: Vec<PendingOp>,
     metrics: Metrics,
@@ -217,8 +260,46 @@ pub struct StepEngine {
 /// Sentinel in `pending_pos` for completed/crashed processes.
 const NOT_PENDING: usize = usize::MAX;
 
+/// Policy decisions taken per shard visit before the sharded grant loop
+/// rotates to the next non-empty shard — the batching that keeps
+/// decisions cache-local on one shard's pending set at a time.
+const SHARD_BATCH: usize = 32;
+
+// Constructors that pin the default `ArcBank` storage live on a
+// non-generic impl block: default type parameters do not participate in
+// function-call inference, so `StepEngine::reusable(n)` must resolve `B`
+// through the impl's self type.
 impl StepEngine {
-    fn with_policy(num_registers: usize, policy: Option<Box<dyn Policy>>) -> Self {
+    /// A new engine over `num_registers` registers scheduled by `policy`
+    /// (the policy is consumed by [`StepEngine::run`]; trials via
+    /// [`StepEngine::run_trial`] take their policy per call).
+    #[must_use]
+    pub fn new(num_registers: usize, policy: Box<dyn Policy>) -> Self {
+        Self::with_parts(num_registers, Some(policy), ArcBank::new())
+    }
+
+    /// A reusable engine with no built-in policy: run trials with
+    /// [`StepEngine::run_trial`], which reuses the engine's scratch
+    /// buffers across trials instead of reallocating per run.
+    #[must_use]
+    pub fn reusable(num_registers: usize) -> Self {
+        Self::with_parts(num_registers, None, ArcBank::new())
+    }
+
+    /// The register bank as the last trial left it, indexed by
+    /// [`exsel_shm::RegId`] — the post-trial inspection path for
+    /// occupancy audits (e.g. repository waste counting), which on the
+    /// thread-backed runner would read through a `Memory` handle. The
+    /// next trial's [`StepEngine::reset`] re-nulls it. For bank-generic
+    /// inspection use [`StepEngine::load_register`] instead.
+    #[must_use]
+    pub fn registers(&self) -> &[Word] {
+        self.regs.words()
+    }
+}
+
+impl<B: RegisterBank> StepEngine<B> {
+    fn with_parts(num_registers: usize, policy: Option<Box<dyn Policy>>, bank: B) -> Self {
         StepEngine {
             num_registers,
             policy,
@@ -227,30 +308,42 @@ impl StepEngine {
             measure_contention: false,
             panic_on_budget: true,
             pending_rebuild: false,
-            regs: Vec::new(),
+            regs: bank,
             trace_moved: false,
             pending: Vec::new(),
             pending_pos: Vec::new(),
+            shard_pending: Vec::new(),
             crashed: Vec::new(),
             trace: Vec::new(),
             metrics: Metrics::default(),
         }
     }
 
-    /// A new engine over `num_registers` registers scheduled by `policy`
-    /// (the policy is consumed by [`StepEngine::run`]; trials via
-    /// [`StepEngine::run_trial`] take their policy per call).
+    /// A reusable engine over an explicit register-bank backend, e.g.
+    /// `StepEngine::reusable_with(regs, SlabBank::new())`. Behaves
+    /// exactly like [`StepEngine::reusable`] otherwise.
     #[must_use]
-    pub fn new(num_registers: usize, policy: Box<dyn Policy>) -> Self {
-        Self::with_policy(num_registers, Some(policy))
+    pub fn reusable_with(num_registers: usize, bank: B) -> Self {
+        Self::with_parts(num_registers, None, bank)
     }
 
-    /// A reusable engine with no built-in policy: run trials with
-    /// [`StepEngine::run_trial`], which reuses the engine's scratch
-    /// buffers across trials instead of reallocating per run.
+    /// The register-bank backend (e.g. for slab occupancy telemetry
+    /// after a trial).
     #[must_use]
-    pub fn reusable(num_registers: usize) -> Self {
-        Self::with_policy(num_registers, None)
+    pub fn bank(&self) -> &B {
+        &self.regs
+    }
+
+    /// Materializes the current word of `reg` — bank-generic post-trial
+    /// inspection (the slab backend has no contiguous `&[Word]` to
+    /// borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range.
+    #[must_use]
+    pub fn load_register(&self, reg: exsel_shm::RegId) -> Word {
+        self.regs.load(reg)
     }
 
     /// Overrides the total-operation safety valve (default 50 million).
@@ -317,24 +410,13 @@ impl StepEngine {
         &self.metrics
     }
 
-    /// The register bank as the last trial left it, indexed by
-    /// [`exsel_shm::RegId`] — the post-trial inspection path for
-    /// occupancy audits (e.g. repository waste counting), which on the
-    /// thread-backed runner would read through a `Memory` handle. The
-    /// next trial's [`StepEngine::reset`] re-nulls it.
-    #[must_use]
-    pub fn registers(&self) -> &[Word] {
-        &self.regs
-    }
-
     /// Re-initializes the engine's state in place for the next trial:
     /// registers to [`Word::Null`], trace and metrics cleared — **keeping
     /// every buffer's capacity**. Called automatically at the start of
     /// [`StepEngine::run_trial`]; public for callers that want to drop
     /// trial state eagerly.
     pub fn reset(&mut self) {
-        self.regs.clear();
-        self.regs.resize(self.num_registers, Word::Null);
+        self.regs.reset(self.num_registers);
         self.trace.clear();
         self.trace_moved = false;
         self.metrics.reset(self.num_registers);
@@ -423,6 +505,77 @@ impl StepEngine {
         self.drive_machines(policy, machines, results, steps);
     }
 
+    /// Runs one pooled trial with the **sharded** grant loop: pids are
+    /// partitioned into `shards` contiguous ranges, each with its own
+    /// incrementally maintained pending set, and the policy is consulted
+    /// with one shard's pending operations at a time — up to
+    /// 32 (`SHARD_BATCH`) decisions per visit, rotating round-robin over
+    /// non-empty shards. This keeps both the policy's decision scan and
+    /// the pending-set maintenance cache-local at mega scale (removals
+    /// are O(1) swap-removes within a shard instead of O(live) ordered
+    /// removes).
+    ///
+    /// Sharded scheduling is its **own deterministic adversary**: with
+    /// `shards == 1` this is exactly [`StepEngine::run_pool`] (same
+    /// trace), while `shards > 1` produces a different — equally legal —
+    /// interleaving, presented shard by shard in swap-remove order.
+    /// Per-shard grant counts land in [`Metrics::shard_ops`] (and
+    /// contention in [`Metrics::shard_contention`] when measured).
+    ///
+    /// # Panics
+    ///
+    /// As [`StepEngine::run_pool`]; additionally panics if `shards == 0`
+    /// or the policy grants a process outside the offered shard.
+    pub fn run_pool_sharded<M: StepMachine>(
+        &mut self,
+        policy: &mut dyn Policy,
+        pool: &mut MachinePool<M>,
+        shards: usize,
+    ) {
+        assert!(shards > 0, "need at least one shard");
+        if shards == 1 {
+            return self.run_pool(policy, pool);
+        }
+        self.reset();
+        pool.begin_trial();
+        let (machines, results, steps) = pool.trial_buffers();
+        self.drive_bank_sharded(policy, &mut SliceBank(machines), results, steps, shards);
+    }
+
+    /// Runs one trial over any [`MachineBank`] — pid-indexed machine
+    /// storage such as the struct-of-arrays `MajoritySoa` pool — landing
+    /// per-pid results and step counts in the caller's buffers (cleared
+    /// and resized here; capacity is reused across trials). The caller
+    /// must have re-armed the bank's machines (e.g. via its own
+    /// `begin_trial`). `shards == 1` drives the standard incremental
+    /// grant loop; `shards > 1` the sharded loop of
+    /// [`StepEngine::run_pool_sharded`].
+    ///
+    /// # Panics
+    ///
+    /// As [`StepEngine::run_pool_sharded`].
+    pub fn run_bank<MB: MachineBank>(
+        &mut self,
+        policy: &mut dyn Policy,
+        bank: &mut MB,
+        results: &mut Vec<Option<Result<MB::Output, Crash>>>,
+        steps: &mut Vec<u64>,
+        shards: usize,
+    ) {
+        assert!(shards > 0, "need at least one shard");
+        self.reset();
+        let n = bank.len();
+        results.clear();
+        results.resize_with(n, || None);
+        steps.clear();
+        steps.resize(n, 0);
+        if shards == 1 {
+            self.drive_bank(policy, bank, results, steps);
+        } else {
+            self.drive_bank_sharded(policy, bank, results, steps, shards);
+        }
+    }
+
     /// The last trial's granted schedule, when
     /// [`StepEngine::record_trace`] is on and the trace has not been
     /// moved into a [`SimOutcome`] — pooled trials leave it in place;
@@ -461,18 +614,9 @@ impl StepEngine {
         }
     }
 
-    /// The grant loop shared by every trial entry point, generic over the
-    /// machine storage: `machines[i]` is process `Pid(i)`; a process is
-    /// live while `results[i]` is `None`.
-    ///
-    /// The pending set the policy consults is maintained
-    /// **incrementally**: it is built once at trial start, and each
-    /// decision only touches the granted machine's entry (one
-    /// [`StepMachine::peek`]) or removes a finished one — not one peek
-    /// per live machine per decision. Reads hand machines a borrow of
-    /// the register word (no clone — snapshot scanners exploit this);
-    /// the operand word of a write is materialized exactly once, at the
-    /// grant.
+    /// The grant loop over slice-stored machines — a thin adapter onto
+    /// [`StepEngine::drive_bank`] (the pre-refactor signature, kept for
+    /// the boxed and pooled entry points).
     fn drive_machines<M: StepMachine>(
         &mut self,
         policy: &mut dyn Policy,
@@ -480,7 +624,29 @@ impl StepEngine {
         results: &mut [Option<Result<M::Output, Crash>>],
         steps: &mut [u64],
     ) {
-        let n = machines.len();
+        self.drive_bank(policy, &mut SliceBank(machines), results, steps);
+    }
+
+    /// The grant loop shared by every unsharded trial entry point,
+    /// generic over the machine storage: `bank` index `i` is process
+    /// `Pid(i)`; a process is live while `results[i]` is `None`.
+    ///
+    /// The pending set the policy consults is maintained
+    /// **incrementally**: it is built once at trial start, and each
+    /// decision only touches the granted machine's entry (one
+    /// [`MachineBank::peek`]) or removes a finished one — not one peek
+    /// per live machine per decision. Reads hand machines a borrow of
+    /// the register word (no clone — snapshot scanners exploit this);
+    /// the operand word of a write is materialized exactly once, at the
+    /// grant.
+    fn drive_bank<MB: MachineBank>(
+        &mut self,
+        policy: &mut dyn Policy,
+        bank: &mut MB,
+        results: &mut [Option<Result<MB::Output, Crash>>],
+        steps: &mut [u64],
+    ) {
+        let n = bank.len();
         debug_assert!(results.iter().all(Option::is_none));
         self.crashed.clear();
         self.crashed.resize(n, CrashKind::None);
@@ -489,15 +655,15 @@ impl StepEngine {
 
         let rebuild = |pending: &mut Vec<PendingOp>,
                        pending_pos: &mut Vec<usize>,
-                       machines: &[M],
-                       results: &[Option<Result<M::Output, Crash>>],
+                       bank: &MB,
+                       results: &[Option<Result<MB::Output, Crash>>],
                        steps: &[u64]| {
             pending.clear();
             pending_pos.clear();
-            pending_pos.resize(machines.len(), NOT_PENDING);
-            for (pid, machine) in machines.iter().enumerate() {
+            pending_pos.resize(bank.len(), NOT_PENDING);
+            for pid in 0..bank.len() {
                 if results[pid].is_none() {
-                    let (kind, reg) = machine.peek();
+                    let (kind, reg) = bank.peek(pid);
                     pending_pos[pid] = pending.len();
                     pending.push(PendingOp {
                         pid: Pid(pid),
@@ -511,7 +677,7 @@ impl StepEngine {
         rebuild(
             &mut self.pending,
             &mut self.pending_pos,
-            machines,
+            bank,
             results,
             steps,
         );
@@ -521,7 +687,7 @@ impl StepEngine {
                 rebuild(
                     &mut self.pending,
                     &mut self.pending_pos,
-                    machines,
+                    bank,
                     results,
                     steps,
                 );
@@ -575,19 +741,16 @@ impl StepEngine {
                     total_ops += 1;
                     // Perform the granted operation in place; reads pass
                     // the machine a borrow of the register word.
-                    let machine = &mut machines[pid.0];
                     let poll = match kind {
                         OpKind::Read => {
                             self.metrics.reads += 1;
-                            machine.advance(&self.regs[reg.0])
+                            bank.advance(pid.0, self.regs.read(reg))
                         }
                         OpKind::Write => {
                             self.metrics.writes += 1;
-                            let ShmOp::Write(_, word) = machine.op() else {
-                                panic!("machine peek/op disagree on pending operation")
-                            };
-                            self.regs[reg.0] = word;
-                            machine.advance(&NULL_WORD)
+                            let word = bank.write_operand(pid.0);
+                            self.regs.write(reg, word);
+                            bank.advance(pid.0, &NULL_WORD)
                         }
                     };
                     match poll {
@@ -600,7 +763,7 @@ impl StepEngine {
                         }
                         Poll::Pending => {
                             if !self.pending_rebuild {
-                                let (kind, reg) = machines[pid.0].peek();
+                                let (kind, reg) = bank.peek(pid.0);
                                 self.pending[idx] = PendingOp {
                                     pid,
                                     kind,
@@ -628,6 +791,201 @@ impl StepEngine {
         self.metrics.trials = 1;
         self.metrics.total_ops = total_ops;
         self.metrics.max_steps = steps.iter().copied().max().unwrap_or(0);
+    }
+
+    /// The sharded grant loop (see [`StepEngine::run_pool_sharded`]).
+    /// Pids are split into `shards` contiguous ranges of `⌈n/shards⌉`;
+    /// each shard owns its pending vector exclusively (`pending_pos`
+    /// holds intra-shard indices). Completed or crashed entries are
+    /// swap-removed — O(1), deterministic, and the reason a mega-scale
+    /// trial's removals don't degrade to O(live) memmoves.
+    fn drive_bank_sharded<MB: MachineBank>(
+        &mut self,
+        policy: &mut dyn Policy,
+        bank: &mut MB,
+        results: &mut [Option<Result<MB::Output, Crash>>],
+        steps: &mut [u64],
+        shards: usize,
+    ) {
+        let n = bank.len();
+        debug_assert!(results.iter().all(Option::is_none));
+        debug_assert!(shards > 1);
+        self.crashed.clear();
+        self.crashed.resize(n, CrashKind::None);
+        self.metrics.shard_ops.resize(shards, 0);
+        if self.measure_contention {
+            self.metrics.shard_contention.resize(shards, 0);
+        }
+        let chunk = n.div_ceil(shards).max(1);
+        let mut live_count = n;
+        let mut total_ops = 0u64;
+
+        // Take the shard storage out of `self` so the decision loop can
+        // borrow a shard immutably while metrics/registers mutate.
+        let mut shard_pending = std::mem::take(&mut self.shard_pending);
+        shard_pending.resize_with(shards, Vec::new);
+        for shard in &mut shard_pending {
+            shard.clear();
+        }
+        self.pending_pos.clear();
+        self.pending_pos.resize(n, NOT_PENDING);
+        for pid in 0..n {
+            let (kind, reg) = bank.peek(pid);
+            let shard = &mut shard_pending[pid / chunk];
+            self.pending_pos[pid] = shard.len();
+            shard.push(PendingOp {
+                pid: Pid(pid),
+                kind,
+                reg,
+                step_index: steps[pid],
+            });
+        }
+
+        let mut cursor = 0usize;
+        'trial: while live_count > 0 {
+            if shard_pending[cursor].is_empty() {
+                cursor = (cursor + 1) % shards;
+                continue;
+            }
+            for _ in 0..SHARD_BATCH {
+                let shard = &shard_pending[cursor];
+                if shard.is_empty() {
+                    break;
+                }
+                if total_ops >= self.max_total_ops {
+                    assert!(
+                        !self.panic_on_budget,
+                        "simulation exceeded its operation budget of {} ops — livelocked algorithm?",
+                        self.max_total_ops
+                    );
+                    for (pid, result) in results.iter_mut().enumerate() {
+                        if result.is_none() {
+                            self.crashed[pid] = CrashKind::Budget;
+                            self.metrics.budget_crashes += 1;
+                            *result = Some(Err(Crash));
+                        }
+                    }
+                    break 'trial;
+                }
+
+                // One decision over this shard's pending set only —
+                // the batched, cache-local policy consultation.
+                let action = policy.decide(shard);
+                let (pid, granted) = match action {
+                    Action::Grant(pid) => (pid, true),
+                    Action::Crash(pid) => (pid, false),
+                };
+                let idx = self.pending_pos[pid.0];
+                assert!(
+                    idx != NOT_PENDING && pid.0 / chunk == cursor,
+                    "policy chose process {pid} outside the offered shard"
+                );
+                if granted {
+                    let PendingOp { kind, reg, .. } = shard[idx];
+                    assert!(
+                        reg.0 < self.regs.len(),
+                        "register {reg} out of range ({} registers)",
+                        self.regs.len()
+                    );
+                    if self.measure_contention {
+                        let contention = shard.iter().filter(|p| p.reg == reg).count();
+                        self.metrics.max_contention = self.metrics.max_contention.max(contention);
+                        self.metrics.shard_contention[cursor] =
+                            self.metrics.shard_contention[cursor].max(contention);
+                    }
+                    self.metrics.ops_per_register[reg.0] += 1;
+                    self.metrics.shard_ops[cursor] += 1;
+                    if self.record_trace {
+                        self.trace.push(PendingOp {
+                            pid,
+                            kind,
+                            reg,
+                            step_index: steps[pid.0],
+                        });
+                    }
+                    steps[pid.0] += 1;
+                    total_ops += 1;
+                    let poll = match kind {
+                        OpKind::Read => {
+                            self.metrics.reads += 1;
+                            bank.advance(pid.0, self.regs.read(reg))
+                        }
+                        OpKind::Write => {
+                            self.metrics.writes += 1;
+                            let word = bank.write_operand(pid.0);
+                            self.regs.write(reg, word);
+                            bank.advance(pid.0, &NULL_WORD)
+                        }
+                    };
+                    let shard = &mut shard_pending[cursor];
+                    match poll {
+                        Poll::Ready(out) => {
+                            results[pid.0] = Some(Ok(out));
+                            live_count -= 1;
+                            shard.swap_remove(idx);
+                            self.pending_pos[pid.0] = NOT_PENDING;
+                            if idx < shard.len() {
+                                self.pending_pos[shard[idx].pid.0] = idx;
+                            }
+                        }
+                        Poll::Pending => {
+                            let (kind, reg) = bank.peek(pid.0);
+                            shard[idx] = PendingOp {
+                                pid,
+                                kind,
+                                reg,
+                                step_index: steps[pid.0],
+                            };
+                        }
+                    }
+                } else {
+                    live_count -= 1;
+                    self.crashed[pid.0] = CrashKind::Adversary;
+                    self.metrics.adversary_crashes += 1;
+                    results[pid.0] = Some(Err(Crash));
+                    let shard = &mut shard_pending[cursor];
+                    shard.swap_remove(idx);
+                    self.pending_pos[pid.0] = NOT_PENDING;
+                    if idx < shard.len() {
+                        self.pending_pos[shard[idx].pid.0] = idx;
+                    }
+                }
+            }
+            cursor = (cursor + 1) % shards;
+        }
+        self.shard_pending = shard_pending;
+
+        self.metrics.trials = 1;
+        self.metrics.total_ops = total_ops;
+        self.metrics.max_steps = steps.iter().copied().max().unwrap_or(0);
+    }
+}
+
+/// Adapter presenting a `&mut [M]` of step machines as a
+/// [`MachineBank`] — the storage shape of the boxed and pooled entry
+/// points.
+struct SliceBank<'a, M: StepMachine>(&'a mut [M]);
+
+impl<M: StepMachine> MachineBank for SliceBank<'_, M> {
+    type Output = M::Output;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn peek(&self, pid: usize) -> (OpKind, exsel_shm::RegId) {
+        self.0[pid].peek()
+    }
+
+    fn write_operand(&mut self, pid: usize) -> Word {
+        let ShmOp::Write(_, word) = self.0[pid].op() else {
+            panic!("machine peek/op disagree on pending operation")
+        };
+        word
+    }
+
+    fn advance(&mut self, pid: usize, input: &Word) -> Poll<M::Output> {
+        self.0[pid].advance(input)
     }
 }
 

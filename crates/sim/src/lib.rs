@@ -69,6 +69,7 @@ pub mod policy;
 mod pool;
 mod runner;
 mod sched;
+pub mod soa;
 pub mod trace_view;
 
 pub use engine::{Metrics, StepEngine};
@@ -80,3 +81,4 @@ pub use policy::{Action, PendingOp, Policy};
 pub use pool::MachinePool;
 pub use runner::{SimBuilder, SimOutcome};
 pub use sched::{CrashCause, SimMemory};
+pub use soa::{MachineBank, MajoritySoa};

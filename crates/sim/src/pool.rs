@@ -189,7 +189,11 @@ impl<M: StepMachine> MachinePool<M> {
     /// Identical to [`StepEngine::run_pool`] with the arguments flipped.
     ///
     /// [`StepEngine::run_pool`]: crate::StepEngine::run_pool
-    pub fn run_trial(&mut self, engine: &mut StepEngine, policy: &mut dyn crate::Policy) {
+    pub fn run_trial<B: exsel_shm::RegisterBank>(
+        &mut self,
+        engine: &mut StepEngine<B>,
+        policy: &mut dyn crate::Policy,
+    ) {
         engine.run_pool(policy, self);
     }
 }

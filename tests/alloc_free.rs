@@ -32,7 +32,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use exclusive_selection::sim::policy::{RandomPolicy, RoundRobin};
 use exclusive_selection::sim::{AlgoSet, MachinePool, SetOutput, StepEngine};
-use exclusive_selection::{Majority, Pid, RegAlloc, RenameConfig, Snapshot, StepMachine, Word};
+use exclusive_selection::{
+    Majority, Pid, RegAlloc, RenameConfig, Snapshot, SnapshotRename, StepMachine, Word,
+};
+use exsel_core::SnapshotRenameOp;
 use exsel_shm::snapshot::UpdateOp;
 use exsel_unbounded::{AltruisticDeposit, DepositOp, NamingMachine, UnboundedNaming};
 
@@ -286,6 +289,64 @@ fn steady_state_pooled_naming_sweeps_are_zero_alloc() {
     all.sort_unstable();
     all.dedup();
     assert_eq!(all.len(), N * ROUNDS, "duplicate names");
+}
+
+#[test]
+fn steady_state_pooled_snapshot_rename_sweeps_are_zero_alloc() {
+    // `SnapshotRenameOp` was the last known steady-state allocation
+    // site: every re-proposal round used to construct a fresh `UpdateOp`
+    // (with its embedded scanner) and the decide step built fresh sort
+    // scratch per scan. With owned, re-armed sub-machines and pooled
+    // scratch, the propose/scan/re-propose loop must be exactly
+    // (0 allocs, 0 frees) once warmed.
+    const K: usize = 8;
+    let mut alloc = RegAlloc::new();
+    let algo = SnapshotRename::new(&mut alloc, K);
+    let mut engine = StepEngine::reusable(alloc.total());
+    let mut pool: MachinePool<SnapshotRenameOp<'_>> = (0..K)
+        .map(|p| algo.begin_rename_slot(p, 700 + p as u64))
+        .collect();
+
+    let sweep = |engine: &mut StepEngine, pool: &mut MachinePool<SnapshotRenameOp<'_>>| {
+        for seed in 0..6u64 {
+            let mut policy = RandomPolicy::new(seed);
+            engine.run_pool(&mut policy, pool);
+        }
+    };
+    for _ in 0..3 {
+        sweep(&mut engine, &mut pool);
+    }
+
+    let arena_before = algo.snapshot().arena().stats();
+    let (allocs, frees) = measured(|| {
+        for _ in 0..2 {
+            sweep(&mut engine, &mut pool);
+        }
+    });
+    assert_eq!(
+        (allocs, frees),
+        (0, 0),
+        "steady-state pooled snapshot-rename sweeps must not touch the allocator"
+    );
+    let arena = algo.snapshot().arena().stats().since(&arena_before);
+    assert_eq!(arena.fresh_allocations(), 0, "arena missed: {arena:?}");
+
+    // Sanity: the last trial named every participant, exclusively,
+    // within the optimal bound 2K−1.
+    let mut names: Vec<u64> = pool
+        .results()
+        .iter()
+        .map(|r| {
+            (*r).expect("result recorded")
+                .expect("no crashes scheduled")
+                .expect_named()
+        })
+        .collect();
+    names.sort_unstable();
+    let k = names.len();
+    names.dedup();
+    assert_eq!(names.len(), k, "duplicate names");
+    assert!(names.iter().all(|&m| m >= 1 && m < 2 * K as u64));
 }
 
 #[test]

@@ -12,9 +12,11 @@ use exclusive_selection::sim::policy::{
 use exclusive_selection::sim::{AlgoSet, MachinePool, MachineSet, Metrics, SetOutput, StepEngine};
 use exclusive_selection::{
     AdaptiveRename, AlmostAdaptive, BasicRename, Crash, EfficientRename, Majority, MoirAnderson,
-    Pid, PolyLogRename, RegAlloc, RenameConfig, SnapshotRename, StepMachine, StoreCollect,
+    Pid, PolyLogRename, RegAlloc, RegId, RenameConfig, SnapshotRename, StepMachine, StoreCollect,
 };
+use exsel_shm::SlabBank;
 use exsel_unbounded::{AltruisticDeposit, UnboundedNaming};
+use proptest::prelude::*;
 
 /// Every algorithm family as an [`AlgoSet`], with its register count and
 /// contender inputs.
@@ -202,6 +204,161 @@ fn metrics_under_engine_and_pool_reuse_match_fresh_runs_bit_for_bit() {
             regs,
             "seed {seed}: histogram width"
         );
+    }
+}
+
+#[test]
+fn slab_bank_is_bit_identical_to_arc_bank_for_every_family_and_policy() {
+    // The slab register bank (inline small payloads + generation-tagged
+    // slab handles for snapshot records) must be observationally
+    // indistinguishable from the Arc-per-`Word` oracle: same traces,
+    // same results and steps, same crash sets, and the same final
+    // register bank word for word — for all 13 pooled families under
+    // all 5 adversary policies.
+    let cfg = RenameConfig::default();
+    for (label, regs, originals, algo) in families(&cfg) {
+        let k = originals.len();
+        let mut arc_engine = StepEngine::reusable(regs)
+            .record_trace(true)
+            .panic_on_budget(false);
+        let mut slab_engine = StepEngine::reusable_with(regs, SlabBank::new())
+            .record_trace(true)
+            .panic_on_budget(false);
+        let mut pool: MachinePool<MachineSet<'_>> = algo.pool(&originals);
+        for seed in 0..2u64 {
+            for (policy_label, mut policy) in policies(seed, k) {
+                let tag = format!("{label} × {policy_label} × seed {seed}");
+                arc_engine.run_pool(policy.as_mut(), &mut pool);
+                let arc_trace = arc_engine.trace().expect("trace recorded").to_vec();
+                let arc_steps = pool.steps().to_vec();
+                let arc_results = pool.results().to_vec();
+                let arc_crashed: Vec<Pid> = arc_engine.adversary_crashed().collect();
+                let arc_budget: Vec<Pid> = arc_engine.budget_crashed().collect();
+                let arc_bank: Vec<_> = (0..regs)
+                    .map(|r| arc_engine.load_register(RegId(r)))
+                    .collect();
+
+                let (_, mut policy) = policies(seed, k)
+                    .into_iter()
+                    .find(|(l, _)| *l == policy_label)
+                    .unwrap();
+                slab_engine.run_pool(policy.as_mut(), &mut pool);
+
+                assert_eq!(
+                    arc_trace.as_slice(),
+                    slab_engine.trace().expect("trace recorded"),
+                    "{tag}: traces diverged"
+                );
+                assert_eq!(arc_steps, pool.steps(), "{tag}: steps diverged");
+                assert_eq!(arc_results, pool.results(), "{tag}: results diverged");
+                assert_eq!(
+                    arc_crashed,
+                    slab_engine.adversary_crashed().collect::<Vec<_>>(),
+                    "{tag}: crash sets diverged"
+                );
+                assert_eq!(
+                    arc_budget,
+                    slab_engine.budget_crashed().collect::<Vec<_>>(),
+                    "{tag}: budget-crash sets diverged"
+                );
+                for (r, arc_word) in arc_bank.iter().enumerate() {
+                    assert_eq!(
+                        *arc_word,
+                        slab_engine.load_register(RegId(r)),
+                        "{tag}: final banks diverged at register {r}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Crashes crossed with slab slot reuse: consecutive pooled trials
+    /// on one slab engine free and re-allocate snapshot slots (each
+    /// reset bumps the freed slots' generations), while the adversary
+    /// crashes machines mid-update so displaced records die at random
+    /// program points. Every trial must still be bit-identical to the
+    /// Arc oracle — a stale slab handle surviving reuse would surface
+    /// as a diverged trace, result or final bank.
+    #[test]
+    fn crashes_cross_slab_generation_reuse(
+        seed in any::<u64>(),
+        crash_p in 0.0f64..0.25,
+        family in 0usize..3,
+    ) {
+        let k = 4usize;
+        let mut alloc = RegAlloc::new();
+        // The three snapshot-heaviest families — the only ones that
+        // park `Word::Snap` records in slab slots at all.
+        let algo = match family {
+            0 => AlgoSet::SnapshotRename(SnapshotRename::new(&mut alloc, k)),
+            1 => AlgoSet::Naming {
+                naming: UnboundedNaming::new(&mut alloc, k),
+                rounds: 2,
+            },
+            _ => AlgoSet::Deposit {
+                repo: AltruisticDeposit::new(&mut alloc, k, 512),
+                rounds: 2,
+                servers: 0,
+            },
+        };
+        let regs = alloc.total();
+        let originals: Vec<u64> = (0..k as u64).map(|i| i * 13 + 2).collect();
+        let mut pool: MachinePool<MachineSet<'_>> = algo.pool(&originals);
+        let mut arc_engine = StepEngine::reusable(regs)
+            .record_trace(true)
+            .panic_on_budget(false);
+        let mut slab_engine = StepEngine::reusable_with(regs, SlabBank::new())
+            .record_trace(true)
+            .panic_on_budget(false);
+
+        for trial in 0..3u64 {
+            let trial_seed = seed.wrapping_add(trial);
+            let mut policy = CrashStorm::new(
+                Box::new(RandomPolicy::new(trial_seed)),
+                !trial_seed,
+                crash_p,
+                k - 1,
+            );
+            arc_engine.run_pool(&mut policy, &mut pool);
+            let arc_trace = arc_engine.trace().expect("trace recorded").to_vec();
+            let arc_results = pool.results().to_vec();
+            let arc_bank: Vec<_> = (0..regs)
+                .map(|r| arc_engine.load_register(RegId(r)))
+                .collect();
+
+            let mut policy = CrashStorm::new(
+                Box::new(RandomPolicy::new(trial_seed)),
+                !trial_seed,
+                crash_p,
+                k - 1,
+            );
+            slab_engine.run_pool(&mut policy, &mut pool);
+
+            prop_assert_eq!(
+                arc_trace.as_slice(),
+                slab_engine.trace().expect("trace recorded"),
+                "trial {}: traces diverged", trial
+            );
+            prop_assert_eq!(
+                arc_results.as_slice(),
+                pool.results(),
+                "trial {}: results diverged", trial
+            );
+            for (r, arc_word) in arc_bank.iter().enumerate() {
+                prop_assert_eq!(
+                    arc_word,
+                    &slab_engine.load_register(RegId(r)),
+                    "trial {}: final banks diverged at register {}", trial, r
+                );
+            }
+        }
+        // Snapshot-backed families must actually have parked records in
+        // slab slots — otherwise this property exercised nothing.
+        prop_assert!(slab_engine.bank().peak_slots() > 0);
     }
 }
 

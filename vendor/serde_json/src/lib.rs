@@ -1,9 +1,15 @@
-//! Offline shim for `serde_json`: an order-preserving JSON value type and
-//! printer — the subset the experiment tables need for JSON-lines output.
+//! Offline shim for `serde_json`: an order-preserving JSON value type, a
+//! printer and a [`from_str`] parser — the subset the experiment tables
+//! need for JSON-lines output and the bench gate needs to read committed
+//! artifacts back.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+
+mod parse;
+
+pub use parse::{from_str, ParseError};
 
 /// An insertion-order-preserving string-keyed map of JSON values.
 #[derive(Clone, Debug, Default, PartialEq)]

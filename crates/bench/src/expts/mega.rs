@@ -158,8 +158,13 @@ pub fn measure(quick: bool) -> Row {
             ("steady_allocs", window.allocs),
             ("steady_frees", window.deallocs),
             ("alloc_probe", u64::from(alloc_probe::active())),
-            ("slab_live", engine.bank().live_slots() as u64),
-            ("slab_peak", engine.bank().peak_slots() as u64),
+            // Entry occupancy, not Snap-slot occupancy: the majority
+            // sweep's registers hold inline words, so `live_slots()`
+            // (heap-slot payloads only) reads 0 forever — the committed
+            // rows carried that blind spot as `slab_live: 0, slab_peak:
+            // 0` at n = 10^6.
+            ("slab_live", engine.bank().live_entries() as u64),
+            ("slab_peak", engine.bank().peak_entries() as u64),
         ],
     }
 }
@@ -238,6 +243,9 @@ mod tests {
         assert_eq!(row.extra("alloc_probe"), Some(0));
         assert!(row.extra("steps_per_sec").unwrap_or(0) > 0);
         assert!(row.extra("slab_peak").unwrap_or(0) >= row.extra("slab_live").unwrap_or(0));
+        // The sweep writes thousands of registers: entry occupancy must
+        // actually register, unlike the Snap-slot counters it replaced.
+        assert!(row.extra("slab_peak").unwrap_or(0) > 0);
         assert!(row.extra("named").unwrap_or(0) * 2 >= 10_000);
     }
 }

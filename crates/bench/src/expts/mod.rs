@@ -21,6 +21,7 @@ pub mod lowerbound;
 pub mod majority;
 pub mod mega;
 pub mod polylog;
+pub mod reduced;
 pub mod repository;
 pub mod scaling;
 pub mod storecollect;

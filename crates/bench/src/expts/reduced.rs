@@ -1,0 +1,455 @@
+//! The `explore-reduced` scenario: reduced exhaustive exploration
+//! (sleep-set DPOR + pid-symmetry canonicalization + visited-state
+//! hashing, `exsel_sim::reduce`) against the unreduced oracle walk, on
+//! the workloads the committed artifact tracks:
+//!
+//! * `explore_reduced/compete3` — the 73,608-execution 3-contender
+//!   Compete-For-Register tree, collapsed by the full reduction stack.
+//! * `explore_reduced/compete4` — the **first exhaustive 4-process
+//!   row**: sleep sets alone make the 4-contender tree enumerable;
+//!   symmetry + visited hashing shrink it further.
+//! * `explore_reduced/store_known` — store&collect setting (i) first
+//!   stores, unreduced vs sleep sets (3 procs at full scale, 2 in
+//!   quick mode — same workload key, like the mega row).
+//! * `explore_reduced/store_known4` — the exhaustive 4-process
+//!   store&collect row (sleep sets only: the composite renamers have
+//!   no sound state fingerprint).
+//!
+//! Execution counts are deterministic, so the bench gate holds them
+//! exactly (±10% against the committed row, plus the durable ≥5x
+//! reduction floor wherever an unreduced count is recorded) — pruning
+//! breakage fails CI even when wall-clock looks fine.
+//!
+//! `cargo run --release -p exsel-bench --bin expt -- run explore-reduced
+//!  [--reduce on|off|both] [--quick]`
+
+use std::collections::BTreeSet;
+
+use exsel_core::{CompeteOp, RenameConfig, SlotBank};
+use exsel_shm::{Pid, RegAlloc};
+use exsel_sim::{
+    explore_pool_reduced, explore_pool_sleep, ExploreReport, MachinePool, ReduceConfig, StepEngine,
+};
+use exsel_storecollect::{FirstStoreOp, StoreCollect};
+
+use super::engine::time;
+use crate::gate::Measurement as Row;
+use crate::Table;
+
+/// Which arms `expt -- run explore-reduced` executes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReduceMode {
+    /// Reduced arms only.
+    On,
+    /// Unreduced oracle arms only.
+    Off,
+    /// Both, with the differential asserts between them (the default,
+    /// and the only mode that regenerates `BENCH_engine.json` rows).
+    #[default]
+    Both,
+}
+
+impl ReduceMode {
+    /// Parses an `--reduce` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "on" => Ok(ReduceMode::On),
+            "off" => Ok(ReduceMode::Off),
+            "both" => Ok(ReduceMode::Both),
+            other => Err(format!("bad --reduce `{other}`: expected on, off or both")),
+        }
+    }
+}
+
+/// No execution bound: every workload here must run to completion.
+const UNBOUNDED: u64 = u64::MAX;
+
+/// At most one contender may win the compete slot.
+fn compete_check(pool: &MachinePool<CompeteOp>) -> bool {
+    pool.completed().filter(|(_, won)| **won).count() <= 1
+}
+
+/// Claimed value registers must be pairwise distinct.
+fn store_check(pool: &MachinePool<FirstStoreOp<'_>>) -> bool {
+    let regs: Vec<_> = pool
+        .completed()
+        .filter_map(|(_, r)| r.as_ref().ok().copied())
+        .collect();
+    let uniq: BTreeSet<_> = regs.iter().copied().collect();
+    uniq.len() == regs.len()
+}
+
+/// A compete pool over one shared slot, one token per contender.
+fn compete_pool(procs: usize) -> (usize, Vec<u64>, SlotBank) {
+    let mut alloc = RegAlloc::new();
+    let bank = SlotBank::new(&mut alloc, 1);
+    let tokens: Vec<u64> = (1..=procs as u64).collect();
+    (alloc.total(), tokens, bank)
+}
+
+/// Measures the compete rows: the reduced 3-proc row (vs the unreduced
+/// oracle) and the exhaustive 4-proc row (full stack vs sleep-only).
+fn compete_rows(quick: bool, rows: &mut Vec<Row>) {
+    // 3 contenders: the committed 73,608-execution tree.
+    let (regs, tokens, bank) = compete_pool(3);
+    let mut pool: MachinePool<CompeteOp> =
+        tokens.iter().map(|&t| bank.begin_compete(0, t)).collect();
+    let mut engine = StepEngine::reusable(regs);
+
+    let oracle = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(UNBOUNDED),
+        compete_check,
+    );
+    let reduced = explore_pool_reduced(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::full(&tokens, UNBOUNDED),
+        compete_check,
+    );
+    assert!(oracle.complete && reduced.complete);
+    assert_eq!(
+        oracle.minimized.is_some(),
+        reduced.minimized.is_some(),
+        "reduced and unreduced verdicts diverged at 3 procs"
+    );
+    assert!(
+        reduced.executions.saturating_mul(5) <= oracle.executions,
+        "reduction lost its 5x floor: {} vs {}",
+        reduced.executions,
+        oracle.executions
+    );
+    let iters = if quick { 3 } else { 5 };
+    let unreduced_s = time(iters, || {
+        explore_pool_sleep(
+            &mut engine,
+            &mut pool,
+            &ReduceConfig::off(UNBOUNDED),
+            compete_check,
+        );
+    });
+    let reduced_s = time(iters, || {
+        explore_pool_reduced(
+            &mut engine,
+            &mut pool,
+            &ReduceConfig::full(&tokens, UNBOUNDED),
+            compete_check,
+        );
+    });
+    rows.push(Row {
+        workload: "explore_reduced/compete3".into(),
+        baseline: "unreduced",
+        contender: "reduced",
+        baseline_s: unreduced_s,
+        contender_s: reduced_s,
+        extras: vec![
+            ("execs_unreduced", oracle.executions),
+            ("execs_explored", reduced.executions),
+            ("execs_pruned", reduced.execs_pruned),
+            ("states_canonical", reduced.states_canonical),
+            ("procs", 3),
+        ],
+    });
+
+    // 4 contenders: unreduced is out of reach (the oracle tree dwarfs
+    // the 73,608 of 3 procs by orders of magnitude); sleep sets alone
+    // make it enumerable and serve as the baseline arm.
+    let (regs, tokens, bank) = compete_pool(4);
+    let mut pool: MachinePool<CompeteOp> =
+        tokens.iter().map(|&t| bank.begin_compete(0, t)).collect();
+    let mut engine = StepEngine::reusable(regs);
+
+    let sleep = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::sleep_only(UNBOUNDED),
+        compete_check,
+    );
+    let full = explore_pool_reduced(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::full(&tokens, UNBOUNDED),
+        compete_check,
+    );
+    assert!(sleep.complete && full.complete, "4-proc walk truncated");
+    assert_eq!(
+        sleep.minimized.is_some(),
+        full.minimized.is_some(),
+        "sleep-only and full-stack verdicts diverged at 4 procs"
+    );
+    let iters = if quick { 3 } else { 5 };
+    let sleep_s = time(iters, || {
+        explore_pool_sleep(
+            &mut engine,
+            &mut pool,
+            &ReduceConfig::sleep_only(UNBOUNDED),
+            compete_check,
+        );
+    });
+    let full_s = time(iters, || {
+        explore_pool_reduced(
+            &mut engine,
+            &mut pool,
+            &ReduceConfig::full(&tokens, UNBOUNDED),
+            compete_check,
+        );
+    });
+    rows.push(Row {
+        workload: "explore_reduced/compete4".into(),
+        baseline: "sleep_only",
+        contender: "reduced",
+        baseline_s: sleep_s,
+        contender_s: full_s,
+        extras: vec![
+            ("execs_sleep_only", sleep.executions),
+            ("execs_explored", full.executions),
+            ("execs_pruned", full.execs_pruned),
+            ("states_canonical", full.states_canonical),
+            ("max_depth", sleep.max_depth as u64),
+            ("procs", 4),
+        ],
+    });
+}
+
+/// One store&collect setting-(i) pool: `procs` contenders with known
+/// contention, each performing its first store.
+fn store_walk(
+    procs: usize,
+    config: &ReduceConfig,
+    signatures: Option<&mut BTreeSet<Vec<String>>>,
+) -> ExploreReport {
+    let mut alloc = RegAlloc::new();
+    let cfg = RenameConfig::default();
+    let sc = StoreCollect::known(&mut alloc, procs, procs, &cfg);
+    let mut pool: MachinePool<FirstStoreOp<'_>> = (0..procs)
+        .map(|p| sc.begin_first_store(Pid(p), p as u64 + 1, 7))
+        .collect();
+    let mut engine = StepEngine::reusable(alloc.total());
+    match signatures {
+        Some(sigs) => explore_pool_sleep(&mut engine, &mut pool, config, |pool| {
+            sigs.insert(pool.results().iter().map(|r| format!("{r:?}")).collect());
+            store_check(pool)
+        }),
+        None => explore_pool_sleep(&mut engine, &mut pool, config, store_check),
+    }
+}
+
+/// Measures the store&collect rows: the reduced known-contention row
+/// (unreduced oracle vs sleep sets; 3 procs at full scale, 2 quick) and
+/// the exhaustive 4-process sleep-only row.
+fn store_rows(quick: bool, rows: &mut Vec<Row>) {
+    // The unreduced 3-proc tree holds 17.15M executions (~13 s); quick
+    // reruns shrink to 2 procs under the same workload key, mirroring
+    // the mega row's quick-scale policy.
+    let procs = if quick { 2 } else { 3 };
+    let mut un_sigs = BTreeSet::new();
+    let mut sl_sigs = BTreeSet::new();
+    let oracle = store_walk(procs, &ReduceConfig::off(UNBOUNDED), Some(&mut un_sigs));
+    let sleep = store_walk(
+        procs,
+        &ReduceConfig::sleep_only(UNBOUNDED),
+        Some(&mut sl_sigs),
+    );
+    assert!(oracle.complete && sleep.complete);
+    // Sleep sets drop interleavings, never terminal states: the
+    // surviving representatives must reach every outcome the oracle
+    // reaches.
+    assert_eq!(un_sigs, sl_sigs, "sleep sets lost a terminal state");
+    assert_eq!(oracle.minimized.is_some(), sleep.minimized.is_some());
+    let iters = if quick { 3 } else { 1 };
+    let unreduced_s = time(iters, || {
+        store_walk(procs, &ReduceConfig::off(UNBOUNDED), None);
+    });
+    let sleep_s = time(iters.max(3), || {
+        store_walk(procs, &ReduceConfig::sleep_only(UNBOUNDED), None);
+    });
+    rows.push(Row {
+        workload: "explore_reduced/store_known".into(),
+        baseline: "unreduced",
+        contender: "sleep_only",
+        baseline_s: unreduced_s,
+        contender_s: sleep_s,
+        extras: vec![
+            ("execs_unreduced", oracle.executions),
+            ("execs_explored", sleep.executions),
+            ("execs_pruned", sleep.execs_pruned),
+            ("procs", procs as u64),
+        ],
+    });
+
+    // 4 contenders, sleep sets only: the first exhaustive 4-process
+    // store&collect row. There is no unreduced arm (the oracle tree is
+    // astronomically large at depth 24), so the row records the walk
+    // itself; the gate holds its execution count, not a speedup.
+    let four = store_walk(4, &ReduceConfig::sleep_only(UNBOUNDED), None);
+    assert!(four.complete, "4-proc store walk truncated");
+    assert!(four.minimized.is_none(), "first stores must stay exclusive");
+    let walk_s = time(3, || {
+        store_walk(4, &ReduceConfig::sleep_only(UNBOUNDED), None);
+    });
+    rows.push(Row {
+        workload: "explore_reduced/store_known4".into(),
+        baseline: "sleep_only",
+        contender: "sleep_only",
+        baseline_s: walk_s,
+        contender_s: walk_s,
+        extras: vec![
+            ("execs_explored", four.executions),
+            ("execs_pruned", four.execs_pruned),
+            ("max_depth", four.max_depth as u64),
+            ("procs", 4),
+        ],
+    });
+}
+
+/// Measures every reduced-exploration row. Quick mode (the bench gate)
+/// trims iteration counts and runs the store&collect differential at 2
+/// procs instead of 3; execution counts are deterministic either way.
+///
+/// # Panics
+///
+/// Panics if any walk truncates, a reduced arm's verdict diverges from
+/// its oracle arm, the 3-proc reduction loses its 5x floor, or sleep
+/// sets lose a terminal state.
+#[must_use]
+pub fn measure(quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    compete_rows(quick, &mut rows);
+    store_rows(quick, &mut rows);
+    rows
+}
+
+/// Prints the unreduced oracle arms only (`--reduce off`).
+fn run_oracle_only(quick: bool) {
+    let mut table = Table::new(
+        "explore-reduced — unreduced oracle walks (--reduce off)",
+        &["workload", "execs", "complete", "max_depth"],
+    );
+    let (regs, _, bank) = compete_pool(3);
+    let mut pool: MachinePool<CompeteOp> = (1..=3u64).map(|t| bank.begin_compete(0, t)).collect();
+    let mut engine = StepEngine::reusable(regs);
+    let oracle = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(UNBOUNDED),
+        compete_check,
+    );
+    table.row(&[
+        "explore_reduced/compete3".into(),
+        oracle.executions.to_string(),
+        oracle.complete.to_string(),
+        oracle.max_depth.to_string(),
+    ]);
+    let procs = if quick { 2 } else { 3 };
+    let store = store_walk(procs, &ReduceConfig::off(UNBOUNDED), None);
+    table.row(&[
+        format!("explore_reduced/store_known (procs={procs})"),
+        store.executions.to_string(),
+        store.complete.to_string(),
+        store.max_depth.to_string(),
+    ]);
+    table.emit();
+    println!("\n(4-proc workloads have no unreduced arm — the oracle tree is out of reach.)");
+}
+
+/// Runs the scenario: measures the requested arms, prints the table
+/// and — for a full-scale `--reduce both` run — merges the rows into
+/// `BENCH_engine.json`.
+///
+/// # Panics
+///
+/// As [`measure`].
+pub fn run(mode: ReduceMode, quick: bool) {
+    if mode == ReduceMode::Off {
+        run_oracle_only(quick);
+        return;
+    }
+    let rows = measure(quick);
+    let mut table = Table::new(
+        "explore-reduced — sleep-set DPOR + symmetry + visited hashing",
+        &[
+            "workload",
+            "baseline",
+            "contender",
+            "baseline_s",
+            "contender_s",
+            "speedup",
+            "execs_explored",
+            "execs_pruned",
+            "states_canonical",
+        ],
+    );
+    for row in &rows {
+        table.row(&[
+            row.workload.clone(),
+            row.baseline.into(),
+            row.contender.into(),
+            format!("{:.4}", row.baseline_s),
+            format!("{:.4}", row.contender_s),
+            format!("{:.2}", row.speedup()),
+            row.extra("execs_explored").unwrap_or(0).to_string(),
+            row.extra("execs_pruned").unwrap_or(0).to_string(),
+            row.extra("states_canonical")
+                .map_or_else(|| "-".into(), |s| s.to_string()),
+        ]);
+    }
+    table.emit();
+
+    let compete3 = &rows[0];
+    println!(
+        "\n3-proc compete: {} unreduced executions -> {} reduced ({}x fewer); \
+         4-proc compete and store&collect trees fully enumerated.",
+        compete3.extra("execs_unreduced").unwrap_or(0),
+        compete3.extra("execs_explored").unwrap_or(1),
+        compete3.extra("execs_unreduced").unwrap_or(0)
+            / compete3.extra("execs_explored").unwrap_or(1).max(1),
+    );
+
+    if mode == ReduceMode::Both && !quick {
+        if let Err(e) = crate::gate::merge_into_artifact("BENCH_engine.json", &rows) {
+            eprintln!("(could not write BENCH_engine.json: {e})");
+        } else {
+            println!("wrote BENCH_engine.json");
+        }
+    } else {
+        println!("(quick / partial run: BENCH_engine.json left untouched)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rows_hold_the_reduction_floors() {
+        let rows = measure(true);
+        assert_eq!(rows.len(), 4);
+        let compete3 = &rows[0];
+        assert_eq!(compete3.extra("execs_unreduced"), Some(73_608));
+        let explored = compete3.extra("execs_explored").unwrap();
+        assert!(
+            explored * 5 <= 73_608,
+            "3-proc reduction below 5x: {explored}"
+        );
+        // The 4-proc rows are exhaustive: complete walks, counted.
+        let compete4 = &rows[1];
+        assert!(compete4.extra("execs_explored").unwrap() > 0);
+        assert!(compete4.extra("execs_sleep_only").unwrap() > 0);
+        let store4 = &rows[3];
+        assert_eq!(store4.extra("procs"), Some(4));
+        assert!(store4.extra("execs_pruned").unwrap() > 0);
+    }
+
+    #[test]
+    fn reduce_mode_parses() {
+        assert_eq!(ReduceMode::parse("on"), Ok(ReduceMode::On));
+        assert_eq!(ReduceMode::parse("off"), Ok(ReduceMode::Off));
+        assert_eq!(ReduceMode::parse("both"), Ok(ReduceMode::Both));
+        assert!(ReduceMode::parse("maybe").is_err());
+    }
+}

@@ -150,11 +150,36 @@ fn committed_speedup(committed: &serde_json::Value, key: &str) -> Option<f64> {
     })
 }
 
+/// Looks up an integer extra of the committed row matching `key`.
+fn committed_extra(committed: &serde_json::Value, key: &str, field: &str) -> Option<u64> {
+    let serde_json::Value::Array(rows) = committed else {
+        return None;
+    };
+    rows.iter().find_map(|row| {
+        let serde_json::Value::Object(obj) = row else {
+            return None;
+        };
+        match obj.get("workload") {
+            Some(serde_json::Value::String(w)) if workload_key(w) == key => match obj.get(field) {
+                Some(serde_json::Value::Int(v)) => u64::try_from(*v).ok(),
+                _ => None,
+            },
+            _ => None,
+        }
+    })
+}
+
 /// Gates `fresh` measurements against the committed artifact: every
 /// timing row must reach `min(committed_speedup × 0.75, category hard
 /// floor)`; allocation rows must keep their allocation invariants (see
 /// the module docs). Rows with no committed counterpart are gated on the
 /// hard floor alone.
+///
+/// Reduced-exploration rows additionally gate on **execution counts**,
+/// which are deterministic: a fresh `execs_explored` more than 10% above
+/// the committed row's count fails (pruning breakage is a regression
+/// even when wall-clock looks fine), and wherever an unreduced count is
+/// recorded the durable ≥5x reduction floor must hold.
 #[must_use]
 pub fn check(fresh: &[Measurement], committed: &serde_json::Value) -> GateReport {
     let mut report = GateReport::default();
@@ -193,6 +218,36 @@ pub fn check(fresh: &[Measurement], committed: &serde_json::Value) -> GateReport
                 "{key}: {speedup:.2}x below the {threshold:.2}x floor ({} vs {})",
                 row.contender, row.baseline
             ));
+        }
+        // Reduction rows: execution counts, not just wall-clock.
+        if let Some(explored) = row.extra("execs_explored") {
+            if let Some(unreduced) = row.extra("execs_unreduced") {
+                let ok = explored.saturating_mul(5) <= unreduced;
+                report.lines.push(format!(
+                    "{} {key}: {explored} executions vs {unreduced} unreduced (need 5x reduction)",
+                    if ok { "PASS" } else { "FAIL" },
+                ));
+                if !ok {
+                    report.failures.push(format!(
+                        "{key}: reduction lost its 5x floor: {explored} vs {unreduced} unreduced"
+                    ));
+                }
+            }
+            if let Some(frozen) = committed_extra(committed, key, "execs_explored") {
+                // Counts are deterministic per workload scale; the 10%
+                // headroom only covers intentional workload tweaks that
+                // land together with a regenerated artifact.
+                let ok = explored <= frozen + frozen.div_ceil(10);
+                report.lines.push(format!(
+                    "{} {key}: {explored} executions vs {frozen} committed (tolerance +10%)",
+                    if ok { "PASS" } else { "FAIL" },
+                ));
+                if !ok {
+                    report.failures.push(format!(
+                        "{key}: pruning regressed: {explored} executions vs {frozen} committed"
+                    ));
+                }
+            }
         }
         // The mega row additionally promises a flat steady state: zero
         // heap traffic in the measured trials whenever the counting
@@ -356,6 +411,37 @@ mod tests {
         // Without the counting allocator the flatness check is vacuous
         // (counters never moved), so only the speedup floor applies.
         assert!(check(&[unprobed], &doc).passed());
+    }
+
+    #[test]
+    fn reduction_rows_gate_on_execution_counts() {
+        let doc = {
+            let mut obj = serde_json::Map::new();
+            obj.insert(
+                "workload".into(),
+                serde_json::Value::String("explore_reduced/compete3".into()),
+            );
+            obj.insert("speedup".into(), serde_json::Value::Float(100.0));
+            obj.insert("execs_explored".into(), serde_json::Value::from(11u64));
+            serde_json::Value::Array(vec![serde_json::Value::Object(obj)])
+        };
+        let mut ok = meas("explore_reduced/compete3", "unreduced", 50.0);
+        ok.extras = vec![("execs_explored", 11), ("execs_unreduced", 73_608)];
+        assert!(check(std::slice::from_ref(&ok), &doc).passed());
+        // Exploring more than 110% of the committed count fails even
+        // though the timing floor still passes.
+        let mut crept = ok.clone();
+        crept.extras = vec![("execs_explored", 14), ("execs_unreduced", 73_608)];
+        assert!(!check(std::slice::from_ref(&crept), &doc).passed());
+        // Losing the 5x floor fails regardless of the committed row.
+        let mut shallow = ok.clone();
+        shallow.extras = vec![("execs_explored", 11), ("execs_unreduced", 54)];
+        assert!(!check(&[shallow], &doc).passed());
+        // A row with no committed counterpart gates on the 5x floor
+        // alone.
+        let mut fresh = ok;
+        fresh.workload = "explore_reduced/new".into();
+        assert!(check(&[fresh], &doc).passed());
     }
 
     #[test]

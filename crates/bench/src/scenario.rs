@@ -45,6 +45,9 @@ pub struct Scenario {
 pub enum Kind {
     /// A reproduction-table experiment (legacy `expt_*` body).
     Table(fn()),
+    /// A table experiment that honors per-run CLI overrides (today:
+    /// `--reduce on|off|both` and `--quick` for `explore-reduced`).
+    TableWith(fn(&RunOverrides)),
     /// A declarative grid run by [`run_grid`].
     Grid(GridSpec),
 }
@@ -478,6 +481,14 @@ pub fn registry() -> Vec<Scenario> {
             "n=10^6 majority sweep: slab bank + SoA pool, sharded (updates BENCH_engine.json)",
             expts::mega::run,
         ),
+        Scenario {
+            name: "explore-reduced",
+            summary:
+                "reduced exhaustive exploration: sleep-set DPOR + symmetry (updates BENCH_engine.json)",
+            kind: Kind::TableWith(|ov| {
+                expts::reduced::run(ov.reduce.unwrap_or_default(), ov.quick);
+            }),
+        },
         grid(
             "smoke",
             "tiny fair-schedule grid for CI (seconds, asserts safety)",
@@ -639,7 +650,7 @@ pub fn catalog() -> String {
     let mut out = String::new();
     for s in registry() {
         let kind = match s.kind {
-            Kind::Table(_) => "table",
+            Kind::Table(_) | Kind::TableWith(_) => "table",
             Kind::Grid(_) => "grid",
         };
         out.push_str(&format!("{:<19} {:<5} {}\n", s.name, kind, s.summary));
@@ -657,9 +668,23 @@ pub fn find(name: &str) -> Option<Scenario> {
 /// objects (tables return `None` — their bodies print and persist their
 /// own artifacts).
 pub fn run_scenario(scenario: &Scenario) -> Option<Vec<serde_json::Value>> {
+    run_scenario_with(scenario, &RunOverrides::default())
+}
+
+/// Executes one scenario with CLI overrides ([`RunOverrides`] reach
+/// [`Kind::TableWith`] bodies; grid overrides are applied by [`cli`]
+/// before this is called).
+pub fn run_scenario_with(
+    scenario: &Scenario,
+    overrides: &RunOverrides,
+) -> Option<Vec<serde_json::Value>> {
     match &scenario.kind {
         Kind::Table(run) => {
             run();
+            None
+        }
+        Kind::TableWith(run) => {
+            run(overrides);
             None
         }
         Kind::Grid(spec) => Some(run_grid(scenario.name, spec)),
@@ -681,6 +706,13 @@ pub struct RunOverrides {
     /// `--shards k`: run the grid's trials on the sharded grant loop
     /// with `k` pending-set shards instead of the registry default.
     pub shards: Option<usize>,
+    /// `--reduce on|off|both`: which arms the `explore-reduced` table
+    /// runs (tables and grids other than `explore-reduced` reject it).
+    pub reduce: Option<crate::expts::reduced::ReduceMode>,
+    /// `--quick`: run `explore-reduced` at bench-gate scale (smaller
+    /// store&collect differential, fewer timing iterations) without
+    /// touching `BENCH_engine.json`.
+    pub quick: bool,
 }
 
 impl RunOverrides {
@@ -725,12 +757,15 @@ fn parse_size(entry: &str) -> Result<(usize, usize), String> {
 /// ```text
 /// expt -- list [--filter <substr>]
 /// expt -- run <name> [--seeds N] [--sizes a,b,c | N:k,...] [--shards k]
-///                    [--json-out <path>] [--json]
+///                    [--json-out <path>] [--reduce on|off|both] [--quick]
+///                    [--json]
 /// ```
 ///
 /// `--seeds`/`--sizes` override a grid scenario's registry defaults;
 /// `--json-out` writes the grid rows to a JSON artifact (the repository
-/// keeps `BENCH_grid.json` next to `BENCH_engine.json`).
+/// keeps `BENCH_grid.json` next to `BENCH_engine.json`);
+/// `--reduce`/`--quick` select the arms and scale of the
+/// `explore-reduced` table.
 ///
 /// Note that JSON *table* output is switched by `Table::emit`, which
 /// reads the **process argv** — a `--json` in `args` only has effect
@@ -771,7 +806,7 @@ pub fn cli(args: &[String]) -> Result<(), String> {
                 t.row(&[
                     s.name.to_string(),
                     match s.kind {
-                        Kind::Table(_) => "table".into(),
+                        Kind::Table(_) | Kind::TableWith(_) => "table".into(),
                         Kind::Grid(_) => "grid".into(),
                     },
                     s.summary.to_string(),
@@ -812,6 +847,11 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--jso
                         );
                     }
                     "--json-out" => overrides.json_out = Some(value(&mut rest)?),
+                    "--reduce" => {
+                        let v = value(&mut rest)?;
+                        overrides.reduce = Some(crate::expts::reduced::ReduceMode::parse(&v)?);
+                    }
+                    "--quick" => overrides.quick = true,
                     "--shards" => {
                         let v = value(&mut rest)?;
                         let shards: usize =
@@ -834,14 +874,35 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--jso
                         .join(", ")
                 )
             })?;
-            if let Kind::Grid(spec) = &mut scenario.kind {
-                overrides.apply(spec);
-            } else if overrides != RunOverrides::default() {
-                return Err(format!(
-                    "scenario `{name}` is a table — --seeds/--sizes/--shards/--json-out only apply to grids"
-                ));
+            match &mut scenario.kind {
+                Kind::Grid(spec) => {
+                    if overrides.reduce.is_some() || overrides.quick {
+                        return Err(format!(
+                            "scenario `{name}` is a grid — --reduce/--quick only apply to the explore-reduced table"
+                        ));
+                    }
+                    overrides.apply(spec);
+                }
+                Kind::TableWith(_) => {
+                    if overrides.seeds.is_some()
+                        || overrides.sizes.is_some()
+                        || overrides.shards.is_some()
+                        || overrides.json_out.is_some()
+                    {
+                        return Err(format!(
+                            "scenario `{name}` only takes --reduce/--quick — --seeds/--sizes/--shards/--json-out apply to grids"
+                        ));
+                    }
+                }
+                Kind::Table(_) => {
+                    if overrides != RunOverrides::default() {
+                        return Err(format!(
+                            "scenario `{name}` is a table — --seeds/--sizes/--shards/--json-out only apply to grids, --reduce/--quick to explore-reduced"
+                        ));
+                    }
+                }
             }
-            let rows = run_scenario(&scenario);
+            let rows = run_scenario_with(&scenario, &overrides);
             if let Some(path) = &overrides.json_out {
                 let rows = rows.expect("json-out rejected for tables above");
                 let doc = serde_json::Value::Array(rows);

@@ -1,6 +1,9 @@
 //! `Compete-For-Register` — Figure 1 of the paper.
 
-use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, RegId, RegRange, ShmOp, Step, StepMachine, Word};
+use exsel_shm::{
+    drive, Ctx, Fingerprint, Pid, Poll, RegAlloc, RegId, RegRange, ShmOp, StateHasher, Step,
+    StepMachine, TokenMap, Word,
+};
 
 /// A bank of *name slots*, each backed by two registers: the placeholder
 /// `HR` (a reservation) and the register `R` itself. A process wins slot
@@ -196,6 +199,26 @@ impl StepMachine for CompeteOp {
 
     fn reset(&mut self, _pid: Pid) {
         self.state = CompeteState::ReadHr;
+    }
+}
+
+/// Complete control state of an in-flight compete: the phase tag, the
+/// slot registers, and the (relabeled) token. Hashing `hr`/`r` keeps the
+/// digest sound when contenders target different slots; in the symmetric
+/// single-slot trials the reduced explorer runs, every contender shares
+/// them, so pid-permuted states still collide.
+impl Fingerprint for CompeteOp {
+    fn fingerprint(&self, hasher: &mut StateHasher, map: &TokenMap) {
+        hasher.write_u8(match self.state {
+            CompeteState::ReadHr => 0,
+            CompeteState::WriteHr => 1,
+            CompeteState::ReadR => 2,
+            CompeteState::WriteR => 3,
+            CompeteState::Verify => 4,
+        });
+        hasher.write_u64(self.hr.0 as u64);
+        hasher.write_u64(self.r.0 as u64);
+        hasher.write_u64(map.relabel(self.token));
     }
 }
 

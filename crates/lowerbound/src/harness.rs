@@ -18,7 +18,10 @@ use std::collections::BTreeSet;
 use std::sync::Mutex;
 
 use exsel_shm::{Crash, Ctx, Pid, StepMachine};
-use exsel_sim::{MachinePool, SimBuilder, SimOutcome, StepEngine};
+use exsel_sim::{
+    explore_pool_sleep, ExploreReport, MachinePool, ReduceConfig, SimBuilder, SimOutcome,
+    StepEngine,
+};
 
 use crate::{theorem6_bound, AdversaryStats, PigeonholeAdversary};
 
@@ -192,6 +195,46 @@ where
 {
     let bound = crate::theorem7_bound(k as u64, pool.len() as u64, r);
     run_pooled_with(engine, pool, num_registers, k.saturating_sub(1), k, bound)
+}
+
+/// Exhaustive exclusiveness audit over the same pooled surface as
+/// [`run_machines_against_pooled`]: instead of one forced pigeonhole
+/// schedule, the sleep-set-reduced enumerator
+/// ([`exsel_sim::explore_pool_sleep`]) walks **every** inequivalent
+/// interleaving of the pooled machines (one per Mazurkiewicz trace
+/// class) and checks that decided names stay pairwise distinct in each.
+/// Only practical at small pool sizes — the adversarial single-trial
+/// paths remain the tool at scale — but where it completes it upgrades
+/// the harness's per-schedule witness to a for-all-schedules proof. A
+/// violated execution is reported (with a minimized replayable schedule
+/// in [`ExploreReport::minimized`]) rather than panicking.
+pub fn exhaust_exclusiveness_pooled<M>(
+    engine: &mut StepEngine,
+    pool: &mut MachinePool<M>,
+    num_registers: usize,
+    max_executions: u64,
+) -> ExploreReport
+where
+    M: StepMachine<Output = Option<u64>>,
+{
+    engine.set_registers(num_registers);
+    explore_pool_sleep(
+        engine,
+        pool,
+        &ReduceConfig::sleep_only(max_executions),
+        |pool| {
+            let names: Vec<u64> = pool
+                .results()
+                .iter()
+                .filter_map(|r| match r {
+                    Some(Ok(Some(name))) => Some(*name),
+                    _ => None,
+                })
+                .collect();
+            let set: BTreeSet<u64> = names.iter().copied().collect();
+            set.len() == names.len()
+        },
+    )
 }
 
 /// Shared pooled driver: one adversarial [`StepEngine::run_pool`] trial
@@ -564,6 +607,38 @@ mod tests {
             bank_on, bank_off,
             "post-trial register audits diverged under recycling"
         );
+    }
+
+    #[test]
+    fn exhaustive_audit_proves_moir_anderson_exclusive_at_small_scale() {
+        // Every inequivalent interleaving of 3 contenders on the k = 3
+        // splitter grid, not just the pigeonhole schedule: names stay
+        // exclusive in all of them, so no counterexample is minimized.
+        use exsel_core::StepRename;
+        use exsel_shm::StepMachine as _;
+        let k = 3;
+        let mut alloc = RegAlloc::new();
+        let algo = MoirAnderson::new(&mut alloc, k);
+        let mut engine = StepEngine::reusable(alloc.total());
+        let mut pool: exsel_sim::MachinePool<_> = (0..k)
+            .map(|p| {
+                algo.begin_rename(Pid(p), p as u64 + 1)
+                    .map_output(exsel_core::Outcome::name as fn(exsel_core::Outcome) -> Option<u64>)
+            })
+            .collect();
+        let report =
+            exhaust_exclusiveness_pooled(&mut engine, &mut pool, alloc.total(), 10_000_000);
+        assert!(report.complete, "walk truncated");
+        assert!(report.executions > 0);
+        assert!(
+            report.minimized.is_none(),
+            "exclusiveness violated on some interleaving"
+        );
+        // The pooled surface is reusable: a second audit replays the
+        // identical reduced walk.
+        let again = exhaust_exclusiveness_pooled(&mut engine, &mut pool, alloc.total(), 10_000_000);
+        assert_eq!(report.executions, again.executions);
+        assert_eq!(report.execs_pruned, again.execs_pruned);
     }
 
     #[test]

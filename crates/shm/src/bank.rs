@@ -168,6 +168,10 @@ pub struct SlabBank {
     live: usize,
     /// High-water mark of `live` since construction.
     peak_live: usize,
+    /// Registers currently holding a non-null entry (inline or slab).
+    occupied: usize,
+    /// High-water mark of `occupied` since construction.
+    peak_occupied: usize,
 }
 
 impl SlabBank {
@@ -196,6 +200,24 @@ impl SlabBank {
     #[must_use]
     pub fn allocated_slots(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Registers currently holding a non-null word — inline `Int`/`Pair`
+    /// entries included, not just slab-parked snapshot records. This is
+    /// the occupancy the mega-scale telemetry reports: algorithms whose
+    /// registers only ever hold integers (the majority sweep) have
+    /// `live_slots() == 0` forever, but their real footprint is here.
+    #[must_use]
+    pub fn live_entries(&self) -> usize {
+        self.occupied
+    }
+
+    /// High-water mark of [`SlabBank::live_entries`] since construction
+    /// (reset does not clear it — like [`SlabBank::peak_slots`], it
+    /// tracks the real footprint across a sweep).
+    #[must_use]
+    pub fn peak_entries(&self) -> usize {
+        self.peak_occupied
     }
 
     /// Parks `word` in a slot and returns its handle.
@@ -243,6 +265,7 @@ impl RegisterBank for SlabBank {
             self.free.push(i as u32);
         }
         self.live = 0;
+        self.occupied = 0;
         self.scratch = Word::Null;
     }
 
@@ -281,6 +304,14 @@ impl RegisterBank for SlabBank {
             }
         };
         self.entries[reg.0] = new;
+        match (old == SlabEntry::Null, new == SlabEntry::Null) {
+            (true, false) => {
+                self.occupied += 1;
+                self.peak_occupied = self.peak_occupied.max(self.occupied);
+            }
+            (false, true) => self.occupied -= 1,
+            _ => {}
+        }
         // Drop the displaced record only after the new word is in place —
         // assignment semantics, keeping arena recycling in lock-step with
         // the Arc bank.
@@ -389,6 +420,30 @@ mod tests {
             slab.write(RegId(i), snap_word(10 + i as u64));
         }
         assert_eq!(slab.allocated_slots(), 3);
+    }
+
+    #[test]
+    fn entry_occupancy_counts_inline_words() {
+        let mut slab = SlabBank::new();
+        slab.reset(4);
+        assert_eq!(slab.live_entries(), 0);
+        slab.write(RegId(0), Word::Int(1));
+        slab.write(RegId(1), Word::Pair(2, 3));
+        slab.write(RegId(2), snap_word(9));
+        assert_eq!(slab.live_entries(), 3);
+        assert_eq!(slab.peak_entries(), 3);
+        assert_eq!(slab.live_slots(), 1, "only the snap touches slots");
+        // Overwrite in place: occupancy unchanged.
+        slab.write(RegId(0), Word::Int(7));
+        assert_eq!(slab.live_entries(), 3);
+        // Nulling a register releases its occupancy.
+        slab.write(RegId(1), Word::Null);
+        assert_eq!(slab.live_entries(), 2);
+        assert_eq!(slab.peak_entries(), 3, "peak is a high-water mark");
+        // Reset clears live occupancy, peak survives (sweep footprint).
+        slab.reset(4);
+        assert_eq!(slab.live_entries(), 0);
+        assert_eq!(slab.peak_entries(), 3);
     }
 
     #[test]

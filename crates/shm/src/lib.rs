@@ -53,6 +53,7 @@ mod alloc;
 mod bank;
 mod ctx;
 mod error;
+mod fingerprint;
 mod mem;
 mod snap_arena;
 pub mod snapshot;
@@ -64,6 +65,7 @@ pub use alloc::{RegAlloc, RegRange};
 pub use bank::{ArcBank, RegisterBank, SlabBank};
 pub use ctx::Ctx;
 pub use error::{Crash, Step};
+pub use fingerprint::{Fingerprint, StateHasher, TokenMap};
 pub use mem::{Memory, OpKind, Pid, RegId};
 pub use snap_arena::{SnapArena, SnapArenaStats};
 pub use snapshot::Snapshot;

@@ -47,7 +47,7 @@ use crate::runner::{SimBuilder, SimOutcome};
 /// Outcome of an exhaustive exploration.
 #[derive(Clone, Debug)]
 pub struct ExploreReport {
-    /// Complete executions checked.
+    /// Complete executions checked (`execs_explored` in bench output).
     pub executions: u64,
     /// Whether the whole schedule tree was covered (false if
     /// `max_executions` truncated the walk).
@@ -55,6 +55,40 @@ pub struct ExploreReport {
     /// The deepest decision point seen (total operations of the longest
     /// execution).
     pub max_depth: usize,
+    /// Branches the reduced explorer (`crate::reduce`) suppressed:
+    /// sleep-set–blocked grants plus visited-state subtree cuts. Always 0
+    /// for the unreduced explorers.
+    pub execs_pruned: u64,
+    /// Distinct canonical state fingerprints recorded by the reduced
+    /// explorer's visited set. 0 when visited-state hashing is off.
+    pub states_canonical: u64,
+    /// The minimized failing schedule, when a `check` failed and the
+    /// shrinker ran: a grant sequence (pids in grant order) that still
+    /// fails on replay. `None` when every execution passed or shrinking
+    /// was disabled.
+    pub minimized: Option<Vec<Pid>>,
+}
+
+impl ExploreReport {
+    /// A report of an unreduced walk: no pruning, no canonical states,
+    /// no counterexample.
+    #[must_use]
+    pub(crate) fn unreduced(executions: u64, complete: bool, max_depth: usize) -> Self {
+        ExploreReport {
+            executions,
+            complete,
+            max_depth,
+            execs_pruned: 0,
+            states_canonical: 0,
+            minimized: None,
+        }
+    }
+
+    /// Length of the minimized failing schedule, if one was produced.
+    #[must_use]
+    pub fn minimized_len(&self) -> Option<usize> {
+        self.minimized.as_ref().map(Vec::len)
+    }
 }
 
 /// Shared between the driver and the policy instances it plants in each
@@ -273,11 +307,7 @@ where
     let mut max_depth = 0;
     loop {
         if executions >= max_executions {
-            return ExploreReport {
-                executions,
-                complete: false,
-                max_depth,
-            };
+            return ExploreReport::unreduced(executions, false, max_depth);
         }
         // One run following the current prefix (0-extended past its end).
         run_and_check(ExplorerPolicy {
@@ -289,11 +319,7 @@ where
         let mut cur = cursor.lock().expect("cursor lock");
         max_depth = max_depth.max(cur.prefix.len());
         if !cur.advance() {
-            return ExploreReport {
-                executions,
-                complete: true,
-                max_depth,
-            };
+            return ExploreReport::unreduced(executions, true, max_depth);
         }
     }
 }
@@ -314,11 +340,7 @@ where
     let mut max_depth = 0;
     loop {
         if executions >= max_executions {
-            return ExploreReport {
-                executions,
-                complete: false,
-                max_depth,
-            };
+            return ExploreReport::unreduced(executions, false, max_depth);
         }
         policy.depth = 0;
         run_one(&mut policy);
@@ -326,11 +348,7 @@ where
 
         max_depth = max_depth.max(policy.cursor.prefix.len());
         if !policy.cursor.advance() {
-            return ExploreReport {
-                executions,
-                complete: true,
-                max_depth,
-            };
+            return ExploreReport::unreduced(executions, true, max_depth);
         }
     }
 }

@@ -67,6 +67,7 @@ pub mod explore;
 pub mod machines;
 pub mod policy;
 mod pool;
+pub mod reduce;
 mod runner;
 mod sched;
 pub mod soa;
@@ -79,6 +80,9 @@ pub use explore::{
 pub use machines::{AlgoSet, MachineSet, SetOutput};
 pub use policy::{Action, PendingOp, Policy};
 pub use pool::MachinePool;
+pub use reduce::{
+    explore_pool_reduced, explore_pool_sleep, independent, replay_pool, ReduceConfig,
+};
 pub use runner::{SimBuilder, SimOutcome};
 pub use sched::{CrashCause, SimMemory};
 pub use soa::{MachineBank, MajoritySoa};

@@ -245,3 +245,299 @@ fn snapshot_validity_every_interleaving() {
     );
     assert!(report.complete);
 }
+
+// ---------------------------------------------------------------------
+// Reduced exploration differentials: the `exsel_sim::reduce` enumerator
+// against the unreduced oracle, across three machine families. The
+// oracle flag (`ReduceConfig::off`) must replay the exact unreduced
+// tree; sleep sets may drop interleavings but never terminal states or
+// verdicts; the full symmetry stack must preserve pass/fail.
+// ---------------------------------------------------------------------
+
+use exclusive_selection::renaming::CompeteOp;
+use exclusive_selection::shm::Pid;
+use exclusive_selection::sim::explore::explore_pool_with;
+use exclusive_selection::sim::{
+    explore_pool_reduced, explore_pool_sleep, replay_pool, MachinePool, ReduceConfig, StepEngine,
+};
+use exclusive_selection::storecollect::{FirstStoreOp, StoreCollect};
+use exclusive_selection::unbounded::AltruisticDeposit;
+use std::collections::BTreeSet;
+
+/// At most one contender wins the slot.
+fn compete_ok(pool: &MachinePool<CompeteOp>) -> bool {
+    pool.completed().filter(|(_, won)| **won).count() <= 1
+}
+
+/// The per-process results vector — the terminal-state signature the
+/// sleep-set differential compares as a set.
+fn result_signature<M: StepMachine>(pool: &MachinePool<M>) -> Vec<String>
+where
+    M::Output: std::fmt::Debug,
+{
+    pool.results().iter().map(|r| format!("{r:?}")).collect()
+}
+
+/// A 3-contender compete pool plus its engine.
+fn compete3() -> (StepEngine, MachinePool<CompeteOp>) {
+    let mut alloc = RegAlloc::new();
+    let bank = SlotBank::new(&mut alloc, 1);
+    let pool: MachinePool<CompeteOp> = (1..=3u64).map(|t| bank.begin_compete(0, t)).collect();
+    (StepEngine::reusable(alloc.total()), pool)
+}
+
+#[test]
+fn oracle_flag_replays_the_unreduced_tree_across_families() {
+    // Compete, 3 contenders: the committed 73,608-execution tree.
+    let (mut engine, mut pool) = compete3();
+    let unreduced = explore_pool_with(&mut engine, &mut pool, u64::MAX, |_| {});
+    let oracle = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(u64::MAX),
+        compete_ok,
+    );
+    assert_eq!(unreduced.executions, 73_608);
+    assert_eq!(oracle.executions, unreduced.executions);
+    assert_eq!(oracle.execs_pruned, 0);
+    assert!(oracle.complete && oracle.minimized.is_none());
+
+    // Store&collect setting (i), 2 contenders (the 3-proc oracle tree
+    // holds 17.15M executions — release-mode bench territory, see the
+    // explore-reduced scenario).
+    let mut alloc = RegAlloc::new();
+    let sc = StoreCollect::known(
+        &mut alloc,
+        2,
+        2,
+        &exclusive_selection::RenameConfig::default(),
+    );
+    let mut pool: MachinePool<FirstStoreOp<'_>> = (0..2)
+        .map(|p| sc.begin_first_store(Pid(p), p as u64 + 1, 7))
+        .collect();
+    let mut engine = StepEngine::reusable(alloc.total());
+    let unreduced = explore_pool_with(&mut engine, &mut pool, u64::MAX, |_| {});
+    let oracle = explore_pool_sleep(&mut engine, &mut pool, &ReduceConfig::off(u64::MAX), |_| {
+        true
+    });
+    assert_eq!(oracle.executions, unreduced.executions);
+    assert!(oracle.complete);
+
+    // Deposit, 3 serve-only machines (fixed event counts — depositor
+    // machines have schedule-dependent depth and an astronomically
+    // large unreduced tree even at 2 processes).
+    let mut alloc = RegAlloc::new();
+    let repo = AltruisticDeposit::new(&mut alloc, 3, 6);
+    let mut pool: MachinePool<_> = (0..3).map(|p| repo.begin_server(Pid(p), 2)).collect();
+    let mut engine = StepEngine::reusable(alloc.total());
+    let unreduced = explore_pool_with(&mut engine, &mut pool, u64::MAX, |_| {});
+    let oracle = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(u64::MAX),
+        |pool| pool.results().iter().all(|r| matches!(r, Some(Ok(None)))),
+    );
+    assert_eq!(oracle.executions, unreduced.executions);
+    assert!(oracle.complete && oracle.minimized.is_none());
+}
+
+#[test]
+fn sleep_sets_preserve_terminal_states_and_verdicts_across_families() {
+    // Compete, 3 contenders: strictly fewer executions, identical
+    // terminal-state set, identical verdict.
+    let (mut engine, mut pool) = compete3();
+    let mut oracle_sigs = BTreeSet::new();
+    let oracle = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(u64::MAX),
+        |pool| {
+            oracle_sigs.insert(result_signature(pool));
+            compete_ok(pool)
+        },
+    );
+    let mut sleep_sigs = BTreeSet::new();
+    let sleep = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::sleep_only(u64::MAX),
+        |pool| {
+            sleep_sigs.insert(result_signature(pool));
+            compete_ok(pool)
+        },
+    );
+    assert!(sleep.complete);
+    assert!(
+        sleep.executions * 5 <= oracle.executions,
+        "sleep sets below the 5x floor: {} vs {}",
+        sleep.executions,
+        oracle.executions
+    );
+    assert_eq!(oracle_sigs, sleep_sigs, "sleep sets lost a terminal state");
+    assert_eq!(oracle.minimized.is_some(), sleep.minimized.is_some());
+
+    // Store&collect setting (i), 2 contenders.
+    let mut alloc = RegAlloc::new();
+    let sc = StoreCollect::known(
+        &mut alloc,
+        2,
+        2,
+        &exclusive_selection::RenameConfig::default(),
+    );
+    let mut pool: MachinePool<FirstStoreOp<'_>> = (0..2)
+        .map(|p| sc.begin_first_store(Pid(p), p as u64 + 1, 7))
+        .collect();
+    let mut engine = StepEngine::reusable(alloc.total());
+    let mut oracle_sigs = BTreeSet::new();
+    explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(u64::MAX),
+        |pool| {
+            oracle_sigs.insert(result_signature(pool));
+            true
+        },
+    );
+    let mut sleep_sigs = BTreeSet::new();
+    let sleep = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::sleep_only(u64::MAX),
+        |pool| {
+            sleep_sigs.insert(result_signature(pool));
+            true
+        },
+    );
+    assert!(sleep.complete);
+    assert_eq!(oracle_sigs, sleep_sigs, "sleep sets lost a terminal state");
+
+    // Deposit serve-only machines, 3 processes.
+    let mut alloc = RegAlloc::new();
+    let repo = AltruisticDeposit::new(&mut alloc, 3, 6);
+    let mut pool: MachinePool<_> = (0..3).map(|p| repo.begin_server(Pid(p), 2)).collect();
+    let mut engine = StepEngine::reusable(alloc.total());
+    let oracle = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(u64::MAX),
+        |pool| pool.results().iter().all(|r| matches!(r, Some(Ok(None)))),
+    );
+    let sleep = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::sleep_only(u64::MAX),
+        |pool| pool.results().iter().all(|r| matches!(r, Some(Ok(None)))),
+    );
+    assert!(sleep.complete);
+    assert!(sleep.executions <= oracle.executions);
+    assert_eq!(oracle.minimized.is_some(), sleep.minimized.is_some());
+}
+
+#[test]
+fn symmetry_stack_agrees_with_the_oracle_on_compete_verdicts() {
+    // Passing checker: oracle and full stack both report no failure.
+    let (mut engine, mut pool) = compete3();
+    let tokens = vec![1u64, 2, 3];
+    let oracle = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(u64::MAX),
+        compete_ok,
+    );
+    let full = explore_pool_reduced(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::full(&tokens, u64::MAX),
+        compete_ok,
+    );
+    assert!(oracle.complete && full.complete);
+    assert!(oracle.minimized.is_none() && full.minimized.is_none());
+    assert!(full.states_canonical > 0);
+    assert!(
+        full.executions * 5 <= oracle.executions,
+        "full stack below the 5x floor"
+    );
+
+    // Failing pid-symmetric checker ("nobody ever wins" — false): both
+    // arms find a counterexample, and the minimized schedule replays to
+    // the same failure.
+    let nobody_wins =
+        |pool: &MachinePool<CompeteOp>| pool.completed().filter(|(_, won)| **won).count() == 0;
+    let oracle = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::off(u64::MAX),
+        nobody_wins,
+    );
+    let full = explore_pool_reduced(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::full(&tokens, u64::MAX),
+        nobody_wins,
+    );
+    let schedule = full
+        .minimized
+        .clone()
+        .expect("full stack found the failure");
+    assert!(oracle.minimized.is_some(), "oracle missed the failure");
+    replay_pool(&mut engine, &mut pool, &schedule);
+    assert!(
+        !nobody_wins(&pool),
+        "minimized schedule no longer fails on replay"
+    );
+}
+
+#[test]
+fn shrinker_minimizes_a_seeded_known_bad_interleaving() {
+    // Seeded known-bad checker: "contender 1's token never wins slot 0"
+    // — false on schedules that let pid 0 through first. The minimized
+    // schedule must (a) still fail on replay, (b) be a subsequence of
+    // the raw failing schedule, (c) be deterministic across runs.
+    let pid0_never_wins =
+        |pool: &MachinePool<CompeteOp>| !matches!(pool.results()[0], Some(Ok(true)));
+    let (mut engine, mut pool) = compete3();
+    let raw = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig {
+            shrink: false,
+            ..ReduceConfig::sleep_only(u64::MAX)
+        },
+        pid0_never_wins,
+    );
+    let raw_schedule = raw.minimized.expect("raw failing schedule recorded");
+    let first = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::sleep_only(u64::MAX),
+        pid0_never_wins,
+    );
+    let second = explore_pool_sleep(
+        &mut engine,
+        &mut pool,
+        &ReduceConfig::sleep_only(u64::MAX),
+        pid0_never_wins,
+    );
+    let minimized = first.minimized.expect("shrinker produced a schedule");
+    assert_eq!(
+        Some(&minimized),
+        second.minimized.as_ref(),
+        "shrinker is nondeterministic"
+    );
+    assert!(minimized.len() <= raw_schedule.len());
+    // Subsequence check: every minimized grant appears in the raw
+    // schedule, in order.
+    let mut rest = raw_schedule.as_slice();
+    for pid in &minimized {
+        let at = rest
+            .iter()
+            .position(|p| p == pid)
+            .expect("minimized schedule is not a subsequence of the raw one");
+        rest = &rest[at + 1..];
+    }
+    replay_pool(&mut engine, &mut pool, &minimized);
+    assert!(
+        !pid0_never_wins(&pool),
+        "minimized schedule no longer fails on replay"
+    );
+}

@@ -13,7 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 
-use exsel_bench::expts::{engine, mega, reduced};
+use exsel_bench::expts::{engine, mega, reduced, service};
 use exsel_bench::gate;
 
 /// The system allocator with every allocation and deallocation counted
@@ -53,6 +53,7 @@ fn main() -> ExitCode {
     let mut rows = engine::measure(quick);
     rows.push(mega::measure(quick));
     rows.extend(reduced::measure(quick));
+    rows.push(service::measure(quick));
 
     let committed = match std::fs::read_to_string("BENCH_engine.json") {
         Ok(text) => match serde_json::from_str(&text) {

@@ -24,4 +24,5 @@ pub mod polylog;
 pub mod reduced;
 pub mod repository;
 pub mod scaling;
+pub mod service;
 pub mod storecollect;

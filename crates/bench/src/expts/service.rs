@@ -1,0 +1,522 @@
+//! The service scenarios: the open-loop client harness
+//! ([`exsel_sim::service`]) run at benchmark scale on the slab register
+//! bank — clients arrive, acquire a naming ticket, store, collect and
+//! deposit, and depart, under admission control and (for the storm
+//! variant) a crash-hazard fault injector.
+//!
+//! Three registry entries share this body:
+//!
+//! - `service-smoke` — seconds-scale CI check (also run `--quick`).
+//! - `service-steady` — ≥ 10⁶ sessions at high utilization, crashless;
+//!   merges a throughput row into `BENCH_engine.json`.
+//! - `service-storm` — the same service under a per-step crash hazard
+//!   and a tighter waiting room: the run must degrade *gracefully*
+//!   (bounded windowed p999, nonzero shed count, zero ticket
+//!   collisions); merges its row into `BENCH_engine.json`.
+//!
+//! `--json-out` persists the windowed telemetry as **JSON Lines** —
+//! one object per window per seed (plus one `summary` line per seed),
+//! every value a plain integer, so two runs with the same seed produce
+//! bit-identical files. Every line carries `scenario`, `seed`, `shards`
+//! and `policy`, like the grid artifact rows.
+
+use std::time::Instant;
+
+use exsel_shm::SlabBank;
+use exsel_sim::service::{
+    Admission, Arrivals, ServiceConfig, ServiceHarness, ServiceReport, ServiceWorld, WindowRow,
+};
+
+use crate::alloc_probe;
+use crate::gate::Measurement as Row;
+use crate::scenario::RunOverrides;
+use crate::Table;
+
+/// A registry entry's service configuration plus its acceptance
+/// assertions and artifact wiring.
+pub struct ServiceSpec {
+    /// The full-scale run configuration.
+    pub cfg: ServiceConfig,
+    /// Human label for the workload mix (arrivals + admission), carried
+    /// into every JSON row as `policy`.
+    pub policy: &'static str,
+    /// Session target under `--quick`.
+    pub quick_sessions: u64,
+    /// Upper bound asserted on every window's session p999 (graceful
+    /// degradation); 0 disables the assertion.
+    pub p999_bound: u64,
+    /// Assert that admission shed at least one client.
+    pub expect_shed: bool,
+    /// Assert that the fault injector crashed and re-entered clients.
+    pub expect_crashes: bool,
+    /// Merge a summary row under this workload key into
+    /// `BENCH_engine.json` after a full-scale run.
+    pub bench_workload: Option<&'static str>,
+}
+
+/// `service-steady`: ≥ 10⁶ crashless sessions at ~85% utilization.
+///
+/// Measured: a session over 8 slots costs ≈ 2360 granted steps end to
+/// end (the acquire and deposit scans are Θ(n²) reads, interleaved
+/// across the in-flight set), so a Poisson mean gap of 2800 steps runs
+/// the grant loop at ρ ≈ 0.84 — busy, with admission rarely shedding.
+#[must_use]
+pub fn steady_spec() -> ServiceSpec {
+    ServiceSpec {
+        cfg: ServiceConfig {
+            seed: 1,
+            slots: 8,
+            target_sessions: 1_000_000,
+            window: 1 << 24,
+            arrivals: Arrivals::Poisson { mean_gap: 2800.0 },
+            crash_hazard: 0.0,
+            admission: Admission {
+                max_inflight: 8,
+                queue_capacity: 16,
+                backoff_base: 256,
+                backoff_cap: 1 << 15,
+                max_retries: 10,
+                waiting_capacity: 512,
+            },
+            ..ServiceConfig::default()
+        },
+        policy: "poisson(2800)/inflight<=8/backoff(256..32768)x10",
+        quick_sessions: 20_000,
+        p999_bound: 0,
+        expect_shed: false,
+        expect_crashes: false,
+        bench_workload: Some("service/steady/open_loop"),
+    }
+}
+
+/// `service-storm`: the steady workload under a 0.2% per-step crash
+/// hazard, a hotter arrival rate and a tight waiting room — the
+/// graceful-degradation variant.
+#[must_use]
+pub fn storm_spec() -> ServiceSpec {
+    ServiceSpec {
+        cfg: ServiceConfig {
+            seed: 2,
+            slots: 8,
+            target_sessions: 200_000,
+            window: 1 << 20,
+            arrivals: Arrivals::Bursty {
+                mean_gap: 700.0,
+                burst: 1 << 15,
+                lull: 1 << 14,
+            },
+            crash_hazard: 0.002,
+            admission: Admission {
+                max_inflight: 8,
+                queue_capacity: 8,
+                backoff_base: 256,
+                backoff_cap: 1 << 14,
+                max_retries: 6,
+                waiting_capacity: 64,
+            },
+            ..ServiceConfig::default()
+        },
+        policy: "bursty(700,on32k/off16k)+hazard(2e-3)/inflight<=8",
+        quick_sessions: 10_000,
+        // Graceful degradation: no window's session p999 may blow past
+        // this many steps even mid-storm (sessions that keep crashing
+        // re-enter as new admissions, so the per-incarnation tail stays
+        // bounded by the backoff envelope).
+        p999_bound: 1 << 15,
+        expect_shed: true,
+        expect_crashes: true,
+        bench_workload: Some("service/storm/open_loop"),
+    }
+}
+
+/// `service-smoke`: a seconds-scale diurnal run with a mild hazard for
+/// CI (`--quick` shrinks it further).
+#[must_use]
+pub fn smoke_spec() -> ServiceSpec {
+    ServiceSpec {
+        cfg: ServiceConfig {
+            seed: 3,
+            slots: 4,
+            target_sessions: 5_000,
+            window: 1 << 14,
+            arrivals: Arrivals::Diurnal {
+                peak_gap: 150.0,
+                trough_gap: 900.0,
+                period: 1 << 16,
+            },
+            crash_hazard: 0.001,
+            admission: Admission {
+                max_inflight: 4,
+                queue_capacity: 8,
+                backoff_base: 128,
+                backoff_cap: 1 << 13,
+                max_retries: 8,
+                waiting_capacity: 128,
+            },
+            ..ServiceConfig::default()
+        },
+        policy: "diurnal(150..900,64k)+hazard(1e-3)/inflight<=4",
+        quick_sessions: 1_000,
+        p999_bound: 0,
+        expect_shed: false,
+        expect_crashes: true,
+        bench_workload: None,
+    }
+}
+
+/// Asserts a report's service-level invariants for `name` and panics
+/// with context on violation: ticket exclusivity across every completed
+/// session, the arrival accounting identity, and the spec's shed/crash/
+/// tail expectations.
+fn assert_report(name: &str, spec: &ServiceSpec, cfg: &ServiceConfig, report: &ServiceReport) {
+    assert!(
+        report.accounted(),
+        "{name}: accounting identity broken: {:?} in_system={}",
+        report.totals,
+        report.in_system
+    );
+    if cfg.record_names {
+        let mut names = report.names.clone();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            before,
+            "{name}: completed sessions share a naming ticket"
+        );
+    }
+    if spec.expect_shed {
+        assert!(report.totals.shed > 0, "{name}: storm never shed load");
+    }
+    if spec.expect_crashes {
+        assert!(
+            report.totals.crashes > 0 && report.totals.reentries > 0,
+            "{name}: hazard produced no crash re-entry ({:?})",
+            report.totals
+        );
+    }
+    if spec.p999_bound > 0 {
+        for w in &report.windows {
+            assert!(
+                w.session_p999 <= spec.p999_bound,
+                "{name}: window {} session p999 {} blew the {} bound",
+                w.window,
+                w.session_p999,
+                spec.p999_bound
+            );
+        }
+    }
+}
+
+/// One window of the time series as a JSON Lines object.
+fn window_json(name: &str, seed: u64, policy: &str, w: &WindowRow) -> serde_json::Value {
+    let mut obj = serde_json::Map::new();
+    obj.insert("kind".into(), serde_json::Value::String("window".into()));
+    obj.insert("scenario".into(), serde_json::Value::String(name.into()));
+    obj.insert("policy".into(), serde_json::Value::String(policy.into()));
+    for (key, value) in [
+        ("seed", seed),
+        ("shards", 1),
+        ("window", w.window),
+        ("start", w.start),
+        ("end", w.end),
+        ("arrivals", w.arrivals),
+        ("admitted", w.admitted),
+        ("completed", w.completed),
+        ("crashes", w.crashes),
+        ("reentries", w.reentries),
+        ("retries", w.retries),
+        ("shed", w.shed),
+        ("rejected", w.rejected),
+        ("inflight", w.inflight),
+        ("queued", w.queued),
+        ("waiting", w.waiting),
+        ("session_p50", w.session_p50),
+        ("session_p99", w.session_p99),
+        ("session_p999", w.session_p999),
+        ("sojourn_p99", w.sojourn_p99),
+        ("acquire_p50", w.acquire_p50),
+        ("acquire_p99", w.acquire_p99),
+        ("acquire_p999", w.acquire_p999),
+        ("store_p50", w.store_p50),
+        ("store_p99", w.store_p99),
+        ("store_p999", w.store_p999),
+        ("collect_p50", w.collect_p50),
+        ("collect_p99", w.collect_p99),
+        ("collect_p999", w.collect_p999),
+        ("deposit_p50", w.deposit_p50),
+        ("deposit_p99", w.deposit_p99),
+        ("deposit_p999", w.deposit_p999),
+    ] {
+        obj.insert(key.into(), serde_json::Value::from(value));
+    }
+    serde_json::Value::Object(obj)
+}
+
+/// The per-seed summary line closing a seed's window series.
+fn summary_json(name: &str, seed: u64, policy: &str, report: &ServiceReport) -> serde_json::Value {
+    let mut obj = serde_json::Map::new();
+    obj.insert("kind".into(), serde_json::Value::String("summary".into()));
+    obj.insert("scenario".into(), serde_json::Value::String(name.into()));
+    obj.insert("policy".into(), serde_json::Value::String(policy.into()));
+    let t = &report.totals;
+    let cum = &report.cumulative;
+    for (key, value) in [
+        ("seed", seed),
+        ("shards", 1),
+        ("arrivals", t.arrivals),
+        ("admitted", t.admitted),
+        ("completed", t.completed),
+        ("crashes", t.crashes),
+        ("reentries", t.reentries),
+        ("retries", t.retries),
+        ("shed", t.shed),
+        ("rejected", t.rejected),
+        ("ops", t.ops),
+        ("steps", t.steps),
+        ("in_system", report.in_system),
+        ("session_p50", cum[4].quantile(1, 2)),
+        ("session_p99", cum[4].quantile(99, 100)),
+        ("session_p999", cum[4].quantile(999, 1000)),
+        ("sojourn_p999", cum[5].quantile(999, 1000)),
+    ] {
+        obj.insert(key.into(), serde_json::Value::from(value));
+    }
+    serde_json::Value::Object(obj)
+}
+
+/// Runs a service scenario: one full open-loop run per seed (the
+/// registry seed, or `0..N` under `--seeds N`; `--quick` shrinks the
+/// session target), asserting the report invariants, printing a
+/// per-seed summary table, and returning the JSON Lines rows. Full-scale
+/// runs with a `bench_workload` also merge their throughput row into
+/// `BENCH_engine.json`.
+///
+/// # Panics
+///
+/// Panics when any report invariant fails — see [`assert_report`].
+pub fn run(name: &str, spec: &ServiceSpec, overrides: &RunOverrides) -> Vec<serde_json::Value> {
+    let mut cfg = spec.cfg;
+    if overrides.quick {
+        cfg.target_sessions = spec.quick_sessions;
+        // Auto-sized arenas follow the shrunk target automatically.
+    }
+    let seeds: Vec<u64> = match overrides.seeds {
+        Some(n) => (0..n).collect(),
+        None => vec![cfg.seed],
+    };
+    let mut table = Table::new(
+        format!("scenario {name} — open-loop service ({})", spec.policy),
+        &[
+            "seed",
+            "completed",
+            "steps/session",
+            "sessions/sec",
+            "crashes",
+            "reentries",
+            "shed",
+            "rejected",
+            "p50",
+            "p99",
+            "p999",
+        ],
+    );
+    let mut rows = Vec::new();
+    for seed in seeds {
+        cfg.seed = seed;
+        let world = ServiceWorld::new(&cfg);
+        let harness = ServiceHarness::with_bank(&world, &cfg, SlabBank::new());
+        let start = Instant::now();
+        let report = harness.run();
+        let secs = start.elapsed().as_secs_f64();
+        assert_report(name, spec, &cfg, &report);
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let sessions_per_sec = (report.totals.completed as f64 / secs.max(1e-9)) as u64;
+        let steps_per_session = report
+            .totals
+            .ops
+            .checked_div(report.totals.completed)
+            .unwrap_or(0);
+        table.row(&[
+            seed.to_string(),
+            report.totals.completed.to_string(),
+            steps_per_session.to_string(),
+            sessions_per_sec.to_string(),
+            report.totals.crashes.to_string(),
+            report.totals.reentries.to_string(),
+            report.totals.shed.to_string(),
+            report.totals.rejected.to_string(),
+            report.cumulative[4].quantile(1, 2).to_string(),
+            report.cumulative[4].quantile(99, 100).to_string(),
+            report.cumulative[4].quantile(999, 1000).to_string(),
+        ]);
+        for w in &report.windows {
+            rows.push(window_json(name, seed, spec.policy, w));
+        }
+        rows.push(summary_json(name, seed, spec.policy, &report));
+        if let (Some(workload), false) = (spec.bench_workload, overrides.quick) {
+            let bench = Row {
+                workload: workload.into(),
+                baseline: "sessions_floor",
+                contender: "open_loop",
+                baseline_s: secs,
+                contender_s: secs,
+                extras: vec![
+                    ("sessions", report.totals.completed),
+                    ("sessions_per_sec", sessions_per_sec),
+                    ("total_ops", report.totals.ops),
+                    ("crashes", report.totals.crashes),
+                    ("shed", report.totals.shed),
+                    ("rejected", report.totals.rejected),
+                    ("session_p999", report.cumulative[4].quantile(999, 1000)),
+                ],
+            };
+            if let Err(e) =
+                crate::gate::merge_into_artifact("BENCH_engine.json", std::slice::from_ref(&bench))
+            {
+                eprintln!("(could not write BENCH_engine.json: {e})");
+            } else {
+                println!("merged {workload} into BENCH_engine.json");
+            }
+        }
+    }
+    table.emit();
+    rows
+}
+
+/// The bench-gate measurement: the steady workload (quick: 20k
+/// sessions) with a warm-up segment, the steady segment timed under the
+/// allocation probe — the gate holds the row to its sessions/sec floor
+/// and, when the counting allocator is installed, to **zero**
+/// steady-state allocations.
+///
+/// # Panics
+///
+/// Panics if the run ends before reaching its session target.
+#[must_use]
+pub fn measure(quick: bool) -> Row {
+    let mut cfg = steady_spec().cfg;
+    if quick {
+        cfg.target_sessions = 20_000;
+    }
+    // The audit vector is pre-sized off the target, so recording names
+    // stays in the measured window's zero-allocation budget.
+    let warm = cfg.target_sessions / 10;
+    let world = ServiceWorld::new(&cfg);
+    let mut harness = ServiceHarness::with_bank(&world, &cfg, SlabBank::new());
+    assert!(harness.run_until(warm), "service drained during warm-up");
+    let ops_before = harness.ops();
+    let before = alloc_probe::counts();
+    let start = Instant::now();
+    assert!(
+        harness.run_until(cfg.target_sessions),
+        "service drained mid-measurement"
+    );
+    let secs = start.elapsed().as_secs_f64();
+    let window = alloc_probe::counts().since(&before);
+    let steady_ops = harness.ops() - ops_before;
+    let report = harness.finish();
+    let measured = cfg.target_sessions - warm;
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let sessions_per_sec = (measured as f64 / secs.max(1e-9)) as u64;
+    Row {
+        workload: "service/steady/open_loop".into(),
+        baseline: "sessions_floor",
+        contender: "open_loop",
+        baseline_s: secs,
+        contender_s: secs,
+        extras: vec![
+            ("sessions", measured),
+            ("sessions_per_sec", sessions_per_sec),
+            ("total_ops", steady_ops),
+            ("crashes", report.totals.crashes),
+            ("shed", report.totals.shed),
+            ("rejected", report.totals.rejected),
+            ("session_p999", report.cumulative[4].quantile(999, 1000)),
+            ("steady_allocs", window.allocs),
+            ("steady_frees", window.deallocs),
+            ("alloc_probe", u64::from(alloc_probe::active())),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_smoke_scenario_runs_and_emits_jsonl_rows() {
+        let overrides = RunOverrides {
+            quick: true,
+            ..RunOverrides::default()
+        };
+        let rows = run("service-smoke", &smoke_spec(), &overrides);
+        assert!(rows.len() >= 2, "expected windows plus a summary");
+        let serde_json::Value::Object(last) = rows.last().unwrap() else {
+            panic!("summary row is not an object");
+        };
+        assert_eq!(
+            last.get("kind"),
+            Some(&serde_json::Value::String("summary".into()))
+        );
+        for key in ["seed", "shards", "policy", "completed"] {
+            assert!(last.get(key).is_some(), "summary row lacks `{key}`");
+        }
+        let serde_json::Value::Object(first) = &rows[0] else {
+            panic!("window row is not an object");
+        };
+        assert_eq!(
+            first.get("kind"),
+            Some(&serde_json::Value::String("window".into()))
+        );
+        for key in ["seed", "shards", "policy", "session_p999", "shed"] {
+            assert!(first.get(key).is_some(), "window row lacks `{key}`");
+        }
+    }
+
+    #[test]
+    fn jsonl_rows_are_bit_identical_per_seed() {
+        let overrides = RunOverrides {
+            quick: true,
+            ..RunOverrides::default()
+        };
+        let a = run("service-smoke", &smoke_spec(), &overrides);
+        let b = run("service-smoke", &smoke_spec(), &overrides);
+        let render =
+            |rows: &[serde_json::Value]| rows.iter().map(|r| format!("{r}\n")).collect::<String>();
+        assert_eq!(render(&a), render(&b), "same seed, different JSONL");
+    }
+
+    #[test]
+    fn quick_measure_row_reports_throughput_and_probe_state() {
+        let row = measure(true);
+        assert_eq!(row.baseline, "sessions_floor");
+        assert!(row.extra("sessions_per_sec").unwrap_or(0) > 0);
+        assert_eq!(row.extra("sessions"), Some(18_000));
+        // The test harness has no counting allocator; the row must say
+        // so rather than claim flatness it never observed.
+        assert_eq!(row.extra("alloc_probe"), Some(0));
+        assert!(row.extra("session_p999").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn storm_spec_quick_degrades_gracefully() {
+        let overrides = RunOverrides {
+            quick: true,
+            ..RunOverrides::default()
+        };
+        // assert_report inside run() checks shed > 0, crashes > 0,
+        // ticket exclusivity and the windowed p999 bound.
+        let rows = run("service-storm", &storm_spec(), &overrides);
+        assert!(!rows.is_empty());
+    }
+}

@@ -103,11 +103,18 @@ pub fn category_floor(baseline: &str) -> Option<f64> {
         // Reused engines / the slab+SoA mega arm must be "no slower",
         // with headroom for 1-CPU scheduling noise.
         "fresh" | "arc_pool" => Some(0.8),
-        // Snapshot compaction competes on allocations.
-        "recycle_off" => None,
+        // Snapshot compaction competes on allocations; the service
+        // harness competes on absolute sessions/sec (see [`check`]).
+        "recycle_off" | "sessions_floor" => None,
         _ => Some(0.8),
     }
 }
+
+/// The hard sessions/sec floor for `sessions_floor` rows — deliberately
+/// conservative (the harness clears it by orders of magnitude on any
+/// box) so a loaded CI runner cannot flake the gate; the committed
+/// row's halved throughput binds when it is lower still.
+pub const SESSIONS_FLOOR: u64 = 5_000;
 
 /// The outcome of one gate run: human-readable per-row verdicts plus the
 /// subset that failed.
@@ -202,22 +209,41 @@ pub fn check(fresh: &[Measurement], committed: &serde_json::Value) -> GateReport
             }
             continue;
         }
-        let hard = category_floor(row.baseline).expect("timing category has a floor");
-        let threshold = committed_speedup(committed, key).map_or(hard, |s| (s * 0.75).min(hard));
-        let speedup = row.speedup();
-        let ok = speedup >= threshold;
-        report.lines.push(format!(
-            "{} {key}: {:.2}x {} over {} (floor {threshold:.2}x)",
-            if ok { "PASS" } else { "FAIL" },
-            speedup,
-            row.contender,
-            row.baseline,
-        ));
-        if !ok {
-            report.failures.push(format!(
-                "{key}: {speedup:.2}x below the {threshold:.2}x floor ({} vs {})",
-                row.contender, row.baseline
+        if row.baseline == "sessions_floor" {
+            // Throughput-floor row: absolute sessions/sec, clamped so a
+            // historically fast committed run cannot make CI flaky.
+            let measured = row.extra("sessions_per_sec").unwrap_or(0);
+            let threshold = committed_extra(committed, key, "sessions_per_sec")
+                .map_or(SESSIONS_FLOOR, |c| (c / 2).min(SESSIONS_FLOOR));
+            let ok = measured >= threshold;
+            report.lines.push(format!(
+                "{} {key}: {measured} sessions/sec (floor {threshold})",
+                if ok { "PASS" } else { "FAIL" },
             ));
+            if !ok {
+                report.failures.push(format!(
+                    "{key}: {measured} sessions/sec below the {threshold} floor"
+                ));
+            }
+        } else {
+            let hard = category_floor(row.baseline).expect("timing category has a floor");
+            let threshold =
+                committed_speedup(committed, key).map_or(hard, |s| (s * 0.75).min(hard));
+            let speedup = row.speedup();
+            let ok = speedup >= threshold;
+            report.lines.push(format!(
+                "{} {key}: {:.2}x {} over {} (floor {threshold:.2}x)",
+                if ok { "PASS" } else { "FAIL" },
+                speedup,
+                row.contender,
+                row.baseline,
+            ));
+            if !ok {
+                report.failures.push(format!(
+                    "{key}: {speedup:.2}x below the {threshold:.2}x floor ({} vs {})",
+                    row.contender, row.baseline
+                ));
+            }
         }
         // Reduction rows: execution counts, not just wall-clock.
         if let Some(explored) = row.extra("execs_explored") {
@@ -411,6 +437,48 @@ mod tests {
         // Without the counting allocator the flatness check is vacuous
         // (counters never moved), so only the speedup floor applies.
         assert!(check(&[unprobed], &doc).passed());
+    }
+
+    #[test]
+    fn service_rows_gate_on_sessions_per_sec_and_flat_memory() {
+        let mut fast = meas("service/steady/open_loop", "sessions_floor", 1.0);
+        fast.extras = vec![
+            ("sessions_per_sec", SESSIONS_FLOOR * 10),
+            ("alloc_probe", 1),
+            ("steady_allocs", 0),
+            ("steady_frees", 0),
+        ];
+        let doc = committed(&[]);
+        assert!(check(std::slice::from_ref(&fast), &doc).passed());
+        let mut slow = fast.clone();
+        slow.extras = vec![("sessions_per_sec", SESSIONS_FLOOR - 1)];
+        assert!(!check(std::slice::from_ref(&slow), &doc).passed());
+        // A leaky steady state fails even at full throughput.
+        let mut leaky = fast.clone();
+        leaky.extras = vec![
+            ("sessions_per_sec", SESSIONS_FLOOR * 10),
+            ("alloc_probe", 1),
+            ("steady_allocs", 3),
+            ("steady_frees", 0),
+        ];
+        assert!(!check(std::slice::from_ref(&leaky), &doc).passed());
+        // A committed row below the hard floor halves into the binding
+        // threshold instead of the constant.
+        let committed_slow = {
+            let mut obj = serde_json::Map::new();
+            obj.insert(
+                "workload".into(),
+                serde_json::Value::String("service/steady/open_loop".into()),
+            );
+            obj.insert("sessions_per_sec".into(), serde_json::Value::from(6_000u64));
+            serde_json::Value::Array(vec![serde_json::Value::Object(obj)])
+        };
+        let mut ok = fast.clone();
+        ok.extras = vec![("sessions_per_sec", 3_100)];
+        assert!(check(std::slice::from_ref(&ok), &committed_slow).passed());
+        let mut bad = fast;
+        bad.extras = vec![("sessions_per_sec", 2_900)];
+        assert!(!check(std::slice::from_ref(&bad), &committed_slow).passed());
     }
 
     #[test]

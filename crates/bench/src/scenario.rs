@@ -50,6 +50,11 @@ pub enum Kind {
     TableWith(fn(&RunOverrides)),
     /// A declarative grid run by [`run_grid`].
     Grid(GridSpec),
+    /// An open-loop service run ([`crate::expts::service`]): sessions
+    /// with fault injection, admission control and retry/backoff.
+    /// Honors `--seeds`/`--quick`; `--json-out` writes the windowed
+    /// telemetry as JSON Lines instead of a JSON array.
+    Service(expts::service::ServiceSpec),
 }
 
 /// A data-driven scenario: which algorithm family, under which
@@ -327,7 +332,15 @@ pub fn run_grid(name: &str, spec: &GridSpec) -> Vec<serde_json::Value> {
             "adversary".into(),
             serde_json::Value::String(spec.adversary.label()),
         );
+        // `policy` mirrors `adversary` under the key the service rows
+        // use, so every --json-out row (grid or service) carries the
+        // same seed/shards/policy triple.
+        row.insert(
+            "policy".into(),
+            serde_json::Value::String(spec.adversary.label()),
+        );
         for (key, value) in [
+            ("seed", spec.seeds.start),
             ("N", n_names as u64),
             ("k", k as u64),
             ("trials", stats.trials()),
@@ -610,6 +623,23 @@ pub fn registry() -> Vec<Scenario> {
                 shards: 1,
             },
         ),
+        Scenario {
+            name: "service-smoke",
+            summary: "seconds-scale open-loop service run for CI (diurnal arrivals, mild hazard)",
+            kind: Kind::Service(expts::service::smoke_spec()),
+        },
+        Scenario {
+            name: "service-steady",
+            summary:
+                "10^6 open-loop client sessions at steady state, 0-alloc (updates BENCH_engine.json)",
+            kind: Kind::Service(expts::service::steady_spec()),
+        },
+        Scenario {
+            name: "service-storm",
+            summary:
+                "service under crash storms: shed load, bounded p999, exclusive tickets (updates BENCH_engine.json)",
+            kind: Kind::Service(expts::service::storm_spec()),
+        },
         grid(
             "deposit-serve",
             "Altruistic deposit with one serve-only helper: deposits stay exclusive under crashes",
@@ -652,8 +682,9 @@ pub fn catalog() -> String {
         let kind = match s.kind {
             Kind::Table(_) | Kind::TableWith(_) => "table",
             Kind::Grid(_) => "grid",
+            Kind::Service(_) => "service",
         };
-        out.push_str(&format!("{:<19} {:<5} {}\n", s.name, kind, s.summary));
+        out.push_str(&format!("{:<19} {:<7} {}\n", s.name, kind, s.summary));
     }
     out
 }
@@ -688,6 +719,7 @@ pub fn run_scenario_with(
             None
         }
         Kind::Grid(spec) => Some(run_grid(scenario.name, spec)),
+        Kind::Service(spec) => Some(expts::service::run(scenario.name, spec, overrides)),
     }
 }
 
@@ -808,6 +840,7 @@ pub fn cli(args: &[String]) -> Result<(), String> {
                     match s.kind {
                         Kind::Table(_) | Kind::TableWith(_) => "table".into(),
                         Kind::Grid(_) => "grid".into(),
+                        Kind::Service(_) => "service".into(),
                     },
                     s.summary.to_string(),
                 ]);
@@ -883,6 +916,16 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--jso
                     }
                     overrides.apply(spec);
                 }
+                Kind::Service(_) => {
+                    if overrides.sizes.is_some()
+                        || overrides.shards.is_some()
+                        || overrides.reduce.is_some()
+                    {
+                        return Err(format!(
+                            "scenario `{name}` is a service run — only --seeds/--quick/--json-out apply"
+                        ));
+                    }
+                }
                 Kind::TableWith(_) => {
                     if overrides.seeds.is_some()
                         || overrides.sizes.is_some()
@@ -902,11 +945,18 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--jso
                     }
                 }
             }
+            let jsonl = matches!(scenario.kind, Kind::Service(_));
             let rows = run_scenario_with(&scenario, &overrides);
             if let Some(path) = &overrides.json_out {
                 let rows = rows.expect("json-out rejected for tables above");
-                let doc = serde_json::Value::Array(rows);
-                std::fs::write(path, format!("{doc}\n"))
+                // Service telemetry is a JSON Lines time series (one
+                // window object per line); grids stay a JSON array.
+                let text = if jsonl {
+                    rows.iter().map(|row| format!("{row}\n")).collect()
+                } else {
+                    format!("{}\n", serde_json::Value::Array(rows))
+                };
+                std::fs::write(path, text)
                     .map_err(|e| format!("could not write {path}: {e}"))?;
                 println!("wrote {path}");
             }

@@ -137,10 +137,42 @@ pub struct SnapArena {
 struct ArenaInner {
     records: Vec<Arc<SnapRecord>>,
     views: Vec<Arc<[Word]>>,
+    /// Where the next record reclaim scan starts. Scans restart where
+    /// the last take succeeded instead of at index 0: `swap_remove`
+    /// gradually concentrates pinned (non-unique) entries into whatever
+    /// region scans keep starting from, and a fixed origin would make
+    /// every take re-walk that pinned prefix — O(pinned) per reclaim.
+    /// Rotating amortizes the walk to O(tracked / reclaimable).
+    record_cursor: usize,
+    /// Where the next view reclaim scan starts; same rotation rationale.
+    view_cursor: usize,
     records_recycled: u64,
     views_recycled: u64,
     peak_records: u64,
     peak_views: u64,
+}
+
+/// Scans `list` circularly from `*cursor` for a uniquely owned entry,
+/// removes and returns it, leaving `*cursor` at the vacated index (now
+/// holding the swapped-in tail element).
+fn take_unique<T>(list: &mut Vec<Arc<T>>, cursor: &mut usize) -> Option<Arc<T>>
+where
+    T: ?Sized,
+{
+    let len = list.len();
+    if len == 0 {
+        return None;
+    }
+    let start = *cursor % len;
+    for off in 0..len {
+        let i = start + off;
+        let i = if i < len { i } else { i - len };
+        if Arc::get_mut(&mut list[i]).is_some() {
+            *cursor = i;
+            return Some(list.swap_remove(i));
+        }
+    }
+    None
 }
 
 impl SnapArena {
@@ -202,6 +234,45 @@ impl SnapArena {
         self.inner.lock().views.len()
     }
 
+    /// Pre-populates the free-lists with `records` reclaimable records
+    /// and `views` reclaimable view buffers, all uniquely owned and
+    /// sized for this object's component count.
+    ///
+    /// Recycling alone only reaches zero steady-state allocations once
+    /// warm-up has stretched the lists to the workload's high-water
+    /// demand — a *later* excursion past that mark still allocates.
+    /// Bounded workloads (a service harness with a fixed client-slot
+    /// count, a pooled sweep with a known machine population) call this
+    /// once at construction with a bound on peak live buffers, so even
+    /// the first excursion is served from the free-lists. A no-op when
+    /// recycling is off.
+    pub fn reserve(&self, records: usize, views: usize) {
+        if !self.recycling_enabled() {
+            return;
+        }
+        let n = self.initial.view.len();
+        let mut inner = self.inner.lock();
+        inner.records.reserve(records);
+        inner.views.reserve(views + records);
+        for _ in 0..records {
+            // The record's embedded view must be tracked too: when an
+            // update later refills the record, the displaced view would
+            // otherwise drop its last reference — a steady-state free.
+            let view: Arc<[Word]> = vec![Word::Null; n].into();
+            inner.views.push(Arc::clone(&view));
+            inner.records.push(Arc::new(SnapRecord {
+                seq: 0,
+                value: Word::Null,
+                view,
+            }));
+        }
+        for _ in 0..views {
+            inner.views.push(vec![Word::Null; n].into());
+        }
+        inner.peak_records = inner.peak_records.max(inner.records.len() as u64);
+        inner.peak_views = inner.peak_views.max(inner.views.len() as u64);
+    }
+
     /// Takes a reclaimable (uniquely owned) record off the free-list, if
     /// recycling is on and one exists. The caller owns the only `Arc`
     /// and may mutate the record in place; it must hand the record back
@@ -211,11 +282,8 @@ impl SnapArena {
             return None;
         }
         let mut inner = self.inner.lock();
-        let idx = inner
-            .records
-            .iter_mut()
-            .position(|rec| Arc::get_mut(rec).is_some())?;
-        let rec = inner.records.swap_remove(idx);
+        let inner = &mut *inner;
+        let rec = take_unique(&mut inner.records, &mut inner.record_cursor)?;
         inner.records_recycled += 1;
         Some(rec)
     }
@@ -244,11 +312,8 @@ impl SnapArena {
             return None;
         }
         let mut inner = self.inner.lock();
-        let idx = inner
-            .views
-            .iter_mut()
-            .position(|view| Arc::get_mut(view).is_some())?;
-        let view = inner.views.swap_remove(idx);
+        let inner = &mut *inner;
+        let view = take_unique(&mut inner.views, &mut inner.view_cursor)?;
         inner.views_recycled += 1;
         Some(view)
     }
@@ -338,6 +403,39 @@ mod tests {
         assert_eq!(arena.cached_records(), 0);
         assert!(arena.take_record().is_none());
         assert_eq!(arena.stats().records_fresh, 1);
+    }
+
+    #[test]
+    fn reserved_buffers_are_immediately_reclaimable() {
+        let arena = SnapArena::new(2);
+        arena.reserve(3, 1);
+        assert_eq!(arena.cached_records(), 3);
+        // Each reserved record's embedded view is tracked too, so a
+        // later displacement recycles it instead of freeing it.
+        assert_eq!(arena.cached_views(), 4);
+        let held: Vec<_> = (0..3)
+            .map(|_| arena.take_record().expect("reserved record"))
+            .collect();
+        assert!(held.iter().all(|rec| rec.view.len() == 2));
+        assert!(arena.take_record().is_none());
+        // The plain reserved view is free now; the record views stay
+        // pinned by the records handed out above.
+        assert!(arena.take_view().is_some());
+        assert!(arena.take_view().is_none());
+        drop(held);
+        let stats = arena.stats();
+        assert_eq!(stats.records_fresh, 0, "reserve must not count as a miss");
+        assert_eq!(stats.records_recycled, 3);
+        assert_eq!(stats.views_recycled, 1);
+    }
+
+    #[test]
+    fn reserve_is_a_no_op_with_recycling_off() {
+        let arena = SnapArena::new(1);
+        arena.set_recycling(false);
+        arena.reserve(4, 4);
+        assert_eq!(arena.cached_records(), 0);
+        assert_eq!(arena.cached_views(), 0);
     }
 
     #[test]

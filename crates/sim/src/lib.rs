@@ -70,6 +70,7 @@ mod pool;
 pub mod reduce;
 mod runner;
 mod sched;
+pub mod service;
 pub mod soa;
 pub mod trace_view;
 
@@ -85,4 +86,8 @@ pub use reduce::{
 };
 pub use runner::{SimBuilder, SimOutcome};
 pub use sched::{CrashCause, SimMemory};
+pub use service::{
+    Admission, Arrivals, ServiceConfig, ServiceHarness, ServiceReport, ServiceWorld, StepHistogram,
+    Totals, WindowRow,
+};
 pub use soa::{MachineBank, MajoritySoa};

@@ -49,7 +49,7 @@ use exsel_core::{
     SplitWalkOp, StepRename,
 };
 use exsel_shm::{OpKind, Pid, Poll, RegId, ShmOp, StepMachine, Word};
-use exsel_storecollect::{FirstStoreOp, StoreCollect, StoreCollectError};
+use exsel_storecollect::{CollectOp, FirstStoreOp, StoreCollect, StoreCollectError};
 use exsel_unbounded::{AltruisticDeposit, DepositOp, NamingMachine, UnboundedNaming};
 
 use crate::pool::MachinePool;
@@ -68,6 +68,10 @@ pub enum SetOutput {
     /// The last arena register claimed by a wait-free deposit machine
     /// (`None` for serve-only machines, which consume nothing).
     Deposit(Option<u64>),
+    /// A collect result: how many `(owner, value)` pairs the view holds.
+    /// Collects acquire nothing exclusive; the view itself stays readable
+    /// on the machine ([`exsel_storecollect::CollectOp::view`]).
+    Collect(usize),
 }
 
 impl SetOutput {
@@ -85,6 +89,7 @@ impl SetOutput {
             SetOutput::Store(Err(_)) => None,
             SetOutput::Name(name) => Some(*name),
             SetOutput::Deposit(reg) => *reg,
+            SetOutput::Collect(_) => None,
         }
     }
 
@@ -117,6 +122,8 @@ pub enum MachineSet<'a> {
     Naming(NamingMachine<'a>),
     /// Wait-free altruistic deposit (or serve-only) loop.
     Deposit(DepositOp<'a>),
+    /// Store&collect prefix-read collect.
+    Collect(CollectOp<'a>),
 }
 
 impl StepMachine for MachineSet<'_> {
@@ -131,6 +138,7 @@ impl StepMachine for MachineSet<'_> {
             MachineSet::FirstStore(m) => m.op(),
             MachineSet::Naming(m) => m.op(),
             MachineSet::Deposit(m) => m.op(),
+            MachineSet::Collect(m) => m.op(),
         }
     }
 
@@ -143,6 +151,7 @@ impl StepMachine for MachineSet<'_> {
             MachineSet::FirstStore(m) => m.peek(),
             MachineSet::Naming(m) => m.peek(),
             MachineSet::Deposit(m) => m.peek(),
+            MachineSet::Collect(m) => m.peek(),
         }
     }
 
@@ -168,6 +177,10 @@ impl StepMachine for MachineSet<'_> {
                 Poll::Ready(reg) => Poll::Ready(SetOutput::Deposit(reg)),
                 Poll::Pending => Poll::Pending,
             },
+            MachineSet::Collect(m) => match m.advance(input) {
+                Poll::Ready(len) => Poll::Ready(SetOutput::Collect(len)),
+                Poll::Pending => Poll::Pending,
+            },
         }
     }
 
@@ -180,6 +193,7 @@ impl StepMachine for MachineSet<'_> {
             MachineSet::FirstStore(m) => m.reset(pid),
             MachineSet::Naming(m) => m.reset(pid),
             MachineSet::Deposit(m) => m.reset(pid),
+            MachineSet::Collect(m) => m.reset(pid),
         }
     }
 }
@@ -198,6 +212,19 @@ pub enum AlgoSet {
     /// A store&collect object; machines run the first-store path (the
     /// stored value is the process's original name).
     StoreCollect(StoreCollect),
+    /// A store&collect object with mixed roles: the last `collectors` of
+    /// the contenders run the step-machine collect path
+    /// ([`exsel_storecollect::CollectOp`]) while everyone else first-
+    /// stores — the end-to-end store → collect shape of ROADMAP item 3,
+    /// with collects off the blocking code path.
+    StoreCollectRoundtrip {
+        /// The shared store&collect object.
+        sc: StoreCollect,
+        /// Total contenders (the pool size the roles are split over).
+        contenders: usize,
+        /// How many of the highest pids collect instead of storing.
+        collectors: usize,
+    },
     /// The unbounded-naming object; each machine claims `rounds`
     /// integers per trial.
     Naming {
@@ -235,6 +262,21 @@ impl AlgoSet {
             AlgoSet::Rename(algo) => MachineSet::Rename(algo.begin_rename(pid, original)),
             AlgoSet::StoreCollect(sc) => {
                 MachineSet::FirstStore(sc.begin_first_store(pid, original, original))
+            }
+            AlgoSet::StoreCollectRoundtrip {
+                sc,
+                contenders,
+                collectors,
+            } => {
+                assert!(
+                    *collectors < *contenders,
+                    "{collectors} collectors leave no storer among {contenders}"
+                );
+                if pid.0 >= contenders - collectors {
+                    MachineSet::Collect(sc.begin_collect(pid))
+                } else {
+                    MachineSet::FirstStore(sc.begin_first_store(pid, original, original))
+                }
             }
             AlgoSet::Naming { naming, rounds } => {
                 MachineSet::Naming(naming.begin_machine(pid, *rounds))
@@ -294,7 +336,12 @@ impl AlgoSet {
     pub fn claims_all_survivors(&self) -> bool {
         !matches!(
             self,
-            AlgoSet::Majority(_) | AlgoSet::Deposit { servers: 1.., .. }
+            AlgoSet::Majority(_)
+                | AlgoSet::Deposit { servers: 1.., .. }
+                | AlgoSet::StoreCollectRoundtrip {
+                    collectors: 1..,
+                    ..
+                }
         )
     }
 }
@@ -307,6 +354,14 @@ impl std::fmt::Debug for AlgoSet {
             AlgoSet::SnapshotRename(_) => write!(f, "AlgoSet::SnapshotRename"),
             AlgoSet::Rename(_) => write!(f, "AlgoSet::Rename"),
             AlgoSet::StoreCollect(_) => write!(f, "AlgoSet::StoreCollect"),
+            AlgoSet::StoreCollectRoundtrip {
+                contenders,
+                collectors,
+                ..
+            } => write!(
+                f,
+                "AlgoSet::StoreCollectRoundtrip(contenders={contenders}, collectors={collectors})"
+            ),
             AlgoSet::Naming { rounds, .. } => write!(f, "AlgoSet::Naming(rounds={rounds})"),
             AlgoSet::Deposit {
                 rounds, servers, ..
@@ -416,6 +471,42 @@ mod tests {
                 .filter(|m| matches!(m, MachineSet::Deposit(d) if d.is_server()))
                 .count();
             assert_eq!(servers, 2);
+        }
+    }
+
+    #[test]
+    fn storecollect_roundtrip_mixes_storers_and_collectors() {
+        let cfg = RenameConfig::default();
+        let mut alloc = RegAlloc::new();
+        let algo = AlgoSet::StoreCollectRoundtrip {
+            sc: StoreCollect::adaptive(&mut alloc, 4, &cfg),
+            contenders: 4,
+            collectors: 2,
+        };
+        assert!(!algo.claims_all_survivors());
+        let originals: Vec<u64> = (0..4u64).map(|i| i * 7 + 1).collect();
+        let mut pool = algo.pool(&originals);
+        let mut engine = StepEngine::reusable(alloc.total());
+        for seed in 0..4u64 {
+            let mut policy = RandomPolicy::new(seed);
+            engine.run_pool(&mut policy, &mut pool);
+            assert_eq!(pool.completed().count(), 4, "seed {seed}");
+            // Storers claim distinct value registers; collectors claim
+            // nothing but their views only hold registered owners.
+            let claims: Vec<u64> = pool
+                .completed()
+                .filter_map(|(_, out)| out.claim())
+                .collect();
+            let set: BTreeSet<u64> = claims.iter().copied().collect();
+            assert_eq!(claims.len(), 2, "seed {seed}: {claims:?}");
+            assert_eq!(set.len(), claims.len(), "seed {seed}");
+            for m in pool.machines() {
+                if let MachineSet::Collect(c) = m {
+                    let owners: BTreeSet<u64> = c.view().iter().map(|&(o, _)| o).collect();
+                    assert_eq!(owners.len(), c.view().len(), "duplicate owner in view");
+                    assert!(c.view().len() <= 2);
+                }
+            }
         }
     }
 

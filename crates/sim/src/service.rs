@@ -1,0 +1,1290 @@
+//! Open-loop service harness: client sessions over the paper's objects,
+//! with fault injection, admission control and retry/backoff.
+//!
+//! The closed-loop trial drivers ([`StepEngine`](crate::StepEngine))
+//! run a *fixed* contender set to quiescence. This module models the
+//! "repository as a service" view instead: clients **arrive** by a
+//! pluggable process ([`Arrivals`] — Poisson, bursty, diurnal ramp),
+//! are **admitted** against an in-flight bound (or queued, or shed into
+//! jittered exponential backoff — [`Admission`]), run one
+//! acquire → store → collect → deposit **session** across the unbounded
+//! naming object, a store&collect object and the wait-free altruistic
+//! repository, and **depart** — while a fault injector crashes in-flight
+//! sessions by a configurable per-step hazard and forces the client to
+//! re-enter as a fresh contender.
+//!
+//! The harness is built from the same parts as the engine — pooled
+//! [`StepMachine`]s over a [`RegisterBank`], one shared-memory operation
+//! per granted step, every random choice drawn from seeded [`SmallRng`]
+//! streams (the policy RNG discipline) — but owns its own grant loop,
+//! because open-loop membership (slots bind, free, and re-bind clients
+//! mid-run) is exactly what the engine's closed trial cannot express.
+//! All machines are built once per slot and re-armed in place, so the
+//! steady state performs **zero heap allocations**; telemetry is plain
+//! `u64` rows ([`WindowRow`]) pushed into a pre-sized buffer, so a run
+//! is bit-identical per seed.
+//!
+//! # Crash–re-entry semantics
+//!
+//! A crash kills the *incarnation*, not the slot: the slot's machines
+//! stay mid-flight, and when the client re-enters (through admission,
+//! after backoff) the naming and deposit machines are re-entered as
+//! fresh contenders with their suites republished
+//! ([`exsel_unbounded::NamingMachine::reenter`]) — local claim state is
+//! kept, so integers claimed by dead incarnations stay claimed (wasted,
+//! per the paper's crash budget) and **completed sessions' tickets are
+//! pairwise exclusive**. A first store interrupted mid-rename is
+//! *resumed* (slot registration is infrastructure, not client state);
+//! collects restart from scratch (reads only).
+//!
+//! # Example
+//!
+//! ```
+//! use exsel_sim::service::{Admission, Arrivals, ServiceConfig, ServiceHarness, ServiceWorld};
+//!
+//! let cfg = ServiceConfig {
+//!     seed: 7,
+//!     slots: 4,
+//!     target_sessions: 200,
+//!     // The in-flight bound may not exceed the slot count.
+//!     admission: Admission {
+//!         max_inflight: 4,
+//!         ..ServiceConfig::default().admission
+//!     },
+//!     ..ServiceConfig::default()
+//! };
+//! let world = ServiceWorld::new(&cfg);
+//! let report = ServiceHarness::new(&world, &cfg).run();
+//! assert!(report.totals.completed >= 200);
+//! // Completed sessions hold pairwise-distinct tickets.
+//! let mut names = report.names.clone();
+//! names.sort_unstable();
+//! names.dedup();
+//! assert_eq!(names.len() as u64, report.totals.completed);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use exsel_core::RenameConfig;
+use exsel_shm::{ArcBank, Pid, Poll, RegAlloc, RegId, RegisterBank, ShmOp, StepMachine, Word};
+use exsel_storecollect::{CollectOp, FirstStoreOp, StoreCollect};
+use exsel_unbounded::{AltruisticDeposit, DepositOp, NamingMachine, UnboundedNaming};
+use rand::{rngs::SmallRng, Rng, RngCore, SeedableRng};
+
+/// How clients arrive, in service-clock steps. Every process is driven
+/// by its own seeded RNG stream, so the arrival schedule is a pure
+/// function of the configuration.
+#[derive(Clone, Copy, Debug)]
+pub enum Arrivals {
+    /// Poisson arrivals: exponential inter-arrival gaps with the given
+    /// mean (steps).
+    Poisson {
+        /// Mean inter-arrival gap in steps.
+        mean_gap: f64,
+    },
+    /// Bursty on/off arrivals: Poisson with `mean_gap` during a burst of
+    /// `burst` steps, silence for `lull` steps, repeating.
+    Bursty {
+        /// Mean inter-arrival gap during a burst.
+        mean_gap: f64,
+        /// Burst length in steps.
+        burst: u64,
+        /// Silence length in steps.
+        lull: u64,
+    },
+    /// Diurnal ramp: Poisson whose mean gap sweeps between `peak_gap`
+    /// (mid-cycle, busiest) and `trough_gap` (cycle edges, quietest)
+    /// along a triangular profile of the given period.
+    Diurnal {
+        /// Mean gap at the daily peak (smallest).
+        peak_gap: f64,
+        /// Mean gap at the daily trough (largest).
+        trough_gap: f64,
+        /// Cycle length in steps.
+        period: u64,
+    },
+}
+
+impl Arrivals {
+    /// Steps from `now` to the next arrival (≥ 1).
+    fn next_gap(&self, now: u64, rng: &mut SmallRng) -> u64 {
+        match *self {
+            Arrivals::Poisson { mean_gap } => exp_gap(mean_gap, rng),
+            Arrivals::Bursty {
+                mean_gap,
+                burst,
+                lull,
+            } => {
+                let cycle = burst + lull;
+                let pos = if cycle == 0 { 0 } else { now % cycle };
+                // If we sit in the lull, first jump to the next burst.
+                let skip = if pos >= burst { cycle - pos } else { 0 };
+                skip + exp_gap(mean_gap, rng)
+            }
+            Arrivals::Diurnal {
+                peak_gap,
+                trough_gap,
+                period,
+            } => {
+                let phase = if period == 0 {
+                    0.0
+                } else {
+                    (now % period) as f64 / period as f64
+                };
+                // Triangular: 1 at the cycle edges (trough), 0 mid-cycle.
+                let tri = 2.0 * (phase - 0.5).abs();
+                exp_gap(peak_gap + (trough_gap - peak_gap) * tri, rng)
+            }
+        }
+    }
+}
+
+/// One exponential gap with the given mean, floored at one step (and
+/// capped defensively — a `mean_gap` of hours must not overflow the
+/// clock).
+fn exp_gap(mean: f64, rng: &mut SmallRng) -> u64 {
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let gap = -mean * (1.0 - u).ln();
+    gap.min(1e15).ceil().max(1.0) as u64
+}
+
+/// The admission-control policy: how much in-flight contention the
+/// service accepts, and what happens to the overflow.
+///
+/// An arriving (or re-entering) client is **admitted** when in-flight
+/// sessions sit below `max_inflight` and a slot is free; otherwise it
+/// **queues** FIFO while the waiting room has space; otherwise it is
+/// **shed** into exponential backoff — retrying after
+/// `base << attempt` steps (capped, plus uniform jitter of up to half
+/// the delay) — until `max_retries` attempts are spent or the backoff
+/// population itself overflows `waiting_capacity`, at which point the
+/// client is cleanly **rejected**.
+#[derive(Clone, Copy, Debug)]
+pub struct Admission {
+    /// Sessions allowed in flight simultaneously (≤ slots).
+    pub max_inflight: usize,
+    /// FIFO waiting-room capacity; 0 disables queueing.
+    pub queue_capacity: usize,
+    /// Base backoff delay in steps (attempt 0).
+    pub backoff_base: u64,
+    /// Upper bound on a single backoff delay.
+    pub backoff_cap: u64,
+    /// Backoff attempts before a client is rejected for good.
+    pub max_retries: u32,
+    /// Bound on clients simultaneously in backoff; overflow is rejected
+    /// outright (hard load shedding).
+    pub waiting_capacity: usize,
+}
+
+impl Admission {
+    /// The jittered exponential backoff delay for the given attempt.
+    fn delay(&self, attempt: u32, rng: &mut SmallRng) -> u64 {
+        let base = self
+            .backoff_base
+            .max(1)
+            .checked_shl(attempt)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap.max(1));
+        base + rng.gen_range(0..=base / 2)
+    }
+}
+
+/// Full configuration of a service run. Everything is in **service
+/// steps** (one granted shared-memory operation; idle gaps fast-forward
+/// the clock), so a run is a pure function of this struct.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Seed for every RNG stream (scheduler, arrivals, hazard, jitter).
+    pub seed: u64,
+    /// Client slots = the `n` the shared objects are built for (max
+    /// concurrent sessions).
+    pub slots: usize,
+    /// Stop after completing this many sessions (0: run to the horizon
+    /// or until drained).
+    pub target_sessions: u64,
+    /// Stop generating arrivals after this many clients (0: unbounded).
+    /// With a bound, the run continues until the system drains.
+    pub max_clients: u64,
+    /// Hard cap on the service clock.
+    pub horizon: u64,
+    /// Telemetry window length in steps.
+    pub window: u64,
+    /// The arrival process.
+    pub arrivals: Arrivals,
+    /// Per-granted-step crash probability of the in-flight session
+    /// (the fault injector's hazard; 0 disables).
+    pub crash_hazard: f64,
+    /// Admission control.
+    pub admission: Admission,
+    /// Deposit-arena registers; 0 auto-sizes from the session target.
+    pub arena_capacity: usize,
+    /// Record every completed session's ticket (for exclusivity audits;
+    /// costs 8 bytes per session).
+    pub record_names: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            seed: 0,
+            slots: 8,
+            target_sessions: 0,
+            max_clients: 0,
+            horizon: u64::MAX / 4,
+            window: 1 << 14,
+            arrivals: Arrivals::Poisson { mean_gap: 40.0 },
+            crash_hazard: 0.0,
+            admission: Admission {
+                max_inflight: 8,
+                queue_capacity: 16,
+                backoff_base: 64,
+                backoff_cap: 1 << 14,
+                max_retries: 8,
+                waiting_capacity: 256,
+            },
+            arena_capacity: 0,
+            record_names: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The deposit-arena size this configuration implies: the explicit
+    /// capacity, or twice the expected session count plus crash/park
+    /// slack.
+    #[must_use]
+    pub fn arena(&self) -> usize {
+        if self.arena_capacity > 0 {
+            return self.arena_capacity;
+        }
+        let expected = self.target_sessions.max(self.max_clients).max(1 << 12) as usize;
+        2 * expected + 4 * self.slots * self.slots + 256
+    }
+}
+
+/// The shared-memory world a service run executes against: one
+/// unbounded-naming object (session tickets), one adaptive store&collect
+/// object and one altruistic repository, all sized for `slots`
+/// concurrent clients on a single register address space.
+#[derive(Debug)]
+pub struct ServiceWorld {
+    naming: UnboundedNaming,
+    sc: StoreCollect,
+    repo: AltruisticDeposit,
+    registers: usize,
+}
+
+impl ServiceWorld {
+    /// Builds the world for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.slots == 0`.
+    #[must_use]
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        assert!(cfg.slots > 0, "need at least one client slot");
+        let mut alloc = RegAlloc::new();
+        let naming = UnboundedNaming::new(&mut alloc, cfg.slots);
+        let sc = StoreCollect::adaptive(&mut alloc, cfg.slots, &RenameConfig::default());
+        let repo = AltruisticDeposit::new(&mut alloc, cfg.slots, cfg.arena().max(2 * cfg.slots));
+        // Pre-seed the snapshot recycling arenas past any live-buffer
+        // high-water a `slots`-bounded run can reach: each component
+        // register pins one record, every scanner's collect cache pins
+        // up to `slots` more, and rare interleavings stack generations —
+        // so even the first contention excursion deep into a run stays
+        // allocation-free, where warm-up alone only covers the
+        // high-water it happened to visit (O(slots²) small buffers;
+        // ~1 MiB at the default 8 slots).
+        let reserve = 32 * cfg.slots * cfg.slots + 64;
+        naming.snapshot().arena().reserve(reserve, reserve);
+        repo.naming().snapshot().arena().reserve(reserve, reserve);
+        ServiceWorld {
+            naming,
+            sc,
+            repo,
+            registers: alloc.total(),
+        }
+    }
+
+    /// Total registers the world occupies.
+    #[must_use]
+    pub fn num_registers(&self) -> usize {
+        self.registers
+    }
+}
+
+/// Where a bound session currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// No client bound.
+    Free,
+    /// Driving the unbounded-naming acquire (the session ticket).
+    Acquire,
+    /// Driving the slot's first store (rename + controls + value write),
+    /// or — once registered — performing the session's one-write store.
+    Store,
+    /// Driving the prefix-read collect.
+    Collect,
+    /// Driving one wait-free deposit round.
+    Deposit,
+}
+
+/// The per-op latency families a service run measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+enum OpFamily {
+    Acquire = 0,
+    Store = 1,
+    Collect = 2,
+    Deposit = 3,
+    /// Admission → departure.
+    Session = 4,
+    /// Arrival → departure (includes queue and backoff time).
+    Sojourn = 5,
+}
+
+const FAMILIES: usize = 6;
+
+/// A fixed-size log-bucketed step-latency histogram: values 0–7 exact,
+/// then four sub-buckets per octave (≈ ±12% resolution) up to `u64::MAX`
+/// — 256 buckets total, recording and quantile extraction both
+/// allocation-free.
+#[derive(Clone, Debug)]
+pub struct StepHistogram {
+    counts: [u64; 256],
+    total: u64,
+}
+
+impl Default for StepHistogram {
+    fn default() -> Self {
+        StepHistogram {
+            counts: [0; 256],
+            total: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let lg = 63 - v.leading_zeros() as usize; // ≥ 3
+        let sub = ((v >> (lg - 2)) & 3) as usize;
+        8 + (lg - 3) * 4 + sub
+    }
+}
+
+fn bucket_low(idx: usize) -> u64 {
+    if idx < 8 {
+        idx as u64
+    } else {
+        let lg = 3 + (idx - 8) / 4;
+        let sub = ((idx - 8) % 4) as u64;
+        (1u64 << lg) + (sub << (lg - 2))
+    }
+}
+
+impl StepHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `num/den` quantile (lower bound of its bucket, in steps);
+    /// 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (self.total * num).div_ceil(den).max(1);
+        let mut cum = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_low(idx);
+            }
+        }
+        bucket_low(255)
+    }
+
+    /// Clears all buckets in place.
+    pub fn clear(&mut self) {
+        self.counts = [0; 256];
+        self.total = 0;
+    }
+}
+
+/// Counter deltas and end-of-window gauges for one telemetry window —
+/// all `u64`, so rendering them (JSON Lines in exsel-bench) is
+/// bit-identical per seed. Latency quantiles are *within-window*, in
+/// steps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowRow {
+    /// Window index.
+    pub window: u64,
+    /// First step of the window.
+    pub start: u64,
+    /// First step past the window.
+    pub end: u64,
+    /// Clients arriving in the window.
+    pub arrivals: u64,
+    /// Session starts (binds), including retries and re-entries.
+    pub admitted: u64,
+    /// Sessions completed (windowed throughput).
+    pub completed: u64,
+    /// Fault-injector crashes.
+    pub crashes: u64,
+    /// Re-entries of previously crashed clients.
+    pub reentries: u64,
+    /// Backoff retries (shed clients re-arriving).
+    pub retries: u64,
+    /// Admission refusals shed into backoff.
+    pub shed: u64,
+    /// Clients rejected for good.
+    pub rejected: u64,
+    /// Sessions in flight at window end.
+    pub inflight: u64,
+    /// Waiting-room depth at window end.
+    pub queued: u64,
+    /// Backoff population at window end.
+    pub waiting: u64,
+    /// Session (admission → departure) latency quantiles.
+    pub session_p50: u64,
+    /// See [`WindowRow::session_p50`].
+    pub session_p99: u64,
+    /// See [`WindowRow::session_p50`].
+    pub session_p999: u64,
+    /// Sojourn (arrival → departure) p99.
+    pub sojourn_p99: u64,
+    /// Acquire-phase latency quantiles.
+    pub acquire_p50: u64,
+    /// See [`WindowRow::acquire_p50`].
+    pub acquire_p99: u64,
+    /// See [`WindowRow::acquire_p50`].
+    pub acquire_p999: u64,
+    /// Store-phase latency quantiles.
+    pub store_p50: u64,
+    /// See [`WindowRow::store_p50`].
+    pub store_p99: u64,
+    /// See [`WindowRow::store_p50`].
+    pub store_p999: u64,
+    /// Collect-phase latency quantiles.
+    pub collect_p50: u64,
+    /// See [`WindowRow::collect_p50`].
+    pub collect_p99: u64,
+    /// See [`WindowRow::collect_p50`].
+    pub collect_p999: u64,
+    /// Deposit-phase latency quantiles.
+    pub deposit_p50: u64,
+    /// See [`WindowRow::deposit_p50`].
+    pub deposit_p99: u64,
+    /// See [`WindowRow::deposit_p50`].
+    pub deposit_p999: u64,
+}
+
+/// Whole-run totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Clients that arrived.
+    pub arrivals: u64,
+    /// Session starts (binds), including retries and re-entries.
+    pub admitted: u64,
+    /// Sessions completed.
+    pub completed: u64,
+    /// Fault-injector crashes.
+    pub crashes: u64,
+    /// Re-entries of crashed clients.
+    pub reentries: u64,
+    /// Backoff retries.
+    pub retries: u64,
+    /// Admission refusals shed into backoff.
+    pub shed: u64,
+    /// Clients rejected for good.
+    pub rejected: u64,
+    /// Granted shared-memory operations.
+    pub ops: u64,
+    /// Final service clock.
+    pub steps: u64,
+}
+
+/// The result of a service run.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Whole-run totals.
+    pub totals: Totals,
+    /// The telemetry time series, one row per window.
+    pub windows: Vec<WindowRow>,
+    /// Whole-run per-op latency histograms, indexable by the same
+    /// order as the window quantiles: acquire, store, collect, deposit,
+    /// session, sojourn.
+    pub cumulative: Vec<StepHistogram>,
+    /// Tickets of completed sessions, in completion order (empty unless
+    /// [`ServiceConfig::record_names`]).
+    pub names: Vec<u64>,
+    /// Clients still in the system at the end (in flight + queued +
+    /// backing off). 0 means the run drained cleanly.
+    pub in_system: u64,
+}
+
+impl ServiceReport {
+    /// The accounting identity every run satisfies: every arrival is
+    /// completed, cleanly rejected, or still in the system.
+    #[must_use]
+    pub fn accounted(&self) -> bool {
+        self.totals.arrivals == self.totals.completed + self.totals.rejected + self.in_system
+    }
+}
+
+/// A client's journey record while waiting (queue or backoff).
+#[derive(Clone, Copy, Debug)]
+struct Client {
+    id: u64,
+    arrival: u64,
+    attempt: u32,
+    crashed: bool,
+}
+
+/// One client slot: the pooled machines of its pid plus the bound
+/// session's bookkeeping.
+struct Slot<'w> {
+    naming: NamingMachine<'w>,
+    first_store: FirstStoreOp<'w>,
+    registered: Option<RegId>,
+    collect: CollectOp<'w>,
+    deposit: DepositOp<'w>,
+    naming_dirty: bool,
+    deposit_dirty: bool,
+    phase: Phase,
+    client: Client,
+    ticket: u64,
+    session_start: u64,
+    phase_start: u64,
+    original: u64,
+}
+
+/// The open-loop service harness; see the module docs. Borrows the
+/// world (machines hold references into the shared objects) and owns
+/// the register bank, the clock, and every waiting-room structure.
+pub struct ServiceHarness<'w, B: RegisterBank = ArcBank> {
+    cfg: ServiceConfig,
+    bank: B,
+    slots: Vec<Slot<'w>>,
+    free: Vec<usize>,
+    active: Vec<usize>,
+    /// `active_pos[slot]` is the slot's index in `active`
+    /// (`usize::MAX` when inactive).
+    active_pos: Vec<usize>,
+    queue: VecDeque<Client>,
+    timers: BinaryHeap<Reverse<(u64, u64, ClientBits)>>,
+    timer_seq: u64,
+    sched_rng: SmallRng,
+    arrival_rng: SmallRng,
+    hazard_rng: SmallRng,
+    jitter_rng: SmallRng,
+    now: u64,
+    next_arrival: u64,
+    next_client: u64,
+    window_hists: Vec<StepHistogram>,
+    cumulative: Vec<StepHistogram>,
+    window_counts: WindowRow,
+    windows: Vec<WindowRow>,
+    window_end: u64,
+    totals: Totals,
+    names: Vec<u64>,
+    waiting: usize,
+}
+
+/// A [`Client`] packed into plain integers so the timer heap's ordering
+/// is a pure `(due, seq)` comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct ClientBits {
+    id: u64,
+    arrival: u64,
+    attempt: u32,
+    crashed: bool,
+}
+
+const NOT_ACTIVE: usize = usize::MAX;
+
+impl<'w> ServiceHarness<'w, ArcBank> {
+    /// Builds a harness over the default [`ArcBank`] backend.
+    #[must_use]
+    pub fn new(world: &'w ServiceWorld, cfg: &ServiceConfig) -> Self {
+        ServiceHarness::with_bank(world, cfg, ArcBank::new())
+    }
+}
+
+impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
+    /// Builds a harness over a caller-chosen register-bank backend
+    /// (`SlabBank` for mega runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (no slots, a zero
+    /// window, or an in-flight bound above the slot count).
+    #[must_use]
+    pub fn with_bank(world: &'w ServiceWorld, cfg: &ServiceConfig, mut bank: B) -> Self {
+        assert!(cfg.slots > 0, "need at least one client slot");
+        assert!(cfg.window > 0, "telemetry window must be positive");
+        assert!(
+            cfg.admission.max_inflight <= cfg.slots,
+            "in-flight bound {} above the {} slots",
+            cfg.admission.max_inflight,
+            cfg.slots
+        );
+        bank.reset(world.registers);
+        let slots: Vec<Slot<'w>> = (0..cfg.slots)
+            .map(|p| Slot {
+                naming: world.naming.begin_machine(Pid(p), 1),
+                first_store: world.sc.begin_first_store(Pid(p), p as u64 + 1, 0),
+                registered: None,
+                collect: world.sc.begin_collect(Pid(p)),
+                deposit: world.repo.begin_deposit(Pid(p), 0, 1),
+                naming_dirty: false,
+                deposit_dirty: false,
+                phase: Phase::Free,
+                client: Client {
+                    id: 0,
+                    arrival: 0,
+                    attempt: 0,
+                    crashed: false,
+                },
+                ticket: 0,
+                session_start: 0,
+                phase_start: 0,
+                original: p as u64 + 1,
+            })
+            .collect();
+        // Cap the pre-reservation: an open-ended horizon (the default is
+        // u64::MAX / 4) would otherwise ask for gigabytes of window rows.
+        // 2^18 windows is orders of magnitude beyond any bounded run; a
+        // run that outlives the reservation reallocates amortized, which
+        // only the zero-alloc gate (bounded scenarios) would notice.
+        let est_windows =
+            usize::try_from((cfg.horizon / cfg.window).min(1 << 18).saturating_add(2)).unwrap_or(2);
+        let expected_names = if cfg.record_names {
+            usize::try_from(cfg.target_sessions.max(cfg.max_clients))
+                .unwrap_or(0)
+                .saturating_add(64)
+        } else {
+            0
+        };
+        let mut arrival_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xA221_55A1);
+        let first_arrival = cfg.arrivals.next_gap(0, &mut arrival_rng);
+        ServiceHarness {
+            cfg: *cfg,
+            bank,
+            free: (0..cfg.slots).rev().collect(),
+            active: Vec::with_capacity(cfg.slots),
+            active_pos: vec![NOT_ACTIVE; cfg.slots],
+            slots,
+            queue: VecDeque::with_capacity(cfg.admission.queue_capacity.saturating_add(1)),
+            timers: BinaryHeap::with_capacity(cfg.admission.waiting_capacity.saturating_add(1)),
+            timer_seq: 0,
+            sched_rng: SmallRng::seed_from_u64(cfg.seed),
+            arrival_rng,
+            hazard_rng: SmallRng::seed_from_u64(cfg.seed ^ 0x4A5A_12D0_FFB3),
+            jitter_rng: SmallRng::seed_from_u64(cfg.seed ^ 0xB0FF_0FF5),
+            now: 0,
+            next_arrival: first_arrival,
+            next_client: 0,
+            window_hists: vec![StepHistogram::default(); FAMILIES],
+            cumulative: vec![StepHistogram::default(); FAMILIES],
+            window_counts: WindowRow::default(),
+            windows: Vec::with_capacity(est_windows),
+            window_end: cfg.window,
+            totals: Totals::default(),
+            names: Vec::with_capacity(expected_names),
+            waiting: 0,
+        }
+    }
+
+    /// Runs the configured service to its stopping condition (session
+    /// target reached, arrivals exhausted and system drained, or
+    /// horizon) and returns the report.
+    pub fn run(mut self) -> ServiceReport {
+        loop {
+            if self.cfg.target_sessions > 0 && self.totals.completed >= self.cfg.target_sessions {
+                break;
+            }
+            if !self.advance() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Drives the service until `sessions` sessions have completed (an
+    /// absolute count, not a delta). Returns `false` when the run ended
+    /// first — horizon reached, or arrivals exhausted and the system
+    /// drained. Benchmarks use this to separate a warm-up segment from
+    /// a measured steady-state segment before calling
+    /// [`ServiceHarness::finish`].
+    pub fn run_until(&mut self, sessions: u64) -> bool {
+        while self.totals.completed < sessions {
+            if !self.advance() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Sessions completed so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.totals.completed
+    }
+
+    /// Granted shared-memory operations so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.totals.ops
+    }
+
+    /// One iteration of the open-loop grant cycle: roll telemetry
+    /// windows, fire due timers, generate due arrivals, then grant one
+    /// shared-memory operation (or crash the picked session, or
+    /// fast-forward an idle gap). Returns `false` when the run cannot
+    /// continue.
+    fn advance(&mut self) -> bool {
+        if self.now >= self.cfg.horizon {
+            return false;
+        }
+        self.roll_windows();
+        self.fire_due_timers();
+        self.generate_arrivals();
+        if self.active.is_empty() {
+            if self.arrivals_exhausted() && self.queue.is_empty() && self.timers.is_empty() {
+                return false; // drained
+            }
+            self.fast_forward();
+            return true;
+        }
+        let pick = self.sched_rng.gen_range(0..self.active.len());
+        let slot = self.active[pick];
+        let crash = self.cfg.crash_hazard > 0.0 && self.hazard_rng.gen_bool(self.cfg.crash_hazard);
+        if crash {
+            self.crash(slot);
+        } else {
+            self.grant(slot);
+        }
+        self.now += 1;
+        true
+    }
+
+    /// Whether no further arrivals will be generated.
+    fn arrivals_exhausted(&self) -> bool {
+        self.cfg.max_clients > 0 && self.totals.arrivals >= self.cfg.max_clients
+    }
+
+    /// Emits window rows for every boundary at or before `now`.
+    fn roll_windows(&mut self) {
+        while self.now >= self.window_end {
+            self.emit_window();
+        }
+    }
+
+    fn emit_window(&mut self) {
+        let mut row = self.window_counts;
+        row.window = self.windows.len() as u64;
+        row.start = self.window_end - self.cfg.window;
+        row.end = self.window_end;
+        row.inflight = self.inflight() as u64;
+        row.queued = self.queue.len() as u64;
+        row.waiting = self.waiting as u64;
+        let q = |h: &StepHistogram, n: u64, d: u64| h.quantile(n, d);
+        let h = &self.window_hists;
+        row.session_p50 = q(&h[OpFamily::Session as usize], 1, 2);
+        row.session_p99 = q(&h[OpFamily::Session as usize], 99, 100);
+        row.session_p999 = q(&h[OpFamily::Session as usize], 999, 1000);
+        row.sojourn_p99 = q(&h[OpFamily::Sojourn as usize], 99, 100);
+        row.acquire_p50 = q(&h[OpFamily::Acquire as usize], 1, 2);
+        row.acquire_p99 = q(&h[OpFamily::Acquire as usize], 99, 100);
+        row.acquire_p999 = q(&h[OpFamily::Acquire as usize], 999, 1000);
+        row.store_p50 = q(&h[OpFamily::Store as usize], 1, 2);
+        row.store_p99 = q(&h[OpFamily::Store as usize], 99, 100);
+        row.store_p999 = q(&h[OpFamily::Store as usize], 999, 1000);
+        row.collect_p50 = q(&h[OpFamily::Collect as usize], 1, 2);
+        row.collect_p99 = q(&h[OpFamily::Collect as usize], 99, 100);
+        row.collect_p999 = q(&h[OpFamily::Collect as usize], 999, 1000);
+        row.deposit_p50 = q(&h[OpFamily::Deposit as usize], 1, 2);
+        row.deposit_p99 = q(&h[OpFamily::Deposit as usize], 99, 100);
+        row.deposit_p999 = q(&h[OpFamily::Deposit as usize], 999, 1000);
+        self.windows.push(row);
+        self.window_counts = WindowRow::default();
+        for hist in &mut self.window_hists {
+            hist.clear();
+        }
+        self.window_end += self.cfg.window;
+    }
+
+    fn inflight(&self) -> usize {
+        self.cfg.slots - self.free.len()
+    }
+
+    /// Fires every backoff/re-entry timer due at or before `now`.
+    fn fire_due_timers(&mut self) {
+        while let Some(Reverse((due, _, bits))) = self.timers.peek().copied() {
+            if due > self.now {
+                break;
+            }
+            self.timers.pop();
+            self.waiting -= 1;
+            let client = Client {
+                id: bits.id,
+                arrival: bits.arrival,
+                attempt: bits.attempt,
+                crashed: bits.crashed,
+            };
+            if client.crashed {
+                self.totals.reentries += 1;
+                self.window_counts.reentries += 1;
+            } else {
+                self.totals.retries += 1;
+                self.window_counts.retries += 1;
+            }
+            self.admit(client);
+        }
+    }
+
+    /// Generates every arrival due at or before `now`.
+    fn generate_arrivals(&mut self) {
+        while self.next_arrival <= self.now && !self.arrivals_exhausted() {
+            self.totals.arrivals += 1;
+            self.window_counts.arrivals += 1;
+            let client = Client {
+                id: self.next_client,
+                arrival: self.next_arrival,
+                attempt: 0,
+                crashed: false,
+            };
+            self.next_client += 1;
+            let gap = self
+                .cfg
+                .arrivals
+                .next_gap(self.next_arrival, &mut self.arrival_rng);
+            self.next_arrival += gap;
+            self.admit(client);
+        }
+    }
+
+    /// Admission control: bind, queue, shed into backoff, or reject.
+    fn admit(&mut self, client: Client) {
+        if self.inflight() < self.cfg.admission.max_inflight && !self.free.is_empty() {
+            let slot = self.free.pop().expect("checked non-empty");
+            self.bind(slot, client);
+        } else if self.queue.len() < self.cfg.admission.queue_capacity {
+            self.queue.push_back(client);
+        } else {
+            self.totals.shed += 1;
+            self.window_counts.shed += 1;
+            self.backoff_or_reject(client);
+        }
+    }
+
+    /// Sheds `client` into jittered exponential backoff, or rejects it
+    /// for good once its attempts or the waiting room are exhausted.
+    fn backoff_or_reject(&mut self, mut client: Client) {
+        if client.attempt >= self.cfg.admission.max_retries
+            || self.waiting >= self.cfg.admission.waiting_capacity
+        {
+            self.totals.rejected += 1;
+            self.window_counts.rejected += 1;
+            return;
+        }
+        let delay = self
+            .cfg
+            .admission
+            .delay(client.attempt, &mut self.jitter_rng);
+        client.attempt += 1;
+        self.timer_seq += 1;
+        self.timers.push(Reverse((
+            self.now + delay,
+            self.timer_seq,
+            ClientBits {
+                id: client.id,
+                arrival: client.arrival,
+                attempt: client.attempt,
+                crashed: client.crashed,
+            },
+        )));
+        self.waiting += 1;
+    }
+
+    /// Binds `client` to `slot` and starts its session at the acquire
+    /// phase.
+    fn bind(&mut self, slot: usize, client: Client) {
+        self.totals.admitted += 1;
+        self.window_counts.admitted += 1;
+        let s = &mut self.slots[slot];
+        s.client = client;
+        s.phase = Phase::Acquire;
+        s.session_start = self.now;
+        s.phase_start = self.now;
+        if s.naming_dirty {
+            s.naming.reenter();
+            s.naming_dirty = false;
+        } else {
+            s.naming.begin_session();
+        }
+        debug_assert_eq!(self.active_pos[slot], NOT_ACTIVE);
+        self.active_pos[slot] = self.active.len();
+        self.active.push(slot);
+    }
+
+    /// Removes `slot` from the active set.
+    fn deactivate(&mut self, slot: usize) {
+        let pos = self.active_pos[slot];
+        debug_assert_ne!(pos, NOT_ACTIVE);
+        self.active.swap_remove(pos);
+        if pos < self.active.len() {
+            self.active_pos[self.active[pos]] = pos;
+        }
+        self.active_pos[slot] = NOT_ACTIVE;
+    }
+
+    /// Crashes the in-flight session on `slot`: the incarnation dies
+    /// mid-operation, the slot frees, and the client is scheduled to
+    /// re-enter as a fresh contender (or rejected once its attempts are
+    /// spent).
+    fn crash(&mut self, slot: usize) {
+        self.totals.crashes += 1;
+        self.window_counts.crashes += 1;
+        let s = &mut self.slots[slot];
+        match s.phase {
+            Phase::Acquire => s.naming_dirty = true,
+            Phase::Deposit => s.deposit_dirty = true,
+            // A first store interrupted mid-flight resumes on the next
+            // session (slot infrastructure); collects restart; a
+            // registered store's single write needs nothing.
+            Phase::Store | Phase::Collect => {}
+            Phase::Free => unreachable!("crashed a free slot"),
+        }
+        let mut client = s.client;
+        client.crashed = true;
+        s.phase = Phase::Free;
+        self.deactivate(slot);
+        self.free.push(slot);
+        self.backoff_or_reject(client);
+        self.drain_queue();
+    }
+
+    /// Moves queued clients onto freed slots.
+    fn drain_queue(&mut self) {
+        while !self.queue.is_empty()
+            && self.inflight() < self.cfg.admission.max_inflight
+            && !self.free.is_empty()
+        {
+            let client = self.queue.pop_front().expect("checked non-empty");
+            let slot = self.free.pop().expect("checked non-empty");
+            self.bind(slot, client);
+        }
+    }
+
+    /// Records a completed phase's latency.
+    fn record(&mut self, family: OpFamily, sample: u64) {
+        self.window_hists[family as usize].record(sample);
+        self.cumulative[family as usize].record(sample);
+    }
+
+    /// Grants one shared-memory operation to the session on `slot` and
+    /// advances its state machine.
+    fn grant(&mut self, slot: usize) {
+        self.totals.ops += 1;
+        let s = &mut self.slots[slot];
+        match s.phase {
+            Phase::Free => unreachable!("granted a free slot"),
+            Phase::Acquire => {
+                if let Poll::Ready(name) = step_machine(&mut self.bank, &mut s.naming) {
+                    s.ticket = name;
+                    let lat = self.now + 1 - s.phase_start;
+                    s.phase = Phase::Store;
+                    s.phase_start = self.now + 1;
+                    self.record(OpFamily::Acquire, lat);
+                }
+            }
+            Phase::Store => {
+                if let Some(reg) = s.registered {
+                    self.bank.write(reg, Word::Pair(s.original, s.client.id));
+                    let lat = self.now + 1 - s.phase_start;
+                    s.collect.rearm();
+                    s.phase = Phase::Collect;
+                    s.phase_start = self.now + 1;
+                    self.record(OpFamily::Store, lat);
+                } else if let Poll::Ready(res) = step_machine(&mut self.bank, &mut s.first_store) {
+                    let reg = res.expect("store&collect sized for every slot");
+                    s.registered = Some(reg);
+                    // Stay in Store: the next grant performs the
+                    // session's own value write.
+                }
+            }
+            Phase::Collect => {
+                if let Poll::Ready(_len) = step_machine(&mut self.bank, &mut s.collect) {
+                    let lat = self.now + 1 - s.phase_start;
+                    if s.deposit_dirty {
+                        s.deposit.reenter(s.client.id);
+                        s.deposit_dirty = false;
+                    } else {
+                        s.deposit.begin_round(s.client.id);
+                    }
+                    s.phase = Phase::Deposit;
+                    s.phase_start = self.now + 1;
+                    self.record(OpFamily::Collect, lat);
+                }
+            }
+            Phase::Deposit => {
+                if let Poll::Ready(out) = step_machine(&mut self.bank, &mut s.deposit) {
+                    debug_assert!(out.is_some(), "depositors always claim");
+                    let lat = self.now + 1 - s.phase_start;
+                    let session = self.now + 1 - s.session_start;
+                    let sojourn = self.now + 1 - s.client.arrival;
+                    let ticket = s.ticket;
+                    s.phase = Phase::Free;
+                    self.record(OpFamily::Deposit, lat);
+                    self.record(OpFamily::Session, session);
+                    self.record(OpFamily::Sojourn, sojourn);
+                    self.totals.completed += 1;
+                    self.window_counts.completed += 1;
+                    if self.cfg.record_names {
+                        self.names.push(ticket);
+                    }
+                    self.deactivate(slot);
+                    self.free.push(slot);
+                    self.drain_queue();
+                }
+            }
+        }
+    }
+
+    /// Advances the clock over an idle gap to the next event (arrival,
+    /// timer, window boundary or horizon).
+    fn fast_forward(&mut self) {
+        let mut next = self.cfg.horizon.min(self.window_end);
+        if !self.arrivals_exhausted() {
+            next = next.min(self.next_arrival);
+        }
+        if let Some(Reverse((due, _, _))) = self.timers.peek() {
+            next = next.min(*due);
+        }
+        self.now = next.max(self.now + 1);
+    }
+
+    /// Emits the final partial window and assembles the report.
+    pub fn finish(mut self) -> ServiceReport {
+        // Flush boundaries crossed by the final fast-forward, then the
+        // partial window if it holds anything.
+        self.roll_windows();
+        if self.window_counts != WindowRow::default()
+            || self.window_hists.iter().any(|h| h.total() > 0)
+        {
+            self.emit_window();
+        }
+        self.totals.steps = self.now;
+        let in_system = self.inflight() as u64 + self.queue.len() as u64 + self.waiting as u64;
+        ServiceReport {
+            totals: self.totals,
+            windows: self.windows,
+            cumulative: self.cumulative,
+            names: self.names,
+            in_system,
+        }
+    }
+}
+
+/// One grant: perform the machine's pending operation against `bank`
+/// and advance it — the service-harness form of the engine's grant.
+fn step_machine<B: RegisterBank, M: StepMachine>(bank: &mut B, m: &mut M) -> Poll<M::Output> {
+    match m.op() {
+        ShmOp::Read(reg) => {
+            let word = bank.read(reg);
+            m.advance(word)
+        }
+        ShmOp::Write(reg, word) => {
+            bank.write(reg, word);
+            m.advance(&Word::Null)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn small_cfg(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            seed,
+            slots: 4,
+            target_sessions: 300,
+            window: 1 << 10,
+            arrivals: Arrivals::Poisson { mean_gap: 25.0 },
+            admission: Admission {
+                max_inflight: 4,
+                queue_capacity: 8,
+                backoff_base: 32,
+                backoff_cap: 4096,
+                max_retries: 6,
+                waiting_capacity: 64,
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_target_sessions_with_exclusive_tickets() {
+        let cfg = small_cfg(3);
+        let world = ServiceWorld::new(&cfg);
+        let report = ServiceHarness::new(&world, &cfg).run();
+        assert!(report.totals.completed >= 300);
+        assert!(report.accounted(), "{:?}", report.totals);
+        let set: BTreeSet<u64> = report.names.iter().copied().collect();
+        assert_eq!(
+            set.len() as u64,
+            report.totals.completed,
+            "duplicate tickets"
+        );
+        assert!(!report.windows.is_empty());
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let cfg = small_cfg(11);
+        let world_a = ServiceWorld::new(&cfg);
+        let a = ServiceHarness::new(&world_a, &cfg).run();
+        let world_b = ServiceWorld::new(&cfg);
+        let b = ServiceHarness::new(&world_b, &cfg).run();
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.names, b.names);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let world = ServiceWorld::new(&small_cfg(0));
+        let a = ServiceHarness::new(&world, &small_cfg(0)).run();
+        let world_b = ServiceWorld::new(&small_cfg(1));
+        let b = ServiceHarness::new(&world_b, &small_cfg(1)).run();
+        assert_ne!(a.windows, b.windows);
+    }
+
+    #[test]
+    fn crash_storm_sheds_but_keeps_tickets_exclusive() {
+        let mut cfg = small_cfg(5);
+        cfg.crash_hazard = 0.01;
+        cfg.arrivals = Arrivals::Poisson { mean_gap: 6.0 };
+        cfg.target_sessions = 200;
+        let world = ServiceWorld::new(&cfg);
+        let report = ServiceHarness::new(&world, &cfg).run();
+        assert!(report.totals.crashes > 0, "hazard never fired");
+        assert!(report.totals.reentries > 0, "no crashed client re-entered");
+        assert!(report.accounted(), "{:?}", report.totals);
+        let set: BTreeSet<u64> = report.names.iter().copied().collect();
+        assert_eq!(
+            set.len() as u64,
+            report.totals.completed,
+            "crash re-entry broke ticket exclusivity"
+        );
+    }
+
+    #[test]
+    fn bounded_arrivals_drain_cleanly() {
+        let mut cfg = small_cfg(9);
+        cfg.target_sessions = 0;
+        cfg.max_clients = 150;
+        cfg.crash_hazard = 0.005;
+        let world = ServiceWorld::new(&cfg);
+        let report = ServiceHarness::new(&world, &cfg).run();
+        assert_eq!(report.totals.arrivals, 150);
+        assert_eq!(report.in_system, 0, "did not drain: {:?}", report.totals);
+        assert_eq!(
+            report.totals.completed + report.totals.rejected,
+            150,
+            "{:?}",
+            report.totals
+        );
+    }
+
+    #[test]
+    fn overload_sheds_and_rejects() {
+        let mut cfg = small_cfg(13);
+        cfg.arrivals = Arrivals::Poisson { mean_gap: 1.5 };
+        cfg.admission.max_inflight = 2;
+        cfg.admission.queue_capacity = 2;
+        cfg.admission.waiting_capacity = 8;
+        cfg.admission.max_retries = 2;
+        cfg.target_sessions = 150;
+        let world = ServiceWorld::new(&cfg);
+        let report = ServiceHarness::new(&world, &cfg).run();
+        assert!(report.totals.shed > 0, "overload never shed");
+        assert!(report.totals.rejected > 0, "no client was rejected");
+        assert!(report.accounted());
+    }
+
+    #[test]
+    fn bursty_and_diurnal_arrivals_run() {
+        for arrivals in [
+            Arrivals::Bursty {
+                mean_gap: 8.0,
+                burst: 2000,
+                lull: 3000,
+            },
+            Arrivals::Diurnal {
+                peak_gap: 10.0,
+                trough_gap: 200.0,
+                period: 1 << 13,
+            },
+        ] {
+            let mut cfg = small_cfg(21);
+            cfg.arrivals = arrivals;
+            cfg.target_sessions = 100;
+            let world = ServiceWorld::new(&cfg);
+            let report = ServiceHarness::new(&world, &cfg).run();
+            assert!(report.totals.completed >= 100, "{arrivals:?}");
+            assert!(report.accounted(), "{arrivals:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bucketed() {
+        let mut h = StepHistogram::default();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(1, 2);
+        let p99 = h.quantile(99, 100);
+        let p999 = h.quantile(999, 1000);
+        assert!(p50 <= p99 && p99 <= p999);
+        assert!((416..=512).contains(&p50), "p50 = {p50}");
+        assert!(p999 >= 896, "p999 = {p999}");
+        // Bucket mapping is monotone and lower bounds are exact.
+        let mut last = 0;
+        for v in [0u64, 1, 7, 8, 9, 100, 1023, 1024, u64::MAX / 2] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket order broke at {v}");
+            last = b;
+            assert!(bucket_low(b) <= v, "lower bound above sample at {v}");
+        }
+    }
+
+    #[test]
+    fn windows_tile_the_clock() {
+        let cfg = small_cfg(2);
+        let world = ServiceWorld::new(&cfg);
+        let report = ServiceHarness::new(&world, &cfg).run();
+        for (i, w) in report.windows.iter().enumerate() {
+            assert_eq!(w.window, i as u64);
+            if i > 0 {
+                assert_eq!(w.start, report.windows[i - 1].end);
+            }
+        }
+    }
+}

@@ -26,6 +26,22 @@ pub(crate) fn interval_of(name: u64) -> usize {
     ((name + 1).ilog2() - 1) as usize
 }
 
+/// Cursor over the collect read sequence — the step-machine form of
+/// [`ValueLayout::read_prefix`], one register per position. Advancing a
+/// `Control` position needs the read's result (a lowered control ends
+/// the prefix), so the cursor is driven by `CollectOp`'s transitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ReadCursor {
+    /// Fixed layout: value register `idx`.
+    Fixed { idx: usize },
+    /// Doubling layout: value register `idx` of interval `j`.
+    Value { j: usize, idx: usize },
+    /// Doubling layout: control register of interval `j`.
+    Control { j: usize },
+    /// The prefix is exhausted.
+    Done,
+}
+
 /// First 1-based name of interval `j`: `2^{j+1} − 1`.
 fn interval_start(j: usize) -> u64 {
     (1u64 << (j + 1)) - 1
@@ -127,6 +143,73 @@ impl ValueLayout {
             }
         }
         Ok(())
+    }
+
+    /// The first position of the collect read sequence.
+    pub(crate) fn first_read(&self) -> ReadCursor {
+        match self {
+            ValueLayout::Fixed { values } => {
+                if values.is_empty() {
+                    ReadCursor::Done
+                } else {
+                    ReadCursor::Fixed { idx: 0 }
+                }
+            }
+            ValueLayout::Intervals { intervals, .. } => {
+                if intervals.is_empty() {
+                    ReadCursor::Done
+                } else {
+                    ReadCursor::Value { j: 0, idx: 0 }
+                }
+            }
+        }
+    }
+
+    /// The register at cursor position `cur`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is `Done` or belongs to the other layout.
+    pub(crate) fn cursor_reg(&self, cur: ReadCursor) -> RegId {
+        match (self, cur) {
+            (ValueLayout::Fixed { values }, ReadCursor::Fixed { idx }) => values.get(idx),
+            (ValueLayout::Intervals { intervals, .. }, ReadCursor::Value { j, idx }) => {
+                intervals[j].get(idx)
+            }
+            (ValueLayout::Intervals { controls, .. }, ReadCursor::Control { j }) => controls.get(j),
+            _ => panic!("cursor {cur:?} does not address this layout"),
+        }
+    }
+
+    /// The position after `cur`, given whether the register just read
+    /// there was null (only control positions consult it: a lowered —
+    /// null — control ends the prefix, exactly like
+    /// [`ValueLayout::read_prefix`]'s early break).
+    pub(crate) fn advance_cursor(&self, cur: ReadCursor, was_null: bool) -> ReadCursor {
+        match (self, cur) {
+            (ValueLayout::Fixed { values }, ReadCursor::Fixed { idx }) => {
+                if idx + 1 < values.len() {
+                    ReadCursor::Fixed { idx: idx + 1 }
+                } else {
+                    ReadCursor::Done
+                }
+            }
+            (ValueLayout::Intervals { intervals, .. }, ReadCursor::Value { j, idx }) => {
+                if idx + 1 < intervals[j].len() {
+                    ReadCursor::Value { j, idx: idx + 1 }
+                } else {
+                    ReadCursor::Control { j }
+                }
+            }
+            (ValueLayout::Intervals { intervals, .. }, ReadCursor::Control { j }) => {
+                if !was_null && j + 1 < intervals.len() {
+                    ReadCursor::Value { j: j + 1, idx: 0 }
+                } else {
+                    ReadCursor::Done
+                }
+            }
+            _ => panic!("cursor {cur:?} does not address this layout"),
+        }
     }
 
     /// Total registers (values + controls).

@@ -54,4 +54,4 @@ mod layout;
 mod store;
 
 pub use error::StoreCollectError;
-pub use store::{FirstStoreOp, Setting, StoreCollect, StoreHandle};
+pub use store::{CollectOp, FirstStoreOp, Setting, StoreCollect, StoreHandle};

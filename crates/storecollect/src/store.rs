@@ -6,7 +6,7 @@ use exsel_core::{
 };
 use exsel_shm::{drive, Ctx, Pid, Poll, RegAlloc, RegId, ShmOp, StepMachine, Word};
 
-use crate::layout::ValueLayout;
+use crate::layout::{ReadCursor, ValueLayout};
 use crate::StoreCollectError;
 
 /// Which of Theorem 5's knowledge settings an instance implements.
@@ -213,6 +213,28 @@ impl StoreCollect {
         out.sort_unstable();
         Ok(out)
     }
+
+    /// Starts a collect as a [`StepMachine`], one register read per step,
+    /// performing exactly [`StoreCollect::collect`]'s read sequence:
+    /// every value register for the fixed layout; interval values then
+    /// the interval's control — stopping at the first lowered control —
+    /// for the doubling layouts. `Ready(len)` reports the view size; the
+    /// `(original, value)` pairs, sorted by original name, stay readable
+    /// through [`CollectOp::view`] until the next re-arm.
+    ///
+    /// The machine is resettable and re-armable in place
+    /// ([`CollectOp::rearm`]): one pooled collector performs any number
+    /// of collects without touching the allocator once its view buffer
+    /// has stretched to the high-water registered count.
+    #[must_use]
+    pub fn begin_collect(&self, pid: Pid) -> CollectOp<'_> {
+        let _ = pid; // collects are anonymous: reads only
+        CollectOp {
+            sc: self,
+            state: self.layout.first_read(),
+            view: Vec::new(),
+        }
+    }
 }
 
 enum FsState<'a> {
@@ -301,6 +323,75 @@ impl StepMachine for FirstStoreOp<'_> {
 
     fn reset(&mut self, pid: Pid) {
         self.state = FsState::Renaming(self.sc.renamer.begin_rename(pid, self.original));
+    }
+}
+
+/// In-progress collect — a [`StepMachine`] over the prefix-read path of
+/// [`StoreCollect::collect`], one register read per step. See
+/// [`StoreCollect::begin_collect`].
+#[derive(Debug)]
+pub struct CollectOp<'a> {
+    sc: &'a StoreCollect,
+    state: ReadCursor,
+    /// The pairs collected so far; sorted by original name at completion
+    /// and kept (capacity and contents) until the next re-arm.
+    view: Vec<(u64, u64)>,
+}
+
+impl CollectOp<'_> {
+    /// The collected `(original name, value)` pairs of the last completed
+    /// collect, sorted by original name — identical to what
+    /// [`StoreCollect::collect`] would have returned against the same
+    /// register contents. Mid-collect, the pairs gathered so far in read
+    /// order.
+    #[must_use]
+    pub fn view(&self) -> &[(u64, u64)] {
+        &self.view
+    }
+
+    /// Re-arms the machine in place as a fresh collect over the same
+    /// object — the allocation-free counterpart of
+    /// [`StoreCollect::begin_collect`] for repeated collects within one
+    /// trial (the view buffer keeps its capacity).
+    pub fn rearm(&mut self) {
+        self.state = self.sc.layout.first_read();
+        self.view.clear();
+    }
+}
+
+impl StepMachine for CollectOp<'_> {
+    /// The number of pairs in the completed view.
+    type Output = usize;
+
+    fn op(&self) -> ShmOp {
+        ShmOp::Read(self.sc.layout.cursor_reg(self.state))
+    }
+
+    fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        (
+            exsel_shm::OpKind::Read,
+            self.sc.layout.cursor_reg(self.state),
+        )
+    }
+
+    fn advance(&mut self, input: &Word) -> Poll<usize> {
+        if let Some(pair) = input.as_pair() {
+            // Control registers hold Int(1), never pairs, so only value
+            // positions can land here — exactly read_prefix's sink.
+            self.view.push(pair);
+        }
+        self.state = self.sc.layout.advance_cursor(self.state, input.is_null());
+        if self.state == ReadCursor::Done {
+            self.view.sort_unstable();
+            Poll::Ready(self.view.len())
+        } else {
+            Poll::Pending
+        }
+    }
+
+    fn reset(&mut self, pid: Pid) {
+        let _ = pid; // collects are anonymous: reads only
+        self.rearm();
     }
 }
 
@@ -426,5 +517,80 @@ mod tests {
         let sc = StoreCollect::adaptive(&mut alloc, 2, &RenameConfig::default());
         assert!(format!("{sc:?}").contains("Adaptive"));
         assert_eq!(sc.setting(), Setting::Adaptive);
+    }
+
+    /// Drives a CollectOp to completion, returning (view, steps).
+    fn drive_collect(sc: &StoreCollect, ctx: Ctx<'_>) -> (Vec<(u64, u64)>, u64) {
+        let mut op = sc.begin_collect(ctx.pid());
+        let before = ctx.steps();
+        let len = drive(&mut op, ctx).unwrap();
+        assert_eq!(len, op.view().len());
+        (op.view().to_vec(), ctx.steps() - before)
+    }
+
+    #[test]
+    fn collect_machine_matches_blocking_collect_in_view_and_steps() {
+        for setting in 0..3 {
+            let mut alloc = RegAlloc::new();
+            let sc = match setting {
+                0 => StoreCollect::known(&mut alloc, 4, 64, &RenameConfig::default()),
+                1 => StoreCollect::almost_adaptive(&mut alloc, 64, 8, &RenameConfig::default()),
+                _ => StoreCollect::adaptive(&mut alloc, 8, &RenameConfig::default()),
+            };
+            let mem = ThreadedShm::new(alloc.total(), 4);
+            for p in 0..3 {
+                let ctx = Ctx::new(&mem, Pid(p));
+                let mut h = StoreHandle::new();
+                sc.store(ctx, &mut h, p as u64 + 1, 50 + p as u64).unwrap();
+            }
+            let ctx = Ctx::new(&mem, Pid(3));
+            let before = ctx.steps();
+            let blocking = sc.collect(ctx).unwrap();
+            let blocking_steps = ctx.steps() - before;
+            let (view, steps) = drive_collect(&sc, ctx);
+            assert_eq!(view, blocking, "setting {setting}");
+            assert_eq!(
+                steps, blocking_steps,
+                "setting {setting}: read sequences diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_machine_rearms_in_place_and_sees_new_stores() {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, 4, &RenameConfig::default());
+        let mem = ThreadedShm::new(alloc.total(), 2);
+        let ctx0 = Ctx::new(&mem, Pid(0));
+        let mut h = StoreHandle::new();
+        sc.store(ctx0, &mut h, 7, 1).unwrap();
+
+        let ctx1 = Ctx::new(&mem, Pid(1));
+        let mut op = sc.begin_collect(Pid(1));
+        assert_eq!(drive(&mut op, ctx1).unwrap(), 1);
+        assert_eq!(op.view(), &[(7, 1)]);
+
+        sc.store(ctx0, &mut h, 7, 2).unwrap();
+        op.rearm();
+        assert_eq!(drive(&mut op, ctx1).unwrap(), 1);
+        assert_eq!(op.view(), &[(7, 2)]);
+
+        // reset (the pooling path) behaves like rearm.
+        op.reset(Pid(1));
+        assert_eq!(drive(&mut op, ctx1).unwrap(), 1);
+        assert_eq!(op.view(), &[(7, 2)]);
+    }
+
+    #[test]
+    fn collect_machine_stops_at_lowered_control() {
+        let mut alloc = RegAlloc::new();
+        let sc = StoreCollect::adaptive(&mut alloc, 16, &RenameConfig::default());
+        let mem = ThreadedShm::new(alloc.total(), 2);
+        let ctx = Ctx::new(&mem, Pid(0));
+        let mut h = StoreHandle::new();
+        sc.store(ctx, &mut h, 9, 1).unwrap();
+        let (view, steps) = drive_collect(&sc, ctx);
+        assert_eq!(view, vec![(9, 1)]);
+        assert!(steps < 64, "collect machine read {steps} registers for k=1");
     }
 }

@@ -81,6 +81,18 @@ impl AltruisticState {
         self.row_q = 0;
         self.col_r = 0;
     }
+
+    /// Same-trial crash re-entry in place: the naming state is kept
+    /// (claims stay claimed) but its suite is republished before the new
+    /// incarnation contends, and both activities restart from their
+    /// initial cursors. See [`NamerState::unpublish`].
+    fn reenter(&mut self) {
+        self.namer.unpublish();
+        self.acquire.rearm(&self.namer);
+        self.row_phase = RowPhase::Scanning;
+        self.row_q = 0;
+        self.col_r = 0;
+    }
 }
 
 impl AltruisticDeposit {
@@ -439,6 +451,44 @@ impl DepositOp<'_> {
     #[must_use]
     pub fn is_server(&self) -> bool {
         matches!(self.goal, DepositGoal::Serve { .. })
+    }
+
+    /// Re-arms a completed deposit machine in place for its next round
+    /// run **within the same trial**, keeping the process's naming and
+    /// help state (the open-loop session path; contrast
+    /// [`StepMachine::reset`], which starts a fresh trial). `value_base`
+    /// becomes the new round's deposit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on serve-only machines.
+    pub fn begin_round(&mut self, value_base: u64) {
+        assert!(!self.is_server(), "serve-only machines do not deposit");
+        self.deposits.clear();
+        self.value_base = value_base;
+        self.phase = DepositPhase::Row;
+        self.events_done = 0;
+    }
+
+    /// Re-enters after a mid-operation crash as a fresh contender: like
+    /// [`DepositOp::begin_round`], but the embedded naming suite is
+    /// republished from local state first (a crash may have eaten suite
+    /// writes, leaving a stale published fresh frontier — see
+    /// [`NamingMachine::reenter`](crate::NamingMachine::reenter)).
+    /// Names the dead incarnation parked in `Help` stay parked and
+    /// consumable; a name it consumed without completing the deposit is
+    /// wasted, exactly the paper's crash budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on serve-only machines.
+    pub fn reenter(&mut self, value_base: u64) {
+        assert!(!self.is_server(), "serve-only machines do not deposit");
+        self.st.reenter();
+        self.deposits.clear();
+        self.value_base = value_base;
+        self.phase = DepositPhase::Row;
+        self.events_done = 0;
     }
 }
 

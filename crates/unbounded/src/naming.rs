@@ -91,6 +91,18 @@ impl NamerState {
         self.next_fresh = 2 * n as u64;
     }
 
+    /// Marks the published suite `B_p` stale so the next acquire
+    /// republishes it from the current local state — the crash-recovery
+    /// hook: a process re-entering after a crash may have lost suite
+    /// writes (a pruned or committed slot whose `A_p` advance never
+    /// landed), and republication restores `published == local` before
+    /// the fresh incarnation contends. The local state itself is kept:
+    /// resetting it would put claimed integers back on the list and
+    /// break exclusiveness.
+    pub(crate) fn unpublish(&mut self) {
+        self.published = false;
+    }
+
     /// The slot index (0-based into `slots`) holding `value`.
     fn slot_of(&self, value: u64) -> usize {
         self.slots
@@ -545,6 +557,33 @@ impl NamingMachine<'_> {
     #[must_use]
     pub fn names(&self) -> &[u64] {
         &self.names
+    }
+
+    /// Re-arms a completed (or mid-flight) machine in place for its next
+    /// acquisition run **within the same trial**, keeping the process's
+    /// naming state — claimed integers stay claimed, the published suite
+    /// stays published. This is the open-loop session path: one pooled
+    /// machine serves any number of client sessions without touching the
+    /// allocator. (Contrast [`StepMachine::reset`], which starts a fresh
+    /// *trial* over a reset register bank.)
+    pub fn begin_session(&mut self) {
+        self.names.clear();
+        self.acquire.rearm(&self.st);
+    }
+
+    /// Re-enters after a mid-operation crash as a **fresh contender**:
+    /// like [`NamingMachine::begin_session`], but the suite `B_p` is
+    /// republished from local state before the new incarnation contends.
+    /// A crash may have eaten suite writes (a committed slot whose `A_p`
+    /// advance never landed leaves the published fresh frontier stale,
+    /// and a stale frontier can make an already-claimed integer look
+    /// available); republication restores the invariant. Claims the dead
+    /// incarnation half-completed are wasted, never reassigned to the
+    /// new one.
+    pub fn reenter(&mut self) {
+        self.names.clear();
+        self.st.unpublish();
+        self.acquire.rearm(&self.st);
     }
 }
 

@@ -31,12 +31,14 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use exclusive_selection::sim::policy::{RandomPolicy, RoundRobin};
+use exclusive_selection::sim::service::{ServiceConfig, ServiceHarness, ServiceWorld};
 use exclusive_selection::sim::{AlgoSet, MachinePool, SetOutput, StepEngine};
 use exclusive_selection::{
     Majority, Pid, RegAlloc, RenameConfig, Snapshot, SnapshotRename, StepMachine, Word,
 };
 use exsel_core::SnapshotRenameOp;
 use exsel_shm::snapshot::UpdateOp;
+use exsel_shm::SlabBank;
 use exsel_unbounded::{AltruisticDeposit, DepositOp, NamingMachine, UnboundedNaming};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
@@ -430,4 +432,40 @@ fn snapshot_compaction_smoke_n128() {
         assert_eq!(rec.value, Word::Int(slot as u64 + 1));
         assert_eq!(rec.view.len(), N);
     }
+}
+
+/// The open-loop service harness end to end: Poisson arrivals, pooled
+/// acquire→store→collect→deposit sessions, admission control, and the
+/// windowed report, all running out of recycled buffers. `ServiceWorld`
+/// pre-seeds the snapshot arenas past any reachable live-buffer
+/// high-water, so after a short warm-up (free-list cursors settle, the
+/// report vectors are pre-reserved) the remaining ninety percent of the
+/// run must be literally zero-alloc and zero-free.
+#[test]
+fn steady_state_service_sessions_are_zero_alloc() {
+    let cfg = ServiceConfig {
+        seed: 11,
+        target_sessions: 6_000,
+        ..ServiceConfig::default()
+    };
+    let world = ServiceWorld::new(&cfg);
+    let mut harness = ServiceHarness::with_bank(&world, &cfg, SlabBank::new());
+    assert!(
+        harness.run_until(cfg.target_sessions / 10),
+        "service drained during warm-up"
+    );
+    let (allocs, frees) = measured(|| {
+        assert!(
+            harness.run_until(cfg.target_sessions),
+            "service drained before reaching its session target"
+        );
+    });
+    let report = harness.finish();
+    assert_eq!(report.totals.completed, cfg.target_sessions);
+    assert!(report.accounted(), "accounting broke: {:?}", report.totals);
+    assert_eq!(
+        (allocs, frees),
+        (0, 0),
+        "service steady state must be allocation-free"
+    );
 }

@@ -163,3 +163,136 @@ fn every_renamer_survives_every_single_victim() {
         }
     }
 }
+
+/// Service-harness semantics under injected crash storms: the open-loop
+/// session layer (`sim::service`) must preserve the paper's exclusivity
+/// guarantee end to end — every *completed* session holds a distinct
+/// ticket no matter how clients crash, re-enter, back off or get shed —
+/// and admission control must account for every client that ever
+/// arrived: once bounded arrivals drain, each one either completed or
+/// was cleanly rejected, with nobody left in the system.
+mod service_semantics {
+    use exclusive_selection::sim::service::{
+        Admission, Arrivals, ServiceConfig, ServiceHarness, ServiceWorld,
+    };
+    use proptest::prelude::*;
+
+    /// A randomized but always-drainable configuration: bounded
+    /// arrivals, a horizon far past any plausible drain point, and a
+    /// cap on backoff so rejection verdicts arrive quickly.
+    #[allow(clippy::too_many_arguments)]
+    fn storm_cfg(
+        seed: u64,
+        slots: usize,
+        clients: u64,
+        mean_gap: f64,
+        hazard: f64,
+        max_inflight: usize,
+        queue_capacity: usize,
+        waiting_capacity: usize,
+    ) -> ServiceConfig {
+        ServiceConfig {
+            seed,
+            slots,
+            target_sessions: 0,
+            max_clients: clients,
+            window: 1 << 12,
+            arrivals: Arrivals::Poisson { mean_gap },
+            crash_hazard: hazard,
+            admission: Admission {
+                max_inflight: max_inflight.min(slots),
+                queue_capacity,
+                backoff_base: 32,
+                backoff_cap: 1 << 10,
+                max_retries: 4,
+                waiting_capacity,
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Crash-storm exclusivity plus full accounting, across random
+        /// service shapes: slot counts, arrival pressure (down to
+        /// overload), hazards up to 1% per granted step, and tight
+        /// admission bounds.
+        #[test]
+        fn crashy_sessions_stay_exclusive_and_accounted(
+            seed in 0u64..10_000,
+            slots in 2usize..6,
+            clients in 40u64..160,
+            mean_gap in 2.0f64..400.0,
+            hazard in 0.0f64..0.01,
+            max_inflight in 1usize..6,
+            queue_capacity in 0usize..6,
+            waiting_capacity in 1usize..32,
+        ) {
+            let cfg = storm_cfg(
+                seed, slots, clients, mean_gap, hazard,
+                max_inflight, queue_capacity, waiting_capacity,
+            );
+            let world = ServiceWorld::new(&cfg);
+            let report = ServiceHarness::new(&world, &cfg).run();
+
+            // Every client is accounted for, and the drain is total:
+            // nobody is left in flight, queued, or waiting in backoff.
+            prop_assert_eq!(report.totals.arrivals, clients);
+            prop_assert!(report.accounted(), "accounting broke: {:?}", report.totals);
+            prop_assert_eq!(
+                report.in_system, 0,
+                "clients stranded after drain: {:?}", report.totals
+            );
+            prop_assert_eq!(
+                report.totals.completed + report.totals.rejected,
+                clients,
+                "shed/retried clients neither completed nor rejected: {:?}",
+                report.totals
+            );
+
+            // Ticket exclusivity over completed sessions, crash storms
+            // and re-entries notwithstanding.
+            let mut names = report.names.clone();
+            names.sort_unstable();
+            let before = names.len() as u64;
+            names.dedup();
+            prop_assert_eq!(before, report.totals.completed);
+            prop_assert_eq!(
+                names.len() as u64,
+                report.totals.completed,
+                "duplicate session tickets under seed {}", seed
+            );
+
+            // Crashes force re-entries (or rejections), never losses:
+            // with a nonzero hazard and any completions at all, the
+            // re-entry path must have been exercised or every crashed
+            // client rejected.
+            if report.totals.crashes > 0 {
+                prop_assert!(
+                    report.totals.reentries > 0 || report.totals.rejected > 0,
+                    "crashes with neither re-entries nor rejections: {:?}",
+                    report.totals
+                );
+            }
+        }
+
+        /// Determinism of the full service pipeline: bit-identical
+        /// reports per (config, seed) — totals, every window row, every
+        /// recorded ticket — across independently built worlds.
+        #[test]
+        fn service_reports_are_bit_identical_per_seed(
+            seed in 0u64..10_000,
+            hazard in 0.0f64..0.008,
+        ) {
+            let cfg = storm_cfg(seed, 3, 80, 30.0, hazard, 2, 2, 8);
+            let world_a = ServiceWorld::new(&cfg);
+            let a = ServiceHarness::new(&world_a, &cfg).run();
+            let world_b = ServiceWorld::new(&cfg);
+            let b = ServiceHarness::new(&world_b, &cfg).run();
+            prop_assert_eq!(a.totals, b.totals);
+            prop_assert_eq!(a.windows, b.windows);
+            prop_assert_eq!(a.names, b.names);
+        }
+    }
+}

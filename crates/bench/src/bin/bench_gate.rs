@@ -53,7 +53,7 @@ fn main() -> ExitCode {
     let mut rows = engine::measure(quick);
     rows.push(mega::measure(quick));
     rows.extend(reduced::measure(quick));
-    rows.push(service::measure(quick));
+    rows.extend(service::measure_rows(quick));
 
     let committed = match std::fs::read_to_string("BENCH_engine.json") {
         Ok(text) => match serde_json::from_str(&text) {

@@ -4,7 +4,7 @@
 //! deposit, and depart, under admission control and (for the storm
 //! variant) a crash-hazard fault injector.
 //!
-//! Three registry entries share this body:
+//! Four registry entries share this body:
 //!
 //! - `service-smoke` — seconds-scale CI check (also run `--quick`).
 //! - `service-steady` — ≥ 10⁶ sessions at high utilization, crashless;
@@ -13,6 +13,13 @@
 //!   and a tighter waiting room: the run must degrade *gracefully*
 //!   (bounded windowed p999, nonzero shed count, zero ticket
 //!   collisions); merges its row into `BENCH_engine.json`.
+//! - `service-mega` — the sharded fleet
+//!   ([`exsel_sim::service::mega`]): 1250 admission shards × 8 slots =
+//!   10⁴ concurrent slots driving ≥ 10⁶ sessions per run, each shard on
+//!   its own slab register file; merges its row into
+//!   `BENCH_engine.json`, and the bench gate re-probes the whole
+//!   committed shard axis for allocation flatness
+//!   ([`measure_mega`]).
 //!
 //! `--json-out` persists the windowed telemetry as **JSON Lines** —
 //! one object per window per seed (plus one `summary` line per seed),
@@ -23,6 +30,9 @@
 use std::time::Instant;
 
 use exsel_shm::SlabBank;
+use exsel_sim::service::mega::{
+    MegaServiceConfig, MegaServiceHarness, MegaServiceReport, MegaServiceWorld,
+};
 use exsel_sim::service::{
     Admission, Arrivals, ServiceConfig, ServiceHarness, ServiceReport, ServiceWorld, WindowRow,
 };
@@ -164,6 +174,69 @@ pub fn smoke_spec() -> ServiceSpec {
     }
 }
 
+/// A `service-mega` registry entry: the sharded fleet configuration
+/// plus its session target under `--quick` and its artifact wiring.
+pub struct MegaServiceSpec {
+    /// The full-scale fleet configuration (`base` is per shard for
+    /// slots/admission, fleet-wide for arrivals and budgets).
+    pub cfg: MegaServiceConfig,
+    /// Human label carried into every JSON row as `policy`.
+    pub policy: &'static str,
+    /// Fleet-wide session target under `--quick`.
+    pub quick_sessions: u64,
+    /// Merge a summary row under this workload key into
+    /// `BENCH_engine.json` after a full-scale run.
+    pub bench_workload: Option<&'static str>,
+}
+
+/// The per-shard Poisson mean gap every `service-mega` axis point runs
+/// at — the `service-steady` operating point (ρ ≈ 0.84 on 8 slots), so
+/// mega throughput divides cleanly into a per-shard rate comparable to
+/// the unsharded row.
+pub const MEGA_PER_SHARD_GAP: f64 = 2800.0;
+
+/// The shard counts the bench gate re-probes ([`measure_mega`]): the
+/// unsharded degenerate point, a small fleet, and the committed
+/// full-scale fleet (1250 shards × 8 slots = 10⁴ concurrent slots).
+pub const MEGA_SHARD_AXIS: [usize; 3] = [1, 16, 1250];
+
+/// `service-mega`: 1250 admission shards × 8 slots, ≥ 10⁶ crashless
+/// sessions per run, every shard at the steady operating point (the
+/// fleet-wide gap is the per-shard gap thinned by the shard count).
+#[must_use]
+pub fn mega_spec() -> MegaServiceSpec {
+    let shards = 1250;
+    #[allow(clippy::cast_precision_loss)]
+    let fleet_gap = MEGA_PER_SHARD_GAP / shards as f64;
+    MegaServiceSpec {
+        cfg: MegaServiceConfig {
+            base: ServiceConfig {
+                seed: 4,
+                slots: 8,
+                target_sessions: 1_000_000,
+                window: 1 << 16,
+                arrivals: Arrivals::Poisson {
+                    mean_gap: fleet_gap,
+                },
+                crash_hazard: 0.0,
+                admission: Admission {
+                    max_inflight: 8,
+                    queue_capacity: 16,
+                    backoff_base: 256,
+                    backoff_cap: 1 << 15,
+                    max_retries: 10,
+                    waiting_capacity: 512,
+                },
+                ..ServiceConfig::default()
+            },
+            shards,
+        },
+        policy: "poisson(2800/shard)x1250shards/inflight<=8",
+        quick_sessions: 20_000,
+        bench_workload: Some("service/mega/open_loop"),
+    }
+}
+
 /// Asserts a report's service-level invariants for `name` and panics
 /// with context on violation: ticket exclusivity across every completed
 /// session, the arrival accounting identity, and the spec's shed/crash/
@@ -210,14 +283,20 @@ fn assert_report(name: &str, spec: &ServiceSpec, cfg: &ServiceConfig, report: &S
 }
 
 /// One window of the time series as a JSON Lines object.
-fn window_json(name: &str, seed: u64, policy: &str, w: &WindowRow) -> serde_json::Value {
+fn window_json(
+    name: &str,
+    seed: u64,
+    shards: u64,
+    policy: &str,
+    w: &WindowRow,
+) -> serde_json::Value {
     let mut obj = serde_json::Map::new();
     obj.insert("kind".into(), serde_json::Value::String("window".into()));
     obj.insert("scenario".into(), serde_json::Value::String(name.into()));
     obj.insert("policy".into(), serde_json::Value::String(policy.into()));
     for (key, value) in [
         ("seed", seed),
-        ("shards", 1),
+        ("shards", shards),
         ("window", w.window),
         ("start", w.start),
         ("end", w.end),
@@ -255,7 +334,13 @@ fn window_json(name: &str, seed: u64, policy: &str, w: &WindowRow) -> serde_json
 }
 
 /// The per-seed summary line closing a seed's window series.
-fn summary_json(name: &str, seed: u64, policy: &str, report: &ServiceReport) -> serde_json::Value {
+fn summary_json(
+    name: &str,
+    seed: u64,
+    shards: u64,
+    policy: &str,
+    report: &ServiceReport,
+) -> serde_json::Value {
     let mut obj = serde_json::Map::new();
     obj.insert("kind".into(), serde_json::Value::String("summary".into()));
     obj.insert("scenario".into(), serde_json::Value::String(name.into()));
@@ -264,7 +349,7 @@ fn summary_json(name: &str, seed: u64, policy: &str, report: &ServiceReport) -> 
     let cum = &report.cumulative;
     for (key, value) in [
         ("seed", seed),
-        ("shards", 1),
+        ("shards", shards),
         ("arrivals", t.arrivals),
         ("admitted", t.admitted),
         ("completed", t.completed),
@@ -295,7 +380,7 @@ fn summary_json(name: &str, seed: u64, policy: &str, report: &ServiceReport) -> 
 ///
 /// # Panics
 ///
-/// Panics when any report invariant fails — see [`assert_report`].
+/// Panics when any report invariant fails — see `assert_report`.
 pub fn run(name: &str, spec: &ServiceSpec, overrides: &RunOverrides) -> Vec<serde_json::Value> {
     let mut cfg = spec.cfg;
     if overrides.quick {
@@ -356,9 +441,9 @@ pub fn run(name: &str, spec: &ServiceSpec, overrides: &RunOverrides) -> Vec<serd
             report.cumulative[4].quantile(999, 1000).to_string(),
         ]);
         for w in &report.windows {
-            rows.push(window_json(name, seed, spec.policy, w));
+            rows.push(window_json(name, seed, 1, spec.policy, w));
         }
-        rows.push(summary_json(name, seed, spec.policy, &report));
+        rows.push(summary_json(name, seed, 1, spec.policy, &report));
         if let (Some(workload), false) = (spec.bench_workload, overrides.quick) {
             let bench = Row {
                 workload: workload.into(),
@@ -371,6 +456,182 @@ pub fn run(name: &str, spec: &ServiceSpec, overrides: &RunOverrides) -> Vec<serd
                     ("sessions_per_sec", sessions_per_sec),
                     ("total_ops", report.totals.ops),
                     ("crashes", report.totals.crashes),
+                    ("shed", report.totals.shed),
+                    ("rejected", report.totals.rejected),
+                    ("session_p999", report.cumulative[4].quantile(999, 1000)),
+                ],
+            };
+            if let Err(e) =
+                crate::gate::merge_into_artifact("BENCH_engine.json", std::slice::from_ref(&bench))
+            {
+                eprintln!("(could not write BENCH_engine.json: {e})");
+            } else {
+                println!("merged {workload} into BENCH_engine.json");
+            }
+        }
+    }
+    table.emit();
+    rows
+}
+
+/// Asserts a mega report's fleet-level invariants for `name`: the
+/// global accounting identity, ticket exclusivity over the namespaced
+/// audit, and the per-shard roll-up identity.
+fn assert_mega_report(name: &str, cfg: &MegaServiceConfig, mega: &MegaServiceReport) {
+    assert!(
+        mega.report.accounted(),
+        "{name}: accounting identity broken: {:?} in_system={}",
+        mega.report.totals,
+        mega.report.in_system
+    );
+    assert!(
+        mega.rolled_up(),
+        "{name}: shard totals diverge from the global roll-up"
+    );
+    if cfg.base.record_names {
+        let mut names = mega.report.names.clone();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            before,
+            "{name}: completed sessions share a naming ticket across the fleet"
+        );
+    }
+}
+
+/// Multiplies every inter-arrival gap of an arrival process by
+/// `factor`, preserving burst/lull and diurnal phase structure — how
+/// `--shards` overrides resize the fleet while holding each shard's
+/// load fixed.
+fn scale_gaps(arrivals: Arrivals, factor: f64) -> Arrivals {
+    match arrivals {
+        Arrivals::Poisson { mean_gap } => Arrivals::Poisson {
+            mean_gap: mean_gap * factor,
+        },
+        Arrivals::Bursty {
+            mean_gap,
+            burst,
+            lull,
+        } => Arrivals::Bursty {
+            mean_gap: mean_gap * factor,
+            burst,
+            lull,
+        },
+        Arrivals::Diurnal {
+            peak_gap,
+            trough_gap,
+            period,
+        } => Arrivals::Diurnal {
+            peak_gap: peak_gap * factor,
+            trough_gap: trough_gap * factor,
+            period,
+        },
+    }
+}
+
+/// Runs the `service-mega` scenario: one sharded fleet run per seed
+/// (`--quick` shrinks the session target, `--shards` resizes the fleet
+/// while keeping each shard at the spec's per-shard arrival rate),
+/// asserting the fleet invariants, printing a per-seed summary table
+/// and returning the JSON Lines rows. Full-scale runs merge the
+/// `service/mega/open_loop` throughput row into `BENCH_engine.json`.
+///
+/// # Panics
+///
+/// Panics when any fleet invariant fails — see `assert_mega_report`.
+pub fn run_mega(
+    name: &str,
+    spec: &MegaServiceSpec,
+    overrides: &RunOverrides,
+) -> Vec<serde_json::Value> {
+    let mut cfg = spec.cfg;
+    if let Some(shards) = overrides.shards {
+        // Resize the fleet, holding per-shard load: the fleet-wide gap
+        // scales inversely with the shard count.
+        #[allow(clippy::cast_precision_loss)]
+        let factor = cfg.shards as f64 / shards as f64;
+        cfg.base.arrivals = scale_gaps(cfg.base.arrivals, factor);
+        cfg.shards = shards;
+    }
+    if overrides.quick {
+        cfg.base.target_sessions = spec.quick_sessions;
+        // Auto-sized arenas follow the shrunk target automatically.
+    }
+    let seeds: Vec<u64> = match overrides.seeds {
+        Some(n) => (0..n).collect(),
+        None => vec![cfg.base.seed],
+    };
+    let mut table = Table::new(
+        format!(
+            "scenario {name} — sharded open-loop fleet, {} shards x {} slots ({})",
+            cfg.shards, cfg.base.slots, spec.policy
+        ),
+        &[
+            "seed",
+            "shards",
+            "completed",
+            "steps/session",
+            "sessions/sec",
+            "shed",
+            "rejected",
+            "p50",
+            "p99",
+            "p999",
+        ],
+    );
+    let mut rows = Vec::new();
+    for seed in seeds {
+        cfg.base.seed = seed;
+        let world = MegaServiceWorld::new(&cfg);
+        let harness = MegaServiceHarness::new(&world, &cfg);
+        let start = Instant::now();
+        let mega = harness.run();
+        let secs = start.elapsed().as_secs_f64();
+        assert_mega_report(name, &cfg, &mega);
+        let report = &mega.report;
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let sessions_per_sec = (report.totals.completed as f64 / secs.max(1e-9)) as u64;
+        let steps_per_session = report
+            .totals
+            .ops
+            .checked_div(report.totals.completed)
+            .unwrap_or(0);
+        table.row(&[
+            seed.to_string(),
+            cfg.shards.to_string(),
+            report.totals.completed.to_string(),
+            steps_per_session.to_string(),
+            sessions_per_sec.to_string(),
+            report.totals.shed.to_string(),
+            report.totals.rejected.to_string(),
+            report.cumulative[4].quantile(1, 2).to_string(),
+            report.cumulative[4].quantile(99, 100).to_string(),
+            report.cumulative[4].quantile(999, 1000).to_string(),
+        ]);
+        let shards = cfg.shards as u64;
+        for w in &report.windows {
+            rows.push(window_json(name, seed, shards, spec.policy, w));
+        }
+        rows.push(summary_json(name, seed, shards, spec.policy, report));
+        if let (Some(workload), false) = (spec.bench_workload, overrides.quick) {
+            let bench = Row {
+                workload: workload.into(),
+                baseline: "sessions_floor",
+                contender: "open_loop",
+                baseline_s: secs,
+                contender_s: secs,
+                extras: vec![
+                    ("sessions", report.totals.completed),
+                    ("sessions_per_sec", sessions_per_sec),
+                    ("total_ops", report.totals.ops),
+                    ("shards", shards),
+                    ("slots", cfg.total_slots() as u64),
                     ("shed", report.totals.shed),
                     ("rejected", report.totals.rejected),
                     ("session_p999", report.cumulative[4].quantile(999, 1000)),
@@ -449,6 +710,108 @@ pub fn measure(quick: bool) -> Row {
     }
 }
 
+/// One shard-axis point of the mega bench-gate measurement: a fleet of
+/// `shards` admission shards (each at the steady per-shard arrival
+/// rate), primed, warmed for 10% of the target, then the steady segment
+/// timed under the allocation probe. The full-scale axis point
+/// (`MEGA_SHARD_AXIS` last) keys the committed `service/mega/open_loop`
+/// row; the others gate on the hard floors alone.
+///
+/// # Panics
+///
+/// Panics if the fleet drains before its session target or a fleet
+/// invariant breaks.
+#[must_use]
+fn measure_mega_at(shards: usize, target: u64) -> Row {
+    let mut cfg = mega_spec().cfg;
+    cfg.shards = shards;
+    #[allow(clippy::cast_precision_loss)]
+    let fleet_gap = MEGA_PER_SHARD_GAP / shards as f64;
+    cfg.base.arrivals = Arrivals::Poisson {
+        mean_gap: fleet_gap,
+    };
+    cfg.base.target_sessions = target;
+    let warm = target / 10;
+    let world = MegaServiceWorld::new(&cfg);
+    let mut harness = MegaServiceHarness::new(&world, &cfg);
+    // At 10^4 slots a slot can be first-touched arbitrarily deep into
+    // the run, so its one-time registration buffers would land inside
+    // the measured window; priming pays them all up front.
+    harness.prime();
+    assert!(harness.run_until(warm), "mega fleet drained during warm-up");
+    let ops_before = harness.ops();
+    let before = alloc_probe::counts();
+    let start = Instant::now();
+    assert!(
+        harness.run_until(target),
+        "mega fleet drained mid-measurement"
+    );
+    let secs = start.elapsed().as_secs_f64();
+    let window = alloc_probe::counts().since(&before);
+    let steady_ops = harness.ops() - ops_before;
+    let mega = harness.finish();
+    assert_mega_report("service-mega(gate)", &cfg, &mega);
+    let measured = target - warm;
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let sessions_per_sec = (measured as f64 / secs.max(1e-9)) as u64;
+    let workload = if shards == MEGA_SHARD_AXIS[MEGA_SHARD_AXIS.len() - 1] {
+        "service/mega/open_loop".into()
+    } else {
+        format!("service/mega/open_loop/shards={shards}")
+    };
+    Row {
+        workload,
+        baseline: "sessions_floor",
+        contender: "open_loop",
+        baseline_s: secs,
+        contender_s: secs,
+        extras: vec![
+            ("sessions", measured),
+            ("sessions_per_sec", sessions_per_sec),
+            ("total_ops", steady_ops),
+            ("shards", shards as u64),
+            ("slots", cfg.total_slots() as u64),
+            (
+                "session_p999",
+                mega.report.cumulative[4].quantile(999, 1000),
+            ),
+            ("steady_allocs", window.allocs),
+            ("steady_frees", window.deallocs),
+            ("alloc_probe", u64::from(alloc_probe::active())),
+        ],
+    }
+}
+
+/// The mega bench-gate measurements: one row per committed shard-axis
+/// point ([`MEGA_SHARD_AXIS`]), each primed, warmed and alloc-probed —
+/// so a zero-alloc or throughput regression at *any* shard count fails
+/// the gate, not just the full-scale fleet.
+#[must_use]
+pub fn measure_mega(quick: bool) -> Vec<Row> {
+    let target = if quick {
+        20_000
+    } else {
+        mega_spec().cfg.base.target_sessions
+    };
+    MEGA_SHARD_AXIS
+        .iter()
+        .map(|&shards| measure_mega_at(shards, target))
+        .collect()
+}
+
+/// Every service row the bench gate re-measures: the unsharded steady
+/// row plus the whole mega shard axis.
+#[must_use]
+pub fn measure_rows(quick: bool) -> Vec<Row> {
+    let mut rows = vec![measure(quick)];
+    rows.extend(measure_mega(quick));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +869,74 @@ mod tests {
         // so rather than claim flatness it never observed.
         assert_eq!(row.extra("alloc_probe"), Some(0));
         assert!(row.extra("session_p999").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn mega_axis_point_measures_and_keys_the_committed_row() {
+        // A tiny off-axis fleet keeps this debug-mode test in seconds;
+        // the real axis runs inside the release-mode gate binary.
+        let row = measure_mega_at(4, 2_000);
+        assert_eq!(row.workload, "service/mega/open_loop/shards=4");
+        assert_eq!(row.baseline, "sessions_floor");
+        assert_eq!(row.extra("sessions"), Some(1_800));
+        assert_eq!(row.extra("shards"), Some(4));
+        assert_eq!(row.extra("slots"), Some(32));
+        assert!(row.extra("sessions_per_sec").unwrap_or(0) > 0);
+        // No counting allocator in the test harness; the row must say
+        // so rather than claim flatness it never observed.
+        assert_eq!(row.extra("alloc_probe"), Some(0));
+        // The axis ends at the committed full-scale fleet, so that
+        // point's row keys the committed BENCH_engine.json entry.
+        assert_eq!(MEGA_SHARD_AXIS.last(), Some(&mega_spec().cfg.shards));
+    }
+
+    #[test]
+    fn mega_scenario_emits_sharded_jsonl_rows() {
+        let spec = MegaServiceSpec {
+            cfg: MegaServiceConfig {
+                base: ServiceConfig {
+                    seed: 9,
+                    slots: 4,
+                    target_sessions: 600,
+                    window: 1 << 12,
+                    arrivals: Arrivals::Poisson { mean_gap: 2.0 },
+                    crash_hazard: 0.002,
+                    admission: Admission {
+                        max_inflight: 4,
+                        queue_capacity: 8,
+                        backoff_base: 32,
+                        backoff_cap: 1 << 10,
+                        max_retries: 4,
+                        waiting_capacity: 32,
+                    },
+                    ..ServiceConfig::default()
+                },
+                shards: 4,
+            },
+            policy: "test",
+            quick_sessions: 400,
+            bench_workload: None,
+        };
+        let overrides = RunOverrides {
+            quick: true,
+            ..RunOverrides::default()
+        };
+        let rows = run_mega("service-mega", &spec, &overrides);
+        assert!(!rows.is_empty());
+        let serde_json::Value::Object(last) = rows.last().unwrap() else {
+            panic!("summary row is not an object");
+        };
+        assert_eq!(
+            last.get("kind"),
+            Some(&serde_json::Value::String("summary".into()))
+        );
+        assert_eq!(last.get("shards"), Some(&serde_json::Value::from(4u64)));
+        // Up to one completion per shard lands on the final tick, so
+        // the fleet may overshoot the target by at most shards − 1.
+        let Some(&serde_json::Value::Int(completed)) = last.get("completed") else {
+            panic!("summary row lacks an integer `completed`");
+        };
+        assert!(completed >= 400, "short run: {completed}");
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! non-recycling arena by 10×, and the mega row requires the measured
 //! steady-state trial to perform **zero** heap allocations (when the
 //! counting allocator is installed — see [`crate::alloc_probe`]).
+//! Service rows re-measure the whole committed shard axis
+//! ([`crate::expts::service::measure_rows`]), so a throughput or
+//! zero-alloc regression at any shard count fails the gate.
 
 /// One measured workload row — the in-memory form of a
 /// `BENCH_engine.json` entry.

@@ -55,6 +55,12 @@ pub enum Kind {
     /// Honors `--seeds`/`--quick`; `--json-out` writes the windowed
     /// telemetry as JSON Lines instead of a JSON array.
     Service(expts::service::ServiceSpec),
+    /// A sharded mega-fleet service run
+    /// ([`crate::expts::service::run_mega`]): per-shard admission
+    /// controllers over per-shard slab banks on one global clock. On
+    /// top of the service flags it honors `--shards`, which resizes the
+    /// fleet while holding each shard's arrival rate fixed.
+    Mega(expts::service::MegaServiceSpec),
 }
 
 /// A data-driven scenario: which algorithm family, under which
@@ -640,6 +646,12 @@ pub fn registry() -> Vec<Scenario> {
                 "service under crash storms: shed load, bounded p999, exclusive tickets (updates BENCH_engine.json)",
             kind: Kind::Service(expts::service::storm_spec()),
         },
+        Scenario {
+            name: "service-mega",
+            summary:
+                "10^4-slot sharded fleet: per-shard admission + slab banks, 10^6 sessions (updates BENCH_engine.json)",
+            kind: Kind::Mega(expts::service::mega_spec()),
+        },
         grid(
             "deposit-serve",
             "Altruistic deposit with one serve-only helper: deposits stay exclusive under crashes",
@@ -682,7 +694,7 @@ pub fn catalog() -> String {
         let kind = match s.kind {
             Kind::Table(_) | Kind::TableWith(_) => "table",
             Kind::Grid(_) => "grid",
-            Kind::Service(_) => "service",
+            Kind::Service(_) | Kind::Mega(_) => "service",
         };
         out.push_str(&format!("{:<19} {:<7} {}\n", s.name, kind, s.summary));
     }
@@ -720,6 +732,7 @@ pub fn run_scenario_with(
         }
         Kind::Grid(spec) => Some(run_grid(scenario.name, spec)),
         Kind::Service(spec) => Some(expts::service::run(scenario.name, spec, overrides)),
+        Kind::Mega(spec) => Some(expts::service::run_mega(scenario.name, spec, overrides)),
     }
 }
 
@@ -840,7 +853,7 @@ pub fn cli(args: &[String]) -> Result<(), String> {
                     match s.kind {
                         Kind::Table(_) | Kind::TableWith(_) => "table".into(),
                         Kind::Grid(_) => "grid".into(),
-                        Kind::Service(_) => "service".into(),
+                        Kind::Service(_) | Kind::Mega(_) => "service".into(),
                     },
                     s.summary.to_string(),
                 ]);
@@ -926,6 +939,13 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--jso
                         ));
                     }
                 }
+                Kind::Mega(_) => {
+                    if overrides.sizes.is_some() || overrides.reduce.is_some() {
+                        return Err(format!(
+                            "scenario `{name}` is a sharded service run — only --seeds/--shards/--quick/--json-out apply"
+                        ));
+                    }
+                }
                 Kind::TableWith(_) => {
                     if overrides.seeds.is_some()
                         || overrides.sizes.is_some()
@@ -945,7 +965,7 @@ run one with: expt -- run <name> [--seeds N] [--sizes a,b,c] [--shards k] [--jso
                     }
                 }
             }
-            let jsonl = matches!(scenario.kind, Kind::Service(_));
+            let jsonl = matches!(scenario.kind, Kind::Service(_) | Kind::Mega(_));
             let rows = run_scenario_with(&scenario, &overrides);
             if let Some(path) = &overrides.json_out {
                 let rows = rows.expect("json-out rejected for tables above");

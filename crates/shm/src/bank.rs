@@ -220,6 +220,25 @@ impl SlabBank {
         self.peak_occupied
     }
 
+    /// Pre-seeds the slab's snapshot-slot storage so at least
+    /// `snap_slots` slots exist (live or free). Slots otherwise grow
+    /// lazily on the first `Snap` write each; a harness that promises a
+    /// zero-allocation steady state (the sharded service runs build one
+    /// bank per shard) reserves its per-bank high-water up front so the
+    /// slot vector never grows mid-run. Reserved slots survive
+    /// [`RegisterBank::reset`], which rebuilds the free list over every
+    /// allocated slot.
+    pub fn reserve_slots(&mut self, snap_slots: usize) {
+        while self.slots.len() < snap_slots {
+            let slot = u32::try_from(self.slots.len()).expect("slab slot index fits u32");
+            self.slots.push(SnapSlot {
+                gen: 0,
+                word: Word::Null,
+            });
+            self.free.push(slot);
+        }
+    }
+
     /// Parks `word` in a slot and returns its handle.
     fn alloc_slot(&mut self, word: Word) -> (u32, u32) {
         self.live += 1;
@@ -444,6 +463,30 @@ mod tests {
         slab.reset(4);
         assert_eq!(slab.live_entries(), 0);
         assert_eq!(slab.peak_entries(), 3);
+    }
+
+    #[test]
+    fn reserved_slots_preempt_lazy_growth_and_survive_reset() {
+        let mut slab = SlabBank::new();
+        slab.reset(4);
+        slab.reserve_slots(3);
+        assert_eq!(slab.allocated_slots(), 3);
+        assert_eq!(slab.live_slots(), 0);
+        // Writes park records in the reserved slots without growing.
+        for i in 0..3 {
+            slab.write(RegId(i), snap_word(i as u64));
+        }
+        assert_eq!(slab.allocated_slots(), 3);
+        assert_eq!(slab.live_slots(), 3);
+        // Reset keeps the reserved capacity; a smaller reserve is a
+        // no-op on an already-large slab.
+        slab.reset(4);
+        slab.reserve_slots(2);
+        assert_eq!(slab.allocated_slots(), 3);
+        for i in 0..3 {
+            slab.write(RegId(i), snap_word(10 + i as u64));
+        }
+        assert_eq!(slab.allocated_slots(), 3, "steady state must not grow");
     }
 
     #[test]

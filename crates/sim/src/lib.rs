@@ -86,6 +86,9 @@ pub use reduce::{
 };
 pub use runner::{SimBuilder, SimOutcome};
 pub use sched::{CrashCause, SimMemory};
+pub use service::mega::{
+    MegaServiceConfig, MegaServiceHarness, MegaServiceReport, MegaServiceWorld,
+};
 pub use service::{
     Admission, Arrivals, ServiceConfig, ServiceHarness, ServiceReport, ServiceWorld, StepHistogram,
     Totals, WindowRow,

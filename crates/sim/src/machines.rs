@@ -370,6 +370,86 @@ impl std::fmt::Debug for AlgoSet {
     }
 }
 
+/// The pooled machine bundle of one service-harness client slot: every
+/// machine a full acquire → store → collect → deposit session needs,
+/// built once per slot and re-armed in place as the open-loop harness
+/// binds, frees and re-binds clients (`exsel_sim::service`). Slots are
+/// stored as plain `Vec` slabs over this bundle, so an open-loop run
+/// performs zero per-session machine allocations on either register-bank
+/// backend.
+///
+/// Crash dirt is tracked here because it is machine state, not client
+/// state: a crashed incarnation leaves the naming (or deposit) machine
+/// mid-protocol, and the *next* incarnation on the same slot must
+/// re-enter it as a fresh contender with suites republished instead of
+/// starting over ([`NamingMachine::reenter`]) — the paper's wasted-claim
+/// crash budget.
+pub struct SessionMachines<'w> {
+    /// Unbounded-naming acquire machine (claims the session ticket).
+    pub naming: NamingMachine<'w>,
+    /// The slot's first store (rename + raise controls + value write).
+    pub first_store: FirstStoreOp<'w>,
+    /// The value register adopted by the completed first store; `None`
+    /// until the slot's first session registers it.
+    pub registered: Option<exsel_shm::RegId>,
+    /// Prefix-read collect machine.
+    pub collect: CollectOp<'w>,
+    /// Wait-free altruistic deposit machine.
+    pub deposit: DepositOp<'w>,
+    /// A previous incarnation crashed mid-acquire; the next session must
+    /// re-enter the naming machine instead of beginning fresh.
+    pub naming_dirty: bool,
+    /// A previous incarnation crashed mid-deposit; the next deposit
+    /// round must re-enter instead of beginning fresh.
+    pub deposit_dirty: bool,
+}
+
+impl<'w> SessionMachines<'w> {
+    /// Builds the bundle for slot `pid` over the service's three shared
+    /// objects; `original` is the slot's store&collect token.
+    #[must_use]
+    pub fn new(
+        naming: &'w UnboundedNaming,
+        sc: &'w StoreCollect,
+        repo: &'w AltruisticDeposit,
+        pid: Pid,
+        original: u64,
+    ) -> Self {
+        SessionMachines {
+            naming: naming.begin_machine(pid, 1),
+            first_store: sc.begin_first_store(pid, original, 0),
+            registered: None,
+            collect: sc.begin_collect(pid),
+            deposit: repo.begin_deposit(pid, 0, 1),
+            naming_dirty: false,
+            deposit_dirty: false,
+        }
+    }
+
+    /// Arms the acquire phase for a newly bound client: re-enters the
+    /// naming machine when the previous incarnation died mid-acquire
+    /// (keeping its burned claims), else begins a fresh session.
+    pub fn begin_acquire(&mut self) {
+        if self.naming_dirty {
+            self.naming.reenter();
+            self.naming_dirty = false;
+        } else {
+            self.naming.begin_session();
+        }
+    }
+
+    /// Arms the deposit phase for `value`: re-enters the deposit machine
+    /// when a previous incarnation died mid-round, else begins fresh.
+    pub fn begin_deposit(&mut self, value: u64) {
+        if self.deposit_dirty {
+            self.deposit.reenter(value);
+            self.deposit_dirty = false;
+        } else {
+            self.deposit.begin_round(value);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,14 +63,18 @@
 //! assert_eq!(names.len() as u64, report.totals.completed);
 //! ```
 
+pub mod mega;
+
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use exsel_core::RenameConfig;
-use exsel_shm::{ArcBank, Pid, Poll, RegAlloc, RegId, RegisterBank, ShmOp, StepMachine, Word};
-use exsel_storecollect::{CollectOp, FirstStoreOp, StoreCollect};
-use exsel_unbounded::{AltruisticDeposit, DepositOp, NamingMachine, UnboundedNaming};
+use exsel_shm::{ArcBank, Pid, Poll, RegAlloc, RegisterBank, ShmOp, StepMachine, Word};
+use exsel_storecollect::StoreCollect;
+use exsel_unbounded::{AltruisticDeposit, UnboundedNaming};
 use rand::{rngs::SmallRng, Rng, RngCore, SeedableRng};
+
+use crate::machines::SessionMachines;
 
 /// How clients arrive, in service-clock steps. Every process is driven
 /// by its own seeded RNG stream, so the arrival schedule is a pure
@@ -553,16 +557,10 @@ struct Client {
     crashed: bool,
 }
 
-/// One client slot: the pooled machines of its pid plus the bound
-/// session's bookkeeping.
+/// One client slot: the pooled session-machine bundle of its pid
+/// ([`SessionMachines`]) plus the bound session's bookkeeping.
 struct Slot<'w> {
-    naming: NamingMachine<'w>,
-    first_store: FirstStoreOp<'w>,
-    registered: Option<RegId>,
-    collect: CollectOp<'w>,
-    deposit: DepositOp<'w>,
-    naming_dirty: bool,
-    deposit_dirty: bool,
+    machines: SessionMachines<'w>,
     phase: Phase,
     client: Client,
     ticket: u64,
@@ -571,28 +569,15 @@ struct Slot<'w> {
     original: u64,
 }
 
-/// The open-loop service harness; see the module docs. Borrows the
-/// world (machines hold references into the shared objects) and owns
-/// the register bank, the clock, and every waiting-room structure.
-pub struct ServiceHarness<'w, B: RegisterBank = ArcBank> {
-    cfg: ServiceConfig,
-    bank: B,
-    slots: Vec<Slot<'w>>,
-    free: Vec<usize>,
-    active: Vec<usize>,
-    /// `active_pos[slot]` is the slot's index in `active`
-    /// (`usize::MAX` when inactive).
-    active_pos: Vec<usize>,
-    queue: VecDeque<Client>,
-    timers: BinaryHeap<Reverse<(u64, u64, ClientBits)>>,
-    timer_seq: u64,
-    sched_rng: SmallRng,
-    arrival_rng: SmallRng,
-    hazard_rng: SmallRng,
-    jitter_rng: SmallRng,
-    now: u64,
-    next_arrival: u64,
-    next_client: u64,
+/// The telemetry sink of a service run: global counter totals, the
+/// current window's histograms and counter deltas, the emitted window
+/// rows, the whole-run histograms and the ticket audit. The unsharded
+/// harness owns exactly one; a sharded run ([`mega`]) aggregates every
+/// shard into one shared sink, which is what makes its windows and
+/// totals a *global roll-up* rather than per-shard fragments.
+struct Telemetry {
+    /// Window length in steps ([`ServiceConfig::window`]).
+    window: u64,
     window_hists: Vec<StepHistogram>,
     cumulative: Vec<StepHistogram>,
     window_counts: WindowRow,
@@ -600,70 +585,13 @@ pub struct ServiceHarness<'w, B: RegisterBank = ArcBank> {
     window_end: u64,
     totals: Totals,
     names: Vec<u64>,
-    waiting: usize,
+    record_names: bool,
 }
 
-/// A [`Client`] packed into plain integers so the timer heap's ordering
-/// is a pure `(due, seq)` comparison.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct ClientBits {
-    id: u64,
-    arrival: u64,
-    attempt: u32,
-    crashed: bool,
-}
-
-const NOT_ACTIVE: usize = usize::MAX;
-
-impl<'w> ServiceHarness<'w, ArcBank> {
-    /// Builds a harness over the default [`ArcBank`] backend.
-    #[must_use]
-    pub fn new(world: &'w ServiceWorld, cfg: &ServiceConfig) -> Self {
-        ServiceHarness::with_bank(world, cfg, ArcBank::new())
-    }
-}
-
-impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
-    /// Builds a harness over a caller-chosen register-bank backend
-    /// (`SlabBank` for mega runs).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent (no slots, a zero
-    /// window, or an in-flight bound above the slot count).
-    #[must_use]
-    pub fn with_bank(world: &'w ServiceWorld, cfg: &ServiceConfig, mut bank: B) -> Self {
-        assert!(cfg.slots > 0, "need at least one client slot");
-        assert!(cfg.window > 0, "telemetry window must be positive");
-        assert!(
-            cfg.admission.max_inflight <= cfg.slots,
-            "in-flight bound {} above the {} slots",
-            cfg.admission.max_inflight,
-            cfg.slots
-        );
-        bank.reset(world.registers);
-        let slots: Vec<Slot<'w>> = (0..cfg.slots)
-            .map(|p| Slot {
-                naming: world.naming.begin_machine(Pid(p), 1),
-                first_store: world.sc.begin_first_store(Pid(p), p as u64 + 1, 0),
-                registered: None,
-                collect: world.sc.begin_collect(Pid(p)),
-                deposit: world.repo.begin_deposit(Pid(p), 0, 1),
-                naming_dirty: false,
-                deposit_dirty: false,
-                phase: Phase::Free,
-                client: Client {
-                    id: 0,
-                    arrival: 0,
-                    attempt: 0,
-                    crashed: false,
-                },
-                ticket: 0,
-                session_start: 0,
-                phase_start: 0,
-                original: p as u64 + 1,
-            })
-            .collect();
+impl Telemetry {
+    /// Builds the sink for `cfg`, pre-sizing the window and audit
+    /// buffers so a bounded run records into them allocation-free.
+    fn new(cfg: &ServiceConfig) -> Self {
         // Cap the pre-reservation: an open-ended horizon (the default is
         // u64::MAX / 4) would otherwise ask for gigabytes of window rows.
         // 2^18 windows is orders of magnitude beyond any bounded run; a
@@ -678,25 +606,8 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
         } else {
             0
         };
-        let mut arrival_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xA221_55A1);
-        let first_arrival = cfg.arrivals.next_gap(0, &mut arrival_rng);
-        ServiceHarness {
-            cfg: *cfg,
-            bank,
-            free: (0..cfg.slots).rev().collect(),
-            active: Vec::with_capacity(cfg.slots),
-            active_pos: vec![NOT_ACTIVE; cfg.slots],
-            slots,
-            queue: VecDeque::with_capacity(cfg.admission.queue_capacity.saturating_add(1)),
-            timers: BinaryHeap::with_capacity(cfg.admission.waiting_capacity.saturating_add(1)),
-            timer_seq: 0,
-            sched_rng: SmallRng::seed_from_u64(cfg.seed),
-            arrival_rng,
-            hazard_rng: SmallRng::seed_from_u64(cfg.seed ^ 0x4A5A_12D0_FFB3),
-            jitter_rng: SmallRng::seed_from_u64(cfg.seed ^ 0xB0FF_0FF5),
-            now: 0,
-            next_arrival: first_arrival,
-            next_client: 0,
+        Telemetry {
+            window: cfg.window,
             window_hists: vec![StepHistogram::default(); FAMILIES],
             cumulative: vec![StepHistogram::default(); FAMILIES],
             window_counts: WindowRow::default(),
@@ -704,103 +615,34 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
             window_end: cfg.window,
             totals: Totals::default(),
             names: Vec::with_capacity(expected_names),
-            waiting: 0,
+            record_names: cfg.record_names,
         }
     }
 
-    /// Runs the configured service to its stopping condition (session
-    /// target reached, arrivals exhausted and system drained, or
-    /// horizon) and returns the report.
-    pub fn run(mut self) -> ServiceReport {
-        loop {
-            if self.cfg.target_sessions > 0 && self.totals.completed >= self.cfg.target_sessions {
-                break;
-            }
-            if !self.advance() {
-                break;
-            }
-        }
-        self.finish()
+    /// Records a completed phase's latency.
+    fn record(&mut self, family: OpFamily, sample: u64) {
+        self.window_hists[family as usize].record(sample);
+        self.cumulative[family as usize].record(sample);
     }
 
-    /// Drives the service until `sessions` sessions have completed (an
-    /// absolute count, not a delta). Returns `false` when the run ended
-    /// first — horizon reached, or arrivals exhausted and the system
-    /// drained. Benchmarks use this to separate a warm-up segment from
-    /// a measured steady-state segment before calling
-    /// [`ServiceHarness::finish`].
-    pub fn run_until(&mut self, sessions: u64) -> bool {
-        while self.totals.completed < sessions {
-            if !self.advance() {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Sessions completed so far.
-    #[must_use]
-    pub fn completed(&self) -> u64 {
-        self.totals.completed
-    }
-
-    /// Granted shared-memory operations so far.
-    #[must_use]
-    pub fn ops(&self) -> u64 {
-        self.totals.ops
-    }
-
-    /// One iteration of the open-loop grant cycle: roll telemetry
-    /// windows, fire due timers, generate due arrivals, then grant one
-    /// shared-memory operation (or crash the picked session, or
-    /// fast-forward an idle gap). Returns `false` when the run cannot
-    /// continue.
-    fn advance(&mut self) -> bool {
-        if self.now >= self.cfg.horizon {
-            return false;
-        }
-        self.roll_windows();
-        self.fire_due_timers();
-        self.generate_arrivals();
-        if self.active.is_empty() {
-            if self.arrivals_exhausted() && self.queue.is_empty() && self.timers.is_empty() {
-                return false; // drained
-            }
-            self.fast_forward();
-            return true;
-        }
-        let pick = self.sched_rng.gen_range(0..self.active.len());
-        let slot = self.active[pick];
-        let crash = self.cfg.crash_hazard > 0.0 && self.hazard_rng.gen_bool(self.cfg.crash_hazard);
-        if crash {
-            self.crash(slot);
-        } else {
-            self.grant(slot);
-        }
-        self.now += 1;
-        true
-    }
-
-    /// Whether no further arrivals will be generated.
-    fn arrivals_exhausted(&self) -> bool {
-        self.cfg.max_clients > 0 && self.totals.arrivals >= self.cfg.max_clients
-    }
-
-    /// Emits window rows for every boundary at or before `now`.
-    fn roll_windows(&mut self) {
-        while self.now >= self.window_end {
-            self.emit_window();
+    /// Emits window rows for every boundary at or before `now`. The
+    /// gauges are the run's current `(inflight, queued, waiting)` —
+    /// summed across shards by a sharded caller — and are constant
+    /// across the (idle) span a multi-boundary roll covers.
+    fn roll(&mut self, now: u64, gauges: (u64, u64, u64)) {
+        while now >= self.window_end {
+            self.emit(gauges);
         }
     }
 
-    fn emit_window(&mut self) {
+    fn emit(&mut self, (inflight, queued, waiting): (u64, u64, u64)) {
         let mut row = self.window_counts;
         row.window = self.windows.len() as u64;
-        row.start = self.window_end - self.cfg.window;
+        row.start = self.window_end - self.window;
         row.end = self.window_end;
-        row.inflight = self.inflight() as u64;
-        row.queued = self.queue.len() as u64;
-        row.waiting = self.waiting as u64;
+        row.inflight = inflight;
+        row.queued = queued;
+        row.waiting = waiting;
         let q = |h: &StepHistogram, n: u64, d: u64| h.quantile(n, d);
         let h = &self.window_hists;
         row.session_p50 = q(&h[OpFamily::Session as usize], 1, 2);
@@ -824,17 +666,193 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
         for hist in &mut self.window_hists {
             hist.clear();
         }
-        self.window_end += self.cfg.window;
+        self.window_end += self.window;
+    }
+
+    /// Whether the current partial window holds anything.
+    fn pending(&self) -> bool {
+        self.window_counts != WindowRow::default()
+            || self.window_hists.iter().any(|h| h.total() > 0)
+    }
+
+    /// The final flush: emits boundaries crossed by the last
+    /// fast-forward plus the partial window if it holds anything, stamps
+    /// the clock, and assembles the report.
+    fn finish(mut self, now: u64, gauges: (u64, u64, u64), in_system: u64) -> ServiceReport {
+        self.roll(now, gauges);
+        if self.pending() {
+            self.emit(gauges);
+        }
+        self.totals.steps = now;
+        ServiceReport {
+            totals: self.totals,
+            windows: self.windows,
+            cumulative: self.cumulative,
+            names: self.names,
+            in_system,
+        }
+    }
+}
+
+/// The per-shard control plane of a service run: the slot slab, the
+/// free/active lists, the admission queue, the backoff timer heap, the
+/// four seeded RNG streams and the shard's own counter totals. The
+/// unsharded [`ServiceHarness`] is exactly one of these driven by its
+/// own clock; [`mega::MegaServiceHarness`] drives a vector of them in
+/// lock-step against one shared [`Telemetry`] sink and one global
+/// clock. Every counter increments both the shard's [`Totals`] and the
+/// sink's, so per-shard accounting provably sums to the roll-up.
+struct ShardState<'w, B: RegisterBank> {
+    cfg: ServiceConfig,
+    bank: B,
+    slots: Vec<Slot<'w>>,
+    free: Vec<usize>,
+    active: Vec<usize>,
+    /// `active_pos[slot]` is the slot's index in `active`
+    /// (`usize::MAX` when inactive).
+    active_pos: Vec<usize>,
+    queue: VecDeque<Client>,
+    timers: BinaryHeap<Reverse<(u64, u64, ClientBits)>>,
+    timer_seq: u64,
+    sched_rng: SmallRng,
+    arrival_rng: SmallRng,
+    hazard_rng: SmallRng,
+    jitter_rng: SmallRng,
+    next_arrival: u64,
+    next_client: u64,
+    waiting: usize,
+    totals: Totals,
+    /// Completed tickets are published to the audit as
+    /// `ticket * ticket_step + ticket_base` — the identity map for the
+    /// unsharded harness (step 1, base 0), shard-namespaced for mega
+    /// runs so tickets stay globally exclusive across the shards'
+    /// independent naming objects.
+    ticket_step: u64,
+    ticket_base: u64,
+}
+
+/// The open-loop service harness; see the module docs. Borrows the
+/// world (machines hold references into the shared objects) and owns
+/// the register bank, the clock, and every waiting-room structure.
+pub struct ServiceHarness<'w, B: RegisterBank = ArcBank> {
+    cfg: ServiceConfig,
+    shard: ShardState<'w, B>,
+    tel: Telemetry,
+    now: u64,
+}
+
+/// A [`Client`] packed into plain integers so the timer heap's ordering
+/// is a pure `(due, seq)` comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct ClientBits {
+    id: u64,
+    arrival: u64,
+    attempt: u32,
+    crashed: bool,
+}
+
+const NOT_ACTIVE: usize = usize::MAX;
+
+impl<'w, B: RegisterBank> ShardState<'w, B> {
+    /// Builds one shard over `world` with its own register bank.
+    /// Completed tickets are published as
+    /// `ticket * ticket_step + ticket_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (no slots, a zero
+    /// window, or an in-flight bound above the slot count).
+    fn new(
+        world: &'w ServiceWorld,
+        cfg: &ServiceConfig,
+        mut bank: B,
+        ticket_base: u64,
+        ticket_step: u64,
+    ) -> Self {
+        assert!(cfg.slots > 0, "need at least one client slot");
+        assert!(cfg.window > 0, "telemetry window must be positive");
+        assert!(
+            cfg.admission.max_inflight <= cfg.slots,
+            "in-flight bound {} above the {} slots",
+            cfg.admission.max_inflight,
+            cfg.slots
+        );
+        bank.reset(world.registers);
+        let slots: Vec<Slot<'w>> = (0..cfg.slots)
+            .map(|p| Slot {
+                machines: SessionMachines::new(
+                    &world.naming,
+                    &world.sc,
+                    &world.repo,
+                    Pid(p),
+                    p as u64 + 1,
+                ),
+                phase: Phase::Free,
+                client: Client {
+                    id: 0,
+                    arrival: 0,
+                    attempt: 0,
+                    crashed: false,
+                },
+                ticket: 0,
+                session_start: 0,
+                phase_start: 0,
+                original: p as u64 + 1,
+            })
+            .collect();
+        let mut arrival_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xA221_55A1);
+        let first_arrival = cfg.arrivals.next_gap(0, &mut arrival_rng);
+        ShardState {
+            cfg: *cfg,
+            bank,
+            free: (0..cfg.slots).rev().collect(),
+            active: Vec::with_capacity(cfg.slots),
+            active_pos: vec![NOT_ACTIVE; cfg.slots],
+            slots,
+            queue: VecDeque::with_capacity(cfg.admission.queue_capacity.saturating_add(1)),
+            timers: BinaryHeap::with_capacity(cfg.admission.waiting_capacity.saturating_add(1)),
+            timer_seq: 0,
+            sched_rng: SmallRng::seed_from_u64(cfg.seed),
+            arrival_rng,
+            hazard_rng: SmallRng::seed_from_u64(cfg.seed ^ 0x4A5A_12D0_FFB3),
+            jitter_rng: SmallRng::seed_from_u64(cfg.seed ^ 0xB0FF_0FF5),
+            next_arrival: first_arrival,
+            next_client: 0,
+            waiting: 0,
+            totals: Totals::default(),
+            ticket_step,
+            ticket_base,
+        }
+    }
+
+    /// Whether no further arrivals will be generated on this shard.
+    fn arrivals_exhausted(&self) -> bool {
+        self.cfg.max_clients > 0 && self.totals.arrivals >= self.cfg.max_clients
     }
 
     fn inflight(&self) -> usize {
         self.cfg.slots - self.free.len()
     }
 
+    /// The shard's `(inflight, queued, waiting)` gauges.
+    fn gauges(&self) -> (u64, u64, u64) {
+        (
+            self.inflight() as u64,
+            self.queue.len() as u64,
+            self.waiting as u64,
+        )
+    }
+
+    /// Clients currently in the shard (in flight + queued + backing
+    /// off).
+    fn in_system(&self) -> u64 {
+        self.inflight() as u64 + self.queue.len() as u64 + self.waiting as u64
+    }
+
     /// Fires every backoff/re-entry timer due at or before `now`.
-    fn fire_due_timers(&mut self) {
+    fn fire_due_timers(&mut self, now: u64, tel: &mut Telemetry) {
         while let Some(Reverse((due, _, bits))) = self.timers.peek().copied() {
-            if due > self.now {
+            if due > now {
                 break;
             }
             self.timers.pop();
@@ -847,20 +865,23 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
             };
             if client.crashed {
                 self.totals.reentries += 1;
-                self.window_counts.reentries += 1;
+                tel.totals.reentries += 1;
+                tel.window_counts.reentries += 1;
             } else {
                 self.totals.retries += 1;
-                self.window_counts.retries += 1;
+                tel.totals.retries += 1;
+                tel.window_counts.retries += 1;
             }
-            self.admit(client);
+            self.admit(client, now, tel);
         }
     }
 
     /// Generates every arrival due at or before `now`.
-    fn generate_arrivals(&mut self) {
-        while self.next_arrival <= self.now && !self.arrivals_exhausted() {
+    fn generate_arrivals(&mut self, now: u64, tel: &mut Telemetry) {
+        while self.next_arrival <= now && !self.arrivals_exhausted() {
             self.totals.arrivals += 1;
-            self.window_counts.arrivals += 1;
+            tel.totals.arrivals += 1;
+            tel.window_counts.arrivals += 1;
             let client = Client {
                 id: self.next_client,
                 arrival: self.next_arrival,
@@ -873,32 +894,34 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
                 .arrivals
                 .next_gap(self.next_arrival, &mut self.arrival_rng);
             self.next_arrival += gap;
-            self.admit(client);
+            self.admit(client, now, tel);
         }
     }
 
     /// Admission control: bind, queue, shed into backoff, or reject.
-    fn admit(&mut self, client: Client) {
+    fn admit(&mut self, client: Client, now: u64, tel: &mut Telemetry) {
         if self.inflight() < self.cfg.admission.max_inflight && !self.free.is_empty() {
             let slot = self.free.pop().expect("checked non-empty");
-            self.bind(slot, client);
+            self.bind(slot, client, now, tel);
         } else if self.queue.len() < self.cfg.admission.queue_capacity {
             self.queue.push_back(client);
         } else {
             self.totals.shed += 1;
-            self.window_counts.shed += 1;
-            self.backoff_or_reject(client);
+            tel.totals.shed += 1;
+            tel.window_counts.shed += 1;
+            self.backoff_or_reject(client, now, tel);
         }
     }
 
     /// Sheds `client` into jittered exponential backoff, or rejects it
     /// for good once its attempts or the waiting room are exhausted.
-    fn backoff_or_reject(&mut self, mut client: Client) {
+    fn backoff_or_reject(&mut self, mut client: Client, now: u64, tel: &mut Telemetry) {
         if client.attempt >= self.cfg.admission.max_retries
             || self.waiting >= self.cfg.admission.waiting_capacity
         {
             self.totals.rejected += 1;
-            self.window_counts.rejected += 1;
+            tel.totals.rejected += 1;
+            tel.window_counts.rejected += 1;
             return;
         }
         let delay = self
@@ -908,7 +931,7 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
         client.attempt += 1;
         self.timer_seq += 1;
         self.timers.push(Reverse((
-            self.now + delay,
+            now + delay,
             self.timer_seq,
             ClientBits {
                 id: client.id,
@@ -922,20 +945,16 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
 
     /// Binds `client` to `slot` and starts its session at the acquire
     /// phase.
-    fn bind(&mut self, slot: usize, client: Client) {
+    fn bind(&mut self, slot: usize, client: Client, now: u64, tel: &mut Telemetry) {
         self.totals.admitted += 1;
-        self.window_counts.admitted += 1;
+        tel.totals.admitted += 1;
+        tel.window_counts.admitted += 1;
         let s = &mut self.slots[slot];
         s.client = client;
         s.phase = Phase::Acquire;
-        s.session_start = self.now;
-        s.phase_start = self.now;
-        if s.naming_dirty {
-            s.naming.reenter();
-            s.naming_dirty = false;
-        } else {
-            s.naming.begin_session();
-        }
+        s.session_start = now;
+        s.phase_start = now;
+        s.machines.begin_acquire();
         debug_assert_eq!(self.active_pos[slot], NOT_ACTIVE);
         self.active_pos[slot] = self.active.len();
         self.active.push(slot);
@@ -956,13 +975,14 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
     /// mid-operation, the slot frees, and the client is scheduled to
     /// re-enter as a fresh contender (or rejected once its attempts are
     /// spent).
-    fn crash(&mut self, slot: usize) {
+    fn crash(&mut self, slot: usize, now: u64, tel: &mut Telemetry) {
         self.totals.crashes += 1;
-        self.window_counts.crashes += 1;
+        tel.totals.crashes += 1;
+        tel.window_counts.crashes += 1;
         let s = &mut self.slots[slot];
         match s.phase {
-            Phase::Acquire => s.naming_dirty = true,
-            Phase::Deposit => s.deposit_dirty = true,
+            Phase::Acquire => s.machines.naming_dirty = true,
+            Phase::Deposit => s.machines.deposit_dirty = true,
             // A first store interrupted mid-flight resumes on the next
             // session (slot infrastructure); collects restart; a
             // registered store's single write needs nothing.
@@ -974,129 +994,277 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
         s.phase = Phase::Free;
         self.deactivate(slot);
         self.free.push(slot);
-        self.backoff_or_reject(client);
-        self.drain_queue();
+        self.backoff_or_reject(client, now, tel);
+        self.drain_queue(now, tel);
     }
 
     /// Moves queued clients onto freed slots.
-    fn drain_queue(&mut self) {
+    fn drain_queue(&mut self, now: u64, tel: &mut Telemetry) {
         while !self.queue.is_empty()
             && self.inflight() < self.cfg.admission.max_inflight
             && !self.free.is_empty()
         {
             let client = self.queue.pop_front().expect("checked non-empty");
             let slot = self.free.pop().expect("checked non-empty");
-            self.bind(slot, client);
+            self.bind(slot, client, now, tel);
         }
-    }
-
-    /// Records a completed phase's latency.
-    fn record(&mut self, family: OpFamily, sample: u64) {
-        self.window_hists[family as usize].record(sample);
-        self.cumulative[family as usize].record(sample);
     }
 
     /// Grants one shared-memory operation to the session on `slot` and
     /// advances its state machine.
-    fn grant(&mut self, slot: usize) {
+    fn grant(&mut self, slot: usize, now: u64, tel: &mut Telemetry) {
         self.totals.ops += 1;
+        tel.totals.ops += 1;
         let s = &mut self.slots[slot];
+        let m = &mut s.machines;
         match s.phase {
             Phase::Free => unreachable!("granted a free slot"),
             Phase::Acquire => {
-                if let Poll::Ready(name) = step_machine(&mut self.bank, &mut s.naming) {
+                if let Poll::Ready(name) = step_machine(&mut self.bank, &mut m.naming) {
                     s.ticket = name;
-                    let lat = self.now + 1 - s.phase_start;
+                    let lat = now + 1 - s.phase_start;
                     s.phase = Phase::Store;
-                    s.phase_start = self.now + 1;
-                    self.record(OpFamily::Acquire, lat);
+                    s.phase_start = now + 1;
+                    tel.record(OpFamily::Acquire, lat);
                 }
             }
             Phase::Store => {
-                if let Some(reg) = s.registered {
+                if let Some(reg) = m.registered {
                     self.bank.write(reg, Word::Pair(s.original, s.client.id));
-                    let lat = self.now + 1 - s.phase_start;
-                    s.collect.rearm();
+                    let lat = now + 1 - s.phase_start;
+                    m.collect.rearm();
                     s.phase = Phase::Collect;
-                    s.phase_start = self.now + 1;
-                    self.record(OpFamily::Store, lat);
-                } else if let Poll::Ready(res) = step_machine(&mut self.bank, &mut s.first_store) {
+                    s.phase_start = now + 1;
+                    tel.record(OpFamily::Store, lat);
+                } else if let Poll::Ready(res) = step_machine(&mut self.bank, &mut m.first_store) {
                     let reg = res.expect("store&collect sized for every slot");
-                    s.registered = Some(reg);
+                    m.registered = Some(reg);
                     // Stay in Store: the next grant performs the
                     // session's own value write.
                 }
             }
             Phase::Collect => {
-                if let Poll::Ready(_len) = step_machine(&mut self.bank, &mut s.collect) {
-                    let lat = self.now + 1 - s.phase_start;
-                    if s.deposit_dirty {
-                        s.deposit.reenter(s.client.id);
-                        s.deposit_dirty = false;
-                    } else {
-                        s.deposit.begin_round(s.client.id);
-                    }
+                if let Poll::Ready(_len) = step_machine(&mut self.bank, &mut m.collect) {
+                    let lat = now + 1 - s.phase_start;
+                    m.begin_deposit(s.client.id);
                     s.phase = Phase::Deposit;
-                    s.phase_start = self.now + 1;
-                    self.record(OpFamily::Collect, lat);
+                    s.phase_start = now + 1;
+                    tel.record(OpFamily::Collect, lat);
                 }
             }
             Phase::Deposit => {
-                if let Poll::Ready(out) = step_machine(&mut self.bank, &mut s.deposit) {
+                if let Poll::Ready(out) = step_machine(&mut self.bank, &mut m.deposit) {
                     debug_assert!(out.is_some(), "depositors always claim");
-                    let lat = self.now + 1 - s.phase_start;
-                    let session = self.now + 1 - s.session_start;
-                    let sojourn = self.now + 1 - s.client.arrival;
+                    let lat = now + 1 - s.phase_start;
+                    let session = now + 1 - s.session_start;
+                    let sojourn = now + 1 - s.client.arrival;
                     let ticket = s.ticket;
                     s.phase = Phase::Free;
-                    self.record(OpFamily::Deposit, lat);
-                    self.record(OpFamily::Session, session);
-                    self.record(OpFamily::Sojourn, sojourn);
+                    tel.record(OpFamily::Deposit, lat);
+                    tel.record(OpFamily::Session, session);
+                    tel.record(OpFamily::Sojourn, sojourn);
                     self.totals.completed += 1;
-                    self.window_counts.completed += 1;
-                    if self.cfg.record_names {
-                        self.names.push(ticket);
+                    tel.totals.completed += 1;
+                    tel.window_counts.completed += 1;
+                    if tel.record_names {
+                        tel.names.push(ticket * self.ticket_step + self.ticket_base);
                     }
                     self.deactivate(slot);
                     self.free.push(slot);
-                    self.drain_queue();
+                    self.drain_queue(now, tel);
                 }
             }
         }
     }
 
-    /// Advances the clock over an idle gap to the next event (arrival,
-    /// timer, window boundary or horizon).
-    fn fast_forward(&mut self) {
-        let mut next = self.cfg.horizon.min(self.window_end);
+    /// Pre-registers every slot's store&collect infrastructure: drives
+    /// each slot's first store to registration, then one throwaway
+    /// collect per slot over the fully registered shard, so the slot
+    /// machinery's one-time buffer growth (rename scratch, collect
+    /// caches, view slices) happens here rather than inside measured
+    /// sessions. Infrastructure only — slot registration is explicitly
+    /// not client state — so naming and deposit objects are untouched,
+    /// nothing is recorded, and no ops are counted; but the register
+    /// writes are real, so a primed run is *not* bit-identical to an
+    /// unprimed one.
+    fn prime(&mut self) {
+        for s in &mut self.slots {
+            let m = &mut s.machines;
+            while m.registered.is_none() {
+                if let Poll::Ready(res) = step_machine(&mut self.bank, &mut m.first_store) {
+                    m.registered = Some(res.expect("store&collect sized for every slot"));
+                }
+            }
+        }
+        for s in &mut self.slots {
+            let m = &mut s.machines;
+            m.collect.rearm();
+            while step_machine(&mut self.bank, &mut m.collect)
+                .ready()
+                .is_none()
+            {}
+        }
+    }
+
+    /// One scheduling step of this shard: picks an active slot under the
+    /// shard's scheduler stream, draws the crash hazard, and grants (or
+    /// crashes) one shared-memory operation. Returns `false` when the
+    /// shard has no active session to drive.
+    fn step(&mut self, now: u64, tel: &mut Telemetry) -> bool {
+        if self.active.is_empty() {
+            return false;
+        }
+        let pick = self.sched_rng.gen_range(0..self.active.len());
+        let slot = self.active[pick];
+        let crash = self.cfg.crash_hazard > 0.0 && self.hazard_rng.gen_bool(self.cfg.crash_hazard);
+        if crash {
+            self.crash(slot, now, tel);
+        } else {
+            self.grant(slot, now, tel);
+        }
+        true
+    }
+
+    /// Whether this shard can never produce another event: arrivals
+    /// exhausted, nothing queued, nothing backing off. (Active
+    /// emptiness is the caller's check.)
+    fn drained(&self) -> bool {
+        self.arrivals_exhausted() && self.queue.is_empty() && self.timers.is_empty()
+    }
+
+    /// The shard's next scheduled event (arrival or timer);
+    /// `u64::MAX` when it has none.
+    fn next_event(&self) -> u64 {
+        let mut next = u64::MAX;
         if !self.arrivals_exhausted() {
             next = next.min(self.next_arrival);
         }
         if let Some(Reverse((due, _, _))) = self.timers.peek() {
             next = next.min(*due);
         }
+        next
+    }
+}
+
+impl<'w> ServiceHarness<'w, ArcBank> {
+    /// Builds a harness over the default [`ArcBank`] backend.
+    #[must_use]
+    pub fn new(world: &'w ServiceWorld, cfg: &ServiceConfig) -> Self {
+        ServiceHarness::with_bank(world, cfg, ArcBank::new())
+    }
+}
+
+impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
+    /// Builds a harness over a caller-chosen register-bank backend
+    /// (`SlabBank` for mega runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (no slots, a zero
+    /// window, or an in-flight bound above the slot count).
+    #[must_use]
+    pub fn with_bank(world: &'w ServiceWorld, cfg: &ServiceConfig, bank: B) -> Self {
+        ServiceHarness {
+            cfg: *cfg,
+            shard: ShardState::new(world, cfg, bank, 0, 1),
+            tel: Telemetry::new(cfg),
+            now: 0,
+        }
+    }
+
+    /// Pre-registers every slot's store&collect infrastructure (slot
+    /// rename, controls, collect caches) before the run, so the slot
+    /// machinery's one-time buffer growth cannot land inside a measured
+    /// steady-state segment. Optional: an unprimed run warms the same
+    /// state lazily across its first sessions. Priming performs real
+    /// register writes, so a primed run is **not** bit-identical to an
+    /// unprimed one; it is infrastructure only — no arrivals, ops,
+    /// telemetry or ticket state.
+    pub fn prime(&mut self) {
+        self.shard.prime();
+    }
+
+    /// Runs the configured service to its stopping condition (session
+    /// target reached, arrivals exhausted and system drained, or
+    /// horizon) and returns the report.
+    pub fn run(mut self) -> ServiceReport {
+        loop {
+            if self.cfg.target_sessions > 0 && self.tel.totals.completed >= self.cfg.target_sessions
+            {
+                break;
+            }
+            if !self.advance() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Drives the service until `sessions` sessions have completed (an
+    /// absolute count, not a delta). Returns `false` when the run ended
+    /// first — horizon reached, or arrivals exhausted and the system
+    /// drained. Benchmarks use this to separate a warm-up segment from
+    /// a measured steady-state segment before calling
+    /// [`ServiceHarness::finish`].
+    pub fn run_until(&mut self, sessions: u64) -> bool {
+        while self.tel.totals.completed < sessions {
+            if !self.advance() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Sessions completed so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.tel.totals.completed
+    }
+
+    /// Granted shared-memory operations so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.tel.totals.ops
+    }
+
+    /// One iteration of the open-loop grant cycle: roll telemetry
+    /// windows, fire due timers, generate due arrivals, then grant one
+    /// shared-memory operation (or crash the picked session, or
+    /// fast-forward an idle gap). Returns `false` when the run cannot
+    /// continue.
+    fn advance(&mut self) -> bool {
+        if self.now >= self.cfg.horizon {
+            return false;
+        }
+        self.tel.roll(self.now, self.shard.gauges());
+        self.shard.fire_due_timers(self.now, &mut self.tel);
+        self.shard.generate_arrivals(self.now, &mut self.tel);
+        if !self.shard.step(self.now, &mut self.tel) {
+            if self.shard.drained() {
+                return false; // drained
+            }
+            self.fast_forward();
+            return true;
+        }
+        self.now += 1;
+        true
+    }
+
+    /// Advances the clock over an idle gap to the next event (arrival,
+    /// timer, window boundary or horizon).
+    fn fast_forward(&mut self) {
+        let next = self
+            .cfg
+            .horizon
+            .min(self.tel.window_end)
+            .min(self.shard.next_event());
         self.now = next.max(self.now + 1);
     }
 
     /// Emits the final partial window and assembles the report.
-    pub fn finish(mut self) -> ServiceReport {
-        // Flush boundaries crossed by the final fast-forward, then the
-        // partial window if it holds anything.
-        self.roll_windows();
-        if self.window_counts != WindowRow::default()
-            || self.window_hists.iter().any(|h| h.total() > 0)
-        {
-            self.emit_window();
-        }
-        self.totals.steps = self.now;
-        let in_system = self.inflight() as u64 + self.queue.len() as u64 + self.waiting as u64;
-        ServiceReport {
-            totals: self.totals,
-            windows: self.windows,
-            cumulative: self.cumulative,
-            names: self.names,
-            in_system,
-        }
+    pub fn finish(self) -> ServiceReport {
+        let gauges = self.shard.gauges();
+        self.tel.finish(self.now, gauges, self.shard.in_system())
     }
 }
 

@@ -177,8 +177,12 @@ impl UnboundedNaming {
             } else {
                 AcqState::Publish { idx: 0 }
             },
-            list_scratch: Vec::new(),
-            published_scratch: Vec::new(),
+            // Scratch at its structural bounds up front (the list holds
+            // 2n−1 entries, the published set one per view slot), so the
+            // contention path never grows them mid-run — a machine whose
+            // first contended acquire lands hours in stays zero-alloc.
+            list_scratch: Vec::with_capacity(2 * self.n),
+            published_scratch: Vec::with_capacity(self.n),
         }
     }
 

@@ -31,7 +31,12 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use exclusive_selection::sim::policy::{RandomPolicy, RoundRobin};
-use exclusive_selection::sim::service::{ServiceConfig, ServiceHarness, ServiceWorld};
+use exclusive_selection::sim::service::mega::{
+    MegaServiceConfig, MegaServiceHarness, MegaServiceWorld,
+};
+use exclusive_selection::sim::service::{
+    Admission, Arrivals, ServiceConfig, ServiceHarness, ServiceWorld,
+};
 use exclusive_selection::sim::{AlgoSet, MachinePool, SetOutput, StepEngine};
 use exclusive_selection::{
     Majority, Pid, RegAlloc, RenameConfig, Snapshot, SnapshotRename, StepMachine, Word,
@@ -467,5 +472,64 @@ fn steady_state_service_sessions_are_zero_alloc() {
         (allocs, frees),
         (0, 0),
         "service steady state must be allocation-free"
+    );
+}
+
+/// The sharded mega harness at 10⁴ concurrent slots (1250 shards × 8
+/// slots, per-shard `SlabBank`s with pre-seeded snapshot slots, one
+/// global telemetry sink): after warm-up settles every shard's
+/// free-list cursors, the remaining ninety percent of the fleet-wide
+/// run must be literally (0 allocs, 0 frees) — the PR 6 slab machinery
+/// carrying the PR 8 serving layer without a single steady-state heap
+/// touch.
+#[test]
+fn mega_service_steady_state_is_zero_alloc() {
+    let cfg = MegaServiceConfig {
+        base: ServiceConfig {
+            seed: 23,
+            slots: 8,
+            target_sessions: 12_000,
+            window: 1 << 12,
+            // Fleet-wide rate: two arrivals per step (each shard's
+            // thinned stream draws gaps with mean 625 steps).
+            arrivals: Arrivals::Poisson { mean_gap: 0.5 },
+            crash_hazard: 1e-3,
+            admission: Admission {
+                max_inflight: 8,
+                queue_capacity: 16,
+                backoff_base: 32,
+                backoff_cap: 1 << 10,
+                max_retries: 4,
+                waiting_capacity: 64,
+            },
+            ..ServiceConfig::default()
+        },
+        shards: 1250,
+    };
+    assert_eq!(cfg.total_slots(), 10_000);
+    let world = MegaServiceWorld::new(&cfg);
+    let mut harness = MegaServiceHarness::new(&world, &cfg);
+    // Priming registers every slot's store&collect infrastructure up
+    // front: at 10⁴ slots, lazily warmed slots keep being first-touched
+    // deep into the run, which session-count warm-up cannot cover.
+    harness.prime();
+    assert!(
+        harness.run_until(cfg.base.target_sessions / 10),
+        "fleet drained during warm-up"
+    );
+    let (allocs, frees) = measured(|| {
+        assert!(
+            harness.run_until(cfg.base.target_sessions),
+            "fleet drained before reaching its session target"
+        );
+    });
+    let mega = harness.finish();
+    assert!(mega.report.totals.completed >= cfg.base.target_sessions);
+    assert!(mega.report.accounted(), "{:?}", mega.report.totals);
+    assert!(mega.rolled_up(), "shard totals diverge from roll-up");
+    assert_eq!(
+        (allocs, frees),
+        (0, 0),
+        "mega service steady state must be allocation-free"
     );
 }

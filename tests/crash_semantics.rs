@@ -172,6 +172,9 @@ fn every_renamer_survives_every_single_victim() {
 /// arrived: once bounded arrivals drain, each one either completed or
 /// was cleanly rejected, with nobody left in the system.
 mod service_semantics {
+    use exclusive_selection::sim::service::mega::{
+        MegaServiceConfig, MegaServiceHarness, MegaServiceWorld,
+    };
     use exclusive_selection::sim::service::{
         Admission, Arrivals, ServiceConfig, ServiceHarness, ServiceWorld,
     };
@@ -293,6 +296,67 @@ mod service_semantics {
             prop_assert_eq!(a.totals, b.totals);
             prop_assert_eq!(a.windows, b.windows);
             prop_assert_eq!(a.names, b.names);
+        }
+
+        /// Differential determinism of the sharded harness: with
+        /// `shards = 1` the mega path must reproduce the unsharded
+        /// harness **bit for bit** — totals, every window row, every
+        /// ticket, the drain state — across random service shapes,
+        /// hazards and admission bounds. This is the refactor's safety
+        /// net: the sharded control plane is the only code path left,
+        /// so any divergence here is a behavior change.
+        #[test]
+        fn mega_single_shard_is_bit_identical_to_unsharded(
+            seed in 0u64..10_000,
+            slots in 2usize..6,
+            clients in 40u64..160,
+            mean_gap in 2.0f64..400.0,
+            hazard in 0.0f64..0.01,
+            max_inflight in 1usize..6,
+            queue_capacity in 0usize..6,
+            waiting_capacity in 1usize..32,
+        ) {
+            let cfg = storm_cfg(
+                seed, slots, clients, mean_gap, hazard,
+                max_inflight, queue_capacity, waiting_capacity,
+            );
+            let world = ServiceWorld::new(&cfg);
+            let flat = ServiceHarness::new(&world, &cfg).run();
+            let mcfg = MegaServiceConfig { base: cfg, shards: 1 };
+            let mega_world = MegaServiceWorld::new(&mcfg);
+            let mega = MegaServiceHarness::new(&mega_world, &mcfg).run();
+            prop_assert_eq!(&mega.report.totals, &flat.totals);
+            prop_assert_eq!(&mega.report.windows, &flat.windows);
+            prop_assert_eq!(&mega.report.names, &flat.names);
+            prop_assert_eq!(mega.report.in_system, flat.in_system);
+            prop_assert_eq!(mega.shard_totals, vec![flat.totals]);
+        }
+
+        /// Determinism of multi-shard runs: any `shards > 1` fleet is
+        /// bit-identical to itself across independently built worlds
+        /// with the same seed — global roll-up, windows, namespaced
+        /// tickets and per-shard totals alike — and its accounting
+        /// closes after the drain.
+        #[test]
+        fn mega_reports_are_bit_identical_per_seed(
+            seed in 0u64..10_000,
+            shards in 2usize..6,
+            hazard in 0.0f64..0.008,
+        ) {
+            let mcfg = MegaServiceConfig {
+                base: storm_cfg(seed, 3, 120, 12.0, hazard, 2, 2, 8),
+                shards,
+            };
+            let world_a = MegaServiceWorld::new(&mcfg);
+            let a = MegaServiceHarness::new(&world_a, &mcfg).run();
+            let world_b = MegaServiceWorld::new(&mcfg);
+            let b = MegaServiceHarness::new(&world_b, &mcfg).run();
+            prop_assert_eq!(&a.report.totals, &b.report.totals);
+            prop_assert_eq!(&a.report.windows, &b.report.windows);
+            prop_assert_eq!(&a.report.names, &b.report.names);
+            prop_assert_eq!(&a.shard_totals, &b.shard_totals);
+            prop_assert!(a.report.accounted());
+            prop_assert!(a.rolled_up());
         }
     }
 }

@@ -1,0 +1,797 @@
+//! Ownership analysis over declared register footprints.
+//!
+//! The paper's algorithms rest on a single-writer register discipline:
+//! every process writes only its own snapshot slot, its own suite of
+//! naming registers, its own row of the help matrix. `exsel-shm`'s
+//! [`Footprint`] trait lets each machine family declare that discipline
+//! as data; this crate consumes the declarations twice:
+//!
+//! * **Statically** — [`non_interference`] proves, before any step runs,
+//!   that no two processes of a configured instance claim exclusive
+//!   ownership of overlapping registers, and that no declared shared
+//!   write can land inside someone else's exclusive extent. This is the
+//!   pairwise proof obligation behind the paper's "the sets of registers
+//!   used ... are to be disjoint".
+//! * **Dynamically** — an [`AccessChecker`] compiled from the same
+//!   declarations validates every granted `ShmOp` of a run: reads and
+//!   writes must fall inside the process's declared footprint, and
+//!   writes into exclusively-owned extents must come from the owner. Per
+//!   owned register it keeps a last-writer clock (trial epoch + global
+//!   op index) so a violation report pins the foreign write against the
+//!   owner's most recent legitimate write, and the op index doubles as
+//!   the length of the trace prefix to hand to the ddmin shrinker.
+//!
+//! The checker is built for hot loops: `compile` does all allocation
+//! (merged sorted interval tables, dense clock vectors), `begin_trial`
+//! bumps an epoch instead of clearing clocks, and `observe` is two
+//! binary searches with no allocation — steady-state checking stays
+//! allocation-free, which the `alloc_free` battery asserts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use exsel_shm::{Footprint, FootprintSpec, OpKind, Pid, RegId};
+
+use exsel_shm::Access;
+
+/// Upper bound on violations kept with full detail per trial; beyond
+/// this the checker keeps counting but stops recording (a broken run
+/// produces violations at line rate — the first few are the diagnosis).
+pub const MAX_RECORDED_VIOLATIONS: usize = 64;
+
+/// A failure of the static non-interference pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaticError {
+    /// A process declared no footprint at all: nothing can be proven
+    /// about it, so the configuration is rejected rather than silently
+    /// unchecked.
+    MissingFootprint {
+        /// The process with the empty declaration.
+        pid: Pid,
+    },
+    /// Two processes both claim exclusive (single-writer) ownership of
+    /// the same register.
+    ExclusiveOverlap {
+        /// A register in the overlap.
+        reg: RegId,
+        /// One claimant and the phase of its claim.
+        a: (Pid, &'static str),
+        /// The other claimant and the phase of its claim.
+        b: (Pid, &'static str),
+    },
+    /// A declared shared-write extent intersects a register another
+    /// process owns exclusively — the shared protocol could overwrite
+    /// the single writer.
+    SharedIntoExclusive {
+        /// A register in the intersection.
+        reg: RegId,
+        /// The shared writer and the phase of its declaration.
+        writer: (Pid, &'static str),
+        /// The exclusive owner and the phase of its claim.
+        owner: (Pid, &'static str),
+    },
+    /// A declared extent reaches past the configured register bank.
+    OutOfRange {
+        /// The declaring process.
+        pid: Pid,
+        /// The phase of the extent.
+        phase: &'static str,
+        /// One-past-the-end register index of the extent.
+        end: usize,
+        /// Number of registers in the bank.
+        num_registers: usize,
+    },
+}
+
+impl fmt::Display for StaticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticError::MissingFootprint { pid } => {
+                write!(f, "pid {} declares no footprint", pid.0)
+            }
+            StaticError::ExclusiveOverlap { reg, a, b } => write!(
+                f,
+                "register {} exclusively claimed by both pid {} ({}) and pid {} ({})",
+                reg.0, a.0 .0, a.1, b.0 .0, b.1
+            ),
+            StaticError::SharedIntoExclusive { reg, writer, owner } => write!(
+                f,
+                "shared write of pid {} ({}) covers register {} owned exclusively by pid {} ({})",
+                writer.0 .0, writer.1, reg.0, owner.0 .0, owner.1
+            ),
+            StaticError::OutOfRange {
+                pid,
+                phase,
+                end,
+                num_registers,
+            } => write!(
+                f,
+                "pid {} ({}) declares registers up to {end} in a bank of {num_registers}",
+                pid.0, phase
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StaticError {}
+
+/// What a dynamic check found wrong with one granted operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A read of a register outside the process's declared footprint.
+    UndeclaredRead,
+    /// A write to a register outside the process's declared write
+    /// extents.
+    UndeclaredWrite,
+    /// A write into a register exclusively owned by another process —
+    /// the single-writer discipline broken at run time.
+    ForeignWrite {
+        /// The declared exclusive owner.
+        owner: Pid,
+        /// The phase of the owner's claim.
+        phase: &'static str,
+        /// Global op index of the owner's most recent write to the
+        /// register this trial, if any — the write the intruder races.
+        last_owner_write: Option<u64>,
+    },
+}
+
+/// One dynamic footprint violation: the offending pid, register, and the
+/// global op index at which the operation was granted (i.e. the length
+/// of the trace prefix that reproduces it).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The process whose granted operation violated its declaration.
+    pub pid: Pid,
+    /// The register touched.
+    pub reg: RegId,
+    /// What was wrong.
+    pub kind: ViolationKind,
+    /// Global operation count at grant time (1-based: the violating op
+    /// is the `op_index`-th grant of the trial).
+    pub op_index: u64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ViolationKind::UndeclaredRead => write!(
+                f,
+                "op {}: pid {} reads register {} outside its footprint",
+                self.op_index, self.pid.0, self.reg.0
+            ),
+            ViolationKind::UndeclaredWrite => write!(
+                f,
+                "op {}: pid {} writes register {} outside its footprint",
+                self.op_index, self.pid.0, self.reg.0
+            ),
+            ViolationKind::ForeignWrite {
+                owner,
+                phase,
+                last_owner_write,
+            } => {
+                write!(
+                    f,
+                    "op {}: pid {} writes register {} owned by pid {} ({})",
+                    self.op_index, self.pid.0, self.reg.0, owner.0, phase
+                )?;
+                if let Some(op) = last_owner_write {
+                    write!(f, ", racing the owner's write at op {op}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A half-open interval of register indices with its declaring context.
+#[derive(Copy, Clone, Debug)]
+struct DeclInterval {
+    start: usize,
+    end: usize,
+    pid: Pid,
+    phase: &'static str,
+    access: Access,
+}
+
+/// Collects the per-pid footprint declarations of an `n`-process
+/// instance into the spec slice [`AccessChecker::compile`] expects.
+#[must_use]
+pub fn collect_specs<F: Footprint + ?Sized>(algo: &F, n: usize) -> Vec<FootprintSpec> {
+    (0..n)
+        .map(|p| {
+            let mut spec = FootprintSpec::default();
+            algo.footprint(Pid(p), &mut spec);
+            spec
+        })
+        .collect()
+}
+
+/// Proves pairwise single-writer ownership across a configured instance.
+///
+/// `specs[p]` is the declaration of process `p`. The pass checks that
+/// every extent fits in `num_registers`, that every process declares
+/// something, that exclusive extents of distinct processes are disjoint,
+/// and that no shared-write extent intersects a foreign exclusive one.
+/// Reads may overlap anything — the registers are multi-reader.
+///
+/// # Errors
+///
+/// Returns the first [`StaticError`] found, in register order.
+pub fn non_interference(specs: &[FootprintSpec], num_registers: usize) -> Result<(), StaticError> {
+    let mut writes: Vec<DeclInterval> = Vec::new();
+    for (p, spec) in specs.iter().enumerate() {
+        let pid = Pid(p);
+        if spec.is_empty() {
+            return Err(StaticError::MissingFootprint { pid });
+        }
+        for ext in spec.extents() {
+            let (start, end) = (ext.range.start(), ext.range.start() + ext.range.len());
+            if end > num_registers {
+                return Err(StaticError::OutOfRange {
+                    pid,
+                    phase: ext.phase,
+                    end,
+                    num_registers,
+                });
+            }
+            if ext.access != Access::Read {
+                writes.push(DeclInterval {
+                    start,
+                    end,
+                    pid,
+                    phase: ext.phase,
+                    access: ext.access,
+                });
+            }
+        }
+    }
+    writes.sort_by_key(|iv| (iv.start, iv.end));
+
+    // Sweep in start order with two active lists. Popping actives whose
+    // end precedes the current start keeps each comparison list to the
+    // intervals genuinely overlapping the sweep point; shared-vs-shared
+    // pairs (the common, quadratic case: every pid sharing one array)
+    // are never enumerated.
+    let mut active_excl: Vec<DeclInterval> = Vec::new();
+    let mut active_shared: Vec<DeclInterval> = Vec::new();
+    for cur in writes {
+        active_excl.retain(|iv| iv.end > cur.start);
+        active_shared.retain(|iv| iv.end > cur.start);
+        match cur.access {
+            Access::WriteExclusive => {
+                for iv in &active_excl {
+                    if iv.pid != cur.pid {
+                        return Err(StaticError::ExclusiveOverlap {
+                            reg: RegId(cur.start.max(iv.start)),
+                            a: (iv.pid, iv.phase),
+                            b: (cur.pid, cur.phase),
+                        });
+                    }
+                }
+                for iv in &active_shared {
+                    if iv.pid != cur.pid {
+                        return Err(StaticError::SharedIntoExclusive {
+                            reg: RegId(cur.start.max(iv.start)),
+                            writer: (iv.pid, iv.phase),
+                            owner: (cur.pid, cur.phase),
+                        });
+                    }
+                }
+                active_excl.push(cur);
+            }
+            Access::WriteShared => {
+                for iv in &active_excl {
+                    if iv.pid != cur.pid {
+                        return Err(StaticError::SharedIntoExclusive {
+                            reg: RegId(cur.start.max(iv.start)),
+                            writer: (cur.pid, cur.phase),
+                            owner: (iv.pid, iv.phase),
+                        });
+                    }
+                }
+                active_shared.push(cur);
+            }
+            Access::Read => unreachable!("reads filtered above"),
+        }
+    }
+    Ok(())
+}
+
+/// Sorted, merged, half-open intervals stored flat with per-pid offsets.
+#[derive(Debug, Default)]
+struct IntervalTable {
+    /// `(start, end)` pairs, sorted and disjoint within each pid's run.
+    spans: Vec<(usize, usize)>,
+    /// `offsets[p]..offsets[p + 1]` indexes pid `p`'s spans.
+    offsets: Vec<usize>,
+}
+
+impl IntervalTable {
+    fn build(per_pid: Vec<Vec<(usize, usize)>>) -> Self {
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        let mut offsets = Vec::with_capacity(per_pid.len() + 1);
+        offsets.push(0);
+        for mut list in per_pid {
+            list.sort_unstable();
+            let base = spans.len();
+            for (start, end) in list {
+                if spans.len() > base {
+                    let last = spans.last_mut().expect("non-empty past base");
+                    if last.1 >= start {
+                        last.1 = last.1.max(end);
+                        continue;
+                    }
+                }
+                spans.push((start, end));
+            }
+            offsets.push(spans.len());
+        }
+        IntervalTable { spans, offsets }
+    }
+
+    fn contains(&self, pid: usize, reg: usize) -> bool {
+        if pid + 1 >= self.offsets.len() {
+            return false;
+        }
+        let run = &self.spans[self.offsets[pid]..self.offsets[pid + 1]];
+        let idx = run.partition_point(|&(start, _)| start <= reg);
+        idx > 0 && run[idx - 1].1 > reg
+    }
+}
+
+/// One exclusively-owned interval with its dense clock slice.
+#[derive(Copy, Clone, Debug)]
+struct OwnedInterval {
+    start: usize,
+    end: usize,
+    owner: Pid,
+    phase: &'static str,
+    /// Index of `start`'s clock in the checker's dense clock vectors.
+    clock_base: usize,
+}
+
+/// The compiled dynamic checker; see the crate docs.
+///
+/// Compiled once per configuration with [`AccessChecker::compile`]
+/// (which runs [`non_interference`] first — a statically unsound
+/// configuration never gets a dynamic pass), then driven by the engine:
+/// `begin_trial` at every trial start, `observe` on every granted
+/// operation.
+#[derive(Debug)]
+pub struct AccessChecker {
+    reads: IntervalTable,
+    writes: IntervalTable,
+    /// Exclusive ownership, sorted by `start`; disjoint across pids by
+    /// the static pass, merged within a pid.
+    owned: Vec<OwnedInterval>,
+    /// Last-writer clocks for owned registers, dense via `clock_base`.
+    /// A clock is current only if its epoch matches `epoch`; stale
+    /// epochs read as "no write this trial", so trials reset in O(1).
+    clock_epoch: Vec<u32>,
+    clock_op: Vec<u64>,
+    epoch: u32,
+    violations: Vec<Violation>,
+    trial_ops: u64,
+    trial_violations: u64,
+    total_ops: u64,
+    total_violations: u64,
+    num_pids: usize,
+}
+
+impl AccessChecker {
+    /// Compiles the checker for an instance whose process `p` declared
+    /// `specs[p]`, over a bank of `num_registers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StaticError`] of the non-interference pass if the
+    /// declarations are unsound.
+    pub fn compile(specs: &[FootprintSpec], num_registers: usize) -> Result<Self, StaticError> {
+        non_interference(specs, num_registers)?;
+
+        let n = specs.len();
+        let mut read_spans = vec![Vec::new(); n];
+        let mut write_spans = vec![Vec::new(); n];
+        let mut owned_raw: Vec<(usize, usize, Pid, &'static str)> = Vec::new();
+        for (p, spec) in specs.iter().enumerate() {
+            for ext in spec.extents() {
+                let span = (ext.range.start(), ext.range.start() + ext.range.len());
+                // Any declared access implies read permission: machines
+                // routinely read back registers they own.
+                read_spans[p].push(span);
+                if ext.access != Access::Read {
+                    write_spans[p].push(span);
+                }
+                if ext.access == Access::WriteExclusive {
+                    owned_raw.push((span.0, span.1, Pid(p), ext.phase));
+                }
+            }
+        }
+
+        owned_raw.sort_unstable_by_key(|&(start, end, ..)| (start, end));
+        let mut owned: Vec<OwnedInterval> = Vec::new();
+        let mut clock_base = 0usize;
+        for (start, end, owner, phase) in owned_raw {
+            // Same-pid exclusive extents may overlap (e.g. a composite
+            // declaring a slot twice); coalesce them so the owner map
+            // stays strictly disjoint and binary-searchable.
+            if let Some(last) = owned.last_mut() {
+                // Touching intervals of distinct owners stay separate;
+                // overlap across owners is impossible past the static
+                // pass, so only same-pid extents ever coalesce.
+                if last.owner == owner && last.end >= start {
+                    let grown = end.max(last.end);
+                    clock_base += grown - last.end;
+                    last.end = grown;
+                    continue;
+                }
+                debug_assert!(
+                    last.end <= start,
+                    "static pass admits only same-pid overlap"
+                );
+            }
+            owned.push(OwnedInterval {
+                start,
+                end,
+                owner,
+                phase,
+                clock_base,
+            });
+            clock_base += end - start;
+        }
+
+        let mut violations = Vec::new();
+        violations.reserve_exact(MAX_RECORDED_VIOLATIONS);
+        Ok(AccessChecker {
+            reads: IntervalTable::build(read_spans),
+            writes: IntervalTable::build(write_spans),
+            owned,
+            clock_epoch: vec![0; clock_base],
+            clock_op: vec![0; clock_base],
+            epoch: 0,
+            violations,
+            trial_ops: 0,
+            trial_violations: 0,
+            total_ops: 0,
+            total_violations: 0,
+            num_pids: n,
+        })
+    }
+
+    /// Compiles a checker for an `n`-process instance directly from an
+    /// algorithm's [`Footprint`] declaration.
+    ///
+    /// # Errors
+    ///
+    /// See [`AccessChecker::compile`].
+    pub fn for_instance<F: Footprint + ?Sized>(
+        algo: &F,
+        n: usize,
+        num_registers: usize,
+    ) -> Result<Self, StaticError> {
+        Self::compile(&collect_specs(algo, n), num_registers)
+    }
+
+    /// Starts a fresh trial: recorded violations are dropped and every
+    /// last-writer clock is invalidated by bumping the epoch — O(1), no
+    /// allocation, no clock clearing.
+    pub fn begin_trial(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale clocks could alias the new epoch. Clear
+            // once every 2^32 trials rather than widening every clock.
+            self.clock_epoch.fill(0);
+            self.epoch = 1;
+        }
+        self.violations.clear();
+        self.trial_ops = 0;
+        self.trial_violations = 0;
+    }
+
+    fn owner_of(&self, reg: usize) -> Option<&OwnedInterval> {
+        let idx = self.owned.partition_point(|iv| iv.start <= reg);
+        let iv = self.owned.get(idx.checked_sub(1)?)?;
+        (iv.end > reg).then_some(iv)
+    }
+
+    fn record(&mut self, v: Violation) {
+        self.trial_violations += 1;
+        self.total_violations += 1;
+        if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+            self.violations.push(v);
+        }
+    }
+
+    /// Validates one granted operation: process `pid` performing a
+    /// `kind` access to `reg` as the `op_index`-th grant of the trial.
+    /// Allocation-free.
+    pub fn observe(&mut self, pid: Pid, kind: OpKind, reg: RegId, op_index: u64) {
+        self.trial_ops += 1;
+        self.total_ops += 1;
+        match kind {
+            OpKind::Read => {
+                if !self.reads.contains(pid.0, reg.0) {
+                    self.record(Violation {
+                        pid,
+                        reg,
+                        kind: ViolationKind::UndeclaredRead,
+                        op_index,
+                    });
+                }
+            }
+            OpKind::Write => {
+                if let Some(&OwnedInterval {
+                    start,
+                    owner,
+                    phase,
+                    clock_base,
+                    ..
+                }) = self.owner_of(reg.0)
+                {
+                    let slot = clock_base + (reg.0 - start);
+                    if owner == pid {
+                        self.clock_epoch[slot] = self.epoch;
+                        self.clock_op[slot] = op_index;
+                    } else {
+                        // A stray write landing in someone's exclusive
+                        // extent is reported as the more specific
+                        // foreign write, declared or not.
+                        let last_owner_write =
+                            (self.clock_epoch[slot] == self.epoch).then(|| self.clock_op[slot]);
+                        self.record(Violation {
+                            pid,
+                            reg,
+                            kind: ViolationKind::ForeignWrite {
+                                owner,
+                                phase,
+                                last_owner_write,
+                            },
+                            op_index,
+                        });
+                    }
+                } else if !self.writes.contains(pid.0, reg.0) {
+                    self.record(Violation {
+                        pid,
+                        reg,
+                        kind: ViolationKind::UndeclaredWrite,
+                        op_index,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The violations recorded this trial (at most
+    /// [`MAX_RECORDED_VIOLATIONS`]; the counters keep counting past it).
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Operations observed this trial.
+    #[must_use]
+    pub fn trial_ops(&self) -> u64 {
+        self.trial_ops
+    }
+
+    /// Violations counted this trial (recorded or not).
+    #[must_use]
+    pub fn trial_violations(&self) -> u64 {
+        self.trial_violations
+    }
+
+    /// Operations observed since compilation.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Violations counted since compilation.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// Number of processes the checker was compiled for.
+    #[must_use]
+    pub fn num_pids(&self) -> usize {
+        self.num_pids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exsel_shm::RegAlloc;
+
+    /// One exclusive slot per pid out of a shared bank, plus a common
+    /// read range — the shape of every single-writer family here.
+    fn slot_specs(n: usize, bank_len: usize) -> (Vec<FootprintSpec>, usize) {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(bank_len);
+        let specs = (0..n)
+            .map(|p| {
+                let mut s = FootprintSpec::default();
+                s.phase("slot").reads(bank).writes_excl(bank.slice(p, 1));
+                s
+            })
+            .collect();
+        (specs, alloc.total())
+    }
+
+    #[test]
+    fn static_pass_accepts_disjoint_slots() {
+        let (specs, regs) = slot_specs(4, 8);
+        assert_eq!(non_interference(&specs, regs), Ok(()));
+    }
+
+    #[test]
+    fn static_pass_rejects_exclusive_overlap() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(4);
+        let specs: Vec<_> = (0..2)
+            .map(|_| {
+                let mut s = FootprintSpec::default();
+                s.phase("clash").writes_excl(bank.slice(1, 2));
+                s
+            })
+            .collect();
+        match non_interference(&specs, alloc.total()) {
+            Err(StaticError::ExclusiveOverlap { reg, .. }) => assert_eq!(reg.0, 1),
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_pass_rejects_shared_into_exclusive() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(4);
+        let mut a = FootprintSpec::default();
+        a.phase("own").writes_excl(bank.slice(0, 2));
+        let mut b = FootprintSpec::default();
+        b.phase("spray").writes_shared(bank);
+        let err = non_interference(&[a, b], alloc.total()).unwrap_err();
+        assert!(
+            matches!(err, StaticError::SharedIntoExclusive { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn static_pass_allows_shared_overlap_and_reads() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(4);
+        let specs: Vec<_> = (0..3)
+            .map(|_| {
+                let mut s = FootprintSpec::default();
+                s.phase("vote").reads(bank).writes_shared(bank);
+                s
+            })
+            .collect();
+        assert_eq!(non_interference(&specs, alloc.total()), Ok(()));
+    }
+
+    #[test]
+    fn static_pass_rejects_missing_and_out_of_range() {
+        let (mut specs, regs) = slot_specs(2, 4);
+        specs.push(FootprintSpec::default());
+        assert_eq!(
+            non_interference(&specs, regs),
+            Err(StaticError::MissingFootprint { pid: Pid(2) })
+        );
+        let (specs, regs) = slot_specs(2, 4);
+        assert!(matches!(
+            non_interference(&specs, regs - 1),
+            Err(StaticError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn checker_passes_disciplined_ops() {
+        let (specs, regs) = slot_specs(3, 8);
+        let mut c = AccessChecker::compile(&specs, regs).unwrap();
+        c.begin_trial();
+        c.observe(Pid(0), OpKind::Write, RegId(0), 1);
+        c.observe(Pid(1), OpKind::Read, RegId(0), 2);
+        c.observe(Pid(2), OpKind::Write, RegId(2), 3);
+        assert!(c.violations().is_empty());
+        assert_eq!(c.trial_ops(), 3);
+        assert_eq!(c.trial_violations(), 0);
+    }
+
+    #[test]
+    fn checker_flags_foreign_write_with_last_writer() {
+        let (specs, regs) = slot_specs(3, 8);
+        let mut c = AccessChecker::compile(&specs, regs).unwrap();
+        c.begin_trial();
+        c.observe(Pid(1), OpKind::Write, RegId(1), 5);
+        c.observe(Pid(0), OpKind::Write, RegId(1), 9);
+        assert_eq!(c.violations().len(), 1);
+        let v = c.violations()[0];
+        assert_eq!(v.pid, Pid(0));
+        assert_eq!(v.op_index, 9);
+        assert_eq!(
+            v.kind,
+            ViolationKind::ForeignWrite {
+                owner: Pid(1),
+                phase: "slot",
+                last_owner_write: Some(5),
+            }
+        );
+    }
+
+    #[test]
+    fn checker_flags_undeclared_read_and_write() {
+        let (specs, regs) = slot_specs(2, 4);
+        // Register 4 exists in the bank but is outside every footprint.
+        let mut c = AccessChecker::compile(&specs, regs + 1).unwrap();
+        c.begin_trial();
+        c.observe(Pid(0), OpKind::Read, RegId(4), 1);
+        c.observe(Pid(0), OpKind::Write, RegId(4), 2);
+        // Declared read range is not a write grant.
+        c.observe(Pid(0), OpKind::Write, RegId(3), 3);
+        let kinds: Vec<_> = c.violations().iter().map(|v| v.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ViolationKind::UndeclaredRead,
+                ViolationKind::UndeclaredWrite,
+                ViolationKind::UndeclaredWrite,
+            ]
+        );
+    }
+
+    #[test]
+    fn epoch_reset_forgets_previous_trial_clocks() {
+        let (specs, regs) = slot_specs(2, 4);
+        let mut c = AccessChecker::compile(&specs, regs).unwrap();
+        c.begin_trial();
+        c.observe(Pid(1), OpKind::Write, RegId(1), 1);
+        c.begin_trial();
+        c.observe(Pid(0), OpKind::Write, RegId(1), 1);
+        let v = c.violations()[0];
+        assert_eq!(
+            v.kind,
+            ViolationKind::ForeignWrite {
+                owner: Pid(1),
+                phase: "slot",
+                last_owner_write: None,
+            }
+        );
+        assert_eq!(c.total_ops(), 2);
+        assert_eq!(c.total_violations(), 1);
+    }
+
+    #[test]
+    fn recording_caps_but_counting_continues() {
+        let (specs, regs) = slot_specs(2, 4);
+        let mut c = AccessChecker::compile(&specs, regs).unwrap();
+        c.begin_trial();
+        for i in 0..(MAX_RECORDED_VIOLATIONS as u64 + 10) {
+            c.observe(Pid(0), OpKind::Write, RegId(1), i + 1);
+        }
+        assert_eq!(c.violations().len(), MAX_RECORDED_VIOLATIONS);
+        assert_eq!(c.trial_violations(), MAX_RECORDED_VIOLATIONS as u64 + 10);
+    }
+
+    #[test]
+    fn collect_specs_covers_every_pid() {
+        struct OneSlot(exsel_shm::RegRange);
+        impl Footprint for OneSlot {
+            fn footprint(&self, pid: Pid, spec: &mut FootprintSpec) {
+                spec.phase("s")
+                    .reads(self.0)
+                    .writes_excl(self.0.slice(pid.0, 1));
+            }
+        }
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(4);
+        let specs = collect_specs(&OneSlot(bank), 4);
+        assert_eq!(specs.len(), 4);
+        let c = AccessChecker::for_instance(&OneSlot(bank), 4, alloc.total()).unwrap();
+        assert_eq!(c.num_pids(), 4);
+    }
+}

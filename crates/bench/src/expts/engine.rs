@@ -253,6 +253,51 @@ pub fn measure(quick: bool) -> Vec<Row> {
             extras: Vec::new(),
         });
 
+        // Checker overhead on the very same pooled sweep: the dynamic
+        // footprint checker observes every granted operation (two
+        // interval lookups plus a dense last-writer clock update). Its
+        // budget is ≤10% over checker-off — the `check_off` category
+        // floor of 0.9 in the gate. Only measured when the `check`
+        // feature is compiled in; the committed row is regenerated with
+        // `--features check`.
+        #[cfg(feature = "check")]
+        {
+            let off_s = time(iters, || {
+                let mut engine = StepEngine::reusable(regs);
+                let mut pool = algo_set.pool(&originals);
+                for seed in 0..trials {
+                    let mut policy = RandomPolicy::new(seed);
+                    engine.run_pool(&mut policy, &mut pool);
+                }
+            });
+            let on_s = time(iters, || {
+                let mut engine = StepEngine::reusable(regs);
+                engine.install_checker(
+                    algo_set
+                        .checker(k, regs)
+                        .expect("static pass accepts the majority renamer"),
+                );
+                let mut pool = algo_set.pool(&originals);
+                for seed in 0..trials {
+                    let mut policy = RandomPolicy::new(seed);
+                    engine.run_pool(&mut policy, &mut pool);
+                    assert_eq!(
+                        engine.metrics().checker_violations,
+                        0,
+                        "checked bench sweep violated its footprints"
+                    );
+                }
+            });
+            rows.push(Row {
+                workload: format!("machine_pool/checked_majority/k={k} x{trials}"),
+                baseline: "check_off",
+                contender: "check_on",
+                baseline_s: off_s,
+                contender_s: on_s,
+                extras: Vec::new(),
+            });
+        }
+
         // Exploration: the explore_compete workload re-driven on a pool
         // of concrete CompeteOp machines — zero boxes per execution.
         let mut alloc = RegAlloc::new();

@@ -371,6 +371,76 @@ fn summary_json(
     serde_json::Value::Object(obj)
 }
 
+/// Drives a scenario harness to completion — equivalent to
+/// [`ServiceHarness::run`]. Compiled with `--features check`, a
+/// footprint checker is installed first and the run must end with zero
+/// violations, so every service scenario doubles as a checked battery.
+fn run_service_harness(
+    world: &ServiceWorld,
+    cfg: &ServiceConfig,
+    mut harness: ServiceHarness<SlabBank>,
+) -> ServiceReport {
+    #[cfg(feature = "check")]
+    harness.install_checker(
+        exsel_sim::AccessChecker::for_instance(world, cfg.slots, world.num_registers())
+            .expect("scenario world failed the static non-interference pass"),
+    );
+    #[cfg(not(feature = "check"))]
+    let _ = world;
+    let target = match cfg.target_sessions {
+        0 => u64::MAX,
+        t => t,
+    };
+    let _ = harness.run_until(target);
+    #[cfg(feature = "check")]
+    {
+        assert!(
+            harness.checker().is_some_and(|c| c.trial_ops() > 0),
+            "checked scenario run observed no operations"
+        );
+        assert_eq!(
+            harness.checker_violations(),
+            0,
+            "service scenario stepped outside its declared footprints"
+        );
+    }
+    harness.finish()
+}
+
+/// Mega-fleet counterpart of [`run_service_harness`]: one checker per
+/// admission shard under `--features check`, zero violations required.
+fn run_mega_harness(
+    world: &MegaServiceWorld,
+    cfg: &MegaServiceConfig,
+    mut harness: MegaServiceHarness,
+) -> MegaServiceReport {
+    #[cfg(feature = "check")]
+    harness.install_checkers(
+        world
+            .shard_worlds()
+            .iter()
+            .map(|w| {
+                exsel_sim::AccessChecker::for_instance(w, cfg.base.slots, w.num_registers())
+                    .expect("shard world failed the static non-interference pass")
+            })
+            .collect(),
+    );
+    #[cfg(not(feature = "check"))]
+    let _ = world;
+    let target = match cfg.base.target_sessions {
+        0 => u64::MAX,
+        t => t,
+    };
+    let _ = harness.run_until(target);
+    #[cfg(feature = "check")]
+    assert_eq!(
+        harness.checker_violations(),
+        0,
+        "mega scenario stepped outside its declared footprints"
+    );
+    harness.finish()
+}
+
 /// Runs a service scenario: one full open-loop run per seed (the
 /// registry seed, or `0..N` under `--seeds N`; `--quick` shrinks the
 /// session target), asserting the report invariants, printing a
@@ -413,7 +483,7 @@ pub fn run(name: &str, spec: &ServiceSpec, overrides: &RunOverrides) -> Vec<serd
         let world = ServiceWorld::new(&cfg);
         let harness = ServiceHarness::with_bank(&world, &cfg, SlabBank::new());
         let start = Instant::now();
-        let report = harness.run();
+        let report = run_service_harness(&world, &cfg, harness);
         let secs = start.elapsed().as_secs_f64();
         assert_report(name, spec, &cfg, &report);
         #[allow(
@@ -587,7 +657,7 @@ pub fn run_mega(
         let world = MegaServiceWorld::new(&cfg);
         let harness = MegaServiceHarness::new(&world, &cfg);
         let start = Instant::now();
-        let mega = harness.run();
+        let mega = run_mega_harness(&world, &cfg, harness);
         let secs = start.elapsed().as_secs_f64();
         assert_mega_report(name, &cfg, &mega);
         let report = &mega.report;

@@ -106,6 +106,9 @@ pub fn category_floor(baseline: &str) -> Option<f64> {
         // Reused engines / the slab+SoA mega arm must be "no slower",
         // with headroom for 1-CPU scheduling noise.
         "fresh" | "arc_pool" => Some(0.8),
+        // The dynamic footprint checker may cost at most ~10% over the
+        // same sweep with no checker installed.
+        "check_off" => Some(0.9),
         // Snapshot compaction competes on allocations; the service
         // harness competes on absolute sessions/sec (see [`check`]).
         "recycle_off" | "sessions_floor" => None,

@@ -101,6 +101,14 @@ impl StepRename for AdaptiveRename {
                 .map(|phase| (phase.begin_rename(pid, original), self.offsets[i]))
         }))
     }
+
+    /// Union of the phases' footprints: the doubling walk may reach any
+    /// phase.
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        for phase in &self.phases {
+            phase.footprint(pid, spec);
+        }
+    }
 }
 
 /// Checks Theorem 4's closed form: the cumulative ranges indeed satisfy

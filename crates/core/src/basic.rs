@@ -101,6 +101,14 @@ impl StepRename for BasicRename {
             })
         }))
     }
+
+    /// Union of the stages' footprints: a contender may walk any prefix
+    /// of the stage chain.
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        for stage in &self.stages {
+            stage.footprint(pid, spec);
+        }
+    }
 }
 
 #[cfg(test)]

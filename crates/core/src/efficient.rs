@@ -153,6 +153,23 @@ impl StepRename for EfficientRename {
             stage: EffStage::Ma(Box::new(self.ma.begin_walk(original))),
         })
     }
+
+    /// Union of the stage footprints. The final snapshot stage's slots
+    /// are addressed by the *name* the earlier stages produced, not by
+    /// pid, so no process can claim one statically: the whole final
+    /// bank is declared shared (uniqueness of intermediate names is
+    /// what makes it single-writer dynamically — exactly the property
+    /// the renaming proof, not the layout, provides).
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        self.ma.footprint(pid, spec);
+        if let Some(pl) = &self.polylog {
+            pl.footprint(pid, spec);
+        }
+        let final_regs = self.final_stage.snapshot().registers();
+        spec.phase("efficient.final")
+            .reads(final_regs)
+            .writes_shared(final_regs);
+    }
 }
 
 enum EffStage<'a> {
@@ -187,6 +204,12 @@ impl StepMachine for EfficientOp<'_> {
     fn op(&self) -> ShmOp {
         match &self.stage {
             EffStage::Ma(m) | EffStage::Poly(m) | EffStage::Final(m) => m.op(),
+        }
+    }
+
+    fn peek(&self) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        match &self.stage {
+            EffStage::Ma(m) | EffStage::Poly(m) | EffStage::Final(m) => m.peek(),
         }
     }
 

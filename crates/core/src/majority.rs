@@ -162,6 +162,14 @@ impl StepRename for Majority {
     fn begin_rename<'a>(&'a self, _pid: Pid, original: u64) -> RenameMachine<'a> {
         Box::new(self.begin_walk(original))
     }
+
+    /// Every contender competes on every slot register it walks past:
+    /// the whole slot bank is multi-writer by design (majority voting),
+    /// so the footprint is shared writes over the bank for every pid.
+    fn footprint(&self, _pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        let regs = self.slots.registers();
+        spec.phase("majority.slots").reads(regs).writes_shared(regs);
+    }
 }
 
 impl Rename for Majority {

@@ -194,6 +194,15 @@ impl StepRename for MoirAnderson {
     fn begin_rename<'a>(&'a self, _pid: Pid, original: u64) -> RenameMachine<'a> {
         Box::new(self.begin_walk(original))
     }
+
+    /// Splitter X/Y registers are written by every process reaching the
+    /// splitter (that's what makes a splitter split), so the grid is
+    /// shared writes for every pid.
+    fn footprint(&self, _pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        spec.phase("ma.splitters")
+            .reads(self.regs)
+            .writes_shared(self.regs);
+    }
 }
 
 #[cfg(test)]

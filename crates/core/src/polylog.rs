@@ -100,6 +100,14 @@ impl StepRename for PolyLogRename {
                 .map(|epoch| epoch.begin_rename(pid, name))
         }))
     }
+
+    /// Union of the epochs' footprints: a contender pipelines through a
+    /// prefix of the epoch chain.
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        for epoch in &self.epochs {
+            epoch.footprint(pid, spec);
+        }
+    }
 }
 
 #[cfg(test)]

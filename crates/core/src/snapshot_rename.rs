@@ -300,6 +300,20 @@ impl StepRename for SnapshotRename {
     fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a> {
         Box::new(self.begin_rename_slot(pid.0, original))
     }
+
+    /// The single-writer discipline of the snapshot literature, made
+    /// checkable: scans read every component, but updates land only in
+    /// the caller's own slot — which under [`StepRename::begin_rename`]
+    /// is `pid`, so that slot is declared exclusively owned. (Pids
+    /// beyond the slot count cannot begin a machine and declare reads
+    /// only.)
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        let regs = self.snap.registers();
+        let b = spec.phase("snapshot.slots").reads(regs);
+        if pid.0 < self.num_slots() {
+            b.writes_excl(regs.slice(pid.0, 1));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! machine, so **both forms perform identical operation sequences** — a
 //! schedule recorded against one replays exactly against the other.
 
-use exsel_shm::{Pid, Poll, ShmOp, StepMachine, Word};
+use exsel_shm::{FootprintSpec, Pid, Poll, ShmOp, StepMachine, Word};
 
 use crate::{Outcome, Rename};
 
@@ -25,17 +25,35 @@ pub type RenameMachine<'a> = Box<dyn StepMachine<Output = Outcome> + 'a>;
 pub trait StepRename: Rename {
     /// Starts a renaming of `original` for process `pid`.
     fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a>;
+
+    /// Appends the registers a machine begun for `pid` may touch (the
+    /// [`exsel_shm::Footprint`] contract, as a provided method so
+    /// `StepRename` stays object-safe alongside it). Every renamer in
+    /// this crate overrides it; the default declares nothing, which the
+    /// analysis pass rejects (missing footprint) rather than silently
+    /// accepting an unchecked machine.
+    fn footprint(&self, pid: Pid, spec: &mut FootprintSpec) {
+        let _ = (pid, spec);
+    }
 }
 
 impl<T: StepRename + ?Sized> StepRename for &T {
     fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a> {
         (**self).begin_rename(pid, original)
     }
+
+    fn footprint(&self, pid: Pid, spec: &mut FootprintSpec) {
+        (**self).footprint(pid, spec);
+    }
 }
 
 impl<T: StepRename + ?Sized> StepRename for Box<T> {
     fn begin_rename<'a>(&'a self, pid: Pid, original: u64) -> RenameMachine<'a> {
         (**self).begin_rename(pid, original)
+    }
+
+    fn footprint(&self, pid: Pid, spec: &mut FootprintSpec) {
+        (**self).footprint(pid, spec);
     }
 }
 

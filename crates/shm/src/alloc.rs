@@ -99,6 +99,28 @@ impl RegRange {
         (self.start..self.start + self.len).map(RegId)
     }
 
+    /// A sub-range of `len` registers starting at offset `offset`.
+    ///
+    /// Used by footprint declarations to name a component's extent (one
+    /// slot, one row of a matrix bank) without exposing raw indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len > self.len()`.
+    #[must_use]
+    #[track_caller]
+    pub fn slice(&self, offset: usize, len: usize) -> RegRange {
+        assert!(
+            offset + len <= self.len,
+            "slice {offset}+{len} beyond bank of length {}",
+            self.len
+        );
+        RegRange {
+            start: self.start + offset,
+            len,
+        }
+    }
+
     /// Splits the range into a prefix of `at` registers and the rest.
     ///
     /// # Panics
@@ -167,6 +189,26 @@ mod tests {
         assert_eq!(y.len(), 3);
         assert_eq!(x.get(0), r.get(0));
         assert_eq!(y.get(0), r.get(2));
+    }
+
+    #[test]
+    fn slice_names_a_sub_extent() {
+        let mut a = RegAlloc::new();
+        a.reserve(3);
+        let r = a.reserve(6);
+        let row = r.slice(2, 2);
+        assert_eq!(row.len(), 2);
+        assert_eq!(row.get(0), r.get(2));
+        assert_eq!(row.get(1), r.get(3));
+        assert!(r.slice(6, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond bank")]
+    fn slice_out_of_range_panics() {
+        let mut a = RegAlloc::new();
+        let r = a.reserve(4);
+        let _ = r.slice(3, 2);
     }
 
     #[test]

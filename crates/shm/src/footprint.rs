@@ -1,0 +1,186 @@
+//! Declared register footprints: the access contracts behind the paper's
+//! single-writer discipline.
+//!
+//! Every algorithm in the stack lays out its registers statically through
+//! [`crate::RegAlloc`], and the correctness arguments lean on an access
+//! discipline the layout alone cannot express: a process writes only its
+//! own snapshot slot, its own suite of naming registers, its own row of the
+//! help matrix — while everything else is read-shared or written under a
+//! known multi-writer protocol. The [`Footprint`] trait lets each machine
+//! family *declare* that discipline as data: a [`FootprintSpec`] is a list
+//! of phase-tagged extents ([`Extent`]), each an access class over a
+//! [`RegRange`].
+//!
+//! Consumers live in `exsel-analysis`: a static non-interference pass
+//! proves pairwise that no two processes claim exclusive ownership of
+//! overlapping registers (and that shared writes never touch someone's
+//! exclusive extent), and a dynamic checker validates every granted
+//! operation of a run against the declaration. The spec is deliberately
+//! conservative — an over-approximation of what the machine may touch; a
+//! machine operating outside its declared footprint is a bug either in the
+//! machine or in the declaration, and both are worth a loud failure.
+
+use crate::{Pid, RegRange};
+
+/// How a machine may touch an extent of registers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The registers are only read.
+    Read,
+    /// The registers may be written, under a protocol that tolerates
+    /// multiple writers (e.g. the majority-voting registers, or a
+    /// store&collect value array indexed by dynamically acquired names).
+    WriteShared,
+    /// The registers are written by this process **only**: the
+    /// single-writer discipline the static pass proves pairwise. Writing
+    /// here from any other process is an ownership violation.
+    WriteExclusive,
+}
+
+/// One phase-tagged access declaration: `access` rights over `range`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Extent {
+    /// Which phase of the algorithm the extent belongs to (a static
+    /// label, e.g. `"naming.suite"` or `"deposit.help_row"`). Purely
+    /// diagnostic: violation reports cite it so the offending state is
+    /// recognizable without reverse-engineering register indices.
+    pub phase: &'static str,
+    /// The access class.
+    pub access: Access,
+    /// The registers covered.
+    pub range: RegRange,
+}
+
+/// A machine's declared footprint: every register it may touch, phase by
+/// phase, as seen from one process identity.
+///
+/// Build one with the phase-scoped builder:
+///
+/// ```
+/// use exsel_shm::{FootprintSpec, RegAlloc};
+///
+/// let mut alloc = RegAlloc::new();
+/// let bank = alloc.reserve(8);
+/// let mut spec = FootprintSpec::default();
+/// spec.phase("demo")
+///     .reads(bank)
+///     .writes_excl(bank.slice(2, 1));
+/// assert_eq!(spec.extents().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FootprintSpec {
+    extents: Vec<Extent>,
+}
+
+impl FootprintSpec {
+    /// Starts declaring extents for phase `phase`. Extents accumulate;
+    /// the same phase may be opened repeatedly.
+    pub fn phase(&mut self, phase: &'static str) -> PhaseBuilder<'_> {
+        PhaseBuilder { spec: self, phase }
+    }
+
+    /// All declared extents, in declaration order. Empty ranges are
+    /// dropped at declaration time, so every returned extent is non-empty.
+    #[must_use]
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Whether nothing has been declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// Removes every declared extent, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.extents.clear();
+    }
+
+    fn push(&mut self, phase: &'static str, access: Access, range: RegRange) {
+        if !range.is_empty() {
+            self.extents.push(Extent {
+                phase,
+                access,
+                range,
+            });
+        }
+    }
+}
+
+/// Declares extents for one phase of a [`FootprintSpec`]; see
+/// [`FootprintSpec::phase`].
+pub struct PhaseBuilder<'a> {
+    spec: &'a mut FootprintSpec,
+    phase: &'static str,
+}
+
+impl PhaseBuilder<'_> {
+    /// Declares `range` as read-only for this phase.
+    pub fn reads(self, range: RegRange) -> Self {
+        self.spec.push(self.phase, Access::Read, range);
+        self
+    }
+
+    /// Declares `range` as multi-writer-writable for this phase.
+    pub fn writes_shared(self, range: RegRange) -> Self {
+        self.spec.push(self.phase, Access::WriteShared, range);
+        self
+    }
+
+    /// Declares `range` as exclusively owned (single-writer) by this
+    /// process for this phase.
+    pub fn writes_excl(self, range: RegRange) -> Self {
+        self.spec.push(self.phase, Access::WriteExclusive, range);
+        self
+    }
+}
+
+/// Declared static register footprint of an algorithm instance, per
+/// process identity.
+///
+/// Implementors append to `spec` rather than returning a fresh one so
+/// that composite algorithms (a renaming pipeline, a session of naming +
+/// store&collect + deposit) can merge their components' footprints into a
+/// single declaration for the process.
+pub trait Footprint {
+    /// Appends every extent process `pid` may touch to `spec`.
+    fn footprint(&self, pid: Pid, spec: &mut FootprintSpec);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegAlloc;
+
+    #[test]
+    fn builder_tags_phases_and_drops_empty_ranges() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(4);
+        let mut spec = FootprintSpec::default();
+        spec.phase("a")
+            .reads(bank)
+            .writes_excl(bank.slice(1, 1))
+            .writes_shared(RegRange::empty());
+        spec.phase("b").writes_shared(bank.slice(2, 2));
+        let ext = spec.extents();
+        assert_eq!(ext.len(), 3);
+        assert_eq!(ext[0].phase, "a");
+        assert_eq!(ext[0].access, Access::Read);
+        assert_eq!(ext[1].access, Access::WriteExclusive);
+        assert_eq!(ext[1].range.start(), 1);
+        assert_eq!(ext[2].phase, "b");
+        assert_eq!(ext[2].access, Access::WriteShared);
+    }
+
+    #[test]
+    fn clear_keeps_reuse_cheap() {
+        let mut alloc = RegAlloc::new();
+        let bank = alloc.reserve(2);
+        let mut spec = FootprintSpec::default();
+        spec.phase("x").reads(bank);
+        assert!(!spec.is_empty());
+        spec.clear();
+        assert!(spec.is_empty());
+    }
+}

@@ -54,6 +54,7 @@ mod bank;
 mod ctx;
 mod error;
 mod fingerprint;
+pub mod footprint;
 mod mem;
 mod snap_arena;
 pub mod snapshot;
@@ -66,6 +67,7 @@ pub use bank::{ArcBank, RegisterBank, SlabBank};
 pub use ctx::Ctx;
 pub use error::{Crash, Step};
 pub use fingerprint::{Fingerprint, StateHasher, TokenMap};
+pub use footprint::{Access, Extent, Footprint, FootprintSpec};
 pub use mem::{Memory, OpKind, Pid, RegId};
 pub use snap_arena::{SnapArena, SnapArenaStats};
 pub use snapshot::Snapshot;

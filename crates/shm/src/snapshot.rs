@@ -321,6 +321,10 @@ impl StepMachine for ScanOp {
         ShmOp::Read(self.regs.get(self.idx))
     }
 
+    fn peek(&self) -> (OpKind, RegId) {
+        (OpKind::Read, self.regs.get(self.idx))
+    }
+
     fn advance(&mut self, input: &Word) -> Poll<Arc<[Word]>> {
         let n = self.n();
         // Generation-tagged read: clone the record's Arc only when the

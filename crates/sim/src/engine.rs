@@ -128,6 +128,14 @@ pub struct Metrics {
     /// engine itself does not know which registers back a snapshot
     /// object — the arena does). Zero for non-snapshot workloads.
     pub snapshot: SnapArenaStats,
+    /// Operations validated by the installed footprint checker. Always
+    /// present so the struct's shape (and `PartialEq`) is independent of
+    /// the `check` feature; stays zero when the feature is off or no
+    /// checker is installed.
+    pub checker_ops: u64,
+    /// Footprint violations the installed checker counted (recorded or
+    /// past its recording cap). Zero on a disciplined run.
+    pub checker_violations: u64,
 }
 
 impl Metrics {
@@ -145,6 +153,8 @@ impl Metrics {
         self.shard_ops.clear();
         self.shard_contention.clear();
         self.snapshot = SnapArenaStats::default();
+        self.checker_ops = 0;
+        self.checker_violations = 0;
     }
 
     /// Folds a snapshot object's arena telemetry window into these
@@ -206,6 +216,8 @@ impl Metrics {
             *acc = (*acc).max(c);
         }
         self.snapshot.merge(&other.snapshot);
+        self.checker_ops += other.checker_ops;
+        self.checker_violations += other.checker_violations;
     }
 }
 
@@ -255,6 +267,12 @@ pub struct StepEngine<B: RegisterBank = ArcBank> {
     crashed: Vec<CrashKind>,
     trace: Vec<PendingOp>,
     metrics: Metrics,
+    /// The installed dynamic footprint checker, if any; validated
+    /// against every granted operation in the grant loops. Behind the
+    /// `check` feature so unchecked builds carry neither the field nor
+    /// the per-grant branch.
+    #[cfg(feature = "check")]
+    checker: Option<exsel_analysis::AccessChecker>,
 }
 
 /// Sentinel in `pending_pos` for completed/crashed processes.
@@ -316,6 +334,8 @@ impl<B: RegisterBank> StepEngine<B> {
             crashed: Vec::new(),
             trace: Vec::new(),
             metrics: Metrics::default(),
+            #[cfg(feature = "check")]
+            checker: None,
         }
     }
 
@@ -410,6 +430,33 @@ impl<B: RegisterBank> StepEngine<B> {
         &self.metrics
     }
 
+    /// Installs a compiled footprint checker: from the next trial on,
+    /// every granted operation is validated against the declared
+    /// footprints and the engine's [`Metrics`] accumulate
+    /// `checker_ops`/`checker_violations`. Compile one with
+    /// [`AlgoSet::checker`](crate::AlgoSet::checker) or
+    /// [`exsel_analysis::AccessChecker::compile`].
+    #[cfg(feature = "check")]
+    pub fn install_checker(&mut self, checker: exsel_analysis::AccessChecker) {
+        self.checker = Some(checker);
+    }
+
+    /// The installed checker, if any — e.g. to inspect
+    /// [`violations`](exsel_analysis::AccessChecker::violations) after a
+    /// trial.
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn checker(&self) -> Option<&exsel_analysis::AccessChecker> {
+        self.checker.as_ref()
+    }
+
+    /// Uninstalls and returns the checker (subsequent trials run
+    /// unchecked).
+    #[cfg(feature = "check")]
+    pub fn take_checker(&mut self) -> Option<exsel_analysis::AccessChecker> {
+        self.checker.take()
+    }
+
     /// Re-initializes the engine's state in place for the next trial:
     /// registers to [`Word::Null`], trace and metrics cleared — **keeping
     /// every buffer's capacity**. Called automatically at the start of
@@ -420,6 +467,10 @@ impl<B: RegisterBank> StepEngine<B> {
         self.trace.clear();
         self.trace_moved = false;
         self.metrics.reset(self.num_registers);
+        #[cfg(feature = "check")]
+        if let Some(c) = &mut self.checker {
+            c.begin_trial();
+        }
     }
 
     /// Runs `machines` (machine `i` is process `Pid(i)`) to quiescence
@@ -739,6 +790,10 @@ impl<B: RegisterBank> StepEngine<B> {
                     }
                     steps[pid.0] += 1;
                     total_ops += 1;
+                    #[cfg(feature = "check")]
+                    if let Some(c) = &mut self.checker {
+                        c.observe(pid, kind, reg, total_ops);
+                    }
                     // Perform the granted operation in place; reads pass
                     // the machine a borrow of the register word.
                     let poll = match kind {
@@ -791,6 +846,11 @@ impl<B: RegisterBank> StepEngine<B> {
         self.metrics.trials = 1;
         self.metrics.total_ops = total_ops;
         self.metrics.max_steps = steps.iter().copied().max().unwrap_or(0);
+        #[cfg(feature = "check")]
+        if let Some(c) = &self.checker {
+            self.metrics.checker_ops = c.trial_ops();
+            self.metrics.checker_violations = c.trial_violations();
+        }
     }
 
     /// The sharded grant loop (see [`StepEngine::run_pool_sharded`]).
@@ -905,6 +965,10 @@ impl<B: RegisterBank> StepEngine<B> {
                     }
                     steps[pid.0] += 1;
                     total_ops += 1;
+                    #[cfg(feature = "check")]
+                    if let Some(c) = &mut self.checker {
+                        c.observe(pid, kind, reg, total_ops);
+                    }
                     let poll = match kind {
                         OpKind::Read => {
                             self.metrics.reads += 1;
@@ -958,6 +1022,11 @@ impl<B: RegisterBank> StepEngine<B> {
         self.metrics.trials = 1;
         self.metrics.total_ops = total_ops;
         self.metrics.max_steps = steps.iter().copied().max().unwrap_or(0);
+        #[cfg(feature = "check")]
+        if let Some(c) = &self.checker {
+            self.metrics.checker_ops = c.trial_ops();
+            self.metrics.checker_violations = c.trial_violations();
+        }
     }
 }
 

@@ -78,9 +78,15 @@ pub use engine::{Metrics, StepEngine};
 pub use explore::{
     explore, explore_engine, explore_engine_with, explore_pool, explore_pool_with, ExploreReport,
 };
+#[cfg(feature = "check")]
+pub use exsel_analysis::{
+    collect_specs, non_interference, AccessChecker, StaticError, Violation, ViolationKind,
+};
 pub use machines::{AlgoSet, MachineSet, SetOutput};
 pub use policy::{Action, PendingOp, Policy};
 pub use pool::MachinePool;
+#[cfg(feature = "check")]
+pub use reduce::shrink_violation;
 pub use reduce::{
     explore_pool_reduced, explore_pool_sleep, independent, replay_pool, ReduceConfig,
 };

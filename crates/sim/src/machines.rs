@@ -328,6 +328,49 @@ impl AlgoSet {
         }
     }
 
+    /// Appends the registers a machine begun for `pid` may touch — the
+    /// [`exsel_shm::Footprint`] contract, dispatched per family exactly
+    /// like [`AlgoSet::begin`]. Renamers declare through
+    /// [`StepRename::footprint`]; the session families implement
+    /// [`exsel_shm::Footprint`] directly.
+    pub fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        use exsel_shm::Footprint as _;
+        match self {
+            AlgoSet::MoirAnderson(algo) => StepRename::footprint(algo, pid, spec),
+            AlgoSet::Majority(algo) => StepRename::footprint(algo, pid, spec),
+            AlgoSet::SnapshotRename(algo) => StepRename::footprint(algo, pid, spec),
+            AlgoSet::Rename(algo) => algo.footprint(pid, spec),
+            AlgoSet::StoreCollect(sc) | AlgoSet::StoreCollectRoundtrip { sc, .. } => {
+                sc.footprint(pid, spec);
+            }
+            AlgoSet::Naming { naming, .. } => naming.footprint(pid, spec),
+            AlgoSet::Deposit { repo, .. } => repo.footprint(pid, spec),
+        }
+    }
+
+    /// Compiles a dynamic [`AccessChecker`](exsel_analysis::AccessChecker)
+    /// for an `n`-contender instance over a bank of `num_registers`,
+    /// running the static non-interference pass in the process. Install
+    /// the result with [`StepEngine::install_checker`](crate::StepEngine::install_checker).
+    ///
+    /// # Errors
+    ///
+    /// Returns the static pass's error if the declarations interfere.
+    #[cfg(feature = "check")]
+    pub fn checker(
+        &self,
+        n: usize,
+        num_registers: usize,
+    ) -> Result<exsel_analysis::AccessChecker, exsel_analysis::StaticError> {
+        struct ByBegin<'a>(&'a AlgoSet);
+        impl exsel_shm::Footprint for ByBegin<'_> {
+            fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+                self.0.footprint(pid, spec);
+            }
+        }
+        exsel_analysis::AccessChecker::for_instance(&ByBegin(self), n, num_registers)
+    }
+
     /// Whether this family guarantees a claim for every surviving
     /// process (the `Majority` renamer only promises half; serve-only
     /// deposit machines legitimately claim nothing; everyone else names,

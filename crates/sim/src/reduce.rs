@@ -323,6 +323,68 @@ where
     cur
 }
 
+/// Minimizes a schedule that provokes a footprint violation from the
+/// engine's installed checker: the same greedy chunk-removal as the
+/// exploration shrinker, with "still fails" meaning the replay still
+/// counts at least one violation ([`Metrics::checker_violations`]).
+/// The result is a subsequence of `failing`; replaying it on the same
+/// engine/pool deterministically reproduces a violation, and the
+/// surviving checker state ([`StepEngine::checker`]) reports it with
+/// its offending pid/register/op index.
+///
+/// # Panics
+///
+/// Panics if the engine has no checker installed, or if `failing` does
+/// not actually provoke a violation under replay.
+///
+/// [`Metrics::checker_violations`]: crate::Metrics
+#[cfg(feature = "check")]
+pub fn shrink_violation<M, B>(
+    engine: &mut StepEngine<B>,
+    pool: &mut MachinePool<M>,
+    failing: &[Pid],
+) -> Vec<Pid>
+where
+    M: StepMachine,
+    B: RegisterBank,
+{
+    assert!(
+        engine.checker().is_some(),
+        "shrink_violation needs a checker installed on the engine"
+    );
+    replay_pool(engine, pool, failing);
+    assert!(
+        engine.metrics().checker_violations > 0,
+        "schedule handed to shrink_violation does not violate under replay"
+    );
+    let violates = |engine: &mut StepEngine<B>, pool: &mut MachinePool<M>, s: &[Pid]| {
+        replay_pool(engine, pool, s);
+        engine.metrics().checker_violations > 0
+    };
+    let mut cur = failing.to_vec();
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() {
+            let mut candidate = cur[..i].to_vec();
+            candidate.extend_from_slice(&cur[(i + chunk).min(cur.len())..]);
+            if violates(engine, pool, &candidate) {
+                cur = candidate; // removal kept the violation: stay at `i`
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    // Leave the engine/pool state at the minimized replay so callers can
+    // read the violation report directly.
+    replay_pool(engine, pool, &cur);
+    cur
+}
+
 /// All permutations of `0..n` in lexicographic order.
 fn permutations(n: usize) -> Vec<Vec<usize>> {
     fn rec(remaining: &mut Vec<usize>, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {

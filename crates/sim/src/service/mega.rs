@@ -191,6 +191,14 @@ impl MegaServiceWorld {
     pub fn num_registers(&self) -> usize {
         self.worlds.iter().map(ServiceWorld::num_registers).sum()
     }
+
+    /// The per-shard worlds, in shard order. Each shard's world owns a
+    /// disjoint register space starting at 0, so a per-shard footprint
+    /// checker built from `shard_worlds()[s]` is exact for shard `s`.
+    #[must_use]
+    pub fn shard_worlds(&self) -> &[ServiceWorld] {
+        &self.worlds
+    }
 }
 
 /// The result of a sharded run: the global roll-up (identical in shape
@@ -299,6 +307,38 @@ impl<'w, B: RegisterBank> MegaServiceHarness<'w, B> {
         for shard in &mut self.shards {
             shard.prime();
         }
+    }
+
+    /// Installs one dynamic footprint checker per shard (shards never
+    /// share registers, so per-shard checkers are exact). Build each
+    /// checker from the matching [`MegaServiceWorld`] shard world.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one checker per shard is supplied.
+    #[cfg(feature = "check")]
+    pub fn install_checkers(&mut self, checkers: Vec<exsel_analysis::AccessChecker>) {
+        assert_eq!(
+            checkers.len(),
+            self.shards.len(),
+            "need one checker per shard"
+        );
+        for (shard, mut checker) in self.shards.iter_mut().zip(checkers) {
+            checker.begin_trial();
+            shard.checker = Some(checker);
+        }
+    }
+
+    /// Total footprint violations observed across all shards since
+    /// their checkers were installed; 0 when none are installed.
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn checker_violations(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.checker.as_ref())
+            .map(exsel_analysis::AccessChecker::trial_violations)
+            .sum()
     }
 
     /// Runs the fleet to its stopping condition (fleet-wide session

@@ -318,6 +318,19 @@ impl ServiceWorld {
     }
 }
 
+impl exsel_shm::Footprint for ServiceWorld {
+    /// A session slot's full access contract: the union of the three
+    /// component footprints for the slot's pid. The harness's direct
+    /// registered-store write lands in the store&collect value bank,
+    /// which the component already declares shared, so no extra extent
+    /// is needed for it.
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        exsel_shm::Footprint::footprint(&self.naming, pid, spec);
+        exsel_shm::Footprint::footprint(&self.sc, pid, spec);
+        exsel_shm::Footprint::footprint(&self.repo, pid, spec);
+    }
+}
+
 /// Where a bound session currently is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
@@ -729,6 +742,13 @@ struct ShardState<'w, B: RegisterBank> {
     /// independent naming objects.
     ticket_step: u64,
     ticket_base: u64,
+    /// The shard's dynamic footprint checker, if one is installed —
+    /// consulted on every granted (and priming) operation. Sharded
+    /// worlds get one checker per shard: each shard's world and bank
+    /// are register-disjoint, so per-shard checking is exactly whole-
+    /// run checking.
+    #[cfg(feature = "check")]
+    checker: Option<exsel_analysis::AccessChecker>,
 }
 
 /// The open-loop service harness; see the module docs. Borrows the
@@ -822,6 +842,26 @@ impl<'w, B: RegisterBank> ShardState<'w, B> {
             totals: Totals::default(),
             ticket_step,
             ticket_base,
+            #[cfg(feature = "check")]
+            checker: None,
+        }
+    }
+
+    /// The `(kind, register)` of the operation the slot's current phase
+    /// is about to perform — the checker's view of a grant, derived the
+    /// same way [`ShardState::grant`] dispatches it.
+    #[cfg(feature = "check")]
+    fn peek_slot(s: &Slot<'w>) -> (exsel_shm::OpKind, exsel_shm::RegId) {
+        let m = &s.machines;
+        match s.phase {
+            Phase::Free => unreachable!("peeked a free slot"),
+            Phase::Acquire => m.naming.peek(),
+            Phase::Store => m.registered.map_or_else(
+                || m.first_store.peek(),
+                |reg| (exsel_shm::OpKind::Write, reg),
+            ),
+            Phase::Collect => m.collect.peek(),
+            Phase::Deposit => m.deposit.peek(),
         }
     }
 
@@ -1016,6 +1056,11 @@ impl<'w, B: RegisterBank> ShardState<'w, B> {
         self.totals.ops += 1;
         tel.totals.ops += 1;
         let s = &mut self.slots[slot];
+        #[cfg(feature = "check")]
+        if let Some(c) = &mut self.checker {
+            let (kind, reg) = Self::peek_slot(s);
+            c.observe(Pid(slot), kind, reg, self.totals.ops);
+        }
         let m = &mut s.machines;
         match s.phase {
             Phase::Free => unreachable!("granted a free slot"),
@@ -1088,21 +1133,41 @@ impl<'w, B: RegisterBank> ShardState<'w, B> {
     /// writes are real, so a primed run is *not* bit-identical to an
     /// unprimed one.
     fn prime(&mut self) {
-        for s in &mut self.slots {
+        #[cfg(feature = "check")]
+        let mut prime_ops: u64 = 0;
+        #[cfg_attr(not(feature = "check"), allow(clippy::unused_enumerate_index))]
+        for (_slot, s) in self.slots.iter_mut().enumerate() {
             let m = &mut s.machines;
             while m.registered.is_none() {
+                #[cfg(feature = "check")]
+                if let Some(c) = &mut self.checker {
+                    let (kind, reg) = m.first_store.peek();
+                    prime_ops += 1;
+                    c.observe(Pid(_slot), kind, reg, prime_ops);
+                }
                 if let Poll::Ready(res) = step_machine(&mut self.bank, &mut m.first_store) {
                     m.registered = Some(res.expect("store&collect sized for every slot"));
                 }
             }
         }
-        for s in &mut self.slots {
+        #[cfg_attr(not(feature = "check"), allow(clippy::unused_enumerate_index))]
+        for (_slot, s) in self.slots.iter_mut().enumerate() {
             let m = &mut s.machines;
             m.collect.rearm();
-            while step_machine(&mut self.bank, &mut m.collect)
-                .ready()
-                .is_none()
-            {}
+            loop {
+                #[cfg(feature = "check")]
+                if let Some(c) = &mut self.checker {
+                    let (kind, reg) = m.collect.peek();
+                    prime_ops += 1;
+                    c.observe(Pid(_slot), kind, reg, prime_ops);
+                }
+                if step_machine(&mut self.bank, &mut m.collect)
+                    .ready()
+                    .is_some()
+                {
+                    break;
+                }
+            }
         }
     }
 
@@ -1182,6 +1247,36 @@ impl<'w, B: RegisterBank> ServiceHarness<'w, B> {
     /// telemetry or ticket state.
     pub fn prime(&mut self) {
         self.shard.prime();
+    }
+
+    /// Installs a dynamic footprint checker over this harness's shard:
+    /// every subsequently granted (or primed) operation is validated
+    /// against the world's declared footprint. Build the checker from
+    /// the same world with [`exsel_analysis::AccessChecker::for_instance`]
+    /// (`n` = slot count, `num_registers` = the world's register count).
+    #[cfg(feature = "check")]
+    pub fn install_checker(&mut self, mut checker: exsel_analysis::AccessChecker) {
+        checker.begin_trial();
+        self.shard.checker = Some(checker);
+    }
+
+    /// Shared access to the installed checker (violation reports,
+    /// op counts); `None` when no checker is installed.
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn checker(&self) -> Option<&exsel_analysis::AccessChecker> {
+        self.shard.checker.as_ref()
+    }
+
+    /// Total footprint violations observed since the checker was
+    /// installed; 0 when no checker is installed.
+    #[cfg(feature = "check")]
+    #[must_use]
+    pub fn checker_violations(&self) -> u64 {
+        self.shard
+            .checker
+            .as_ref()
+            .map_or(0, exsel_analysis::AccessChecker::trial_violations)
     }
 
     /// Runs the configured service to its stopping condition (session

@@ -222,6 +222,31 @@ impl ValueLayout {
             } => controls.len() + intervals.iter().map(RegRange::len).sum::<usize>(),
         }
     }
+
+    /// Appends the layout's extents to a footprint declaration. Value
+    /// registers are addressed by acquired names and controls are raised
+    /// by whichever storer crosses an interval boundary first, so every
+    /// extent is shared for every pid.
+    pub(crate) fn footprint(&self, spec: &mut exsel_shm::FootprintSpec) {
+        match self {
+            ValueLayout::Fixed { values } => {
+                spec.phase("sc.values")
+                    .reads(*values)
+                    .writes_shared(*values);
+            }
+            ValueLayout::Intervals {
+                controls,
+                intervals,
+            } => {
+                spec.phase("sc.controls")
+                    .reads(*controls)
+                    .writes_shared(*controls);
+                for iv in intervals {
+                    spec.phase("sc.values").reads(*iv).writes_shared(*iv);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -277,6 +277,17 @@ impl FirstStoreOp<'_> {
     }
 }
 
+impl exsel_shm::Footprint for StoreCollect {
+    /// The renamer's footprint (where the exclusive extents live, if the
+    /// renamer has any) plus the value layout, which is shared for every
+    /// pid: a registered store writes the value register of its acquired
+    /// name — unique dynamically, unattributable statically.
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        self.renamer.footprint(pid, spec);
+        self.layout.footprint(spec);
+    }
+}
+
 impl StepMachine for FirstStoreOp<'_> {
     type Output = Result<RegId, StoreCollectError>;
 

@@ -492,6 +492,31 @@ impl DepositOp<'_> {
     }
 }
 
+impl exsel_shm::Footprint for AltruisticDeposit {
+    /// The §5 help-matrix discipline, cell-precise: process `p` parks
+    /// names in its own row `help[p][·]` and clears claims in its own
+    /// column `help[·][p]`, so cell `(r, c)` has exactly two legitimate
+    /// writers — `r` and `c`. Two writers means no cell is statically
+    /// exclusive: row and column are declared shared, and the naming
+    /// component underneath carries the exclusive extents. The arena is
+    /// shared like every name-addressed bank. Servers run the same row
+    /// service, so one declaration covers depositors and servers alike.
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        exsel_shm::Footprint::footprint(&self.naming, pid, spec);
+        spec.phase("deposit.help").reads(self.help);
+        if pid.0 < self.n {
+            let n = self.n;
+            spec.phase("deposit.help_row")
+                .writes_shared(self.help.slice(pid.0 * n, n));
+            for r in 0..n {
+                spec.phase("deposit.help_col")
+                    .writes_shared(self.help.slice(r * n + pid.0, 1));
+            }
+        }
+        exsel_shm::Footprint::footprint(&self.arena, pid, spec);
+    }
+}
+
 impl StepMachine for DepositOp<'_> {
     /// The last claimed register index; `None` for serve machines.
     type Output = Option<u64>;

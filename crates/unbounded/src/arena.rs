@@ -94,6 +94,18 @@ impl DepositArena {
     }
 }
 
+impl exsel_shm::Footprint for DepositArena {
+    /// Arena registers are addressed by dynamically acquired names, so
+    /// no process can claim one statically: the whole arena is shared
+    /// for every pid (name uniqueness is what makes each register
+    /// single-writer dynamically).
+    fn footprint(&self, _pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        spec.phase("deposit.arena")
+            .reads(self.regs)
+            .writes_shared(self.regs);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -591,6 +591,27 @@ impl NamingMachine<'_> {
     }
 }
 
+impl exsel_shm::Footprint for UnboundedNaming {
+    /// The §4 single-writer discipline: process `p` updates only its own
+    /// component `W[p]` of the snapshot and publishes only into its own
+    /// suite `B[p]`, while scanning `W` and reading every suite during
+    /// the availability checks. Both write extents are exclusively
+    /// owned — a write there from any other process is a violation.
+    fn footprint(&self, pid: Pid, spec: &mut exsel_shm::FootprintSpec) {
+        let w = self.w.registers();
+        let b = spec.phase("naming.scan").reads(w);
+        if pid.0 < self.n {
+            b.writes_excl(w.slice(pid.0, 1));
+        }
+        for (q, suite) in self.b.iter().enumerate() {
+            let b = spec.phase("naming.suite").reads(*suite);
+            if q == pid.0 {
+                b.writes_excl(*suite);
+            }
+        }
+    }
+}
+
 impl StepMachine for NamingMachine<'_> {
     type Output = u64;
 

@@ -439,6 +439,79 @@ fn snapshot_compaction_smoke_n128() {
     }
 }
 
+/// The dynamic footprint checker (`--features check`) must not cost the
+/// zero-alloc property: its clock tables are pre-sized at compile time
+/// and `observe` is two interval lookups plus a dense-array clock
+/// update, so checker-on steady-state trials — engine sweeps and full
+/// service sessions alike — stay at literally (0 allocs, 0 frees).
+#[cfg(feature = "check")]
+#[test]
+fn steady_state_checked_trials_are_zero_alloc() {
+    let cfg = RenameConfig::default();
+    let k = 32usize;
+    let mut alloc = RegAlloc::new();
+    let algo = AlgoSet::Majority(Majority::new(&mut alloc, 1024, k, &cfg));
+    let originals: Vec<u64> = (0..k).map(|i| (i * 1024 / k) as u64 + 1).collect();
+
+    let mut engine = StepEngine::reusable(alloc.total());
+    engine.install_checker(algo.checker(k, alloc.total()).unwrap());
+    let mut pool = algo.pool(&originals);
+    for seed in 0..3u64 {
+        let mut policy = RandomPolicy::new(seed);
+        engine.run_pool(&mut policy, &mut pool);
+    }
+
+    let (allocs, frees) = measured(|| {
+        for seed in 3..23u64 {
+            let mut policy = RandomPolicy::new(seed);
+            engine.run_pool(&mut policy, &mut pool);
+        }
+    });
+    assert_eq!(
+        (allocs, frees),
+        (0, 0),
+        "checker-on steady-state trials must not touch the allocator"
+    );
+    assert!(engine.metrics().checker_ops > 0);
+    assert_eq!(engine.metrics().checker_violations, 0);
+
+    // And end to end: a checker-on service run is zero-alloc at steady
+    // state too (the checker is installed before warm-up, so its only
+    // allocations — the compiled tables — predate the window).
+    let scfg = ServiceConfig {
+        seed: 11,
+        target_sessions: 3_000,
+        ..ServiceConfig::default()
+    };
+    let world = ServiceWorld::new(&scfg);
+    let checker = exclusive_selection::sim::AccessChecker::for_instance(
+        &world,
+        scfg.slots,
+        world.num_registers(),
+    )
+    .unwrap();
+    let mut harness = ServiceHarness::with_bank(&world, &scfg, SlabBank::new());
+    harness.install_checker(checker);
+    harness.prime();
+    assert!(
+        harness.run_until(scfg.target_sessions / 10),
+        "service drained during warm-up"
+    );
+    let (allocs, frees) = measured(|| {
+        assert!(
+            harness.run_until(scfg.target_sessions),
+            "service drained before reaching its session target"
+        );
+    });
+    assert_eq!(harness.checker_violations(), 0);
+    assert!(harness.checker().unwrap().trial_ops() > 0);
+    assert_eq!(
+        (allocs, frees),
+        (0, 0),
+        "checker-on service steady state must be allocation-free"
+    );
+}
+
 /// The open-loop service harness end to end: Poisson arrivals, pooled
 /// acquire→store→collect→deposit sessions, admission control, and the
 /// windowed report, all running out of recycled buffers. `ServiceWorld`

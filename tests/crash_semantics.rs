@@ -332,6 +332,39 @@ mod service_semantics {
             prop_assert_eq!(mega.shard_totals, vec![flat.totals]);
         }
 
+        /// Checker-on crash storms (`--features check`): the dynamic
+        /// footprint checker rides along the full service battery —
+        /// naming, store&collect and deposit machines under crashes,
+        /// re-entries and load shedding — and must observe every
+        /// granted operation without reporting a single violation.
+        #[cfg(feature = "check")]
+        #[test]
+        fn crashy_sessions_stay_inside_declared_footprints(
+            seed in 0u64..10_000,
+            slots in 2usize..6,
+            clients in 40u64..120,
+            hazard in 0.0f64..0.01,
+        ) {
+            use exclusive_selection::sim::AccessChecker;
+            let cfg = storm_cfg(seed, slots, clients, 8.0, hazard, slots, 2, 8);
+            let world = ServiceWorld::new(&cfg);
+            let checker =
+                AccessChecker::for_instance(&world, cfg.slots, world.num_registers())
+                    .expect("static pass accepts the service world");
+            let mut harness = ServiceHarness::new(&world, &cfg);
+            harness.install_checker(checker);
+            harness.prime();
+            let drained = harness.run_until(u64::MAX);
+            prop_assert!(!drained, "bounded arrivals must drain");
+            let c = harness.checker().unwrap();
+            prop_assert!(c.trial_ops() > 0, "checker observed nothing");
+            prop_assert_eq!(
+                harness.checker_violations(), 0,
+                "service run violated its footprints: {:?}",
+                c.violations()
+            );
+        }
+
         /// Determinism of multi-shard runs: any `shards > 1` fleet is
         /// bit-identical to itself across independently built worlds
         /// with the same seed — global roll-up, windows, namespaced

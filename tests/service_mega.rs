@@ -77,6 +77,40 @@ fn crash_storm_invariants_hold_at_ten_thousand_slots() {
     }
 }
 
+/// Checker-on mega battery (`--features check`): the full 10⁴-slot
+/// crash-storm fleet runs with one dynamic footprint checker per shard
+/// (shards own disjoint register spaces, so per-shard checking is
+/// exact) and must complete with zero ownership violations.
+#[cfg(feature = "check")]
+#[test]
+fn ten_thousand_slot_fleet_stays_inside_declared_footprints() {
+    use exclusive_selection::sim::AccessChecker;
+    let cfg = mega_cfg(17, 4_000);
+    assert_eq!(cfg.total_slots(), 10_000);
+    let world = MegaServiceWorld::new(&cfg);
+    let checkers: Vec<AccessChecker> = world
+        .shard_worlds()
+        .iter()
+        .map(|w| {
+            AccessChecker::for_instance(w, cfg.base.slots, w.num_registers())
+                .expect("static pass accepts every shard world")
+        })
+        .collect();
+    let mut mega = MegaServiceHarness::new(&world, &cfg);
+    mega.install_checkers(checkers);
+    mega.prime();
+    let drained = mega.run_until(u64::MAX);
+    assert!(!drained, "bounded arrivals must drain");
+    assert!(mega.ops() > 0);
+    assert_eq!(
+        mega.checker_violations(),
+        0,
+        "mega fleet violated its footprints"
+    );
+    let report = mega.finish();
+    assert!(report.report.accounted());
+}
+
 #[test]
 fn fleet_windows_tile_the_clock_and_bound_the_gauges() {
     let mut cfg = mega_cfg(5, 3_000);
